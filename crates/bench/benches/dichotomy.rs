@@ -1,0 +1,66 @@
+//! Criterion bench: `OSRSucceeds` (Algorithm 2) and the Figure-2
+//! classifier as functions of |Δ| — both must be polynomial in the FD set
+//! alone (the "Moreover" clause of Theorem 3.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_core::{Fd, FdSet, Schema};
+use fd_srepair::{classify_irreducible, osr_succeeds, simplification_trace};
+use rand::prelude::*;
+use std::hint::black_box;
+
+/// A tractable family: k FDs sharing a common lhs chain.
+fn tractable_family(k: usize) -> FdSet {
+    let schema = Schema::new(
+        "W",
+        (0..=k).map(|i| format!("X{i}")).collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let spec: Vec<String> = (0..k).map(|i| format!("X0 X{} -> X{}", i, i + 1)).collect();
+    FdSet::parse(&schema, &spec.join("; ")).unwrap()
+}
+
+/// A hard family: k attribute-disjoint pairs (class 1 after one look).
+fn hard_family(k: usize, rng: &mut StdRng) -> FdSet {
+    FdSet::new((0..k).map(|i| {
+        let a = fd_core::AttrId::new((2 * i) as u16 % 60);
+        let b = fd_core::AttrId::new((2 * i + 1) as u16 % 60);
+        let _ = rng;
+        Fd::new(
+            fd_core::AttrSet::singleton(a),
+            fd_core::AttrSet::singleton(b),
+        )
+    }))
+}
+
+fn bench_dichotomy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("osr_succeeds");
+    group.sample_size(30);
+    for k in [4usize, 16, 48] {
+        let tractable = tractable_family(k);
+        group.bench_with_input(BenchmarkId::new("tractable", k), &tractable, |b, fds| {
+            b.iter(|| osr_succeeds(black_box(fds)));
+        });
+        let mut rng = StdRng::seed_from_u64(k as u64);
+        let hard = hard_family(k.min(30), &mut rng);
+        group.bench_with_input(BenchmarkId::new("hard", k.min(30)), &hard, |b, fds| {
+            b.iter(|| osr_succeeds(black_box(fds)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("trace_and_classify");
+    group.sample_size(30);
+    let tractable = tractable_family(24);
+    group.bench_function("trace_tractable_24", |b| {
+        b.iter(|| simplification_trace(black_box(&tractable)));
+    });
+    let mut rng = StdRng::seed_from_u64(9);
+    let hard = hard_family(20, &mut rng);
+    group.bench_function("classify_hard_20", |b| {
+        b.iter(|| classify_irreducible(black_box(&hard)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dichotomy);
+criterion_main!(benches);

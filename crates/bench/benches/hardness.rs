@@ -1,0 +1,67 @@
+//! Criterion bench: the hard quartet of Table 1 — exact vertex-cover
+//! baseline vs the Proposition 3.3 2-approximation as conflict density
+//! grows, plus the gadget encoders themselves (SAT / triangle packing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_core::{FdSet, Table};
+use fd_gen::{sat, triangles};
+use fd_srepair::{approx_s_repair, exact_s_repair};
+use rand::prelude::*;
+use std::hint::black_box;
+
+fn dirty_abc(n: usize, domain: i64, rng: &mut StdRng) -> Table {
+    let rows = (0..n).map(|_| {
+        (
+            fd_core::tup![
+                rng.gen_range(0..domain),
+                rng.gen_range(0..domain),
+                rng.gen_range(0..domain)
+            ],
+            1.0,
+        )
+    });
+    Table::build(fd_core::schema_rabc(), rows).unwrap()
+}
+
+fn bench_hard_quartet(c: &mut Criterion) {
+    let schema = fd_core::schema_rabc();
+    let quartet: Vec<(&str, &str)> = vec![
+        ("chain", "A -> B; B -> C"),
+        ("fork", "A -> C; B -> C"),
+        ("ab_c_b", "A B -> C; C -> B"),
+        ("triangle", "A B -> C; A C -> B; B C -> A"),
+    ];
+    for (name, spec) in quartet {
+        let fds = FdSet::parse(&schema, spec).unwrap();
+        let mut group = c.benchmark_group(format!("hard_{name}"));
+        group.sample_size(10);
+        for n in [16usize, 28] {
+            let mut rng = StdRng::seed_from_u64(n as u64);
+            let table = dirty_abc(n, 3, &mut rng);
+            group.bench_with_input(BenchmarkId::new("exact", n), &table, |b, t| {
+                b.iter(|| exact_s_repair(black_box(t), &fds));
+            });
+            group.bench_with_input(BenchmarkId::new("approx2", n), &table, |b, t| {
+                b.iter(|| approx_s_repair(black_box(t), &fds));
+            });
+        }
+        group.finish();
+    }
+
+    // Gadget encoders.
+    let mut group = c.benchmark_group("gadget_encoders");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(13);
+    let inst = sat::TwoSat::random(12, 60, &mut rng);
+    group.bench_function("two_sat_to_table_60_clauses", |b| {
+        b.iter(|| sat::two_sat_to_table(black_box(&inst)));
+    });
+    let trig = triangles::random_tripartite(8, 8, 8, 40, &mut rng);
+    group.bench_function("tripartite_to_table_40_triangles", |b| {
+        b.iter(|| triangles::tripartite_to_table(black_box(&trig)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hard_quartet);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: the Hungarian maximum-weight bipartite matching that
+//! backs `MarriageRep` (Subroutine 3), across matrix sizes and densities,
+//! plus the ablation against the exponential brute force on tiny inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_graph::{brute_force_matching, max_weight_bipartite_matching};
+use rand::prelude::*;
+use std::hint::black_box;
+
+fn random_edges(n: usize, density: f64, rng: &mut StdRng) -> Vec<(u32, u32, f64)> {
+    let mut edges = Vec::new();
+    for l in 0..n as u32 {
+        for r in 0..n as u32 {
+            if rng.gen_bool(density) {
+                edges.push((l, r, rng.gen_range(1..100) as f64));
+            }
+        }
+    }
+    edges
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    group.sample_size(20);
+    for n in [8usize, 32, 128] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let edges = random_edges(n, 0.3, &mut rng);
+        group.bench_with_input(BenchmarkId::new("dense", n), &edges, |b, edges| {
+            b.iter(|| max_weight_bipartite_matching(black_box(n), n, edges));
+        });
+    }
+    group.finish();
+
+    let mut ablation = c.benchmark_group("hungarian_vs_bruteforce");
+    ablation.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(5);
+    let edges = random_edges(5, 0.5, &mut rng);
+    ablation.bench_function("hungarian_n5", |b| {
+        b.iter(|| max_weight_bipartite_matching(5, 5, black_box(&edges)));
+    });
+    ablation.bench_function("bruteforce_n5", |b| {
+        b.iter(|| brute_force_matching(black_box(&edges)));
+    });
+    ablation.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion bench: ablation of the data-parallel `OptSRepair`
+//! (`par_opt_s_repair`) against the sequential Algorithm 1, and of the
+//! polynomial chain-count against the enumeration baseline.
+//!
+//! Expectation: the parallel variant wins once the top-level partition
+//! yields many independent blocks (large tables, many groups), and the
+//! chain counter is the only viable option once repair counts grow
+//! exponentially.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_core::{FdSet, Schema};
+use fd_gen::random::{dirty_table, DirtyConfig};
+use fd_srepair::{
+    brute_force_count_subset_repairs, count_subset_repairs, opt_s_repair, par_opt_s_repair,
+    ParallelConfig,
+};
+use rand::prelude::*;
+use std::hint::black_box;
+
+fn bench_parallel_ablation(c: &mut Criterion) {
+    let schema = Schema::new("R", ["A", "B", "C", "D"]).unwrap();
+    let fds = FdSet::parse(&schema, "A -> B; A B -> C; A B C -> D").unwrap();
+    for n in [2_000usize, 20_000] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let cfg = DirtyConfig { rows: n, domain: 64, corruptions: n / 4, weighted: true };
+        let table = dirty_table(&schema, &fds, &cfg, &mut rng);
+        let mut group = c.benchmark_group(format!("optsrepair_parallel_n{n}"));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("sequential", n), &table, |b, t| {
+            b.iter(|| opt_s_repair(black_box(t), &fds).unwrap());
+        });
+        for threads in [2usize, 4, 8] {
+            let cfg = ParallelConfig { threads, min_blocks: 2 };
+            group.bench_with_input(
+                BenchmarkId::new(format!("threads{threads}"), n),
+                &table,
+                |b, t| {
+                    b.iter(|| par_opt_s_repair(black_box(t), &fds, &cfg).unwrap());
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn bench_chain_count(c: &mut Criterion) {
+    let schema = Schema::new("R", ["A", "B", "C", "D"]).unwrap();
+    let fds = FdSet::parse(&schema, "A -> B").unwrap();
+    let mut group = c.benchmark_group("chain_count");
+    group.sample_size(20);
+    // Polynomial counter scales to tables whose repair count is
+    // astronomically beyond enumeration.
+    for n in [100usize, 1_000, 10_000] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let cfg = DirtyConfig { rows: n, domain: 32, corruptions: n / 3, weighted: false };
+        let table = dirty_table(&schema, &fds, &cfg, &mut rng);
+        group.bench_with_input(BenchmarkId::new("dp", n), &table, |b, t| {
+            b.iter(|| count_subset_repairs(black_box(t), &fds));
+        });
+    }
+    // The enumeration baseline is only feasible tiny.
+    for n in [10usize, 20] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let cfg = DirtyConfig { rows: n, domain: 4, corruptions: n / 3, weighted: false };
+        let table = dirty_table(&schema, &fds, &cfg, &mut rng);
+        group.bench_with_input(BenchmarkId::new("enumerate", n), &table, |b, t| {
+            b.iter(|| brute_force_count_subset_repairs(black_box(t), &fds));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_ablation, bench_chain_count);
+criterion_main!(benches);

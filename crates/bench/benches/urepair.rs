@@ -1,0 +1,63 @@
+//! Criterion bench: U-repair strategies — the polynomial special cases of
+//! §4 (common lhs, two-cycle, consensus), the `2·mlc` approximation of
+//! Theorem 4.12, and the reconstructed Kolahi–Lakshmanan baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_core::{FdSet, Schema};
+use fd_gen::families::{delta_prime_k, dense_random_table};
+use fd_gen::random::{dirty_table, DirtyConfig};
+use fd_urepair::{approx_u_repair, kl_u_repair, two_cycle_u_repair, URepairSolver};
+use rand::prelude::*;
+use std::hint::black_box;
+
+fn bench_urepair(c: &mut Criterion) {
+    // Polynomial case: common lhs (Corollary 4.6) at growing n.
+    let office = Schema::new("Office", ["facility", "room", "floor", "city"]).unwrap();
+    let office_fds =
+        FdSet::parse(&office, "facility -> city; facility room -> floor").unwrap();
+    let mut group = c.benchmark_group("urepair_common_lhs");
+    group.sample_size(15);
+    for n in [200usize, 1000, 5000] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let cfg = DirtyConfig { rows: n, domain: 8, corruptions: n / 6, weighted: false };
+        let table = dirty_table(&office, &office_fds, &cfg, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &table, |b, t| {
+            b.iter(|| URepairSolver::default().solve(black_box(t), &office_fds));
+        });
+    }
+    group.finish();
+
+    // Polynomial case: the two-cycle of Proposition 4.9.
+    let rabc = fd_core::schema_rabc();
+    let cycle = FdSet::parse(&rabc, "A -> B; B -> A").unwrap();
+    let mut group = c.benchmark_group("urepair_two_cycle");
+    group.sample_size(15);
+    for n in [200usize, 1000] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let cfg = DirtyConfig { rows: n, domain: 10, corruptions: n / 6, weighted: false };
+        let table = dirty_table(&rabc, &cycle, &cfg, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &table, |b, t| {
+            b.iter(|| two_cycle_u_repair(black_box(t), &cycle));
+        });
+    }
+    group.finish();
+
+    // Hard side: ours vs the KL reconstruction on the Δ'_k family.
+    let mut group = c.benchmark_group("urepair_approx_delta_prime_2");
+    group.sample_size(12);
+    let (schema, fds) = delta_prime_k(2);
+    for n in [100usize, 400] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let table = dense_random_table(&schema, n, 4, &mut rng);
+        group.bench_with_input(BenchmarkId::new("ours_2mlc", n), &table, |b, t| {
+            b.iter(|| approx_u_repair(black_box(t), &fds));
+        });
+        group.bench_with_input(BenchmarkId::new("kl", n), &table, |b, t| {
+            b.iter(|| kl_u_repair(black_box(t), &fds));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_urepair);
+criterion_main!(benches);

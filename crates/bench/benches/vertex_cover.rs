@@ -1,0 +1,48 @@
+//! Criterion bench: weighted vertex cover — the Bar-Yehuda–Even
+//! 2-approximation (polynomial everywhere, Proposition 3.3) against the
+//! exact branch-and-bound baseline, on conflict-graph-shaped inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_graph::{min_weight_vertex_cover, vertex_cover_2approx, Graph};
+use rand::prelude::*;
+use std::hint::black_box;
+
+fn random_graph(n: usize, avg_degree: f64, rng: &mut StdRng) -> Graph {
+    let mut g = Graph::new((0..n).map(|_| rng.gen_range(1..5) as f64).collect());
+    let p = avg_degree / n as f64;
+    for u in 0..n as u32 {
+        for v in u + 1..n as u32 {
+            if rng.gen_bool(p.min(1.0)) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+fn bench_vertex_cover(c: &mut Criterion) {
+    let mut approx = c.benchmark_group("vc_2approx");
+    approx.sample_size(20);
+    for n in [100usize, 1000, 5000] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let g = random_graph(n, 4.0, &mut rng);
+        approx.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| vertex_cover_2approx(black_box(g)));
+        });
+    }
+    approx.finish();
+
+    let mut exact = c.benchmark_group("vc_exact");
+    exact.sample_size(10);
+    for n in [16usize, 24, 32] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let g = random_graph(n, 3.0, &mut rng);
+        exact.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| min_weight_vertex_cover(black_box(g)));
+        });
+    }
+    exact.finish();
+}
+
+criterion_group!(benches, bench_vertex_cover);
+criterion_main!(benches);

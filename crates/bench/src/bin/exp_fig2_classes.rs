@@ -1,0 +1,73 @@
+//! Experiment `exp_fig2_classes` — Figure 2 and Example 3.8: the five
+//! classes of irreducible FD sets, each classified and labeled with the
+//! Table-1 hard core its fact-wise reduction starts from.
+
+use fd_bench::{mark, section};
+use fd_core::{FdSet, Schema};
+use fd_srepair::classify_irreducible;
+
+fn main() {
+    section("Example 3.8: class witnesses Δ1–Δ5");
+    let s5 = Schema::new("R", ["A", "B", "C", "D", "E"]).unwrap();
+    let witnesses: Vec<(&str, &str, u8)> = vec![
+        ("Δ1", "A -> B; C -> D", 1),
+        ("Δ2", "A -> C D; B -> C E", 2),
+        ("Δ3", "A -> B C; B -> D", 3),
+        ("Δ4", "A B -> C; A C -> B; B C -> A", 4),
+        ("Δ5", "A B -> C; C -> A D", 5),
+    ];
+    println!(
+        "  {:<4} {:<34} {:>6} {:>6}  {:<16} witnesses",
+        "name", "FDs", "paper", "ours", "hard core"
+    );
+    for (name, spec, expected) in witnesses {
+        let fds = FdSet::parse(&s5, spec).unwrap();
+        let cls = classify_irreducible(&fds).expect("irreducible");
+        println!(
+            "  {:<4} {:<34} {:>6} {:>6}  {:<16} X1={} X2={}{}",
+            name,
+            fds.display(&s5),
+            expected,
+            cls.class,
+            cls.core.name(),
+            cls.x1.display(&s5),
+            cls.x2.display(&s5),
+            cls.x3
+                .map(|x| format!(" X3={}", x.display(&s5)))
+                .unwrap_or_default()
+        );
+        assert_eq!(cls.class, expected, "{name}");
+    }
+
+    section("Every irreducible set lands in exactly one class (Lemma A.22)");
+    // A broader sweep: random small FD sets; whenever the set is
+    // irreducible, the classifier must produce a class.
+    use rand::prelude::*;
+    let mut rng = StdRng::seed_from_u64(0xF16);
+    let mut counts = [0usize; 6];
+    let mut reducible = 0usize;
+    for _ in 0..4000 {
+        let n_fds = rng.gen_range(2..4);
+        let fds = FdSet::new((0..n_fds).map(|_| {
+            let lhs: fd_core::AttrSet = (0..5u16)
+                .filter(|_| rng.gen_bool(0.4))
+                .map(fd_core::AttrId::new)
+                .collect();
+            let rhs = fd_core::AttrSet::singleton(fd_core::AttrId::new(rng.gen_range(0..5)));
+            fd_core::Fd::new(lhs, rhs)
+        }));
+        match classify_irreducible(&fds) {
+            Some(cls) => counts[cls.class as usize] += 1,
+            None => reducible += 1,
+        }
+    }
+    println!("  reducible (common lhs / consensus / marriage / trivial): {reducible}");
+    for (c, count) in counts.iter().enumerate().skip(1) {
+        println!("  class {c}: {count}");
+    }
+    // Class 4 needs three interlocking local minima and is rare under this
+    // sampler; the Example 3.8 witnesses above cover it deterministically.
+    let distinct = counts[1..].iter().filter(|&&c| c > 0).count();
+    assert!(distinct >= 4, "expected at least four classes to occur in the sweep");
+    println!("\n  classifier covered {distinct}/5 classes in the random sweep {}", mark(true));
+}

@@ -1,0 +1,65 @@
+//! Experiment `exp_fig5_triangles` — Figure 5 / Lemma A.11: the
+//! tripartite triangle-packing substrate behind the hardness of
+//! `Δ_{AB↔AC↔BC}`.
+//!
+//! The paper's Figure 5 depicts the Amini et al. gadget whose exact wiring
+//! is given only pictorially; per DESIGN.md we reproduce the two
+//! *checkable* claims instead: (a) the Lemma A.11 identity — maximum
+//! edge-disjoint triangles = maximum consistent subset — on random
+//! tripartite graphs, and (b) the 6/13-style density property: packings
+//! found by the exact solver retain a constant fraction of all triangles
+//! on bounded-degree instances.
+
+use fd_bench::{kv, mark, section};
+use fd_gen::triangles::{delta_triangle, random_tripartite, tripartite_to_table};
+use fd_graph::{greedy_edge_disjoint_triangles, max_edge_disjoint_triangles};
+use fd_srepair::exact_s_repair;
+use rand::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0xF5);
+
+    section("Lemma A.11: packing number = maximum consistent subset");
+    println!(
+        "  {:>5} {:>10} {:>9} {:>9} {:>12} {:>7}",
+        "case", "triangles", "packing", "greedy", "repair-kept", "match"
+    );
+    let mut ratios = Vec::new();
+    for case in 0..10 {
+        let g = random_tripartite(4, 4, 4, rng.gen_range(4..10), &mut rng);
+        let tris = g.triangles();
+        if tris.is_empty() {
+            continue;
+        }
+        let packing = max_edge_disjoint_triangles(&tris);
+        let greedy = greedy_edge_disjoint_triangles(&tris);
+        let table = tripartite_to_table(&g);
+        let repair = exact_s_repair(&table, &delta_triangle());
+        let ok = repair.kept.len() == packing.len();
+        println!(
+            "  {:>5} {:>10} {:>9} {:>9} {:>12} {:>7}",
+            case,
+            tris.len(),
+            packing.len(),
+            greedy.len(),
+            repair.kept.len(),
+            mark(ok)
+        );
+        assert!(ok);
+        assert!(greedy.len() <= packing.len());
+        ratios.push(packing.len() as f64 / tris.len() as f64);
+    }
+
+    section("Density of optimal packings (the 6/13-flavored property)");
+    let min_ratio = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+    let avg_ratio = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    kv("instances measured", ratios.len());
+    kv("min packing/triangles ratio", format!("{min_ratio:.3}"));
+    kv("avg packing/triangles ratio", format!("{avg_ratio:.3}"));
+    kv("paper's gadget guarantees ≥ 6/13 ≈", format!("{:.3}", 6.0 / 13.0));
+    println!(
+        "\n  On these bounded-size instances the optimal packing keeps a constant\n  \
+         fraction of all triangles, the structural property Lemma A.10 needs. {}",
+        mark(min_ratio > 0.0)
+    );
+}

@@ -1,0 +1,98 @@
+//! Experiment `exp_sec34_mpd` — §3.4 / Theorem 3.10 / Comment 3.11: the
+//! Most Probable Database problem reduced to optimal S-repairs, with the
+//! dichotomy extended from unary FDs to all FDs, and the corrected
+//! classification of `Δ_{A↔B→C}`.
+
+use fd_bench::{kv, mark, section};
+use fd_core::{schema_rabc, tup, FdSet, Table};
+use fd_mpd::{brute_force_mpd, most_probable_database, ProbTable};
+use fd_srepair::osr_succeeds;
+use rand::prelude::*;
+
+fn main() {
+    let schema = schema_rabc();
+    let mut rng = StdRng::seed_from_u64(0x34);
+
+    section("Theorem 3.10: log-odds reduction = exhaustive MPD");
+    let specs = [
+        "A -> B",
+        "A -> B C",
+        "-> C",
+        "A -> B; B -> A",
+        "A -> B; B -> A; B -> C",
+        "A -> B; B -> C",
+        "A -> C; B -> C",
+    ];
+    println!(
+        "  {:<28} {:>12} {:>14} {:>14} {:>7}",
+        "Δ", "OSRSucceeds", "reduction", "enumeration", "match"
+    );
+    for spec in specs {
+        let fds = FdSet::parse(&schema, spec).unwrap();
+        let mut all_ok = true;
+        let mut shown = (0.0, 0.0);
+        for _ in 0..8 {
+            let n = rng.gen_range(3..9);
+            let rows: Vec<_> = (0..n)
+                .map(|_| {
+                    (
+                        tup![
+                            rng.gen_range(0..2i64),
+                            rng.gen_range(0..2i64),
+                            rng.gen_range(0..2i64)
+                        ],
+                        *[0.2, 0.35, 0.6, 0.7, 0.8, 0.9, 0.97].choose(&mut rng).unwrap(),
+                    )
+                })
+                .collect();
+            let prob = ProbTable::new(Table::build(schema.clone(), rows).unwrap()).unwrap();
+            let fast = most_probable_database(&prob, &fds);
+            let slow = brute_force_mpd(&prob, &fds);
+            all_ok &= (fast.probability - slow.probability).abs() < 1e-9;
+            shown = (fast.probability, slow.probability);
+        }
+        println!(
+            "  {:<28} {:>12} {:>14.6} {:>14.6} {:>7}",
+            fds.display(&schema),
+            mark(osr_succeeds(&fds)),
+            shown.0,
+            shown.1,
+            mark(all_ok)
+        );
+        assert!(all_ok);
+    }
+
+    section("Comment 3.11: Δ_{A↔B→C} is tractable (contra Gribkoff et al.)");
+    let marriage = FdSet::parse(&schema, "A -> B; B -> A; B -> C").unwrap();
+    kv("Δ_{A↔B→C} is a *unary* FD set", mark(marriage.is_unary()));
+    kv("OSRSucceeds(Δ_{A↔B→C})", mark(osr_succeeds(&marriage)));
+    kv(
+        "⇒ MPD for Δ_{A↔B→C} is polynomial in this dichotomy",
+        mark(true),
+    );
+    println!(
+        "\n  Gribkoff et al. classified this unary set NP-hard; the paper's\n  \
+         Comment 3.11 records the gap in their proof, and our executable\n  \
+         dichotomy solves it exactly via Algorithm 1 (verified above)."
+    );
+
+    section("Certain tuples and sub-half tuples");
+    let prob = ProbTable::new(
+        Table::build(
+            schema.clone(),
+            vec![
+                (tup![1, 1, 0], 1.0),  // certain
+                (tup![1, 2, 0], 0.99), // conflicting, high probability
+                (tup![2, 2, 0], 0.4),  // sub-half: always excluded
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let fds = FdSet::parse(&schema, "A -> B").unwrap();
+    let r = most_probable_database(&prob, &fds);
+    kv("world", format!("{:?}", r.world));
+    kv("probability", format!("{:.6}", r.probability));
+    assert_eq!(r.world, vec![fd_core::TupleId(0)]);
+    println!("\n  §3.4 reproduced end to end {}", mark(true));
+}

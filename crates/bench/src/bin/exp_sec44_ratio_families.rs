@@ -1,0 +1,97 @@
+//! Experiment `exp_sec44_ratio_families` — §4.4 / Theorem 4.14: the two
+//! infinite FD-set families separating the approximation ratios of
+//! Theorem 4.12 (ours, `2·mlc`) and Theorem 4.13 (Kolahi–Lakshmanan,
+//! `(MCI+2)(2·MFS−1)`), with the proved bounds as exact series and the
+//! realized costs of both implementations on generated workloads.
+
+use fd_bench::{mark, section};
+use fd_core::{mci, mfs, mlc};
+use fd_gen::families::{delta_k, delta_prime_k, dense_random_table};
+use fd_srepair::osr_succeeds;
+use fd_urepair::{approx_u_repair, kl_u_repair, ratio_combined, ratio_kl, ratio_ours};
+use rand::prelude::*;
+
+fn main() {
+    section("Family Δ_k: ours Θ(k) vs KL Θ(k²)  (paper: 2(k+2) vs (MCI+2)(2MFS−1))");
+    println!(
+        "  {:>3} {:>6} {:>6} {:>6} {:>12} {:>12} {:>12} {:>10}",
+        "k", "mlc", "MFS", "MCI", "ours 2·mlc", "KL bound", "combined", "hard?"
+    );
+    for k in 1..=12 {
+        let (_, fds) = delta_k(k);
+        println!(
+            "  {:>3} {:>6} {:>6} {:>6} {:>12.0} {:>12.0} {:>12.0} {:>10}",
+            k,
+            mlc(&fds).unwrap(),
+            mfs(&fds),
+            mci(&fds),
+            ratio_ours(&fds),
+            ratio_kl(&fds),
+            ratio_combined(&fds),
+            mark(!osr_succeeds(&fds))
+        );
+        assert_eq!(ratio_ours(&fds), 2.0 * (k as f64 + 2.0), "paper: 2(k+2)");
+        assert!(!osr_succeeds(&fds), "Theorem 4.14(1): APX-complete");
+    }
+    println!("  ⇒ quadratic/linear gap grows with k; ours wins on every k.");
+
+    section("Family Δ'_k: ours Θ(k) vs KL constant 9");
+    println!(
+        "  {:>3} {:>6} {:>6} {:>6} {:>12} {:>12} {:>12} {:>10}",
+        "k", "mlc", "MFS", "MCI", "ours 2·mlc", "KL bound", "combined", "hard?"
+    );
+    let mut crossover = None;
+    for k in 1..=12 {
+        let (_, fds) = delta_prime_k(k);
+        let (o, kl) = (ratio_ours(&fds), ratio_kl(&fds));
+        if crossover.is_none() && kl < o {
+            crossover = Some(k);
+        }
+        println!(
+            "  {:>3} {:>6} {:>6} {:>6} {:>12.0} {:>12.0} {:>12.0} {:>10}",
+            k,
+            mlc(&fds).unwrap(),
+            mfs(&fds),
+            mci(&fds),
+            o,
+            kl,
+            ratio_combined(&fds),
+            mark(!osr_succeeds(&fds))
+        );
+        assert_eq!(kl, 9.0, "KL bound is the constant (1+2)(2·2−1) = 9");
+        assert!(!osr_succeeds(&fds), "Theorem 4.14(2): APX-complete");
+    }
+    println!(
+        "  ⇒ KL's constant bound overtakes ours at k = {} — the families are\n    \
+         incomparable, so the combined strategy takes the min (end of §4.4).",
+        crossover.expect("KL must win eventually")
+    );
+
+    section("Realized costs on dense random tables (both algorithms + combined)");
+    println!(
+        "  {:<6} {:>3} {:>6} {:>10} {:>10} {:>10}",
+        "family", "k", "rows", "ours", "KL", "combined"
+    );
+    let mut rng = StdRng::seed_from_u64(0x44);
+    for k in [1usize, 2, 4] {
+        for (label, (schema, fds)) in
+            [("Δ_k", delta_k(k)), ("Δ'_k", delta_prime_k(k))]
+        {
+            let table = dense_random_table(&schema, 24, 3, &mut rng);
+            let ours = approx_u_repair(&table, &fds);
+            ours.repair.verify(&table, &fds);
+            let kl = kl_u_repair(&table, &fds);
+            kl.verify(&table, &fds);
+            println!(
+                "  {:<6} {:>3} {:>6} {:>10.0} {:>10.0} {:>10.0}",
+                label,
+                k,
+                table.len(),
+                ours.repair.cost,
+                kl.cost,
+                ours.repair.cost.min(kl.cost)
+            );
+        }
+    }
+    println!("\n  §4.4 ratio analysis reproduced {}", mark(true));
+}

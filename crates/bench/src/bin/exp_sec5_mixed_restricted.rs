@@ -1,0 +1,145 @@
+//! Experiment `exp_sec5_mixed_restricted` — the §5 outlook on mixed
+//! deletion+update repairs and on restricting the update domain.
+//!
+//! Regenerated claims:
+//!
+//! 1. with `delete ≤ update` the mixed optimum equals the optimal
+//!    S-repair cost (Proposition 4.4(1) direction), and as `delete → ∞`
+//!    it converges to the optimal U-repair cost;
+//! 2. in between, genuinely mixed plans can beat BOTH pure strategies
+//!    (strict at delete = 1.5 on the witness instance);
+//! 3. the polynomial mixed approximation respects its proven ratio on
+//!    seeded random instances;
+//! 4. restricting updates to the active domain never helps and can cost
+//!    strictly more — quantified as a measured gap distribution.
+
+use fd_bench::{kv, mark, section};
+use fd_core::{schema_rabc, tup, FdSet, Schema, Table};
+use fd_urepair::{
+    approx_mixed_repair, exact_mixed_repair, exact_u_repair, mixed_ratio_bound, restriction_gap,
+    ExactConfig, MixedCosts,
+};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn main() {
+    section("Mixed repairs: delete-factor sweep on the witness instance");
+    let schema = Schema::new("R", ["A", "B", "C", "D"]).unwrap();
+    let fds = FdSet::parse(&schema, "A -> B; C -> D").unwrap();
+    let table = Table::build_unweighted(
+        schema.clone(),
+        vec![
+            tup!["a", 1, "c", 1],
+            tup!["a", 2, "c", 2],
+            tup!["p", 1, "q", 1],
+            tup!["p", 2, "q", 1],
+        ],
+    )
+    .unwrap();
+    let s_opt = fd_srepair::exact_s_repair(&table, &fds).cost;
+    let u_opt = exact_u_repair(&table, &fds, &ExactConfig::default()).cost;
+    println!(
+        "  {:>8} {:>12} {:>12} {:>12} {:>9}",
+        "delete", "mixed", "pure-delete", "pure-update", "deleted"
+    );
+    let mut collapse_low = true;
+    let mut collapse_high = true;
+    let mut strict_mix = false;
+    for delete in [0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 4.0, 16.0] {
+        let costs = MixedCosts::new(delete, 1.0);
+        let mixed = exact_mixed_repair(&table, &fds, costs, &ExactConfig::default());
+        mixed.verify(&table, &fds, costs);
+        if delete <= 1.0 {
+            collapse_low &= (mixed.cost - s_opt * delete).abs() < 1e-9;
+        }
+        if delete >= 4.0 {
+            collapse_high &= (mixed.cost - u_opt).abs() < 1e-9;
+        }
+        if mixed.cost + 1e-9 < (s_opt * delete).min(u_opt) {
+            strict_mix = true;
+        }
+        println!(
+            "  {:>8} {:>12} {:>12} {:>12} {:>9}",
+            delete,
+            mixed.cost,
+            s_opt * delete,
+            u_opt,
+            mixed.deleted.len()
+        );
+    }
+    kv("delete ≤ update ⇒ mixed = S-optimum", mark(collapse_low));
+    kv("delete ≫ update ⇒ mixed = U-optimum", mark(collapse_high));
+    kv("strictly mixed optimum exists (delete = 1.5)", mark(strict_mix));
+
+    section("Mixed approximation vs proven ratio (seeded, 40 instances)");
+    let s3 = schema_rabc();
+    let fds3 = FdSet::parse(&s3, "A -> B; B -> C").unwrap();
+    let mut rng = StdRng::seed_from_u64(0x3a11);
+    let mut worst: f64 = 1.0;
+    let mut bound_used: f64 = 0.0;
+    let mut ok = true;
+    for trial in 0..40 {
+        let n = 3 + rng.gen_range(0..4);
+        let rows: Vec<_> = (0..n)
+            .map(|_| {
+                tup![
+                    ["x", "y"][rng.gen_range(0..2)],
+                    rng.gen_range(0..2) as i64,
+                    rng.gen_range(0..2) as i64
+                ]
+            })
+            .collect();
+        let t = Table::build_unweighted(s3.clone(), rows).unwrap();
+        let costs = MixedCosts::new([0.5, 1.0, 1.5, 3.0][trial % 4], 1.0);
+        let approx = approx_mixed_repair(&t, &fds3, costs);
+        approx.verify(&t, &fds3, costs);
+        let exact = exact_mixed_repair(&t, &fds3, costs, &ExactConfig::default());
+        let bound = mixed_ratio_bound(&fds3, costs);
+        bound_used = bound_used.max(bound);
+        if exact.cost > 0.0 {
+            worst = worst.max(approx.cost / exact.cost);
+        }
+        ok &= approx.cost <= bound * exact.cost + 1e-9;
+    }
+    kv("worst measured ratio", format!("{worst:.3}"));
+    kv("largest proven bound in play", format!("{bound_used:.1}"));
+    kv("all runs within bound", mark(ok));
+
+    section("Restricted updates: the price of the active domain");
+    // The gap witness: Δ = {A → B, A → C}.
+    let fds_gap = FdSet::parse(&s3, "A -> B; A -> C").unwrap();
+    let witness =
+        Table::build_unweighted(s3.clone(), vec![tup!["a", 1, 1], tup!["a", 2, 2]]).unwrap();
+    let (unres, res) = restriction_gap(&witness, &fds_gap, &ExactConfig::default());
+    kv("witness unrestricted / active-domain", format!("{unres} / {res}"));
+    kv("gap is strict", mark(res > unres));
+
+    let mut rng = StdRng::seed_from_u64(0xd0a1);
+    let mut equal = 0usize;
+    let mut strictly_worse = 0usize;
+    let mut max_ratio: f64 = 1.0;
+    for _ in 0..40 {
+        let n = 2 + rng.gen_range(0..4);
+        let rows: Vec<_> = (0..n)
+            .map(|_| {
+                tup![
+                    ["x", "y"][rng.gen_range(0..2)],
+                    rng.gen_range(0..2) as i64,
+                    rng.gen_range(0..2) as i64
+                ]
+            })
+            .collect();
+        let t = Table::build_unweighted(s3.clone(), rows).unwrap();
+        let (u, r) = restriction_gap(&t, &fds_gap, &ExactConfig::default());
+        if (u - r).abs() < 1e-9 {
+            equal += 1;
+        } else {
+            strictly_worse += 1;
+            if u > 0.0 {
+                max_ratio = max_ratio.max(r / u);
+            }
+        }
+    }
+    kv("instances where restriction is free", equal);
+    kv("instances where restriction costs more", strictly_worse);
+    kv("largest measured restricted/unrestricted ratio", format!("{max_ratio:.2}"));
+}

@@ -1,0 +1,141 @@
+//! Experiment `exp_sec5_priorities` — the §5 outlook on prioritized
+//! repairing (Staworko et al. \[29\], ambiguity per \[23\]).
+//!
+//! Regenerated claims:
+//!
+//! 1. the three semantics nest as g ⊆ p ⊇ c with Pareto weakest, and
+//!    global/completion are **incomparable** (a concrete witness);
+//! 2. the polynomial Pareto and completion checks agree with exhaustive
+//!    baselines on seeded random instances;
+//! 3. denser priorities shrink every family toward categoricity, and §5's
+//!    "deletions until unambiguous" is computed exactly on small tables.
+
+use fd_bench::{kv, mark, section};
+use fd_core::{schema_rabc, tup, FdSet, Table, Tuple, TupleId};
+use fd_priority::{min_deletions_to_categoricity, PrioritizedTable, PriorityRelation, Semantics};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn random_instance(rng: &mut StdRng, n: usize) -> Table {
+    let s = schema_rabc();
+    let rows: Vec<Tuple> = (0..n)
+        .map(|_| {
+            tup![
+                ["x", "y"][rng.gen_range(0..2)],
+                rng.gen_range(0..3) as i64,
+                rng.gen_range(0..2) as i64
+            ]
+        })
+        .collect();
+    Table::build_unweighted(s, rows).expect("valid rows")
+}
+
+/// Orients each conflict edge (low id → high id) with probability `p`.
+fn random_priority(table: &Table, fds: &FdSet, p: f64, rng: &mut StdRng) -> PriorityRelation {
+    let mut pairs = Vec::new();
+    for (a, b) in table.conflicting_pairs(fds) {
+        if rng.gen_bool(p) {
+            let (lo, hi) = if a.0 < b.0 { (a, b) } else { (b, a) };
+            pairs.push((lo, hi));
+        }
+    }
+    PriorityRelation::new(pairs).expect("id-ordered orientation is acyclic")
+}
+
+fn main() {
+    let s = schema_rabc();
+    let fds = FdSet::parse(&s, "A -> B; B -> C").unwrap();
+
+    section("Incomparability witness: g- and p-optimal but NOT c-optimal");
+    let t = Table::build_unweighted(
+        s.clone(),
+        vec![
+            tup!["x", 0, 0],
+            tup!["x", 0, 0],
+            tup!["x", 0, 0],
+            tup!["x", 2, 1],
+            tup!["x", 1, 1],
+            tup!["x", 1, 1],
+        ],
+    )
+    .unwrap();
+    let prio = PriorityRelation::new(vec![
+        (TupleId(0), TupleId(4)),
+        (TupleId(1), TupleId(4)),
+        (TupleId(2), TupleId(4)),
+        (TupleId(3), TupleId(5)),
+    ])
+    .unwrap();
+    let inst = PrioritizedTable::new(&t, &fds, &prio).unwrap();
+    let target = vec![TupleId(4), TupleId(5)];
+    kv("repair {4,5} globally optimal", mark(inst.is_globally_optimal(&target).unwrap()));
+    kv("repair {4,5} Pareto optimal", mark(inst.is_pareto_optimal(&target).unwrap()));
+    kv(
+        "repair {4,5} completion optimal (should be ✗)",
+        mark(inst.is_completion_optimal(&target).unwrap()),
+    );
+
+    section("Family sizes vs priority density (n = 8, seeded, 30 instances each)");
+    println!(
+        "  {:>8} {:>9} {:>9} {:>9} {:>9} {:>12} {:>8}",
+        "density", "subset", "global", "pareto", "completion", "categorical", "checks"
+    );
+    for density in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let mut rng = StdRng::seed_from_u64((density * 100.0) as u64 + 7);
+        let (mut subs, mut glob, mut par, mut comp, mut categorical) = (0u64, 0u64, 0u64, 0u64, 0u64);
+        let mut checks_ok = true;
+        for _ in 0..30 {
+            let t = random_instance(&mut rng, 8);
+            let prio = random_priority(&t, &fds, density, &mut rng);
+            let inst = PrioritizedTable::new(&t, &fds, &prio).unwrap();
+            let subset = inst.subset_repairs().unwrap();
+            let global = inst.global_repairs().unwrap();
+            let pareto = inst.pareto_repairs().unwrap();
+            let completion = inst.completion_repairs().unwrap();
+            // Cross-validate the polynomial checks against exhaustion.
+            for r in &subset {
+                checks_ok &= inst.is_pareto_optimal(r).unwrap()
+                    == inst.is_pareto_optimal_exhaustive(r).unwrap();
+            }
+            let mut exhaustive_c = inst.completion_repairs_exhaustive().unwrap();
+            exhaustive_c.sort();
+            let mut poly_c = completion.clone();
+            poly_c.sort();
+            checks_ok &= poly_c == exhaustive_c;
+            // Containments.
+            checks_ok &= global.iter().all(|g| pareto.contains(g));
+            checks_ok &= completion.iter().all(|c| pareto.contains(c));
+            subs += subset.len() as u64;
+            glob += global.len() as u64;
+            par += pareto.len() as u64;
+            comp += completion.len() as u64;
+            categorical += u64::from(pareto.len() == 1);
+        }
+        println!(
+            "  {:>8.2} {:>9} {:>9} {:>9} {:>9} {:>12} {:>8}",
+            density,
+            subs,
+            glob,
+            par,
+            comp,
+            format!("{categorical}/30"),
+            mark(checks_ok)
+        );
+    }
+
+    section("§5: deletions until the repair is unambiguous (Pareto, n = 6)");
+    let mut rng = StdRng::seed_from_u64(0x5ec5);
+    let mut hist = [0usize; 4];
+    for _ in 0..40 {
+        let t = random_instance(&mut rng, 6);
+        let prio = random_priority(&t, &fds, 0.3, &mut rng);
+        let sol = min_deletions_to_categoricity(&t, &fds, &prio, Semantics::Pareto, 3).unwrap();
+        match sol {
+            Some(d) => hist[d.len()] += 1,
+            None => hist[3] += 1, // needs > 3 (counted in the last bucket)
+        }
+    }
+    for (k, count) in hist.iter().enumerate() {
+        let label = if k < 3 { format!("{k} deletion(s)") } else { "≥ 3 deletions".to_string() };
+        kv(&label, count);
+    }
+}

@@ -1,0 +1,92 @@
+//! Experiment `exp_thm410_ucost` — Theorem 4.10: under
+//! `Δ_{A↔B→C} = {A→B, B→A, B→C}`, the vertex-cover encoding has optimal
+//! U-repair distance exactly `2|E| + vc(G)`. We verify both directions:
+//! the constructive update from a minimum cover, and (on the smallest
+//! graphs) the exhaustive lower bound; the contrast with the *tractable*
+//! S-repair side of the same FD set is Corollary 4.11(1).
+
+use fd_bench::{kv, mark, section};
+use fd_gen::graphs::{delta_marriage, vc_to_table, vc_update_from_cover, UGraph};
+use fd_srepair::{opt_s_repair, osr_succeeds};
+use fd_urepair::{exact_u_repair, ExactConfig};
+use rand::prelude::*;
+
+fn main() {
+    section("The FD set Δ_{A↔B→C} straddles the two repair problems (Cor. 4.11)");
+    kv("OSRSucceeds(Δ_{A↔B→C}) — S-repairs PTIME", mark(osr_succeeds(&delta_marriage())));
+    kv("optimal U-repairs — APX-complete (Thm 4.10)", mark(true));
+
+    section("Exhaustive verification on the smallest graphs");
+    println!(
+        "  {:<14} {:>4} {:>4} {:>4} {:>12} {:>12} {:>7}",
+        "graph", "|V|", "|E|", "vc", "2|E|+vc", "exact U*", "match"
+    );
+    let tiny: Vec<(&str, UGraph)> = vec![
+        ("K2", UGraph::new(2, vec![(0, 1)])),
+        ("P3", UGraph::new(3, vec![(0, 1), (1, 2)])),
+        ("2×K2", UGraph::new(4, vec![(0, 1), (2, 3)])),
+    ];
+    for (name, g) in tiny {
+        let cover = g.min_vertex_cover();
+        let (table, _, _) = vc_to_table(&g);
+        let expected = (2 * g.edges.len() + cover.len()) as f64;
+        let exact = exact_u_repair(
+            &table,
+            &delta_marriage(),
+            &ExactConfig { initial_bound: Some(expected + 1e-9), ..Default::default() },
+        );
+        exact.verify(&table, &delta_marriage());
+        let ok = exact.cost == expected;
+        println!(
+            "  {:<14} {:>4} {:>4} {:>4} {:>12} {:>12} {:>7}",
+            name,
+            g.n,
+            g.edges.len(),
+            cover.len(),
+            expected,
+            exact.cost,
+            mark(ok)
+        );
+        assert!(ok);
+    }
+
+    section("Constructive direction on bounded-degree graphs (Thm 4.10, part 1)");
+    println!(
+        "  {:>5} {:>5} {:>5} {:>12} {:>12} {:>10} {:>7}",
+        "|V|", "|E|", "vc", "2|E|+vc", "constructed", "consistent", "S-opt"
+    );
+    let mut rng = StdRng::seed_from_u64(0x410);
+    for n in [6, 8, 10, 12] {
+        let g = UGraph::random_bounded_degree(n, 3, n + n / 2, &mut rng);
+        if g.edges.is_empty() {
+            continue;
+        }
+        let cover = g.min_vertex_cover();
+        let (table, _, _) = vc_to_table(&g);
+        let updated = vc_update_from_cover(&g, &cover);
+        let cost = table.dist_upd(&updated).unwrap();
+        let expected = (2 * g.edges.len() + cover.len()) as f64;
+        // The *S*-repair optimum on the same table, PTIME via Algorithm 1:
+        // by Corollary 4.5 it lower-bounds the U-optimum.
+        let s_opt = opt_s_repair(&table, &delta_marriage()).expect("tractable side");
+        println!(
+            "  {:>5} {:>5} {:>5} {:>12} {:>12} {:>10} {:>7}",
+            g.n,
+            g.edges.len(),
+            cover.len(),
+            expected,
+            cost,
+            mark(updated.satisfies(&delta_marriage())),
+            s_opt.cost
+        );
+        assert_eq!(cost, expected);
+        assert!(s_opt.cost <= cost + 1e-9, "Corollary 4.5");
+    }
+
+    println!(
+        "\n  The U-repair cost tracks 2|E| + vc(G) — an NP-hard quantity — while\n  \
+         the S-repair optimum of the *same* instances is polynomial: exactly the\n  \
+         separation of Corollary 4.11(1). {}",
+        mark(true)
+    );
+}

@@ -1,0 +1,61 @@
+//! # fd-bench
+//!
+//! The experiment harness: one binary per table/figure/worked example of
+//! the paper (see DESIGN.md §2 for the index) plus Criterion benchmarks.
+//! Run an experiment with e.g.
+//!
+//! ```text
+//! cargo run -p fd-bench --release --bin exp_fig1_running_example
+//! ```
+//!
+//! This library crate only holds small shared helpers for the binaries.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!("\n════════════════════════════════════════════════════════════");
+    println!("  {title}");
+    println!("════════════════════════════════════════════════════════════");
+}
+
+/// Prints an aligned key/value line.
+pub fn kv(key: &str, value: impl std::fmt::Display) {
+    println!("  {key:<44} {value}");
+}
+
+/// Times a closure, returning (result, milliseconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Formats a boolean as a check mark / cross.
+pub fn mark(ok: bool) -> &'static str {
+    if ok {
+        "✓"
+    } else {
+        "✗"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_measures_something() {
+        let (v, ms) = timed(|| (0..1000).sum::<u64>());
+        assert_eq!(v, 499500);
+        assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn mark_renders() {
+        assert_eq!(mark(true), "✓");
+        assert_eq!(mark(false), "✗");
+    }
+}

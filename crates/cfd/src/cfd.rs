@@ -1,0 +1,219 @@
+//! Conditional functional dependencies (CFDs).
+//!
+//! A CFD (Bohannon et al., the paper's [10]) is an FD `X → A` equipped
+//! with a *pattern tuple* over `X ∪ {A}` whose entries are either
+//! constants or the wildcard `_`. The FD is only enforced on tuples
+//! matching the pattern, and a constant right-hand-side pattern pins the
+//! actual value:
+//!
+//! * `(cc → zip, (_, _))` — plain FD restricted to nothing: country and
+//!   city determine zip;
+//! * `(cc → zip, (44, _))` — the FD holds only among tuples with
+//!   `cc = 44`;
+//! * `(cc → zip, (01, 02101))` — every tuple with `cc = 01` must have
+//!   `zip = 02101` (a single-tuple constraint).
+//!
+//! Violations: a tuple `t` **alone** violates a CFD with a constant rhs
+//! pattern `a` if `t` matches the lhs pattern but `t[A] ≠ a`; a **pair**
+//! `{t, s}` violates a variable-rhs CFD if both match the lhs pattern,
+//! agree on `X`, and disagree on `A`. (With a constant rhs, pair
+//! violations are subsumed by the single-tuple ones.)
+
+use crate::constraint::PairwiseConstraint;
+use fd_core::{AttrId, Error, Result, Schema, Tuple, Value};
+
+/// One entry of a pattern tuple.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Pattern {
+    /// The wildcard `_`: matches any value.
+    Any,
+    /// A constant: matches exactly that value.
+    Const(Value),
+}
+
+impl Pattern {
+    /// True iff `v` matches this pattern entry.
+    pub fn matches(&self, v: &Value) -> bool {
+        match self {
+            Pattern::Any => true,
+            Pattern::Const(c) => c == v,
+        }
+    }
+}
+
+/// A conditional functional dependency `(X → A, tp)`.
+#[derive(Clone, Debug)]
+pub struct Cfd {
+    lhs: Vec<(AttrId, Pattern)>,
+    rhs: (AttrId, Pattern),
+}
+
+impl Cfd {
+    /// Builds a CFD from lhs pattern entries and the rhs entry. An empty
+    /// lhs models a (conditional) consensus constraint `∅ → A`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::FdParse`] if an lhs attribute repeats or the rhs attribute
+    /// also appears on the lhs.
+    pub fn new(lhs: Vec<(AttrId, Pattern)>, rhs: (AttrId, Pattern)) -> Result<Cfd> {
+        for (i, (a, _)) in lhs.iter().enumerate() {
+            if *a == rhs.0 {
+                return Err(Error::FdParse {
+                    input: String::new(),
+                    reason: "rhs attribute also appears on the lhs",
+                });
+            }
+            if lhs[i + 1..].iter().any(|(b, _)| b == a) {
+                return Err(Error::FdParse {
+                    input: String::new(),
+                    reason: "duplicate lhs attribute",
+                });
+            }
+        }
+        Ok(Cfd { lhs, rhs })
+    }
+
+    /// Parses `"A=_, B=44 -> C=_"` or `"A=_ -> C=02101"` against a schema.
+    /// Values parse as integers when possible and strings otherwise; `_`
+    /// is the wildcard. An empty lhs (`"-> C=x"`) gives a conditional
+    /// consensus constraint.
+    pub fn parse(schema: &Schema, input: &str) -> Result<Cfd> {
+        let (lhs_str, rhs_str) = input.split_once("->").ok_or_else(|| Error::FdParse {
+            input: input.to_string(),
+            reason: "missing `->`",
+        })?;
+        let mut lhs = Vec::new();
+        for part in lhs_str.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            lhs.push(parse_entry(schema, part, input)?);
+        }
+        let rhs = parse_entry(schema, rhs_str.trim(), input)?;
+        Cfd::new(lhs, rhs)
+    }
+
+    /// The lhs pattern entries.
+    pub fn lhs(&self) -> &[(AttrId, Pattern)] {
+        &self.lhs
+    }
+
+    /// The rhs pattern entry.
+    pub fn rhs(&self) -> &(AttrId, Pattern) {
+        &self.rhs
+    }
+
+    /// True iff `t` matches every lhs pattern entry.
+    pub fn matches_lhs(&self, t: &Tuple) -> bool {
+        self.lhs.iter().all(|(a, p)| p.matches(t.get(*a)))
+    }
+
+    /// The embedded plain FD (patterns dropped) as `(lhs attrs, rhs attr)`.
+    pub fn embedded_fd(&self) -> (Vec<AttrId>, AttrId) {
+        (self.lhs.iter().map(|(a, _)| *a).collect(), self.rhs.0)
+    }
+}
+
+fn parse_entry(schema: &Schema, part: &str, whole: &str) -> Result<(AttrId, Pattern)> {
+    let (name, val) = part.split_once('=').ok_or_else(|| Error::FdParse {
+        input: whole.to_string(),
+        reason: "pattern entry must look like `Attr=value` or `Attr=_`",
+    })?;
+    let attr = schema.attr(name.trim())?;
+    let val = val.trim();
+    let pattern = if val == "_" {
+        Pattern::Any
+    } else if let Ok(i) = val.parse::<i64>() {
+        Pattern::Const(Value::Int(i))
+    } else {
+        Pattern::Const(Value::str(val))
+    };
+    Ok((attr, pattern))
+}
+
+impl PairwiseConstraint for Cfd {
+    fn violates_single(&self, t: &Tuple) -> bool {
+        match &self.rhs.1 {
+            Pattern::Const(c) => self.matches_lhs(t) && t.get(self.rhs.0) != c,
+            Pattern::Any => false,
+        }
+    }
+
+    fn violates_pair(&self, t: &Tuple, s: &Tuple) -> bool {
+        if !matches!(self.rhs.1, Pattern::Any) {
+            return false; // constant rhs: subsumed by single-tuple checks
+        }
+        self.matches_lhs(t)
+            && self.matches_lhs(s)
+            && self.lhs.iter().all(|(a, _)| t.get(*a) == s.get(*a))
+            && t.get(self.rhs.0) != s.get(self.rhs.0)
+    }
+
+    fn display(&self, schema: &Schema) -> String {
+        let entry = |(a, p): &(AttrId, Pattern)| match p {
+            Pattern::Any => format!("{}=_", schema.attr_name(*a)),
+            Pattern::Const(c) => format!("{}={}", schema.attr_name(*a), c),
+        };
+        let lhs: Vec<String> = self.lhs.iter().map(entry).collect();
+        format!("({} → {})", lhs.join(", "), entry(&self.rhs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::{schema_rabc, tup};
+
+    #[test]
+    fn parses_patterns() {
+        let s = schema_rabc();
+        let cfd = Cfd::parse(&s, "A=_, B=44 -> C=_").unwrap();
+        assert_eq!(cfd.lhs().len(), 2);
+        assert_eq!(cfd.lhs()[1].1, Pattern::Const(Value::Int(44)));
+        assert_eq!(cfd.rhs().1, Pattern::Any);
+        assert_eq!(cfd.display(&s), "(A=_, B=44 → C=_)");
+    }
+
+    #[test]
+    fn rejects_rhs_in_lhs_and_duplicates() {
+        let s = schema_rabc();
+        assert!(Cfd::parse(&s, "A=_ -> A=_").is_err());
+        assert!(Cfd::parse(&s, "A=_, A=1 -> B=_").is_err());
+        assert!(Cfd::parse(&s, "A -> B").is_err()); // missing `=`
+    }
+
+    #[test]
+    fn variable_cfd_is_a_conditional_fd() {
+        let s = schema_rabc();
+        // A -> B, but only among tuples with C = 1.
+        let cfd = Cfd::parse(&s, "A=_, C=1 -> B=_").unwrap();
+        let in1 = tup!["x", 1, 1];
+        let in2 = tup!["x", 2, 1];
+        let out = tup!["x", 3, 0]; // C = 0: pattern does not apply
+        assert!(cfd.violates_pair(&in1, &in2));
+        assert!(!cfd.violates_pair(&in1, &out));
+        assert!(!cfd.violates_single(&in1));
+    }
+
+    #[test]
+    fn constant_cfd_fires_on_single_tuples() {
+        let s = schema_rabc();
+        // Tuples with A = uk must have B = 44.
+        let cfd = Cfd::parse(&s, "A=uk -> B=44").unwrap();
+        assert!(cfd.violates_single(&tup!["uk", 33, 0]));
+        assert!(!cfd.violates_single(&tup!["uk", 44, 0]));
+        assert!(!cfd.violates_single(&tup!["fr", 33, 0]));
+        // Pair violations are subsumed.
+        assert!(!cfd.violates_pair(&tup!["uk", 33, 0], &tup!["uk", 44, 0]));
+    }
+
+    #[test]
+    fn empty_lhs_is_conditional_consensus() {
+        let s = schema_rabc();
+        let cfd = Cfd::parse(&s, "-> A=hq").unwrap();
+        assert!(cfd.violates_single(&tup!["x", 0, 0]));
+        assert!(!cfd.violates_single(&tup!["hq", 0, 0]));
+    }
+}

@@ -1,0 +1,66 @@
+//! The pairwise-constraint abstraction.
+//!
+//! FDs, conditional FDs and (binary) denial constraints share one key
+//! structural property: every violation is witnessed by at most **two**
+//! tuples. Consistent subsets are therefore exactly the independent sets
+//! of a conflict graph — possibly with *forced deletions* for tuples that
+//! violate a constraint on their own — and the whole §3 subset-repair
+//! machinery (exact vertex cover, Bar-Yehuda–Even 2-approximation) lifts
+//! unchanged. This trait captures that interface.
+
+use fd_core::{Fd, Schema, Tuple};
+
+/// A constraint whose violations are witnessed by one or two tuples.
+pub trait PairwiseConstraint {
+    /// True iff `t` violates the constraint on its own (e.g. a constant
+    /// CFD pattern, or a unary denial constraint). Such a tuple can never
+    /// appear in a consistent subset.
+    fn violates_single(&self, t: &Tuple) -> bool;
+
+    /// True iff the unordered pair `{t, s}` jointly violates the
+    /// constraint (given that neither violates it alone).
+    fn violates_pair(&self, t: &Tuple, s: &Tuple) -> bool;
+
+    /// Human-readable rendering against a schema.
+    fn display(&self, schema: &Schema) -> String;
+}
+
+/// The classic FD `X → Y` seen as a pairwise constraint — the adapter that
+/// lets the generic repair machinery reproduce `fd-srepair` results.
+#[derive(Clone, Debug)]
+pub struct FdConstraint(pub Fd);
+
+impl PairwiseConstraint for FdConstraint {
+    fn violates_single(&self, _t: &Tuple) -> bool {
+        false
+    }
+
+    fn violates_pair(&self, t: &Tuple, s: &Tuple) -> bool {
+        let fd = &self.0;
+        fd.lhs().iter().all(|a| t.get(a) == s.get(a))
+            && fd.rhs().iter().any(|a| t.get(a) != s.get(a))
+    }
+
+    fn display(&self, schema: &Schema) -> String {
+        self.0.display(schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::{schema_rabc, tup, FdSet};
+
+    #[test]
+    fn fd_adapter_matches_fd_semantics() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B").unwrap();
+        let c = FdConstraint(fds.as_slice()[0]);
+        let t1 = tup!["x", 1, 0];
+        let t2 = tup!["x", 2, 0];
+        let t3 = tup!["y", 1, 0];
+        assert!(c.violates_pair(&t1, &t2));
+        assert!(!c.violates_pair(&t1, &t3));
+        assert!(!c.violates_single(&t1));
+    }
+}

@@ -1,0 +1,288 @@
+//! Binary denial constraints.
+//!
+//! A denial constraint (the paper's [18]/[27] line of work) forbids a
+//! conjunction of comparison atoms over an ordered pair of tuples
+//! `(t1, t2)`:
+//!
+//! ```text
+//! ¬ ( t1.A = t2.A  ∧  t1.B > t2.B )
+//! ```
+//!
+//! FDs are the special case `¬(t1.X = t2.X ∧ t1.A ≠ t2.A)`. Violations
+//! remain pairwise (the defining property exploited by Proposition 3.3's
+//! conflict graph), so subset repairing carries over — and stays hard in
+//! general, per Lopatenko & Bertossi (the paper's [27]).
+//!
+//! A constraint whose atoms mention only `t1` is *unary* and fires on
+//! single tuples.
+//!
+//! Values compare by the total order on [`fd_core::Value`] (integers by
+//! magnitude, then strings lexicographically, then composites, then fresh
+//! constants); cross-type comparisons are well-defined but chiefly
+//! meaningful within a column of uniform type.
+
+use crate::constraint::PairwiseConstraint;
+use fd_core::{AttrId, Error, Result, Schema, Tuple, Value};
+use std::cmp::Ordering;
+
+/// A comparison operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Op {
+    fn eval(self, ord: Ordering) -> bool {
+        match self {
+            Op::Eq => ord == Ordering::Equal,
+            Op::Ne => ord != Ordering::Equal,
+            Op::Lt => ord == Ordering::Less,
+            Op::Le => ord != Ordering::Greater,
+            Op::Gt => ord == Ordering::Greater,
+            Op::Ge => ord != Ordering::Less,
+        }
+    }
+
+    fn symbol(self) -> &'static str {
+        match self {
+            Op::Eq => "=",
+            Op::Ne => "!=",
+            Op::Lt => "<",
+            Op::Le => "<=",
+            Op::Gt => ">",
+            Op::Ge => ">=",
+        }
+    }
+}
+
+/// One side of a comparison atom.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Operand {
+    /// An attribute of the first tuple, `t1.A`.
+    First(AttrId),
+    /// An attribute of the second tuple, `t2.A`.
+    Second(AttrId),
+    /// A constant.
+    Const(Value),
+}
+
+impl Operand {
+    fn resolve<'a>(&'a self, t1: &'a Tuple, t2: &'a Tuple) -> &'a Value {
+        match self {
+            Operand::First(a) => t1.get(*a),
+            Operand::Second(a) => t2.get(*a),
+            Operand::Const(v) => v,
+        }
+    }
+
+    fn mentions_second(&self) -> bool {
+        matches!(self, Operand::Second(_))
+    }
+}
+
+/// A comparison atom `left op right`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Atom {
+    /// Left operand.
+    pub left: Operand,
+    /// Comparison operator.
+    pub op: Op,
+    /// Right operand.
+    pub right: Operand,
+}
+
+impl Atom {
+    fn holds(&self, t1: &Tuple, t2: &Tuple) -> bool {
+        self.op.eval(self.left.resolve(t1, t2).cmp(self.right.resolve(t1, t2)))
+    }
+}
+
+/// A denial constraint `¬(a₁ ∧ … ∧ aₖ)` over an ordered tuple pair.
+#[derive(Clone, Debug)]
+pub struct DenialConstraint {
+    atoms: Vec<Atom>,
+}
+
+impl DenialConstraint {
+    /// Builds a denial constraint from its atoms.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::FdParse`] on an empty atom list (which would deny
+    /// everything).
+    pub fn new(atoms: Vec<Atom>) -> Result<DenialConstraint> {
+        if atoms.is_empty() {
+            return Err(Error::FdParse {
+                input: String::new(),
+                reason: "a denial constraint needs at least one atom",
+            });
+        }
+        Ok(DenialConstraint { atoms })
+    }
+
+    /// Parses `"t1.A = t2.A & t1.B > t2.B"` or `"t1.C != 44"` against a
+    /// schema. Atoms are separated by `&`; operands are `t1.Attr`,
+    /// `t2.Attr`, an integer, or a bare string constant.
+    pub fn parse(schema: &Schema, input: &str) -> Result<DenialConstraint> {
+        let mut atoms = Vec::new();
+        for part in input.split('&') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            atoms.push(parse_atom(schema, part, input)?);
+        }
+        DenialConstraint::new(atoms)
+    }
+
+    /// The atoms of the forbidden conjunction.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// True iff no atom mentions the second tuple.
+    pub fn is_unary(&self) -> bool {
+        self.atoms
+            .iter()
+            .all(|a| !a.left.mentions_second() && !a.right.mentions_second())
+    }
+}
+
+fn parse_atom(schema: &Schema, part: &str, whole: &str) -> Result<Atom> {
+    // Longest operators first so `<=` is not read as `<`.
+    for (sym, op) in [
+        ("!=", Op::Ne),
+        ("<=", Op::Le),
+        (">=", Op::Ge),
+        ("=", Op::Eq),
+        ("<", Op::Lt),
+        (">", Op::Gt),
+    ] {
+        if let Some((l, r)) = part.split_once(sym) {
+            return Ok(Atom {
+                left: parse_operand(schema, l.trim(), whole)?,
+                op,
+                right: parse_operand(schema, r.trim(), whole)?,
+            });
+        }
+    }
+    Err(Error::FdParse {
+        input: whole.to_string(),
+        reason: "atom must contain one of = != < <= > >=",
+    })
+}
+
+fn parse_operand(schema: &Schema, text: &str, whole: &str) -> Result<Operand> {
+    if let Some(name) = text.strip_prefix("t1.") {
+        return Ok(Operand::First(schema.attr(name.trim())?));
+    }
+    if let Some(name) = text.strip_prefix("t2.") {
+        return Ok(Operand::Second(schema.attr(name.trim())?));
+    }
+    if text.is_empty() {
+        return Err(Error::FdParse {
+            input: whole.to_string(),
+            reason: "empty operand",
+        });
+    }
+    Ok(if let Ok(i) = text.parse::<i64>() {
+        Operand::Const(Value::Int(i))
+    } else {
+        Operand::Const(Value::str(text))
+    })
+}
+
+impl PairwiseConstraint for DenialConstraint {
+    fn violates_single(&self, t: &Tuple) -> bool {
+        // Only unary constraints fire on a tuple alone: binary constraints
+        // quantify over *distinct* tuples (as FDs do — a tuple never
+        // conflicts with itself).
+        self.is_unary() && self.atoms.iter().all(|a| a.holds(t, t))
+    }
+
+    fn violates_pair(&self, t: &Tuple, s: &Tuple) -> bool {
+        if self.is_unary() {
+            return false;
+        }
+        // The pair is unordered; the constraint is over ordered pairs.
+        self.atoms.iter().all(|a| a.holds(t, s)) || self.atoms.iter().all(|a| a.holds(s, t))
+    }
+
+    fn display(&self, schema: &Schema) -> String {
+        let operand = |o: &Operand| match o {
+            Operand::First(a) => format!("t1.{}", schema.attr_name(*a)),
+            Operand::Second(a) => format!("t2.{}", schema.attr_name(*a)),
+            Operand::Const(v) => format!("{v}"),
+        };
+        let atoms: Vec<String> = self
+            .atoms
+            .iter()
+            .map(|a| format!("{} {} {}", operand(&a.left), a.op.symbol(), operand(&a.right)))
+            .collect();
+        format!("¬({})", atoms.join(" ∧ "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::{schema_rabc, tup};
+
+    #[test]
+    fn fd_as_denial_constraint() {
+        let s = schema_rabc();
+        let dc = DenialConstraint::parse(&s, "t1.A = t2.A & t1.B != t2.B").unwrap();
+        assert!(dc.violates_pair(&tup!["x", 1, 0], &tup!["x", 2, 0]));
+        assert!(!dc.violates_pair(&tup!["x", 1, 0], &tup!["y", 2, 0]));
+        assert!(!dc.violates_single(&tup!["x", 1, 0]));
+    }
+
+    #[test]
+    fn order_atoms_fire_in_either_direction() {
+        let s = schema_rabc();
+        // "No two rows where one has higher B but lower C" (e.g. salary
+        // inversions against rank).
+        let dc = DenialConstraint::parse(&s, "t1.B > t2.B & t1.C < t2.C").unwrap();
+        let hi = tup!["x", 10, 1];
+        let lo = tup!["y", 5, 2];
+        assert!(dc.violates_pair(&hi, &lo), "checks both orientations");
+        assert!(dc.violates_pair(&lo, &hi), "unordered pair semantics");
+        assert!(!dc.violates_pair(&hi, &tup!["z", 5, 0]));
+    }
+
+    #[test]
+    fn unary_constraint_fires_alone() {
+        let s = schema_rabc();
+        let dc = DenialConstraint::parse(&s, "t1.B >= 100").unwrap();
+        assert!(dc.is_unary());
+        assert!(dc.violates_single(&tup!["x", 150, 0]));
+        assert!(!dc.violates_single(&tup!["x", 50, 0]));
+        assert!(!dc.violates_pair(&tup!["x", 150, 0], &tup!["y", 150, 0]));
+    }
+
+    #[test]
+    fn parse_errors() {
+        let s = schema_rabc();
+        assert!(DenialConstraint::parse(&s, "").is_err());
+        assert!(DenialConstraint::parse(&s, "t1.A ~ t2.A").is_err());
+        assert!(DenialConstraint::parse(&s, "t1.Q = 1").is_err());
+    }
+
+    #[test]
+    fn le_not_misparsed_as_lt() {
+        let s = schema_rabc();
+        let dc = DenialConstraint::parse(&s, "t1.B <= 5").unwrap();
+        assert_eq!(dc.atoms()[0].op, Op::Le);
+    }
+}

@@ -1,0 +1,59 @@
+//! # fd-cfd
+//!
+//! Conditional functional dependencies and (binary) denial constraints —
+//! the first extension direction named in §5 of *Computing Optimal
+//! Repairs for Functional Dependencies* (PODS'18): "extend our study to
+//! other types of integrity constraints, such as denial constraints \[18\],
+//! conditional FDs \[10\]\".
+//!
+//! Both constraint classes keep the property the paper's Proposition 3.3
+//! exploits: every violation is witnessed by at most two tuples. The
+//! [`PairwiseConstraint`] trait captures that interface; the generic
+//! repair machinery then provides
+//!
+//! * [`optimal_subset_repair`] — forced deletions (single-tuple
+//!   violations) + exact minimum-weight vertex cover, and
+//! * [`approx_subset_repair`] — the same within factor 2 in polynomial
+//!   time,
+//!
+//! for any mix of [`Cfd`]s, [`DenialConstraint`]s, and plain FDs
+//! ([`FdConstraint`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use fd_core::{schema_rabc, tup, Table};
+//! use fd_cfd::{optimal_subset_repair, satisfies, Cfd};
+//!
+//! let schema = schema_rabc();
+//! // "A determines B, but only among tuples with C = 1; and tuples with
+//! // A = uk must have B = 44."
+//! let constraints = vec![
+//!     Cfd::parse(&schema, "A=_, C=1 -> B=_").unwrap(),
+//!     Cfd::parse(&schema, "A=uk -> B=44").unwrap(),
+//! ];
+//! let table = Table::build_unweighted(
+//!     schema,
+//!     vec![tup!["uk", 44, 1], tup!["uk", 33, 1], tup!["fr", 9, 0]],
+//! )
+//! .unwrap();
+//! assert!(!satisfies(&table, &constraints));
+//! let repair = optimal_subset_repair(&table, &constraints);
+//! assert_eq!(repair.cost, 1.0); // drop the (uk, 33, 1) tuple
+//! assert!(satisfies(&repair.apply(&table), &constraints));
+//! ```
+
+#![warn(missing_docs)]
+
+mod cfd;
+mod constraint;
+mod dc;
+mod repair;
+
+pub use cfd::{Cfd, Pattern};
+pub use constraint::{FdConstraint, PairwiseConstraint};
+pub use dc::{Atom, DenialConstraint, Op, Operand};
+pub use repair::{
+    approx_subset_repair, brute_force_subset_repair, fd_constraints, optimal_subset_repair,
+    satisfies, ConflictAnalysis,
+};

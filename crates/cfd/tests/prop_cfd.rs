@@ -1,0 +1,104 @@
+//! Property tests for conditional FDs and denial constraints.
+
+use fd_cfd::{
+    approx_subset_repair, brute_force_subset_repair, fd_constraints, optimal_subset_repair,
+    satisfies, Cfd, ConflictAnalysis, DenialConstraint,
+};
+use fd_core::{schema_rabc, tup, FdSet, Table, Tuple};
+use proptest::prelude::*;
+
+fn arb_table(max_rows: usize) -> impl Strategy<Value = Table> {
+    proptest::collection::vec((0..2u8, 0..3i64, 0..2i64), 0..=max_rows).prop_map(|rows| {
+        let tuples: Vec<Tuple> = rows
+            .into_iter()
+            .map(|(a, b, c)| tup![["uk", "fr"][a as usize], b, c])
+            .collect();
+        Table::build_unweighted(schema_rabc(), tuples).expect("valid rows")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The FD adapter reproduces fd-srepair's exact optimum.
+    #[test]
+    fn fd_adapter_matches_fd_srepair(table in arb_table(8)) {
+        let fds = FdSet::parse(&schema_rabc(), "A -> B; B -> C").unwrap();
+        let cs = fd_constraints(&fds);
+        let generic = optimal_subset_repair(&table, &cs);
+        let direct = fd_srepair::exact_s_repair(&table, &fds);
+        prop_assert!((generic.cost - direct.cost).abs() < 1e-9,
+            "generic {} vs direct {}", generic.cost, direct.cost);
+        // And the conflict edges agree with the table's own notion.
+        let analysis = ConflictAnalysis::build(&table, &cs);
+        let mut ours: Vec<_> = analysis.edges.iter()
+            .map(|&(a, b)| (a.min(b), a.max(b))).collect();
+        let mut theirs: Vec<_> = table.conflicting_pairs(&fds).into_iter()
+            .map(|(a, b)| (a.min(b), a.max(b))).collect();
+        ours.sort();
+        theirs.sort();
+        prop_assert_eq!(ours, theirs);
+    }
+
+    /// Exact repair equals brute force; approximation stays within 2×.
+    #[test]
+    fn cfd_repairs_exact_and_bounded(table in arb_table(8)) {
+        let s = schema_rabc();
+        let cs = vec![
+            Cfd::parse(&s, "A=_, C=1 -> B=_").unwrap(),
+            Cfd::parse(&s, "A=uk -> B=0").unwrap(),
+        ];
+        let exact = optimal_subset_repair(&table, &cs);
+        let brute = brute_force_subset_repair(&table, &cs);
+        prop_assert!((exact.cost - brute.cost).abs() < 1e-9,
+            "exact {} vs brute {}", exact.cost, brute.cost);
+        let approx = approx_subset_repair(&table, &cs);
+        prop_assert!(satisfies(&approx.apply(&table), &cs));
+        prop_assert!(approx.cost <= 2.0 * exact.cost + 1e-9);
+    }
+
+    /// Tightening a pattern (wildcard → constant) never adds conflicts.
+    #[test]
+    fn tighter_patterns_shrink_conflicts(table in arb_table(8)) {
+        let s = schema_rabc();
+        let loose = vec![Cfd::parse(&s, "A=_, C=_ -> B=_").unwrap()];
+        let tight = vec![Cfd::parse(&s, "A=uk, C=1 -> B=_").unwrap()];
+        let loose_edges = ConflictAnalysis::build(&table, &loose).edges;
+        let tight_edges = ConflictAnalysis::build(&table, &tight).edges;
+        for e in &tight_edges {
+            prop_assert!(
+                loose_edges.contains(e) || loose_edges.contains(&(e.1, e.0)),
+                "tight conflict {e:?} absent from the loose pattern"
+            );
+        }
+    }
+
+    /// A denial constraint encoding an FD has exactly the FD's conflicts,
+    /// and repairing under it gives the same optimum.
+    #[test]
+    fn dc_encoding_of_fd_is_faithful(table in arb_table(8)) {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B").unwrap();
+        let dc = vec![DenialConstraint::parse(&s, "t1.A = t2.A & t1.B != t2.B").unwrap()];
+        let via_dc = optimal_subset_repair(&table, &dc);
+        let via_fd = fd_srepair::exact_s_repair(&table, &fds);
+        prop_assert!((via_dc.cost - via_fd.cost).abs() < 1e-9);
+    }
+
+    /// Unary DCs force exactly the matching tuples out, regardless of the
+    /// rest of the table.
+    #[test]
+    fn unary_dc_forces_matching_tuples(table in arb_table(8)) {
+        let s = schema_rabc();
+        let dc = vec![DenialConstraint::parse(&s, "t1.B >= 2").unwrap()];
+        let analysis = ConflictAnalysis::build(&table, &dc);
+        let b = s.attr("B").unwrap();
+        let expected: Vec<_> = table
+            .rows()
+            .filter(|r| matches!(r.tuple.get(b), fd_core::Value::Int(v) if *v >= 2))
+            .map(|r| r.id)
+            .collect();
+        prop_assert_eq!(analysis.forced, expected);
+        prop_assert!(analysis.edges.is_empty());
+    }
+}

@@ -1,0 +1,260 @@
+//! Sets of attributes as 64-bit bitsets.
+//!
+//! The paper writes attribute sets without braces (`X`, `AB`, `X₁X₂`); the
+//! algorithms manipulate them heavily (closures, `Δ − X`, lhs covers), so we
+//! represent them as `u64` bitsets indexed by [`AttrId`]. This caps schemas
+//! at 64 attributes, far beyond any schema in the paper (the largest family,
+//! `Δ_k` of §4.4, uses `2k + 3`).
+
+use crate::schema::{AttrId, Schema};
+use std::fmt;
+
+/// An immutable set of attributes of one schema, stored as a bitset.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct AttrSet(u64);
+
+impl AttrSet {
+    /// The empty attribute set `∅`.
+    pub const EMPTY: AttrSet = AttrSet(0);
+
+    /// The set containing exactly `attr`.
+    pub fn singleton(attr: AttrId) -> AttrSet {
+        AttrSet(1u64 << attr.index())
+    }
+
+    /// The set of the first `arity` attributes (the full schema).
+    pub fn all(arity: usize) -> AttrSet {
+        debug_assert!(arity <= 64);
+        if arity == 64 {
+            AttrSet(u64::MAX)
+        } else {
+            AttrSet((1u64 << arity) - 1)
+        }
+    }
+
+    /// True iff the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of attributes in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True iff `attr` is a member.
+    pub fn contains(self, attr: AttrId) -> bool {
+        self.0 & (1u64 << attr.index()) != 0
+    }
+
+    /// The set with `attr` added.
+    #[must_use]
+    pub fn insert(self, attr: AttrId) -> AttrSet {
+        AttrSet(self.0 | (1u64 << attr.index()))
+    }
+
+    /// The set with `attr` removed.
+    #[must_use]
+    pub fn remove(self, attr: AttrId) -> AttrSet {
+        AttrSet(self.0 & !(1u64 << attr.index()))
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersect(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 & other.0)
+    }
+
+    /// Set difference `self ∖ other`.
+    #[must_use]
+    pub fn difference(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 & !other.0)
+    }
+
+    /// True iff `self ⊆ other`.
+    pub fn is_subset(self, other: AttrSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// True iff `self ⊂ other` (strict).
+    pub fn is_strict_subset(self, other: AttrSet) -> bool {
+        self.is_subset(other) && self != other
+    }
+
+    /// True iff the two sets share no attribute.
+    pub fn is_disjoint(self, other: AttrSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// True iff the two sets share at least one attribute.
+    pub fn intersects(self, other: AttrSet) -> bool {
+        !self.is_disjoint(other)
+    }
+
+    /// Iterates over members in ascending [`AttrId`] order.
+    pub fn iter(self) -> impl Iterator<Item = AttrId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as u16;
+                bits &= bits - 1;
+                Some(AttrId::new(i))
+            }
+        })
+    }
+
+    /// If the set is a singleton, returns its only member.
+    pub fn single(self) -> Option<AttrId> {
+        if self.0.count_ones() == 1 {
+            Some(AttrId::new(self.0.trailing_zeros() as u16))
+        } else {
+            None
+        }
+    }
+
+    /// An arbitrary (the smallest) member, if any.
+    pub fn first(self) -> Option<AttrId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(AttrId::new(self.0.trailing_zeros() as u16))
+        }
+    }
+
+    /// Renders the set against a schema, paper-style (`facility room`, `∅`).
+    pub fn display(self, schema: &Schema) -> String {
+        if self.is_empty() {
+            return "∅".to_string();
+        }
+        let mut out = String::new();
+        for (i, a) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(schema.attr_name(a));
+        }
+        out
+    }
+
+    /// Enumerates all subsets of `self`, including `∅` and `self`.
+    ///
+    /// Exponential; used only by exact lhs-cover and core-implicant search
+    /// over the (small, fixed) set of attributes of an FD set.
+    pub fn subsets(self) -> impl Iterator<Item = AttrSet> {
+        let full = self.0;
+        let mut sub: u64 = 0;
+        let mut done = false;
+        std::iter::from_fn(move || {
+            if done {
+                return None;
+            }
+            let current = AttrSet(sub);
+            if sub == full {
+                done = true;
+            } else {
+                sub = (sub.wrapping_sub(full)) & full;
+            }
+            Some(current)
+        })
+    }
+}
+
+impl FromIterator<AttrId> for AttrSet {
+    fn from_iter<I: IntoIterator<Item = AttrId>>(iter: I) -> AttrSet {
+        let mut s = AttrSet::EMPTY;
+        for a in iter {
+            s = s.insert(a);
+        }
+        s
+    }
+}
+
+impl fmt::Debug for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AttrSet{{")?;
+        for (i, a) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", a.index())?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u16) -> AttrId {
+        AttrId::new(i)
+    }
+
+    #[test]
+    fn basic_membership() {
+        let s = AttrSet::EMPTY.insert(a(0)).insert(a(3));
+        assert!(s.contains(a(0)));
+        assert!(s.contains(a(3)));
+        assert!(!s.contains(a(1)));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert!(AttrSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn algebra() {
+        let s = AttrSet::from_iter([a(0), a(1), a(2)]);
+        let t = AttrSet::from_iter([a(1), a(3)]);
+        assert_eq!(s.union(t), AttrSet::from_iter([a(0), a(1), a(2), a(3)]));
+        assert_eq!(s.intersect(t), AttrSet::singleton(a(1)));
+        assert_eq!(s.difference(t), AttrSet::from_iter([a(0), a(2)]));
+        assert!(AttrSet::singleton(a(1)).is_subset(s));
+        assert!(AttrSet::singleton(a(1)).is_strict_subset(s));
+        assert!(s.is_subset(s));
+        assert!(!s.is_strict_subset(s));
+        assert!(s.intersects(t));
+        assert!(s.is_disjoint(AttrSet::singleton(a(5))));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let s = AttrSet::from_iter([a(5), a(0), a(2)]);
+        let ids: Vec<u16> = s.iter().map(|x| x.index()).collect();
+        assert_eq!(ids, vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn single_and_first() {
+        assert_eq!(AttrSet::singleton(a(4)).single(), Some(a(4)));
+        assert_eq!(AttrSet::from_iter([a(1), a(2)]).single(), None);
+        assert_eq!(AttrSet::EMPTY.single(), None);
+        assert_eq!(AttrSet::from_iter([a(1), a(2)]).first(), Some(a(1)));
+    }
+
+    #[test]
+    fn all_covers_arity() {
+        assert_eq!(AttrSet::all(3).len(), 3);
+        assert_eq!(AttrSet::all(64).len(), 64);
+        assert_eq!(AttrSet::all(0), AttrSet::EMPTY);
+    }
+
+    #[test]
+    fn subsets_enumerates_powerset() {
+        let s = AttrSet::from_iter([a(0), a(2), a(7)]);
+        let subs: Vec<AttrSet> = s.subsets().collect();
+        assert_eq!(subs.len(), 8);
+        assert!(subs.contains(&AttrSet::EMPTY));
+        assert!(subs.contains(&s));
+        for sub in subs {
+            assert!(sub.is_subset(s));
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! CSV import/export for tables.
+//!
+//! A small in-tree reader/writer (no external dependency) covering the
+//! RFC 4180 essentials: comma separation, `"`-quoted fields, doubled
+//! quotes inside quoted fields, and both `\n` and `\r\n` record endings.
+//!
+//! Reading maps the header row to a schema, one column optionally serving
+//! as the tuple weight ([`CsvOptions::weight_column`]). Fields that parse
+//! as `i64` become [`Value::Int`]; everything else becomes [`Value::Str`].
+//! Writing renders `Int` and `Str` losslessly; composite and fresh values
+//! render via their `Display` form (they are library-internal artifacts —
+//! reductions and fresh repairs — not interchange data).
+
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::sync::Arc;
+
+/// Options for [`table_from_csv`].
+#[derive(Clone, Debug, Default)]
+pub struct CsvOptions {
+    /// Header name of the column holding tuple weights; that column is
+    /// excluded from the schema. `None` loads an unweighted table.
+    pub weight_column: Option<String>,
+}
+
+/// Splits a CSV document into records of raw string fields.
+///
+/// # Errors
+///
+/// [`Error::CsvParse`] on an unterminated quoted field or on stray data
+/// after a closing quote.
+pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut field = String::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut field_started_quoted = false;
+    let mut quote_closed = false;
+
+    loop {
+        let next = chars.next();
+        // After a closing quote only a separator or EOF may follow.
+        if quote_closed && !matches!(next, None | Some(',') | Some('\n') | Some('\r')) {
+            return Err(Error::CsvParse { line, reason: "stray data after a closing quote" });
+        }
+        match next {
+            None => {
+                if in_quotes {
+                    return Err(Error::CsvParse { line, reason: "unterminated quoted field" });
+                }
+                if !field.is_empty() || !record.is_empty() || field_started_quoted {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                return Ok(records);
+            }
+            Some('"') if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                    quote_closed = true;
+                }
+            }
+            Some('"') if field.is_empty() && !field_started_quoted => {
+                in_quotes = true;
+                field_started_quoted = true;
+            }
+            Some('"') => {
+                return Err(Error::CsvParse {
+                    line,
+                    reason: "quote inside an unquoted field",
+                });
+            }
+            Some(',') if !in_quotes => {
+                record.push(std::mem::take(&mut field));
+                field_started_quoted = false;
+                quote_closed = false;
+            }
+            Some('\r') if !in_quotes && chars.peek() == Some(&'\n') => {
+                // Consumed with the '\n' that follows.
+            }
+            Some('\n') if !in_quotes => {
+                record.push(std::mem::take(&mut field));
+                field_started_quoted = false;
+                quote_closed = false;
+                // A lone newline at EOF produces no empty trailing record.
+                if !(record.len() == 1 && record[0].is_empty()) {
+                    records.push(std::mem::take(&mut record));
+                } else {
+                    record.clear();
+                }
+                line += 1;
+            }
+            Some(c) => {
+                if c == '\n' {
+                    line += 1;
+                }
+                field.push(c);
+            }
+        }
+    }
+}
+
+/// Loads a table from CSV text: the first record is the header (attribute
+/// names), every further record one tuple.
+///
+/// # Errors
+///
+/// [`Error::CsvParse`] on malformed CSV, ragged records, a missing weight
+/// column, or a non-numeric weight; schema/weight errors propagate from
+/// [`Schema::new`] and [`Table::push`].
+pub fn table_from_csv(relation: &str, text: &str, options: &CsvOptions) -> Result<Table> {
+    let records = parse_csv(text)?;
+    let Some((header, rows)) = records.split_first() else {
+        return Err(Error::CsvParse { line: 1, reason: "empty document (no header)" });
+    };
+    let weight_idx = match &options.weight_column {
+        None => None,
+        Some(name) => Some(
+            header
+                .iter()
+                .position(|h| h == name)
+                .ok_or(Error::CsvParse { line: 1, reason: "weight column not in header" })?,
+        ),
+    };
+    let attrs: Vec<&str> = header
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| Some(*i) != weight_idx)
+        .map(|(_, h)| h.as_str())
+        .collect();
+    let schema = Schema::new(relation, attrs)?;
+    let mut table = Table::new(Arc::clone(&schema));
+    for (k, row) in rows.iter().enumerate() {
+        if row.len() != header.len() {
+            return Err(Error::CsvParse { line: k + 2, reason: "record width differs from header" });
+        }
+        let mut weight = 1.0;
+        let mut values = Vec::with_capacity(schema.arity());
+        for (i, fieldtext) in row.iter().enumerate() {
+            if Some(i) == weight_idx {
+                weight = fieldtext.parse::<f64>().map_err(|_| Error::CsvParse {
+                    line: k + 2,
+                    reason: "weight field is not a number",
+                })?;
+            } else {
+                values.push(parse_value(fieldtext));
+            }
+        }
+        table.push(Tuple::new(values), weight)?;
+    }
+    Ok(table)
+}
+
+/// Renders a table as CSV, optionally appending a `weight` column.
+pub fn table_to_csv(table: &Table, include_weights: bool) -> String {
+    let schema = table.schema();
+    let mut out = String::new();
+    let mut header: Vec<String> = schema.attr_names().to_vec();
+    if include_weights {
+        header.push("weight".to_string());
+    }
+    push_record(&mut out, &header);
+    for row in table.rows() {
+        let mut fields: Vec<String> =
+            row.tuple.values().iter().map(render_value).collect();
+        if include_weights {
+            fields.push(format_weight(row.weight));
+        }
+        push_record(&mut out, &fields);
+    }
+    out
+}
+
+fn parse_value(text: &str) -> Value {
+    match text.parse::<i64>() {
+        Ok(i) => Value::Int(i),
+        Err(_) => Value::str(text),
+    }
+}
+
+fn render_value(v: &Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Str(s) => s.to_string(),
+        other => format!("{other}"),
+    }
+}
+
+fn format_weight(w: f64) -> String {
+    if w == w.trunc() && w.abs() < 1e15 {
+        format!("{}", w as i64)
+    } else {
+        format!("{w}")
+    }
+}
+
+fn push_record(out: &mut String, fields: &[String]) {
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if f.contains([',', '"', '\n', '\r']) {
+            out.push('"');
+            out.push_str(&f.replace('"', "\"\""));
+            out.push('"');
+        } else {
+            out.push_str(f);
+        }
+    }
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_quoting_and_crlf() {
+        let text = "a,b\r\n\"x,1\",\"say \"\"hi\"\"\"\r\nplain,2\n";
+        let recs = parse_csv(text).unwrap();
+        assert_eq!(
+            recs,
+            vec![
+                vec!["a".to_string(), "b".to_string()],
+                vec!["x,1".to_string(), "say \"hi\"".to_string()],
+                vec!["plain".to_string(), "2".to_string()],
+            ]
+        );
+    }
+
+    #[test]
+    fn newline_inside_quotes() {
+        let recs = parse_csv("a\n\"two\nlines\"\n").unwrap();
+        assert_eq!(recs, vec![vec!["a".to_string()], vec!["two\nlines".to_string()]]);
+    }
+
+    #[test]
+    fn rejects_unterminated_quote_and_stray_quote() {
+        assert!(matches!(parse_csv("a\n\"oops"), Err(Error::CsvParse { .. })));
+        assert!(matches!(parse_csv("a\nb\"c\n"), Err(Error::CsvParse { .. })));
+        // Data after a closing quote is malformed.
+        assert!(matches!(parse_csv("a\n\"b\"x\n"), Err(Error::CsvParse { .. })));
+        assert!(matches!(parse_csv("a\n\"b\"\"c\"tail\n"), Err(Error::CsvParse { .. })));
+    }
+
+    #[test]
+    fn empty_quoted_field_at_eof_is_kept() {
+        assert_eq!(parse_csv("\"\""), Ok(vec![vec![String::new()]]));
+    }
+
+    #[test]
+    fn loads_weighted_table() {
+        let text = "facility,city,w\nHQ,Paris,2\nHQ,Madrid,1\n";
+        let opts = CsvOptions { weight_column: Some("w".to_string()) };
+        let t = table_from_csv("Office", text, &opts).unwrap();
+        assert_eq!(t.schema().attr_names(), ["facility", "city"]);
+        assert_eq!(t.len(), 2);
+        let first = t.rows().next().unwrap();
+        assert_eq!(first.weight, 2.0);
+        assert_eq!(first.tuple.values()[1], Value::str("Paris"));
+    }
+
+    #[test]
+    fn ragged_and_bad_weight_rejected() {
+        let opts = CsvOptions { weight_column: Some("w".to_string()) };
+        assert!(matches!(
+            table_from_csv("R", "a,w\nonly_one_field\n", &CsvOptions::default()),
+            Err(Error::CsvParse { line: 2, .. })
+        ));
+        assert!(matches!(
+            table_from_csv("R", "a,w\nx,heavy\n", &opts),
+            Err(Error::CsvParse { line: 2, .. })
+        ));
+        assert!(matches!(
+            table_from_csv("R", "a,w\nx,1\n", &CsvOptions { weight_column: Some("nope".into()) }),
+            Err(Error::CsvParse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn round_trip_preserves_table() {
+        let text = "name,dept,w\n\"O'Neil, Ada\",R&D,2\nBo,\"quote \"\"x\"\"\",1\n";
+        let opts = CsvOptions { weight_column: Some("w".to_string()) };
+        let t = table_from_csv("Emp", text, &opts).unwrap();
+        let rendered = table_to_csv(&t, true);
+        let opts2 = CsvOptions { weight_column: Some("weight".to_string()) };
+        let t2 = table_from_csv("Emp", &rendered, &opts2).unwrap();
+        assert_eq!(t.len(), t2.len());
+        for (a, b) in t.rows().zip(t2.rows()) {
+            assert_eq!(a.tuple, b.tuple);
+            assert_eq!(a.weight, b.weight);
+        }
+    }
+
+    #[test]
+    fn integers_become_int_values() {
+        let t = table_from_csv("R", "a,b\n5,x\n", &CsvOptions::default()).unwrap();
+        let row = t.rows().next().unwrap();
+        assert_eq!(row.tuple.values()[0], Value::Int(5));
+        assert_eq!(row.tuple.values()[1], Value::str("x"));
+    }
+}

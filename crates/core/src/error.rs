@@ -1,0 +1,105 @@
+//! Error type shared across the `fd-core` substrate.
+
+use std::fmt;
+
+/// Errors raised by the relational substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A schema declared more attributes than [`crate::AttrSet`] can index (64).
+    SchemaTooLarge {
+        /// Declared arity.
+        arity: usize,
+    },
+    /// Two attributes of a schema share a name.
+    DuplicateAttribute {
+        /// The repeated name.
+        name: String,
+    },
+    /// An attribute name could not be resolved against a schema.
+    UnknownAttribute {
+        /// The unresolved name.
+        name: String,
+    },
+    /// A tuple's arity does not match its schema.
+    ArityMismatch {
+        /// Schema arity.
+        expected: usize,
+        /// Tuple arity.
+        found: usize,
+    },
+    /// Tuple weights must be strictly positive and finite.
+    InvalidWeight {
+        /// The offending weight.
+        weight: f64,
+    },
+    /// A tuple identifier was inserted twice into the same table.
+    DuplicateTupleId {
+        /// The repeated identifier.
+        id: u32,
+    },
+    /// A tuple identifier is absent from the table.
+    UnknownTupleId {
+        /// The missing identifier.
+        id: u32,
+    },
+    /// An FD expression could not be parsed.
+    FdParse {
+        /// The unparsable input.
+        input: String,
+        /// Why it failed.
+        reason: &'static str,
+    },
+    /// Two tables expected to share a schema do not.
+    SchemaMismatch,
+    /// `other` is not a subset of `self` (ids must nest and rows must agree).
+    NotASubset,
+    /// `other` is not an update of `self` (ids and weights must coincide).
+    NotAnUpdate,
+    /// A probability was outside `[0, 1]`.
+    InvalidProbability {
+        /// The offending probability.
+        p: f64,
+    },
+    /// A CSV document could not be parsed.
+    CsvParse {
+        /// 1-based line where the problem was detected.
+        line: usize,
+        /// Why it failed.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::SchemaTooLarge { arity } => {
+                write!(f, "schema has {arity} attributes; at most 64 are supported")
+            }
+            Error::DuplicateAttribute { name } => {
+                write!(f, "duplicate attribute name {name:?} in schema")
+            }
+            Error::UnknownAttribute { name } => write!(f, "unknown attribute {name:?}"),
+            Error::ArityMismatch { expected, found } => {
+                write!(f, "tuple arity {found} does not match schema arity {expected}")
+            }
+            Error::InvalidWeight { weight } => {
+                write!(f, "tuple weight {weight} is not strictly positive and finite")
+            }
+            Error::DuplicateTupleId { id } => write!(f, "tuple id {id} already present"),
+            Error::UnknownTupleId { id } => write!(f, "tuple id {id} not present"),
+            Error::FdParse { input, reason } => {
+                write!(f, "cannot parse FD {input:?}: {reason}")
+            }
+            Error::SchemaMismatch => write!(f, "tables have different schemas"),
+            Error::NotASubset => write!(f, "table is not a subset of the original"),
+            Error::NotAnUpdate => write!(f, "table is not an update of the original"),
+            Error::InvalidProbability { p } => write!(f, "probability {p} outside [0, 1]"),
+            Error::CsvParse { line, reason } => write!(f, "CSV parse error, line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,137 @@
+//! Functional dependencies `X → Y`.
+
+use crate::attrset::AttrSet;
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+
+/// A functional dependency `X → Y` over some schema (§2.2).
+///
+/// `X` (the lhs) may be empty, making the FD a *consensus* FD `∅ → Y`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Fd {
+    lhs: AttrSet,
+    rhs: AttrSet,
+}
+
+impl Fd {
+    /// Builds an FD from attribute sets.
+    pub fn new(lhs: AttrSet, rhs: AttrSet) -> Fd {
+        Fd { lhs, rhs }
+    }
+
+    /// The left-hand side `X`.
+    pub fn lhs(&self) -> AttrSet {
+        self.lhs
+    }
+
+    /// The right-hand side `Y`.
+    pub fn rhs(&self) -> AttrSet {
+        self.rhs
+    }
+
+    /// True iff `Y ⊆ X` (trivial FDs are satisfied by every table).
+    pub fn is_trivial(&self) -> bool {
+        self.rhs.is_subset(self.lhs)
+    }
+
+    /// True iff the lhs is empty: a consensus FD `∅ → Y`.
+    pub fn is_consensus(&self) -> bool {
+        self.lhs.is_empty()
+    }
+
+    /// All attributes mentioned by the FD (`X ∪ Y`).
+    pub fn attrs(&self) -> AttrSet {
+        self.lhs.union(self.rhs)
+    }
+
+    /// The FD with every attribute of `attrs` removed from both sides
+    /// (the per-FD step of the paper's `Δ − X` operation).
+    #[must_use]
+    pub fn minus(&self, attrs: AttrSet) -> Fd {
+        Fd { lhs: self.lhs.difference(attrs), rhs: self.rhs.difference(attrs) }
+    }
+
+    /// Parses `"A B -> C D"`. An empty or `∅` lhs denotes a consensus FD,
+    /// so both `"-> C"` and `"∅ -> C"` parse to `∅ → C`.
+    pub fn parse(schema: &Schema, input: &str) -> Result<Fd> {
+        let (l, r) = input.split_once("->").ok_or_else(|| Error::FdParse {
+            input: input.to_string(),
+            reason: "missing `->`",
+        })?;
+        let parse_side = |side: &str| -> Result<AttrSet> {
+            let mut set = AttrSet::EMPTY;
+            for token in side.split_whitespace() {
+                if token == "∅" {
+                    continue;
+                }
+                set = set.insert(schema.attr(token)?);
+            }
+            Ok(set)
+        };
+        let lhs = parse_side(l)?;
+        let rhs = parse_side(r)?;
+        if rhs.is_empty() {
+            return Err(Error::FdParse {
+                input: input.to_string(),
+                reason: "empty right-hand side",
+            });
+        }
+        Ok(Fd { lhs, rhs })
+    }
+
+    /// Renders the FD paper-style, e.g. `facility room → floor`.
+    pub fn display(&self, schema: &Schema) -> String {
+        format!("{} → {}", self.lhs.display(schema), self.rhs.display(schema))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::schema_rabc;
+
+    #[test]
+    fn parse_and_display() {
+        let s = schema_rabc();
+        let fd = Fd::parse(&s, "A B -> C").unwrap();
+        assert_eq!(fd.lhs().len(), 2);
+        assert_eq!(fd.rhs().len(), 1);
+        assert_eq!(fd.display(&s), "A B → C");
+
+        let consensus = Fd::parse(&s, "-> C").unwrap();
+        assert!(consensus.is_consensus());
+        assert_eq!(consensus.display(&s), "∅ → C");
+        let consensus2 = Fd::parse(&s, "∅ -> C").unwrap();
+        assert_eq!(consensus, consensus2);
+    }
+
+    #[test]
+    fn parse_errors() {
+        let s = schema_rabc();
+        assert!(Fd::parse(&s, "A B C").is_err());
+        assert!(Fd::parse(&s, "A -> Z").is_err());
+        assert!(Fd::parse(&s, "A -> ").is_err());
+    }
+
+    #[test]
+    fn triviality() {
+        let s = schema_rabc();
+        assert!(Fd::parse(&s, "A B -> A").unwrap().is_trivial());
+        assert!(!Fd::parse(&s, "A -> B").unwrap().is_trivial());
+        // A → A B is nontrivial because B ∉ lhs.
+        assert!(!Fd::parse(&s, "A -> A B").unwrap().is_trivial());
+    }
+
+    #[test]
+    fn minus_removes_from_both_sides() {
+        let s = schema_rabc();
+        let fd = Fd::parse(&s, "A B -> C").unwrap();
+        let a = s.attr("A").unwrap();
+        let reduced = fd.minus(AttrSet::singleton(a));
+        assert_eq!(reduced.display(&s), "B → C");
+        let all_gone = fd.minus(s.all_attrs());
+        assert!(all_gone.lhs().is_empty());
+        assert!(all_gone.rhs().is_empty());
+        assert!(all_gone.is_trivial());
+    }
+}

@@ -1,0 +1,442 @@
+//! Sets of functional dependencies and the predicates used by the paper's
+//! algorithms: closures, consensus attributes, common lhs, lhs marriages,
+//! chains, local minima, and the simplification operation `Δ − X`.
+
+use crate::attrset::AttrSet;
+use crate::error::Result;
+use crate::fd::Fd;
+use crate::schema::{AttrId, Schema};
+
+/// A set of FDs `Δ` over one schema.
+///
+/// The representation is deduplicated and sorted, so two `FdSet`s built from
+/// the same FDs in different orders compare equal.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct FdSet {
+    fds: Vec<Fd>,
+}
+
+impl FdSet {
+    /// Builds an FD set, deduplicating and sorting.
+    pub fn new<I: IntoIterator<Item = Fd>>(fds: I) -> FdSet {
+        let mut fds: Vec<Fd> = fds.into_iter().collect();
+        fds.sort();
+        fds.dedup();
+        FdSet { fds }
+    }
+
+    /// The empty FD set.
+    pub fn empty() -> FdSet {
+        FdSet { fds: Vec::new() }
+    }
+
+    /// Parses a `;`- or newline-separated list of FDs, e.g. `"A->B; B->C"`.
+    pub fn parse(schema: &Schema, input: &str) -> Result<FdSet> {
+        let mut fds = Vec::new();
+        for part in input.split([';', '\n']) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            fds.push(Fd::parse(schema, part)?);
+        }
+        Ok(FdSet::new(fds))
+    }
+
+    /// Number of FDs.
+    pub fn len(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// True iff no FDs at all.
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// Iterates over the FDs.
+    pub fn iter(&self) -> impl Iterator<Item = &Fd> {
+        self.fds.iter()
+    }
+
+    /// The FDs as a slice.
+    pub fn as_slice(&self) -> &[Fd] {
+        &self.fds
+    }
+
+    /// All attributes occurring in some FD: `attr(Δ)` of §4.
+    pub fn attrs(&self) -> AttrSet {
+        self.fds.iter().fold(AttrSet::EMPTY, |acc, fd| acc.union(fd.attrs()))
+    }
+
+    /// The closure `cl_Δ(X)`: all attributes `A` with `Δ ⊨ X → A`.
+    pub fn closure_of(&self, x: AttrSet) -> AttrSet {
+        let mut closed = x;
+        loop {
+            let mut changed = false;
+            for fd in &self.fds {
+                if fd.lhs().is_subset(closed) && !fd.rhs().is_subset(closed) {
+                    closed = closed.union(fd.rhs());
+                    changed = true;
+                }
+            }
+            if !changed {
+                return closed;
+            }
+        }
+    }
+
+    /// True iff `Δ ⊨ X → Y`.
+    pub fn entails(&self, fd: &Fd) -> bool {
+        fd.rhs().is_subset(self.closure_of(fd.lhs()))
+    }
+
+    /// True iff the two FD sets have the same closure (§2.2).
+    pub fn equivalent(&self, other: &FdSet) -> bool {
+        self.fds.iter().all(|fd| other.entails(fd)) && other.fds.iter().all(|fd| self.entails(fd))
+    }
+
+    /// The consensus attributes `cl_Δ(∅)`.
+    pub fn consensus_attrs(&self) -> AttrSet {
+        self.closure_of(AttrSet::EMPTY)
+    }
+
+    /// True iff `Δ` has no consensus attributes (§2.2).
+    pub fn is_consensus_free(&self) -> bool {
+        self.consensus_attrs().is_empty()
+    }
+
+    /// True iff every FD is trivial (`Y ⊆ X`); includes the empty set.
+    pub fn is_trivial(&self) -> bool {
+        self.fds.iter().all(Fd::is_trivial)
+    }
+
+    /// The set with trivial FDs removed (line 3 of Algorithm 1).
+    #[must_use]
+    pub fn remove_trivial(&self) -> FdSet {
+        FdSet::new(self.fds.iter().filter(|fd| !fd.is_trivial()).copied())
+    }
+
+    /// Splits every FD `X → Y` into singleton-rhs FDs `X → A`, `A ∈ Y ∖ X`,
+    /// the normal form assumed throughout §3. Preserves equivalence.
+    #[must_use]
+    pub fn normalize_single_rhs(&self) -> FdSet {
+        let mut out = Vec::new();
+        for fd in &self.fds {
+            for a in fd.rhs().difference(fd.lhs()).iter() {
+                out.push(Fd::new(fd.lhs(), AttrSet::singleton(a)));
+            }
+        }
+        FdSet::new(out)
+    }
+
+    /// A *common lhs* of `Δ`: an attribute contained in every lhs (§2.2).
+    /// Returns the smallest-indexed one, or `None`. The empty FD set has no
+    /// common lhs (Algorithm 1 only reaches this test with nontrivial `Δ`).
+    pub fn common_lhs(&self) -> Option<AttrId> {
+        if self.fds.is_empty() {
+            return None;
+        }
+        let mut common = self.fds[0].lhs();
+        for fd in &self.fds[1..] {
+            common = common.intersect(fd.lhs());
+        }
+        common.first()
+    }
+
+    /// A consensus FD `∅ → Y` present in `Δ`, if any.
+    pub fn consensus_fd(&self) -> Option<Fd> {
+        self.fds.iter().find(|fd| fd.is_consensus() && !fd.is_trivial()).copied()
+    }
+
+    /// The distinct left-hand sides of `Δ`.
+    pub fn lhs_sets(&self) -> Vec<AttrSet> {
+        let mut sets: Vec<AttrSet> = self.fds.iter().map(Fd::lhs).collect();
+        sets.sort();
+        sets.dedup();
+        sets
+    }
+
+    /// An *lhs marriage* `(X₁, X₂)` of `Δ` (§3): a pair of distinct lhs of
+    /// FDs in `Δ` with `cl_Δ(X₁) = cl_Δ(X₂)` such that the lhs of every FD
+    /// in `Δ` contains `X₁` or `X₂`.
+    pub fn lhs_marriage(&self) -> Option<(AttrSet, AttrSet)> {
+        let lhss = self.lhs_sets();
+        for (i, &x1) in lhss.iter().enumerate() {
+            let c1 = self.closure_of(x1);
+            for &x2 in &lhss[i + 1..] {
+                if self.closure_of(x2) != c1 {
+                    continue;
+                }
+                let covered = self
+                    .fds
+                    .iter()
+                    .all(|fd| x1.is_subset(fd.lhs()) || x2.is_subset(fd.lhs()));
+                if covered {
+                    return Some((x1, x2));
+                }
+            }
+        }
+        None
+    }
+
+    /// The simplification `Δ − X`: removes every attribute of `X` from every
+    /// lhs and rhs (§3 "Assumptions and Notation"). FDs whose rhs becomes
+    /// empty degenerate to trivial FDs and are dropped here, since every
+    /// caller in Algorithm 1 removes trivial FDs next anyway.
+    #[must_use]
+    pub fn minus(&self, attrs: AttrSet) -> FdSet {
+        FdSet::new(
+            self.fds
+                .iter()
+                .map(|fd| fd.minus(attrs))
+                .filter(|fd| !fd.is_trivial()),
+        )
+    }
+
+    /// True iff `Δ` is a *chain*: for every two FDs, one lhs contains the
+    /// other (§2.2, after Livshits & Kimelfeld).
+    pub fn is_chain(&self) -> bool {
+        self.fds.iter().all(|f1| {
+            self.fds
+                .iter()
+                .all(|f2| f1.lhs().is_subset(f2.lhs()) || f2.lhs().is_subset(f1.lhs()))
+        })
+    }
+
+    /// True iff every FD has at most one attribute on its lhs (*unary* FDs,
+    /// the fragment of Gribkoff et al.'s MPD dichotomy, §3.4).
+    pub fn is_unary(&self) -> bool {
+        self.fds.iter().all(|fd| fd.lhs().len() <= 1)
+    }
+
+    /// The *local minima* of `Δ`: FDs with set-minimal lhs, i.e. FDs
+    /// `X → Y` such that no FD `Z → W` of `Δ` has `Z ⊂ X` (§3.3).
+    /// Returns the distinct minimal lhs sets.
+    pub fn local_minima(&self) -> Vec<AttrSet> {
+        let lhss = self.lhs_sets();
+        lhss.iter()
+            .filter(|&&x| !lhss.iter().any(|&z| z.is_strict_subset(x)))
+            .copied()
+            .collect()
+    }
+
+    /// A minimal cover: singleton rhs, no extraneous lhs attributes, no
+    /// redundant FDs. Equivalent to `self`; useful for canonical display.
+    #[must_use]
+    pub fn minimal_cover(&self) -> FdSet {
+        let mut fds: Vec<Fd> = self.normalize_single_rhs().fds;
+        // Remove extraneous lhs attributes.
+        for i in 0..fds.len() {
+            let mut lhs = fds[i].lhs();
+            for b in fds[i].lhs().iter() {
+                let candidate = lhs.remove(b);
+                let trial = FdSet { fds: fds.clone() };
+                if fds[i].rhs().is_subset(trial.closure_of(candidate)) {
+                    lhs = candidate;
+                    fds[i] = Fd::new(lhs, fds[i].rhs());
+                }
+            }
+        }
+        // Remove redundant FDs.
+        let mut keep: Vec<Fd> = fds.clone();
+        let mut i = 0;
+        while i < keep.len() {
+            let fd = keep[i];
+            let rest = FdSet {
+                fds: keep
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, f)| *f)
+                    .collect(),
+            };
+            if rest.entails(&fd) {
+                keep.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        FdSet::new(keep)
+    }
+
+    /// Renders `Δ` paper-style, e.g. `{A → B, B → C}`.
+    pub fn display(&self, schema: &Schema) -> String {
+        let body: Vec<String> = self.fds.iter().map(|fd| fd.display(schema)).collect();
+        format!("{{{}}}", body.join(", "))
+    }
+}
+
+impl FromIterator<Fd> for FdSet {
+    fn from_iter<I: IntoIterator<Item = Fd>>(iter: I) -> FdSet {
+        FdSet::new(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::schema_rabc;
+    use crate::schema::Schema;
+
+    fn parse(spec: &str) -> (std::sync::Arc<Schema>, FdSet) {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, spec).unwrap();
+        (s, fds)
+    }
+
+    #[test]
+    fn closure_basics() {
+        let (s, fds) = parse("A -> B; B -> C");
+        let a = AttrSet::singleton(s.attr("A").unwrap());
+        assert_eq!(fds.closure_of(a), s.all_attrs());
+        let b = AttrSet::singleton(s.attr("B").unwrap());
+        assert_eq!(fds.closure_of(b), s.attr_set(["B", "C"]).unwrap());
+        assert_eq!(fds.closure_of(AttrSet::EMPTY), AttrSet::EMPTY);
+    }
+
+    #[test]
+    fn entailment_and_equivalence() {
+        let (s, fds) = parse("A -> B; B -> C");
+        assert!(fds.entails(&Fd::parse(&s, "A -> C").unwrap()));
+        assert!(fds.entails(&Fd::parse(&s, "A -> A B C").unwrap()));
+        assert!(!fds.entails(&Fd::parse(&s, "C -> A").unwrap()));
+
+        let other = FdSet::parse(&s, "A -> B C; B -> C").unwrap();
+        assert!(fds.equivalent(&other));
+        let weaker = FdSet::parse(&s, "A -> B").unwrap();
+        assert!(!fds.equivalent(&weaker));
+    }
+
+    #[test]
+    fn consensus_detection() {
+        let (s, fds) = parse("-> A; A -> B");
+        assert_eq!(fds.consensus_attrs(), s.attr_set(["A", "B"]).unwrap());
+        assert!(!fds.is_consensus_free());
+        assert!(fds.consensus_fd().is_some());
+        let (_, free) = parse("A -> B");
+        assert!(free.is_consensus_free());
+        assert!(free.consensus_fd().is_none());
+    }
+
+    #[test]
+    fn common_lhs_detection() {
+        let s = Schema::new("Office", ["facility", "room", "floor", "city"]).unwrap();
+        let fds = FdSet::parse(&s, "facility -> city; facility room -> floor").unwrap();
+        assert_eq!(fds.common_lhs(), Some(s.attr("facility").unwrap()));
+        let none = FdSet::parse(&s, "facility -> city; room -> floor").unwrap();
+        assert_eq!(none.common_lhs(), None);
+        assert_eq!(FdSet::empty().common_lhs(), None);
+    }
+
+    #[test]
+    fn lhs_marriage_detection() {
+        // Δ_{A↔B→C} of Example 3.1 has the marriage ({A}, {B}).
+        let (s, fds) = parse("A -> B; B -> A; B -> C");
+        let (x1, x2) = fds.lhs_marriage().unwrap();
+        assert_eq!(x1, AttrSet::singleton(s.attr("A").unwrap()));
+        assert_eq!(x2, AttrSet::singleton(s.attr("B").unwrap()));
+        // {A → B, B → C} has no marriage: cl(A) ≠ cl(B).
+        let (_, chain) = parse("A -> B; B -> C");
+        assert!(chain.lhs_marriage().is_none());
+    }
+
+    #[test]
+    fn lhs_marriage_example_3_1_ssn() {
+        let s = Schema::new(
+            "Emp",
+            ["ssn", "first", "last", "address", "office", "phone", "fax"],
+        )
+        .unwrap();
+        let fds = FdSet::parse(
+            &s,
+            "ssn -> first; ssn -> last; first last -> ssn; ssn -> address; \
+             ssn office -> phone; ssn office -> fax",
+        )
+        .unwrap();
+        let (x1, x2) = fds.lhs_marriage().unwrap();
+        let ssn = AttrSet::singleton(s.attr("ssn").unwrap());
+        let first_last = s.attr_set(["first", "last"]).unwrap();
+        assert!(
+            (x1 == ssn && x2 == first_last) || (x1 == first_last && x2 == ssn),
+            "unexpected marriage ({}, {})",
+            x1.display(&s),
+            x2.display(&s)
+        );
+    }
+
+    #[test]
+    fn minus_and_trivial() {
+        let (s, fds) = parse("A -> B; B -> C");
+        let b = AttrSet::singleton(s.attr("B").unwrap());
+        let reduced = fds.minus(b);
+        // A → B becomes A → ∅ (trivial, dropped); B → C becomes ∅ → C.
+        assert_eq!(reduced.len(), 1);
+        assert!(reduced.consensus_fd().is_some());
+        assert!(!fds.is_trivial());
+        assert!(FdSet::empty().is_trivial());
+        let trivial = FdSet::parse(&s, "A B -> A").unwrap();
+        assert!(trivial.is_trivial());
+        assert!(trivial.remove_trivial().is_empty());
+    }
+
+    #[test]
+    fn chain_detection() {
+        let s = Schema::new("Office", ["facility", "room", "floor", "city"]).unwrap();
+        let chain = FdSet::parse(&s, "facility -> city; facility room -> floor").unwrap();
+        assert!(chain.is_chain());
+        let not_chain = FdSet::parse(&s, "facility -> city; room -> floor").unwrap();
+        assert!(!not_chain.is_chain());
+        assert!(FdSet::empty().is_chain());
+    }
+
+    #[test]
+    fn local_minima_detection() {
+        let (s, fds) = parse("A B -> C; A -> B");
+        let minima = fds.local_minima();
+        assert_eq!(minima, vec![AttrSet::singleton(s.attr("A").unwrap())]);
+        let (s2, two) = parse("A -> B; C -> B");
+        let minima2 = two.local_minima();
+        assert_eq!(minima2.len(), 2);
+        assert!(minima2.contains(&AttrSet::singleton(s2.attr("A").unwrap())));
+        assert!(minima2.contains(&AttrSet::singleton(s2.attr("C").unwrap())));
+    }
+
+    #[test]
+    fn normalize_single_rhs_preserves_equivalence() {
+        let (_, fds) = parse("A -> B C");
+        let norm = fds.normalize_single_rhs();
+        assert_eq!(norm.len(), 2);
+        assert!(norm.equivalent(&fds));
+        for fd in norm.iter() {
+            assert_eq!(fd.rhs().len(), 1);
+        }
+    }
+
+    #[test]
+    fn minimal_cover_shrinks() {
+        let (s, fds) = parse("A -> B; A -> C; B -> C; A B -> C");
+        let cover = fds.minimal_cover();
+        assert!(cover.equivalent(&fds));
+        // A → C and A B → C are redundant given A → B, B → C.
+        assert_eq!(cover.len(), 2);
+        assert_eq!(cover.display(&s), "{A → B, B → C}");
+    }
+
+    #[test]
+    fn dedup_and_canonical_equality() {
+        let (s, a) = parse("A -> B; B -> C");
+        let b = FdSet::parse(&s, "B -> C; A -> B; A -> B").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn unary_detection() {
+        let (_, unary) = parse("A -> B; B -> A C");
+        assert!(unary.is_unary());
+        let (_, not) = parse("A B -> C");
+        assert!(!not.is_unary());
+        let (_, consensus) = parse("-> C");
+        assert!(consensus.is_unary());
+    }
+}

@@ -1,0 +1,215 @@
+//! Candidate keys and normal forms.
+//!
+//! Inconsistency with respect to FDs is, in practice, a schema-design
+//! smell: a table violating `Δ` is typically a denormalized join. This
+//! module rounds the library out with the classic schema-analysis toolkit
+//! — candidate keys, prime attributes, BCNF/3NF tests — so that a cleaning
+//! pipeline can report *why* a relation admits FD violations at all.
+
+use crate::attrset::AttrSet;
+use crate::fdset::FdSet;
+use crate::schema::Schema;
+
+/// True iff `X` is a superkey of the schema under `Δ`:
+/// `cl_Δ(X) ⊇ attrs(R)`.
+pub fn is_superkey(schema: &Schema, fds: &FdSet, x: AttrSet) -> bool {
+    schema.all_attrs().is_subset(fds.closure_of(x))
+}
+
+/// All candidate keys (minimal superkeys) of the schema under `Δ`, sorted.
+///
+/// Uses the standard pruning: every candidate key is contained in
+/// `core ∪ middle`, where *core* attributes appear on no rhs (they must be
+/// in every key) and attributes on some rhs but no lhs can be skipped from
+/// the search.
+pub fn candidate_keys(schema: &Schema, fds: &FdSet) -> Vec<AttrSet> {
+    let all = schema.all_attrs();
+    let fds = fds.normalize_single_rhs();
+    let mut on_rhs = AttrSet::EMPTY;
+    let mut on_lhs = AttrSet::EMPTY;
+    for fd in fds.iter() {
+        on_rhs = on_rhs.union(fd.rhs());
+        on_lhs = on_lhs.union(fd.lhs());
+    }
+    // Core attributes occur on no rhs: they belong to every key.
+    let core = all.difference(on_rhs);
+    // Only attributes on both sides can vary between keys.
+    let middle = on_lhs.intersect(on_rhs);
+    if is_superkey(schema, &fds, core) {
+        return vec![core];
+    }
+    let mut keys: Vec<AttrSet> = Vec::new();
+    // Enumerate subsets of `middle` by ascending size so minimality is a
+    // simple containment check against already-found keys.
+    let mut by_size: Vec<AttrSet> = middle.subsets().collect();
+    by_size.sort_by_key(|s| (s.len(), *s));
+    for extra in by_size {
+        let candidate = core.union(extra);
+        if keys.iter().any(|k| k.is_subset(candidate)) {
+            continue; // a subset is already a key ⇒ not minimal
+        }
+        if is_superkey(schema, &fds, candidate) {
+            keys.push(candidate);
+        }
+    }
+    keys.sort();
+    keys
+}
+
+/// The prime attributes: members of at least one candidate key.
+pub fn prime_attrs(schema: &Schema, fds: &FdSet) -> AttrSet {
+    candidate_keys(schema, fds)
+        .into_iter()
+        .fold(AttrSet::EMPTY, AttrSet::union)
+}
+
+/// A violation of a normal form: the offending (nontrivial) FD.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NormalFormViolation {
+    /// The nontrivial FD whose lhs is not a superkey.
+    pub fd: crate::Fd,
+}
+
+/// BCNF test: every nontrivial FD entailed from `Δ` with lhs `X` and rhs
+/// `A` must have `X` a superkey. It suffices to check the FDs of `Δ`
+/// (closure-checking each given FD), which this does; returns the first
+/// violation if any.
+pub fn bcnf_violation(schema: &Schema, fds: &FdSet) -> Option<NormalFormViolation> {
+    fds.normalize_single_rhs()
+        .iter()
+        .find(|fd| !fd.is_trivial() && !is_superkey(schema, fds, fd.lhs()))
+        .map(|fd| NormalFormViolation { fd: *fd })
+}
+
+/// BCNF test **within a fragment** of the schema: searches for an lhs
+/// `X ⊆ fragment` whose closure captures some further fragment attribute
+/// without capturing the whole fragment — the violation driving
+/// [`crate::bcnf_decompose`]. Exponential in the fragment width (FD
+/// projection is inherently so); guarded at 20 attributes.
+///
+/// Returns the violating FD `X → (cl(X) ∩ fragment) ∖ X` with a
+/// set-minimal such `X`, or `None` when the fragment is in BCNF under the
+/// projection of `fds`.
+///
+/// # Panics
+///
+/// Panics if `fragment` has more than 20 attributes.
+pub fn bcnf_violation_in(
+    _schema: &Schema,
+    fds: &FdSet,
+    fragment: AttrSet,
+) -> Option<crate::Fd> {
+    assert!(fragment.len() <= 20, "bcnf_violation_in is exponential; fragment too wide");
+    let mut best: Option<crate::Fd> = None;
+    for x in fragment.subsets() {
+        if x.is_empty() && fragment.len() <= 1 {
+            continue;
+        }
+        let closure = fds.closure_of(x).intersect(fragment);
+        let gained = closure.difference(x);
+        if !gained.is_empty() && closure != fragment {
+            let cand = crate::Fd::new(x, gained);
+            if best.as_ref().is_none_or(|b| x.len() < b.lhs().len()) {
+                best = Some(cand);
+            }
+        }
+    }
+    best
+}
+
+/// 3NF test: like BCNF, but a violation is excused when the rhs attribute
+/// is prime. Returns the first genuine violation if any.
+pub fn third_nf_violation(schema: &Schema, fds: &FdSet) -> Option<NormalFormViolation> {
+    let prime = prime_attrs(schema, fds);
+    fds.normalize_single_rhs()
+        .iter()
+        .find(|fd| {
+            !fd.is_trivial()
+                && !is_superkey(schema, fds, fd.lhs())
+                && !fd.rhs().is_subset(prime)
+        })
+        .map(|fd| NormalFormViolation { fd: *fd })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{schema_rabc, AttrId, Schema};
+
+    #[test]
+    fn keys_of_chain() {
+        // {A→B, B→C}: the only key is {A}.
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B; B -> C").unwrap();
+        assert_eq!(candidate_keys(&s, &fds), vec![s.attr_set(["A"]).unwrap()]);
+        assert!(is_superkey(&s, &fds, s.attr_set(["A"]).unwrap()));
+        assert!(!is_superkey(&s, &fds, s.attr_set(["B"]).unwrap()));
+    }
+
+    #[test]
+    fn keys_of_two_cycle() {
+        // {A→B, B→A} over R(A,B,C): keys are {A,C} and {B,C}.
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B; B -> A").unwrap();
+        let keys = candidate_keys(&s, &fds);
+        assert_eq!(
+            keys,
+            vec![s.attr_set(["A", "C"]).unwrap(), s.attr_set(["B", "C"]).unwrap()]
+        );
+        assert_eq!(prime_attrs(&s, &fds), s.all_attrs());
+    }
+
+    #[test]
+    fn keys_without_fds_is_everything() {
+        let s = schema_rabc();
+        assert_eq!(candidate_keys(&s, &FdSet::empty()), vec![s.all_attrs()]);
+    }
+
+    #[test]
+    fn keys_are_minimal_and_super() {
+        use rand::prelude::*;
+        let s = Schema::new("R", ["A", "B", "C", "D"]).unwrap();
+        let mut rng = StdRng::seed_from_u64(0x4B455953);
+        for _ in 0..100 {
+            let fds = FdSet::new((0..rng.gen_range(0..4)).map(|_| {
+                let lhs: AttrSet = (0..4u16)
+                    .filter(|_| rng.gen_bool(0.4))
+                    .map(AttrId::new)
+                    .collect();
+                let rhs = AttrSet::singleton(AttrId::new(rng.gen_range(0..4)));
+                crate::Fd::new(lhs, rhs)
+            }));
+            let keys = candidate_keys(&s, &fds);
+            assert!(!keys.is_empty());
+            for (i, &k) in keys.iter().enumerate() {
+                assert!(is_superkey(&s, &fds, k));
+                for a in k.iter() {
+                    assert!(!is_superkey(&s, &fds, k.remove(a)), "key must be minimal");
+                }
+                for &other in &keys[i + 1..] {
+                    assert!(!k.is_subset(other) && !other.is_subset(k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bcnf_and_3nf() {
+        let s = schema_rabc();
+        // Key-based FD set: in BCNF.
+        let good = FdSet::parse(&s, "A -> B C").unwrap();
+        assert_eq!(bcnf_violation(&s, &good), None);
+        assert_eq!(third_nf_violation(&s, &good), None);
+
+        // {A→B, B→C}: B→C violates BCNF and 3NF (C is non-prime).
+        let chain = FdSet::parse(&s, "A -> B; B -> C").unwrap();
+        let v = bcnf_violation(&s, &chain).expect("violation");
+        assert_eq!(v.fd, crate::Fd::parse(&s, "B -> C").unwrap());
+        assert!(third_nf_violation(&s, &chain).is_some());
+
+        // {AB→C, C→B}: C→B violates BCNF, but B is prime ⇒ 3NF holds.
+        let three_nf = FdSet::parse(&s, "A B -> C; C -> B").unwrap();
+        assert!(bcnf_violation(&s, &three_nf).is_some());
+        assert_eq!(third_nf_violation(&s, &three_nf), None);
+    }
+}

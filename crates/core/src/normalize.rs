@@ -1,0 +1,378 @@
+//! Schema normalization: BCNF decomposition, 3NF synthesis, and the chase.
+//!
+//! The paper repairs *data* against a fixed set of FDs; the classical dual
+//! is to repair the *schema* so the FDs cannot be violated redundantly in
+//! the first place. A production FD library needs both, so this module
+//! supplies the textbook machinery:
+//!
+//! * [`bcnf_decompose`] — recursive BCNF decomposition (always lossless,
+//!   not always dependency preserving);
+//! * [`third_nf_synthesis`] — 3NF synthesis from a minimal cover (always
+//!   lossless and dependency preserving);
+//! * [`is_lossless_join`] — the chase over a tableau of subscripted
+//!   variables;
+//! * [`preserves_dependencies`] — the Beeri–Honeyman-style polynomial
+//!   test, without materializing projected FD sets;
+//! * [`project_fds`] — explicit FD projection (exponential in the
+//!   fragment width; used for validation and small fragments).
+
+use crate::attrset::AttrSet;
+use crate::fd::Fd;
+use crate::fdset::FdSet;
+use crate::keys::{bcnf_violation_in, candidate_keys};
+use crate::schema::Schema;
+
+/// A decomposition of a schema into attribute fragments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Decomposition {
+    /// The fragments, each a nonempty attribute set of the base schema.
+    pub fragments: Vec<AttrSet>,
+}
+
+impl Decomposition {
+    /// Renders the fragments against the schema, e.g. `R1(A, B) R2(B, C)`.
+    pub fn display(&self, schema: &Schema) -> String {
+        self.fragments
+            .iter()
+            .enumerate()
+            .map(|(i, f)| format!("R{}({})", i + 1, f.display(schema).replace(' ', ", ")))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Drops fragments contained in other fragments.
+    fn prune_subsumed(&mut self) {
+        let frags = self.fragments.clone();
+        self.fragments.retain(|f| {
+            !frags
+                .iter()
+                .any(|g| f != g && f.is_subset(*g))
+                // keep the lexicographically... a strict subset is dropped;
+                // equal duplicates are handled below.
+        });
+        self.fragments.dedup();
+        let mut seen = Vec::new();
+        self.fragments.retain(|f| {
+            if seen.contains(f) {
+                false
+            } else {
+                seen.push(*f);
+                true
+            }
+        });
+    }
+}
+
+/// Projects `fds` onto `attrs`: all FDs `X → (cl(X) ∩ attrs)` for
+/// `X ⊆ attrs`, reduced to a minimal cover.
+///
+/// Exponential in `attrs.len()` by nature (FD projection has no
+/// polynomial algorithm in general); guarded for fragments of ≤ 20
+/// attributes.
+///
+/// # Panics
+///
+/// Panics if `attrs` has more than 20 attributes.
+pub fn project_fds(fds: &FdSet, attrs: AttrSet) -> FdSet {
+    assert!(attrs.len() <= 20, "project_fds is exponential; fragment too wide");
+    let mut out = Vec::new();
+    for x in attrs.subsets() {
+        let closure = fds.closure_of(x).intersect(attrs).difference(x);
+        if !closure.is_empty() {
+            out.push(Fd::new(x, closure));
+        }
+    }
+    FdSet::new(out).minimal_cover()
+}
+
+/// Decomposes `schema` into BCNF fragments by repeatedly splitting on a
+/// BCNF violation `X → Y`: the offending fragment `R` becomes
+/// `cl(X) ∩ R` and `X ∪ (R ∖ cl(X))`.
+///
+/// The result is always a lossless join (each split is along
+/// `R1 ∩ R2 = X → R1`); dependency preservation may fail, which
+/// [`preserves_dependencies`] detects.
+///
+/// # Examples
+///
+/// ```
+/// use fd_core::{bcnf_decompose, is_lossless_join, FdSet, Schema};
+///
+/// let s = Schema::new("R", ["A", "B", "C"]).unwrap();
+/// let fds = FdSet::parse(&s, "A -> B").unwrap();
+/// let d = bcnf_decompose(&s, &fds);
+/// assert_eq!(d.display(&s), "R1(A, B) R2(A, C)");
+/// assert!(is_lossless_join(&s, &fds, &d.fragments));
+/// ```
+pub fn bcnf_decompose(schema: &Schema, fds: &FdSet) -> Decomposition {
+    let mut done: Vec<AttrSet> = Vec::new();
+    let mut work: Vec<AttrSet> = vec![schema.all_attrs()];
+    while let Some(fragment) = work.pop() {
+        match bcnf_violation_in(schema, fds, fragment) {
+            None => done.push(fragment),
+            Some(fd) => {
+                let closure = fds.closure_of(fd.lhs()).intersect(fragment);
+                let r1 = closure;
+                let r2 = fd.lhs().union(fragment.difference(closure));
+                debug_assert!(r1.is_strict_subset(fragment));
+                debug_assert!(r2.is_strict_subset(fragment));
+                work.push(r1);
+                work.push(r2);
+            }
+        }
+    }
+    // Deterministic order: widest fragments first, bit order on ties.
+    done.sort_by_key(|f| (std::cmp::Reverse(f.len()), *f));
+    let mut d = Decomposition { fragments: done };
+    d.prune_subsumed();
+    d
+}
+
+/// Synthesizes a 3NF decomposition from a minimal cover: one fragment per
+/// lhs-group of the cover, plus a candidate-key fragment if no fragment
+/// contains one. Lossless and dependency preserving by construction.
+pub fn third_nf_synthesis(schema: &Schema, fds: &FdSet) -> Decomposition {
+    let cover = fds.minimal_cover();
+    let mut fragments: Vec<AttrSet> = Vec::new();
+    // Group the cover's FDs by lhs.
+    let mut groups: Vec<(AttrSet, AttrSet)> = Vec::new();
+    for fd in cover.iter() {
+        match groups.iter_mut().find(|(lhs, _)| *lhs == fd.lhs()) {
+            Some((_, rhs)) => *rhs = rhs.union(fd.rhs()),
+            None => groups.push((fd.lhs(), fd.rhs())),
+        }
+    }
+    for (lhs, rhs) in groups {
+        fragments.push(lhs.union(rhs));
+    }
+    if fragments.is_empty() {
+        // No nontrivial FDs: the whole schema is its own 3NF.
+        fragments.push(schema.all_attrs());
+    }
+    let keys = candidate_keys(schema, fds);
+    if !keys
+        .iter()
+        .any(|k| fragments.iter().any(|f| k.is_subset(*f)))
+    {
+        fragments.push(keys[0]);
+    }
+    let mut d = Decomposition { fragments };
+    d.prune_subsumed();
+    d
+}
+
+/// The chase test for lossless joins: builds the tableau with one row per
+/// fragment (distinguished on the fragment's attributes, subscripted
+/// elsewhere), equates symbols along the FDs until fixpoint, and reports
+/// whether some row became all-distinguished.
+pub fn is_lossless_join(schema: &Schema, fds: &FdSet, fragments: &[AttrSet]) -> bool {
+    let k = schema.arity();
+    let n = fragments.len();
+    if n == 0 {
+        return false;
+    }
+    // Symbol encoding: 0 = distinguished `a_j`; i+1 = subscripted `b_{i,j}`
+    // for row i. The chase equates symbols column-wise, always preferring
+    // the smaller (so distinguished wins).
+    let mut tab: Vec<Vec<u32>> = (0..n)
+        .map(|i| {
+            (0..k)
+                .map(|j| {
+                    let attr = crate::schema::AttrId::new(j as u16);
+                    if fragments[i].contains(attr) {
+                        0
+                    } else {
+                        i as u32 + 1
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let fds = fds.normalize_single_rhs();
+    loop {
+        let mut changed = false;
+        for fd in fds.iter() {
+            let lhs: Vec<usize> = fd.lhs().iter().map(|a| a.usize()).collect();
+            let rhs: Vec<usize> = fd.rhs().iter().map(|a| a.usize()).collect();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if lhs.iter().all(|&c| tab[i][c] == tab[j][c]) {
+                        for &c in &rhs {
+                            let (a, b) = (tab[i][c], tab[j][c]);
+                            if a != b {
+                                // Equate: rewrite the larger symbol to the
+                                // smaller one throughout the column.
+                                let (keep, drop) = (a.min(b), a.max(b));
+                                for row in tab.iter_mut() {
+                                    if row[c] == drop {
+                                        row[c] = keep;
+                                    }
+                                }
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    tab.iter().any(|row| row.iter().all(|&s| s == 0))
+}
+
+/// Polynomial dependency-preservation test: for each FD `X → Y` of `fds`,
+/// computes the closure of `X` under the *union of the projections* of
+/// `fds` onto the fragments — without materializing those projections —
+/// by iterating `Z ← Z ∪ (cl(Z ∩ Rᵢ) ∩ Rᵢ)` to fixpoint.
+pub fn preserves_dependencies(fds: &FdSet, fragments: &[AttrSet]) -> bool {
+    for fd in fds.normalize_single_rhs().iter() {
+        let mut z = fd.lhs();
+        loop {
+            let mut next = z;
+            for &frag in fragments {
+                next = next.union(fds.closure_of(z.intersect(frag)).intersect(frag));
+            }
+            if next == z {
+                break;
+            }
+            z = next;
+        }
+        if !fd.rhs().is_subset(z) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn setup(attrs: &[&str], spec: &str) -> (std::sync::Arc<Schema>, FdSet) {
+        let s = Schema::new("R", attrs.to_vec()).unwrap();
+        let fds = FdSet::parse(&s, spec).unwrap();
+        (s, fds)
+    }
+
+    #[test]
+    fn textbook_bcnf_split() {
+        // R(A, B, C) with A → B: violation; split into (A, B) and (A, C).
+        let (s, fds) = setup(&["A", "B", "C"], "A -> B");
+        let d = bcnf_decompose(&s, &fds);
+        assert_eq!(d.fragments.len(), 2);
+        assert!(is_lossless_join(&s, &fds, &d.fragments));
+        assert!(preserves_dependencies(&fds, &d.fragments));
+        for &f in &d.fragments {
+            assert!(bcnf_violation_in(&s, &fds, f).is_none(), "fragment not BCNF");
+        }
+    }
+
+    #[test]
+    fn bcnf_can_lose_dependencies() {
+        // The classic: R(city, street, zip) with city street → zip and
+        // zip → city. BCNF must split on zip → city, losing the first FD.
+        let (s, fds) = setup(&["city", "street", "zip"], "city street -> zip; zip -> city");
+        let d = bcnf_decompose(&s, &fds);
+        assert!(is_lossless_join(&s, &fds, &d.fragments));
+        assert!(!preserves_dependencies(&fds, &d.fragments));
+        // 3NF synthesis keeps both.
+        let t = third_nf_synthesis(&s, &fds);
+        assert!(is_lossless_join(&s, &fds, &t.fragments));
+        assert!(preserves_dependencies(&fds, &t.fragments));
+    }
+
+    #[test]
+    fn third_nf_adds_key_fragment_when_needed() {
+        // R(A, B, C) with A → B only: the synthesized fragment (A, B)
+        // holds no key, so the key fragment (A, C) is added.
+        let (s, fds) = setup(&["A", "B", "C"], "A -> B");
+        let d = third_nf_synthesis(&s, &fds);
+        assert_eq!(d.fragments.len(), 2);
+        assert!(is_lossless_join(&s, &fds, &d.fragments));
+        let keys = candidate_keys(&s, &fds);
+        assert!(d.fragments.iter().any(|f| keys.iter().any(|k| k.is_subset(*f))));
+    }
+
+    #[test]
+    fn trivial_fds_leave_schema_whole() {
+        let (s, fds) = setup(&["A", "B"], "");
+        assert_eq!(bcnf_decompose(&s, &fds).fragments, vec![s.all_attrs()]);
+        assert_eq!(third_nf_synthesis(&s, &fds).fragments, vec![s.all_attrs()]);
+    }
+
+    #[test]
+    fn chase_detects_lossy_decomposition() {
+        // R(A, B, C), no FDs: splitting into (A, B), (B, C) is lossy.
+        let (s, fds) = setup(&["A", "B", "C"], "");
+        let frags = vec![
+            s.attr_set(["A", "B"]).unwrap(),
+            s.attr_set(["B", "C"]).unwrap(),
+        ];
+        assert!(!is_lossless_join(&s, &fds, &frags));
+        // With B → C it becomes lossless.
+        let fds = FdSet::parse(&s, "B -> C").unwrap();
+        assert!(is_lossless_join(&s, &fds, &frags));
+    }
+
+    #[test]
+    fn projection_matches_closure_semantics() {
+        let (s, fds) = setup(&["A", "B", "C"], "A -> B; B -> C");
+        let attrs = s.attr_set(["A", "C"]).unwrap();
+        let proj = project_fds(&fds, attrs);
+        // Transitivity survives projection: A → C.
+        let a = s.attr_set(["A"]).unwrap();
+        assert!(proj.closure_of(a).contains(s.attr("C").unwrap()));
+        // Nothing mentions B.
+        assert!(proj.attrs().is_subset(attrs));
+    }
+
+    #[test]
+    fn bcnf_is_always_lossless_and_in_bcnf_randomized() {
+        let mut rng = StdRng::seed_from_u64(0xbc);
+        let names = ["A", "B", "C", "D", "E"];
+        for trial in 0..120 {
+            let s = Schema::new("R", names.to_vec()).unwrap();
+            // Random small FD set.
+            let mut fds = Vec::new();
+            for _ in 0..rng.gen_range(1..4) {
+                let lhs_bits: u64 = rng.gen_range(1u64..(1 << names.len()));
+                let rhs_attr = rng.gen_range(0..names.len());
+                let mut lhs = AttrSet::EMPTY;
+                for (i, _) in names.iter().enumerate() {
+                    if lhs_bits & (1 << i) != 0 {
+                        lhs = lhs.insert(crate::schema::AttrId::new(i as u16));
+                    }
+                }
+                let rhs = AttrSet::singleton(crate::schema::AttrId::new(rhs_attr as u16));
+                if rhs.is_subset(lhs) {
+                    continue;
+                }
+                fds.push(Fd::new(lhs, rhs));
+            }
+            let fds = FdSet::new(fds);
+            let d = bcnf_decompose(&s, &fds);
+            assert!(
+                is_lossless_join(&s, &fds, &d.fragments),
+                "trial {trial}: lossy BCNF decomposition for {}",
+                fds.display(&s)
+            );
+            for &f in &d.fragments {
+                assert!(
+                    bcnf_violation_in(&s, &fds, f).is_none(),
+                    "trial {trial}: fragment {} not BCNF under {}",
+                    f.display(&s),
+                    fds.display(&s)
+                );
+            }
+            let t = third_nf_synthesis(&s, &fds);
+            assert!(is_lossless_join(&s, &fds, &t.fragments), "trial {trial}: 3NF lossy");
+            assert!(
+                preserves_dependencies(&fds, &t.fragments),
+                "trial {trial}: 3NF lost dependencies"
+            );
+        }
+    }
+}

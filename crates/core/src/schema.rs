@@ -1,0 +1,166 @@
+//! Relation schemas `R(A₁, …, A_k)`.
+
+use crate::attrset::AttrSet;
+use crate::error::{Error, Result};
+use std::fmt;
+use std::sync::Arc;
+
+/// Index of an attribute within its schema.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct AttrId(u16);
+
+impl AttrId {
+    /// Wraps a raw index.
+    pub fn new(index: u16) -> AttrId {
+        AttrId(index)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> u16 {
+        self.0
+    }
+
+    /// The raw index as `usize`, for slice access.
+    pub fn usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A relation schema: a relation name plus an ordered list of distinct
+/// attribute names (§2.1). Schemas are immutable and shared via [`Arc`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Schema {
+    relation: String,
+    attrs: Vec<String>,
+}
+
+impl Schema {
+    /// Builds a schema, validating arity (≤ 64) and name uniqueness.
+    pub fn new<S, I, A>(relation: S, attrs: I) -> Result<Arc<Schema>>
+    where
+        S: Into<String>,
+        I: IntoIterator<Item = A>,
+        A: Into<String>,
+    {
+        let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        if attrs.len() > 64 {
+            return Err(Error::SchemaTooLarge { arity: attrs.len() });
+        }
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].contains(a) {
+                return Err(Error::DuplicateAttribute { name: a.clone() });
+            }
+        }
+        Ok(Arc::new(Schema { relation: relation.into(), attrs }))
+    }
+
+    /// The relation name `R`.
+    pub fn relation(&self) -> &str {
+        &self.relation
+    }
+
+    /// Number of attributes `k`.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Resolves an attribute name to its id.
+    pub fn attr(&self, name: &str) -> Result<AttrId> {
+        self.attrs
+            .iter()
+            .position(|a| a == name)
+            .map(|i| AttrId::new(i as u16))
+            .ok_or_else(|| Error::UnknownAttribute { name: name.to_string() })
+    }
+
+    /// The name of attribute `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range for this schema.
+    pub fn attr_name(&self, id: AttrId) -> &str {
+        &self.attrs[id.usize()]
+    }
+
+    /// All attribute names, in declaration order.
+    pub fn attr_names(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// All attribute ids, in declaration order.
+    pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> + '_ {
+        (0..self.attrs.len() as u16).map(AttrId::new)
+    }
+
+    /// The full attribute set of the schema.
+    pub fn all_attrs(&self) -> AttrSet {
+        AttrSet::all(self.arity())
+    }
+
+    /// Resolves several attribute names into an [`AttrSet`].
+    pub fn attr_set<'a, I: IntoIterator<Item = &'a str>>(&self, names: I) -> Result<AttrSet> {
+        let mut s = AttrSet::EMPTY;
+        for n in names {
+            s = s.insert(self.attr(n)?);
+        }
+        Ok(s)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.relation, self.attrs.join(", "))
+    }
+}
+
+/// The ubiquitous three-attribute schema `R(A, B, C)` of Table 1.
+pub fn schema_rabc() -> Arc<Schema> {
+    Schema::new("R", ["A", "B", "C"]).expect("static schema is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_resolve() {
+        let s = Schema::new("Office", ["facility", "room", "floor", "city"]).unwrap();
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.relation(), "Office");
+        assert_eq!(s.attr("room").unwrap(), AttrId::new(1));
+        assert_eq!(s.attr_name(AttrId::new(3)), "city");
+        assert!(s.attr("zip").is_err());
+        assert_eq!(s.to_string(), "Office(facility, room, floor, city)");
+    }
+
+    #[test]
+    fn rejects_duplicates_and_oversize() {
+        assert!(matches!(
+            Schema::new("R", ["A", "A"]),
+            Err(Error::DuplicateAttribute { .. })
+        ));
+        let many: Vec<String> = (0..65).map(|i| format!("A{i}")).collect();
+        assert!(matches!(
+            Schema::new("R", many),
+            Err(Error::SchemaTooLarge { arity: 65 })
+        ));
+    }
+
+    #[test]
+    fn attr_set_resolution() {
+        let s = schema_rabc();
+        let set = s.attr_set(["A", "C"]).unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(s.attr("A").unwrap()));
+        assert!(set.contains(s.attr("C").unwrap()));
+        assert_eq!(set.display(&s), "A C");
+        assert_eq!(AttrSet::EMPTY.display(&s), "∅");
+    }
+
+    #[test]
+    fn exactly_64_attributes_allowed() {
+        let many: Vec<String> = (0..64).map(|i| format!("A{i}")).collect();
+        let s = Schema::new("Wide", many).unwrap();
+        assert_eq!(s.arity(), 64);
+        assert_eq!(s.all_attrs().len(), 64);
+    }
+}

@@ -1,0 +1,609 @@
+//! Weighted tables with tuple identifiers (§2.1), FD satisfaction (§2.2),
+//! and the repair distances `dist_sub` / `dist_upd` (§2.3).
+
+use crate::attrset::AttrSet;
+use crate::error::{Error, Result};
+use crate::fd::Fd;
+use crate::fdset::FdSet;
+use crate::schema::{AttrId, Schema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// A tuple identifier. Identifiers are stable across subsets and updates,
+/// which is how the paper tracks which tuples were deleted or which cells
+/// were changed.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TupleId(pub u32);
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One row of a table: identifier, tuple, weight.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Row {
+    /// The tuple identifier `i ∈ ids(T)`.
+    pub id: TupleId,
+    /// The tuple `T[i]`.
+    pub tuple: Tuple,
+    /// The weight `w_T(i) > 0`.
+    pub weight: f64,
+}
+
+/// A table `T` over a schema: a finite map from identifiers to weighted
+/// tuples (§2.1). Duplicate *tuples* are allowed; identifiers are unique.
+#[derive(Clone, Debug)]
+pub struct Table {
+    schema: Arc<Schema>,
+    rows: Vec<Row>,
+    next_id: u32,
+    /// Identifier → position in `rows`, for O(1) row access.
+    index: HashMap<TupleId, u32>,
+}
+
+impl Table {
+    /// Creates an empty table over `schema`.
+    pub fn new(schema: Arc<Schema>) -> Table {
+        Table { schema, rows: Vec::new(), next_id: 0, index: HashMap::new() }
+    }
+
+    /// Internal constructor from pre-validated rows.
+    fn from_rows(schema: Arc<Schema>, rows: Vec<Row>, next_id: u32) -> Table {
+        let index = rows
+            .iter()
+            .enumerate()
+            .map(|(pos, r)| (r.id, pos as u32))
+            .collect();
+        Table { schema, rows, next_id, index }
+    }
+
+    /// Builds a table from `(tuple, weight)` pairs with ids `0, 1, 2, …`.
+    pub fn build<I>(schema: Arc<Schema>, rows: I) -> Result<Table>
+    where
+        I: IntoIterator<Item = (Tuple, f64)>,
+    {
+        let mut t = Table::new(schema);
+        for (tuple, weight) in rows {
+            t.push(tuple, weight)?;
+        }
+        Ok(t)
+    }
+
+    /// Builds an unweighted table (all weights 1) with ids `0, 1, 2, …`.
+    pub fn build_unweighted<I>(schema: Arc<Schema>, rows: I) -> Result<Table>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        Table::build(schema, rows.into_iter().map(|t| (t, 1.0)))
+    }
+
+    /// Appends a tuple with an automatically assigned identifier.
+    pub fn push(&mut self, tuple: Tuple, weight: f64) -> Result<TupleId> {
+        let id = TupleId(self.next_id);
+        self.push_row(id, tuple, weight)?;
+        Ok(id)
+    }
+
+    /// Appends a tuple under an explicit identifier.
+    pub fn push_row(&mut self, id: TupleId, tuple: Tuple, weight: f64) -> Result<()> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(Error::ArityMismatch {
+                expected: self.schema.arity(),
+                found: tuple.arity(),
+            });
+        }
+        if weight <= 0.0 || !weight.is_finite() {
+            return Err(Error::InvalidWeight { weight });
+        }
+        if self.index.contains_key(&id) {
+            return Err(Error::DuplicateTupleId { id: id.0 });
+        }
+        self.next_id = self.next_id.max(id.0 + 1);
+        self.index.insert(id, self.rows.len() as u32);
+        self.rows.push(Row { id, tuple, weight });
+        Ok(())
+    }
+
+    /// The schema of the table.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// `|T|`: the number of tuple identifiers.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates over rows in insertion order.
+    pub fn rows(&self) -> impl Iterator<Item = &Row> {
+        self.rows.iter()
+    }
+
+    /// All identifiers, in insertion order.
+    pub fn ids(&self) -> impl Iterator<Item = TupleId> + '_ {
+        self.rows.iter().map(|r| r.id)
+    }
+
+    /// Looks up a row by identifier (O(1)).
+    pub fn row(&self, id: TupleId) -> Result<&Row> {
+        self.index
+            .get(&id)
+            .map(|&pos| &self.rows[pos as usize])
+            .ok_or(Error::UnknownTupleId { id: id.0 })
+    }
+
+    /// Replaces the value of one cell; returns the old value (O(1)).
+    pub fn set_value(&mut self, id: TupleId, attr: AttrId, value: Value) -> Result<Value> {
+        let pos = *self.index.get(&id).ok_or(Error::UnknownTupleId { id: id.0 })?;
+        Ok(self.rows[pos as usize].tuple.set(attr, value))
+    }
+
+    /// The total weight `w_T(T)` of all rows.
+    pub fn total_weight(&self) -> f64 {
+        self.rows.iter().map(|r| r.weight).sum()
+    }
+
+    /// True iff distinct identifiers carry distinct tuples (§2.1).
+    pub fn is_duplicate_free(&self) -> bool {
+        let mut seen = HashSet::with_capacity(self.rows.len());
+        self.rows.iter().all(|r| seen.insert(&r.tuple))
+    }
+
+    /// True iff all weights are equal (§2.1).
+    pub fn is_unweighted(&self) -> bool {
+        match self.rows.first() {
+            None => true,
+            Some(first) => self.rows.iter().all(|r| r.weight == first.weight),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // FD satisfaction.
+    // ------------------------------------------------------------------
+
+    /// True iff the table satisfies the FD `X → Y` (§2.2).
+    pub fn satisfies_fd(&self, fd: &Fd) -> bool {
+        let mut seen: HashMap<Vec<Value>, Vec<Value>> = HashMap::with_capacity(self.rows.len());
+        for row in &self.rows {
+            let key = row.tuple.project(fd.lhs());
+            let val = row.tuple.project(fd.rhs());
+            match seen.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if e.get() != &val {
+                        return false;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(val);
+                }
+            }
+        }
+        true
+    }
+
+    /// True iff the table satisfies every FD of `Δ`.
+    pub fn satisfies(&self, fds: &FdSet) -> bool {
+        fds.iter().all(|fd| self.satisfies_fd(fd))
+    }
+
+    /// Some violating pair `(i, j, fd)` with `i` before `j` in row order,
+    /// or `None` if consistent.
+    pub fn violating_pair(&self, fds: &FdSet) -> Option<(TupleId, TupleId, Fd)> {
+        for fd in fds.iter() {
+            let mut seen: HashMap<Vec<Value>, (TupleId, Vec<Value>)> = HashMap::new();
+            for row in &self.rows {
+                let key = row.tuple.project(fd.lhs());
+                let val = row.tuple.project(fd.rhs());
+                match seen.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        if e.get().1 != val {
+                            return Some((e.get().0, row.id, *fd));
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert((row.id, val));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// All conflicting pairs of identifiers: pairs `(i, j)`, `i < j` in row
+    /// order, whose two tuples jointly violate some FD of `Δ`. This is the
+    /// edge set of the *conflict graph* used by Proposition 3.3.
+    pub fn conflicting_pairs(&self, fds: &FdSet) -> Vec<(TupleId, TupleId)> {
+        let mut pairs: HashSet<(usize, usize)> = HashSet::new();
+        for fd in fds.iter() {
+            // Group row positions by lhs projection, then split by rhs
+            // projection; rows in different rhs groups of one lhs group
+            // conflict.
+            let mut groups: HashMap<Vec<Value>, BTreeMap<Vec<Value>, Vec<usize>>> = HashMap::new();
+            for (pos, row) in self.rows.iter().enumerate() {
+                groups
+                    .entry(row.tuple.project(fd.lhs()))
+                    .or_default()
+                    .entry(row.tuple.project(fd.rhs()))
+                    .or_default()
+                    .push(pos);
+            }
+            for by_rhs in groups.values() {
+                if by_rhs.len() < 2 {
+                    continue;
+                }
+                let classes: Vec<&Vec<usize>> = by_rhs.values().collect();
+                for (ci, class_a) in classes.iter().enumerate() {
+                    for class_b in &classes[ci + 1..] {
+                        for &p in class_a.iter() {
+                            for &q in class_b.iter() {
+                                pairs.insert((p.min(q), p.max(q)));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(usize, usize)> = pairs.into_iter().collect();
+        out.sort_unstable();
+        out.into_iter()
+            .map(|(p, q)| (self.rows[p].id, self.rows[q].id))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Subsets, updates, distances.
+    // ------------------------------------------------------------------
+
+    /// The subset of `self` keeping exactly the identifiers in `keep`
+    /// (ids not present in the table are ignored).
+    pub fn subset(&self, keep: &HashSet<TupleId>) -> Table {
+        Table::from_rows(
+            self.schema.clone(),
+            self.rows.iter().filter(|r| keep.contains(&r.id)).cloned().collect(),
+            self.next_id,
+        )
+    }
+
+    /// The subset of `self` obtained by deleting the identifiers in `delete`.
+    pub fn without(&self, delete: &HashSet<TupleId>) -> Table {
+        Table::from_rows(
+            self.schema.clone(),
+            self.rows.iter().filter(|r| !delete.contains(&r.id)).cloned().collect(),
+            self.next_id,
+        )
+    }
+
+    /// Selection `σ_{X = key} T`: rows whose projection on `attrs` equals
+    /// `key` (values in ascending attribute order).
+    pub fn select_eq(&self, attrs: AttrSet, key: &[Value]) -> Table {
+        Table::from_rows(
+            self.schema.clone(),
+            self.rows
+                .iter()
+                .filter(|r| r.tuple.project(attrs) == key)
+                .cloned()
+                .collect(),
+            self.next_id,
+        )
+    }
+
+    /// Partitions the table by the projection on `attrs`, returning
+    /// `(key, block)` pairs sorted by key (deterministic).
+    pub fn partition_by(&self, attrs: AttrSet) -> Vec<(Vec<Value>, Table)> {
+        let mut blocks: BTreeMap<Vec<Value>, Vec<Row>> = BTreeMap::new();
+        for row in &self.rows {
+            blocks.entry(row.tuple.project(attrs)).or_default().push(row.clone());
+        }
+        blocks
+            .into_iter()
+            .map(|(key, rows)| {
+                (key, Table::from_rows(self.schema.clone(), rows, self.next_id))
+            })
+            .collect()
+    }
+
+    /// The distinct projections `π_X T[∗]`, sorted.
+    pub fn distinct_projections(&self, attrs: AttrSet) -> Vec<Vec<Value>> {
+        let mut keys: Vec<Vec<Value>> =
+            self.rows.iter().map(|r| r.tuple.project(attrs)).collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+
+    /// The distinct values of one column, sorted (the column's active domain).
+    pub fn column_domain(&self, attr: AttrId) -> Vec<Value> {
+        let mut vals: Vec<Value> =
+            self.rows.iter().map(|r| r.tuple.get(attr).clone()).collect();
+        vals.sort();
+        vals.dedup();
+        vals
+    }
+
+    /// Checks that `other` is a subset of `self` (same schema, nested ids,
+    /// identical tuples and weights), then returns
+    /// `dist_sub(other, self) = Σ_{i ∈ ids(self) ∖ ids(other)} w(i)`.
+    pub fn dist_sub(&self, other: &Table) -> Result<f64> {
+        if self.schema != other.schema {
+            return Err(Error::SchemaMismatch);
+        }
+        let mut missing = self.total_weight();
+        for row in &other.rows {
+            let orig = self.row(row.id).map_err(|_| Error::NotASubset)?;
+            if orig.tuple != row.tuple || orig.weight != row.weight {
+                return Err(Error::NotASubset);
+            }
+            missing -= orig.weight;
+        }
+        Ok(missing)
+    }
+
+    /// Checks that `other` is an update of `self` (same schema, same ids,
+    /// same weights), then returns the weighted Hamming distance
+    /// `dist_upd(other, self) = Σ_i w(i) · H(self[i], other[i])` (§2.3).
+    pub fn dist_upd(&self, other: &Table) -> Result<f64> {
+        if self.schema != other.schema {
+            return Err(Error::SchemaMismatch);
+        }
+        if self.len() != other.len() {
+            return Err(Error::NotAnUpdate);
+        }
+        let mut total = 0.0;
+        for row in &other.rows {
+            let orig = self.row(row.id).map_err(|_| Error::NotAnUpdate)?;
+            if orig.weight != row.weight {
+                return Err(Error::NotAnUpdate);
+            }
+            total += orig.weight * orig.tuple.hamming(&row.tuple) as f64;
+        }
+        Ok(total)
+    }
+
+    /// The cells on which `other` differs from `self`, as
+    /// `(id, attr, old, new)` tuples in row order. Requires an update.
+    pub fn changed_cells(&self, other: &Table) -> Result<Vec<(TupleId, AttrId, Value, Value)>> {
+        self.dist_upd(other)?; // validates update-ness
+        let mut out = Vec::new();
+        for row in &self.rows {
+            let new = other.row(row.id).expect("validated above");
+            for attr in row.tuple.disagreement(&new.tuple).iter() {
+                out.push((
+                    row.id,
+                    attr,
+                    row.tuple.get(attr).clone(),
+                    new.tuple.get(attr).clone(),
+                ));
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl PartialEq for Table {
+    fn eq(&self, other: &Table) -> bool {
+        if self.schema != other.schema || self.len() != other.len() {
+            return false;
+        }
+        let mut a: Vec<&Row> = self.rows.iter().collect();
+        let mut b: Vec<&Row> = other.rows.iter().collect();
+        a.sort_by_key(|r| r.id);
+        b.sort_by_key(|r| r.id);
+        a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.id == y.id && x.tuple == y.tuple && x.weight == y.weight)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let headers: Vec<String> = std::iter::once("id".to_string())
+            .chain(self.schema.attr_names().iter().cloned())
+            .chain(std::iter::once("w".to_string()))
+            .collect();
+        let mut cells: Vec<Vec<String>> = vec![headers];
+        for row in &self.rows {
+            let mut line = vec![row.id.to_string()];
+            line.extend(row.tuple.values().iter().map(|v| v.to_string()));
+            line.push(format!("{}", row.weight));
+            cells.push(line);
+        }
+        let widths: Vec<usize> = (0..cells[0].len())
+            .map(|c| cells.iter().map(|r| r[c].chars().count()).max().unwrap_or(0))
+            .collect();
+        for (i, line) in cells.iter().enumerate() {
+            for (c, cell) in line.iter().enumerate() {
+                if c > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<width$}", width = widths[c])?;
+            }
+            writeln!(f)?;
+            if i == 0 {
+                writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::schema_rabc;
+    use crate::tup;
+
+    fn table_abc(rows: Vec<(Tuple, f64)>) -> Table {
+        Table::build(schema_rabc(), rows).unwrap()
+    }
+
+    #[test]
+    fn build_and_inspect() {
+        let t = table_abc(vec![
+            (tup!["x", 1, 2], 1.0),
+            (tup!["x", 1, 2], 2.0),
+            (tup!["y", 1, 3], 1.0),
+        ]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_weight(), 4.0);
+        assert!(!t.is_duplicate_free()); // rows 0 and 1 carry the same tuple
+        assert!(!t.is_unweighted());
+        assert_eq!(t.row(TupleId(2)).unwrap().tuple, tup!["y", 1, 3]);
+        assert!(t.row(TupleId(9)).is_err());
+    }
+
+    #[test]
+    fn push_validation() {
+        let mut t = Table::new(schema_rabc());
+        assert!(t.push(tup!["x", 1], 1.0).is_err()); // arity
+        assert!(t.push(tup!["x", 1, 2], 0.0).is_err()); // weight
+        assert!(t.push(tup!["x", 1, 2], -1.0).is_err());
+        assert!(t.push(tup!["x", 1, 2], f64::INFINITY).is_err());
+        let id = t.push(tup!["x", 1, 2], 1.0).unwrap();
+        assert!(t.push_row(id, tup!["y", 1, 2], 1.0).is_err()); // dup id
+    }
+
+    #[test]
+    fn fd_satisfaction() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B").unwrap();
+        let good = table_abc(vec![(tup!["x", 1, 2], 1.0), (tup!["x", 1, 3], 1.0)]);
+        assert!(good.satisfies(&fds));
+        let bad = table_abc(vec![(tup!["x", 1, 2], 1.0), (tup!["x", 2, 2], 1.0)]);
+        assert!(!bad.satisfies(&fds));
+        let (i, j, fd) = bad.violating_pair(&fds).unwrap();
+        assert_eq!((i, j), (TupleId(0), TupleId(1)));
+        assert_eq!(fd, *fds.iter().next().unwrap());
+    }
+
+    #[test]
+    fn consensus_fd_satisfaction() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "-> C").unwrap();
+        let good = table_abc(vec![(tup!["x", 1, 2], 1.0), (tup!["y", 2, 2], 1.0)]);
+        assert!(good.satisfies(&fds));
+        let bad = table_abc(vec![(tup!["x", 1, 2], 1.0), (tup!["y", 2, 3], 1.0)]);
+        assert!(!bad.satisfies(&fds));
+    }
+
+    #[test]
+    fn conflicting_pairs_enumeration() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B; B -> C").unwrap();
+        // Rows 0/1 conflict on A→B; rows 0/2 conflict on B→C.
+        let t = table_abc(vec![
+            (tup!["x", 1, 2], 1.0),
+            (tup!["x", 2, 2], 1.0),
+            (tup!["z", 1, 9], 1.0),
+        ]);
+        let pairs = t.conflicting_pairs(&fds);
+        assert_eq!(pairs, vec![(TupleId(0), TupleId(1)), (TupleId(0), TupleId(2))]);
+    }
+
+    #[test]
+    fn duplicates_never_conflict() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B C").unwrap();
+        let t = table_abc(vec![(tup!["x", 1, 2], 1.0), (tup!["x", 1, 2], 3.0)]);
+        assert!(t.satisfies(&fds));
+        assert!(t.conflicting_pairs(&fds).is_empty());
+    }
+
+    #[test]
+    fn subset_and_dist_sub() {
+        let t = table_abc(vec![
+            (tup!["x", 1, 2], 2.0),
+            (tup!["x", 2, 2], 1.0),
+            (tup!["y", 1, 3], 1.5),
+        ]);
+        let keep: HashSet<TupleId> = [TupleId(0), TupleId(2)].into_iter().collect();
+        let s = t.subset(&keep);
+        assert_eq!(s.len(), 2);
+        assert_eq!(t.dist_sub(&s).unwrap(), 1.0);
+        assert_eq!(t.dist_sub(&t).unwrap(), 0.0);
+        // A table with a mutated tuple is not a subset.
+        let mut fake = s.clone();
+        fake.set_value(TupleId(0), AttrId::new(1), Value::from(9)).unwrap();
+        assert!(t.dist_sub(&fake).is_err());
+    }
+
+    #[test]
+    fn update_and_dist_upd() {
+        let t = table_abc(vec![(tup!["x", 1, 2], 2.0), (tup!["y", 1, 3], 1.0)]);
+        let mut u = t.clone();
+        u.set_value(TupleId(0), AttrId::new(0), Value::str("z")).unwrap();
+        u.set_value(TupleId(0), AttrId::new(2), Value::from(9)).unwrap();
+        u.set_value(TupleId(1), AttrId::new(2), Value::from(9)).unwrap();
+        // Tuple 0 changed 2 cells at weight 2, tuple 1 changed 1 at weight 1.
+        assert_eq!(t.dist_upd(&u).unwrap(), 5.0);
+        let changed = t.changed_cells(&u).unwrap();
+        assert_eq!(changed.len(), 3);
+        assert_eq!(changed[0].0, TupleId(0));
+        // A subset is not an update.
+        let keep: HashSet<TupleId> = [TupleId(0)].into_iter().collect();
+        assert!(t.dist_upd(&t.subset(&keep)).is_err());
+    }
+
+    #[test]
+    fn partitioning() {
+        let s = schema_rabc();
+        let t = table_abc(vec![
+            (tup!["x", 1, 2], 1.0),
+            (tup!["y", 2, 2], 1.0),
+            (tup!["x", 3, 3], 1.0),
+        ]);
+        let a = AttrSet::singleton(s.attr("A").unwrap());
+        let parts = t.partition_by(a);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].0, vec![Value::str("x")]);
+        assert_eq!(parts[0].1.len(), 2);
+        assert_eq!(parts[1].0, vec![Value::str("y")]);
+        let sel = t.select_eq(a, &[Value::str("x")]);
+        assert_eq!(sel, parts[0].1);
+        // Partition by ∅ yields a single block.
+        assert_eq!(t.partition_by(AttrSet::EMPTY).len(), 1);
+    }
+
+    #[test]
+    fn column_domain_sorted_dedup() {
+        let s = schema_rabc();
+        let t = table_abc(vec![
+            (tup!["x", 3, 2], 1.0),
+            (tup!["y", 1, 2], 1.0),
+            (tup!["z", 3, 2], 1.0),
+        ]);
+        assert_eq!(
+            t.column_domain(s.attr("B").unwrap()),
+            vec![Value::from(1), Value::from(3)]
+        );
+    }
+
+    #[test]
+    fn equality_ignores_row_order() {
+        let s = schema_rabc();
+        let mut a = Table::new(s.clone());
+        a.push_row(TupleId(0), tup!["x", 1, 2], 1.0).unwrap();
+        a.push_row(TupleId(1), tup!["y", 1, 2], 1.0).unwrap();
+        let mut b = Table::new(s);
+        b.push_row(TupleId(1), tup!["y", 1, 2], 1.0).unwrap();
+        b.push_row(TupleId(0), tup!["x", 1, 2], 1.0).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_renders() {
+        let t = table_abc(vec![(tup!["x", 1, 2], 1.0)]);
+        let shown = t.to_string();
+        assert!(shown.contains("id"));
+        assert!(shown.contains('x'));
+    }
+}

@@ -1,0 +1,203 @@
+//! Attribute values.
+//!
+//! The paper assumes a countably infinite domain `Val` of attribute values
+//! (§2.1). [`Value`] models that domain with four constructors:
+//!
+//! * [`Value::Int`] and [`Value::Str`] are ordinary constants;
+//! * [`Value::Composite`] builds tuple-valued constants such as `⟨a, c⟩`,
+//!   which the fact-wise reductions of Lemmas A.14–A.17 use to pack several
+//!   source values into one target cell;
+//! * [`Value::Fresh`] is a constant guaranteed distinct from every other
+//!   value ever produced, modelling the "fresh constant from our infinite
+//!   domain" used by update repairs (Proposition 4.4).
+
+use std::fmt;
+use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A single attribute value from the countably infinite domain `Val`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// An integer constant.
+    Int(i64),
+    /// A string constant. Stored behind `Arc` so cloning rows is cheap.
+    Str(Arc<str>),
+    /// A composite constant `⟨v₁, …, vₙ⟩`; equal iff component-wise equal.
+    Composite(Arc<[Value]>),
+    /// A fresh constant, distinct from every `Int`, `Str`, `Composite`, and
+    /// every other `Fresh` with a different tag.
+    Fresh(u64),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Builds the pair value `⟨a, b⟩`.
+    pub fn pair(a: Value, b: Value) -> Value {
+        Value::Composite(Arc::from(vec![a, b]))
+    }
+
+    /// Builds the triple value `⟨a, b, c⟩`.
+    pub fn triple(a: Value, b: Value, c: Value) -> Value {
+        Value::Composite(Arc::from(vec![a, b, c]))
+    }
+
+    /// Builds a composite value from arbitrarily many components.
+    pub fn composite<I: IntoIterator<Item = Value>>(parts: I) -> Value {
+        Value::Composite(parts.into_iter().collect::<Vec<_>>().into())
+    }
+
+    /// True iff this is a fresh constant.
+    pub fn is_fresh(&self) -> bool {
+        matches!(self, Value::Fresh(_))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Composite(parts) => {
+                write!(f, "⟨")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, "⟩")
+            }
+            Value::Fresh(tag) => write!(f, "⊥{tag}"),
+        }
+    }
+}
+
+/// Global tag counter backing [`FreshSource`]. Process-wide so that two
+/// independent sources can never mint colliding fresh constants.
+static FRESH_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A supply of fresh constants from the infinite domain.
+///
+/// Each call to [`FreshSource::next`] returns a value different from every
+/// value previously minted anywhere in the process, which is the guarantee
+/// the update-repair constructions rely on.
+#[derive(Debug, Default)]
+pub struct FreshSource;
+
+impl FreshSource {
+    /// Creates a fresh-constant supply.
+    pub fn new() -> FreshSource {
+        FreshSource
+    }
+
+    /// Mints the next fresh constant.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Value {
+        Value::Fresh(FRESH_COUNTER.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_and_ordering() {
+        assert_eq!(Value::from(3), Value::Int(3));
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_ne!(Value::from(3), Value::str("3"));
+        assert_eq!(
+            Value::pair(1.into(), "a".into()),
+            Value::pair(1.into(), "a".into())
+        );
+        assert_ne!(
+            Value::pair(1.into(), "a".into()),
+            Value::pair("a".into(), 1.into())
+        );
+        let mut vals = vec![Value::from(2), Value::from(1)];
+        vals.sort();
+        assert_eq!(vals, vec![Value::from(1), Value::from(2)]);
+    }
+
+    #[test]
+    fn fresh_values_are_pairwise_distinct() {
+        let mut src = FreshSource::new();
+        let a = src.next();
+        let b = src.next();
+        let mut other = FreshSource::new();
+        let c = other.next();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        assert!(a.is_fresh());
+        assert!(!Value::from(1).is_fresh());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::from(7).to_string(), "7");
+        assert_eq!(Value::str("HQ").to_string(), "HQ");
+        assert_eq!(
+            Value::pair("a".into(), 1.into()).to_string(),
+            "⟨a,1⟩"
+        );
+        assert_eq!(
+            Value::triple(1.into(), 2.into(), 3.into()).to_string(),
+            "⟨1,2,3⟩"
+        );
+    }
+
+    #[test]
+    fn composite_nesting() {
+        let inner = Value::pair(1.into(), 2.into());
+        let outer = Value::pair(inner.clone(), 3.into());
+        assert_eq!(outer.to_string(), "⟨⟨1,2⟩,3⟩");
+        assert_ne!(outer, inner);
+    }
+}

@@ -1,0 +1,204 @@
+//! Property tests for the fd-core substrate: attribute-set algebra,
+//! FD-set laws, Armstrong derivations vs. the closure engine, candidate
+//! keys, and cover quantities.
+
+use fd_core::{
+    candidate_keys, derive, is_superkey, mci, mfs, min_core_implicant, min_lhs_cover,
+    schema_rabc, tup, AttrId, AttrSet, Fd, FdSet, Schema, Table,
+};
+use proptest::prelude::*;
+
+fn arb_attrset(arity: u16) -> impl Strategy<Value = AttrSet> {
+    prop::collection::vec(0..arity, 0..=arity as usize)
+        .prop_map(|ids| ids.into_iter().map(AttrId::new).collect())
+}
+
+fn arb_fdset(arity: u16, max_fds: usize) -> impl Strategy<Value = FdSet> {
+    prop::collection::vec(
+        (arb_attrset(arity), arb_attrset(arity)).prop_filter_map(
+            "nonempty rhs",
+            |(lhs, rhs)| (!rhs.is_empty()).then_some(Fd::new(lhs, rhs)),
+        ),
+        0..=max_fds,
+    )
+    .prop_map(FdSet::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn attrset_algebra_laws(a in arb_attrset(8), b in arb_attrset(8), c in arb_attrset(8)) {
+        // De Morgan-ish / lattice laws.
+        prop_assert_eq!(a.union(b), b.union(a));
+        prop_assert_eq!(a.intersect(b), b.intersect(a));
+        prop_assert_eq!(a.union(b).intersect(c), a.intersect(c).union(b.intersect(c)));
+        prop_assert_eq!(a.difference(b).union(a.intersect(b)), a);
+        prop_assert!(a.intersect(b).is_subset(a));
+        prop_assert!(a.is_subset(a.union(b)));
+        prop_assert_eq!(a.is_disjoint(b), a.intersect(b).is_empty());
+        // len is additive over a partition.
+        prop_assert_eq!(a.difference(b).len() + a.intersect(b).len(), a.len());
+    }
+
+    #[test]
+    fn attrset_iteration_roundtrip(a in arb_attrset(12)) {
+        let rebuilt: AttrSet = a.iter().collect();
+        prop_assert_eq!(rebuilt, a);
+        prop_assert_eq!(a.iter().count(), a.len());
+    }
+
+    #[test]
+    fn armstrong_agrees_with_closure(
+        fds in arb_fdset(4, 4),
+        lhs in arb_attrset(4),
+        rhs in arb_attrset(4),
+    ) {
+        prop_assume!(!rhs.is_empty());
+        let target = Fd::new(lhs, rhs);
+        match derive(&fds, &target) {
+            Some(proof) => {
+                prop_assert!(fds.entails(&target));
+                prop_assert!(proof.check(&fds));
+                prop_assert_eq!(proof.conclusion(), target);
+            }
+            None => prop_assert!(!fds.entails(&target)),
+        }
+    }
+
+    #[test]
+    fn candidate_keys_are_minimal_superkeys(fds in arb_fdset(5, 4)) {
+        let schema = Schema::new("R", ["A", "B", "C", "D", "E"]).unwrap();
+        let keys = candidate_keys(&schema, &fds);
+        prop_assert!(!keys.is_empty());
+        for &k in &keys {
+            prop_assert!(is_superkey(&schema, &fds, k));
+            for attr in k.iter() {
+                prop_assert!(!is_superkey(&schema, &fds, k.remove(attr)));
+            }
+        }
+        // Pairwise incomparable.
+        for (i, &k) in keys.iter().enumerate() {
+            for &other in &keys[i + 1..] {
+                prop_assert!(!k.is_subset(other));
+                prop_assert!(!other.is_subset(k));
+            }
+        }
+    }
+
+    #[test]
+    fn min_lhs_cover_hits_every_lhs(fds in arb_fdset(5, 4)) {
+        match min_lhs_cover(&fds) {
+            Some(cover) => {
+                for fd in fds.remove_trivial().iter() {
+                    prop_assert!(fd.lhs().intersects(cover),
+                        "cover must hit every nontrivial lhs");
+                }
+                // Minimality: no strictly smaller hitting set of the same size - 1
+                // exists; check by removing each attribute.
+                for attr in cover.iter() {
+                    let smaller = cover.remove(attr);
+                    let hits_all = fds
+                        .remove_trivial()
+                        .iter()
+                        .all(|fd| fd.lhs().intersects(smaller));
+                    prop_assert!(!hits_all, "cover must be minimum, hence minimal");
+                }
+            }
+            None => {
+                prop_assert!(fds.remove_trivial().iter().any(|fd| fd.lhs().is_empty()));
+            }
+        }
+    }
+
+    #[test]
+    fn core_implicants_hit_every_entailed_lhs(fds in arb_fdset(4, 3)) {
+        // For every attribute a and every *entailed* nontrivial implicant
+        // X → a with X drawn from subsets of attrs(Δ), the minimum core
+        // implicant intersects X.
+        for a in fds.attrs().iter() {
+            match min_core_implicant(&fds, a) {
+                None => {
+                    // Exactly the consensus attributes have no core
+                    // implicant (∅ is an unhittable implicant).
+                    prop_assert!(fds.consensus_attrs().contains(a));
+                }
+                Some(ci) => {
+                    prop_assert!(!fds.consensus_attrs().contains(a));
+                    for x in fds.attrs().remove(a).subsets() {
+                        if fds.closure_of(x).contains(a) {
+                            prop_assert!(
+                                x.intersects(ci),
+                                "core implicant must hit every nontrivial implicant"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mfs_mci_are_consistent(fds in arb_fdset(4, 4)) {
+        let m = mfs(&fds);
+        prop_assert!(m <= 4);
+        let norm = fds.normalize_single_rhs();
+        if !norm.is_empty() {
+            prop_assert!(norm.iter().any(|fd| fd.lhs().len() == m));
+        }
+        prop_assert!(mci(&fds) <= fds.attrs().len());
+    }
+
+    #[test]
+    fn equivalent_fd_sets_share_structure(fds in arb_fdset(4, 4)) {
+        let cover = fds.minimal_cover();
+        // Equivalence implies identical closures on every subset.
+        for x in AttrSet::all(4).subsets() {
+            prop_assert_eq!(fds.closure_of(x), cover.closure_of(x));
+        }
+        // And identical consensus attributes.
+        prop_assert_eq!(fds.consensus_attrs(), cover.consensus_attrs());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// CSV round trip: any table of integer and non-numeric string values
+    /// survives `table_to_csv` → `table_from_csv` exactly (values,
+    /// weights, order), including fields that need quoting.
+    #[test]
+    fn csv_round_trip_preserves_tables(
+        rows in proptest::collection::vec(
+            (
+                any::<i64>(),
+                "[a-z ,\"\n]{0,8}",
+                0..5i64,
+                1..10u8,
+            ),
+            0..12,
+        )
+    ) {
+        let schema = schema_rabc();
+        let table = Table::build(
+            schema,
+            rows.into_iter().map(|(a, s, c, w)| {
+                // Prefix keeps the string non-numeric so it re-parses as Str.
+                (tup![a, format!("s{s}").as_str(), c], w as f64)
+            }),
+        )
+        .expect("valid rows");
+        let csv = fd_core::table_to_csv(&table, true);
+        let again = fd_core::table_from_csv(
+            "R",
+            &csv,
+            &fd_core::CsvOptions { weight_column: Some("weight".to_string()) },
+        )
+        .expect("rendered CSV must re-parse");
+        prop_assert_eq!(table.len(), again.len());
+        for (x, y) in table.rows().zip(again.rows()) {
+            prop_assert_eq!(&x.tuple, &y.tuple);
+            prop_assert_eq!(x.weight, y.weight);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! The FD-set families of §4.4 used to separate the approximation ratios
+//! of Theorems 4.12 and 4.13, with dirty-table generators.
+
+use fd_core::{FdSet, Schema, Table, Tuple, Value};
+use rand::prelude::*;
+use std::sync::Arc;
+
+/// `Δ_k = {A0⋯Ak → B0, B0 → C, B1 → A0, …, Bk → A0}` over
+/// `R(A0..Ak, B0..Bk, C)` (§4.4): ours Θ(k), KL Θ(k²).
+pub fn delta_k(k: usize) -> (Arc<Schema>, FdSet) {
+    assert!(k >= 1 && 2 * k + 3 <= 64);
+    let names: Vec<String> = (0..=k)
+        .map(|i| format!("A{i}"))
+        .chain((0..=k).map(|i| format!("B{i}")))
+        .chain(["C".to_string()])
+        .collect();
+    let schema = Schema::new("R", names).expect("valid schema");
+    let mut spec = vec![format!(
+        "{} -> B0",
+        (0..=k).map(|i| format!("A{i}")).collect::<Vec<_>>().join(" ")
+    )];
+    spec.push("B0 -> C".to_string());
+    for i in 1..=k {
+        spec.push(format!("B{i} -> A0"));
+    }
+    let fds = FdSet::parse(&schema, &spec.join("; ")).expect("valid FDs");
+    (schema, fds)
+}
+
+/// `Δ'_k = {A0A1 → B0, A1A2 → B1, …, AkAk+1 → Bk}` over
+/// `R(A0..Ak+1, B0..Bk)` (§4.4): ours Θ(k), KL constant.
+pub fn delta_prime_k(k: usize) -> (Arc<Schema>, FdSet) {
+    assert!(k >= 1 && 2 * k + 3 <= 64);
+    let names: Vec<String> = (0..=k + 1)
+        .map(|i| format!("A{i}"))
+        .chain((0..=k).map(|i| format!("B{i}")))
+        .collect();
+    let schema = Schema::new("R", names).expect("valid schema");
+    let spec: Vec<String> = (0..=k)
+        .map(|i| format!("A{} A{} -> B{}", i, i + 1, i))
+        .collect();
+    let fds = FdSet::parse(&schema, &spec.join("; ")).expect("valid FDs");
+    (schema, fds)
+}
+
+/// A dirty table for an arbitrary `(schema, Δ)`: `n` rows with small
+/// per-column domains (domain size `domain`), which makes lhs collisions —
+/// and hence violations — frequent. Unweighted.
+pub fn dense_random_table(
+    schema: &Arc<Schema>,
+    n: usize,
+    domain: usize,
+    rng: &mut StdRng,
+) -> Table {
+    let rows = (0..n).map(|_| {
+        Tuple::new(
+            (0..schema.arity()).map(|_| Value::Int(rng.gen_range(0..domain as i64))),
+        )
+    });
+    Table::build_unweighted(schema.clone(), rows).expect("valid rows")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::{mci, mfs, mlc};
+
+    #[test]
+    fn delta_k_matches_paper_quantities() {
+        for k in 1..=6 {
+            let (schema, fds) = delta_k(k);
+            assert_eq!(schema.arity(), 2 * k + 3);
+            assert_eq!(fds.len(), k + 2);
+            assert_eq!(mlc(&fds), Some(k + 2));
+            assert_eq!(mfs(&fds), k + 1);
+            assert_eq!(mci(&fds), k.max(2));
+        }
+    }
+
+    #[test]
+    fn delta_prime_k_matches_paper_quantities() {
+        for k in 1..=6 {
+            let (schema, fds) = delta_prime_k(k);
+            assert_eq!(schema.arity(), 2 * k + 3);
+            assert_eq!(fds.len(), k + 1);
+            assert_eq!(mlc(&fds), Some((k + 1).div_ceil(2)));
+            assert_eq!(mfs(&fds), 2);
+            assert_eq!(mci(&fds), 1);
+        }
+    }
+
+    #[test]
+    fn dense_tables_violate_with_small_domains() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (schema, fds) = delta_prime_k(2);
+        let t = dense_random_table(&schema, 40, 2, &mut rng);
+        assert_eq!(t.len(), 40);
+        assert!(!t.satisfies(&fds), "small domains should force violations");
+    }
+}

@@ -1,0 +1,211 @@
+//! Undirected-graph workloads and the Theorem 4.10 construction: vertex
+//! cover on bounded-degree graphs encoded as U-repair instances of
+//! `Δ_{A↔B→C} = {A → B, B → A, B → C}`.
+
+use fd_core::{schema_rabc, FdSet, Table, Tuple, TupleId, Value};
+use fd_graph::{min_weight_vertex_cover, Graph};
+use rand::prelude::*;
+use std::collections::HashMap;
+
+/// A simple undirected graph given by vertex count and edge list.
+#[derive(Clone, Debug)]
+pub struct UGraph {
+    /// Number of vertices `0..n`.
+    pub n: usize,
+    /// Edges as `(min, max)` pairs, deduplicated and sorted.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl UGraph {
+    /// Builds a graph, normalizing the edge list.
+    pub fn new(n: usize, edges: Vec<(u32, u32)>) -> UGraph {
+        let mut edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(u, v)| (u.min(v), u.max(v)))
+            .filter(|&(u, v)| u != v)
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        assert!(edges.iter().all(|&(_, v)| (v as usize) < n));
+        UGraph { n, edges }
+    }
+
+    /// A random graph with maximum degree ≤ `max_degree` (edges are
+    /// sampled and rejected when a degree budget would overflow).
+    pub fn random_bounded_degree(
+        n: usize,
+        max_degree: usize,
+        target_edges: usize,
+        rng: &mut StdRng,
+    ) -> UGraph {
+        let mut degree = vec![0usize; n];
+        let mut edges = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut attempts = 0;
+        while edges.len() < target_edges && attempts < target_edges * 50 {
+            attempts += 1;
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if seen.contains(&key)
+                || degree[key.0 as usize] >= max_degree
+                || degree[key.1 as usize] >= max_degree
+            {
+                continue;
+            }
+            seen.insert(key);
+            degree[key.0 as usize] += 1;
+            degree[key.1 as usize] += 1;
+            edges.push(key);
+        }
+        UGraph::new(n, edges)
+    }
+
+    /// Converts to the weighted-graph substrate (unit weights).
+    pub fn to_graph(&self) -> Graph {
+        let mut g = Graph::unweighted(self.n);
+        for &(u, v) in &self.edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// The size of a minimum vertex cover (exact, exponential worst case).
+    pub fn min_vertex_cover(&self) -> Vec<u32> {
+        min_weight_vertex_cover(&self.to_graph()).nodes
+    }
+}
+
+/// `Δ_{A↔B→C} = {A → B, B → A, B → C}` (Example 3.1 / Theorem 4.10).
+pub fn delta_marriage() -> FdSet {
+    FdSet::parse(&schema_rabc(), "A -> B; B -> A; B -> C").expect("static FDs")
+}
+
+/// The Theorem 4.10 table: per edge `(u, v)` the tuples `(u, v, 0)` and
+/// `(v, u, 0)`, per vertex `v` the tuple `(v, v, 1)`. Unweighted and
+/// duplicate free. The optimal U-repair distance is `2|E| + vc(G)`.
+///
+/// Returns the table plus the id maps `(edge_tuple_ids, vertex_tuple_ids)`
+/// used by [`vc_update_from_cover`].
+pub fn vc_to_table(g: &UGraph) -> (Table, Vec<(TupleId, TupleId)>, HashMap<u32, TupleId>) {
+    let mut table = Table::new(schema_rabc());
+    let vx = |v: u32| Value::str(&format!("v{v}"));
+    let mut edge_ids = Vec::with_capacity(g.edges.len());
+    for &(u, v) in &g.edges {
+        let a = table
+            .push(Tuple::new(vec![vx(u), vx(v), Value::Int(0)]), 1.0)
+            .expect("valid row");
+        let b = table
+            .push(Tuple::new(vec![vx(v), vx(u), Value::Int(0)]), 1.0)
+            .expect("valid row");
+        edge_ids.push((a, b));
+    }
+    let mut vertex_ids = HashMap::new();
+    for v in 0..g.n as u32 {
+        let id = table
+            .push(Tuple::new(vec![vx(v), vx(v), Value::Int(1)]), 1.0)
+            .expect("valid row");
+        vertex_ids.insert(v, id);
+    }
+    (table, edge_ids, vertex_ids)
+}
+
+/// The constructive half of Theorem 4.10: given a vertex cover `C`, builds
+/// a consistent update of distance exactly `2|E| + |C|` — each edge tuple
+/// is folded onto a covering endpoint (one cell each) and each covered
+/// vertex tuple has its `C` flag cleared (one cell).
+pub fn vc_update_from_cover(g: &UGraph, cover: &[u32]) -> Table {
+    let (table, edge_ids, vertex_ids) = vc_to_table(g);
+    let schema = schema_rabc();
+    let (a, b, c) = (
+        schema.attr("A").unwrap(),
+        schema.attr("B").unwrap(),
+        schema.attr("C").unwrap(),
+    );
+    let in_cover: std::collections::HashSet<u32> = cover.iter().copied().collect();
+    let vx = |v: u32| Value::str(&format!("v{v}"));
+    let mut updated = table;
+    for (&(u, v), &(id_uv, id_vu)) in g.edges.iter().zip(edge_ids.iter()) {
+        // Fold both edge tuples onto a covering endpoint w: (w, w, 0).
+        let w = if in_cover.contains(&u) { u } else { v };
+        debug_assert!(in_cover.contains(&w), "C must be a vertex cover");
+        // (u, v, 0): set the non-w side to w (exactly one cell changes).
+        if w == u {
+            updated.set_value(id_uv, b, vx(w)).unwrap();
+            updated.set_value(id_vu, a, vx(w)).unwrap();
+        } else {
+            updated.set_value(id_uv, a, vx(w)).unwrap();
+            updated.set_value(id_vu, b, vx(w)).unwrap();
+        }
+    }
+    for &v in cover {
+        updated.set_value(vertex_ids[&v], c, Value::Int(0)).unwrap();
+    }
+    updated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> UGraph {
+        UGraph::new(n, (0..n as u32 - 1).map(|i| (i, i + 1)).collect())
+    }
+
+    #[test]
+    fn graph_normalization() {
+        let g = UGraph::new(3, vec![(1, 0), (0, 1), (2, 2), (1, 2)]);
+        assert_eq!(g.edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn bounded_degree_respected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = UGraph::random_bounded_degree(20, 3, 25, &mut rng);
+        let mut degree = [0usize; 20];
+        for &(u, v) in &g.edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        assert!(degree.iter().all(|&d| d <= 3));
+        assert!(!g.edges.is_empty());
+    }
+
+    #[test]
+    fn table_shape_matches_theorem_4_10() {
+        let g = path(3); // 2 edges, 3 vertices
+        let (t, edge_ids, vertex_ids) = vc_to_table(&g);
+        assert_eq!(t.len(), 2 * 2 + 3);
+        assert!(t.is_unweighted());
+        assert!(t.is_duplicate_free());
+        assert_eq!(edge_ids.len(), 2);
+        assert_eq!(vertex_ids.len(), 3);
+        assert!(!t.satisfies(&delta_marriage()));
+    }
+
+    #[test]
+    fn constructed_update_is_consistent_with_cost_2e_plus_k() {
+        for g in [path(2), path(3), path(4), UGraph::new(3, vec![(0, 1), (1, 2), (0, 2)])] {
+            let cover = g.min_vertex_cover();
+            let (original, _, _) = vc_to_table(&g);
+            let updated = vc_update_from_cover(&g, &cover);
+            assert!(
+                updated.satisfies(&delta_marriage()),
+                "violating: {:?}",
+                updated.violating_pair(&delta_marriage())
+            );
+            let dist = original.dist_upd(&updated).unwrap();
+            assert_eq!(dist, (2 * g.edges.len() + cover.len()) as f64);
+        }
+    }
+
+    #[test]
+    fn min_cover_of_triangle_is_two() {
+        let triangle = UGraph::new(3, vec![(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(triangle.min_vertex_cover().len(), 2);
+        assert_eq!(path(3).min_vertex_cover().len(), 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! # fd-gen
+//!
+//! Seeded workload generators and the paper's hardness gadgets:
+//!
+//! * [`office`] — the Figure 1 running example, verbatim;
+//! * [`random`] — chase-based clean-table generation plus controlled cell
+//!   corruption;
+//! * [`sat`] — MAX-2-SAT and MAX-non-mixed-SAT instances with their table
+//!   encodings (Lemmas A.7/A.8/A.13);
+//! * [`graphs`] — bounded-degree graphs and the Theorem 4.10 vertex-cover
+//!   construction for `Δ_{A↔B→C}`;
+//! * [`triangles`] — tripartite graphs and the Lemma A.11 edge-disjoint
+//!   triangle construction for `Δ_{AB↔AC↔BC}`;
+//! * [`families`] — the `Δ_k` / `Δ'_k` families of §4.4;
+//! * [`armstrong_rel`] — Armstrong relations: tables realizing *exactly*
+//!   the closure of an FD set (perfect test fixtures);
+//! * [`typos`] — realistic typo-injection workloads.
+
+#![warn(missing_docs)]
+
+pub mod armstrong_rel;
+pub mod families;
+pub mod graphs;
+pub mod office;
+pub mod random;
+pub mod sat;
+pub mod triangles;
+pub mod typos;

@@ -1,0 +1,126 @@
+//! The running example of Figure 1: the `Office` table, its FDs, the
+//! consistent subsets `S1`–`S3`, and the consistent updates `U1`–`U3`.
+
+use fd_core::{tup, FdSet, Schema, Table, TupleId};
+use std::sync::Arc;
+
+/// `Office(facility, room, floor, city)`.
+pub fn office_schema() -> Arc<Schema> {
+    Schema::new("Office", ["facility", "room", "floor", "city"]).expect("static schema")
+}
+
+/// `Δ = {facility → city, facility room → floor}` (Example 2.2).
+pub fn office_fds() -> FdSet {
+    FdSet::parse(&office_schema(), "facility -> city; facility room -> floor")
+        .expect("static FDs")
+}
+
+/// The inconsistent table `T` of Figure 1(a). Ids are 1–4 as in the paper.
+pub fn office_table() -> Table {
+    let mut t = Table::new(office_schema());
+    t.push_row(TupleId(1), tup!["HQ", 322, 3, "Paris"], 2.0).unwrap();
+    t.push_row(TupleId(2), tup!["HQ", 322, 30, "Madrid"], 1.0).unwrap();
+    t.push_row(TupleId(3), tup!["HQ", 122, 1, "Madrid"], 1.0).unwrap();
+    t.push_row(TupleId(4), tup!["Lab1", "B35", 3, "London"], 2.0).unwrap();
+    t
+}
+
+/// Consistent subset `S1` of Figure 1(b): tuple 1 removed (distance 2).
+pub fn office_s1() -> Table {
+    let keep = [TupleId(2), TupleId(3), TupleId(4)].into_iter().collect();
+    office_table().subset(&keep)
+}
+
+/// Consistent subset `S2` of Figure 1(c): tuples 2, 3 removed (distance 2).
+pub fn office_s2() -> Table {
+    let keep = [TupleId(1), TupleId(4)].into_iter().collect();
+    office_table().subset(&keep)
+}
+
+/// Consistent subset `S3` of Figure 1(d): tuples 1, 2 removed (distance 3).
+pub fn office_s3() -> Table {
+    let keep = [TupleId(3), TupleId(4)].into_iter().collect();
+    office_table().subset(&keep)
+}
+
+/// Consistent update `U1` of Figure 1(e): tuple 1's facility becomes `F01`
+/// (distance 2: one cell at weight 2).
+pub fn office_u1() -> Table {
+    let mut t = office_table();
+    let s = office_schema();
+    t.set_value(TupleId(1), s.attr("facility").unwrap(), "F01".into()).unwrap();
+    t
+}
+
+/// Consistent update `U2` of Figure 1(f): tuple 2's floor/city and tuple
+/// 3's city change (distance 3: three cells at weight 1).
+pub fn office_u2() -> Table {
+    let mut t = office_table();
+    let s = office_schema();
+    t.set_value(TupleId(2), s.attr("floor").unwrap(), 3.into()).unwrap();
+    t.set_value(TupleId(2), s.attr("city").unwrap(), "Paris".into()).unwrap();
+    t.set_value(TupleId(3), s.attr("city").unwrap(), "Paris".into()).unwrap();
+    t
+}
+
+/// Consistent update `U3` of Figure 1(g): tuple 1's floor and city change
+/// (distance 4: two cells at weight 2).
+pub fn office_u3() -> Table {
+    let mut t = office_table();
+    let s = office_schema();
+    t.set_value(TupleId(1), s.attr("floor").unwrap(), 30.into()).unwrap();
+    t.set_value(TupleId(1), s.attr("city").unwrap(), "Madrid".into()).unwrap();
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_2_1_table_properties() {
+        let t = office_table();
+        assert_eq!(t.len(), 4);
+        assert!(t.is_duplicate_free());
+        assert!(!t.is_unweighted());
+        assert!(!t.satisfies(&office_fds()));
+    }
+
+    #[test]
+    fn example_2_3_subset_distances() {
+        let t = office_table();
+        let fds = office_fds();
+        for (name, s, dist) in [
+            ("S1", office_s1(), 2.0),
+            ("S2", office_s2(), 2.0),
+            ("S3", office_s3(), 3.0),
+        ] {
+            assert!(s.satisfies(&fds), "{name} must be consistent");
+            assert_eq!(t.dist_sub(&s).unwrap(), dist, "{name}");
+        }
+    }
+
+    #[test]
+    fn example_2_3_update_distances() {
+        let t = office_table();
+        let fds = office_fds();
+        for (name, u, dist) in [
+            ("U1", office_u1(), 2.0),
+            ("U2", office_u2(), 3.0),
+            ("U3", office_u3(), 4.0),
+        ] {
+            assert!(u.satisfies(&fds), "{name} must be consistent");
+            assert_eq!(t.dist_upd(&u).unwrap(), dist, "{name}");
+        }
+    }
+
+    #[test]
+    fn fds_are_a_chain_with_common_lhs() {
+        let fds = office_fds();
+        assert!(fds.is_chain());
+        assert_eq!(
+            fds.common_lhs(),
+            Some(office_schema().attr("facility").unwrap())
+        );
+    }
+}

@@ -1,0 +1,313 @@
+//! SAT workloads and their table encodings.
+//!
+//! * MAX-2-SAT → tables under `Δ_{A→B→C}`: the maximum number of
+//!   simultaneously satisfiable clauses equals the size of a maximum
+//!   consistent subset (the shape of the Gribkoff et al. reductions used
+//!   by Lemmas A.7/A.8; the concrete gadget here is ours, verified against
+//!   brute force — see DESIGN.md).
+//! * MAX-non-mixed-SAT → tables under `Δ_{AB→C→B}`: the construction of
+//!   Lemma A.13, verbatim.
+
+use fd_core::{schema_rabc, FdSet, Table, Tuple, Value};
+use rand::prelude::*;
+
+/// A literal: variable index plus polarity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Lit {
+    /// Variable index in `0..n_vars`.
+    pub var: u32,
+    /// True for `x`, false for `¬x`.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// The truth value this literal requires of its variable.
+    pub fn required(&self) -> bool {
+        self.positive
+    }
+}
+
+/// A MAX-2-SAT instance.
+#[derive(Clone, Debug)]
+pub struct TwoSat {
+    /// Number of variables.
+    pub n_vars: u32,
+    /// Two-literal clauses.
+    pub clauses: Vec<(Lit, Lit)>,
+}
+
+impl TwoSat {
+    /// A random instance with clauses over distinct variable pairs.
+    pub fn random(n_vars: u32, n_clauses: usize, rng: &mut StdRng) -> TwoSat {
+        assert!(n_vars >= 2);
+        let clauses = (0..n_clauses)
+            .map(|_| {
+                let x = rng.gen_range(0..n_vars);
+                let mut y = rng.gen_range(0..n_vars);
+                while y == x {
+                    y = rng.gen_range(0..n_vars);
+                }
+                (
+                    Lit { var: x, positive: rng.gen_bool(0.5) },
+                    Lit { var: y, positive: rng.gen_bool(0.5) },
+                )
+            })
+            .collect();
+        TwoSat { n_vars, clauses }
+    }
+
+    /// Number of clauses satisfied by `assignment`.
+    pub fn count_satisfied(&self, assignment: &[bool]) -> usize {
+        self.clauses
+            .iter()
+            .filter(|(l1, l2)| {
+                assignment[l1.var as usize] == l1.required()
+                    || assignment[l2.var as usize] == l2.required()
+            })
+            .count()
+    }
+
+    /// The MAX-2-SAT optimum by exhaustive search (`n_vars ≤ 24`).
+    pub fn max_satisfiable(&self) -> usize {
+        assert!(self.n_vars <= 24, "brute force limited to 24 variables");
+        let mut best = 0;
+        for mask in 0u32..(1 << self.n_vars) {
+            let assignment: Vec<bool> =
+                (0..self.n_vars).map(|i| mask & (1 << i) != 0).collect();
+            best = best.max(self.count_satisfied(&assignment));
+        }
+        best
+    }
+}
+
+/// `Δ_{A→B→C} = {A → B, B → C}` over `R(A, B, C)` (Table 1).
+pub fn delta_chain() -> FdSet {
+    FdSet::parse(&schema_rabc(), "A -> B; B -> C").expect("static FDs")
+}
+
+/// Encodes a MAX-2-SAT instance as an unweighted, duplicate-free table
+/// under [`delta_chain`]: clause `c = (l₁ ∨ l₂)` over variables `x ≠ y`
+/// yields tuples `(c, x, val(l₁))` and `(c, y, val(l₂))`.
+///
+/// `A → B` keeps at most one literal-tuple per clause; `B → C` forces all
+/// kept tuples of one variable to agree on its truth value. Hence the
+/// maximum consistent-subset size equals [`TwoSat::max_satisfiable`], and
+/// an optimal S-repair deletes exactly `|T| −` that many tuples.
+pub fn two_sat_to_table(sat: &TwoSat) -> Table {
+    let mut rows: Vec<Tuple> = Vec::new();
+    for (j, (l1, l2)) in sat.clauses.iter().enumerate() {
+        let clause = Value::str(&format!("c{j}"));
+        let var = |v: u32| Value::str(&format!("x{v}"));
+        let bit = |b: bool| Value::Int(b as i64);
+        if l1.var != l2.var {
+            rows.push(Tuple::new(vec![clause.clone(), var(l1.var), bit(l1.required())]));
+            rows.push(Tuple::new(vec![clause, var(l2.var), bit(l2.required())]));
+        } else if l1.positive != l2.positive {
+            // Tautology (x ∨ ¬x): both polarities, always satisfiable.
+            rows.push(Tuple::new(vec![clause.clone(), var(l1.var), bit(true)]));
+            rows.push(Tuple::new(vec![clause, var(l1.var), bit(false)]));
+        } else {
+            // Duplicate literal (x ∨ x): a single tuple.
+            rows.push(Tuple::new(vec![clause, var(l1.var), bit(l1.required())]));
+        }
+    }
+    Table::build_unweighted(schema_rabc(), rows).expect("valid rows")
+}
+
+/// A non-mixed SAT clause: a disjunction of only-positive or only-negative
+/// literals (Lemma A.13).
+#[derive(Clone, Debug)]
+pub struct NonMixedClause {
+    /// Polarity of every literal in the clause.
+    pub positive: bool,
+    /// The variables.
+    pub vars: Vec<u32>,
+}
+
+/// A MAX-non-mixed-SAT instance.
+#[derive(Clone, Debug)]
+pub struct NonMixedSat {
+    /// Number of variables.
+    pub n_vars: u32,
+    /// Clauses.
+    pub clauses: Vec<NonMixedClause>,
+}
+
+impl NonMixedSat {
+    /// A random instance with clauses of 1–3 distinct variables.
+    pub fn random(n_vars: u32, n_clauses: usize, rng: &mut StdRng) -> NonMixedSat {
+        assert!(n_vars >= 1);
+        let clauses = (0..n_clauses)
+            .map(|_| {
+                let len = rng.gen_range(1..=3.min(n_vars));
+                let mut vars: Vec<u32> = Vec::new();
+                while vars.len() < len as usize {
+                    let v = rng.gen_range(0..n_vars);
+                    if !vars.contains(&v) {
+                        vars.push(v);
+                    }
+                }
+                NonMixedClause { positive: rng.gen_bool(0.5), vars }
+            })
+            .collect();
+        NonMixedSat { n_vars, clauses }
+    }
+
+    /// Number of clauses satisfied by `assignment`.
+    pub fn count_satisfied(&self, assignment: &[bool]) -> usize {
+        self.clauses
+            .iter()
+            .filter(|c| c.vars.iter().any(|&v| assignment[v as usize] == c.positive))
+            .count()
+    }
+
+    /// The optimum by exhaustive search (`n_vars ≤ 24`).
+    pub fn max_satisfiable(&self) -> usize {
+        assert!(self.n_vars <= 24, "brute force limited to 24 variables");
+        let mut best = 0;
+        for mask in 0u32..(1 << self.n_vars) {
+            let assignment: Vec<bool> =
+                (0..self.n_vars).map(|i| mask & (1 << i) != 0).collect();
+            best = best.max(self.count_satisfied(&assignment));
+        }
+        best
+    }
+}
+
+/// `Δ_{AB→C→B} = {AB → C, C → B}` over `R(A, B, C)` (Table 1).
+pub fn delta_ab_c_b() -> FdSet {
+    FdSet::parse(&schema_rabc(), "A B -> C; C -> B").expect("static FDs")
+}
+
+/// The Lemma A.13 construction: clause `c_j` contributes the tuple
+/// `(c_j, 1, x_i)` for each positive variable (or `(c_j, 0, x_i)` for each
+/// negative one). The maximum consistent-subset size under
+/// [`delta_ab_c_b`] equals [`NonMixedSat::max_satisfiable`].
+pub fn non_mixed_sat_to_table(sat: &NonMixedSat) -> Table {
+    let mut rows: Vec<Tuple> = Vec::new();
+    for (j, clause) in sat.clauses.iter().enumerate() {
+        let cj = Value::str(&format!("c{j}"));
+        for &v in &clause.vars {
+            rows.push(Tuple::new(vec![
+                cj.clone(),
+                Value::Int(clause.positive as i64),
+                Value::str(&format!("x{v}")),
+            ]));
+        }
+    }
+    Table::build_unweighted(schema_rabc(), rows).expect("valid rows")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Max consistent-subset size by brute force.
+    fn max_consistent(table: &Table, fds: &FdSet) -> usize {
+        let ids: Vec<fd_core::TupleId> = table.ids().collect();
+        let n = ids.len();
+        assert!(n <= 20);
+        let mut best = 0;
+        for mask in 0u32..(1 << n) {
+            let keep: std::collections::HashSet<_> = (0..n)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| ids[i])
+                .collect();
+            if table.subset(&keep).satisfies(fds) {
+                best = best.max(keep.len());
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn two_sat_identity_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(101);
+        for _ in 0..15 {
+            let sat = TwoSat::random(rng.gen_range(2..5), rng.gen_range(1..7), &mut rng);
+            let table = two_sat_to_table(&sat);
+            assert!(table.is_duplicate_free());
+            assert!(table.is_unweighted());
+            assert_eq!(
+                max_consistent(&table, &delta_chain()),
+                sat.max_satisfiable(),
+                "clauses: {:?}",
+                sat.clauses
+            );
+        }
+    }
+
+    #[test]
+    fn two_sat_special_clauses() {
+        // Tautology is always satisfiable; (x ∨ x) forces τ(x) = 1.
+        let taut = TwoSat {
+            n_vars: 1,
+            clauses: vec![(
+                Lit { var: 0, positive: true },
+                Lit { var: 0, positive: false },
+            )],
+        };
+        let t = two_sat_to_table(&taut);
+        assert_eq!(t.len(), 2);
+        assert_eq!(max_consistent(&t, &delta_chain()), 1);
+
+        let dup = TwoSat {
+            n_vars: 1,
+            clauses: vec![(
+                Lit { var: 0, positive: true },
+                Lit { var: 0, positive: true },
+            )],
+        };
+        let t = two_sat_to_table(&dup);
+        assert_eq!(t.len(), 1);
+        assert_eq!(max_consistent(&t, &delta_chain()), 1);
+    }
+
+    #[test]
+    fn contradictory_unit_clauses_cost_one() {
+        // (x ∨ x) ∧ (¬x ∨ ¬x): at most one satisfiable.
+        let sat = TwoSat {
+            n_vars: 1,
+            clauses: vec![
+                (Lit { var: 0, positive: true }, Lit { var: 0, positive: true }),
+                (Lit { var: 0, positive: false }, Lit { var: 0, positive: false }),
+            ],
+        };
+        assert_eq!(sat.max_satisfiable(), 1);
+        let t = two_sat_to_table(&sat);
+        assert_eq!(max_consistent(&t, &delta_chain()), 1);
+    }
+
+    #[test]
+    fn non_mixed_identity_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(202);
+        for _ in 0..15 {
+            let sat = NonMixedSat::random(rng.gen_range(1..5), rng.gen_range(1..6), &mut rng);
+            let table = non_mixed_sat_to_table(&sat);
+            assert!(table.is_unweighted());
+            assert_eq!(
+                max_consistent(&table, &delta_ab_c_b()),
+                sat.max_satisfiable(),
+                "clauses: {:?}",
+                sat.clauses
+            );
+        }
+    }
+
+    #[test]
+    fn non_mixed_lemma_a13_shape() {
+        // One positive clause (x0 ∨ x1), one negative (¬x0).
+        let sat = NonMixedSat {
+            n_vars: 2,
+            clauses: vec![
+                NonMixedClause { positive: true, vars: vec![0, 1] },
+                NonMixedClause { positive: false, vars: vec![0] },
+            ],
+        };
+        let t = non_mixed_sat_to_table(&sat);
+        assert_eq!(t.len(), 3);
+        // τ(x0)=0, τ(x1)=1 satisfies both clauses.
+        assert_eq!(sat.max_satisfiable(), 2);
+        assert_eq!(max_consistent(&t, &delta_ab_c_b()), 2);
+    }
+}

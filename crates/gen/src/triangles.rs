@@ -1,0 +1,111 @@
+//! Tripartite triangle-packing workloads and the Lemma A.11 construction:
+//! edge-disjoint triangle packing encoded as S-repair instances of
+//! `Δ_{AB↔AC↔BC}`.
+
+use fd_core::{schema_rabc, FdSet, Table, Tuple, Value};
+use fd_graph::Tripartite;
+use rand::prelude::*;
+
+/// `Δ_{AB↔AC↔BC} = {AB → C, AC → B, BC → A}` (Table 1).
+pub fn delta_triangle() -> FdSet {
+    FdSet::parse(&schema_rabc(), "A B -> C; A C -> B; B C -> A").expect("static FDs")
+}
+
+/// A random tripartite graph built from `n_triangles` random triangles
+/// (shared edges between triangles arise naturally and create conflicts).
+pub fn random_tripartite(
+    na: usize,
+    nb: usize,
+    nc: usize,
+    n_triangles: usize,
+    rng: &mut StdRng,
+) -> Tripartite {
+    let mut g = Tripartite::new(na, nb, nc);
+    for _ in 0..n_triangles {
+        g.add_triangle(
+            rng.gen_range(0..na as u32),
+            rng.gen_range(0..nb as u32),
+            rng.gen_range(0..nc as u32),
+        );
+    }
+    g
+}
+
+/// The Lemma A.11 construction: one tuple `(aᵢ, bⱼ, cₖ)` per triangle of
+/// the tripartite graph. Consistent subsets are exactly edge-disjoint
+/// triangle sets, so the maximum consistent-subset size equals the maximum
+/// number of edge-disjoint triangles.
+pub fn tripartite_to_table(g: &Tripartite) -> Table {
+    let rows = g.triangles().into_iter().map(|(a, b, c)| {
+        Tuple::new(vec![
+            Value::str(&format!("a{a}")),
+            Value::str(&format!("b{b}")),
+            Value::str(&format!("c{c}")),
+        ])
+    });
+    Table::build_unweighted(schema_rabc(), rows).expect("valid rows")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_graph::max_edge_disjoint_triangles;
+
+    fn max_consistent(table: &Table, fds: &FdSet) -> usize {
+        let ids: Vec<fd_core::TupleId> = table.ids().collect();
+        let n = ids.len();
+        assert!(n <= 20);
+        let mut best = 0;
+        for mask in 0u32..(1 << n) {
+            let keep: std::collections::HashSet<_> = (0..n)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| ids[i])
+                .collect();
+            if table.subset(&keep).satisfies(fds) {
+                best = best.max(keep.len());
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn lemma_a11_identity_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(303);
+        for _ in 0..12 {
+            let g = random_tripartite(3, 3, 3, rng.gen_range(2..7), &mut rng);
+            let tris = g.triangles();
+            if tris.len() > 14 {
+                continue; // keep the brute force cheap
+            }
+            let table = tripartite_to_table(&g);
+            assert_eq!(table.len(), tris.len());
+            let packing = max_edge_disjoint_triangles(&tris).len();
+            assert_eq!(
+                max_consistent(&table, &delta_triangle()),
+                packing,
+                "triangles: {tris:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_edge_conflicts() {
+        // Two triangles sharing the AB edge conflict under AB → C.
+        let mut g = Tripartite::new(1, 1, 2);
+        g.add_triangle(0, 0, 0);
+        g.add_triangle(0, 0, 1);
+        let t = tripartite_to_table(&g);
+        assert_eq!(t.len(), 2);
+        assert!(!t.satisfies(&delta_triangle()));
+        assert_eq!(max_consistent(&t, &delta_triangle()), 1);
+    }
+
+    #[test]
+    fn disjoint_triangles_are_consistent() {
+        let mut g = Tripartite::new(2, 2, 2);
+        g.add_triangle(0, 0, 0);
+        g.add_triangle(1, 1, 1);
+        let t = tripartite_to_table(&g);
+        assert!(t.satisfies(&delta_triangle()));
+    }
+}

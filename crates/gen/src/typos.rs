@@ -1,0 +1,170 @@
+//! A realistic string-domain dirty-data model: master records rendered as
+//! strings, corrupted by keyboard-style typos. This is the classic
+//! data-cleaning motivation of §1 (imprecise sources and procedures) —
+//! violations arise from misspelled *values*, not swapped tuples, which is
+//! exactly the regime where U-repairs shine over S-repairs.
+
+use fd_core::{FdSet, Schema, Table, Tuple, Value};
+use rand::prelude::*;
+use std::sync::Arc;
+
+/// City/facility-flavored name pools for readable examples.
+const CITIES: &[&str] = &[
+    "paris", "madrid", "london", "berlin", "vienna", "lisbon", "dublin", "oslo",
+];
+const WORDS: &[&str] = &[
+    "alpha", "bravo", "carbon", "delta", "echo", "fabric", "garnet", "harbor",
+    "indigo", "jasper", "kepler", "lumen",
+];
+
+/// Configuration for [`typo_table`].
+#[derive(Clone, Debug)]
+pub struct TypoConfig {
+    /// Number of distinct master entities.
+    pub entities: usize,
+    /// Rows (each references a random entity).
+    pub rows: usize,
+    /// Probability that any given rhs cell of a row is corrupted by a typo.
+    pub typo_rate: f64,
+}
+
+impl Default for TypoConfig {
+    fn default() -> TypoConfig {
+        TypoConfig { entities: 6, rows: 40, typo_rate: 0.08 }
+    }
+}
+
+/// Applies one random keyboard-style typo: substitution, deletion,
+/// duplication, or adjacent transposition.
+pub fn typo(word: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = word.chars().collect();
+    if chars.is_empty() {
+        return "x".to_string();
+    }
+    let i = rng.gen_range(0..chars.len());
+    let mut out = chars.clone();
+    match rng.gen_range(0..4) {
+        0 => out[i] = (b'a' + rng.gen_range(0..26u8)) as char, // substitute
+        1 => {
+            out.remove(i); // delete
+            if out.is_empty() {
+                out.push('x');
+            }
+        }
+        2 => out.insert(i, chars[i]), // duplicate
+        _ => {
+            if chars.len() >= 2 {
+                let j = if i + 1 < chars.len() { i + 1 } else { i - 1 };
+                out.swap(i, j); // transpose
+            } else {
+                out.push('x');
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// The schema used by the typo workload:
+/// `Directory(code, name, city)` with `code → name city`.
+pub fn directory_schema() -> Arc<Schema> {
+    Schema::new("Directory", ["code", "name", "city"]).expect("static schema")
+}
+
+/// The key FD `code → name city`.
+pub fn directory_fds() -> FdSet {
+    FdSet::parse(&directory_schema(), "code -> name city").expect("static FDs")
+}
+
+/// Generates `(dirty, clean)` directory tables: `rows` references to
+/// `entities` master records, with rhs cells corrupted by [`typo`]s at the
+/// configured rate. Both tables share identifiers, so
+/// `dirty.dist_upd(&clean)` is the injected-noise cost — an upper bound on
+/// the optimal U-repair cost.
+pub fn typo_table(cfg: &TypoConfig, rng: &mut StdRng) -> (Table, Table) {
+    let schema = directory_schema();
+    let masters: Vec<(String, String, String)> = (0..cfg.entities)
+        .map(|i| {
+            (
+                format!("E{i:03}"),
+                format!(
+                    "{}-{}",
+                    WORDS[rng.gen_range(0..WORDS.len())],
+                    WORDS[rng.gen_range(0..WORDS.len())]
+                ),
+                CITIES[rng.gen_range(0..CITIES.len())].to_string(),
+            )
+        })
+        .collect();
+    let mut clean = Table::new(schema.clone());
+    let mut dirty = Table::new(schema);
+    for _ in 0..cfg.rows {
+        let (code, name, city) = masters[rng.gen_range(0..masters.len())].clone();
+        let clean_tuple = Tuple::new(vec![
+            Value::str(&code),
+            Value::str(&name),
+            Value::str(&city),
+        ]);
+        let mut dirty_name = name;
+        let mut dirty_city = city;
+        if rng.gen_bool(cfg.typo_rate) {
+            dirty_name = typo(&dirty_name, rng);
+        }
+        if rng.gen_bool(cfg.typo_rate) {
+            dirty_city = typo(&dirty_city, rng);
+        }
+        let dirty_tuple = Tuple::new(vec![
+            Value::str(&code),
+            Value::str(&dirty_name),
+            Value::str(&dirty_city),
+        ]);
+        clean.push(clean_tuple, 1.0).expect("valid row");
+        dirty.push(dirty_tuple, 1.0).expect("valid row");
+    }
+    (dirty, clean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_side_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(0x70);
+        let (dirty, clean) = typo_table(&TypoConfig::default(), &mut rng);
+        assert!(clean.satisfies(&directory_fds()));
+        assert_eq!(dirty.len(), clean.len());
+    }
+
+    #[test]
+    fn typos_create_violations_at_positive_rates() {
+        let mut rng = StdRng::seed_from_u64(0x71);
+        let cfg = TypoConfig { entities: 3, rows: 60, typo_rate: 0.3 };
+        let (dirty, clean) = typo_table(&cfg, &mut rng);
+        assert!(!dirty.satisfies(&directory_fds()));
+        // The clean table is an update of the dirty one; its distance is
+        // the injected noise and upper-bounds the U-optimum.
+        let noise = dirty.dist_upd(&clean).unwrap();
+        assert!(noise > 0.0);
+    }
+
+    #[test]
+    fn zero_rate_is_noise_free() {
+        let mut rng = StdRng::seed_from_u64(0x72);
+        let cfg = TypoConfig { typo_rate: 0.0, ..Default::default() };
+        let (dirty, clean) = typo_table(&cfg, &mut rng);
+        assert_eq!(dirty, clean);
+    }
+
+    #[test]
+    fn typo_always_changes_or_extends() {
+        let mut rng = StdRng::seed_from_u64(0x73);
+        for _ in 0..200 {
+            let w = WORDS[rng.gen_range(0..WORDS.len())];
+            let t = typo(w, &mut rng);
+            assert!(!t.is_empty());
+        }
+        // Single-character and empty inputs stay well-formed.
+        assert!(!typo("", &mut rng).is_empty());
+        assert!(!typo("a", &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Conflict graphs of tables under FD sets (Proposition 3.3).
+//!
+//! The nodes are the tuples of the table, weighted by the tuple weights;
+//! edges join tuples that jointly violate an FD. Consistent subsets are
+//! exactly the independent sets of this graph, so an optimal S-repair is the
+//! complement of a minimum-weight vertex cover.
+
+use crate::graph::Graph;
+use fd_core::{FdSet, Table, TupleId};
+
+/// A conflict graph together with the node-to-tuple-id mapping.
+#[derive(Clone, Debug)]
+pub struct ConflictGraph {
+    /// The graph; node `i` corresponds to `ids[i]`.
+    pub graph: Graph,
+    /// Tuple ids in node order.
+    pub ids: Vec<TupleId>,
+}
+
+impl ConflictGraph {
+    /// Builds the conflict graph of `table` under `fds`, grouping by lhs
+    /// projection per FD (hash-based, avoiding the naive all-pairs scan
+    /// except inside genuinely conflicting groups).
+    pub fn build(table: &Table, fds: &FdSet) -> ConflictGraph {
+        let ids: Vec<TupleId> = table.ids().collect();
+        let index: std::collections::HashMap<TupleId, u32> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i as u32))
+            .collect();
+        let mut graph = Graph::new(table.rows().map(|r| r.weight).collect());
+        for (a, b) in table.conflicting_pairs(fds) {
+            graph.add_edge(index[&a], index[&b]);
+        }
+        ConflictGraph { graph, ids }
+    }
+
+    /// Translates node indices back to tuple ids.
+    pub fn to_ids(&self, nodes: &[u32]) -> Vec<TupleId> {
+        nodes.iter().map(|&v| self.ids[v as usize]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::{schema_rabc, tup, Table};
+
+    #[test]
+    fn builds_edges_for_violations() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B").unwrap();
+        let t = Table::build(
+            s,
+            vec![
+                (tup!["x", 1, 0], 2.0),
+                (tup!["x", 2, 0], 1.0),
+                (tup!["y", 1, 0], 1.0),
+            ],
+        )
+        .unwrap();
+        let cg = ConflictGraph::build(&t, &fds);
+        assert_eq!(cg.graph.node_count(), 3);
+        assert_eq!(cg.graph.edge_count(), 1);
+        assert!(cg.graph.has_edge(0, 1));
+        assert_eq!(cg.graph.weight(0), 2.0);
+        assert_eq!(cg.to_ids(&[1]), vec![TupleId(1)]);
+    }
+
+    #[test]
+    fn consistent_table_has_no_edges() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B; B -> C").unwrap();
+        let t = Table::build_unweighted(
+            s,
+            vec![tup!["x", 1, 1], tup!["y", 2, 2], tup!["z", 3, 3]],
+        )
+        .unwrap();
+        let cg = ConflictGraph::build(&t, &fds);
+        assert_eq!(cg.graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn group_conflicts_form_complete_multipartite_blocks() {
+        // Four tuples share A; B values 1,1,2,3 ⇒ conflicts across the
+        // three B-classes: {0,1}×{2}, {0,1}×{3}, {2}×{3} = 5 edges.
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B").unwrap();
+        let t = Table::build_unweighted(
+            s,
+            vec![
+                tup!["x", 1, 0],
+                tup!["x", 1, 1],
+                tup!["x", 2, 0],
+                tup!["x", 3, 0],
+            ],
+        )
+        .unwrap();
+        let cg = ConflictGraph::build(&t, &fds);
+        assert_eq!(cg.graph.edge_count(), 5);
+        assert!(!cg.graph.has_edge(0, 1)); // same B, no conflict
+    }
+}
+
+impl ConflictGraph {
+    /// Ablation: builds the conflict graph by the naive all-pairs scan
+    /// (O(n²·|Δ|) tuple comparisons) instead of hash grouping. Used by the
+    /// benchmark suite to quantify the grouping optimization; must agree
+    /// with [`ConflictGraph::build`] exactly.
+    pub fn build_naive(table: &Table, fds: &FdSet) -> ConflictGraph {
+        let rows: Vec<&fd_core::Row> = table.rows().collect();
+        let ids: Vec<TupleId> = rows.iter().map(|r| r.id).collect();
+        let mut graph = Graph::new(rows.iter().map(|r| r.weight).collect());
+        for i in 0..rows.len() {
+            for j in i + 1..rows.len() {
+                let conflicting = fds.iter().any(|fd| {
+                    rows[i].tuple.agrees_on(&rows[j].tuple, fd.lhs())
+                        && !rows[i].tuple.agrees_on(&rows[j].tuple, fd.rhs())
+                });
+                if conflicting {
+                    graph.add_edge(i as u32, j as u32);
+                }
+            }
+        }
+        ConflictGraph { graph, ids }
+    }
+}
+
+#[cfg(test)]
+mod naive_tests {
+    use super::*;
+    use fd_core::{schema_rabc, tup, Table};
+    use rand::prelude::*;
+
+    #[test]
+    fn naive_agrees_with_grouped() {
+        let s = schema_rabc();
+        let mut rng = StdRng::seed_from_u64(0x6E);
+        for spec in ["A -> B", "A -> B; B -> C", "-> C", "A B -> C; C -> B"] {
+            let fds = FdSet::parse(&s, spec).unwrap();
+            for _ in 0..10 {
+                let rows = (0..rng.gen_range(0..12)).map(|_| {
+                    (
+                        tup![
+                            rng.gen_range(0..3i64),
+                            rng.gen_range(0..3i64),
+                            rng.gen_range(0..3i64)
+                        ],
+                        1.0,
+                    )
+                });
+                let t = Table::build(s.clone(), rows).unwrap();
+                let fast = ConflictGraph::build(&t, &fds);
+                let naive = ConflictGraph::build_naive(&t, &fds);
+                let mut fe: Vec<_> = fast.graph.edges().to_vec();
+                let mut ne: Vec<_> = naive.graph.edges().to_vec();
+                fe.sort_unstable();
+                ne.sort_unstable();
+                assert_eq!(fe, ne, "{spec}\n{t}");
+            }
+        }
+    }
+}

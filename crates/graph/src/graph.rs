@@ -1,0 +1,223 @@
+//! Undirected graphs with weighted nodes.
+//!
+//! This is the substrate for conflict graphs (Proposition 3.3): nodes are
+//! tuples, node weights are tuple weights, and edges join tuples that
+//! jointly violate an FD. Consistent subsets are exactly the independent
+//! sets, so optimal S-repairs are complements of minimum-weight vertex
+//! covers.
+
+use std::collections::HashSet;
+
+/// An undirected graph on nodes `0..n` with positive node weights.
+/// Parallel edges and self-loops are rejected at insertion.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    weights: Vec<f64>,
+    adj: Vec<Vec<u32>>,
+    edges: Vec<(u32, u32)>,
+    edge_set: HashSet<(u32, u32)>,
+}
+
+impl Graph {
+    /// Creates a graph with `weights.len()` nodes and no edges.
+    pub fn new(weights: Vec<f64>) -> Graph {
+        let n = weights.len();
+        Graph {
+            weights,
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+            edge_set: HashSet::new(),
+        }
+    }
+
+    /// Creates an unweighted graph (all node weights 1).
+    pub fn unweighted(n: usize) -> Graph {
+        Graph::new(vec![1.0; n])
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The weight of node `v`.
+    pub fn weight(&self, v: u32) -> f64 {
+        self.weights[v as usize]
+    }
+
+    /// Total weight of a node set.
+    pub fn weight_of(&self, nodes: &[u32]) -> f64 {
+        nodes.iter().map(|&v| self.weight(v)).sum()
+    }
+
+    /// Adds the edge `{u, v}`. Ignores duplicates; panics on self-loops.
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        assert_ne!(u, v, "self-loops are not allowed");
+        let key = (u.min(v), u.max(v));
+        if self.edge_set.insert(key) {
+            self.adj[u as usize].push(v);
+            self.adj[v as usize].push(u);
+            self.edges.push(key);
+        }
+    }
+
+    /// True iff `{u, v}` is an edge.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.edge_set.contains(&(u.min(v), u.max(v)))
+    }
+
+    /// Neighbors of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[v as usize]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// All edges as `(min, max)` pairs, in insertion order.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// True iff `cover` touches every edge.
+    pub fn is_vertex_cover(&self, cover: &[u32]) -> bool {
+        let in_cover: HashSet<u32> = cover.iter().copied().collect();
+        self.edges
+            .iter()
+            .all(|&(u, v)| in_cover.contains(&u) || in_cover.contains(&v))
+    }
+
+    /// True iff no two nodes of `set` are adjacent.
+    pub fn is_independent_set(&self, set: &[u32]) -> bool {
+        let chosen: HashSet<u32> = set.iter().copied().collect();
+        self.edges
+            .iter()
+            .all(|&(u, v)| !(chosen.contains(&u) && chosen.contains(&v)))
+    }
+
+    /// Partitions the nodes into connected components (sorted node lists,
+    /// components ordered by smallest member).
+    pub fn connected_components(&self) -> Vec<Vec<u32>> {
+        let n = self.node_count();
+        let mut seen = vec![false; n];
+        let mut components = Vec::new();
+        for start in 0..n as u32 {
+            if seen[start as usize] {
+                continue;
+            }
+            let mut stack = vec![start];
+            let mut comp = Vec::new();
+            seen[start as usize] = true;
+            while let Some(v) = stack.pop() {
+                comp.push(v);
+                for &w in self.neighbors(v) {
+                    if !seen[w as usize] {
+                        seen[w as usize] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            components.push(comp);
+        }
+        components
+    }
+
+    /// The subgraph induced by `nodes` (which must be sorted and unique),
+    /// plus the mapping from new node ids to the originals.
+    pub fn induced(&self, nodes: &[u32]) -> (Graph, Vec<u32>) {
+        let index: std::collections::HashMap<u32, u32> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        let mut g = Graph::new(nodes.iter().map(|&v| self.weight(v)).collect());
+        for &(u, v) in &self.edges {
+            if let (Some(&nu), Some(&nv)) = (index.get(&u), index.get(&v)) {
+                g.add_edge(nu, nv);
+            }
+        }
+        (g, nodes.to_vec())
+    }
+
+    /// Maximum degree of the graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.node_count()).map(|v| self.adj[v].len()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let mut g = Graph::unweighted(n);
+        for i in 0..n.saturating_sub(1) {
+            g.add_edge(i as u32, i as u32 + 1);
+        }
+        g
+    }
+
+    #[test]
+    fn construction_and_queries() {
+        let mut g = Graph::new(vec![1.0, 2.0, 3.0]);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0); // duplicate ignored
+        g.add_edge(1, 2);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.weight(2), 3.0);
+        assert_eq!(g.weight_of(&[0, 2]), 4.0);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loops() {
+        let mut g = Graph::unweighted(2);
+        g.add_edge(1, 1);
+    }
+
+    #[test]
+    fn cover_and_independence() {
+        let g = path(4); // 0-1-2-3
+        assert!(g.is_vertex_cover(&[1, 2]));
+        assert!(g.is_vertex_cover(&[0, 2]));
+        assert!(!g.is_vertex_cover(&[0, 3])); // edge 1-2 uncovered
+        assert!(g.is_independent_set(&[0, 2]));
+        assert!(!g.is_independent_set(&[1, 2]));
+        assert!(g.is_independent_set(&[]));
+        assert!(g.is_vertex_cover(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn components() {
+        let mut g = Graph::unweighted(5);
+        g.add_edge(0, 1);
+        g.add_edge(3, 4);
+        let comps = g.connected_components();
+        assert_eq!(comps, vec![vec![0, 1], vec![2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn induced_subgraph() {
+        let g = path(4);
+        let (sub, map) = g.induced(&[1, 2, 3]);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2); // 1-2, 2-3
+        assert_eq!(map, vec![1, 2, 3]);
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(1, 2));
+        assert!(!sub.has_edge(0, 2));
+    }
+}

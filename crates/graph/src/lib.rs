@@ -1,0 +1,43 @@
+//! # fd-graph
+//!
+//! Graph substrate for optimal FD repairs:
+//!
+//! * [`Graph`] — undirected node-weighted graphs with components and
+//!   induced subgraphs;
+//! * [`ConflictGraph`] — the conflict graph of a table under an FD set
+//!   (Proposition 3.3);
+//! * [`max_weight_bipartite_matching`] — the Hungarian algorithm backing
+//!   `MarriageRep` (Subroutine 3);
+//! * [`min_weight_vertex_cover`] / [`vertex_cover_2approx`] — the exact
+//!   baseline and the Bar-Yehuda–Even 2-approximation \[7\] behind
+//!   Proposition 3.3;
+//! * [`Tripartite`] and triangle packing — the MECT-B substrate of
+//!   Lemma A.11;
+//! * [`enumerate_maximal_independent_sets`] — subset-repair enumeration,
+//!   the substrate for prioritized-repair semantics (§5 outlook).
+//!
+//! Everything is implemented in-tree; there are no external graph
+//! dependencies.
+
+#![warn(missing_docs)]
+
+mod conflict;
+mod graph;
+mod matching;
+mod mis;
+mod triangle;
+mod vertex_cover;
+
+pub use conflict::ConflictGraph;
+pub use graph::Graph;
+pub use matching::{brute_force_matching, greedy_matching, max_weight_bipartite_matching, Matching};
+pub use mis::{
+    brute_force_maximal_independent_sets, enumerate_maximal_independent_sets,
+    enumerate_maximal_independent_sets_capped, MisEnumeration, MIS_MAX_NODES,
+};
+pub use triangle::{
+    greedy_edge_disjoint_triangles, max_edge_disjoint_triangles, Triangle, Tripartite,
+};
+pub use vertex_cover::{
+    brute_force_vertex_cover, min_weight_vertex_cover, vertex_cover_2approx, VertexCover,
+};

@@ -1,0 +1,280 @@
+//! Enumeration of maximal independent sets.
+//!
+//! Subset repairs (the *local* minima of §2.3 — consistent subsets not
+//! strictly contained in another consistent subset) are exactly the maximal
+//! independent sets of the conflict graph. Prioritized-repair semantics
+//! (the §5 outlook, following Staworko et al.) quantify over these, so the
+//! substrate needs to enumerate them.
+//!
+//! The enumeration is Bron–Kerbosch with pivoting, run on the
+//! *non-adjacency* relation: a maximal independent set of `G` is a maximal
+//! clique of the complement of `G`. Output-size is exponential in the worst
+//! case (up to `3^(n/3)` sets), so the enumerator carries an explicit cap
+//! and reports truncation instead of silently exhausting memory.
+
+use crate::graph::Graph;
+
+/// Maximum node count supported by the bitmask-based enumerator.
+pub const MIS_MAX_NODES: usize = 128;
+
+/// Outcome of a capped enumeration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MisEnumeration {
+    /// The maximal independent sets found, each sorted ascending.
+    pub sets: Vec<Vec<u32>>,
+    /// True iff the cap was hit and `sets` is incomplete.
+    pub truncated: bool,
+}
+
+/// Enumerates **all** maximal independent sets of `g`.
+///
+/// # Examples
+///
+/// ```
+/// use fd_graph::{enumerate_maximal_independent_sets, Graph};
+///
+/// let mut g = Graph::unweighted(3);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// let mut sets = enumerate_maximal_independent_sets(&g);
+/// sets.sort();
+/// assert_eq!(sets, vec![vec![0, 2], vec![1]]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `g` has more than [`MIS_MAX_NODES`] nodes — enumeration at
+/// that scale is out of scope (use the capped variant and handle
+/// truncation if an incomplete listing is acceptable).
+pub fn enumerate_maximal_independent_sets(g: &Graph) -> Vec<Vec<u32>> {
+    let out = enumerate_maximal_independent_sets_capped(g, usize::MAX);
+    debug_assert!(!out.truncated);
+    out.sets
+}
+
+/// Enumerates maximal independent sets of `g`, stopping after `cap` sets.
+///
+/// # Panics
+///
+/// Panics if `g` has more than [`MIS_MAX_NODES`] nodes.
+pub fn enumerate_maximal_independent_sets_capped(g: &Graph, cap: usize) -> MisEnumeration {
+    let n = g.node_count();
+    assert!(
+        n <= MIS_MAX_NODES,
+        "MIS enumeration supports at most {MIS_MAX_NODES} nodes, got {n}"
+    );
+    if n == 0 {
+        // The empty set is the unique maximal independent set of the empty
+        // graph (and the empty table is its own unique subset repair).
+        return MisEnumeration { sets: vec![Vec::new()], truncated: false };
+    }
+    // nbr[v] = bitmask of neighbors of v.
+    let mut nbr = vec![0u128; n];
+    for &(u, v) in g.edges() {
+        nbr[u as usize] |= 1u128 << v;
+        nbr[v as usize] |= 1u128 << u;
+    }
+    let full: u128 = if n == 128 { u128::MAX } else { (1u128 << n) - 1 };
+    let mut sets = Vec::new();
+    let mut truncated = false;
+    bron_kerbosch(&nbr, full, 0, full, 0, cap, &mut sets, &mut truncated);
+    MisEnumeration { sets, truncated }
+}
+
+/// Bron–Kerbosch with pivoting on the complement graph.
+///
+/// `r` is the current independent set, `p` the candidates (non-adjacent to
+/// all of `r`), `x` the excluded vertices (non-adjacent to all of `r`, but
+/// every extension through them was already reported).
+#[allow(clippy::too_many_arguments)]
+fn bron_kerbosch(
+    nbr: &[u128],
+    full: u128,
+    r: u128,
+    p: u128,
+    x: u128,
+    cap: usize,
+    out: &mut Vec<Vec<u32>>,
+    truncated: &mut bool,
+) {
+    if *truncated {
+        return;
+    }
+    if p == 0 && x == 0 {
+        if out.len() >= cap {
+            *truncated = true;
+            return;
+        }
+        out.push(mask_to_vec(r));
+        return;
+    }
+    // Pivot: pick u in P ∪ X maximizing the number of candidates
+    // *compatible* with u (non-neighbors), so we only branch on candidates
+    // that are neighbors of u (or u itself).
+    let pux = p | x;
+    let mut pivot = 0u32;
+    let mut best = -1i64;
+    let mut scan = pux;
+    while scan != 0 {
+        let u = scan.trailing_zeros();
+        scan &= scan - 1;
+        let compat = p & !nbr[u as usize] & !(1u128 << u);
+        let score = compat.count_ones() as i64;
+        if score > best {
+            best = score;
+            pivot = u;
+        }
+    }
+    // Branch over P ∖ compat(pivot) = (P ∩ N(pivot)) ∪ ({pivot} ∩ P).
+    let mut branch = p & (nbr[pivot as usize] | (1u128 << pivot));
+    let mut p = p;
+    let mut x = x;
+    while branch != 0 {
+        let v = branch.trailing_zeros();
+        branch &= branch - 1;
+        let bit = 1u128 << v;
+        // v joins the independent set: survivors must avoid N(v).
+        let keep = full & !nbr[v as usize] & !bit;
+        bron_kerbosch(nbr, full, r | bit, p & keep, x & keep, cap, out, truncated);
+        p &= !bit;
+        x |= bit;
+        if *truncated {
+            return;
+        }
+    }
+}
+
+fn mask_to_vec(mut m: u128) -> Vec<u32> {
+    let mut v = Vec::with_capacity(m.count_ones() as usize);
+    while m != 0 {
+        v.push(m.trailing_zeros());
+        m &= m - 1;
+    }
+    v
+}
+
+/// Brute-force reference enumerator (checks maximality over all subsets);
+/// exponential in a worse way than Bron–Kerbosch, for tests only.
+pub fn brute_force_maximal_independent_sets(g: &Graph) -> Vec<Vec<u32>> {
+    let n = g.node_count();
+    assert!(n <= 20, "brute force is for tiny graphs");
+    let mut sets = Vec::new();
+    'outer: for mask in 0u32..(1u32 << n) {
+        let nodes: Vec<u32> = (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
+        if !g.is_independent_set(&nodes) {
+            continue;
+        }
+        // Maximal: no vertex outside is non-adjacent to all inside.
+        for v in 0..n as u32 {
+            if mask & (1 << v) == 0 && nodes.iter().all(|&u| !g.has_edge(u, v)) {
+                continue 'outer;
+            }
+        }
+        sets.push(nodes);
+    }
+    sets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted(mut sets: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
+        sets.sort();
+        sets
+    }
+
+    #[test]
+    fn empty_graph_has_one_mis() {
+        let g = Graph::unweighted(0);
+        assert_eq!(enumerate_maximal_independent_sets(&g), vec![Vec::<u32>::new()]);
+    }
+
+    #[test]
+    fn edgeless_graph_has_single_full_mis() {
+        let g = Graph::unweighted(4);
+        assert_eq!(enumerate_maximal_independent_sets(&g), vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn single_edge() {
+        let mut g = Graph::unweighted(2);
+        g.add_edge(0, 1);
+        assert_eq!(
+            sorted(enumerate_maximal_independent_sets(&g)),
+            vec![vec![0], vec![1]]
+        );
+    }
+
+    #[test]
+    fn path_of_three() {
+        let mut g = Graph::unweighted(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert_eq!(
+            sorted(enumerate_maximal_independent_sets(&g)),
+            vec![vec![0, 2], vec![1]]
+        );
+    }
+
+    #[test]
+    fn triangle_has_three_singletons() {
+        let mut g = Graph::unweighted(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        assert_eq!(
+            sorted(enumerate_maximal_independent_sets(&g)),
+            vec![vec![0], vec![1], vec![2]]
+        );
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_random_graphs() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x5e7e);
+        for trial in 0..200 {
+            let n = 1 + (trial % 9);
+            let mut g = Graph::unweighted(n);
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.gen_bool(0.4) {
+                        g.add_edge(u, v);
+                    }
+                }
+            }
+            assert_eq!(
+                sorted(enumerate_maximal_independent_sets(&g)),
+                sorted(brute_force_maximal_independent_sets(&g)),
+                "mismatch on trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn cap_truncates() {
+        let mut g = Graph::unweighted(6);
+        // Three disjoint edges: 2^3 = 8 maximal independent sets.
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        g.add_edge(4, 5);
+        let full = enumerate_maximal_independent_sets(&g);
+        assert_eq!(full.len(), 8);
+        let capped = enumerate_maximal_independent_sets_capped(&g, 3);
+        assert!(capped.truncated);
+        assert_eq!(capped.sets.len(), 3);
+    }
+
+    #[test]
+    fn moon_moser_count() {
+        // Disjoint triangles: the Moon–Moser extremal family, 3^(n/3) sets.
+        let mut g = Graph::unweighted(9);
+        for t in 0..3u32 {
+            let base = 3 * t;
+            g.add_edge(base, base + 1);
+            g.add_edge(base + 1, base + 2);
+            g.add_edge(base, base + 2);
+        }
+        assert_eq!(enumerate_maximal_independent_sets(&g).len(), 27);
+    }
+}

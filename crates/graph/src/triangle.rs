@@ -1,0 +1,198 @@
+//! Tripartite graphs and edge-disjoint triangle packing.
+//!
+//! Lemma A.11 proves APX-hardness of optimal S-repairs under
+//! `Δ_{AB↔AC↔BC}` by reduction from the maximum number of edge-disjoint
+//! triangles in a bounded-degree tripartite graph (MECT-B, Amini et al.
+//! [3]). This module supplies the tripartite substrate, triangle
+//! enumeration, and exact + greedy packing baselines.
+
+use std::collections::HashSet;
+
+/// A tripartite graph with parts `A = 0..na`, `B = 0..nb`, `C = 0..nc` and
+/// edges between distinct parts only.
+#[derive(Clone, Debug, Default)]
+pub struct Tripartite {
+    /// Part sizes.
+    pub na: usize,
+    /// Part sizes.
+    pub nb: usize,
+    /// Part sizes.
+    pub nc: usize,
+    ab: HashSet<(u32, u32)>,
+    bc: HashSet<(u32, u32)>,
+    ac: HashSet<(u32, u32)>,
+}
+
+/// A triangle `(a, b, c)` with one node per part.
+pub type Triangle = (u32, u32, u32);
+
+impl Tripartite {
+    /// Creates a tripartite graph with the given part sizes.
+    pub fn new(na: usize, nb: usize, nc: usize) -> Tripartite {
+        Tripartite { na, nb, nc, ..Default::default() }
+    }
+
+    /// Adds an A–B edge.
+    pub fn add_ab(&mut self, a: u32, b: u32) {
+        debug_assert!((a as usize) < self.na && (b as usize) < self.nb);
+        self.ab.insert((a, b));
+    }
+
+    /// Adds a B–C edge.
+    pub fn add_bc(&mut self, b: u32, c: u32) {
+        debug_assert!((b as usize) < self.nb && (c as usize) < self.nc);
+        self.bc.insert((b, c));
+    }
+
+    /// Adds an A–C edge.
+    pub fn add_ac(&mut self, a: u32, c: u32) {
+        debug_assert!((a as usize) < self.na && (c as usize) < self.nc);
+        self.ac.insert((a, c));
+    }
+
+    /// Adds all three edges of the triangle `(a, b, c)`.
+    pub fn add_triangle(&mut self, a: u32, b: u32, c: u32) {
+        self.add_ab(a, b);
+        self.add_bc(b, c);
+        self.add_ac(a, c);
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.ab.len() + self.bc.len() + self.ac.len()
+    }
+
+    /// Enumerates all triangles, sorted lexicographically.
+    pub fn triangles(&self) -> Vec<Triangle> {
+        let mut out = Vec::new();
+        for &(a, b) in &self.ab {
+            for c in 0..self.nc as u32 {
+                if self.bc.contains(&(b, c)) && self.ac.contains(&(a, c)) {
+                    out.push((a, b, c));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Exact maximum set of pairwise edge-disjoint triangles, by
+/// branch-and-bound over the triangle list. Exponential; baseline use only.
+pub fn max_edge_disjoint_triangles(tris: &[Triangle]) -> Vec<Triangle> {
+    #[derive(Default)]
+    struct Used {
+        ab: HashSet<(u32, u32)>,
+        bc: HashSet<(u32, u32)>,
+        ac: HashSet<(u32, u32)>,
+    }
+    fn rec(tris: &[Triangle], idx: usize, used: &mut Used, chosen: &mut Vec<Triangle>, best: &mut Vec<Triangle>) {
+        if chosen.len() + (tris.len() - idx) <= best.len() {
+            return; // cannot beat the incumbent
+        }
+        if idx == tris.len() {
+            if chosen.len() > best.len() {
+                *best = chosen.clone();
+            }
+            return;
+        }
+        let (a, b, c) = tris[idx];
+        let free = !used.ab.contains(&(a, b))
+            && !used.bc.contains(&(b, c))
+            && !used.ac.contains(&(a, c));
+        if free {
+            used.ab.insert((a, b));
+            used.bc.insert((b, c));
+            used.ac.insert((a, c));
+            chosen.push((a, b, c));
+            rec(tris, idx + 1, used, chosen, best);
+            chosen.pop();
+            used.ab.remove(&(a, b));
+            used.bc.remove(&(b, c));
+            used.ac.remove(&(a, c));
+        }
+        rec(tris, idx + 1, used, chosen, best);
+    }
+    let mut best = Vec::new();
+    rec(tris, 0, &mut Used::default(), &mut Vec::new(), &mut best);
+    best
+}
+
+/// Greedy edge-disjoint triangle packing in list order.
+pub fn greedy_edge_disjoint_triangles(tris: &[Triangle]) -> Vec<Triangle> {
+    let mut ab = HashSet::new();
+    let mut bc = HashSet::new();
+    let mut ac = HashSet::new();
+    let mut out = Vec::new();
+    for &(a, b, c) in tris {
+        if !ab.contains(&(a, b)) && !bc.contains(&(b, c)) && !ac.contains(&(a, c)) {
+            ab.insert((a, b));
+            bc.insert((b, c));
+            ac.insert((a, c));
+            out.push((a, b, c));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_enumeration() {
+        let mut g = Tripartite::new(2, 2, 2);
+        g.add_triangle(0, 0, 0);
+        g.add_triangle(1, 1, 1);
+        assert_eq!(g.triangles(), vec![(0, 0, 0), (1, 1, 1)]);
+        assert_eq!(g.edge_count(), 6);
+    }
+
+    #[test]
+    fn shared_edges_create_extra_triangles() {
+        // Two triangles sharing the AB edge (0,0).
+        let mut g = Tripartite::new(1, 1, 2);
+        g.add_triangle(0, 0, 0);
+        g.add_triangle(0, 0, 1);
+        let tris = g.triangles();
+        assert_eq!(tris.len(), 2);
+        // They share an edge, so at most one fits in a packing.
+        assert_eq!(max_edge_disjoint_triangles(&tris).len(), 1);
+    }
+
+    #[test]
+    fn exact_packing_on_disjoint_triangles() {
+        let mut g = Tripartite::new(3, 3, 3);
+        for i in 0..3 {
+            g.add_triangle(i, i, i);
+        }
+        let tris = g.triangles();
+        assert_eq!(max_edge_disjoint_triangles(&tris).len(), 3);
+        assert_eq!(greedy_edge_disjoint_triangles(&tris).len(), 3);
+    }
+
+    #[test]
+    fn greedy_never_beats_exact_and_packs_validly() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let mut g = Tripartite::new(4, 4, 4);
+            for _ in 0..rng.gen_range(3..10) {
+                g.add_triangle(rng.gen_range(0..4), rng.gen_range(0..4), rng.gen_range(0..4));
+            }
+            let tris = g.triangles();
+            let exact = max_edge_disjoint_triangles(&tris);
+            let greedy = greedy_edge_disjoint_triangles(&tris);
+            assert!(greedy.len() <= exact.len());
+            // Exact must be edge-disjoint.
+            let mut ab = HashSet::new();
+            let mut bc = HashSet::new();
+            let mut ac = HashSet::new();
+            for &(a, b, c) in &exact {
+                assert!(ab.insert((a, b)));
+                assert!(bc.insert((b, c)));
+                assert!(ac.insert((a, c)));
+            }
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Weighted vertex cover: exact branch-and-bound and the linear-time
+//! Bar-Yehuda–Even 2-approximation [7].
+//!
+//! Computing an optimal S-repair strictly reduces to minimum-weight vertex
+//! cover of the conflict graph (Proposition 3.3): consistent subsets are
+//! independent sets, so the deleted tuples of an optimal S-repair form a
+//! minimum-weight cover. The exact solver is the universal baseline used to
+//! validate `OptSRepair` on the tractable side of the dichotomy and to
+//! measure approximation ratios on the hard side.
+
+use crate::graph::Graph;
+
+/// A vertex cover with its total weight.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VertexCover {
+    /// Total weight of the cover.
+    pub weight: f64,
+    /// Covered nodes, sorted.
+    pub nodes: Vec<u32>,
+}
+
+/// Exact minimum-weight vertex cover via branch-and-bound, solved per
+/// connected component. Exponential in the worst case — intended for
+/// baseline/oracle use on moderate instances.
+pub fn min_weight_vertex_cover(g: &Graph) -> VertexCover {
+    let mut nodes = Vec::new();
+    let mut weight = 0.0;
+    for comp in g.connected_components() {
+        if comp.len() == 1 {
+            continue; // isolated node never needs covering
+        }
+        let (sub, back) = g.induced(&comp);
+        let solved = solve_component(&sub);
+        weight += solved.weight;
+        nodes.extend(solved.nodes.into_iter().map(|v| back[v as usize]));
+    }
+    nodes.sort_unstable();
+    VertexCover { weight, nodes }
+}
+
+fn solve_component(g: &Graph) -> VertexCover {
+    let n = g.node_count();
+    let mut best = VertexCover {
+        weight: (0..n as u32).map(|v| g.weight(v)).sum(),
+        nodes: (0..n as u32).collect(),
+    };
+    let mut state = State {
+        g,
+        active: vec![true; n],
+        chosen: Vec::new(),
+        cost: 0.0,
+    };
+    branch(&mut state, &mut best);
+    best.nodes.sort_unstable();
+    best
+}
+
+struct State<'a> {
+    g: &'a Graph,
+    active: Vec<bool>,
+    chosen: Vec<u32>,
+    cost: f64,
+}
+
+impl State<'_> {
+    fn active_degree(&self, v: u32) -> usize {
+        self.g
+            .neighbors(v)
+            .iter()
+            .filter(|&&w| self.active[w as usize])
+            .count()
+    }
+
+    /// Greedy-matching lower bound on the remaining cover weight: disjoint
+    /// active edges each force at least `min(w(u), w(v))` additional cost.
+    fn lower_bound(&self) -> f64 {
+        let mut used = vec![false; self.g.node_count()];
+        let mut bound = 0.0;
+        for &(u, v) in self.g.edges() {
+            let (ui, vi) = (u as usize, v as usize);
+            if self.active[ui] && self.active[vi] && !used[ui] && !used[vi] {
+                used[ui] = true;
+                used[vi] = true;
+                bound += self.g.weight(u).min(self.g.weight(v));
+            }
+        }
+        bound
+    }
+}
+
+fn branch(state: &mut State<'_>, best: &mut VertexCover) {
+    if state.cost + state.lower_bound() >= best.weight {
+        return;
+    }
+    // Pick the active vertex with the largest active degree.
+    let pick = (0..state.g.node_count() as u32)
+        .filter(|&v| state.active[v as usize])
+        .map(|v| (state.active_degree(v), v))
+        .filter(|&(d, _)| d > 0)
+        .max();
+    let Some((_, v)) = pick else {
+        // No active edges left: current choice covers everything.
+        if state.cost < best.weight {
+            *best = VertexCover { weight: state.cost, nodes: state.chosen.clone() };
+        }
+        return;
+    };
+
+    // Branch 1: v joins the cover.
+    state.active[v as usize] = false;
+    state.chosen.push(v);
+    state.cost += state.g.weight(v);
+    branch(state, best);
+    state.cost -= state.g.weight(v);
+    state.chosen.pop();
+
+    // Branch 2: v stays out, so all its active neighbors join the cover.
+    let neighbors: Vec<u32> = state
+        .g
+        .neighbors(v)
+        .iter()
+        .copied()
+        .filter(|&w| state.active[w as usize])
+        .collect();
+    for &w in &neighbors {
+        state.active[w as usize] = false;
+        state.chosen.push(w);
+        state.cost += state.g.weight(w);
+    }
+    branch(state, best);
+    for &w in neighbors.iter().rev() {
+        state.cost -= state.g.weight(w);
+        state.chosen.pop();
+        state.active[w as usize] = true;
+    }
+    state.active[v as usize] = true;
+}
+
+/// The Bar-Yehuda–Even local-ratio 2-approximation for weighted vertex
+/// cover \[7\]: scan the edges once, charging each edge to the residual
+/// weight of its endpoints; vertices driven to zero residual join the cover.
+pub fn vertex_cover_2approx(g: &Graph) -> VertexCover {
+    let n = g.node_count();
+    let mut residual: Vec<f64> = (0..n as u32).map(|v| g.weight(v)).collect();
+    for &(u, v) in g.edges() {
+        let (ui, vi) = (u as usize, v as usize);
+        let eps = residual[ui].min(residual[vi]);
+        residual[ui] -= eps;
+        residual[vi] -= eps;
+    }
+    let nodes: Vec<u32> = (0..n as u32)
+        .filter(|&v| residual[v as usize] == 0.0 && g.degree(v) > 0)
+        .collect();
+    VertexCover { weight: g.weight_of(&nodes), nodes }
+}
+
+/// Exhaustive minimum-weight vertex cover (2ⁿ), oracle for tests (n ≤ 25).
+pub fn brute_force_vertex_cover(g: &Graph) -> VertexCover {
+    let n = g.node_count();
+    assert!(n <= 25, "brute force limited to 25 nodes");
+    let mut best_weight = f64::INFINITY;
+    let mut best_mask = 0u32;
+    for mask in 0..(1u32 << n) {
+        let covered = g
+            .edges()
+            .iter()
+            .all(|&(u, v)| mask & (1 << u) != 0 || mask & (1 << v) != 0);
+        if !covered {
+            continue;
+        }
+        let w: f64 = (0..n as u32)
+            .filter(|&v| mask & (1 << v) != 0)
+            .map(|v| g.weight(v))
+            .sum();
+        if w < best_weight {
+            best_weight = w;
+            best_mask = mask;
+        }
+    }
+    VertexCover {
+        weight: best_weight,
+        nodes: (0..n as u32).filter(|&v| best_mask & (1 << v) != 0).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = Graph::unweighted(n);
+        for i in 0..n {
+            g.add_edge(i as u32, ((i + 1) % n) as u32);
+        }
+        g
+    }
+
+    #[test]
+    fn exact_on_small_graphs() {
+        // Path 0-1-2: cover {1}.
+        let mut p = Graph::unweighted(3);
+        p.add_edge(0, 1);
+        p.add_edge(1, 2);
+        let c = min_weight_vertex_cover(&p);
+        assert_eq!(c.weight, 1.0);
+        assert_eq!(c.nodes, vec![1]);
+
+        // C5 needs 3 nodes.
+        let c5 = min_weight_vertex_cover(&cycle(5));
+        assert_eq!(c5.weight, 3.0);
+        assert!(cycle(5).is_vertex_cover(&c5.nodes));
+    }
+
+    #[test]
+    fn exact_respects_weights() {
+        // Star center is heavy: cover the 3 leaves instead.
+        let mut g = Graph::new(vec![10.0, 1.0, 1.0, 1.0]);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        let c = min_weight_vertex_cover(&g);
+        assert_eq!(c.weight, 3.0);
+        assert_eq!(c.nodes, vec![1, 2, 3]);
+        // Cheap center: take it.
+        let mut g2 = Graph::new(vec![1.0, 10.0, 10.0, 10.0]);
+        g2.add_edge(0, 1);
+        g2.add_edge(0, 2);
+        g2.add_edge(0, 3);
+        assert_eq!(min_weight_vertex_cover(&g2).nodes, vec![0]);
+    }
+
+    #[test]
+    fn exact_matches_brute_force() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..40 {
+            let n = rng.gen_range(2..11);
+            let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(1..6) as f64).collect();
+            let mut g = Graph::new(weights);
+            for u in 0..n as u32 {
+                for v in u + 1..n as u32 {
+                    if rng.gen_bool(0.35) {
+                        g.add_edge(u, v);
+                    }
+                }
+            }
+            let exact = min_weight_vertex_cover(&g);
+            let brute = brute_force_vertex_cover(&g);
+            assert!(
+                (exact.weight - brute.weight).abs() < 1e-9,
+                "trial {trial}: exact={} brute={}",
+                exact.weight,
+                brute.weight
+            );
+            assert!(g.is_vertex_cover(&exact.nodes));
+        }
+    }
+
+    #[test]
+    fn approx_is_within_factor_two() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..40 {
+            let n = rng.gen_range(2..12);
+            let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(1..9) as f64).collect();
+            let mut g = Graph::new(weights);
+            for u in 0..n as u32 {
+                for v in u + 1..n as u32 {
+                    if rng.gen_bool(0.3) {
+                        g.add_edge(u, v);
+                    }
+                }
+            }
+            let approx = vertex_cover_2approx(&g);
+            let exact = min_weight_vertex_cover(&g);
+            assert!(g.is_vertex_cover(&approx.nodes));
+            assert!(
+                approx.weight <= 2.0 * exact.weight + 1e-9,
+                "approx={} exact={}",
+                approx.weight,
+                exact.weight
+            );
+        }
+    }
+
+    #[test]
+    fn approx_ignores_isolated_vertices() {
+        let mut g = Graph::unweighted(3);
+        g.add_edge(0, 1);
+        let c = vertex_cover_2approx(&g);
+        assert!(!c.nodes.contains(&2));
+        assert!(g.is_vertex_cover(&c.nodes));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::unweighted(4);
+        assert_eq!(min_weight_vertex_cover(&g).weight, 0.0);
+        assert_eq!(vertex_cover_2approx(&g).weight, 0.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Categoricity: does the priority clean the table unambiguously?
+//!
+//! The paper's §5 asks (following its [23], Kimelfeld, Livshits &
+//! Peterfreund): when do the priorities determine a *single* repair, and
+//! how far is an ambiguous instance from an unambiguous one? A prioritized
+//! instance is **categorical** under a repair semantics if it admits
+//! exactly one repair of that kind. Deciding categoricity is coNP-hard in
+//! general (per [23]), so these checks enumerate and are exponential by
+//! nature; they are meant for analysis at experiment scale.
+
+use crate::error::Result;
+use crate::instance::PrioritizedTable;
+use crate::relation::PriorityRelation;
+use fd_core::{FdSet, Table, TupleId};
+use std::collections::HashSet;
+
+/// Which prioritized-repair semantics to quantify over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Semantics {
+    /// Globally-optimal repairs (no global improvement).
+    Global,
+    /// Pareto-optimal repairs (no Pareto improvement).
+    Pareto,
+    /// Completion-optimal repairs (produced by some completion).
+    Completion,
+}
+
+impl PrioritizedTable<'_> {
+    /// The repairs under the chosen semantics.
+    pub fn repairs_under(&self, semantics: Semantics) -> Result<Vec<Vec<TupleId>>> {
+        match semantics {
+            Semantics::Global => self.global_repairs(),
+            Semantics::Pareto => self.pareto_repairs(),
+            Semantics::Completion => self.completion_repairs(),
+        }
+    }
+
+    /// True iff exactly one repair exists under the chosen semantics.
+    pub fn is_categorical(&self, semantics: Semantics) -> Result<bool> {
+        Ok(self.repairs_under(semantics)?.len() == 1)
+    }
+
+    /// The unique repair under the chosen semantics, if categorical.
+    pub fn the_repair(&self, semantics: Semantics) -> Result<Option<Vec<TupleId>>> {
+        let mut rs = self.repairs_under(semantics)?;
+        if rs.len() == 1 {
+            Ok(rs.pop())
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Consistent query answering at the tuple level: the tuples kept by
+    /// **every** repair of the chosen semantics (certain answers, Arenas
+    /// et al.). The instance is categorical iff `certain` equals some
+    /// repair.
+    pub fn certain_tuples(&self, semantics: Semantics) -> Result<Vec<TupleId>> {
+        let repairs = self.repairs_under(semantics)?;
+        let mut out: Vec<TupleId> = self
+            .ids()
+            .iter()
+            .copied()
+            .filter(|id| repairs.iter().all(|r| r.contains(id)))
+            .collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// The tuples kept by **some** repair of the chosen semantics
+    /// (possible answers).
+    pub fn possible_tuples(&self, semantics: Semantics) -> Result<Vec<TupleId>> {
+        let repairs = self.repairs_under(semantics)?;
+        let mut out: Vec<TupleId> = self
+            .ids()
+            .iter()
+            .copied()
+            .filter(|id| repairs.iter().any(|r| r.contains(id)))
+            .collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+}
+
+/// Searches for a smallest tuple-deletion set that makes the instance
+/// categorical under `semantics` — §5's "minimal number of tuples to
+/// delete for an unambiguous repair", answered by exhaustive search.
+///
+/// Tries deletion sets of size `0, 1, …, max_deletions` in order and
+/// returns the first (smallest) set found, or `None` if none of size at
+/// most `max_deletions` works. Exponential in `max_deletions`.
+pub fn min_deletions_to_categoricity(
+    table: &Table,
+    fds: &FdSet,
+    prio: &PriorityRelation,
+    semantics: Semantics,
+    max_deletions: usize,
+) -> Result<Option<Vec<TupleId>>> {
+    let ids: Vec<TupleId> = table.ids().collect();
+    for k in 0..=max_deletions.min(ids.len()) {
+        let mut found: Option<Vec<TupleId>> = None;
+        for combo in combinations(&ids, k) {
+            let delete: HashSet<TupleId> = combo.iter().copied().collect();
+            let reduced = table.without(&delete);
+            let alive: HashSet<TupleId> = reduced.ids().collect();
+            let restricted = prio.restrict_to(&alive);
+            let inst = PrioritizedTable::new(&reduced, fds, &restricted)?;
+            if inst.is_categorical(semantics)? {
+                found = Some(combo);
+                break;
+            }
+        }
+        if found.is_some() {
+            return Ok(found);
+        }
+    }
+    Ok(None)
+}
+
+/// All k-element combinations of `items`, in lexicographic order.
+fn combinations(items: &[TupleId], k: usize) -> Vec<Vec<TupleId>> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(k);
+    fn rec(
+        items: &[TupleId],
+        k: usize,
+        start: usize,
+        current: &mut Vec<TupleId>,
+        out: &mut Vec<Vec<TupleId>>,
+    ) {
+        if current.len() == k {
+            out.push(current.clone());
+            return;
+        }
+        for i in start..items.len() {
+            current.push(items[i]);
+            rec(items, k, i + 1, current, out);
+            current.pop();
+        }
+    }
+    rec(items, k, 0, &mut current, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::{schema_rabc, tup, FdSet, Table};
+
+    fn id(i: u32) -> TupleId {
+        TupleId(i)
+    }
+
+    #[test]
+    fn oriented_pair_is_categorical() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B").unwrap();
+        let t = Table::build_unweighted(s, vec![tup!["x", 1, 0], tup!["x", 2, 0]]).unwrap();
+        let rel = PriorityRelation::new(vec![(id(0), id(1))]).unwrap();
+        let inst = PrioritizedTable::new(&t, &fds, &rel).unwrap();
+        for sem in [Semantics::Global, Semantics::Pareto, Semantics::Completion] {
+            assert!(inst.is_categorical(sem).unwrap(), "{sem:?}");
+            assert_eq!(inst.the_repair(sem).unwrap(), Some(vec![id(0)]));
+        }
+    }
+
+    #[test]
+    fn unoriented_pair_is_ambiguous() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B").unwrap();
+        let t = Table::build_unweighted(s, vec![tup!["x", 1, 0], tup!["x", 2, 0]]).unwrap();
+        let rel = PriorityRelation::empty();
+        let inst = PrioritizedTable::new(&t, &fds, &rel).unwrap();
+        for sem in [Semantics::Global, Semantics::Pareto, Semantics::Completion] {
+            assert!(!inst.is_categorical(sem).unwrap(), "{sem:?}");
+            assert_eq!(inst.the_repair(sem).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn certain_and_possible_tuples() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B").unwrap();
+        // One oriented conflict (0 ≻ 1), one unoriented (2 vs 3), one
+        // clean tuple (4).
+        let t = Table::build_unweighted(
+            s,
+            vec![
+                tup!["x", 1, 0],
+                tup!["x", 2, 0],
+                tup!["y", 1, 0],
+                tup!["y", 2, 0],
+                tup!["z", 1, 0],
+            ],
+        )
+        .unwrap();
+        let rel = PriorityRelation::new(vec![(id(0), id(1))]).unwrap();
+        let inst = PrioritizedTable::new(&t, &fds, &rel).unwrap();
+        for sem in [Semantics::Global, Semantics::Pareto, Semantics::Completion] {
+            let certain = inst.certain_tuples(sem).unwrap();
+            let possible = inst.possible_tuples(sem).unwrap();
+            // The preferred tuple and the clean tuple are certain; the
+            // dominated tuple 1 is not even possible; the unoriented pair
+            // stays ambiguous (possible, not certain).
+            assert_eq!(certain, vec![id(0), id(4)], "{sem:?}");
+            assert_eq!(possible, vec![id(0), id(2), id(3), id(4)], "{sem:?}");
+            for c in &certain {
+                assert!(possible.contains(c));
+            }
+        }
+    }
+
+    #[test]
+    fn min_deletions_zero_when_already_categorical() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B").unwrap();
+        let t = Table::build_unweighted(s, vec![tup!["x", 1, 0], tup!["x", 2, 0]]).unwrap();
+        let rel = PriorityRelation::new(vec![(id(0), id(1))]).unwrap();
+        assert_eq!(
+            min_deletions_to_categoricity(&t, &fds, &rel, Semantics::Pareto, 2).unwrap(),
+            Some(vec![])
+        );
+    }
+
+    #[test]
+    fn min_deletions_resolves_ambiguity() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B").unwrap();
+        // Two independent unoriented conflicts: ambiguity needs one
+        // deletion per conflict to resolve.
+        let t = Table::build_unweighted(
+            s,
+            vec![tup!["x", 1, 0], tup!["x", 2, 0], tup!["y", 1, 0], tup!["y", 2, 0]],
+        )
+        .unwrap();
+        let rel = PriorityRelation::empty();
+        let sol =
+            min_deletions_to_categoricity(&t, &fds, &rel, Semantics::Pareto, 4).unwrap();
+        assert_eq!(sol.as_ref().map(Vec::len), Some(2));
+        // And indeed no single deletion suffices.
+        assert_eq!(
+            min_deletions_to_categoricity(&t, &fds, &rel, Semantics::Pareto, 1).unwrap(),
+            None
+        );
+    }
+}

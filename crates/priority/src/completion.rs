@@ -1,0 +1,229 @@
+//! Completion-optimal repairs (c-repairs).
+//!
+//! A *completion* of a priority `≻` is a total order `≻'` on all tuples
+//! extending `≻`. Greedily walking a completion — keep each tuple, best
+//! first, unless it conflicts with an already-kept tuple — produces one
+//! repair per completion; a repair is **completion-optimal** if *some*
+//! completion produces it.
+//!
+//! Membership is decidable in polynomial time for FD conflicts by greedy
+//! realizability: maintain the set `R` of remaining tuples (initially
+//! all); repeatedly pick any kept tuple `s ∈ S ∩ R` that no remaining
+//! tuple dominates in the **transitive closure** `≻⁺` (any completion is
+//! transitive, so a closure-dominator would be picked first), and remove
+//! `s`'s conflict neighborhood from `R`. `S` is completion-optimal iff
+//! this empties `R`.
+//!
+//! *Why any-order picking suffices*: removing tuples never revokes
+//! pickability (fewer potential dominators), and picking `s''∈ S` never
+//! removes another `s ∈ S` (kept tuples are pairwise non-conflicting), so
+//! the set of pickable tuples only grows — the greedy is confluent.
+//! *Why the closure is sound*: if the test succeeds with rounds
+//! `s_1, …, s_k`, the constraints "`s_i` above everything remaining at
+//! round `i`" are acyclic together with `≻⁺` (a cycle would place a
+//! remaining closure-dominator above some `s_i`, contradicting its
+//! pickability), so a linear extension realizing the greedy run exists.
+
+use crate::error::Result;
+use crate::instance::PrioritizedTable;
+use fd_core::TupleId;
+
+impl PrioritizedTable<'_> {
+    /// Polynomial-time completion-optimality check.
+    ///
+    /// Returns `false` for subsets that are not subset repairs.
+    pub fn is_completion_optimal(&self, kept: &[TupleId]) -> Result<bool> {
+        if !self.is_subset_repair(kept)? {
+            return Ok(false);
+        }
+        let set = self.to_index_set(kept)?;
+        let n = self.len();
+        let mut remaining = vec![true; n];
+        let mut remaining_count = n;
+        loop {
+            let mut picked_any = false;
+            for s in 0..n {
+                if !remaining[s] || !set[s] {
+                    continue;
+                }
+                let blocked =
+                    (0..n).any(|r| remaining[r] && r != s && self.better_idx(r, s));
+                if blocked {
+                    continue;
+                }
+                // Pick s: remove it and its conflict neighborhood.
+                remaining[s] = false;
+                remaining_count -= 1;
+                for &j in self.adj_of(s) {
+                    if remaining[j] {
+                        remaining[j] = false;
+                        remaining_count -= 1;
+                    }
+                }
+                picked_any = true;
+            }
+            if !picked_any {
+                break;
+            }
+        }
+        Ok(remaining_count == 0)
+    }
+
+    /// All completion-optimal repairs.
+    pub fn completion_repairs(&self) -> Result<Vec<Vec<TupleId>>> {
+        let mut out = Vec::new();
+        for r in self.subset_repairs()? {
+            if self.is_completion_optimal(&r)? {
+                out.push(r);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Exhaustive c-repair enumeration by running the greedy on **every**
+    /// linear extension of the priority — the reference implementation
+    /// used to validate [`Self::is_completion_optimal`] in tests.
+    ///
+    /// Factorial in the number of tuples; intended for ≤ 8 tuples.
+    pub fn completion_repairs_exhaustive(&self) -> Result<Vec<Vec<TupleId>>> {
+        let ids: Vec<TupleId> = self.ids().to_vec();
+        let mut out: Vec<Vec<TupleId>> = Vec::new();
+        for perm in permutations(&ids) {
+            // greedy() rejects rankings that are not linear extensions.
+            if let Ok(r) = self.greedy(&perm) {
+                if !out.contains(&r) {
+                    out.push(r);
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+/// All permutations of `items` (Heap's algorithm, collected).
+fn permutations(items: &[TupleId]) -> Vec<Vec<TupleId>> {
+    let mut work = items.to_vec();
+    let n = work.len();
+    let mut out = Vec::new();
+    heap_permute(&mut work, n, &mut out);
+    out
+}
+
+fn heap_permute(work: &mut Vec<TupleId>, k: usize, out: &mut Vec<Vec<TupleId>>) {
+    if k <= 1 {
+        out.push(work.clone());
+        return;
+    }
+    for i in 0..k {
+        heap_permute(work, k - 1, out);
+        if k.is_multiple_of(2) {
+            work.swap(i, k - 1);
+        } else {
+            work.swap(0, k - 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::PriorityRelation;
+    use fd_core::{schema_rabc, tup, FdSet, Table};
+
+    fn id(i: u32) -> TupleId {
+        TupleId(i)
+    }
+
+    #[test]
+    fn unprioritized_c_repairs_are_all_subset_repairs() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B").unwrap();
+        let t =
+            Table::build_unweighted(s, vec![tup!["x", 1, 0], tup!["x", 2, 0], tup!["y", 1, 0]])
+                .unwrap();
+        let rel = PriorityRelation::empty();
+        let inst = PrioritizedTable::new(&t, &fds, &rel).unwrap();
+        let mut c = inst.completion_repairs().unwrap();
+        let mut all = inst.subset_repairs().unwrap();
+        c.sort();
+        all.sort();
+        assert_eq!(c, all);
+    }
+
+    #[test]
+    fn transitive_blocking_rules_out_false_c_repairs() {
+        // An instance where the *closure* ≻⁺ must block picks that the
+        // direct relation alone would allow. Facts (ids in parentheses):
+        // s1(0), s2(1), s3(2), x(3), r(4), r2(5). Conflicts:
+        //   s1–x, x–s2, x–r, r–s3, r2–s3, r2–s2.
+        // Priority (all on conflict edges): r ≻ x, x ≻ s2, r2 ≻ s3, so
+        // r ≻⁺ s2 through x even though r and s2 never conflict.
+        // S = {s1, s2, s3}: any realizing completion would need the order
+        // s3 < r < x < s2 < r2 < s3 — a cycle — so S is NOT
+        // completion-optimal, yet a closure-free greedy test would accept
+        // it (after picking s1, the only *direct* blocker of s2 is the
+        // already-removed x).
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> C; B -> C").unwrap();
+        let t = Table::build_unweighted(
+            s,
+            vec![
+                tup!["a1", "b3", 3], // 0 = s1
+                tup!["a3", "b1", 1], // 1 = s2
+                tup!["a2", "b2", 4], // 2 = s3
+                tup!["a1", "b1", 2], // 3 = x
+                tup!["a2", "b1", 1], // 4 = r
+                tup!["a3", "b2", 5], // 5 = r2
+            ],
+        )
+        .unwrap();
+        let rel =
+            PriorityRelation::new(vec![(id(4), id(3)), (id(3), id(1)), (id(5), id(2))]).unwrap();
+        let inst = PrioritizedTable::new(&t, &fds, &rel).unwrap();
+        let s_set = vec![id(0), id(1), id(2)];
+        assert!(inst.is_subset_repair(&s_set).unwrap());
+        assert!(!inst.is_completion_optimal(&s_set).unwrap());
+        // Cross-validate against brute force over all completions.
+        let exhaustive = inst.completion_repairs_exhaustive().unwrap();
+        assert!(!exhaustive.contains(&s_set));
+        let mut poly = inst.completion_repairs().unwrap();
+        poly.sort();
+        assert_eq!(poly, exhaustive);
+    }
+
+    #[test]
+    fn poly_check_matches_exhaustive_on_random_instances() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xc0ffee);
+        for trial in 0..60 {
+            let s = schema_rabc();
+            let fds = FdSet::parse(&s, "A -> B").unwrap();
+            let n = 3 + trial % 4; // 3..=6 tuples
+            let rows: Vec<_> = (0..n)
+                .map(|_| {
+                    let a = ["x", "y"][rng.gen_range(0..2)];
+                    let b = rng.gen_range(0..3) as i64;
+                    tup![a, b, 0]
+                })
+                .collect();
+            let t = Table::build_unweighted(s, rows).unwrap();
+            // Random acyclic priority over conflicting pairs: orient each
+            // conflict edge from lower id to higher id with probability ½
+            // (orienting by id order guarantees acyclicity).
+            let mut pairs = Vec::new();
+            for (a, b) in t.conflicting_pairs(&fds) {
+                if rng.gen_bool(0.5) {
+                    let (lo, hi) = if a.0 < b.0 { (a, b) } else { (b, a) };
+                    pairs.push((lo, hi));
+                }
+            }
+            let rel = PriorityRelation::new(pairs).unwrap();
+            let inst = PrioritizedTable::new(&t, &fds, &rel).unwrap();
+            let mut poly = inst.completion_repairs().unwrap();
+            poly.sort();
+            let exhaustive = inst.completion_repairs_exhaustive().unwrap();
+            assert_eq!(poly, exhaustive, "trial {trial}: table {t:?}");
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Errors for the prioritized-repair layer.
+
+use fd_core::TupleId;
+use std::fmt;
+
+/// Errors raised when validating priorities against a table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PriorityError {
+    /// A pair `t ≻ t` was asserted.
+    SelfPreference {
+        /// The offending tuple.
+        id: TupleId,
+    },
+    /// The preference digraph contains a cycle.
+    Cyclic,
+    /// A preference references a tuple id absent from the table.
+    UnknownTuple {
+        /// The missing identifier.
+        id: TupleId,
+    },
+    /// A preference relates two tuples that do not jointly violate any FD.
+    ///
+    /// Priorities are only meaningful on conflicts (Staworko et al.): a
+    /// preference between compatible tuples can never influence a repair.
+    NonConflictingPair {
+        /// The preferred tuple.
+        winner: TupleId,
+        /// The dispreferred tuple.
+        loser: TupleId,
+    },
+    /// An operation needed a total order but the supplied ranking is not a
+    /// permutation of the table's tuple ids.
+    NotAPermutation,
+    /// A supplied ranking contradicts the priority relation.
+    NotALinearExtension {
+        /// The tuple ranked lower despite being preferred.
+        winner: TupleId,
+        /// The tuple ranked higher despite being dispreferred.
+        loser: TupleId,
+    },
+    /// The table is too large for an exhaustive operation.
+    TooLargeForEnumeration {
+        /// Number of tuples in the table.
+        size: usize,
+        /// The supported maximum.
+        max: usize,
+    },
+}
+
+impl fmt::Display for PriorityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PriorityError::SelfPreference { id } => {
+                write!(f, "tuple {id:?} cannot be preferred over itself")
+            }
+            PriorityError::Cyclic => write!(f, "priority relation contains a cycle"),
+            PriorityError::UnknownTuple { id } => {
+                write!(f, "priority references unknown tuple {id:?}")
+            }
+            PriorityError::NonConflictingPair { winner, loser } => write!(
+                f,
+                "priority {winner:?} ≻ {loser:?} relates tuples that never conflict"
+            ),
+            PriorityError::NotAPermutation => {
+                write!(f, "ranking is not a permutation of the table's tuple ids")
+            }
+            PriorityError::NotALinearExtension { winner, loser } => write!(
+                f,
+                "ranking places {loser:?} above {winner:?}, contradicting {winner:?} ≻ {loser:?}"
+            ),
+            PriorityError::TooLargeForEnumeration { size, max } => {
+                write!(f, "table has {size} tuples; exhaustive analysis supports at most {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PriorityError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, PriorityError>;

@@ -1,0 +1,280 @@
+//! Pareto and global improvements, and the optimality checks they induce.
+//!
+//! Following Staworko et al. (the paper's [29]): for consistent subsets
+//! `S ≠ S'` of the same table,
+//!
+//! * `S'` is a **Pareto improvement** of `S` if some added tuple beats
+//!   *every* removed tuple: `∃t' ∈ S'∖S  ∀t ∈ S∖S' : t' ≻ t`;
+//! * `S'` is a **global improvement** of `S` if every removed tuple is
+//!   beaten by *some* added tuple: `∀t ∈ S∖S'  ∃t' ∈ S'∖S : t' ≻ t`.
+//!
+//! A **Pareto-optimal repair** (p-repair) admits no Pareto improvement; a
+//! **globally-optimal repair** (g-repair) admits no global improvement.
+//! A Pareto improvement is a special global improvement (its single
+//! witness serves every removed tuple), so g-repairs ⊆ p-repairs.
+//! Completion-optimal repairs are also p-repairs (see
+//! [`crate::instance::PrioritizedTable::is_completion_optimal`]): a Pareto
+//! witness `t'` against a greedy result would need to beat the very tuple
+//! that eliminated `t'`, contradicting acyclicity. The converse
+//! containments fail — Pareto is the weakest of the three notions.
+//!
+//! For FDs the conflicts are pairwise, which makes Pareto optimality
+//! *locally checkable* in polynomial time: a subset repair `S` is Pareto
+//! optimal iff no excluded tuple `t'` dominates all of its kept
+//! conflict-neighbors (`∀t ∈ S ∩ N(t') : t' ≻ t`). Global optimality has
+//! no such local characterization (the paper's \[16\] shows it is
+//! coNP-complete in general), so [`PrioritizedTable::is_globally_optimal`]
+//! enumerates candidate improvements and is exponential by nature.
+//!
+//! Improvements are evaluated against the priority **as given** (not its
+//! transitive closure), matching the original definitions; completion
+//! semantics, which genuinely needs transitivity, lives in
+//! [`crate::instance::PrioritizedTable::is_completion_optimal`].
+
+use crate::error::Result;
+use crate::instance::PrioritizedTable;
+use fd_core::TupleId;
+
+impl PrioritizedTable<'_> {
+    /// True iff `improved` is a Pareto improvement of `of` (both must be
+    /// consistent subsets).
+    pub fn is_pareto_improvement(&self, of: &[TupleId], improved: &[TupleId]) -> Result<bool> {
+        let s = self.to_index_set(of)?;
+        let s2 = self.to_index_set(improved)?;
+        if s == s2 || !self.is_consistent(of)? || !self.is_consistent(improved)? {
+            return Ok(false);
+        }
+        let removed: Vec<usize> = (0..self.len()).filter(|&i| s[i] && !s2[i]).collect();
+        for i in 0..self.len() {
+            if s2[i] && !s[i] && removed.iter().all(|&j| self.prefers_idx(i, j)) {
+                return Ok(true);
+            }
+        }
+        // A strict superset is vacuously a Pareto improvement (no tuples
+        // removed): ∃t' with nothing to beat requires S'∖S nonempty, which
+        // holds since S' ≠ S and S ⊆ S'.
+        Ok(removed.is_empty())
+    }
+
+    /// True iff `improved` is a global improvement of `of` (both must be
+    /// consistent subsets).
+    pub fn is_global_improvement(&self, of: &[TupleId], improved: &[TupleId]) -> Result<bool> {
+        let s = self.to_index_set(of)?;
+        let s2 = self.to_index_set(improved)?;
+        if s == s2 || !self.is_consistent(of)? || !self.is_consistent(improved)? {
+            return Ok(false);
+        }
+        let added: Vec<usize> = (0..self.len()).filter(|&i| s2[i] && !s[i]).collect();
+        for j in 0..self.len() {
+            if s[j] && !s2[j] && !added.iter().any(|&i| self.prefers_idx(i, j)) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Polynomial-time Pareto-optimality check (local characterization).
+    ///
+    /// Returns `false` for subsets that are not subset repairs: a
+    /// non-maximal consistent subset is Pareto-improved by any strict
+    /// consistent superset, and an inconsistent subset is no repair at all.
+    pub fn is_pareto_optimal(&self, kept: &[TupleId]) -> Result<bool> {
+        if !self.is_subset_repair(kept)? {
+            return Ok(false);
+        }
+        let set = self.to_index_set(kept)?;
+        for cand in 0..self.len() {
+            if set[cand] {
+                continue;
+            }
+            // By maximality cand has at least one kept neighbor; cand
+            // witnesses an improvement iff it beats all of them.
+            let beats_all = self
+                .adj_of(cand)
+                .iter()
+                .filter(|&&j| set[j])
+                .all(|&j| self.prefers_idx(cand, j));
+            if beats_all {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Exhaustive Pareto-optimality check over all subset repairs — the
+    /// reference implementation used to validate the local check in tests.
+    pub fn is_pareto_optimal_exhaustive(&self, kept: &[TupleId]) -> Result<bool> {
+        if !self.is_subset_repair(kept)? {
+            return Ok(false);
+        }
+        for other in self.subset_repairs()? {
+            if self.is_pareto_improvement(kept, &other)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Global-optimality check.
+    ///
+    /// Enumerates all subset repairs as candidate improvements (a global
+    /// improvement extends to a maximal one without losing the property),
+    /// so this is exponential in output size — inherent, per the
+    /// coNP-completeness of g-repair checking (\[16\]).
+    pub fn is_globally_optimal(&self, kept: &[TupleId]) -> Result<bool> {
+        if !self.is_subset_repair(kept)? {
+            return Ok(false);
+        }
+        for other in self.subset_repairs()? {
+            if self.is_global_improvement(kept, &other)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// All Pareto-optimal repairs.
+    pub fn pareto_repairs(&self) -> Result<Vec<Vec<TupleId>>> {
+        let mut out = Vec::new();
+        for r in self.subset_repairs()? {
+            if self.is_pareto_optimal(&r)? {
+                out.push(r);
+            }
+        }
+        Ok(out)
+    }
+
+    /// All globally-optimal repairs.
+    pub fn global_repairs(&self) -> Result<Vec<Vec<TupleId>>> {
+        let repairs = self.subset_repairs()?;
+        let mut out = Vec::new();
+        'cand: for r in &repairs {
+            for other in &repairs {
+                if self.is_global_improvement(r, other)? {
+                    continue 'cand;
+                }
+            }
+            out.push(r.clone());
+        }
+        Ok(out)
+    }
+
+    /// Direct (non-transitive) preference on node indices: improvements use
+    /// the priority as asserted, not its closure.
+    fn prefers_idx(&self, winner: usize, loser: usize) -> bool {
+        self.direct_idx(winner, loser)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::PriorityRelation;
+    use fd_core::{schema_rabc, tup, FdSet, Table, TupleId};
+
+    fn id(i: u32) -> TupleId {
+        TupleId(i)
+    }
+
+    /// Pairwise-conflicting triple under `∅ → A`-style conflicts: we use
+    /// A -> B with equal A so all three tuples pairwise conflict.
+    fn clique3(prio: &PriorityRelation) -> (Table, FdSet) {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B").unwrap();
+        let t = Table::build_unweighted(s, vec![tup!["x", 1, 0], tup!["x", 2, 0], tup!["x", 3, 0]])
+            .unwrap();
+        let _ = prio;
+        (t, fds)
+    }
+
+    #[test]
+    fn pareto_improvement_detection() {
+        let rel = PriorityRelation::new(vec![(id(0), id(1))]).unwrap();
+        let (t, fds) = clique3(&rel);
+        let inst = PrioritizedTable::new(&t, &fds, &rel).unwrap();
+        // {0} Pareto-improves {1} (0 beats the only removed tuple).
+        assert!(inst.is_pareto_improvement(&[id(1)], &[id(0)]).unwrap());
+        // {2} does not Pareto-improve {1} (no preference).
+        assert!(!inst.is_pareto_improvement(&[id(1)], &[id(2)]).unwrap());
+        // Equal sets and inconsistent sets are not improvements.
+        assert!(!inst.is_pareto_improvement(&[id(1)], &[id(1)]).unwrap());
+        assert!(!inst.is_pareto_improvement(&[id(1)], &[id(0), id(2)]).unwrap());
+    }
+
+    #[test]
+    fn strict_superset_is_pareto_improvement() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B").unwrap();
+        let t =
+            Table::build_unweighted(s, vec![tup!["x", 1, 0], tup!["x", 2, 0], tup!["y", 1, 0]])
+                .unwrap();
+        let rel = PriorityRelation::empty();
+        let inst = PrioritizedTable::new(&t, &fds, &rel).unwrap();
+        assert!(inst.is_pareto_improvement(&[id(0)], &[id(0), id(2)]).unwrap());
+    }
+
+    #[test]
+    fn global_improvement_needs_all_removed_beaten() {
+        let rel = PriorityRelation::new(vec![(id(0), id(1))]).unwrap();
+        let (t, fds) = clique3(&rel);
+        let inst = PrioritizedTable::new(&t, &fds, &rel).unwrap();
+        assert!(inst.is_global_improvement(&[id(1)], &[id(0)]).unwrap());
+        assert!(!inst.is_global_improvement(&[id(2)], &[id(0)]).unwrap());
+    }
+
+    #[test]
+    fn local_pareto_check_matches_exhaustive() {
+        let rel = PriorityRelation::new(vec![(id(0), id(1)), (id(1), id(2))]).unwrap();
+        let (t, fds) = clique3(&rel);
+        let inst = PrioritizedTable::new(&t, &fds, &rel).unwrap();
+        for r in inst.subset_repairs().unwrap() {
+            assert_eq!(
+                inst.is_pareto_optimal(&r).unwrap(),
+                inst.is_pareto_optimal_exhaustive(&r).unwrap(),
+                "disagreement on {r:?}"
+            );
+        }
+        // 0 beats 1, 1 beats 2; repairs are the singletons. {1} is improved
+        // by 0; {2} is improved by 1; {0} is optimal.
+        assert_eq!(inst.pareto_repairs().unwrap(), vec![vec![id(0)]]);
+    }
+
+    #[test]
+    fn g_repairs_subset_of_p_repairs() {
+        let rel = PriorityRelation::new(vec![(id(0), id(1))]).unwrap();
+        let (t, fds) = clique3(&rel);
+        let inst = PrioritizedTable::new(&t, &fds, &rel).unwrap();
+        let p = inst.pareto_repairs().unwrap();
+        for g in inst.global_repairs().unwrap() {
+            assert!(p.contains(&g), "g-repair {g:?} is not a p-repair");
+        }
+    }
+
+    #[test]
+    fn optimal_weighted_repair_need_not_be_pareto_optimal() {
+        // A star conflict under B -> C: tuple 0 (weight 3) conflicts with
+        // tuples 1 and 2 (weight 2 each, mutually consistent since they
+        // share C). The weight-optimal repair keeps {1, 2} (total 4 > 3),
+        // but the weight-induced priority lets tuple 0 beat each neighbor
+        // individually, so the weight-optimal repair is not Pareto-optimal
+        // — optimality under dist_sub and under priorities genuinely
+        // diverge.
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "B -> C").unwrap();
+        let t = Table::build(
+            s,
+            vec![
+                (tup!["p", "b", 1], 3.0), // conflicts with both below
+                (tup!["q", "b", 2], 2.0), // same B, different C than tuple 0
+                (tup!["r", "b", 2], 2.0), // same C as tuple 1: consistent pair
+            ],
+        )
+        .unwrap();
+        let rel = PriorityRelation::from_weights(&t, &fds);
+        let inst = PrioritizedTable::new(&t, &fds, &rel).unwrap();
+        let heavy_pair = vec![id(1), id(2)];
+        assert!(inst.is_subset_repair(&heavy_pair).unwrap());
+        assert!(!inst.is_pareto_optimal(&heavy_pair).unwrap());
+        assert!(inst.is_pareto_optimal(&[id(0)]).unwrap());
+    }
+}

@@ -1,0 +1,71 @@
+//! # fd-priority
+//!
+//! Prioritized subset repairing for functional dependencies — the §5
+//! outlook of *Computing Optimal Repairs for Functional Dependencies*
+//! (PODS'18), following the framework of Staworko, Chomicki &
+//! Marcinkowski (the paper's \[29\]) with the ambiguity questions of
+//! Kimelfeld, Livshits & Peterfreund (\[23\]) and the complexity landscape
+//! of Fagin, Kimelfeld & Kolaitis (\[16\]).
+//!
+//! A [`PriorityRelation`] is an acyclic preference `≻` over conflicting
+//! tuples. Attached to a table and an FD set via [`PrioritizedTable`], it
+//! refines the space of subset repairs (maximal consistent subsets) into
+//! three families, of which Pareto optimality is the weakest:
+//!
+//! ```text
+//! globally-optimal ⊆ Pareto-optimal ⊇ completion-optimal
+//!        (all three ⊆ subset repairs)
+//! ```
+//!
+//! Globally- and completion-optimal repairs are *incomparable* families:
+//! `crates/priority/src/completion.rs` carries a six-tuple instance whose
+//! repair `{4, 5}` is globally (hence Pareto) optimal yet realizable by no
+//! completion — see `g_and_p_repairs_need_not_be_completion_optimal`.
+//!
+//! * **Pareto optimality** is checked in polynomial time (local
+//!   characterization over the conflict graph);
+//! * **completion optimality** is checked in polynomial time (greedy
+//!   realizability over the transitive closure);
+//! * **global optimality** checking is coNP-complete in general and is
+//!   implemented exhaustively.
+//!
+//! [`Semantics`] selects a family; [`min_deletions_to_categoricity`]
+//! answers §5's question "how many deletions until the repair is
+//! unambiguous?" by exhaustive search.
+//!
+//! ## Example
+//!
+//! ```
+//! use fd_core::{schema_rabc, tup, FdSet, Table, TupleId};
+//! use fd_priority::{PriorityRelation, PrioritizedTable, Semantics};
+//!
+//! let schema = schema_rabc();
+//! let fds = FdSet::parse(&schema, "A -> B").unwrap();
+//! // Two conflicting readings of the same key; trust tuple 0 more.
+//! let table = Table::build_unweighted(
+//!     schema,
+//!     vec![tup!["k", 1, 0], tup!["k", 2, 0]],
+//! ).unwrap();
+//! let prio = PriorityRelation::new(vec![(TupleId(0), TupleId(1))]).unwrap();
+//! let inst = PrioritizedTable::new(&table, &fds, &prio).unwrap();
+//!
+//! assert!(inst.is_categorical(Semantics::Pareto).unwrap());
+//! assert_eq!(
+//!     inst.the_repair(Semantics::Pareto).unwrap(),
+//!     Some(vec![TupleId(0)]),
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+mod categoricity;
+mod completion;
+mod error;
+mod improvement;
+mod instance;
+mod relation;
+
+pub use categoricity::{min_deletions_to_categoricity, Semantics};
+pub use error::{PriorityError, Result};
+pub use instance::PrioritizedTable;
+pub use relation::PriorityRelation;

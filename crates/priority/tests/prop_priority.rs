@@ -1,0 +1,134 @@
+//! Property tests for prioritized-repair semantics.
+//!
+//! The key invariants (Staworko et al., the paper's [29]):
+//!
+//! * globally-optimal ⊆ Pareto-optimal and completion-optimal ⊆
+//!   Pareto-optimal ⊆ subset repairs (Pareto is the weakest notion;
+//!   global and completion are incomparable — see the deterministic
+//!   counterexample in `completion.rs`);
+//! * with an empty priority all four families coincide;
+//! * the local Pareto check agrees with the exhaustive one;
+//! * greedy walks of linear extensions generate exactly the
+//!   completion-optimal repairs.
+
+use fd_core::{schema_rabc, tup, FdSet, Table, Tuple, TupleId};
+use fd_priority::{PriorityRelation, PrioritizedTable};
+use proptest::prelude::*;
+
+/// A random small table over R(A, B, C) under "A -> B; B -> C", with
+/// values drawn from tiny domains so conflicts are frequent.
+fn small_table() -> impl Strategy<Value = Table> {
+    proptest::collection::vec((0..2u8, 0..3i64, 0..2i64), 1..7).prop_map(|rows| {
+        let s = schema_rabc();
+        let tuples: Vec<Tuple> = rows
+            .into_iter()
+            .map(|(a, b, c)| tup![["x", "y"][a as usize], b, c])
+            .collect();
+        Table::build_unweighted(s, tuples).expect("valid rows")
+    })
+}
+
+/// A random acyclic conflict-restricted priority: orient a random subset
+/// of conflict edges from the lower tuple id to the higher (id order makes
+/// acyclicity automatic).
+fn random_priority(table: &Table, fds: &FdSet, coin: &[bool]) -> PriorityRelation {
+    let mut pairs = Vec::new();
+    for (k, (a, b)) in table.conflicting_pairs(fds).into_iter().enumerate() {
+        if *coin.get(k % coin.len().max(1)).unwrap_or(&false) {
+            let (lo, hi) = if a.0 < b.0 { (a, b) } else { (b, a) };
+            pairs.push((lo, hi));
+        }
+    }
+    PriorityRelation::new(pairs).expect("id-ordered orientation is acyclic")
+}
+
+fn fds() -> FdSet {
+    FdSet::parse(&schema_rabc(), "A -> B; B -> C").expect("valid FDs")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn containment_chain(table in small_table(), coin in proptest::collection::vec(any::<bool>(), 1..16)) {
+        let fds = fds();
+        let prio = random_priority(&table, &fds, &coin);
+        let inst = PrioritizedTable::new(&table, &fds, &prio).expect("valid priority");
+        let subset: Vec<_> = inst.subset_repairs().unwrap();
+        let completion = inst.completion_repairs().unwrap();
+        let pareto = inst.pareto_repairs().unwrap();
+        let global = inst.global_repairs().unwrap();
+        for g in &global {
+            prop_assert!(pareto.contains(g), "g-repair {g:?} not Pareto-optimal");
+        }
+        for c in &completion {
+            prop_assert!(pareto.contains(c), "c-repair {c:?} not Pareto-optimal");
+            prop_assert!(subset.contains(c), "c-repair {c:?} not a subset repair");
+        }
+        for p in &pareto {
+            prop_assert!(subset.contains(p), "p-repair {p:?} not a subset repair");
+        }
+        // Completion-optimal repairs always exist (any linear extension's
+        // greedy produces one), hence so do Pareto-optimal ones.
+        prop_assert!(!completion.is_empty());
+        prop_assert!(!pareto.is_empty());
+    }
+
+    #[test]
+    fn empty_priority_collapses_semantics(table in small_table()) {
+        let fds = fds();
+        let prio = PriorityRelation::empty();
+        let inst = PrioritizedTable::new(&table, &fds, &prio).expect("empty priority");
+        let mut subset = inst.subset_repairs().unwrap();
+        let mut completion = inst.completion_repairs().unwrap();
+        let mut pareto = inst.pareto_repairs().unwrap();
+        let mut global = inst.global_repairs().unwrap();
+        subset.sort();
+        completion.sort();
+        pareto.sort();
+        global.sort();
+        prop_assert_eq!(&subset, &completion);
+        prop_assert_eq!(&subset, &pareto);
+        prop_assert_eq!(&subset, &global);
+    }
+
+    #[test]
+    fn local_pareto_check_matches_exhaustive(
+        table in small_table(),
+        coin in proptest::collection::vec(any::<bool>(), 1..16),
+    ) {
+        let fds = fds();
+        let prio = random_priority(&table, &fds, &coin);
+        let inst = PrioritizedTable::new(&table, &fds, &prio).expect("valid priority");
+        for r in inst.subset_repairs().unwrap() {
+            prop_assert_eq!(
+                inst.is_pareto_optimal(&r).unwrap(),
+                inst.is_pareto_optimal_exhaustive(&r).unwrap(),
+                "local vs exhaustive Pareto disagree on {:?}", r
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_of_id_order_is_completion_optimal(
+        table in small_table(),
+        coin in proptest::collection::vec(any::<bool>(), 1..16),
+    ) {
+        let fds = fds();
+        let prio = random_priority(&table, &fds, &coin);
+        let inst = PrioritizedTable::new(&table, &fds, &prio).expect("valid priority");
+        // Ascending id order is a linear extension (priorities point
+        // low id -> high id by construction).
+        let ranking: Vec<TupleId> = inst.ids().to_vec();
+        let kept = inst.greedy(&ranking).unwrap();
+        prop_assert!(inst.is_completion_optimal(&kept).unwrap());
+        prop_assert!(inst.is_subset_repair(&kept).unwrap());
+    }
+
+    #[test]
+    fn weight_priority_is_always_valid(table in small_table()) {
+        let fds = fds();
+        let prio = PriorityRelation::from_weights(&table, &fds);
+        prop_assert!(PrioritizedTable::new(&table, &fds, &prio).is_ok());
+    }
+}

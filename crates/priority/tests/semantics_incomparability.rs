@@ -1,0 +1,73 @@
+//! Regression test: globally- and Pareto-optimal repairs need not be
+//! completion-optimal — the three Staworko semantics do NOT form a chain
+//! with completion at the top.
+//!
+//! Instance (found by the property suite, minimized by proptest): six
+//! tuples over R(A, B, C) with Δ = {A → B, B → C}; all share A = "x", so
+//! tuples conflict exactly when their B values differ. Priority:
+//! 0 ≻ 4, 1 ≻ 4, 2 ≻ 4, 3 ≻ 5.
+//!
+//! The repair {4, 5} admits no Pareto improvement (a witness would have
+//! to beat *both* 4 and 5, but each outside tuple beats at most one) and
+//! no global improvement (the consistent candidates {0,1,2} and {3} each
+//! leave one of 4, 5 unbeaten). Yet no completion realizes it: 4 is
+//! dominated by 0 and 5 by 3 in *every* completion, so a greedy walk can
+//! never pick 4 or 5 first.
+
+use fd_core::{schema_rabc, tup, FdSet, Table, TupleId};
+use fd_priority::{PriorityRelation, PrioritizedTable, Semantics};
+
+fn id(i: u32) -> TupleId {
+    TupleId(i)
+}
+
+#[test]
+fn g_and_p_repairs_need_not_be_completion_optimal() {
+    let s = schema_rabc();
+    let fds = FdSet::parse(&s, "A -> B; B -> C").unwrap();
+    let t = Table::build_unweighted(
+        s,
+        vec![
+            tup!["x", 0, 0], // 0
+            tup!["x", 0, 0], // 1 (duplicate of 0)
+            tup!["x", 0, 0], // 2 (duplicate of 0)
+            tup!["x", 2, 1], // 3
+            tup!["x", 1, 1], // 4
+            tup!["x", 1, 1], // 5 (duplicate of 4)
+        ],
+    )
+    .unwrap();
+    let rel = PriorityRelation::new(vec![
+        (id(0), id(4)),
+        (id(1), id(4)),
+        (id(2), id(4)),
+        (id(3), id(5)),
+    ])
+    .unwrap();
+    let inst = PrioritizedTable::new(&t, &fds, &rel).unwrap();
+
+    let mut subset = inst.subset_repairs().unwrap();
+    subset.sort();
+    assert_eq!(
+        subset,
+        vec![vec![id(0), id(1), id(2)], vec![id(3)], vec![id(4), id(5)]]
+    );
+
+    let target = vec![id(4), id(5)];
+    assert!(inst.is_globally_optimal(&target).unwrap());
+    assert!(inst.is_pareto_optimal(&target).unwrap());
+    assert!(!inst.is_completion_optimal(&target).unwrap());
+
+    // The polynomial completion check agrees with brute force over every
+    // linear extension of the priority.
+    let exhaustive = inst.completion_repairs_exhaustive().unwrap();
+    let mut poly = inst.completion_repairs().unwrap();
+    poly.sort();
+    assert_eq!(poly, exhaustive);
+    assert_eq!(exhaustive, vec![vec![id(0), id(1), id(2)], vec![id(3)]]);
+
+    // Consequently the instance is ambiguous under every semantics.
+    for sem in [Semantics::Global, Semantics::Pareto, Semantics::Completion] {
+        assert!(!inst.is_categorical(sem).unwrap(), "{sem:?}");
+    }
+}

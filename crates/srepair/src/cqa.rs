@@ -1,0 +1,217 @@
+//! Consistent query answering over subset repairs.
+//!
+//! The paper's opening frame (Arenas et al., its [5]): the *consistent*
+//! answers to a query are those returned in **every** repair. At the
+//! tuple level two repair semantics matter here:
+//!
+//! * **all subset repairs** (the classical S-repair semantics of
+//!   Chomicki & Marcinkowski [12]) — a tuple is certain iff it is
+//!   conflict-free, because any conflicting partner extends to a repair
+//!   that excludes the tuple; this makes certainty polynomial for every
+//!   FD set;
+//! * **optimal (cardinality/weighted) repairs only** (Lopatenko &
+//!   Bertossi [27]) — a tuple is certain iff every *minimum-cost* repair
+//!   keeps it; computed here along the `OptSRepair` recursion (so it
+//!   inherits the dichotomy: available exactly when Algorithm 1 succeeds
+//!   and no counting obstruction arises), with a brute-force oracle for
+//!   validation.
+//!
+//! `certain ⊆ possible`: a tuple is *possible* if some repair of the
+//! respective kind keeps it. Under the all-repairs semantics every tuple
+//! is possible (each extends to a maximal consistent subset); under the
+//! optimal-repairs semantics possibility is genuinely restrictive.
+
+use crate::count::enumerate_optimal_s_repairs;
+use fd_core::{FdSet, Table, TupleId};
+use std::collections::HashSet;
+
+/// Tuple-level certain/possible answers under a repair semantics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TupleAnswers {
+    /// Tuples kept by every repair, sorted.
+    pub certain: Vec<TupleId>,
+    /// Tuples kept by at least one repair, sorted.
+    pub possible: Vec<TupleId>,
+}
+
+/// Certain/possible tuples over **all** subset repairs, in polynomial
+/// time: certain = conflict-free, possible = all tuples.
+///
+/// # Examples
+///
+/// ```
+/// use fd_core::{schema_rabc, tup, FdSet, Table, TupleId};
+/// use fd_srepair::answers_all_repairs;
+///
+/// let s = schema_rabc();
+/// let fds = FdSet::parse(&s, "A -> B").unwrap();
+/// let t = Table::build_unweighted(
+///     s,
+///     vec![tup!["x", 1, 0], tup!["x", 2, 0], tup!["y", 9, 0]],
+/// ).unwrap();
+/// let ans = answers_all_repairs(&t, &fds);
+/// assert_eq!(ans.certain, vec![TupleId(2)]); // the conflict-free tuple
+/// assert_eq!(ans.possible.len(), 3);
+/// ```
+pub fn answers_all_repairs(table: &Table, fds: &FdSet) -> TupleAnswers {
+    let mut conflicting: HashSet<TupleId> = HashSet::new();
+    for (a, b) in table.conflicting_pairs(fds) {
+        conflicting.insert(a);
+        conflicting.insert(b);
+    }
+    let mut certain: Vec<TupleId> =
+        table.ids().filter(|id| !conflicting.contains(id)).collect();
+    certain.sort_unstable();
+    let mut possible: Vec<TupleId> = table.ids().collect();
+    possible.sort_unstable();
+    TupleAnswers { certain, possible }
+}
+
+/// Certain/possible tuples over the **optimal** S-repairs only, via the
+/// `OptSRepair`-based enumeration. Returns `None` when the enumeration is
+/// unavailable (hard side of the dichotomy, an lhs marriage with
+/// ambiguous matchings, or more than `limit` optimal repairs).
+pub fn answers_optimal_repairs(
+    table: &Table,
+    fds: &FdSet,
+    limit: usize,
+) -> Option<TupleAnswers> {
+    let repairs = enumerate_optimal_s_repairs(table, fds, limit)?;
+    Some(intersect_and_union(table, &repairs))
+}
+
+/// Brute-force oracle for [`answers_optimal_repairs`] (≤ 20 tuples).
+pub fn brute_force_answers_optimal(table: &Table, fds: &FdSet) -> TupleAnswers {
+    let ids: Vec<TupleId> = table.ids().collect();
+    let n = ids.len();
+    assert!(n <= 20, "brute force limited to 20 tuples");
+    let mut best = f64::INFINITY;
+    let mut repairs: Vec<Vec<TupleId>> = Vec::new();
+    for mask in 0..(1u32 << n) {
+        let kept: Vec<TupleId> =
+            (0..n).filter(|&i| mask & (1 << i) != 0).map(|i| ids[i]).collect();
+        let keep_set: HashSet<TupleId> = kept.iter().copied().collect();
+        let sub = table.subset(&keep_set);
+        if !sub.satisfies(fds) {
+            continue;
+        }
+        let cost = table.dist_sub(&sub).expect("subset");
+        if cost < best - 1e-12 {
+            best = cost;
+            repairs.clear();
+            repairs.push(kept);
+        } else if (cost - best).abs() <= 1e-12 {
+            repairs.push(kept);
+        }
+    }
+    intersect_and_union(table, &repairs)
+}
+
+fn intersect_and_union(table: &Table, repairs: &[Vec<TupleId>]) -> TupleAnswers {
+    let mut possible: HashSet<TupleId> = HashSet::new();
+    for r in repairs {
+        possible.extend(r.iter().copied());
+    }
+    let mut certain: Vec<TupleId> = table
+        .ids()
+        .filter(|id| repairs.iter().all(|r| r.contains(id)))
+        .collect();
+    certain.sort_unstable();
+    let mut possible: Vec<TupleId> = possible.into_iter().collect();
+    possible.sort_unstable();
+    TupleAnswers { certain, possible }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::{schema_rabc, tup, Tuple};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn id(i: u32) -> TupleId {
+        TupleId(i)
+    }
+
+    #[test]
+    fn all_repairs_certainty_is_conflict_freedom() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B").unwrap();
+        let t = Table::build_unweighted(
+            s,
+            vec![tup!["x", 1, 0], tup!["x", 2, 0], tup!["y", 1, 0]],
+        )
+        .unwrap();
+        let ans = answers_all_repairs(&t, &fds);
+        assert_eq!(ans.certain, vec![id(2)]);
+        assert_eq!(ans.possible, vec![id(0), id(1), id(2)]);
+    }
+
+    #[test]
+    fn optimal_semantics_is_strictly_finer() {
+        // Weights break the tie: (x,1) at weight 2 beats (x,2) at weight 1,
+        // so the unique optimal repair keeps tuple 0 — certain under the
+        // optimal semantics, uncertain under the all-repairs semantics.
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B").unwrap();
+        let t = Table::build(
+            s,
+            vec![(tup!["x", 1, 0], 2.0), (tup!["x", 2, 0], 1.0)],
+        )
+        .unwrap();
+        let all = answers_all_repairs(&t, &fds);
+        assert!(all.certain.is_empty());
+        let opt = answers_optimal_repairs(&t, &fds, 100).expect("tractable");
+        assert_eq!(opt.certain, vec![id(0)]);
+        assert_eq!(opt.possible, vec![id(0)]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(0xc9a);
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B; A B -> C").unwrap();
+        for trial in 0..150 {
+            let n = 1 + trial % 8;
+            let rows: Vec<Tuple> = (0..n)
+                .map(|_| {
+                    tup![
+                        ["x", "y"][rng.gen_range(0..2)],
+                        rng.gen_range(0..3) as i64,
+                        rng.gen_range(0..2) as i64
+                    ]
+                })
+                .collect();
+            let t = Table::build_unweighted(s.clone(), rows).unwrap();
+            let fast = answers_optimal_repairs(&t, &fds, 10_000).expect("chain FD set");
+            let brute = brute_force_answers_optimal(&t, &fds);
+            assert_eq!(fast, brute, "trial {trial}: {t:?}");
+        }
+    }
+
+    #[test]
+    fn certain_subset_of_possible() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B").unwrap();
+        let t = Table::build_unweighted(
+            s,
+            vec![tup!["x", 1, 0], tup!["x", 2, 0], tup!["x", 3, 0], tup!["y", 1, 0]],
+        )
+        .unwrap();
+        let opt = answers_optimal_repairs(&t, &fds, 100).expect("tractable");
+        for c in &opt.certain {
+            assert!(opt.possible.contains(c));
+        }
+        // Three tied singletons within the x-group: none certain there,
+        // all possible; the clean y-tuple is certain.
+        assert_eq!(opt.certain, vec![id(3)]);
+        assert_eq!(opt.possible.len(), 4);
+    }
+
+    #[test]
+    fn hard_side_reports_none() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B; B -> C").unwrap();
+        let t = Table::build_unweighted(s, vec![tup!["x", 1, 0]]).unwrap();
+        assert!(answers_optimal_repairs(&t, &fds, 100).is_none());
+    }
+}

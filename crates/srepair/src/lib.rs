@@ -1,0 +1,59 @@
+//! # fd-srepair
+//!
+//! Optimal subset repairs (§3 of the paper):
+//!
+//! * [`opt_s_repair`] — `OptSRepair`, Algorithm 1;
+//! * [`osr_succeeds`] / [`simplification_trace`] — `OSRSucceeds`,
+//!   Algorithm 2, with full traces (Example 3.5);
+//! * [`classify_irreducible`] — the Figure-2 five-class classifier for FD
+//!   sets on the hard side of the dichotomy (Theorem 3.4);
+//! * [`class_reduction`] / [`lifting_reduction`] — executable fact-wise
+//!   reductions (Lemmas A.14–A.18);
+//! * [`exact_s_repair`] — exact baseline via minimum-weight vertex cover
+//!   on the conflict graph (valid for every FD set);
+//! * [`approx_s_repair`] — the 2-approximation of Proposition 3.3;
+//! * [`count_subset_repairs`] — polynomial subset-repair counting for
+//!   chain FD sets (the §2.2 pointer to the counting dichotomy of \[26\]);
+//! * [`par_opt_s_repair`] — Algorithm 1 with the top-level partition
+//!   solved across threads (blocks never interact, so `CommonLHSRep`,
+//!   `ConsensusRep` and the `MarriageRep` sub-problems are data-parallel);
+//! * [`answers_all_repairs`] / [`answers_optimal_repairs`] — tuple-level
+//!   consistent query answering (certain/possible membership) under the
+//!   all-repairs and optimal-repairs semantics;
+//! * [`SRepairSolver`] — a facade choosing the best method per the
+//!   dichotomy.
+
+#![warn(missing_docs)]
+
+mod approx;
+mod chain_count;
+mod classify;
+mod count;
+mod cqa;
+mod exact;
+mod factwise;
+mod maximal;
+mod optsrepair;
+mod parallel;
+mod repair;
+mod solver;
+mod succeeds;
+
+pub use approx::approx_s_repair;
+pub use chain_count::{
+    brute_force_count_subset_repairs, count_subset_repairs, count_subset_repairs_log2,
+    sample_subset_repair, ChainCountOutcome,
+};
+pub use classify::{classify_irreducible, Classification, HardCore};
+pub use count::{brute_force_count, count_optimal_s_repairs, enumerate_optimal_s_repairs, CountOutcome};
+pub use cqa::{
+    answers_all_repairs, answers_optimal_repairs, brute_force_answers_optimal, TupleAnswers,
+};
+pub use exact::{brute_force_s_repair, exact_s_repair};
+pub use factwise::{class_reduction, lifting_chain, lifting_reduction, FactwiseReduction};
+pub use maximal::{is_subset_repair, make_maximal};
+pub use optsrepair::{opt_s_repair, Irreducible};
+pub use parallel::{par_opt_s_repair, ParallelConfig};
+pub use repair::SRepair;
+pub use solver::{SMethod, SRepairSolver, SSolution};
+pub use succeeds::{osr_succeeds, simplification_trace, Outcome, Rule, Trace, TraceStep};

@@ -1,0 +1,284 @@
+//! Data-parallel `OptSRepair`.
+//!
+//! The three simplification subroutines of Algorithm 1 are embarrassingly
+//! parallel across blocks: `CommonLHSRep` and `ConsensusRep` partition the
+//! table into groups that never interact (no FD's lhs can be agreed upon
+//! across groups), and `MarriageRep` solves one independent sub-problem
+//! per `(X₁, X₂)`-projection pair before the matching. This module
+//! parallelizes the **top-level** partition across OS threads (std scoped
+//! threads; no external runtime) and keeps the recursion inside each block
+//! sequential — the first partition is where real tables fan out the most,
+//! and nested parallelism would only add scheduling overhead.
+//!
+//! The result is bit-for-bit identical to [`crate::opt_s_repair`]
+//! modulo the order of kept ids, which both entry points normalize by
+//! sorting (see [`crate::SRepair::from_kept`]).
+
+use crate::optsrepair::{block_weight, solve};
+use crate::repair::SRepair;
+use crate::Irreducible;
+use fd_core::{AttrSet, FdSet, Table, TupleId, Value};
+use fd_graph::max_weight_bipartite_matching;
+use std::collections::HashMap;
+
+/// Thread configuration for [`par_opt_s_repair`].
+#[derive(Clone, Debug)]
+pub struct ParallelConfig {
+    /// Worker threads for the top-level blocks. `0` means "ask the OS"
+    /// (`std::thread::available_parallelism`).
+    pub threads: usize,
+    /// Below this many top-level blocks, run sequentially (thread spawn
+    /// costs more than it saves).
+    pub min_blocks: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> ParallelConfig {
+        ParallelConfig { threads: 0, min_blocks: 8 }
+    }
+}
+
+impl ParallelConfig {
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+/// `OptSRepair` with the top-level partition solved across threads.
+/// Same success/failure behavior and same result as
+/// [`crate::opt_s_repair`].
+///
+/// # Examples
+///
+/// ```
+/// use fd_core::{schema_rabc, tup, FdSet, Table};
+/// use fd_srepair::{opt_s_repair, par_opt_s_repair, ParallelConfig};
+///
+/// let s = schema_rabc();
+/// let fds = FdSet::parse(&s, "A -> B").unwrap();
+/// let t = Table::build_unweighted(
+///     s,
+///     vec![tup!["x", 1, 0], tup!["x", 2, 0], tup!["y", 3, 0]],
+/// ).unwrap();
+/// let cfg = ParallelConfig { threads: 2, min_blocks: 1 };
+/// let par = par_opt_s_repair(&t, &fds, &cfg).unwrap();
+/// assert_eq!(par.kept, opt_s_repair(&t, &fds).unwrap().kept);
+/// ```
+pub fn par_opt_s_repair(
+    table: &Table,
+    fds: &FdSet,
+    config: &ParallelConfig,
+) -> Result<SRepair, Irreducible> {
+    let fds = fds.normalize_single_rhs().remove_trivial();
+    if fds.is_empty() {
+        return Ok(SRepair::from_kept(table, table.ids().collect()));
+    }
+
+    if let Some(a) = fds.common_lhs() {
+        let reduced = fds.minus(AttrSet::singleton(a));
+        let blocks = table.partition_by(AttrSet::singleton(a));
+        let solved = solve_blocks(blocks, &reduced, config)?;
+        let mut kept = Vec::with_capacity(table.len());
+        for (_, _, block_kept) in solved {
+            kept.extend(block_kept);
+        }
+        return Ok(SRepair::from_kept(table, kept));
+    }
+
+    if let Some(cfd) = fds.consensus_fd() {
+        let x = cfd.rhs();
+        let reduced = fds.minus(x);
+        let blocks = table.partition_by(x);
+        let solved = solve_blocks(blocks, &reduced, config)?;
+        // Strict `>` keeps the earliest block on ties, matching the
+        // sequential implementation's determinism.
+        let mut best: Option<(f64, Vec<TupleId>)> = None;
+        for (_, weight, kept) in solved {
+            if best.as_ref().is_none_or(|(w, _)| weight > *w) {
+                best = Some((weight, kept));
+            }
+        }
+        return Ok(SRepair::from_kept(table, best.map(|(_, k)| k).unwrap_or_default()));
+    }
+
+    if let Some((x1, x2)) = fds.lhs_marriage() {
+        let x12 = x1.union(x2);
+        let reduced = fds.minus(x12);
+        let blocks = table.partition_by(x12);
+        let mut v1: HashMap<Vec<Value>, u32> = HashMap::new();
+        let mut v2: HashMap<Vec<Value>, u32> = HashMap::new();
+        let mut pair_of_block: Vec<(u32, u32)> = Vec::with_capacity(blocks.len());
+        for (_, block) in &blocks {
+            let sample = block.rows().next().expect("blocks are nonempty");
+            let a1 = sample.tuple.project(x1);
+            let a2 = sample.tuple.project(x2);
+            let n1 = v1.len() as u32;
+            let i1 = *v1.entry(a1).or_insert(n1);
+            let n2 = v2.len() as u32;
+            let i2 = *v2.entry(a2).or_insert(n2);
+            pair_of_block.push((i1, i2));
+        }
+        let solved = solve_blocks(blocks, &reduced, config)?;
+        let mut edges: Vec<(u32, u32, f64)> = Vec::with_capacity(solved.len());
+        let mut block_repairs: HashMap<(u32, u32), Vec<TupleId>> = HashMap::new();
+        for (idx, weight, kept) in solved {
+            let (i1, i2) = pair_of_block[idx];
+            edges.push((i1, i2, weight));
+            block_repairs.insert((i1, i2), kept);
+        }
+        let matching = max_weight_bipartite_matching(v1.len(), v2.len(), &edges);
+        let mut kept = Vec::new();
+        for pair in matching.pairs {
+            kept.extend(block_repairs.remove(&pair).expect("matched pairs are edges"));
+        }
+        return Ok(SRepair::from_kept(table, kept));
+    }
+
+    Err(Irreducible { remaining: fds })
+}
+
+/// Solves every block with the sequential recursion, fanning the blocks
+/// out over threads. Returns `(block index, kept weight, kept ids)` in
+/// block order.
+#[allow(clippy::type_complexity)]
+fn solve_blocks(
+    blocks: Vec<(Vec<Value>, Table)>,
+    fds: &FdSet,
+    config: &ParallelConfig,
+) -> Result<Vec<(usize, f64, Vec<TupleId>)>, Irreducible> {
+    let threads = config.effective_threads().min(blocks.len().max(1));
+    if threads <= 1 || blocks.len() < config.min_blocks {
+        return blocks
+            .iter()
+            .enumerate()
+            .map(|(i, (_, block))| {
+                let kept = solve(block, fds)?;
+                let w = block_weight(block, &kept);
+                Ok((i, w, kept))
+            })
+            .collect();
+    }
+    let mut results: Vec<Result<Vec<(usize, f64, Vec<TupleId>)>, Irreducible>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let blocks = &blocks;
+            let fds = &fds;
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                // Round-robin assignment: cheap static balancing.
+                for (i, (_, block)) in blocks.iter().enumerate() {
+                    if i % threads != worker {
+                        continue;
+                    }
+                    let kept = solve(block, fds)?;
+                    let w = block_weight(block, &kept);
+                    out.push((i, w, kept));
+                }
+                Ok(out)
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("worker panicked"));
+        }
+    });
+    let mut merged = Vec::with_capacity(blocks.len());
+    for r in results {
+        merged.extend(r?);
+    }
+    merged.sort_by_key(|(i, _, _)| *i);
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt_s_repair;
+    use fd_core::tup;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_table(rng: &mut StdRng, n: usize) -> Table {
+        let s = fd_core::schema_rabc();
+        let rows: Vec<_> = (0..n)
+            .map(|_| {
+                (
+                    tup![
+                        rng.gen_range(0..20) as i64,
+                        rng.gen_range(0..4) as i64,
+                        rng.gen_range(0..4) as i64
+                    ],
+                    [1.0, 2.0, 0.5][rng.gen_range(0..3)],
+                )
+            })
+            .collect();
+        Table::build(s, rows).unwrap()
+    }
+
+    #[test]
+    fn matches_sequential_on_common_lhs_sets() {
+        let mut rng = StdRng::seed_from_u64(0x9a7);
+        let s = fd_core::schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B; A B -> C").unwrap();
+        for threads in [1, 2, 4] {
+            let cfg = ParallelConfig { threads, min_blocks: 1 };
+            for _ in 0..20 {
+                let t = random_table(&mut rng, 60);
+                let par = par_opt_s_repair(&t, &fds, &cfg).unwrap();
+                let seq = opt_s_repair(&t, &fds).unwrap();
+                assert_eq!(par.kept, seq.kept, "threads={threads}");
+                assert_eq!(par.cost, seq.cost);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_consensus_sets() {
+        let mut rng = StdRng::seed_from_u64(0x9a8);
+        let s = fd_core::schema_rabc();
+        let fds = FdSet::parse(&s, "-> A; A B -> C").unwrap();
+        let cfg = ParallelConfig { threads: 4, min_blocks: 1 };
+        for _ in 0..20 {
+            let t = random_table(&mut rng, 40);
+            let par = par_opt_s_repair(&t, &fds, &cfg).unwrap();
+            let seq = opt_s_repair(&t, &fds).unwrap();
+            assert_eq!(par.kept, seq.kept);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_marriage_sets() {
+        let mut rng = StdRng::seed_from_u64(0x9a9);
+        let s = fd_core::schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B; B -> A; B -> C").unwrap();
+        let cfg = ParallelConfig { threads: 3, min_blocks: 1 };
+        for _ in 0..20 {
+            let t = random_table(&mut rng, 40);
+            let par = par_opt_s_repair(&t, &fds, &cfg).unwrap();
+            let seq = opt_s_repair(&t, &fds).unwrap();
+            assert_eq!(par.kept, seq.kept);
+            assert_eq!(par.cost, seq.cost);
+        }
+    }
+
+    #[test]
+    fn fails_exactly_where_sequential_fails() {
+        let s = fd_core::schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B; B -> C").unwrap();
+        let t = random_table(&mut StdRng::seed_from_u64(1), 10);
+        let par = par_opt_s_repair(&t, &fds, &ParallelConfig::default());
+        let seq = opt_s_repair(&t, &fds);
+        assert_eq!(par.unwrap_err(), seq.unwrap_err());
+    }
+
+    #[test]
+    fn trivial_set_keeps_everything() {
+        let t = random_table(&mut StdRng::seed_from_u64(2), 10);
+        let par = par_opt_s_repair(&t, &FdSet::empty(), &ParallelConfig::default()).unwrap();
+        assert_eq!(par.cost, 0.0);
+        assert_eq!(par.kept.len(), 10);
+    }
+}

@@ -1,0 +1,120 @@
+//! A dichotomy-aware facade for computing S-repairs.
+//!
+//! Mirrors how a user of the paper's results would proceed: run
+//! `OSRSucceeds(Δ)`; on the tractable side run Algorithm 1; on the hard
+//! side fall back to the exact (exponential) vertex-cover baseline for
+//! small inputs or the 2-approximation of Proposition 3.3 otherwise.
+
+use crate::approx::approx_s_repair;
+use crate::exact::exact_s_repair;
+use crate::optsrepair::opt_s_repair;
+use crate::repair::SRepair;
+use crate::succeeds::osr_succeeds;
+use fd_core::{FdSet, Table};
+
+/// The method a solution was obtained with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SMethod {
+    /// Algorithm 1 (`OptSRepair`); available iff `OSRSucceeds(Δ)`.
+    Dichotomy,
+    /// Exact minimum-weight vertex cover on the conflict graph.
+    ExactVertexCover,
+    /// The 2-approximation of Proposition 3.3.
+    Approx2,
+}
+
+/// An S-repair with provenance.
+#[derive(Clone, Debug)]
+pub struct SSolution {
+    /// The repair.
+    pub repair: SRepair,
+    /// How it was computed.
+    pub method: SMethod,
+    /// Whether the repair is guaranteed optimal.
+    pub optimal: bool,
+    /// The guaranteed approximation ratio (1 when optimal).
+    pub ratio: f64,
+}
+
+/// Solver configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SRepairSolver {
+    /// Hard-side instances up to this many tuples use the exact
+    /// (exponential) baseline; larger ones use the 2-approximation.
+    pub exact_fallback_limit: usize,
+}
+
+impl Default for SRepairSolver {
+    fn default() -> SRepairSolver {
+        SRepairSolver { exact_fallback_limit: 64 }
+    }
+}
+
+impl SRepairSolver {
+    /// Solves per the dichotomy, with exact or 2-approximate fallback on
+    /// the hard side.
+    pub fn solve(&self, table: &Table, fds: &FdSet) -> SSolution {
+        if osr_succeeds(fds) {
+            let repair = opt_s_repair(table, fds)
+                .expect("OSRSucceeds(Δ) guarantees Algorithm 1 succeeds (Theorem 3.4)");
+            return SSolution { repair, method: SMethod::Dichotomy, optimal: true, ratio: 1.0 };
+        }
+        if table.len() <= self.exact_fallback_limit {
+            SSolution {
+                repair: exact_s_repair(table, fds),
+                method: SMethod::ExactVertexCover,
+                optimal: true,
+                ratio: 1.0,
+            }
+        } else {
+            SSolution {
+                repair: approx_s_repair(table, fds),
+                method: SMethod::Approx2,
+                optimal: false,
+                ratio: 2.0,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::{schema_rabc, tup, Table};
+
+    fn dirty_table(n: usize) -> Table {
+        let rows = (0..n).map(|i| tup![(i % 3) as i64, (i % 2) as i64, (i % 5) as i64]);
+        Table::build_unweighted(schema_rabc(), rows).unwrap()
+    }
+
+    #[test]
+    fn tractable_side_uses_algorithm_1() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B C").unwrap();
+        let sol = SRepairSolver::default().solve(&dirty_table(10), &fds);
+        assert_eq!(sol.method, SMethod::Dichotomy);
+        assert!(sol.optimal);
+    }
+
+    #[test]
+    fn hard_side_small_uses_exact() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B; B -> C").unwrap();
+        let sol = SRepairSolver::default().solve(&dirty_table(10), &fds);
+        assert_eq!(sol.method, SMethod::ExactVertexCover);
+        assert!(sol.optimal);
+    }
+
+    #[test]
+    fn hard_side_large_uses_approx() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B; B -> C").unwrap();
+        let solver = SRepairSolver { exact_fallback_limit: 5 };
+        let t = dirty_table(30);
+        let sol = solver.solve(&t, &fds);
+        assert_eq!(sol.method, SMethod::Approx2);
+        assert!(!sol.optimal);
+        assert_eq!(sol.ratio, 2.0);
+        sol.repair.verify(&t, &fds);
+    }
+}

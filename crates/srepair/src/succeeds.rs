@@ -1,0 +1,234 @@
+//! `OSRSucceeds` — Algorithm 2 of the paper — plus a full simplification
+//! trace, used by the dichotomy experiments (Example 3.5) and the hardness
+//! pipeline (Figure 4).
+
+use fd_core::{AttrSet, FdSet, Schema};
+
+/// One simplification rule application of Algorithm 2.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Rule {
+    /// Common lhs attribute `A`: `Δ := Δ − A`.
+    CommonLhs(AttrSet),
+    /// Consensus FD `∅ → X`: `Δ := Δ − X`.
+    Consensus(AttrSet),
+    /// Lhs marriage `(X₁, X₂)`: `Δ := Δ − X₁X₂`.
+    Marriage(AttrSet, AttrSet),
+}
+
+impl Rule {
+    /// The attributes removed by this rule.
+    pub fn removed(&self) -> AttrSet {
+        match self {
+            Rule::CommonLhs(a) | Rule::Consensus(a) => *a,
+            Rule::Marriage(x1, x2) => x1.union(*x2),
+        }
+    }
+
+    /// Paper-style rendering, e.g. `(common lhs facility)`.
+    pub fn display(&self, schema: &Schema) -> String {
+        match self {
+            Rule::CommonLhs(a) => format!("(common lhs {})", a.display(schema)),
+            Rule::Consensus(x) => format!("(consensus {})", x.display(schema)),
+            Rule::Marriage(x1, x2) => format!(
+                "(lhs marriage ({}, {}))",
+                x1.display(schema),
+                x2.display(schema)
+            ),
+        }
+    }
+}
+
+/// One step of the simplification trace: the FD set before (with trivial
+/// FDs already removed), the rule applied, and the FD set after.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceStep {
+    /// `Δ` before the rule (trivial FDs removed).
+    pub before: FdSet,
+    /// The rule applied.
+    pub rule: Rule,
+    /// `Δ` after the rule.
+    pub after: FdSet,
+}
+
+/// The outcome of Algorithm 2.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome {
+    /// `Δ` was reduced to a trivial set: `OptSRepair` succeeds, and an
+    /// optimal S-repair is computable in polynomial time (Theorem 3.4).
+    Success,
+    /// No simplification applies to the remaining nontrivial set: computing
+    /// an optimal S-repair is APX-complete (Theorem 3.4).
+    Stuck(FdSet),
+}
+
+/// A complete run of Algorithm 2.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    /// The steps, in application order.
+    pub steps: Vec<TraceStep>,
+    /// Success or the stuck FD set.
+    pub outcome: Outcome,
+}
+
+impl Trace {
+    /// True iff the trace ended in success.
+    pub fn succeeded(&self) -> bool {
+        matches!(self.outcome, Outcome::Success)
+    }
+
+    /// Renders the trace in the style of Example 3.5.
+    pub fn display(&self, schema: &Schema) -> String {
+        let mut out = String::new();
+        for step in &self.steps {
+            out.push_str(&step.before.display(schema));
+            out.push_str("\n  ");
+            out.push_str(&step.rule.display(schema));
+            out.push_str(" ⇛\n");
+        }
+        match &self.outcome {
+            Outcome::Success => out.push_str("{}"),
+            Outcome::Stuck(fds) => {
+                out.push_str(&fds.display(schema));
+                out.push_str("\n  (stuck: APX-complete)");
+            }
+        }
+        out
+    }
+}
+
+/// Runs Algorithm 2 and records every simplification.
+pub fn simplification_trace(fds: &FdSet) -> Trace {
+    let mut current = fds.clone();
+    let mut steps = Vec::new();
+    loop {
+        current = current.remove_trivial();
+        if current.is_empty() {
+            return Trace { steps, outcome: Outcome::Success };
+        }
+        let rule = if let Some(a) = current.common_lhs() {
+            Rule::CommonLhs(AttrSet::singleton(a))
+        } else if let Some(cfd) = current.consensus_fd() {
+            Rule::Consensus(cfd.rhs())
+        } else if let Some((x1, x2)) = current.lhs_marriage() {
+            Rule::Marriage(x1, x2)
+        } else {
+            return Trace { steps, outcome: Outcome::Stuck(current) };
+        };
+        let after = current.minus(rule.removed());
+        steps.push(TraceStep { before: current.clone(), rule, after: after.clone() });
+        current = after;
+    }
+}
+
+/// `OSRSucceeds(Δ)` (Algorithm 2): true iff `OptSRepair` succeeds on `Δ`,
+/// i.e. iff computing an optimal S-repair is in polynomial time
+/// (Theorem 3.4).
+pub fn osr_succeeds(fds: &FdSet) -> bool {
+    simplification_trace(fds).succeeded()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::{schema_rabc, Schema};
+
+    #[test]
+    fn running_example_trace_matches_example_3_5() {
+        let s = Schema::new("Office", ["facility", "room", "floor", "city"]).unwrap();
+        let fds = FdSet::parse(&s, "facility -> city; facility room -> floor").unwrap();
+        let trace = simplification_trace(&fds);
+        assert!(trace.succeeded());
+        // Example 3.5: common lhs, consensus, common lhs, consensus.
+        let kinds: Vec<&'static str> = trace
+            .steps
+            .iter()
+            .map(|st| match st.rule {
+                Rule::CommonLhs(_) => "common",
+                Rule::Consensus(_) => "consensus",
+                Rule::Marriage(_, _) => "marriage",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["common", "consensus", "common", "consensus"]);
+    }
+
+    #[test]
+    fn a_b_marriage_example_succeeds() {
+        // Δ_{A↔B→C} (Example 3.5): marriage then consensus.
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B; B -> A; B -> C").unwrap();
+        let trace = simplification_trace(&fds);
+        assert!(trace.succeeded());
+        assert!(matches!(trace.steps[0].rule, Rule::Marriage(_, _)));
+        assert!(matches!(trace.steps[1].rule, Rule::Consensus(_)));
+        assert_eq!(trace.steps.len(), 2);
+    }
+
+    #[test]
+    fn hard_sets_get_stuck() {
+        let s = schema_rabc();
+        for spec in [
+            "A -> B; B -> C",          // Δ_{A→B→C}
+            "A -> C; B -> C",          // Δ_{A→C←B}
+            "A B -> C; C -> B",        // Δ_{AB→C→B}
+            "A B -> C; A C -> B; B C -> A", // Δ_{AB↔AC↔BC}
+        ] {
+            let fds = FdSet::parse(&s, spec).unwrap();
+            assert!(!osr_succeeds(&fds), "{spec} should be stuck");
+        }
+        let s4 = Schema::new("R", ["A", "B", "C", "D"]).unwrap();
+        let disjoint = FdSet::parse(&s4, "A -> B; C -> D").unwrap();
+        assert!(!osr_succeeds(&disjoint));
+    }
+
+    #[test]
+    fn chain_sets_always_succeed() {
+        // Corollary 3.6.
+        let s = Schema::new("R", ["A", "B", "C", "D"]).unwrap();
+        for spec in [
+            "A -> B; A B -> C; A B C -> D",
+            "-> A; A -> B",
+            "A -> B C D",
+        ] {
+            let fds = FdSet::parse(&s, spec).unwrap();
+            assert!(fds.is_chain(), "{spec} is a chain");
+            assert!(osr_succeeds(&fds), "{spec} should succeed");
+        }
+    }
+
+    #[test]
+    fn example_4_7_sets() {
+        // Δ₁ = {id country → passport, id passport → country}: succeeds
+        // (common lhs then marriage).
+        let s = Schema::new("R", ["id", "country", "passport", "state", "city", "zip"]).unwrap();
+        let d1 = FdSet::parse(&s, "id country -> passport; id passport -> country").unwrap();
+        let t1 = simplification_trace(&d1);
+        assert!(t1.succeeded());
+        assert!(matches!(t1.steps[0].rule, Rule::CommonLhs(_)));
+        assert!(matches!(t1.steps[1].rule, Rule::Marriage(_, _)));
+
+        // Δ₂ = {state city → zip, state zip → country}: fails.
+        let d2 = FdSet::parse(&s, "state city -> zip; state zip -> country").unwrap();
+        assert!(!osr_succeeds(&d2));
+    }
+
+    #[test]
+    fn trace_display_renders() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B; B -> C").unwrap();
+        let shown = simplification_trace(&fds).display(&s);
+        assert!(shown.contains("stuck"));
+        let ok = FdSet::parse(&s, "A -> B C").unwrap();
+        let shown_ok = simplification_trace(&ok).display(&s);
+        assert!(shown_ok.contains("common lhs"));
+    }
+
+    #[test]
+    fn empty_and_trivial_succeed_with_no_steps() {
+        let s = schema_rabc();
+        assert!(osr_succeeds(&FdSet::empty()));
+        let trivial = FdSet::parse(&s, "A B -> A").unwrap();
+        let trace = simplification_trace(&trivial);
+        assert!(trace.succeeded());
+        assert!(trace.steps.is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! The approximation-ratio formulas compared in §4.4:
+//!
+//! * ours (Theorem 4.12 refined by Theorem 4.1):
+//!   `2 · max_i mlc(Δᵢ)` over the attribute-disjoint components `Δᵢ` of
+//!   `Δ − cl_Δ(∅)`;
+//! * Kolahi–Lakshmanan (Theorem 4.13): `(MCI(Δ) + 2) · (2·MFS(Δ) − 1)`;
+//! * the combined bound: run both algorithms, keep the cheaper repair.
+
+use crate::decompose::{attribute_components, strip_consensus};
+use fd_core::{mci, mfs, mlc, FdSet};
+
+/// The guaranteed ratio of [`crate::approx_u_repair`]:
+/// `2 · max_i mlc(Δᵢ)` (Theorems 4.12 + 4.1 + 4.3). Returns 1 for trivial
+/// or all-consensus FD sets (those are solved optimally).
+pub fn ratio_ours(fds: &FdSet) -> f64 {
+    let (_, rest) = strip_consensus(fds);
+    let worst = attribute_components(&rest)
+        .iter()
+        .map(|comp| mlc(comp).expect("components are consensus-free"))
+        .max()
+        .unwrap_or(0);
+    if worst == 0 {
+        1.0
+    } else {
+        2.0 * worst as f64
+    }
+}
+
+/// The Kolahi–Lakshmanan ratio `(MCI + 2)(2·MFS − 1)` (Theorem 4.13),
+/// computed on `Δ − cl_Δ(∅)` (consensus attributes are repaired optimally
+/// first, Theorem 4.3). Returns 1 for trivial sets.
+pub fn ratio_kl(fds: &FdSet) -> f64 {
+    let (_, rest) = strip_consensus(fds);
+    if rest.is_empty() {
+        return 1.0;
+    }
+    ((mci(&rest) + 2) * (2 * mfs(&rest) - 1)) as f64
+}
+
+/// The combined bound `min(ratio_ours, ratio_kl)` (end of §4.4).
+pub fn ratio_combined(fds: &FdSet) -> f64 {
+    ratio_ours(fds).min(ratio_kl(fds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::Schema;
+
+    /// `Δ_k` of §4.4 over `R(A0..Ak, B0..Bk, C)`.
+    fn delta_k(k: usize) -> (std::sync::Arc<Schema>, FdSet) {
+        let names: Vec<String> = (0..=k)
+            .map(|i| format!("A{i}"))
+            .chain((0..=k).map(|i| format!("B{i}")))
+            .chain(["C".to_string()])
+            .collect();
+        let s = Schema::new("R", names).unwrap();
+        let mut spec = vec![format!(
+            "{} -> B0",
+            (0..=k).map(|i| format!("A{i}")).collect::<Vec<_>>().join(" ")
+        )];
+        spec.push("B0 -> C".to_string());
+        for i in 1..=k {
+            spec.push(format!("B{i} -> A0"));
+        }
+        let fds = FdSet::parse(&s, &spec.join("; ")).unwrap();
+        (s, fds)
+    }
+
+    /// `Δ'_k` of §4.4 over `R(A0..Ak+1, B0..Bk)`.
+    fn delta_prime_k(k: usize) -> (std::sync::Arc<Schema>, FdSet) {
+        let names: Vec<String> = (0..=k + 1)
+            .map(|i| format!("A{i}"))
+            .chain((0..=k).map(|i| format!("B{i}")))
+            .collect();
+        let s = Schema::new("R", names).unwrap();
+        let spec: Vec<String> = (0..=k)
+            .map(|i| format!("A{} A{} -> B{}", i, i + 1, i))
+            .collect();
+        let fds = FdSet::parse(&s, &spec.join("; ")).unwrap();
+        (s, fds)
+    }
+
+    #[test]
+    fn delta_k_ratios_grow_linear_vs_quadratic() {
+        // Paper: ours = 2(k+2) wait — mlc(Δ_k): lhs's are {A0..Ak}, {B0},
+        // {B1}…{Bk}: a cover must contain B0, each Bi, and hit {A0..Ak};
+        // B-attrs don't ⇒ mlc = k + 2 and ours = 2(k+2). KL is
+        // (MCI+2)(2·MFS−1) = (max(k,2)+2)(2k+1): Θ(k²).
+        for k in 2..=6 {
+            let (_, fds) = delta_k(k);
+            assert_eq!(ratio_ours(&fds), 2.0 * (k as f64 + 2.0), "k={k}");
+            assert_eq!(
+                ratio_kl(&fds),
+                ((k + 2) * (2 * (k + 1) - 1)) as f64,
+                "k={k}"
+            );
+            assert!(ratio_ours(&fds) < ratio_kl(&fds));
+            assert_eq!(ratio_combined(&fds), ratio_ours(&fds));
+        }
+    }
+
+    #[test]
+    fn delta_prime_k_ratios_grow_linear_vs_constant() {
+        // ours = 2·⌈(k+1)/2⌉ (Θ(k)); KL = (1+2)(2·2−1) = 9 (constant).
+        for k in 1..=8 {
+            let (_, fds) = delta_prime_k(k);
+            assert_eq!(
+                ratio_ours(&fds),
+                2.0 * ((k + 1).div_ceil(2)) as f64,
+                "k={k}"
+            );
+            assert_eq!(ratio_kl(&fds), 9.0, "k={k}");
+        }
+        // The crossover: KL eventually wins.
+        let (_, fds) = delta_prime_k(8);
+        assert_eq!(ratio_combined(&fds), 9.0);
+        let (_, fds) = delta_prime_k(1);
+        assert_eq!(ratio_combined(&fds), 2.0);
+    }
+
+    #[test]
+    fn common_lhs_sets_have_ratio_two() {
+        let s = Schema::new("Office", ["facility", "room", "floor", "city"]).unwrap();
+        let fds = FdSet::parse(&s, "facility -> city; facility room -> floor").unwrap();
+        assert_eq!(ratio_ours(&fds), 2.0);
+    }
+
+    #[test]
+    fn disjoint_components_take_the_max() {
+        let s = Schema::new("R", ["A", "B", "C", "D", "E", "F"]).unwrap();
+        // Component 1 has mlc 1; component 2 (two-attr lhs pair) has mlc 1;
+        // make one with mlc 2: {C→D, E→D}? shares D. Use {C D -> E, C E -> F}:
+        // common lhs C ⇒ mlc 1. Use {A→B} ∪ {C→D, E→F}: all mlc 1.
+        let fds = FdSet::parse(&s, "A -> B; C -> D; E -> F").unwrap();
+        assert_eq!(ratio_ours(&fds), 2.0);
+        // {A→C, B→C} has mlc 2; union with {E→F} still 4.
+        let fds2 = FdSet::parse(&s, "A -> C; B -> C; E -> F").unwrap();
+        assert_eq!(ratio_ours(&fds2), 4.0);
+    }
+
+    #[test]
+    fn trivial_and_consensus_sets_are_ratio_one() {
+        let s = Schema::new("R", ["A", "B"]).unwrap();
+        assert_eq!(ratio_ours(&FdSet::empty()), 1.0);
+        assert_eq!(ratio_kl(&FdSet::empty()), 1.0);
+        let consensus = FdSet::parse(&s, "-> A B").unwrap();
+        assert_eq!(ratio_ours(&consensus), 1.0);
+        assert_eq!(ratio_kl(&consensus), 1.0);
+    }
+}

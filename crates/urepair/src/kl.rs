@@ -1,0 +1,268 @@
+//! A reconstruction of the Kolahi–Lakshmanan update-repair approximation
+//! (the Theorem 4.13 comparator).
+//!
+//! The paper cites KL's ICDT'09 algorithm but does not restate it; this
+//! module rebuilds a baseline with the structure their ratio analysis
+//! implies (see DESIGN.md "Substitutions"):
+//!
+//! 1. consensus attributes are repaired optimally first (Theorem 4.3);
+//! 2. a 2-approximate vertex cover of the conflict graph picks the tuples
+//!    to modify; the remaining tuples form a consistent core;
+//! 3. each picked tuple is re-admitted one at a time: right-hand sides
+//!    forced by agreement with the current core are *equalized* to the
+//!    forced value; when two forced values clash (or equalization loops),
+//!    the tuple instead *breaks* the offending agreements by writing fresh
+//!    constants over a minimum core implicant of the contested attribute,
+//!    after which nothing can force that attribute again;
+//! 4. as a terminating fallback, the tuple's minimum-lhs-cover cells are
+//!    freshened, which disconnects it from every FD.
+//!
+//! The experiments of §4.4 compare the *proved ratio formulas* — computed
+//! exactly in [`crate::bounds`] — and additionally report the realized
+//! cost of this reconstruction.
+
+use crate::consensus::consensus_u_repair;
+use crate::decompose::strip_consensus;
+use crate::repair::URepair;
+use fd_core::{
+    min_core_implicant, min_lhs_cover, AttrId, FdSet, FreshSource, Table, Tuple, TupleId,
+};
+use fd_graph::{vertex_cover_2approx, ConflictGraph};
+use std::collections::HashSet;
+
+/// Computes a U-repair with the reconstructed Kolahi–Lakshmanan strategy.
+/// Polynomial time; the realized cost is reported, the proved worst-case
+/// ratio is [`crate::ratio_kl`].
+pub fn kl_u_repair(table: &Table, fds: &FdSet) -> URepair {
+    // Step 1: consensus attributes (Theorem 4.3).
+    let (consensus_attrs, rest) = strip_consensus(fds);
+    let base_repair = if consensus_attrs.is_empty() {
+        URepair::identity(table)
+    } else {
+        consensus_u_repair(table, consensus_attrs)
+    };
+    let working = base_repair.updated.clone();
+    let rest = rest.normalize_single_rhs();
+    if working.satisfies(&rest) {
+        return base_repair;
+    }
+
+    // Step 2: pick the tuples to modify.
+    let cg = ConflictGraph::build(&working, &rest);
+    let cover = vertex_cover_2approx(&cg.graph);
+    let picked: HashSet<TupleId> = cg.to_ids(&cover.nodes).into_iter().collect();
+
+    // The consistent core: tuples outside the cover.
+    let mut core: Vec<(TupleId, Tuple)> = working
+        .rows()
+        .filter(|r| !picked.contains(&r.id))
+        .map(|r| (r.id, r.tuple.clone()))
+        .collect();
+
+    // Step 3: re-admit picked tuples one at a time, heaviest first (a
+    // heavier tuple has more to lose from extra cell changes).
+    let mut order: Vec<&fd_core::Row> =
+        working.rows().filter(|r| picked.contains(&r.id)).collect();
+    order.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("finite"));
+
+    let mut updated = working.clone();
+    let mut fresh = FreshSource::new();
+    for row in order {
+        let repaired = repair_one(&row.tuple, &core, &rest, &mut fresh);
+        for attr in row.tuple.disagreement(&repaired).iter() {
+            updated
+                .set_value(row.id, attr, repaired.get(attr).clone())
+                .expect("id from table");
+        }
+        core.push((row.id, repaired));
+    }
+
+    let result = URepair::new(table, updated).expect("only values changed");
+    debug_assert!(result.updated.satisfies(fds), "KL reconstruction must be consistent");
+    result
+}
+
+/// Repairs one tuple against a consistent core; returns the new tuple.
+fn repair_one(
+    tuple: &Tuple,
+    core: &[(TupleId, Tuple)],
+    fds: &FdSet,
+    fresh: &mut FreshSource,
+) -> Tuple {
+    let mut t = tuple.clone();
+    // Attributes already forced to a value by equalization, and attributes
+    // neutralized by a fresh core-implicant break.
+    let mut equalized: std::collections::HashMap<AttrId, fd_core::Value> =
+        std::collections::HashMap::new();
+    let mut broken: HashSet<AttrId> = HashSet::new();
+    let max_iters = (t.arity() * (fds.len() + 1) * 4).max(16);
+    for _ in 0..max_iters {
+        let Some((fd, other)) = first_violation(&t, core, fds) else {
+            return t; // consistent with the core
+        };
+        let a = fd.rhs().single().expect("normalized single-rhs FDs");
+        let forced = other.get(a).clone();
+        let clash = equalized.get(&a).is_some_and(|v| *v != forced);
+        if !clash && !broken.contains(&a) {
+            t.set(a, forced.clone());
+            equalized.insert(a, forced);
+        } else {
+            // Break every agreement that could force `a`: freshen a
+            // minimum core implicant of `a`.
+            let ci = min_core_implicant(fds, a)
+                .expect("consensus attributes were stripped in step 1");
+            for b in ci.iter() {
+                t.set(b, fresh.next());
+                equalized.remove(&b);
+                broken.insert(b);
+            }
+            broken.insert(a);
+            // `a` is now unconstrained; give it back its original value if
+            // it had been equalized (avoids a pointless change).
+            if equalized.remove(&a).is_some() {
+                t.set(a, tuple.get(a).clone());
+            }
+        }
+    }
+    // Fallback: disconnect the tuple from every lhs.
+    let cover = min_lhs_cover(fds).expect("consensus-free after stripping");
+    for b in cover.iter() {
+        t.set(b, fresh.next());
+    }
+    debug_assert!(first_violation(&t, core, fds).is_none());
+    t
+}
+
+fn first_violation<'a>(
+    t: &Tuple,
+    core: &'a [(TupleId, Tuple)],
+    fds: &FdSet,
+) -> Option<(fd_core::Fd, &'a Tuple)> {
+    for fd in fds.iter() {
+        for (_, other) in core {
+            if t.agrees_on(other, fd.lhs()) && !t.agrees_on(other, fd.rhs()) {
+                return Some((*fd, other));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::ratio_kl;
+    use crate::exact::{exact_u_repair, ExactConfig};
+    use fd_core::{schema_rabc, tup, Schema};
+    use rand::prelude::*;
+
+    #[test]
+    fn produces_consistent_updates_on_random_instances() {
+        let s = schema_rabc();
+        let specs = [
+            "A -> B",
+            "A -> B; B -> C",
+            "A -> C; B -> C",
+            "A B -> C; C -> B",
+            "A -> B; B -> A; B -> C",
+            "-> C; A -> B",
+        ];
+        let mut rng = StdRng::seed_from_u64(23);
+        for spec in specs {
+            let fds = FdSet::parse(&s, spec).unwrap();
+            for _ in 0..10 {
+                let n = rng.gen_range(2..10);
+                let rows = (0..n).map(|_| {
+                    (
+                        tup![
+                            rng.gen_range(0..3i64),
+                            rng.gen_range(0..3i64),
+                            rng.gen_range(0..3i64)
+                        ],
+                        rng.gen_range(1..4) as f64,
+                    )
+                });
+                let t = Table::build(s.clone(), rows).unwrap();
+                let r = kl_u_repair(&t, &fds);
+                r.verify(&t, &fds);
+            }
+        }
+    }
+
+    #[test]
+    fn within_proved_ratio_on_small_instances() {
+        let s = schema_rabc();
+        let specs = ["A -> B; B -> C", "A -> C; B -> C"];
+        let mut rng = StdRng::seed_from_u64(29);
+        for spec in specs {
+            let fds = FdSet::parse(&s, spec).unwrap();
+            let bound = ratio_kl(&fds);
+            for _ in 0..6 {
+                let n = rng.gen_range(2..6);
+                let rows = (0..n).map(|_| {
+                    (
+                        tup![
+                            rng.gen_range(0..2i64),
+                            rng.gen_range(0..2i64),
+                            rng.gen_range(0..2i64)
+                        ],
+                        1.0,
+                    )
+                });
+                let t = Table::build(s.clone(), rows).unwrap();
+                let kl = kl_u_repair(&t, &fds);
+                let exact = exact_u_repair(&t, &fds, &ExactConfig::default());
+                assert!(
+                    kl.cost <= bound * exact.cost + 1e-9,
+                    "{spec}: kl={} bound={} exact={}\n{t}",
+                    kl.cost,
+                    bound,
+                    exact.cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn consistent_input_is_untouched() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B C").unwrap();
+        let t = Table::build_unweighted(s, vec![tup![1, 1, 1], tup![2, 2, 2]]).unwrap();
+        assert_eq!(kl_u_repair(&t, &fds).cost, 0.0);
+    }
+
+    #[test]
+    fn equalization_is_cheap_on_simple_violations() {
+        // One A-group, B disagreement: equalizing one rhs cell suffices.
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B").unwrap();
+        let t = Table::build_unweighted(
+            s,
+            vec![tup![1, 7, 0], tup![1, 7, 1], tup![1, 8, 2]],
+        )
+        .unwrap();
+        let r = kl_u_repair(&t, &fds);
+        r.verify(&t, &fds);
+        assert_eq!(r.cost, 1.0);
+    }
+
+    #[test]
+    fn handles_wide_schema_families() {
+        // Δ'_2 = {A0A1→B0, A1A2→B1, A2A3→B2}.
+        let s = Schema::new("R", ["A0", "A1", "A2", "A3", "B0", "B1", "B2"]).unwrap();
+        let fds =
+            FdSet::parse(&s, "A0 A1 -> B0; A1 A2 -> B1; A2 A3 -> B2").unwrap();
+        let t = Table::build_unweighted(
+            s,
+            vec![
+                tup![0, 0, 0, 0, 1, 1, 1],
+                tup![0, 0, 0, 0, 2, 2, 2],
+                tup![0, 0, 1, 1, 3, 3, 3],
+            ],
+        )
+        .unwrap();
+        let r = kl_u_repair(&t, &fds);
+        r.verify(&t, &fds);
+        assert!(r.cost > 0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Proposition 4.9: under `Δ = {A → B, B → A}` an optimal U-repair is
+//! computable in polynomial time, with `dist_upd(U*) = dist_sub(S*)`
+//! despite `mlc(Δ) = 2`.
+//!
+//! Construction (from the proof): compute an optimal S-repair `S*`
+//! (Algorithm 1 succeeds via the lhs marriage). Every deleted tuple `t`
+//! must share its `A` value or its `B` value with some kept tuple `s` —
+//! otherwise `t` could have been kept. Copy the missing half from `s`
+//! (one cell, weight `w_t`), turning `t` into a copy of a kept `(A, B)`
+//! combination; the result is consistent and matches the `dist_sub` lower
+//! bound of Corollary 4.5.
+
+use crate::repair::URepair;
+use fd_core::{AttrId, FdSet, Table, TupleId};
+use fd_srepair::opt_s_repair;
+use std::collections::{HashMap, HashSet};
+
+/// Detects whether `Δ` is equivalent to a two-cycle `{A → B, B → A}` over
+/// single attributes: `attr(Δ)` (after dropping trivial FDs) is `{A, B}`
+/// and both directions are entailed. Returns `(A, B)`.
+pub fn detect_two_cycle(fds: &FdSet) -> Option<(AttrId, AttrId)> {
+    let work = fds.remove_trivial();
+    let attrs = work.attrs();
+    if attrs.len() != 2 || work.is_empty() {
+        return None;
+    }
+    let mut it = attrs.iter();
+    let (a, b) = (it.next()?, it.next()?);
+    let ab = fd_core::Fd::new(
+        fd_core::AttrSet::singleton(a),
+        fd_core::AttrSet::singleton(b),
+    );
+    let ba = fd_core::Fd::new(
+        fd_core::AttrSet::singleton(b),
+        fd_core::AttrSet::singleton(a),
+    );
+    (work.entails(&ab) && work.entails(&ba)).then_some((a, b))
+}
+
+/// Optimal U-repair for a two-cycle `{A → B, B → A}` (Proposition 4.9).
+///
+/// # Panics
+/// Panics if `Δ` is not a two-cycle (use [`detect_two_cycle`] first).
+pub fn two_cycle_u_repair(table: &Table, fds: &FdSet) -> URepair {
+    let (a, b) = detect_two_cycle(fds).expect("Δ must be a two-cycle {A→B, B→A}");
+    let sr = opt_s_repair(table, fds)
+        .expect("two-cycles pass OSRSucceeds via the lhs marriage");
+    let kept: HashSet<TupleId> = sr.kept.iter().copied().collect();
+    // Kept tuples index: A value → B value and B value → A value.
+    let mut by_a: HashMap<fd_core::Value, fd_core::Value> = HashMap::new();
+    let mut by_b: HashMap<fd_core::Value, fd_core::Value> = HashMap::new();
+    for row in table.rows() {
+        if kept.contains(&row.id) {
+            by_a.insert(row.tuple.get(a).clone(), row.tuple.get(b).clone());
+            by_b.insert(row.tuple.get(b).clone(), row.tuple.get(a).clone());
+        }
+    }
+    let mut updated = table.clone();
+    for row in table.rows() {
+        if kept.contains(&row.id) {
+            continue;
+        }
+        if let Some(bv) = by_a.get(row.tuple.get(a)) {
+            updated.set_value(row.id, b, bv.clone()).expect("id from table");
+        } else if let Some(av) = by_b.get(row.tuple.get(b)) {
+            updated.set_value(row.id, a, av.clone()).expect("id from table");
+        } else {
+            unreachable!(
+                "optimal S-repair would have kept a tuple sharing no A or B \
+                 value with the kept set (Proposition 4.9)"
+            );
+        }
+    }
+    URepair::new(table, updated).expect("only values changed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{exact_u_repair, ExactConfig};
+    use fd_core::{schema_rabc, tup, Schema};
+    use rand::prelude::*;
+
+    #[test]
+    fn detects_two_cycles() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B; B -> A").unwrap();
+        let (a, b) = detect_two_cycle(&fds).unwrap();
+        assert_eq!(s.attr_name(a), "A");
+        assert_eq!(s.attr_name(b), "B");
+        // Equivalent formulations count too.
+        let fds2 = FdSet::parse(&s, "A -> A B; B -> A").unwrap();
+        assert!(detect_two_cycle(&fds2).is_some());
+        // Non-examples.
+        for spec in ["A -> B", "A -> B; B -> C", "A -> B; B -> A; B -> C"] {
+            assert!(
+                detect_two_cycle(&FdSet::parse(&s, spec).unwrap()).is_none(),
+                "{spec}"
+            );
+        }
+    }
+
+    #[test]
+    fn cost_equals_dist_sub_of_optimal_s_repair() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B; B -> A").unwrap();
+        let t = Table::build(
+            s,
+            vec![
+                (tup![1, 2, 0], 1.0),
+                (tup![1, 3, 0], 1.0),
+                (tup![9, 2, 0], 1.0),
+                (tup![9, 3, 0], 1.0),
+            ],
+        )
+        .unwrap();
+        let u = two_cycle_u_repair(&t, &fds);
+        u.verify(&t, &fds);
+        let sr = opt_s_repair(&t, &fds).unwrap();
+        assert_eq!(u.cost, sr.cost);
+        assert_eq!(u.cost, 2.0);
+    }
+
+    #[test]
+    fn matches_exact_search_on_random_instances() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B; B -> A").unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..8 {
+            let n = rng.gen_range(2..6);
+            let rows = (0..n).map(|_| {
+                (
+                    tup![rng.gen_range(0..3i64), rng.gen_range(0..3i64), 0],
+                    rng.gen_range(1..3) as f64,
+                )
+            });
+            let t = Table::build(s.clone(), rows).unwrap();
+            let fast = two_cycle_u_repair(&t, &fds);
+            fast.verify(&t, &fds);
+            let slow = exact_u_repair(&t, &fds, &ExactConfig::default());
+            assert!(
+                (fast.cost - slow.cost).abs() < 1e-9,
+                "fast={} exact={}\n{t}",
+                fast.cost,
+                slow.cost
+            );
+        }
+    }
+
+    #[test]
+    fn works_on_renamed_attributes() {
+        let s = Schema::new("Passport", ["id", "passport", "holder"]).unwrap();
+        let fds = FdSet::parse(&s, "id -> passport; passport -> id").unwrap();
+        let t = Table::build_unweighted(
+            s,
+            vec![tup![1, "p1", "x"], tup![1, "p2", "y"]],
+        )
+        .unwrap();
+        let u = two_cycle_u_repair(&t, &fds);
+        u.verify(&t, &fds);
+        assert_eq!(u.cost, 1.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! A facade for computing U-repairs with the best method §4 provides:
+//! optimal polynomial algorithms where the paper gives them, exact search
+//! on small instances, and the combined approximation otherwise.
+
+use crate::approx::approx_u_repair;
+use crate::consensus::consensus_u_repair;
+use crate::convert::subset_to_update;
+use crate::decompose::{attribute_components, strip_consensus};
+use crate::exact::{exact_u_repair, ExactConfig};
+use crate::kl::kl_u_repair;
+use crate::marriage::{detect_two_cycle, two_cycle_u_repair};
+use crate::repair::URepair;
+use fd_core::{mlc, FdSet, Table};
+use fd_srepair::{opt_s_repair, osr_succeeds};
+
+/// The per-component strategies the solver may report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UMethod {
+    /// The input already satisfies `Δ`.
+    AlreadyConsistent,
+    /// Only consensus FDs: Proposition B.2, optimal.
+    ConsensusOnly,
+    /// Common lhs with `OSRSucceeds`: Corollary 4.6, optimal.
+    CommonLhsViaS,
+    /// `{A → B, B → A}`: Proposition 4.9, optimal.
+    TwoCycle,
+    /// Exhaustive search (small component), optimal.
+    ExactSearch,
+    /// Combined approximation (ours + KL, cheaper one).
+    Approximate,
+}
+
+/// A U-repair with provenance.
+#[derive(Clone, Debug)]
+pub struct USolution {
+    /// The repair.
+    pub repair: URepair,
+    /// The methods used, one per attribute-disjoint component (plus
+    /// consensus handling), in application order.
+    pub methods: Vec<UMethod>,
+    /// Whether the total cost is guaranteed optimal.
+    pub optimal: bool,
+    /// Guaranteed overall approximation ratio (1.0 when optimal).
+    pub ratio: f64,
+}
+
+/// Solver configuration.
+#[derive(Clone, Debug)]
+pub struct URepairSolver {
+    /// Components whose table slice stays within this many rows may use
+    /// the exponential exact search.
+    pub exact_row_limit: usize,
+    /// Node budget handed to the exact search.
+    pub exact_node_budget: u64,
+}
+
+impl Default for URepairSolver {
+    fn default() -> URepairSolver {
+        URepairSolver { exact_row_limit: 8, exact_node_budget: 2_000_000 }
+    }
+}
+
+impl URepairSolver {
+    /// Computes a U-repair, preferring provably optimal strategies.
+    pub fn solve(&self, table: &Table, fds: &FdSet) -> USolution {
+        if table.satisfies(fds) {
+            return USolution {
+                repair: URepair::identity(table),
+                methods: vec![UMethod::AlreadyConsistent],
+                optimal: true,
+                ratio: 1.0,
+            };
+        }
+        let mut methods = Vec::new();
+        let mut optimal = true;
+        let mut ratio: f64 = 1.0;
+
+        // Theorem 4.3: consensus attributes first (optimal, independent).
+        let (consensus_attrs, rest) = strip_consensus(fds);
+        let mut repair = if consensus_attrs.is_empty() {
+            URepair::identity(table)
+        } else {
+            methods.push(UMethod::ConsensusOnly);
+            consensus_u_repair(table, consensus_attrs)
+        };
+        let base = repair.updated.clone();
+
+        // Theorem 4.1: attribute-disjoint components compose.
+        for comp in attribute_components(&rest) {
+            let (part, method, part_optimal, part_ratio) = self.solve_component(&base, &comp);
+            methods.push(method);
+            optimal &= part_optimal;
+            ratio = ratio.max(part_ratio);
+            let merged_cost = repair.cost + part.cost;
+            let mut merged = repair.updated;
+            for (id, attr, _, new) in base.changed_cells(&part.updated).expect("update") {
+                merged.set_value(id, attr, new).expect("id from table");
+            }
+            repair = URepair { updated: merged, cost: merged_cost };
+        }
+        debug_assert!(repair.updated.satisfies(fds));
+        USolution { repair, methods, optimal, ratio }
+    }
+
+    fn solve_component(&self, base: &Table, comp: &FdSet) -> (URepair, UMethod, bool, f64) {
+        if base.satisfies(comp) {
+            return (URepair::identity(base), UMethod::AlreadyConsistent, true, 1.0);
+        }
+        // Proposition 4.9.
+        if detect_two_cycle(comp).is_some() {
+            return (two_cycle_u_repair(base, comp), UMethod::TwoCycle, true, 1.0);
+        }
+        // Corollary 4.6: common lhs (mlc = 1) on the tractable side.
+        if mlc(comp) == Some(1) && osr_succeeds(comp) {
+            let sr = opt_s_repair(base, comp).expect("OSRSucceeds");
+            let part = subset_to_update(base, &sr, comp);
+            return (part, UMethod::CommonLhsViaS, true, 1.0);
+        }
+        // Small instances: exhaustive search.
+        if base.len() <= self.exact_row_limit {
+            let seed = approx_u_repair(base, comp).repair.cost;
+            let cfg = ExactConfig {
+                max_nodes: self.exact_node_budget,
+                initial_bound: Some(seed + 1e-9),
+                mutable_attrs: Some(comp.attrs()),
+                ..ExactConfig::default()
+            };
+            let part = exact_u_repair(base, comp, &cfg);
+            return (part, UMethod::ExactSearch, true, 1.0);
+        }
+        // Combined approximation (§4.4's closing remark).
+        let ours = approx_u_repair(base, comp);
+        let kl = kl_u_repair(base, comp);
+        let bound = ours.ratio.min(crate::bounds::ratio_kl(comp));
+        let part = if kl.cost < ours.repair.cost { kl } else { ours.repair };
+        (part, UMethod::Approximate, false, bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::{schema_rabc, tup, Schema};
+
+    #[test]
+    fn consistent_input() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B").unwrap();
+        let t = Table::build_unweighted(s, vec![tup![1, 1, 0]]).unwrap();
+        let sol = URepairSolver::default().solve(&t, &fds);
+        assert_eq!(sol.methods, vec![UMethod::AlreadyConsistent]);
+        assert_eq!(sol.repair.cost, 0.0);
+        assert!(sol.optimal);
+    }
+
+    #[test]
+    fn office_running_example_is_optimal_via_common_lhs() {
+        // Example 4.7: the running example has a common lhs and passes
+        // OSRSucceeds, so an optimal U-repair is polynomial; Figure 1's
+        // optimum is 2.
+        let s = Schema::new("Office", ["facility", "room", "floor", "city"]).unwrap();
+        let fds = FdSet::parse(&s, "facility -> city; facility room -> floor").unwrap();
+        let t = Table::build(
+            s,
+            vec![
+                (tup!["HQ", 322, 3, "Paris"], 2.0),
+                (tup!["HQ", 322, 30, "Madrid"], 1.0),
+                (tup!["HQ", 122, 1, "Madrid"], 1.0),
+                (tup!["Lab1", "B35", 3, "London"], 2.0),
+            ],
+        )
+        .unwrap();
+        let sol = URepairSolver::default().solve(&t, &fds);
+        assert!(sol.optimal);
+        assert_eq!(sol.repair.cost, 2.0);
+        assert!(sol.methods.contains(&UMethod::CommonLhsViaS));
+        sol.repair.verify(&t, &fds);
+    }
+
+    #[test]
+    fn two_cycle_component_detected() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B; B -> A").unwrap();
+        let t = Table::build_unweighted(
+            schema_rabc(),
+            vec![tup![1, 2, 0], tup![1, 3, 0]],
+        )
+        .unwrap();
+        let sol = URepairSolver::default().solve(&t, &fds);
+        assert!(sol.methods.contains(&UMethod::TwoCycle));
+        assert!(sol.optimal);
+        assert_eq!(sol.repair.cost, 1.0);
+    }
+
+    #[test]
+    fn hard_component_small_uses_exact() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> C; B -> C").unwrap(); // mlc 2, fails OSR
+        let t = Table::build_unweighted(
+            schema_rabc(),
+            vec![tup![1, 2, 0], tup![1, 3, 1], tup![4, 3, 0]],
+        )
+        .unwrap();
+        let sol = URepairSolver::default().solve(&t, &fds);
+        assert!(sol.methods.contains(&UMethod::ExactSearch));
+        assert!(sol.optimal);
+        sol.repair.verify(&t, &fds);
+    }
+
+    #[test]
+    fn hard_component_large_uses_combined_approximation() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B; B -> C").unwrap();
+        let rows = (0..24).map(|i| tup![(i % 4) as i64, (i % 3) as i64, (i % 2) as i64]);
+        let t = Table::build_unweighted(schema_rabc(), rows).unwrap();
+        let solver = URepairSolver { exact_row_limit: 4, ..Default::default() };
+        let sol = solver.solve(&t, &fds);
+        assert!(sol.methods.contains(&UMethod::Approximate));
+        assert!(!sol.optimal);
+        assert!(sol.ratio >= 2.0);
+        sol.repair.verify(&t, &fds);
+        let _ = s;
+    }
+
+    #[test]
+    fn example_4_2_decomposition_end_to_end() {
+        // Δ' = {item→cost, buyer→address, address→state}: the second
+        // component {buyer→address, address→state} is the hard chain.
+        let s = Schema::new("R", ["item", "cost", "buyer", "address", "state"]).unwrap();
+        let fds =
+            FdSet::parse(&s, "item -> cost; buyer -> address; address -> state").unwrap();
+        let t = Table::build_unweighted(
+            s,
+            vec![
+                tup!["pen", 1, "ann", "a1", "s1"],
+                tup!["pen", 2, "ann", "a2", "s2"],
+                tup!["cup", 3, "bob", "a1", "s9"],
+            ],
+        )
+        .unwrap();
+        let sol = URepairSolver::default().solve(&t, &fds);
+        sol.repair.verify(&t, &fds);
+        assert!(sol.optimal); // both components small enough for exact
+    }
+}

@@ -1,0 +1,68 @@
+//! Approximation shoot-out on the §4.4 families: the `2·mlc` bound of
+//! Theorem 4.12 vs. the Kolahi–Lakshmanan bound of Theorem 4.13, plus the
+//! measured costs of both implementations and of the combined strategy.
+//!
+//! ```text
+//! cargo run --release --example approx_comparison
+//! ```
+
+use fd_repairs::gen::families::{delta_k, delta_prime_k, dense_random_table};
+use fd_repairs::prelude::*;
+use rand::prelude::*;
+
+fn main() {
+    println!("Proved ratio bounds (Δ_k: ours Θ(k) vs KL Θ(k²)):");
+    println!("{:>3} {:>12} {:>12} {:>12}", "k", "ours 2·mlc", "KL bound", "combined");
+    for k in 1..=10 {
+        let (_, fds) = delta_k(k);
+        println!(
+            "{:>3} {:>12.0} {:>12.0} {:>12.0}",
+            k,
+            ratio_ours(&fds),
+            ratio_kl(&fds),
+            ratio_combined(&fds)
+        );
+    }
+
+    println!("\nProved ratio bounds (Δ'_k: ours Θ(k) vs KL constant 9):");
+    println!("{:>3} {:>12} {:>12} {:>12}", "k", "ours 2·mlc", "KL bound", "combined");
+    for k in 1..=10 {
+        let (_, fds) = delta_prime_k(k);
+        println!(
+            "{:>3} {:>12.0} {:>12.0} {:>12.0}",
+            k,
+            ratio_ours(&fds),
+            ratio_kl(&fds),
+            ratio_combined(&fds)
+        );
+    }
+
+    println!("\nMeasured costs on dense random tables (Δ'_k, 30 rows, domain 3):");
+    println!(
+        "{:>3} {:>10} {:>10} {:>10} {:>12}",
+        "k", "ours", "KL", "combined", "2-approx S*"
+    );
+    let mut rng = StdRng::seed_from_u64(4242);
+    for k in 1..=6 {
+        let (schema, fds) = delta_prime_k(k);
+        let table = dense_random_table(&schema, 30, 3, &mut rng);
+        let ours = approx_u_repair(&table, &fds);
+        ours.repair.verify(&table, &fds);
+        let kl = kl_u_repair(&table, &fds);
+        kl.verify(&table, &fds);
+        let combined = ours.repair.cost.min(kl.cost);
+        // dist_sub of the 2-approx S-repair lower-bounds nothing but is a
+        // useful reference scale (Cor. 4.5 gives dist_sub(S*) ≤ dist_upd(U*)).
+        let s2 = approx_s_repair(&table, &fds);
+        println!(
+            "{:>3} {:>10.0} {:>10.0} {:>10.0} {:>12.0}",
+            k, ours.repair.cost, kl.cost, combined, s2.cost
+        );
+    }
+
+    println!(
+        "\nTakeaway: neither bound dominates — Δ_k favors ours, large-k Δ'_k favors KL —\n\
+         so the combined strategy (run both, keep the cheaper repair) wins overall,\n\
+         exactly as §4.4 concludes."
+    );
+}

@@ -1,0 +1,102 @@
+//! Dichotomy explorer: classify FD sets with Algorithm 2 and, on the hard
+//! side, show the Figure-2 class and Table-1 hard core.
+//!
+//! Pass FD specs on the command line (attributes are single letters A–H):
+//!
+//! ```text
+//! cargo run --example dichotomy_explorer -- "A -> B; B -> C" "A B -> C; C -> B"
+//! ```
+//!
+//! With no arguments, a built-in corpus covering every case of the paper
+//! is classified.
+
+use fd_repairs::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let specs: Vec<String> = if args.is_empty() {
+        [
+            // Example 3.5.
+            "A -> B; A C -> D",            // common-lhs flavored, succeeds
+            "A -> B; B -> A; B -> C",      // Δ_{A↔B→C}: marriage, succeeds
+            "A -> B; B -> C",              // Δ_{A→B→C}: stuck (class 2/3)
+            "A -> C; B -> C",              // Δ_{A→C←B}: stuck
+            // Table 1.
+            "A B -> C; C -> B",            // Δ_{AB→C→B}: stuck, class 5
+            "A B -> C; A C -> B; B C -> A",// Δ_{AB↔AC↔BC}: stuck, class 4
+            // Example 3.8 class witnesses.
+            "A -> B; C -> D",
+            "A -> C D; B -> C E",
+            "A -> B C; B -> D",
+            "A B -> C; C -> A D",
+            // Chains (Corollary 3.6).
+            "A -> B; A B -> C; A B C -> D",
+            "-> A; A -> B",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    } else {
+        args
+    };
+
+    let schema = Schema::new("R", ["A", "B", "C", "D", "E", "F", "G", "H"])
+        .expect("valid schema");
+
+    for spec in specs {
+        let fds = match FdSet::parse(&schema, &spec) {
+            Ok(fds) => fds,
+            Err(e) => {
+                eprintln!("✗ cannot parse {spec:?}: {e}");
+                continue;
+            }
+        };
+        println!("══ Δ = {}", fds.display(&schema));
+        if fds.is_chain() {
+            println!("   chain FD set ⇒ tractable for S- and U-repairs (Cor. 3.6/4.8)");
+        }
+        let trace = simplification_trace(&fds);
+        for step in &trace.steps {
+            println!(
+                "   {}  {} ⇛ {}",
+                step.rule.display(&schema),
+                step.before.display(&schema),
+                step.after.display(&schema)
+            );
+        }
+        match &trace.outcome {
+            fd_repairs::srepair::Outcome::Success => {
+                println!("   ✓ OSRSucceeds: optimal S-repair in PTIME (Theorem 3.4)");
+                println!(
+                    "     U-repair approximation bound: ours 2·mlc = {:.0}, KL = {:.0}",
+                    ratio_ours(&fds),
+                    ratio_kl(&fds)
+                );
+            }
+            fd_repairs::srepair::Outcome::Stuck(stuck) => {
+                let cls = classify_irreducible(stuck).expect("irreducible");
+                println!(
+                    "   ✗ stuck at {} ⇒ APX-complete (Theorem 3.4)",
+                    stuck.display(&schema)
+                );
+                println!(
+                    "     Figure-2 class {} — fact-wise reduction from {} (Lemma A.{})",
+                    cls.class,
+                    cls.core.name(),
+                    match cls.class {
+                        1 => 14,
+                        2 | 3 => 15,
+                        4 => 16,
+                        _ => 17,
+                    }
+                );
+                println!(
+                    "     still 2-approximable (Prop. 3.3); U-repair bounds: ours {:.0}, KL {:.0}",
+                    ratio_ours(&fds),
+                    ratio_kl(&fds)
+                );
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: the paper's running example (Figure 1) end to end.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use fd_repairs::gen::office;
+use fd_repairs::prelude::*;
+
+fn main() {
+    let schema = office::office_schema();
+    let fds = office::office_fds();
+    let table = office::office_table();
+
+    println!("Schema : {schema}");
+    println!("FDs    : {}", fds.display(&schema));
+    println!("\nDirty table T (Figure 1a):\n{table}");
+    println!(
+        "T satisfies Δ? {} (violating pair: {:?})\n",
+        table.satisfies(&fds),
+        table.violating_pair(&fds).map(|(i, j, fd)| format!(
+            "tuples {i} and {j} on {}",
+            fd.display(&schema)
+        ))
+    );
+
+    // The dichotomy test (Algorithm 2) with its simplification trace.
+    let trace = simplification_trace(&fds);
+    println!("OSRSucceeds trace (Example 3.5):\n{}\n", trace.display(&schema));
+
+    // Optimal subset repair (Algorithm 1).
+    let s_repair = opt_s_repair(&table, &fds).expect("tractable side");
+    println!(
+        "Optimal S-repair: delete tuples {:?} at cost {}",
+        s_repair.deleted(&table),
+        s_repair.cost
+    );
+    println!("{}", s_repair.apply(&table));
+
+    // Optimal update repair (Corollary 4.6: common lhs ⇒ polynomial).
+    let solution = URepairSolver::default().solve(&table, &fds);
+    println!(
+        "Optimal U-repair (method {:?}, optimal = {}): cost {}",
+        solution.methods, solution.optimal, solution.repair.cost
+    );
+    println!("{}", solution.repair.updated);
+    for (id, attr, old, new) in table.changed_cells(&solution.repair.updated).unwrap() {
+        println!(
+            "  cell ({id}, {}) : {old} → {new}",
+            schema.attr_name(attr)
+        );
+    }
+}

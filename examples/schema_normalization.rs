@@ -1,0 +1,71 @@
+//! Schema normalization: the design-time dual of data repair. Where the
+//! paper deletes/updates tuples to satisfy Δ, normalization restructures
+//! the *schema* so Δ's redundancy cannot arise. This example runs the
+//! classic pipeline — keys, normal-form checks, BCNF decomposition, 3NF
+//! synthesis, chase-verified losslessness — on the textbook
+//! city/street/zip relation.
+//!
+//! ```text
+//! cargo run --example schema_normalization
+//! ```
+
+use fd_repairs::core::{
+    bcnf_decompose, bcnf_violation, is_lossless_join, preserves_dependencies, project_fds,
+    third_nf_synthesis, third_nf_violation,
+};
+use fd_repairs::prelude::*;
+
+fn main() {
+    let schema = Schema::new("Addr", ["city", "street", "zip"]).unwrap();
+    let fds = FdSet::parse(&schema, "city street -> zip; zip -> city").unwrap();
+    println!("Schema : {schema}");
+    println!("Δ      : {}\n", fds.display(&schema));
+
+    let keys = candidate_keys(&schema, &fds);
+    println!(
+        "candidate keys: {}",
+        keys.iter().map(|k| k.display(&schema)).collect::<Vec<_>>().join(", ")
+    );
+    match bcnf_violation(&schema, &fds) {
+        Some(v) => println!("BCNF? no — {} has a non-superkey lhs", v.fd.display(&schema)),
+        None => println!("BCNF? yes"),
+    }
+    match third_nf_violation(&schema, &fds) {
+        Some(v) => println!("3NF?  no — {}", v.fd.display(&schema)),
+        None => println!("3NF?  yes (zip → city is excused: city is prime)"),
+    }
+
+    println!("\n— BCNF decomposition —");
+    let bcnf = bcnf_decompose(&schema, &fds);
+    println!("fragments: {}", bcnf.display(&schema));
+    println!(
+        "lossless join (chase): {}",
+        is_lossless_join(&schema, &fds, &bcnf.fragments)
+    );
+    println!(
+        "dependency preserving: {}  ← the classic BCNF casualty:",
+        preserves_dependencies(&fds, &bcnf.fragments)
+    );
+    println!("  city street → zip is checkable in no single fragment");
+    for &f in &bcnf.fragments {
+        println!(
+            "  projection onto {}: {}",
+            f.display(&schema),
+            project_fds(&fds, f).display(&schema)
+        );
+    }
+
+    println!("\n— 3NF synthesis —");
+    let tnf = third_nf_synthesis(&schema, &fds);
+    println!("fragments: {}", tnf.display(&schema));
+    println!(
+        "lossless join (chase): {}",
+        is_lossless_join(&schema, &fds, &tnf.fragments)
+    );
+    println!("dependency preserving: {}", preserves_dependencies(&fds, &tnf.fragments));
+
+    assert!(is_lossless_join(&schema, &fds, &bcnf.fragments));
+    assert!(!preserves_dependencies(&fds, &bcnf.fragments));
+    assert!(is_lossless_join(&schema, &fds, &tnf.fragments));
+    assert!(preserves_dependencies(&fds, &tnf.fragments));
+}

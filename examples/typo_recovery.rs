@@ -1,0 +1,48 @@
+//! Typo recovery: how well does an optimal/near-optimal U-repair recover a
+//! ground-truth table corrupted by keyboard typos? Sweeps the typo rate
+//! and reports repair cost vs injected noise (the repair can legitimately
+//! cost *less* than the noise: a typo that creates no key collision never
+//! needs fixing).
+//!
+//! ```text
+//! cargo run --release --example typo_recovery
+//! ```
+
+use fd_repairs::gen::typos::{directory_fds, typo_table, TypoConfig};
+use fd_repairs::prelude::*;
+use rand::prelude::*;
+
+fn main() {
+    let fds = directory_fds();
+    println!(
+        "{:>6} {:>8} {:>10} {:>12} {:>12} {:>10}",
+        "rate", "rows", "conflicts", "noise cells", "repair cost", "optimal?"
+    );
+    let mut rng = StdRng::seed_from_u64(0x7E57);
+    for rate in [0.02, 0.05, 0.10, 0.20, 0.35] {
+        let cfg = TypoConfig { entities: 5, rows: 30, typo_rate: rate };
+        let (dirty, clean) = typo_table(&cfg, &mut rng);
+        let conflicts = dirty.conflicting_pairs(&fds).len();
+        let noise = dirty.dist_upd(&clean).unwrap();
+        let sol = URepairSolver { exact_row_limit: 0, ..Default::default() }
+            .solve(&dirty, &fds);
+        sol.repair.verify(&dirty, &fds);
+        // Sanity: the clean table is itself a consistent update, so the
+        // solver must not exceed the noise by more than its ratio bound.
+        assert!(sol.repair.cost <= sol.ratio * noise + 1e-9);
+        println!(
+            "{:>6.2} {:>8} {:>10} {:>12} {:>12} {:>10}",
+            rate,
+            dirty.len(),
+            conflicts,
+            noise,
+            sol.repair.cost,
+            if sol.optimal { "yes" } else { "approx" }
+        );
+    }
+    println!(
+        "\nReading: the repair cost stays at or below the injected noise —\n\
+         typos that collide with a key group get fixed, harmless ones stay.\n\
+         (`code → name city` has a common lhs, so the solver is exact here.)"
+    );
+}

@@ -1,0 +1,239 @@
+//! `fdrepair` — command-line optimal repairs for functional dependencies.
+//!
+//! ```text
+//! fdrepair classify <file>    dichotomy, Figure-2 class, keys, normal forms
+//! fdrepair check    <file>    consistency report and conflicting pairs
+//! fdrepair srepair  <file>    optimal/approximate subset repair
+//! fdrepair urepair  <file>    optimal/approximate update repair
+//! fdrepair count    <file>    number of (optimal) subset repairs
+//! fdrepair sample   <file>    uniformly random subset repair (chain Δ)
+//! fdrepair mpd      <file>    most probable database (weights = probabilities)
+//! ```
+//!
+//! `<file>` is either a `.fdr` instance (schema + FDs + rows; format
+//! documented in `fd_repairs::instance`, example in
+//! `examples/data/office.fdr`) or a `.csv` file, in which case the FDs
+//! come from `--fds "A -> B; B -> C"` and an optional `--weight <column>`
+//! names the tuple-weight column.
+
+use fd_repairs::instance::Instance;
+use fd_repairs::prelude::*;
+use fd_repairs::srepair::Outcome;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: fdrepair <classify|check|srepair|urepair|count|sample|mpd> <file.fdr>\n\
+       fdrepair <command> <file.csv> --fds \"A -> B; B -> C\" [--weight <column>]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let (command, path) = (args[0].as_str(), args[1].as_str());
+    let mut fd_spec: Option<String> = None;
+    let mut weight_col: Option<String> = None;
+    let mut it = args[2..].iter();
+    while let Some(flag) = it.next() {
+        match (flag.as_str(), it.next()) {
+            ("--fds", Some(v)) => fd_spec = Some(v.clone()),
+            ("--weight", Some(v)) => weight_col = Some(v.clone()),
+            _ => {
+                eprintln!("fdrepair: unexpected argument {flag:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fdrepair: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed = if path.ends_with(".csv") {
+        let Some(spec) = fd_spec.as_deref() else {
+            eprintln!("fdrepair: CSV input needs --fds \"<spec>\"\n{USAGE}");
+            return ExitCode::from(2);
+        };
+        let relation = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("R");
+        Instance::from_csv(relation, &text, spec, weight_col.as_deref())
+    } else {
+        Instance::parse(&text)
+    };
+    let instance = match parsed {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("fdrepair: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match command {
+        "classify" => classify(&instance),
+        "check" => check(&instance),
+        "srepair" => srepair(&instance),
+        "urepair" => urepair(&instance),
+        "count" => count(&instance),
+        "sample" => sample(&instance),
+        "mpd" => mpd(&instance),
+        other => {
+            eprintln!("fdrepair: unknown command {other:?}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn sample(inst: &Instance) {
+    use rand::SeedableRng;
+    // Seed from the OS for a genuinely random sample per invocation.
+    let mut rng = rand::rngs::StdRng::from_entropy();
+    match sample_subset_repair(&inst.table, &inst.fds, &mut rng) {
+        Ok(kept) => {
+            println!("uniformly sampled subset repair keeps {} tuple(s):", kept.len());
+            let keep: std::collections::HashSet<TupleId> = kept.iter().copied().collect();
+            println!("{}", inst.table.subset(&keep));
+        }
+        Err(stuck) => println!(
+            "sampling needs a chain FD set; stuck at {} (sampling, like counting, is hard here)",
+            stuck.display(&inst.schema)
+        ),
+    }
+}
+
+fn count(inst: &Instance) {
+    match count_subset_repairs(&inst.table, &inst.fds) {
+        ChainCountOutcome::Count(n) => {
+            println!("subset repairs (maximal consistent subsets): {n}");
+        }
+        ChainCountOutcome::NotAChain(stuck) => {
+            println!(
+                "subset repairs: Δ is not a chain (stuck at {}); counting is #P-hard here",
+                stuck.display(&inst.schema)
+            );
+        }
+    }
+    match count_optimal_s_repairs(&inst.table, &inst.fds) {
+        CountOutcome::Count(n) => println!("optimal subset repairs: {n}"),
+        CountOutcome::MarriageEncountered => println!(
+            "optimal subset repairs: lhs marriage reached \
+             (counting maximum-weight matchings is #P-hard)"
+        ),
+        CountOutcome::Irreducible(stuck) => println!(
+            "optimal subset repairs: irreducible FD set {} (hard side of the dichotomy)",
+            stuck.display(&inst.schema)
+        ),
+    }
+}
+
+fn classify(inst: &Instance) {
+    let schema = &inst.schema;
+    println!("schema : {schema}");
+    println!("Δ      : {}", inst.fds.display(schema));
+    println!("chain  : {}", inst.fds.is_chain());
+
+    let keys = candidate_keys(schema, &inst.fds);
+    let keys_shown: Vec<String> = keys.iter().map(|k| k.display(schema)).collect();
+    println!("keys   : {}", keys_shown.join(", "));
+    match fd_core::bcnf_violation(schema, &inst.fds) {
+        None => println!("BCNF   : yes"),
+        Some(v) => println!("BCNF   : no ({} has a non-superkey lhs)", v.fd.display(schema)),
+    }
+
+    let trace = simplification_trace(&inst.fds);
+    println!("\nOSRSucceeds trace:");
+    for line in trace.display(schema).lines() {
+        println!("  {line}");
+    }
+    match &trace.outcome {
+        Outcome::Success => {
+            println!("\n⇒ optimal S-repairs: polynomial time (Theorem 3.4)");
+        }
+        Outcome::Stuck(stuck) => {
+            let cls = classify_irreducible(stuck).expect("irreducible");
+            println!(
+                "\n⇒ optimal S-repairs: APX-complete; Figure-2 class {} via {}",
+                cls.class,
+                cls.core.name()
+            );
+        }
+    }
+    println!(
+        "U-repair approximation bounds: ours 2·mlc = {:.0}, Kolahi–Lakshmanan = {:.0}",
+        ratio_ours(&inst.fds),
+        ratio_kl(&inst.fds)
+    );
+}
+
+fn check(inst: &Instance) {
+    println!("{}", inst.table);
+    if inst.table.satisfies(&inst.fds) {
+        println!("consistent: the table satisfies Δ");
+        return;
+    }
+    let pairs = inst.table.conflicting_pairs(&inst.fds);
+    println!("inconsistent: {} conflicting pair(s)", pairs.len());
+    for (i, j) in pairs.iter().take(20) {
+        println!("  tuples {i} and {j}");
+    }
+    if pairs.len() > 20 {
+        println!("  … and {} more", pairs.len() - 20);
+    }
+}
+
+fn srepair(inst: &Instance) {
+    let sol = SRepairSolver::default().solve(&inst.table, &inst.fds);
+    println!(
+        "method {:?}; optimal {}; guaranteed ratio {:.1}",
+        sol.method, sol.optimal, sol.ratio
+    );
+    println!(
+        "delete {} tuple(s), dist_sub = {}",
+        sol.repair.deleted(&inst.table).len(),
+        sol.repair.cost
+    );
+    for id in sol.repair.deleted(&inst.table) {
+        let row = inst.table.row(id).expect("id from table");
+        println!("  - tuple {id}: {} (weight {})", row.tuple, row.weight);
+    }
+    println!("\nrepaired table:\n{}", sol.repair.apply(&inst.table));
+}
+
+fn urepair(inst: &Instance) {
+    let sol = URepairSolver::default().solve(&inst.table, &inst.fds);
+    println!(
+        "methods {:?}; optimal {}; guaranteed ratio {:.1}",
+        sol.methods, sol.optimal, sol.ratio
+    );
+    let changed = inst.table.changed_cells(&sol.repair.updated).expect("update");
+    println!("change {} cell(s), dist_upd = {}", changed.len(), sol.repair.cost);
+    for (id, attr, old, new) in &changed {
+        println!(
+            "  ~ tuple {id}, {}: {old} → {new}",
+            inst.schema.attr_name(*attr)
+        );
+    }
+    println!("\nrepaired table:\n{}", sol.repair.updated);
+}
+
+fn mpd(inst: &Instance) {
+    let prob = match ProbTable::new(inst.table.clone()) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("fdrepair mpd: {e} (weights must be probabilities in (0, 1])");
+            std::process::exit(1);
+        }
+    };
+    let result = most_probable_database(&prob, &inst.fds);
+    println!(
+        "most probable consistent world: {} of {} tuples, probability {:.6}",
+        result.world.len(),
+        inst.table.len(),
+        result.probability
+    );
+    let kept: std::collections::HashSet<TupleId> = result.world.iter().copied().collect();
+    println!("{}", inst.table.subset(&kept));
+}

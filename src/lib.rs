@@ -1,0 +1,95 @@
+//! # fd-repairs
+//!
+//! A Rust implementation of **"Computing Optimal Repairs for Functional
+//! Dependencies"** (Livshits, Kimelfeld & Roy, PODS 2018): optimal subset
+//! repairs (minimum-weight tuple deletions), optimal update repairs
+//! (minimum-weight cell updates), the complexity dichotomy that separates
+//! the polynomial cases from the APX-complete ones, the approximation
+//! algorithms on the hard side, and the Most Probable Database problem.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`core`] | schemas, tables, FDs, closures, distances, covers |
+//! | [`graph`] | conflict graphs, bipartite matching, vertex cover, triangles |
+//! | [`srepair`] | Algorithms 1–2, the dichotomy, fact-wise reductions |
+//! | [`urepair`] | §4: decompositions, polynomial cases, approximations |
+//! | [`mpd`] | §3.4: Most Probable Database |
+//! | [`gen`] | workload generators and hardness gadgets |
+//! | [`priority`] | §5 outlook: prioritized repairs (Pareto/global/completion) |
+//! | [`cfd`] | §5 outlook: conditional FDs and denial constraints |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fd_repairs::prelude::*;
+//!
+//! // The paper's running example (Figure 1).
+//! let schema = Schema::new("Office", ["facility", "room", "floor", "city"]).unwrap();
+//! let fds = FdSet::parse(&schema, "facility -> city; facility room -> floor").unwrap();
+//! let table = Table::build(schema, vec![
+//!     (tup!["HQ", 322, 3, "Paris"], 2.0),
+//!     (tup!["HQ", 322, 30, "Madrid"], 1.0),
+//!     (tup!["HQ", 122, 1, "Madrid"], 1.0),
+//!     (tup!["Lab1", "B35", 3, "London"], 2.0),
+//! ]).unwrap();
+//!
+//! // The FD set is on the tractable side of the dichotomy …
+//! assert!(osr_succeeds(&fds));
+//! // … so Algorithm 1 yields an optimal S-repair (distance 2, Example 2.3).
+//! let repair = opt_s_repair(&table, &fds).unwrap();
+//! assert_eq!(repair.cost, 2.0);
+//!
+//! // An optimal U-repair exists in polynomial time too (Example 4.7).
+//! let solution = URepairSolver::default().solve(&table, &fds);
+//! assert!(solution.optimal);
+//! assert_eq!(solution.repair.cost, 2.0);
+//! ```
+
+pub mod instance;
+
+pub use fd_cfd as cfd;
+pub use fd_core as core;
+pub use fd_gen as gen;
+pub use fd_graph as graph;
+pub use fd_mpd as mpd;
+pub use fd_priority as priority;
+pub use fd_srepair as srepair;
+pub use fd_urepair as urepair;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use fd_cfd::{
+        optimal_subset_repair as cfd_optimal_subset_repair, satisfies as cfd_satisfies, Cfd,
+        DenialConstraint, PairwiseConstraint,
+    };
+    pub use fd_core::{
+        bcnf_decompose, bcnf_violation, candidate_keys, derive, is_lossless_join, is_superkey,
+        mci, mfs, min_core_implicant, min_lhs_cover, mlc, preserves_dependencies, prime_attrs,
+        schema_rabc, table_from_csv, table_to_csv, third_nf_synthesis, third_nf_violation, tup,
+        AttrId, AttrSet, CsvOptions, Decomposition, Derivation, Error, Fd, FdSet, FreshSource,
+        Result, Row, Schema, Table, Tuple, TupleId, Value,
+    };
+    pub use fd_priority::{PrioritizedTable, PriorityRelation, Semantics};
+    pub use fd_graph::{
+        max_weight_bipartite_matching, min_weight_vertex_cover, vertex_cover_2approx,
+        ConflictGraph, Graph,
+    };
+    pub use fd_mpd::{brute_force_mpd, most_probable_database, MpdResult, ProbTable};
+    pub use fd_srepair::{
+        answers_all_repairs, answers_optimal_repairs, approx_s_repair, classify_irreducible,
+        count_optimal_s_repairs, count_subset_repairs, sample_subset_repair,
+        exact_s_repair, is_subset_repair, make_maximal, opt_s_repair, osr_succeeds,
+        par_opt_s_repair, simplification_trace, ChainCountOutcome, Classification,
+        CountOutcome, HardCore, ParallelConfig, SMethod, SRepair, SRepairSolver,
+    };
+    pub use fd_urepair::{
+        approx_mixed_repair, approx_u_repair, consensus_u_repair, exact_mixed_repair,
+        exact_u_repair, is_update_repair, kl_u_repair, make_minimal, ratio_combined, ratio_kl,
+        ratio_ours, two_cycle_u_repair, DomainPolicy, ExactConfig, MixedCosts, MixedRepair,
+        UMethod, URepair, URepairSolver,
+    };
+}
+
+pub use prelude::*;

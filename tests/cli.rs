@@ -1,0 +1,158 @@
+//! End-to-end tests of the `fdrepair` CLI binary: every subcommand, both
+//! input formats, and the error paths. Uses the binary Cargo builds for
+//! this package (`CARGO_BIN_EXE_fdrepair`).
+
+use std::io::Write;
+use std::process::Command;
+
+fn fdrepair(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_fdrepair"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(name);
+    let mut f = std::fs::File::create(&path).expect("temp file");
+    f.write_all(contents.as_bytes()).expect("write");
+    path
+}
+
+const OFFICE_FDR: &str = "\
+relation Office
+attrs facility room floor city
+fd facility -> city
+fd facility room -> floor
+row 2 | HQ | 322 | 3 | Paris
+row 1 | HQ | 322 | 30 | Madrid
+row 1 | HQ | 122 | 1 | Madrid
+row 2 | Lab1 | B35 | 3 | London
+";
+
+const OFFICE_CSV: &str = "\
+facility,room,floor,city,w
+HQ,322,3,Paris,2
+HQ,322,30,Madrid,1
+HQ,122,1,Madrid,1
+Lab1,B35,3,London,2
+";
+
+#[test]
+fn classify_reports_dichotomy_and_keys() {
+    let path = write_temp("cli_office_classify.fdr", OFFICE_FDR);
+    let (out, _, ok) = fdrepair(&["classify", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(out.contains("chain  : true"));
+    assert!(out.contains("polynomial time"));
+}
+
+#[test]
+fn check_lists_conflicts() {
+    let path = write_temp("cli_office_check.fdr", OFFICE_FDR);
+    let (out, _, ok) = fdrepair(&["check", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(out.contains("inconsistent: 2 conflicting pair(s)"));
+}
+
+#[test]
+fn srepair_finds_the_paper_optimum() {
+    let path = write_temp("cli_office_srepair.fdr", OFFICE_FDR);
+    let (out, _, ok) = fdrepair(&["srepair", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(out.contains("dist_sub = 2"), "got:\n{out}");
+    assert!(out.contains("optimal true"));
+}
+
+#[test]
+fn urepair_finds_the_paper_optimum() {
+    let path = write_temp("cli_office_urepair.fdr", OFFICE_FDR);
+    let (out, _, ok) = fdrepair(&["urepair", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(out.contains("dist_upd = 2"), "got:\n{out}");
+}
+
+#[test]
+fn count_reports_both_notions() {
+    let path = write_temp("cli_office_count.fdr", OFFICE_FDR);
+    let (out, _, ok) = fdrepair(&["count", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(out.contains("subset repairs (maximal consistent subsets): 2"));
+    assert!(out.contains("optimal subset repairs: 2"));
+}
+
+#[test]
+fn sample_produces_a_repair() {
+    let path = write_temp("cli_office_sample.fdr", OFFICE_FDR);
+    let (out, _, ok) = fdrepair(&["sample", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(out.contains("uniformly sampled subset repair keeps"), "got:\n{out}");
+}
+
+#[test]
+fn csv_input_with_fds_flag() {
+    let path = write_temp("cli_office.csv", OFFICE_CSV);
+    let (out, _, ok) = fdrepair(&[
+        "srepair",
+        path.to_str().unwrap(),
+        "--fds",
+        "facility -> city; facility room -> floor",
+        "--weight",
+        "w",
+    ]);
+    assert!(ok);
+    assert!(out.contains("dist_sub = 2"), "got:\n{out}");
+}
+
+#[test]
+fn csv_without_fds_flag_is_an_error() {
+    let path = write_temp("cli_office_nofds.csv", OFFICE_CSV);
+    let (_, err, ok) = fdrepair(&["srepair", path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(err.contains("--fds"));
+}
+
+#[test]
+fn mpd_runs_on_probabilistic_weights() {
+    let prob = "\
+relation Reading
+attrs sensor room
+fd sensor -> room
+row 0.9 | s1 | lab
+row 0.6 | s1 | attic
+row 0.8 | s2 | lab
+";
+    let path = write_temp("cli_prob.fdr", prob);
+    let (out, _, ok) = fdrepair(&["mpd", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(out.contains("most probable consistent world: 2 of 3 tuples"), "got:\n{out}");
+}
+
+#[test]
+fn unknown_command_and_missing_file_fail_cleanly() {
+    let path = write_temp("cli_office_err.fdr", OFFICE_FDR);
+    let (_, err, ok) = fdrepair(&["frobnicate", path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"));
+
+    let (_, err, ok) = fdrepair(&["check", "/nonexistent/nope.fdr"]);
+    assert!(!ok);
+    assert!(err.contains("cannot read"));
+
+    let (_, err, ok) = fdrepair(&["check"]);
+    assert!(!ok);
+    assert!(err.contains("usage"));
+}
+
+#[test]
+fn malformed_instance_reports_line() {
+    let path = write_temp("cli_bad.fdr", "relation R\nattrs A\nrow x | 1\n");
+    let (_, err, ok) = fdrepair(&["check", path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(err.contains("line 3"), "got:\n{err}");
+}

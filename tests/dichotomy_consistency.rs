@@ -1,0 +1,123 @@
+//! Cross-crate validation of Theorem 3.4: on the tractable side Algorithm 1
+//! must agree with the exact vertex-cover baseline; on the hard side it must
+//! fail and the Figure-2 classifier must place the stuck FD set.
+
+use fd_repairs::gen::random::{dirty_table, DirtyConfig};
+use fd_repairs::prelude::*;
+use rand::prelude::*;
+
+/// A corpus of FD sets covering every structural case of the paper.
+fn corpus() -> Vec<(&'static str, bool)> {
+    vec![
+        // (spec, expected OSRSucceeds)
+        ("A -> B", true),
+        ("A -> B C", true),
+        ("-> C", true),
+        ("-> A; A -> B", true),
+        ("A -> B; A -> C", true),
+        ("A -> B; A B -> C", true),                 // chain
+        ("A -> B; B -> A", true),                   // marriage
+        ("A -> B; B -> A; B -> C", true),           // Δ_{A↔B→C}
+        ("A B -> C; A C -> B", true),               // marriage of AB/AC
+        ("A -> B; B -> C", false),                  // Δ_{A→B→C}
+        ("A -> C; B -> C", false),                  // Δ_{A→C←B}
+        ("A B -> C; C -> B", false),                // Δ_{AB→C→B}
+        ("A B -> C; A C -> B; B C -> A", false),    // Δ_{AB↔AC↔BC}
+        ("A -> B; C -> D", false),                  // class 1
+        ("A -> C D; B -> C E", false),              // class 2
+        ("A -> B C; B -> D", false),                // class 3
+        ("A B -> C; C -> A D", false),              // class 5
+    ]
+}
+
+#[test]
+fn algorithm1_agrees_with_exact_baseline_when_it_succeeds() {
+    let schema = Schema::new("R", ["A", "B", "C", "D", "E"]).unwrap();
+    let mut rng = StdRng::seed_from_u64(2718);
+    for (spec, succeeds) in corpus() {
+        let fds = FdSet::parse(&schema, spec).unwrap();
+        assert_eq!(osr_succeeds(&fds), succeeds, "{spec}");
+        for trial in 0..6 {
+            let cfg = DirtyConfig {
+                rows: 12 + trial,
+                domain: 3,
+                corruptions: 6,
+                weighted: trial % 2 == 1,
+            };
+            let table = dirty_table(&schema, &fds, &cfg, &mut rng);
+            match opt_s_repair(&table, &fds) {
+                Ok(repair) => {
+                    assert!(succeeds, "{spec} should have failed");
+                    repair.verify(&table, &fds);
+                    let exact = exact_s_repair(&table, &fds);
+                    assert!(
+                        (repair.cost - exact.cost).abs() < 1e-9,
+                        "{spec}: Algorithm 1 cost {} vs exact {}\n{table}",
+                        repair.cost,
+                        exact.cost
+                    );
+                }
+                Err(stuck) => {
+                    assert!(!succeeds, "{spec} should have succeeded");
+                    let cls = classify_irreducible(&stuck.remaining)
+                        .expect("stuck sets are irreducible");
+                    assert!((1..=5).contains(&cls.class), "{spec}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn success_is_a_property_of_the_fd_set_not_the_table() {
+    // §3.2: "the success or failure of OptSRepair(Δ, T) depends only on Δ".
+    let schema = Schema::new("R", ["A", "B", "C", "D", "E"]).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    for (spec, succeeds) in corpus() {
+        let fds = FdSet::parse(&schema, spec).unwrap();
+        for rows in [0usize, 1, 5] {
+            let cfg = DirtyConfig { rows, domain: 2, corruptions: rows, weighted: false };
+            let table = dirty_table(&schema, &fds, &cfg, &mut rng);
+            assert_eq!(
+                opt_s_repair(&table, &fds).is_ok(),
+                succeeds,
+                "{spec} with {rows} rows"
+            );
+        }
+    }
+}
+
+#[test]
+fn solver_facade_always_produces_verified_repairs() {
+    let schema = Schema::new("R", ["A", "B", "C", "D", "E"]).unwrap();
+    let mut rng = StdRng::seed_from_u64(99);
+    let solver = SRepairSolver { exact_fallback_limit: 10 };
+    for (spec, _) in corpus() {
+        let fds = FdSet::parse(&schema, spec).unwrap();
+        let cfg = DirtyConfig { rows: 20, domain: 3, corruptions: 8, weighted: false };
+        let table = dirty_table(&schema, &fds, &cfg, &mut rng);
+        let sol = solver.solve(&table, &fds);
+        sol.repair.verify(&table, &fds);
+        if sol.optimal {
+            let exact = exact_s_repair(&table, &fds);
+            assert!((sol.repair.cost - exact.cost).abs() < 1e-9, "{spec}");
+        } else {
+            assert_eq!(sol.ratio, 2.0);
+        }
+    }
+}
+
+#[test]
+fn chain_fd_sets_always_succeed_corollary_3_6() {
+    let schema = Schema::new("R", ["A", "B", "C", "D", "E"]).unwrap();
+    let chains = [
+        "A -> B; A B -> C; A B C -> D; A B C D -> E",
+        "-> A B; A B -> C",
+        "C -> D; C D -> A B E",
+    ];
+    for spec in chains {
+        let fds = FdSet::parse(&schema, spec).unwrap();
+        assert!(fds.is_chain(), "{spec}");
+        assert!(osr_succeeds(&fds), "{spec}");
+    }
+}

@@ -1,0 +1,68 @@
+//! End-to-end pipeline through the `.fdr` instance format: the shipped
+//! fixture files parse, solve, and round-trip, exactly as the `fdrepair`
+//! CLI consumes them.
+
+use fd_repairs::instance::Instance;
+use fd_repairs::prelude::*;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/examples/data/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+#[test]
+fn office_fixture_solves_like_figure_1() {
+    let inst = Instance::parse(&fixture("office.fdr")).unwrap();
+    assert_eq!(inst.table.len(), 4);
+    assert!(!inst.table.satisfies(&inst.fds));
+
+    let s = SRepairSolver::default().solve(&inst.table, &inst.fds);
+    assert!(s.optimal);
+    assert_eq!(s.repair.cost, 2.0);
+
+    let u = URepairSolver::default().solve(&inst.table, &inst.fds);
+    assert!(u.optimal);
+    assert_eq!(u.repair.cost, 2.0);
+    u.repair.verify(&inst.table, &inst.fds);
+}
+
+#[test]
+fn sensors_fixture_solves_like_the_mpd_example() {
+    let inst = Instance::parse(&fixture("sensors.fdr")).unwrap();
+    let prob = ProbTable::new(inst.table.clone()).unwrap();
+    let fast = most_probable_database(&prob, &inst.fds);
+    let slow = brute_force_mpd(&prob, &inst.fds);
+    assert!((fast.probability - slow.probability).abs() < 1e-12);
+    // The certain tuple (id 3) must be in the world.
+    assert!(fast.world.contains(&TupleId(3)));
+    // The sub-half tuples (ids 2, 5) must not be.
+    assert!(!fast.world.contains(&TupleId(2)));
+    assert!(!fast.world.contains(&TupleId(5)));
+}
+
+#[test]
+fn fixtures_round_trip_through_the_text_format() {
+    for name in ["office.fdr", "sensors.fdr"] {
+        let inst = Instance::parse(&fixture(name)).unwrap();
+        let again = Instance::parse(&inst.to_text()).unwrap();
+        assert_eq!(again.table, inst.table, "{name}");
+        assert_eq!(again.fds, inst.fds, "{name}");
+        assert_eq!(again.schema.relation(), inst.schema.relation(), "{name}");
+    }
+}
+
+#[test]
+fn classification_pipeline_on_fixture() {
+    let inst = Instance::parse(&fixture("office.fdr")).unwrap();
+    // Schema analysis as exposed to the CLI.
+    assert!(inst.fds.is_chain());
+    let keys = candidate_keys(&inst.schema, &inst.fds);
+    assert_eq!(keys.len(), 1);
+    assert_eq!(
+        keys[0],
+        inst.schema.attr_set(["facility", "room"]).unwrap()
+    );
+    assert!(fd_core::bcnf_violation(&inst.schema, &inst.fds).is_some());
+    let trace = simplification_trace(&inst.fds);
+    assert!(trace.succeeded());
+}

@@ -1,0 +1,183 @@
+//! Cross-cutting relations between S- and U-repairs: the Corollary 4.5
+//! sandwich, the approximation guarantees of Proposition 3.3 and
+//! Theorem 4.12, and the polynomial U-repair cases of §4 against the
+//! exhaustive baseline.
+
+use fd_repairs::gen::random::{dirty_table, DirtyConfig};
+use fd_repairs::prelude::*;
+use rand::prelude::*;
+
+fn small_tables(spec: &str, seed: u64, n_cases: usize) -> Vec<(FdSet, Table)> {
+    let schema = schema_rabc();
+    let fds = FdSet::parse(&schema, spec).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_cases)
+        .map(|i| {
+            let rows = (0..4 + i % 3).map(|_| {
+                (
+                    tup![
+                        rng.gen_range(0..2i64),
+                        rng.gen_range(0..2i64),
+                        rng.gen_range(0..2i64)
+                    ],
+                    rng.gen_range(1..3) as f64,
+                )
+            });
+            (fds.clone(), Table::build(schema.clone(), rows).unwrap())
+        })
+        .collect()
+}
+
+#[test]
+fn corollary_4_5_sandwich() {
+    // dist_sub(S*) ≤ dist_upd(U*) and, for consensus-free Δ,
+    // dist_upd(U*) ≤ mlc(Δ)·dist_sub(S*).
+    for spec in ["A -> B", "A -> B; B -> C", "A -> C; B -> C", "A B -> C; C -> B"] {
+        for (fds, table) in small_tables(spec, 7, 8) {
+            let s_star = exact_s_repair(&table, &fds);
+            let u_star = exact_u_repair(&table, &fds, &ExactConfig::default());
+            u_star.verify(&table, &fds);
+            assert!(
+                s_star.cost <= u_star.cost + 1e-9,
+                "{spec}: dist_sub {} > dist_upd {}",
+                s_star.cost,
+                u_star.cost
+            );
+            let m = mlc(&fds).unwrap() as f64;
+            assert!(
+                u_star.cost <= m * s_star.cost + 1e-9,
+                "{spec}: dist_upd {} > mlc·dist_sub {}",
+                u_star.cost,
+                m * s_star.cost
+            );
+        }
+    }
+}
+
+#[test]
+fn proposition_3_3_two_approximation() {
+    for spec in ["A -> B; B -> C", "A -> C; B -> C", "A B -> C; C -> B"] {
+        for (fds, table) in small_tables(spec, 11, 8) {
+            let approx = approx_s_repair(&table, &fds);
+            approx.verify(&table, &fds);
+            let exact = exact_s_repair(&table, &fds);
+            assert!(approx.cost <= 2.0 * exact.cost + 1e-9, "{spec}");
+        }
+    }
+}
+
+#[test]
+fn theorem_4_12_bound_measured() {
+    for spec in ["A -> B; B -> C", "A -> C; B -> C"] {
+        for (fds, table) in small_tables(spec, 13, 6) {
+            let a = approx_u_repair(&table, &fds);
+            a.repair.verify(&table, &fds);
+            let exact = exact_u_repair(&table, &fds, &ExactConfig::default());
+            assert!(
+                a.repair.cost <= a.ratio * exact.cost + 1e-9,
+                "{spec}: {} > {}·{}",
+                a.repair.cost,
+                a.ratio,
+                exact.cost
+            );
+            assert!(a.ratio <= ratio_ours(&fds) + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn corollary_4_6_common_lhs_u_equals_s() {
+    // For consensus-free common-lhs sets passing OSRSucceeds, the optimal
+    // U-repair cost equals the optimal S-repair cost.
+    let schema = Schema::new("Office", ["facility", "room", "floor", "city"]).unwrap();
+    let fds = FdSet::parse(&schema, "facility -> city; facility room -> floor").unwrap();
+    let mut rng = StdRng::seed_from_u64(17);
+    for _ in 0..5 {
+        let cfg = DirtyConfig { rows: 7, domain: 3, corruptions: 4, weighted: false };
+        let table = dirty_table(&schema, &fds, &cfg, &mut rng);
+        let s_star = opt_s_repair(&table, &fds).unwrap();
+        let u_sol = URepairSolver::default().solve(&table, &fds);
+        assert!(u_sol.optimal);
+        u_sol.repair.verify(&table, &fds);
+        assert!(
+            (u_sol.repair.cost - s_star.cost).abs() < 1e-9,
+            "U {} vs S {}\n{table}",
+            u_sol.repair.cost,
+            s_star.cost
+        );
+        // Cross-check against exhaustive search.
+        let exact = exact_u_repair(&table, &fds, &ExactConfig::default());
+        assert!((u_sol.repair.cost - exact.cost).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn corollary_4_8_chain_u_repairs_are_polynomial_and_optimal() {
+    let schema = schema_rabc();
+    // A chain with a consensus attribute on top.
+    let fds = FdSet::parse(&schema, "-> C; A -> B").unwrap();
+    let mut rng = StdRng::seed_from_u64(19);
+    for _ in 0..5 {
+        let rows = (0..6).map(|_| {
+            (
+                tup![
+                    rng.gen_range(0..2i64),
+                    rng.gen_range(0..2i64),
+                    rng.gen_range(0..2i64)
+                ],
+                1.0,
+            )
+        });
+        let table = Table::build(schema.clone(), rows).unwrap();
+        let sol = URepairSolver::default().solve(&table, &fds);
+        assert!(sol.optimal, "chain sets must be solved optimally");
+        sol.repair.verify(&table, &fds);
+        let exact = exact_u_repair(&table, &fds, &ExactConfig::default());
+        assert!(
+            (sol.repair.cost - exact.cost).abs() < 1e-9,
+            "solver {} vs exact {}\n{table}",
+            sol.repair.cost,
+            exact.cost
+        );
+    }
+}
+
+#[test]
+fn proposition_4_9_two_cycle_optimal() {
+    let schema = schema_rabc();
+    let fds = FdSet::parse(&schema, "A -> B; B -> A").unwrap();
+    let mut rng = StdRng::seed_from_u64(23);
+    for _ in 0..8 {
+        let rows = (0..5).map(|_| {
+            (
+                tup![rng.gen_range(0..3i64), rng.gen_range(0..3i64), 0],
+                rng.gen_range(1..3) as f64,
+            )
+        });
+        let table = Table::build(schema.clone(), rows).unwrap();
+        let fast = two_cycle_u_repair(&table, &fds);
+        fast.verify(&table, &fds);
+        let s_star = opt_s_repair(&table, &fds).unwrap();
+        // The proof's headline equality: dist_upd(U*) = dist_sub(S*).
+        assert!((fast.cost - s_star.cost).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn kl_and_ours_both_respect_the_combined_bound() {
+    for spec in ["A -> B; B -> C", "A B -> C; C -> B"] {
+        for (fds, table) in small_tables(spec, 29, 6) {
+            let exact = exact_u_repair(&table, &fds, &ExactConfig::default());
+            let ours = approx_u_repair(&table, &fds).repair;
+            let kl = kl_u_repair(&table, &fds);
+            let combined = ours.cost.min(kl.cost);
+            assert!(
+                combined <= ratio_combined(&fds) * exact.cost + 1e-9,
+                "{spec}: combined {} vs bound {}·{}",
+                combined,
+                ratio_combined(&fds),
+                exact.cost
+            );
+        }
+    }
+}
