@@ -10,11 +10,7 @@ use std::hint::black_box;
 
 /// A tractable family: k FDs sharing a common lhs chain.
 fn tractable_family(k: usize) -> FdSet {
-    let schema = Schema::new(
-        "W",
-        (0..=k).map(|i| format!("X{i}")).collect::<Vec<_>>(),
-    )
-    .unwrap();
+    let schema = Schema::new("W", (0..=k).map(|i| format!("X{i}")).collect::<Vec<_>>()).unwrap();
     let spec: Vec<String> = (0..k).map(|i| format!("X0 X{} -> X{}", i, i + 1)).collect();
     FdSet::parse(&schema, &spec.join("; ")).unwrap()
 }

@@ -25,7 +25,12 @@ fn bench_mpd(c: &mut Criterion) {
     group.sample_size(15);
     for n in [200usize, 1000, 5000] {
         let mut rng = StdRng::seed_from_u64(n as u64);
-        let cfg = DirtyConfig { rows: n, domain: 8, corruptions: n / 5, weighted: false };
+        let cfg = DirtyConfig {
+            rows: n,
+            domain: 8,
+            corruptions: n / 5,
+            weighted: false,
+        };
         let base = dirty_table(&schema, &tractable, &cfg, &mut rng);
         let prob = probabilistic(&base, &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(n), &prob, |b, p| {
@@ -39,7 +44,12 @@ fn bench_mpd(c: &mut Criterion) {
     group.sample_size(10);
     for n in [12usize, 24] {
         let mut rng = StdRng::seed_from_u64(n as u64);
-        let cfg = DirtyConfig { rows: n, domain: 3, corruptions: n / 2, weighted: false };
+        let cfg = DirtyConfig {
+            rows: n,
+            domain: 3,
+            corruptions: n / 2,
+            weighted: false,
+        };
         let base = dirty_table(&schema, &hard, &cfg, &mut rng);
         let prob = probabilistic(&base, &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(n), &prob, |b, p| {

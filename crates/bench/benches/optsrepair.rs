@@ -22,7 +22,12 @@ fn bench_optsrepair(c: &mut Criterion) {
         group.sample_size(15);
         for n in [200usize, 1000, 5000] {
             let mut rng = StdRng::seed_from_u64(n as u64);
-            let cfg = DirtyConfig { rows: n, domain: 8, corruptions: n / 5, weighted: true };
+            let cfg = DirtyConfig {
+                rows: n,
+                domain: 8,
+                corruptions: n / 5,
+                weighted: true,
+            };
             let table = dirty_table(&schema, &fds, &cfg, &mut rng);
             group.bench_with_input(BenchmarkId::from_parameter(n), &table, |b, t| {
                 b.iter(|| opt_s_repair(black_box(t), &fds).unwrap());
@@ -35,7 +40,12 @@ fn bench_optsrepair(c: &mut Criterion) {
     // vertex-cover baseline vs the 2-approximation.
     let fds = FdSet::parse(&schema, "A -> B C D").unwrap();
     let mut rng = StdRng::seed_from_u64(7);
-    let cfg = DirtyConfig { rows: 600, domain: 6, corruptions: 80, weighted: false };
+    let cfg = DirtyConfig {
+        rows: 600,
+        domain: 6,
+        corruptions: 80,
+        weighted: false,
+    };
     let table = dirty_table(&schema, &fds, &cfg, &mut rng);
     let mut group = c.benchmark_group("s_repair_methods_n600");
     group.sample_size(15);

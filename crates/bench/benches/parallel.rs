@@ -22,7 +22,12 @@ fn bench_parallel_ablation(c: &mut Criterion) {
     let fds = FdSet::parse(&schema, "A -> B; A B -> C; A B C -> D").unwrap();
     for n in [2_000usize, 20_000] {
         let mut rng = StdRng::seed_from_u64(n as u64);
-        let cfg = DirtyConfig { rows: n, domain: 64, corruptions: n / 4, weighted: true };
+        let cfg = DirtyConfig {
+            rows: n,
+            domain: 64,
+            corruptions: n / 4,
+            weighted: true,
+        };
         let table = dirty_table(&schema, &fds, &cfg, &mut rng);
         let mut group = c.benchmark_group(format!("optsrepair_parallel_n{n}"));
         group.sample_size(10);
@@ -30,7 +35,10 @@ fn bench_parallel_ablation(c: &mut Criterion) {
             b.iter(|| opt_s_repair(black_box(t), &fds).unwrap());
         });
         for threads in [2usize, 4, 8] {
-            let cfg = ParallelConfig { threads, min_blocks: 2 };
+            let cfg = ParallelConfig {
+                threads,
+                min_blocks: 2,
+            };
             group.bench_with_input(
                 BenchmarkId::new(format!("threads{threads}"), n),
                 &table,
@@ -52,7 +60,12 @@ fn bench_chain_count(c: &mut Criterion) {
     // astronomically beyond enumeration.
     for n in [100usize, 1_000, 10_000] {
         let mut rng = StdRng::seed_from_u64(n as u64);
-        let cfg = DirtyConfig { rows: n, domain: 32, corruptions: n / 3, weighted: false };
+        let cfg = DirtyConfig {
+            rows: n,
+            domain: 32,
+            corruptions: n / 3,
+            weighted: false,
+        };
         let table = dirty_table(&schema, &fds, &cfg, &mut rng);
         group.bench_with_input(BenchmarkId::new("dp", n), &table, |b, t| {
             b.iter(|| count_subset_repairs(black_box(t), &fds));
@@ -61,7 +74,12 @@ fn bench_chain_count(c: &mut Criterion) {
     // The enumeration baseline is only feasible tiny.
     for n in [10usize, 20] {
         let mut rng = StdRng::seed_from_u64(n as u64);
-        let cfg = DirtyConfig { rows: n, domain: 4, corruptions: n / 3, weighted: false };
+        let cfg = DirtyConfig {
+            rows: n,
+            domain: 4,
+            corruptions: n / 3,
+            weighted: false,
+        };
         let table = dirty_table(&schema, &fds, &cfg, &mut rng);
         group.bench_with_input(BenchmarkId::new("enumerate", n), &table, |b, t| {
             b.iter(|| brute_force_count_subset_repairs(black_box(t), &fds));

@@ -13,13 +13,17 @@ use std::hint::black_box;
 fn bench_urepair(c: &mut Criterion) {
     // Polynomial case: common lhs (Corollary 4.6) at growing n.
     let office = Schema::new("Office", ["facility", "room", "floor", "city"]).unwrap();
-    let office_fds =
-        FdSet::parse(&office, "facility -> city; facility room -> floor").unwrap();
+    let office_fds = FdSet::parse(&office, "facility -> city; facility room -> floor").unwrap();
     let mut group = c.benchmark_group("urepair_common_lhs");
     group.sample_size(15);
     for n in [200usize, 1000, 5000] {
         let mut rng = StdRng::seed_from_u64(n as u64);
-        let cfg = DirtyConfig { rows: n, domain: 8, corruptions: n / 6, weighted: false };
+        let cfg = DirtyConfig {
+            rows: n,
+            domain: 8,
+            corruptions: n / 6,
+            weighted: false,
+        };
         let table = dirty_table(&office, &office_fds, &cfg, &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(n), &table, |b, t| {
             b.iter(|| URepairSolver::default().solve(black_box(t), &office_fds));
@@ -34,7 +38,12 @@ fn bench_urepair(c: &mut Criterion) {
     group.sample_size(15);
     for n in [200usize, 1000] {
         let mut rng = StdRng::seed_from_u64(n as u64);
-        let cfg = DirtyConfig { rows: n, domain: 10, corruptions: n / 6, weighted: false };
+        let cfg = DirtyConfig {
+            rows: n,
+            domain: 10,
+            corruptions: n / 6,
+            weighted: false,
+        };
         let table = dirty_table(&rabc, &cycle, &cfg, &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(n), &table, |b, t| {
             b.iter(|| two_cycle_u_repair(black_box(t), &cycle));

@@ -25,7 +25,12 @@ fn main() {
             "facility -> city; facility room -> floor".into(),
             true,
         ),
-        ("Δ_{A↔B→C} (Ex. 3.1)", &rabc, "A -> B; B -> A; B -> C".into(), true),
+        (
+            "Δ_{A↔B→C} (Ex. 3.1)",
+            &rabc,
+            "A -> B; B -> A; B -> C".into(),
+            true,
+        ),
         (
             "Δ₁ of Ex. 3.1 (ssn)",
             &emp,
@@ -53,7 +58,10 @@ fn main() {
     for (name, schema, spec, expected) in cases {
         let fds = FdSet::parse(schema, &spec).unwrap();
         let trace = simplification_trace(&fds);
-        println!("\n── {name} (paper: {}):", if expected { "PTIME" } else { "APX-complete" });
+        println!(
+            "\n── {name} (paper: {}):",
+            if expected { "PTIME" } else { "APX-complete" }
+        );
         println!("{}", indent(&trace.display(schema)));
         println!(
             "   outcome {} expected {}",
@@ -75,18 +83,21 @@ fn main() {
         let fds = FdSet::parse(&r5, spec).unwrap();
         assert!(fds.is_chain());
         let ok = osr_succeeds(&fds);
-        println!("  {} chain {:<44} succeeds {}", mark(ok), fds.display(&r5), mark(ok));
+        println!(
+            "  {} chain {:<44} succeeds {}",
+            mark(ok),
+            fds.display(&r5),
+            mark(ok)
+        );
         assert!(ok);
     }
 
     section("Dichotomy is decided by Δ alone (polynomial in |Δ|)");
     // Stress: wide synthetic FD sets classify instantly.
-    let wide = Schema::new(
-        "W",
-        (0..20).map(|i| format!("X{i}")).collect::<Vec<_>>(),
-    )
-    .unwrap();
-    let spec: Vec<String> = (0..19).map(|i| format!("X0 X{} -> X{}", i, i + 1)).collect();
+    let wide = Schema::new("W", (0..20).map(|i| format!("X{i}")).collect::<Vec<_>>()).unwrap();
+    let spec: Vec<String> = (0..19)
+        .map(|i| format!("X0 X{} -> X{}", i, i + 1))
+        .collect();
     let fds = FdSet::parse(&wide, &spec.join("; ")).unwrap();
     let (succeeded, ms) = fd_bench::timed(|| osr_succeeds(&fds));
     println!(
@@ -97,5 +108,8 @@ fn main() {
 }
 
 fn indent(s: &str) -> String {
-    s.lines().map(|l| format!("   {l}")).collect::<Vec<_>>().join("\n")
+    s.lines()
+        .map(|l| format!("   {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }

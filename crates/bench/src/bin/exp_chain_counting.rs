@@ -34,7 +34,7 @@ fn main() {
         let rows: Vec<Tuple> = (0..n)
             .map(|_| {
                 tup![
-                    ["x", "y"][rng.gen_range(0..2)],
+                    ["x", "y"][rng.gen_range(0..2usize)],
                     rng.gen_range(0..3) as i64,
                     rng.gen_range(0..2) as i64
                 ]
@@ -54,7 +54,12 @@ fn main() {
     println!("  {:>8} {:>24} {:>10}", "rows", "log2(repair count)", "ms");
     for n in [100usize, 1_000, 10_000, 100_000] {
         let mut rng = StdRng::seed_from_u64(n as u64);
-        let cfg = DirtyConfig { rows: n, domain: 50, corruptions: n / 3, weighted: false };
+        let cfg = DirtyConfig {
+            rows: n,
+            domain: 50,
+            corruptions: n / 3,
+            weighted: false,
+        };
         let table = dirty_table(&s, &fd1, &cfg, &mut rng);
         let (log2, ms) = timed(|| count_subset_repairs_log2(&table, &fd1).expect("chain"));
         println!("  {n:>8} {log2:>24.1} {ms:>10.2}");
@@ -66,14 +71,25 @@ fn main() {
         rows.push(tup![g, 2, 0]);
     }
     let t = Table::build_unweighted(s.clone(), rows).unwrap();
-    let ChainCountOutcome::Count(c) = count_subset_repairs(&t, &fd1) else { unreachable!() };
-    kv("100 independent pairs count", format!("{c} = 2^100: {}", mark(c == 1u128 << 100)));
+    let ChainCountOutcome::Count(c) = count_subset_repairs(&t, &fd1) else {
+        unreachable!()
+    };
+    kv(
+        "100 independent pairs count",
+        format!("{c} = 2^100: {}", mark(c == 1u128 << 100)),
+    );
 
     section("Counting ⇒ sampling: uniform repair sampling (10 000 draws)");
     // Two independent pairs + a clean tuple: 4 equally likely repairs.
     let t = Table::build_unweighted(
         s.clone(),
-        vec![tup!["x", 1, 0], tup!["x", 2, 0], tup!["y", 1, 0], tup!["y", 2, 0], tup!["z", 0, 0]],
+        vec![
+            tup!["x", 1, 0],
+            tup!["x", 2, 0],
+            tup!["y", 1, 0],
+            tup!["y", 2, 0],
+            tup!["z", 0, 0],
+        ],
     )
     .unwrap();
     let mut rng = StdRng::seed_from_u64(0x5a3b1e);
@@ -86,7 +102,10 @@ fn main() {
     let mut counts: Vec<u32> = freq.values().copied().collect();
     counts.sort_unstable();
     kv("distinct repairs sampled (expect 4)", freq.len());
-    kv("frequency spread (expect ≈ 2500 each)", format!("{counts:?}"));
+    kv(
+        "frequency spread (expect ≈ 2500 each)",
+        format!("{counts:?}"),
+    );
     let uniform = freq.len() == 4 && counts.iter().all(|&c| (c as i64 - 2500).abs() < 250);
     kv("uniform within 10%", mark(uniform));
 
@@ -94,7 +113,10 @@ fn main() {
     for (name, spec) in [
         ("Δ_{A→B→C}", "A -> B; B -> C"),
         ("Δ_{A→C←B}", "A -> C; B -> C"),
-        ("Δ_{A↔B→C} (optimal-repair EASY, counting hard)", "A -> B; B -> A; B -> C"),
+        (
+            "Δ_{A↔B→C} (optimal-repair EASY, counting hard)",
+            "A -> B; B -> A; B -> C",
+        ),
     ] {
         let fds = FdSet::parse(&s, spec).unwrap();
         let t = Table::build_unweighted(s.clone(), vec![tup!["x", 1, 0]]).unwrap();
@@ -106,7 +128,11 @@ fn main() {
                 "chain {} | OSRSucceeds {} | counter: {}",
                 mark(fds.is_chain()),
                 mark(osr_succeeds(&fds)),
-                if reported { "NotAChain ✓" } else { "counted ✗" }
+                if reported {
+                    "NotAChain ✓"
+                } else {
+                    "counted ✗"
+                }
             ),
         );
     }

@@ -24,14 +24,28 @@ fn main() {
     let d0 = FdSet::parse(&s4, "product -> price; buyer -> email").unwrap();
     kv("OSRSucceeds (S-repair side)", mark(osr_succeeds(&d0)));
     let cls = classify_irreducible(&d0).expect("irreducible");
-    kv("Figure-2 class / hard core", format!("{} / {}", cls.class, cls.core.name()));
+    kv(
+        "Figure-2 class / hard core",
+        format!("{} / {}", cls.class, cls.core.name()),
+    );
     println!("\n  the U-repair solver must stay optimal and polynomial:");
-    println!("  {:>5} {:>10} {:>10} {:>9} {:>26}", "n", "U-cost", "exact U*", "match", "methods");
+    println!(
+        "  {:>5} {:>10} {:>10} {:>9} {:>26}",
+        "n", "U-cost", "exact U*", "match", "methods"
+    );
     for n in [4usize, 5, 6] {
-        let cfg = DirtyConfig { rows: n, domain: 2, corruptions: 3, weighted: false };
+        let cfg = DirtyConfig {
+            rows: n,
+            domain: 2,
+            corruptions: 3,
+            weighted: false,
+        };
         let table = dirty_table(&s4, &d0, &cfg, &mut rng);
         let sol = URepairSolver::default().solve(&table, &d0);
-        assert!(sol.optimal, "Δ₀ components are single FDs: optimal per Cor. 4.6");
+        assert!(
+            sol.optimal,
+            "Δ₀ components are single FDs: optimal per Cor. 4.6"
+        );
         assert!(sol
             .methods
             .iter()
@@ -59,7 +73,12 @@ fn main() {
         "n", "S (alg1)", "S (exact)", "U (exact)", "S ≤ U"
     );
     for n in [4usize, 5, 6] {
-        let cfg = DirtyConfig { rows: n, domain: 2, corruptions: 3, weighted: false };
+        let cfg = DirtyConfig {
+            rows: n,
+            domain: 2,
+            corruptions: 3,
+            weighted: false,
+        };
         let table = dirty_table(&rabc, &d4, &cfg, &mut rng);
         let s_fast = opt_s_repair(&table, &d4).expect("marriage side succeeds");
         let s_exact = exact_s_repair(&table, &d4);

@@ -30,11 +30,11 @@ fn main() {
             .map(|_| {
                 (
                     tup![
-                        ["x", "y"][rng.gen_range(0..2)],
+                        ["x", "y"][rng.gen_range(0..2usize)],
                         rng.gen_range(0..3) as i64,
                         rng.gen_range(0..2) as i64
                     ],
-                    [1.0, 2.0][rng.gen_range(0..2)],
+                    [1.0, 2.0][rng.gen_range(0..2usize)],
                 )
             })
             .collect();
@@ -51,11 +51,16 @@ fn main() {
     );
     for corruptions in [0usize, 20, 80, 200] {
         let mut rng = StdRng::seed_from_u64(corruptions as u64 + 11);
-        let cfg = DirtyConfig { rows: 400, domain: 12, corruptions, weighted: true };
+        let cfg = DirtyConfig {
+            rows: 400,
+            domain: 12,
+            corruptions,
+            weighted: true,
+        };
         let table = dirty_table(&s, &fds, &cfg, &mut rng);
         let all = answers_all_repairs(&table, &fds);
-        let opt = answers_optimal_repairs(&table, &fds, 1_000_000)
-            .expect("chain FD set enumerates");
+        let opt =
+            answers_optimal_repairs(&table, &fds, 1_000_000).expect("chain FD set enumerates");
         let nested = all.certain.iter().all(|id| opt.certain.contains(id))
             && opt.certain.iter().all(|id| opt.possible.contains(id))
             && opt.possible.iter().all(|id| all.possible.contains(id));

@@ -15,14 +15,20 @@ fn main() {
     section("Figure 1(a): the dirty table T");
     print!("{table}");
     kv("T satisfies Δ", mark(table.satisfies(&fds)));
-    kv("duplicate-free / unweighted", format!(
-        "{} / {}",
-        mark(table.is_duplicate_free()),
-        mark(table.is_unweighted())
-    ));
+    kv(
+        "duplicate-free / unweighted",
+        format!(
+            "{} / {}",
+            mark(table.is_duplicate_free()),
+            mark(table.is_unweighted())
+        ),
+    );
 
     section("Example 2.3: distances of the paper's candidate repairs");
-    println!("  {:<10} {:>12} {:>12}  paper", "candidate", "consistent", "distance");
+    println!(
+        "  {:<10} {:>12} {:>12}  paper",
+        "candidate", "consistent", "distance"
+    );
     for (name, sub, paper) in [
         ("S1", office_s1(), 2.0),
         ("S2", office_s2(), 2.0),
@@ -73,5 +79,8 @@ fn main() {
     kv("exhaustive U-repair cross-check", exhaustive.cost);
     assert_eq!(exhaustive.cost, 2.0);
 
-    println!("\n  All Figure 1 quantities reproduced exactly. {}", mark(true));
+    println!(
+        "\n  All Figure 1 quantities reproduced exactly. {}",
+        mark(true)
+    );
 }

@@ -68,6 +68,12 @@ fn main() {
     // Class 4 needs three interlocking local minima and is rare under this
     // sampler; the Example 3.8 witnesses above cover it deterministically.
     let distinct = counts[1..].iter().filter(|&&c| c > 0).count();
-    assert!(distinct >= 4, "expected at least four classes to occur in the sweep");
-    println!("\n  classifier covered {distinct}/5 classes in the random sweep {}", mark(true));
+    assert!(
+        distinct >= 4,
+        "expected at least four classes to occur in the sweep"
+    );
+    println!(
+        "\n  classifier covered {distinct}/5 classes in the random sweep {}",
+        mark(true)
+    );
 }

@@ -27,7 +27,11 @@ fn main() {
         let fds = FdSet::parse(&schema, spec).unwrap();
         let trace = simplification_trace(&fds);
         assert!(trace.succeeded(), "{spec} must be tractable");
-        println!("\n── Δ = {} ({} steps)", fds.display(&schema), trace.steps.len());
+        println!(
+            "\n── Δ = {} ({} steps)",
+            fds.display(&schema),
+            trace.steps.len()
+        );
         // Check the original Δ and every intermediate Δ' of the trace.
         let mut levels: Vec<FdSet> = vec![fds.clone()];
         levels.extend(trace.steps.iter().map(|s| s.after.clone()));
@@ -55,5 +59,8 @@ fn main() {
             assert!(worst_diff < 1e-9);
         }
     }
-    println!("\n  positive side of Theorem 3.4 verified on all levels {}", mark(true));
+    println!(
+        "\n  positive side of Theorem 3.4 verified on all levels {}",
+        mark(true)
+    );
 }

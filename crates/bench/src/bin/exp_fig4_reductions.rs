@@ -9,8 +9,8 @@
 use fd_bench::{mark, section};
 use fd_core::{schema_rabc, tup, FdSet, Schema, Table};
 use fd_srepair::{
-    class_reduction, classify_irreducible, exact_s_repair, lifting_chain,
-    simplification_trace, Outcome,
+    class_reduction, classify_irreducible, exact_s_repair, lifting_chain, simplification_trace,
+    Outcome,
 };
 use rand::prelude::*;
 
@@ -74,15 +74,13 @@ fn main() {
     let travel = Schema::new("T", ["state", "city", "zip", "country"]).unwrap();
     let fds = FdSet::parse(&travel, "state city -> zip; state zip -> country").unwrap();
     let trace = simplification_trace(&fds);
-    let Outcome::Stuck(stuck) = &trace.outcome else { panic!("must be stuck") };
+    let Outcome::Stuck(stuck) = &trace.outcome else {
+        panic!("must be stuck")
+    };
     println!("  Δ  = {}", fds.display(&travel));
     println!("  gets stuck at {}", stuck.display(&travel));
     let cls = classify_irreducible(stuck).expect("irreducible");
-    println!(
-        "  stuck set: class {} via {}",
-        cls.class,
-        cls.core.name()
-    );
+    println!("  stuck set: class {} via {}", cls.class, cls.core.name());
     let class_red = class_reduction(&travel, stuck, &cls);
     let lifts = lifting_chain(&travel, &trace);
     let core = FdSet::parse(&schema_rabc(), cls.core.spec()).unwrap();

@@ -56,7 +56,10 @@ fn main() {
     kv("instances measured", ratios.len());
     kv("min packing/triangles ratio", format!("{min_ratio:.3}"));
     kv("avg packing/triangles ratio", format!("{avg_ratio:.3}"));
-    kv("paper's gadget guarantees ≥ 6/13 ≈", format!("{:.3}", 6.0 / 13.0));
+    kv(
+        "paper's gadget guarantees ≥ 6/13 ≈",
+        format!("{:.3}", 6.0 / 13.0),
+    );
     println!(
         "\n  On these bounded-size instances the optimal packing keeps a constant\n  \
          fraction of all triangles, the structural property Lemma A.10 needs. {}",

@@ -18,7 +18,12 @@ fn main() {
     let tractable = FdSet::parse(&schema, "A -> B; A B -> C; A B C -> D").unwrap();
     println!("  {:>8} {:>12} {:>14}", "n", "alg1 (ms)", "cost");
     for n in [100usize, 400, 1600, 6400, 25600] {
-        let cfg = DirtyConfig { rows: n, domain: 12, corruptions: n / 5, weighted: false };
+        let cfg = DirtyConfig {
+            rows: n,
+            domain: 12,
+            corruptions: n / 5,
+            weighted: false,
+        };
         let table = dirty_table(&schema, &tractable, &cfg, &mut rng);
         let (repair, ms) = fd_bench::timed(|| opt_s_repair(&table, &tractable).unwrap());
         println!("  {:>8} {:>12.2} {:>14}", table.len(), ms, repair.cost);
@@ -31,7 +36,12 @@ fn main() {
         "n", "exact (ms)", "approx (ms)", "exact", "approx"
     );
     for n in [10usize, 20, 30, 40, 60] {
-        let cfg = DirtyConfig { rows: n, domain: 3, corruptions: n / 2, weighted: false };
+        let cfg = DirtyConfig {
+            rows: n,
+            domain: 3,
+            corruptions: n / 2,
+            weighted: false,
+        };
         let table = dirty_table(&schema, &hard, &cfg, &mut rng);
         let (exact, exact_ms) = fd_bench::timed(|| exact_s_repair(&table, &hard));
         let (approx, approx_ms) = fd_bench::timed(|| approx_s_repair(&table, &hard));
@@ -49,9 +59,17 @@ fn main() {
     section("U-repair solver throughput on the running-example shape");
     let office = Schema::new("Office", ["facility", "room", "floor", "city"]).unwrap();
     let office_fds = FdSet::parse(&office, "facility -> city; facility room -> floor").unwrap();
-    println!("  {:>8} {:>12} {:>12} {:>10}", "n", "solve (ms)", "cost", "optimal");
+    println!(
+        "  {:>8} {:>12} {:>12} {:>10}",
+        "n", "solve (ms)", "cost", "optimal"
+    );
     for n in [100usize, 1000, 10000] {
-        let cfg = DirtyConfig { rows: n, domain: 10, corruptions: n / 6, weighted: false };
+        let cfg = DirtyConfig {
+            rows: n,
+            domain: 10,
+            corruptions: n / 6,
+            weighted: false,
+        };
         let table = dirty_table(&office, &office_fds, &cfg, &mut rng);
         let (sol, ms) = fd_bench::timed(|| URepairSolver::default().solve(&table, &office_fds));
         println!(
@@ -61,7 +79,10 @@ fn main() {
             sol.repair.cost,
             mark(sol.optimal)
         );
-        assert!(sol.optimal, "common-lhs instances are solved optimally at any size");
+        assert!(
+            sol.optimal,
+            "common-lhs instances are solved optimally at any size"
+        );
     }
 
     println!(

@@ -41,7 +41,9 @@ fn main() {
                             rng.gen_range(0..2i64),
                             rng.gen_range(0..2i64)
                         ],
-                        *[0.2, 0.35, 0.6, 0.7, 0.8, 0.9, 0.97].choose(&mut rng).unwrap(),
+                        *[0.2, 0.35, 0.6, 0.7, 0.8, 0.9, 0.97]
+                            .choose(&mut rng)
+                            .unwrap(),
                     )
                 })
                 .collect();

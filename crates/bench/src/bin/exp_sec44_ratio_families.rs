@@ -74,9 +74,7 @@ fn main() {
     );
     let mut rng = StdRng::seed_from_u64(0x44);
     for k in [1usize, 2, 4] {
-        for (label, (schema, fds)) in
-            [("Δ_k", delta_k(k)), ("Δ'_k", delta_prime_k(k))]
-        {
+        for (label, (schema, fds)) in [("Δ_k", delta_k(k)), ("Δ'_k", delta_prime_k(k))] {
             let table = dense_random_table(&schema, 24, 3, &mut rng);
             let ours = approx_u_repair(&table, &fds);
             ours.repair.verify(&table, &fds);

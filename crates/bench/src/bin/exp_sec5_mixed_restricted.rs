@@ -68,7 +68,10 @@ fn main() {
     }
     kv("delete ≤ update ⇒ mixed = S-optimum", mark(collapse_low));
     kv("delete ≫ update ⇒ mixed = U-optimum", mark(collapse_high));
-    kv("strictly mixed optimum exists (delete = 1.5)", mark(strict_mix));
+    kv(
+        "strictly mixed optimum exists (delete = 1.5)",
+        mark(strict_mix),
+    );
 
     section("Mixed approximation vs proven ratio (seeded, 40 instances)");
     let s3 = schema_rabc();
@@ -82,7 +85,7 @@ fn main() {
         let rows: Vec<_> = (0..n)
             .map(|_| {
                 tup![
-                    ["x", "y"][rng.gen_range(0..2)],
+                    ["x", "y"][rng.gen_range(0..2usize)],
                     rng.gen_range(0..2) as i64,
                     rng.gen_range(0..2) as i64
                 ]
@@ -110,7 +113,10 @@ fn main() {
     let witness =
         Table::build_unweighted(s3.clone(), vec![tup!["a", 1, 1], tup!["a", 2, 2]]).unwrap();
     let (unres, res) = restriction_gap(&witness, &fds_gap, &ExactConfig::default());
-    kv("witness unrestricted / active-domain", format!("{unres} / {res}"));
+    kv(
+        "witness unrestricted / active-domain",
+        format!("{unres} / {res}"),
+    );
     kv("gap is strict", mark(res > unres));
 
     let mut rng = StdRng::seed_from_u64(0xd0a1);
@@ -122,7 +128,7 @@ fn main() {
         let rows: Vec<_> = (0..n)
             .map(|_| {
                 tup![
-                    ["x", "y"][rng.gen_range(0..2)],
+                    ["x", "y"][rng.gen_range(0..2usize)],
                     rng.gen_range(0..2) as i64,
                     rng.gen_range(0..2) as i64
                 ]
@@ -141,5 +147,8 @@ fn main() {
     }
     kv("instances where restriction is free", equal);
     kv("instances where restriction costs more", strictly_worse);
-    kv("largest measured restricted/unrestricted ratio", format!("{max_ratio:.2}"));
+    kv(
+        "largest measured restricted/unrestricted ratio",
+        format!("{max_ratio:.2}"),
+    );
 }

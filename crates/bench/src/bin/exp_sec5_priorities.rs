@@ -20,7 +20,7 @@ fn random_instance(rng: &mut StdRng, n: usize) -> Table {
     let rows: Vec<Tuple> = (0..n)
         .map(|_| {
             tup![
-                ["x", "y"][rng.gen_range(0..2)],
+                ["x", "y"][rng.gen_range(0..2usize)],
                 rng.gen_range(0..3) as i64,
                 rng.gen_range(0..2) as i64
             ]
@@ -67,8 +67,14 @@ fn main() {
     .unwrap();
     let inst = PrioritizedTable::new(&t, &fds, &prio).unwrap();
     let target = vec![TupleId(4), TupleId(5)];
-    kv("repair {4,5} globally optimal", mark(inst.is_globally_optimal(&target).unwrap()));
-    kv("repair {4,5} Pareto optimal", mark(inst.is_pareto_optimal(&target).unwrap()));
+    kv(
+        "repair {4,5} globally optimal",
+        mark(inst.is_globally_optimal(&target).unwrap()),
+    );
+    kv(
+        "repair {4,5} Pareto optimal",
+        mark(inst.is_pareto_optimal(&target).unwrap()),
+    );
     kv(
         "repair {4,5} completion optimal (should be ✗)",
         mark(inst.is_completion_optimal(&target).unwrap()),
@@ -81,7 +87,8 @@ fn main() {
     );
     for density in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let mut rng = StdRng::seed_from_u64((density * 100.0) as u64 + 7);
-        let (mut subs, mut glob, mut par, mut comp, mut categorical) = (0u64, 0u64, 0u64, 0u64, 0u64);
+        let (mut subs, mut glob, mut par, mut comp, mut categorical) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
         let mut checks_ok = true;
         for _ in 0..30 {
             let t = random_instance(&mut rng, 8);
@@ -135,7 +142,11 @@ fn main() {
         }
     }
     for (k, count) in hist.iter().enumerate() {
-        let label = if k < 3 { format!("{k} deletion(s)") } else { "≥ 3 deletions".to_string() };
+        let label = if k < 3 {
+            format!("{k} deletion(s)")
+        } else {
+            "≥ 3 deletions".to_string()
+        };
         kv(&label, count);
     }
 }

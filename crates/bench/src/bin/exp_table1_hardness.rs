@@ -9,8 +9,7 @@ use fd_core::{schema_rabc, FdSet};
 use fd_gen::{sat, triangles};
 use fd_graph::max_edge_disjoint_triangles;
 use fd_srepair::{
-    approx_s_repair, class_reduction, classify_irreducible, exact_s_repair, osr_succeeds,
-    HardCore,
+    approx_s_repair, class_reduction, classify_irreducible, exact_s_repair, osr_succeeds, HardCore,
 };
 use rand::prelude::*;
 
@@ -33,7 +32,10 @@ fn main() {
             fds.display(&schema),
             mark(osr_succeeds(&fds))
         );
-        assert!(!osr_succeeds(&fds), "Table 1 sets must fail the dichotomy test");
+        assert!(
+            !osr_succeeds(&fds),
+            "Table 1 sets must fail the dichotomy test"
+        );
     }
 
     let mut rng = StdRng::seed_from_u64(0xB0B);
@@ -129,7 +131,10 @@ fn main() {
     }
 
     section("Proposition 3.3 on the hard quartet: measured 2-approximation ratios");
-    println!("  {:<16} {:>8} {:>10} {:>10} {:>8}", "Δ", "n", "approx", "exact", "ratio");
+    println!(
+        "  {:<16} {:>8} {:>10} {:>10} {:>8}",
+        "Δ", "n", "approx", "exact", "ratio"
+    );
     for (name, spec) in &rows {
         let fds = FdSet::parse(&schema, spec).unwrap();
         let mut worst: f64 = 1.0;

@@ -13,7 +13,10 @@ use rand::prelude::*;
 
 fn main() {
     section("The FD set Δ_{A↔B→C} straddles the two repair problems (Cor. 4.11)");
-    kv("OSRSucceeds(Δ_{A↔B→C}) — S-repairs PTIME", mark(osr_succeeds(&delta_marriage())));
+    kv(
+        "OSRSucceeds(Δ_{A↔B→C}) — S-repairs PTIME",
+        mark(osr_succeeds(&delta_marriage())),
+    );
     kv("optimal U-repairs — APX-complete (Thm 4.10)", mark(true));
 
     section("Exhaustive verification on the smallest graphs");
@@ -33,7 +36,10 @@ fn main() {
         let exact = exact_u_repair(
             &table,
             &delta_marriage(),
-            &ExactConfig { initial_bound: Some(expected + 1e-9), ..Default::default() },
+            &ExactConfig {
+                initial_bound: Some(expected + 1e-9),
+                ..Default::default()
+            },
         );
         exact.verify(&table, &delta_marriage());
         let ok = exact.cost == expected;

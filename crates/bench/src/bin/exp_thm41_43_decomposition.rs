@@ -76,9 +76,15 @@ fn main() {
         let ok = (sol.repair.cost - exact.cost).abs() < 1e-9;
         println!(
             "  {:>5} {:>14} {:>14} {:>7}",
-            n, sol.repair.cost, exact.cost, mark(ok)
+            n,
+            sol.repair.cost,
+            exact.cost,
+            mark(ok)
         );
-        assert!(sol.optimal, "small instances are solved exactly per component");
+        assert!(
+            sol.optimal,
+            "small instances are solved exactly per component"
+        );
         assert!(ok);
     }
     println!("\n  decomposition theorems verified {}", mark(true));

@@ -104,7 +104,8 @@ pub struct Atom {
 
 impl Atom {
     fn holds(&self, t1: &Tuple, t2: &Tuple) -> bool {
-        self.op.eval(self.left.resolve(t1, t2).cmp(self.right.resolve(t1, t2)))
+        self.op
+            .eval(self.left.resolve(t1, t2).cmp(self.right.resolve(t1, t2)))
     }
 }
 
@@ -228,7 +229,14 @@ impl PairwiseConstraint for DenialConstraint {
         let atoms: Vec<String> = self
             .atoms
             .iter()
-            .map(|a| format!("{} {} {}", operand(&a.left), a.op.symbol(), operand(&a.right)))
+            .map(|a| {
+                format!(
+                    "{} {} {}",
+                    operand(&a.left),
+                    a.op.symbol(),
+                    operand(&a.right)
+                )
+            })
             .collect();
         format!("¬({})", atoms.join(" ∧ "))
     }

@@ -39,7 +39,10 @@ impl ConflictAnalysis {
         let mut edges = Vec::new();
         for (i, a) in alive.iter().enumerate() {
             for b in &alive[i + 1..] {
-                if constraints.iter().any(|c| c.violates_pair(&a.tuple, &b.tuple)) {
+                if constraints
+                    .iter()
+                    .any(|c| c.violates_pair(&a.tuple, &b.tuple))
+                {
                     edges.push((a.id, b.id));
                 }
             }
@@ -118,8 +121,10 @@ pub fn brute_force_subset_repair<C: PairwiseConstraint>(
     assert!(n <= 18, "brute force supports at most 18 tuples");
     let mut best: Option<SRepair> = None;
     for mask in 0u32..(1u32 << n) {
-        let kept: Vec<TupleId> =
-            (0..n).filter(|&i| mask & (1 << i) != 0).map(|i| ids[i]).collect();
+        let kept: Vec<TupleId> = (0..n)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(|i| ids[i])
+            .collect();
         let keep_set: HashSet<TupleId> = kept.iter().copied().collect();
         let sub = table.subset(&keep_set);
         if !satisfies(&sub, constraints) {
@@ -136,7 +141,10 @@ pub fn brute_force_subset_repair<C: PairwiseConstraint>(
 /// Convenience: the FDs of `fds` as pairwise constraints, so the generic
 /// machinery can be cross-checked against `fd-srepair`.
 pub fn fd_constraints(fds: &FdSet) -> Vec<crate::constraint::FdConstraint> {
-    fds.iter().cloned().map(crate::constraint::FdConstraint).collect()
+    fds.iter()
+        .cloned()
+        .map(crate::constraint::FdConstraint)
+        .collect()
 }
 
 #[cfg(test)]
@@ -200,8 +208,8 @@ mod tests {
             let rows: Vec<_> = (0..n)
                 .map(|_| {
                     tup![
-                        ["uk", "fr"][rng.gen_range(0..2)],
-                        [33i64, 44][rng.gen_range(0..2)],
+                        ["uk", "fr"][rng.gen_range(0..2usize)],
+                        [33i64, 44][rng.gen_range(0..2usize)],
                         rng.gen_range(0..2) as i64
                     ]
                 })
@@ -228,7 +236,11 @@ mod tests {
             let n = 2 + rng.gen_range(0..6);
             let rows: Vec<_> = (0..n)
                 .map(|_| {
-                    tup![["x", "y"][rng.gen_range(0..2)], rng.gen_range(0..3) as i64, 0]
+                    tup![
+                        ["x", "y"][rng.gen_range(0..2usize)],
+                        rng.gen_range(0..3) as i64,
+                        0
+                    ]
                 })
                 .collect();
             let t = Table::build_unweighted(s.clone(), rows).unwrap();
@@ -271,7 +283,7 @@ mod tests {
             let rows: Vec<_> = (0..n)
                 .map(|_| {
                     tup![
-                        ["x", "y"][rng.gen_range(0..2)],
+                        ["x", "y"][rng.gen_range(0..2usize)],
                         rng.gen_range(0..2) as i64,
                         rng.gen_range(0..2) as i64
                     ]

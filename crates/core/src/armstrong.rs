@@ -65,13 +65,21 @@ impl Derivation {
         match self {
             Derivation::Premise(fd) => fds.iter().any(|p| p == fd),
             Derivation::Reflexivity(fd) => fd.is_trivial(),
-            Derivation::Augmentation { conclusion, with, from } => {
+            Derivation::Augmentation {
+                conclusion,
+                with,
+                from,
+            } => {
                 let inner = from.conclusion();
                 conclusion.lhs() == inner.lhs().union(*with)
                     && conclusion.rhs() == inner.rhs().union(*with)
                     && from.check(fds)
             }
-            Derivation::Transitivity { conclusion, left, right } => {
+            Derivation::Transitivity {
+                conclusion,
+                left,
+                right,
+            } => {
                 let l = left.conclusion();
                 let r = right.conclusion();
                 l.rhs() == r.lhs()
@@ -94,7 +102,11 @@ impl Derivation {
                 Derivation::Reflexivity(fd) => {
                     out.push_str(&format!("{pad}{} (reflexivity)\n", fd.display(schema)));
                 }
-                Derivation::Augmentation { conclusion, with, from } => {
+                Derivation::Augmentation {
+                    conclusion,
+                    with,
+                    from,
+                } => {
                     out.push_str(&format!(
                         "{pad}{} (augment with {})\n",
                         conclusion.display(schema),
@@ -102,8 +114,15 @@ impl Derivation {
                     ));
                     go(from, schema, depth + 1, out);
                 }
-                Derivation::Transitivity { conclusion, left, right } => {
-                    out.push_str(&format!("{pad}{} (transitivity)\n", conclusion.display(schema)));
+                Derivation::Transitivity {
+                    conclusion,
+                    left,
+                    right,
+                } => {
+                    out.push_str(&format!(
+                        "{pad}{} (transitivity)\n",
+                        conclusion.display(schema)
+                    ));
                     go(left, schema, depth + 1, out);
                     go(right, schema, depth + 1, out);
                 }

@@ -203,7 +203,10 @@ mod tests {
             let s = Schema::new("R", names).unwrap();
             let mut spec = vec![format!(
                 "{} -> B0",
-                (0..=k).map(|i| format!("A{i}")).collect::<Vec<_>>().join(" ")
+                (0..=k)
+                    .map(|i| format!("A{i}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
             )];
             spec.push("B0 -> C".to_string());
             for i in 1..=k {
@@ -218,9 +221,7 @@ mod tests {
             assert_eq!(mci(&fds), k.max(2), "MCI at k = {k}");
             // The minimum core implicant of A0 is exactly {B1, …, Bk}.
             let a0 = s.attr("A0").unwrap();
-            let expected: AttrSet = (1..=k)
-                .map(|i| s.attr(&format!("B{i}")).unwrap())
-                .collect();
+            let expected: AttrSet = (1..=k).map(|i| s.attr(&format!("B{i}")).unwrap()).collect();
             assert_eq!(min_core_implicant(&fds, a0), Some(expected));
         }
     }

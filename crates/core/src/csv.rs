@@ -46,12 +46,18 @@ pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>> {
         let next = chars.next();
         // After a closing quote only a separator or EOF may follow.
         if quote_closed && !matches!(next, None | Some(',') | Some('\n') | Some('\r')) {
-            return Err(Error::CsvParse { line, reason: "stray data after a closing quote" });
+            return Err(Error::CsvParse {
+                line,
+                reason: "stray data after a closing quote",
+            });
         }
         match next {
             None => {
                 if in_quotes {
-                    return Err(Error::CsvParse { line, reason: "unterminated quoted field" });
+                    return Err(Error::CsvParse {
+                        line,
+                        reason: "unterminated quoted field",
+                    });
                 }
                 if !field.is_empty() || !record.is_empty() || field_started_quoted {
                     record.push(std::mem::take(&mut field));
@@ -119,7 +125,10 @@ pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>> {
 pub fn table_from_csv(relation: &str, text: &str, options: &CsvOptions) -> Result<Table> {
     let records = parse_csv(text)?;
     let Some((header, rows)) = records.split_first() else {
-        return Err(Error::CsvParse { line: 1, reason: "empty document (no header)" });
+        return Err(Error::CsvParse {
+            line: 1,
+            reason: "empty document (no header)",
+        });
     };
     let weight_idx = match &options.weight_column {
         None => None,
@@ -127,7 +136,10 @@ pub fn table_from_csv(relation: &str, text: &str, options: &CsvOptions) -> Resul
             header
                 .iter()
                 .position(|h| h == name)
-                .ok_or(Error::CsvParse { line: 1, reason: "weight column not in header" })?,
+                .ok_or(Error::CsvParse {
+                    line: 1,
+                    reason: "weight column not in header",
+                })?,
         ),
     };
     let attrs: Vec<&str> = header
@@ -140,7 +152,10 @@ pub fn table_from_csv(relation: &str, text: &str, options: &CsvOptions) -> Resul
     let mut table = Table::new(Arc::clone(&schema));
     for (k, row) in rows.iter().enumerate() {
         if row.len() != header.len() {
-            return Err(Error::CsvParse { line: k + 2, reason: "record width differs from header" });
+            return Err(Error::CsvParse {
+                line: k + 2,
+                reason: "record width differs from header",
+            });
         }
         let mut weight = 1.0;
         let mut values = Vec::with_capacity(schema.arity());
@@ -169,8 +184,7 @@ pub fn table_to_csv(table: &Table, include_weights: bool) -> String {
     }
     push_record(&mut out, &header);
     for row in table.rows() {
-        let mut fields: Vec<String> =
-            row.tuple.values().iter().map(render_value).collect();
+        let mut fields: Vec<String> = row.tuple.values().iter().map(render_value).collect();
         if include_weights {
             fields.push(format_weight(row.weight));
         }
@@ -239,16 +253,31 @@ mod tests {
     #[test]
     fn newline_inside_quotes() {
         let recs = parse_csv("a\n\"two\nlines\"\n").unwrap();
-        assert_eq!(recs, vec![vec!["a".to_string()], vec!["two\nlines".to_string()]]);
+        assert_eq!(
+            recs,
+            vec![vec!["a".to_string()], vec!["two\nlines".to_string()]]
+        );
     }
 
     #[test]
     fn rejects_unterminated_quote_and_stray_quote() {
-        assert!(matches!(parse_csv("a\n\"oops"), Err(Error::CsvParse { .. })));
-        assert!(matches!(parse_csv("a\nb\"c\n"), Err(Error::CsvParse { .. })));
+        assert!(matches!(
+            parse_csv("a\n\"oops"),
+            Err(Error::CsvParse { .. })
+        ));
+        assert!(matches!(
+            parse_csv("a\nb\"c\n"),
+            Err(Error::CsvParse { .. })
+        ));
         // Data after a closing quote is malformed.
-        assert!(matches!(parse_csv("a\n\"b\"x\n"), Err(Error::CsvParse { .. })));
-        assert!(matches!(parse_csv("a\n\"b\"\"c\"tail\n"), Err(Error::CsvParse { .. })));
+        assert!(matches!(
+            parse_csv("a\n\"b\"x\n"),
+            Err(Error::CsvParse { .. })
+        ));
+        assert!(matches!(
+            parse_csv("a\n\"b\"\"c\"tail\n"),
+            Err(Error::CsvParse { .. })
+        ));
     }
 
     #[test]
@@ -259,7 +288,9 @@ mod tests {
     #[test]
     fn loads_weighted_table() {
         let text = "facility,city,w\nHQ,Paris,2\nHQ,Madrid,1\n";
-        let opts = CsvOptions { weight_column: Some("w".to_string()) };
+        let opts = CsvOptions {
+            weight_column: Some("w".to_string()),
+        };
         let t = table_from_csv("Office", text, &opts).unwrap();
         assert_eq!(t.schema().attr_names(), ["facility", "city"]);
         assert_eq!(t.len(), 2);
@@ -270,7 +301,9 @@ mod tests {
 
     #[test]
     fn ragged_and_bad_weight_rejected() {
-        let opts = CsvOptions { weight_column: Some("w".to_string()) };
+        let opts = CsvOptions {
+            weight_column: Some("w".to_string()),
+        };
         assert!(matches!(
             table_from_csv("R", "a,w\nonly_one_field\n", &CsvOptions::default()),
             Err(Error::CsvParse { line: 2, .. })
@@ -280,7 +313,13 @@ mod tests {
             Err(Error::CsvParse { line: 2, .. })
         ));
         assert!(matches!(
-            table_from_csv("R", "a,w\nx,1\n", &CsvOptions { weight_column: Some("nope".into()) }),
+            table_from_csv(
+                "R",
+                "a,w\nx,1\n",
+                &CsvOptions {
+                    weight_column: Some("nope".into())
+                }
+            ),
             Err(Error::CsvParse { line: 1, .. })
         ));
     }
@@ -288,10 +327,14 @@ mod tests {
     #[test]
     fn round_trip_preserves_table() {
         let text = "name,dept,w\n\"O'Neil, Ada\",R&D,2\nBo,\"quote \"\"x\"\"\",1\n";
-        let opts = CsvOptions { weight_column: Some("w".to_string()) };
+        let opts = CsvOptions {
+            weight_column: Some("w".to_string()),
+        };
         let t = table_from_csv("Emp", text, &opts).unwrap();
         let rendered = table_to_csv(&t, true);
-        let opts2 = CsvOptions { weight_column: Some("weight".to_string()) };
+        let opts2 = CsvOptions {
+            weight_column: Some("weight".to_string()),
+        };
         let t2 = table_from_csv("Emp", &rendered, &opts2).unwrap();
         assert_eq!(t.len(), t2.len());
         for (a, b) in t.rows().zip(t2.rows()) {

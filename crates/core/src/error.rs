@@ -80,10 +80,16 @@ impl fmt::Display for Error {
             }
             Error::UnknownAttribute { name } => write!(f, "unknown attribute {name:?}"),
             Error::ArityMismatch { expected, found } => {
-                write!(f, "tuple arity {found} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "tuple arity {found} does not match schema arity {expected}"
+                )
             }
             Error::InvalidWeight { weight } => {
-                write!(f, "tuple weight {weight} is not strictly positive and finite")
+                write!(
+                    f,
+                    "tuple weight {weight} is not strictly positive and finite"
+                )
             }
             Error::DuplicateTupleId { id } => write!(f, "tuple id {id} already present"),
             Error::UnknownTupleId { id } => write!(f, "tuple id {id} not present"),

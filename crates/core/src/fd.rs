@@ -48,7 +48,10 @@ impl Fd {
     /// (the per-FD step of the paper's `Δ − X` operation).
     #[must_use]
     pub fn minus(&self, attrs: AttrSet) -> Fd {
-        Fd { lhs: self.lhs.difference(attrs), rhs: self.rhs.difference(attrs) }
+        Fd {
+            lhs: self.lhs.difference(attrs),
+            rhs: self.rhs.difference(attrs),
+        }
     }
 
     /// Parses `"A B -> C D"`. An empty or `∅` lhs denotes a consensus FD,
@@ -81,7 +84,11 @@ impl Fd {
 
     /// Renders the FD paper-style, e.g. `facility room → floor`.
     pub fn display(&self, schema: &Schema) -> String {
-        format!("{} → {}", self.lhs.display(schema), self.rhs.display(schema))
+        format!(
+            "{} → {}",
+            self.lhs.display(schema),
+            self.rhs.display(schema)
+        )
     }
 }
 

@@ -65,7 +65,9 @@ impl FdSet {
 
     /// All attributes occurring in some FD: `attr(Δ)` of §4.
     pub fn attrs(&self) -> AttrSet {
-        self.fds.iter().fold(AttrSet::EMPTY, |acc, fd| acc.union(fd.attrs()))
+        self.fds
+            .iter()
+            .fold(AttrSet::EMPTY, |acc, fd| acc.union(fd.attrs()))
     }
 
     /// The closure `cl_Δ(X)`: all attributes `A` with `Δ ⊨ X → A`.
@@ -145,7 +147,10 @@ impl FdSet {
 
     /// A consensus FD `∅ → Y` present in `Δ`, if any.
     pub fn consensus_fd(&self) -> Option<Fd> {
-        self.fds.iter().find(|fd| fd.is_consensus() && !fd.is_trivial()).copied()
+        self.fds
+            .iter()
+            .find(|fd| fd.is_consensus() && !fd.is_trivial())
+            .copied()
     }
 
     /// The distinct left-hand sides of `Δ`.

@@ -94,12 +94,11 @@ pub fn bcnf_violation(schema: &Schema, fds: &FdSet) -> Option<NormalFormViolatio
 /// # Panics
 ///
 /// Panics if `fragment` has more than 20 attributes.
-pub fn bcnf_violation_in(
-    _schema: &Schema,
-    fds: &FdSet,
-    fragment: AttrSet,
-) -> Option<crate::Fd> {
-    assert!(fragment.len() <= 20, "bcnf_violation_in is exponential; fragment too wide");
+pub fn bcnf_violation_in(_schema: &Schema, fds: &FdSet, fragment: AttrSet) -> Option<crate::Fd> {
+    assert!(
+        fragment.len() <= 20,
+        "bcnf_violation_in is exponential; fragment too wide"
+    );
     let mut best: Option<crate::Fd> = None;
     for x in fragment.subsets() {
         if x.is_empty() && fragment.len() <= 1 {
@@ -124,9 +123,7 @@ pub fn third_nf_violation(schema: &Schema, fds: &FdSet) -> Option<NormalFormViol
     fds.normalize_single_rhs()
         .iter()
         .find(|fd| {
-            !fd.is_trivial()
-                && !is_superkey(schema, fds, fd.lhs())
-                && !fd.rhs().is_subset(prime)
+            !fd.is_trivial() && !is_superkey(schema, fds, fd.lhs()) && !fd.rhs().is_subset(prime)
         })
         .map(|fd| NormalFormViolation { fd: *fd })
 }
@@ -154,7 +151,10 @@ mod tests {
         let keys = candidate_keys(&s, &fds);
         assert_eq!(
             keys,
-            vec![s.attr_set(["A", "C"]).unwrap(), s.attr_set(["B", "C"]).unwrap()]
+            vec![
+                s.attr_set(["A", "C"]).unwrap(),
+                s.attr_set(["B", "C"]).unwrap()
+            ]
         );
         assert_eq!(prime_attrs(&s, &fds), s.all_attrs());
     }

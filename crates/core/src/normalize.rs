@@ -44,11 +44,9 @@ impl Decomposition {
     fn prune_subsumed(&mut self) {
         let frags = self.fragments.clone();
         self.fragments.retain(|f| {
-            !frags
-                .iter()
-                .any(|g| f != g && f.is_subset(*g))
-                // keep the lexicographically... a strict subset is dropped;
-                // equal duplicates are handled below.
+            !frags.iter().any(|g| f != g && f.is_subset(*g))
+            // keep the lexicographically... a strict subset is dropped;
+            // equal duplicates are handled below.
         });
         self.fragments.dedup();
         let mut seen = Vec::new();
@@ -74,7 +72,10 @@ impl Decomposition {
 ///
 /// Panics if `attrs` has more than 20 attributes.
 pub fn project_fds(fds: &FdSet, attrs: AttrSet) -> FdSet {
-    assert!(attrs.len() <= 20, "project_fds is exponential; fragment too wide");
+    assert!(
+        attrs.len() <= 20,
+        "project_fds is exponential; fragment too wide"
+    );
     let mut out = Vec::new();
     for x in attrs.subsets() {
         let closure = fds.closure_of(x).intersect(attrs).difference(x);
@@ -266,7 +267,10 @@ mod tests {
         assert!(is_lossless_join(&s, &fds, &d.fragments));
         assert!(preserves_dependencies(&fds, &d.fragments));
         for &f in &d.fragments {
-            assert!(bcnf_violation_in(&s, &fds, f).is_none(), "fragment not BCNF");
+            assert!(
+                bcnf_violation_in(&s, &fds, f).is_none(),
+                "fragment not BCNF"
+            );
         }
     }
 
@@ -274,7 +278,10 @@ mod tests {
     fn bcnf_can_lose_dependencies() {
         // The classic: R(city, street, zip) with city street → zip and
         // zip → city. BCNF must split on zip → city, losing the first FD.
-        let (s, fds) = setup(&["city", "street", "zip"], "city street -> zip; zip -> city");
+        let (s, fds) = setup(
+            &["city", "street", "zip"],
+            "city street -> zip; zip -> city",
+        );
         let d = bcnf_decompose(&s, &fds);
         assert!(is_lossless_join(&s, &fds, &d.fragments));
         assert!(!preserves_dependencies(&fds, &d.fragments));
@@ -293,7 +300,10 @@ mod tests {
         assert_eq!(d.fragments.len(), 2);
         assert!(is_lossless_join(&s, &fds, &d.fragments));
         let keys = candidate_keys(&s, &fds);
-        assert!(d.fragments.iter().any(|f| keys.iter().any(|k| k.is_subset(*f))));
+        assert!(d
+            .fragments
+            .iter()
+            .any(|f| keys.iter().any(|k| k.is_subset(*f))));
     }
 
     #[test]
@@ -368,7 +378,10 @@ mod tests {
                 );
             }
             let t = third_nf_synthesis(&s, &fds);
-            assert!(is_lossless_join(&s, &fds, &t.fragments), "trial {trial}: 3NF lossy");
+            assert!(
+                is_lossless_join(&s, &fds, &t.fragments),
+                "trial {trial}: 3NF lossy"
+            );
             assert!(
                 preserves_dependencies(&fds, &t.fragments),
                 "trial {trial}: 3NF lost dependencies"

@@ -51,7 +51,10 @@ impl Schema {
                 return Err(Error::DuplicateAttribute { name: a.clone() });
             }
         }
-        Ok(Arc::new(Schema { relation: relation.into(), attrs }))
+        Ok(Arc::new(Schema {
+            relation: relation.into(),
+            attrs,
+        }))
     }
 
     /// The relation name `R`.
@@ -70,7 +73,9 @@ impl Schema {
             .iter()
             .position(|a| a == name)
             .map(|i| AttrId::new(i as u16))
-            .ok_or_else(|| Error::UnknownAttribute { name: name.to_string() })
+            .ok_or_else(|| Error::UnknownAttribute {
+                name: name.to_string(),
+            })
     }
 
     /// The name of attribute `id`.

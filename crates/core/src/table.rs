@@ -49,7 +49,12 @@ pub struct Table {
 impl Table {
     /// Creates an empty table over `schema`.
     pub fn new(schema: Arc<Schema>) -> Table {
-        Table { schema, rows: Vec::new(), next_id: 0, index: HashMap::new() }
+        Table {
+            schema,
+            rows: Vec::new(),
+            next_id: 0,
+            index: HashMap::new(),
+        }
     }
 
     /// Internal constructor from pre-validated rows.
@@ -59,7 +64,12 @@ impl Table {
             .enumerate()
             .map(|(pos, r)| (r.id, pos as u32))
             .collect();
-        Table { schema, rows, next_id, index }
+        Table {
+            schema,
+            rows,
+            next_id,
+            index,
+        }
     }
 
     /// Builds a table from `(tuple, weight)` pairs with ids `0, 1, 2, …`.
@@ -144,7 +154,10 @@ impl Table {
 
     /// Replaces the value of one cell; returns the old value (O(1)).
     pub fn set_value(&mut self, id: TupleId, attr: AttrId, value: Value) -> Result<Value> {
-        let pos = *self.index.get(&id).ok_or(Error::UnknownTupleId { id: id.0 })?;
+        let pos = *self
+            .index
+            .get(&id)
+            .ok_or(Error::UnknownTupleId { id: id.0 })?;
         Ok(self.rows[pos as usize].tuple.set(attr, value))
     }
 
@@ -269,7 +282,11 @@ impl Table {
     pub fn subset(&self, keep: &HashSet<TupleId>) -> Table {
         Table::from_rows(
             self.schema.clone(),
-            self.rows.iter().filter(|r| keep.contains(&r.id)).cloned().collect(),
+            self.rows
+                .iter()
+                .filter(|r| keep.contains(&r.id))
+                .cloned()
+                .collect(),
             self.next_id,
         )
     }
@@ -278,7 +295,11 @@ impl Table {
     pub fn without(&self, delete: &HashSet<TupleId>) -> Table {
         Table::from_rows(
             self.schema.clone(),
-            self.rows.iter().filter(|r| !delete.contains(&r.id)).cloned().collect(),
+            self.rows
+                .iter()
+                .filter(|r| !delete.contains(&r.id))
+                .cloned()
+                .collect(),
             self.next_id,
         )
     }
@@ -302,20 +323,25 @@ impl Table {
     pub fn partition_by(&self, attrs: AttrSet) -> Vec<(Vec<Value>, Table)> {
         let mut blocks: BTreeMap<Vec<Value>, Vec<Row>> = BTreeMap::new();
         for row in &self.rows {
-            blocks.entry(row.tuple.project(attrs)).or_default().push(row.clone());
+            blocks
+                .entry(row.tuple.project(attrs))
+                .or_default()
+                .push(row.clone());
         }
         blocks
             .into_iter()
             .map(|(key, rows)| {
-                (key, Table::from_rows(self.schema.clone(), rows, self.next_id))
+                (
+                    key,
+                    Table::from_rows(self.schema.clone(), rows, self.next_id),
+                )
             })
             .collect()
     }
 
     /// The distinct projections `π_X T[∗]`, sorted.
     pub fn distinct_projections(&self, attrs: AttrSet) -> Vec<Vec<Value>> {
-        let mut keys: Vec<Vec<Value>> =
-            self.rows.iter().map(|r| r.tuple.project(attrs)).collect();
+        let mut keys: Vec<Vec<Value>> = self.rows.iter().map(|r| r.tuple.project(attrs)).collect();
         keys.sort();
         keys.dedup();
         keys
@@ -323,8 +349,11 @@ impl Table {
 
     /// The distinct values of one column, sorted (the column's active domain).
     pub fn column_domain(&self, attr: AttrId) -> Vec<Value> {
-        let mut vals: Vec<Value> =
-            self.rows.iter().map(|r| r.tuple.get(attr).clone()).collect();
+        let mut vals: Vec<Value> = self
+            .rows
+            .iter()
+            .map(|r| r.tuple.get(attr).clone())
+            .collect();
         vals.sort();
         vals.dedup();
         vals
@@ -418,7 +447,13 @@ impl fmt::Display for Table {
             cells.push(line);
         }
         let widths: Vec<usize> = (0..cells[0].len())
-            .map(|c| cells.iter().map(|r| r[c].chars().count()).max().unwrap_or(0))
+            .map(|c| {
+                cells
+                    .iter()
+                    .map(|r| r[c].chars().count())
+                    .max()
+                    .unwrap_or(0)
+            })
             .collect();
         for (i, line) in cells.iter().enumerate() {
             for (c, cell) in line.iter().enumerate() {
@@ -429,7 +464,11 @@ impl fmt::Display for Table {
             }
             writeln!(f)?;
             if i == 0 {
-                writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)))?;
+                writeln!(
+                    f,
+                    "{}",
+                    "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+                )?;
             }
         }
         Ok(())
@@ -506,7 +545,10 @@ mod tests {
             (tup!["z", 1, 9], 1.0),
         ]);
         let pairs = t.conflicting_pairs(&fds);
-        assert_eq!(pairs, vec![(TupleId(0), TupleId(1)), (TupleId(0), TupleId(2))]);
+        assert_eq!(
+            pairs,
+            vec![(TupleId(0), TupleId(1)), (TupleId(0), TupleId(2))]
+        );
     }
 
     #[test]
@@ -532,7 +574,8 @@ mod tests {
         assert_eq!(t.dist_sub(&t).unwrap(), 0.0);
         // A table with a mutated tuple is not a subset.
         let mut fake = s.clone();
-        fake.set_value(TupleId(0), AttrId::new(1), Value::from(9)).unwrap();
+        fake.set_value(TupleId(0), AttrId::new(1), Value::from(9))
+            .unwrap();
         assert!(t.dist_sub(&fake).is_err());
     }
 
@@ -540,9 +583,12 @@ mod tests {
     fn update_and_dist_upd() {
         let t = table_abc(vec![(tup!["x", 1, 2], 2.0), (tup!["y", 1, 3], 1.0)]);
         let mut u = t.clone();
-        u.set_value(TupleId(0), AttrId::new(0), Value::str("z")).unwrap();
-        u.set_value(TupleId(0), AttrId::new(2), Value::from(9)).unwrap();
-        u.set_value(TupleId(1), AttrId::new(2), Value::from(9)).unwrap();
+        u.set_value(TupleId(0), AttrId::new(0), Value::str("z"))
+            .unwrap();
+        u.set_value(TupleId(0), AttrId::new(2), Value::from(9))
+            .unwrap();
+        u.set_value(TupleId(1), AttrId::new(2), Value::from(9))
+            .unwrap();
         // Tuple 0 changed 2 cells at weight 2, tuple 1 changed 1 at weight 1.
         assert_eq!(t.dist_upd(&u).unwrap(), 5.0);
         let changed = t.changed_cells(&u).unwrap();

@@ -42,7 +42,9 @@ impl Tuple {
 
     /// True iff `t[X] = s[X]`.
     pub fn agrees_on(&self, other: &Tuple, attrs: AttrSet) -> bool {
-        attrs.iter().all(|a| self.0[a.usize()] == other.0[a.usize()])
+        attrs
+            .iter()
+            .all(|a| self.0[a.usize()] == other.0[a.usize()])
     }
 
     /// The Hamming distance `H(t, s)`: the number of attributes on which the
@@ -117,10 +119,7 @@ mod tests {
         assert!(!t.agrees_on(&u, s.attr_set(["A", "C"]).unwrap()));
         assert_eq!(t.hamming(&u), 1);
         assert_eq!(t.hamming(&t), 0);
-        assert_eq!(
-            t.disagreement(&u),
-            AttrSet::singleton(s.attr("C").unwrap())
-        );
+        assert_eq!(t.disagreement(&u), AttrSet::singleton(s.attr("C").unwrap()));
         // Every tuple agrees with every tuple on ∅.
         let v = tup!["y", 9, 9];
         assert!(t.agrees_on(&v, AttrSet::EMPTY));

@@ -12,8 +12,8 @@
 //!   domain" used by update repairs (Proposition 4.4).
 
 use std::fmt;
-use std::sync::Arc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A single attribute value from the countably infinite domain `Val`.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -183,10 +183,7 @@ mod tests {
     fn display_forms() {
         assert_eq!(Value::from(7).to_string(), "7");
         assert_eq!(Value::str("HQ").to_string(), "HQ");
-        assert_eq!(
-            Value::pair("a".into(), 1.into()).to_string(),
-            "⟨a,1⟩"
-        );
+        assert_eq!(Value::pair("a".into(), 1.into()).to_string(), "⟨a,1⟩");
         assert_eq!(
             Value::triple(1.into(), 2.into(), 3.into()).to_string(),
             "⟨1,2,3⟩"

@@ -3,8 +3,8 @@
 //! keys, and cover quantities.
 
 use fd_core::{
-    candidate_keys, derive, is_superkey, mci, mfs, min_core_implicant, min_lhs_cover,
-    schema_rabc, tup, AttrId, AttrSet, Fd, FdSet, Schema, Table,
+    candidate_keys, derive, is_superkey, mci, mfs, min_core_implicant, min_lhs_cover, schema_rabc,
+    tup, AttrId, AttrSet, Fd, FdSet, Schema, Table,
 };
 use proptest::prelude::*;
 
@@ -15,10 +15,9 @@ fn arb_attrset(arity: u16) -> impl Strategy<Value = AttrSet> {
 
 fn arb_fdset(arity: u16, max_fds: usize) -> impl Strategy<Value = FdSet> {
     prop::collection::vec(
-        (arb_attrset(arity), arb_attrset(arity)).prop_filter_map(
-            "nonempty rhs",
-            |(lhs, rhs)| (!rhs.is_empty()).then_some(Fd::new(lhs, rhs)),
-        ),
+        (arb_attrset(arity), arb_attrset(arity)).prop_filter_map("nonempty rhs", |(lhs, rhs)| {
+            (!rhs.is_empty()).then_some(Fd::new(lhs, rhs))
+        }),
         0..=max_fds,
     )
     .prop_map(FdSet::new)

@@ -49,7 +49,10 @@ use std::sync::Arc;
 /// enumeration is exponential).
 pub fn armstrong_relation(schema: &Arc<Schema>, fds: &FdSet) -> Table {
     let arity = schema.arity();
-    assert!(arity <= 16, "armstrong_relation enumerates closed sets; arity too large");
+    assert!(
+        arity <= 16,
+        "armstrong_relation enumerates closed sets; arity too large"
+    );
     let all = schema.all_attrs();
 
     // Enumerate the closed sets (fixpoints of the closure operator).
@@ -61,7 +64,9 @@ pub fn armstrong_relation(schema: &Arc<Schema>, fds: &FdSet) -> Table {
 
     // Base row: value j in column j encodes "agreement".
     let mut rows: Vec<Tuple> = Vec::with_capacity(closed.len() + 1);
-    rows.push(Tuple::new((0..arity).map(|j| Value::Int(j as i64)).collect::<Vec<_>>()));
+    rows.push(Tuple::new(
+        (0..arity).map(|j| Value::Int(j as i64)).collect::<Vec<_>>(),
+    ));
     // Per closed set C (the full set included — producing an exact
     // duplicate, which the paper's data model permits): a row agreeing
     // with the base exactly on C, fresh everywhere else. Distinct fresh
@@ -137,7 +142,10 @@ mod tests {
                         lhs = lhs.insert(fd_core::AttrId::new(i));
                     }
                 }
-                fds.push(Fd::new(lhs, AttrSet::singleton(fd_core::AttrId::new(rhs_attr))));
+                fds.push(Fd::new(
+                    lhs,
+                    AttrSet::singleton(fd_core::AttrId::new(rhs_attr)),
+                ));
             }
             assert_armstrong(&s, &FdSet::new(fds).remove_trivial());
         }

@@ -17,7 +17,10 @@ pub fn delta_k(k: usize) -> (Arc<Schema>, FdSet) {
     let schema = Schema::new("R", names).expect("valid schema");
     let mut spec = vec![format!(
         "{} -> B0",
-        (0..=k).map(|i| format!("A{i}")).collect::<Vec<_>>().join(" ")
+        (0..=k)
+            .map(|i| format!("A{i}"))
+            .collect::<Vec<_>>()
+            .join(" ")
     )];
     spec.push("B0 -> C".to_string());
     for i in 1..=k {
@@ -53,9 +56,7 @@ pub fn dense_random_table(
     rng: &mut StdRng,
 ) -> Table {
     let rows = (0..n).map(|_| {
-        Tuple::new(
-            (0..schema.arity()).map(|_| Value::Int(rng.gen_range(0..domain as i64))),
-        )
+        Tuple::new((0..schema.arity()).map(|_| Value::Int(rng.gen_range(0..domain as i64))))
     });
     Table::build_unweighted(schema.clone(), rows).expect("valid rows")
 }

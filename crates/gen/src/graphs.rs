@@ -188,7 +188,12 @@ mod tests {
 
     #[test]
     fn constructed_update_is_consistent_with_cost_2e_plus_k() {
-        for g in [path(2), path(3), path(4), UGraph::new(3, vec![(0, 1), (1, 2), (0, 2)])] {
+        for g in [
+            path(2),
+            path(3),
+            path(4),
+            UGraph::new(3, vec![(0, 1), (1, 2), (0, 2)]),
+        ] {
             let cover = g.min_vertex_cover();
             let (original, _, _) = vc_to_table(&g);
             let updated = vc_update_from_cover(&g, &cover);

@@ -11,17 +11,20 @@ pub fn office_schema() -> Arc<Schema> {
 
 /// `Δ = {facility → city, facility room → floor}` (Example 2.2).
 pub fn office_fds() -> FdSet {
-    FdSet::parse(&office_schema(), "facility -> city; facility room -> floor")
-        .expect("static FDs")
+    FdSet::parse(&office_schema(), "facility -> city; facility room -> floor").expect("static FDs")
 }
 
 /// The inconsistent table `T` of Figure 1(a). Ids are 1–4 as in the paper.
 pub fn office_table() -> Table {
     let mut t = Table::new(office_schema());
-    t.push_row(TupleId(1), tup!["HQ", 322, 3, "Paris"], 2.0).unwrap();
-    t.push_row(TupleId(2), tup!["HQ", 322, 30, "Madrid"], 1.0).unwrap();
-    t.push_row(TupleId(3), tup!["HQ", 122, 1, "Madrid"], 1.0).unwrap();
-    t.push_row(TupleId(4), tup!["Lab1", "B35", 3, "London"], 2.0).unwrap();
+    t.push_row(TupleId(1), tup!["HQ", 322, 3, "Paris"], 2.0)
+        .unwrap();
+    t.push_row(TupleId(2), tup!["HQ", 322, 30, "Madrid"], 1.0)
+        .unwrap();
+    t.push_row(TupleId(3), tup!["HQ", 122, 1, "Madrid"], 1.0)
+        .unwrap();
+    t.push_row(TupleId(4), tup!["Lab1", "B35", 3, "London"], 2.0)
+        .unwrap();
     t
 }
 
@@ -48,7 +51,8 @@ pub fn office_s3() -> Table {
 pub fn office_u1() -> Table {
     let mut t = office_table();
     let s = office_schema();
-    t.set_value(TupleId(1), s.attr("facility").unwrap(), "F01".into()).unwrap();
+    t.set_value(TupleId(1), s.attr("facility").unwrap(), "F01".into())
+        .unwrap();
     t
 }
 
@@ -57,9 +61,12 @@ pub fn office_u1() -> Table {
 pub fn office_u2() -> Table {
     let mut t = office_table();
     let s = office_schema();
-    t.set_value(TupleId(2), s.attr("floor").unwrap(), 3.into()).unwrap();
-    t.set_value(TupleId(2), s.attr("city").unwrap(), "Paris".into()).unwrap();
-    t.set_value(TupleId(3), s.attr("city").unwrap(), "Paris".into()).unwrap();
+    t.set_value(TupleId(2), s.attr("floor").unwrap(), 3.into())
+        .unwrap();
+    t.set_value(TupleId(2), s.attr("city").unwrap(), "Paris".into())
+        .unwrap();
+    t.set_value(TupleId(3), s.attr("city").unwrap(), "Paris".into())
+        .unwrap();
     t
 }
 
@@ -68,8 +75,10 @@ pub fn office_u2() -> Table {
 pub fn office_u3() -> Table {
     let mut t = office_table();
     let s = office_schema();
-    t.set_value(TupleId(1), s.attr("floor").unwrap(), 30.into()).unwrap();
-    t.set_value(TupleId(1), s.attr("city").unwrap(), "Madrid".into()).unwrap();
+    t.set_value(TupleId(1), s.attr("floor").unwrap(), 30.into())
+        .unwrap();
+    t.set_value(TupleId(1), s.attr("city").unwrap(), "Madrid".into())
+        .unwrap();
     t
 }
 

@@ -23,7 +23,12 @@ pub struct DirtyConfig {
 
 impl Default for DirtyConfig {
     fn default() -> DirtyConfig {
-        DirtyConfig { rows: 50, domain: 8, corruptions: 10, weighted: false }
+        DirtyConfig {
+            rows: 50,
+            domain: 8,
+            corruptions: 10,
+            weighted: false,
+        }
     }
 }
 
@@ -103,7 +108,11 @@ pub fn dirty_table(
     let mut table = clean_table(schema, fds, cfg, rng);
     let target_attrs: Vec<fd_core::AttrId> = {
         let attrs = fds.attrs();
-        let set = if attrs.is_empty() { schema.all_attrs() } else { attrs };
+        let set = if attrs.is_empty() {
+            schema.all_attrs()
+        } else {
+            attrs
+        };
         set.iter().collect()
     };
     let ids: Vec<fd_core::TupleId> = table.ids().collect();
@@ -154,7 +163,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for spec in ["A -> B", "A -> B; B -> C", "A B -> C; C -> B", "-> C"] {
             let fds = FdSet::parse(&s, spec).unwrap();
-            let cfg = DirtyConfig { rows: 40, domain: 4, ..Default::default() };
+            let cfg = DirtyConfig {
+                rows: 40,
+                domain: 4,
+                ..Default::default()
+            };
             let t = clean_table(&s, &fds, &cfg, &mut rng);
             assert!(t.satisfies(&fds), "{spec}");
             assert!(t.len() >= 30, "{spec}: generator dropped too many rows");
@@ -166,7 +179,12 @@ mod tests {
         let s = schema_rabc();
         let fds = FdSet::parse(&s, "A -> B C").unwrap();
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = DirtyConfig { rows: 60, domain: 3, corruptions: 15, ..Default::default() };
+        let cfg = DirtyConfig {
+            rows: 60,
+            domain: 3,
+            corruptions: 15,
+            ..Default::default()
+        };
         let t = dirty_table(&s, &fds, &cfg, &mut rng);
         assert!(!t.satisfies(&fds));
     }
@@ -176,7 +194,11 @@ mod tests {
         let s = schema_rabc();
         let fds = FdSet::parse(&s, "A -> B").unwrap();
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = DirtyConfig { rows: 30, weighted: true, ..Default::default() };
+        let cfg = DirtyConfig {
+            rows: 30,
+            weighted: true,
+            ..Default::default()
+        };
         let t = clean_table(&s, &fds, &cfg, &mut rng);
         assert!(!t.is_unweighted());
     }
@@ -195,13 +217,17 @@ mod tests {
     fn targeted_corruption_touches_only_requested_attrs() {
         let s = schema_rabc();
         let fds = FdSet::parse(&s, "A -> B").unwrap();
-        let cfg = DirtyConfig { rows: 20, domain: 3, corruptions: 30, ..Default::default() };
+        let cfg = DirtyConfig {
+            rows: 20,
+            domain: 3,
+            corruptions: 30,
+            ..Default::default()
+        };
         let only_b = AttrSet::singleton(s.attr("B").unwrap());
         // `dirty_table_on_attrs` draws the clean table from the same rng
         // stream prefix, so regenerating with an equal seed reproduces it.
         let clean = clean_table(&s, &fds, &cfg, &mut StdRng::seed_from_u64(4));
-        let dirty =
-            dirty_table_on_attrs(&s, &fds, &cfg, only_b, &mut StdRng::seed_from_u64(4));
+        let dirty = dirty_table_on_attrs(&s, &fds, &cfg, only_b, &mut StdRng::seed_from_u64(4));
         let b = s.attr("B").unwrap();
         for (orig, got) in clean.rows().zip(dirty.rows()) {
             let diff = orig.tuple.disagreement(&got.tuple);

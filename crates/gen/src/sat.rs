@@ -48,8 +48,14 @@ impl TwoSat {
                     y = rng.gen_range(0..n_vars);
                 }
                 (
-                    Lit { var: x, positive: rng.gen_bool(0.5) },
-                    Lit { var: y, positive: rng.gen_bool(0.5) },
+                    Lit {
+                        var: x,
+                        positive: rng.gen_bool(0.5),
+                    },
+                    Lit {
+                        var: y,
+                        positive: rng.gen_bool(0.5),
+                    },
                 )
             })
             .collect();
@@ -72,8 +78,7 @@ impl TwoSat {
         assert!(self.n_vars <= 24, "brute force limited to 24 variables");
         let mut best = 0;
         for mask in 0u32..(1 << self.n_vars) {
-            let assignment: Vec<bool> =
-                (0..self.n_vars).map(|i| mask & (1 << i) != 0).collect();
+            let assignment: Vec<bool> = (0..self.n_vars).map(|i| mask & (1 << i) != 0).collect();
             best = best.max(self.count_satisfied(&assignment));
         }
         best
@@ -100,7 +105,11 @@ pub fn two_sat_to_table(sat: &TwoSat) -> Table {
         let var = |v: u32| Value::str(&format!("x{v}"));
         let bit = |b: bool| Value::Int(b as i64);
         if l1.var != l2.var {
-            rows.push(Tuple::new(vec![clause.clone(), var(l1.var), bit(l1.required())]));
+            rows.push(Tuple::new(vec![
+                clause.clone(),
+                var(l1.var),
+                bit(l1.required()),
+            ]));
             rows.push(Tuple::new(vec![clause, var(l2.var), bit(l2.required())]));
         } else if l1.positive != l2.positive {
             // Tautology (x ∨ ¬x): both polarities, always satisfiable.
@@ -147,7 +156,10 @@ impl NonMixedSat {
                         vars.push(v);
                     }
                 }
-                NonMixedClause { positive: rng.gen_bool(0.5), vars }
+                NonMixedClause {
+                    positive: rng.gen_bool(0.5),
+                    vars,
+                }
             })
             .collect();
         NonMixedSat { n_vars, clauses }
@@ -166,8 +178,7 @@ impl NonMixedSat {
         assert!(self.n_vars <= 24, "brute force limited to 24 variables");
         let mut best = 0;
         for mask in 0u32..(1 << self.n_vars) {
-            let assignment: Vec<bool> =
-                (0..self.n_vars).map(|i| mask & (1 << i) != 0).collect();
+            let assignment: Vec<bool> = (0..self.n_vars).map(|i| mask & (1 << i) != 0).collect();
             best = best.max(self.count_satisfied(&assignment));
         }
         best
@@ -243,8 +254,14 @@ mod tests {
         let taut = TwoSat {
             n_vars: 1,
             clauses: vec![(
-                Lit { var: 0, positive: true },
-                Lit { var: 0, positive: false },
+                Lit {
+                    var: 0,
+                    positive: true,
+                },
+                Lit {
+                    var: 0,
+                    positive: false,
+                },
             )],
         };
         let t = two_sat_to_table(&taut);
@@ -254,8 +271,14 @@ mod tests {
         let dup = TwoSat {
             n_vars: 1,
             clauses: vec![(
-                Lit { var: 0, positive: true },
-                Lit { var: 0, positive: true },
+                Lit {
+                    var: 0,
+                    positive: true,
+                },
+                Lit {
+                    var: 0,
+                    positive: true,
+                },
             )],
         };
         let t = two_sat_to_table(&dup);
@@ -269,8 +292,26 @@ mod tests {
         let sat = TwoSat {
             n_vars: 1,
             clauses: vec![
-                (Lit { var: 0, positive: true }, Lit { var: 0, positive: true }),
-                (Lit { var: 0, positive: false }, Lit { var: 0, positive: false }),
+                (
+                    Lit {
+                        var: 0,
+                        positive: true,
+                    },
+                    Lit {
+                        var: 0,
+                        positive: true,
+                    },
+                ),
+                (
+                    Lit {
+                        var: 0,
+                        positive: false,
+                    },
+                    Lit {
+                        var: 0,
+                        positive: false,
+                    },
+                ),
             ],
         };
         assert_eq!(sat.max_satisfiable(), 1);
@@ -300,8 +341,14 @@ mod tests {
         let sat = NonMixedSat {
             n_vars: 2,
             clauses: vec![
-                NonMixedClause { positive: true, vars: vec![0, 1] },
-                NonMixedClause { positive: false, vars: vec![0] },
+                NonMixedClause {
+                    positive: true,
+                    vars: vec![0, 1],
+                },
+                NonMixedClause {
+                    positive: false,
+                    vars: vec![0],
+                },
             ],
         };
         let t = non_mixed_sat_to_table(&sat);

@@ -13,8 +13,8 @@ const CITIES: &[&str] = &[
     "paris", "madrid", "london", "berlin", "vienna", "lisbon", "dublin", "oslo",
 ];
 const WORDS: &[&str] = &[
-    "alpha", "bravo", "carbon", "delta", "echo", "fabric", "garnet", "harbor",
-    "indigo", "jasper", "kepler", "lumen",
+    "alpha", "bravo", "carbon", "delta", "echo", "fabric", "garnet", "harbor", "indigo", "jasper",
+    "kepler", "lumen",
 ];
 
 /// Configuration for [`typo_table`].
@@ -30,7 +30,11 @@ pub struct TypoConfig {
 
 impl Default for TypoConfig {
     fn default() -> TypoConfig {
-        TypoConfig { entities: 6, rows: 40, typo_rate: 0.08 }
+        TypoConfig {
+            entities: 6,
+            rows: 40,
+            typo_rate: 0.08,
+        }
     }
 }
 
@@ -138,7 +142,11 @@ mod tests {
     #[test]
     fn typos_create_violations_at_positive_rates() {
         let mut rng = StdRng::seed_from_u64(0x71);
-        let cfg = TypoConfig { entities: 3, rows: 60, typo_rate: 0.3 };
+        let cfg = TypoConfig {
+            entities: 3,
+            rows: 60,
+            typo_rate: 0.3,
+        };
         let (dirty, clean) = typo_table(&cfg, &mut rng);
         assert!(!dirty.satisfies(&directory_fds()));
         // The clean table is an update of the dirty one; its distance is
@@ -150,7 +158,10 @@ mod tests {
     #[test]
     fn zero_rate_is_noise_free() {
         let mut rng = StdRng::seed_from_u64(0x72);
-        let cfg = TypoConfig { typo_rate: 0.0, ..Default::default() };
+        let cfg = TypoConfig {
+            typo_rate: 0.0,
+            ..Default::default()
+        };
         let (dirty, clean) = typo_table(&cfg, &mut rng);
         assert_eq!(dirty, clean);
     }

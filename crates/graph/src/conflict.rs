@@ -71,11 +71,8 @@ mod tests {
     fn consistent_table_has_no_edges() {
         let s = schema_rabc();
         let fds = FdSet::parse(&s, "A -> B; B -> C").unwrap();
-        let t = Table::build_unweighted(
-            s,
-            vec![tup!["x", 1, 1], tup!["y", 2, 2], tup!["z", 3, 3]],
-        )
-        .unwrap();
+        let t = Table::build_unweighted(s, vec![tup!["x", 1, 1], tup!["y", 2, 2], tup!["z", 3, 3]])
+            .unwrap();
         let cg = ConflictGraph::build(&t, &fds);
         assert_eq!(cg.graph.edge_count(), 0);
     }

@@ -149,7 +149,10 @@ impl Graph {
 
     /// Maximum degree of the graph.
     pub fn max_degree(&self) -> usize {
-        (0..self.node_count()).map(|v| self.adj[v].len()).max().unwrap_or(0)
+        (0..self.node_count())
+            .map(|v| self.adj[v].len())
+            .max()
+            .unwrap_or(0)
     }
 }
 

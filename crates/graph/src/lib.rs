@@ -30,7 +30,9 @@ mod vertex_cover;
 
 pub use conflict::ConflictGraph;
 pub use graph::Graph;
-pub use matching::{brute_force_matching, greedy_matching, max_weight_bipartite_matching, Matching};
+pub use matching::{
+    brute_force_matching, greedy_matching, max_weight_bipartite_matching, Matching,
+};
 pub use mis::{
     brute_force_maximal_independent_sets, enumerate_maximal_independent_sets,
     enumerate_maximal_independent_sets_capped, MisEnumeration, MIS_MAX_NODES,

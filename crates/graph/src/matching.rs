@@ -24,9 +24,15 @@ pub fn max_weight_bipartite_matching(
     n_right: usize,
     edges: &[(u32, u32, f64)],
 ) -> Matching {
-    debug_assert!(edges.iter().all(|&(_, _, w)| w >= 0.0), "weights must be nonnegative");
+    debug_assert!(
+        edges.iter().all(|&(_, _, w)| w >= 0.0),
+        "weights must be nonnegative"
+    );
     if n_left == 0 || n_right == 0 || edges.is_empty() {
-        return Matching { total_weight: 0.0, pairs: Vec::new() };
+        return Matching {
+            total_weight: 0.0,
+            pairs: Vec::new(),
+        };
     }
     let n = n_left.max(n_right);
     // weight[l][r]: 0 for non-edges (padding), otherwise the edge weight.
@@ -50,7 +56,10 @@ pub fn max_weight_bipartite_matching(
         }
     }
     pairs.sort_unstable();
-    Matching { total_weight: total, pairs }
+    Matching {
+        total_weight: total,
+        pairs,
+    }
 }
 
 /// Minimum-cost perfect assignment on an `n × n` cost matrix given as a
@@ -160,11 +169,7 @@ mod tests {
     #[test]
     fn prefers_heavier_combination() {
         // (0-0: 10) and (1-1: 10) beat the single heavy edge (0-1: 15).
-        let m = max_weight_bipartite_matching(
-            2,
-            2,
-            &[(0, 0, 10.0), (0, 1, 15.0), (1, 1, 10.0)],
-        );
+        let m = max_weight_bipartite_matching(2, 2, &[(0, 0, 10.0), (0, 1, 15.0), (1, 1, 10.0)]);
         assert_eq!(m.total_weight, 20.0);
         assert_eq!(m.pairs, vec![(0, 0), (1, 1)]);
     }
@@ -192,8 +197,28 @@ mod tests {
     #[test]
     fn matches_brute_force_on_fixed_instances() {
         let cases: Vec<(usize, usize, Vec<(u32, u32, f64)>)> = vec![
-            (3, 3, vec![(0, 0, 1.0), (0, 1, 2.0), (1, 0, 2.0), (1, 2, 1.0), (2, 2, 4.0)]),
-            (4, 3, vec![(0, 0, 3.0), (1, 0, 3.0), (2, 1, 3.0), (3, 1, 3.0), (3, 2, 1.0)]),
+            (
+                3,
+                3,
+                vec![
+                    (0, 0, 1.0),
+                    (0, 1, 2.0),
+                    (1, 0, 2.0),
+                    (1, 2, 1.0),
+                    (2, 2, 4.0),
+                ],
+            ),
+            (
+                4,
+                3,
+                vec![
+                    (0, 0, 3.0),
+                    (1, 0, 3.0),
+                    (2, 1, 3.0),
+                    (3, 1, 3.0),
+                    (3, 2, 1.0),
+                ],
+            ),
             (2, 4, vec![(0, 3, 2.5), (1, 3, 2.5), (1, 0, 2.0)]),
         ];
         for (nl, nr, edges) in cases {
@@ -237,7 +262,10 @@ pub fn greedy_matching(edges: &[(u32, u32, f64)]) -> Matching {
         }
     }
     pairs.sort_unstable();
-    Matching { total_weight: total, pairs }
+    Matching {
+        total_weight: total,
+        pairs,
+    }
 }
 
 #[cfg(test)]

@@ -66,7 +66,10 @@ pub fn enumerate_maximal_independent_sets_capped(g: &Graph, cap: usize) -> MisEn
     if n == 0 {
         // The empty set is the unique maximal independent set of the empty
         // graph (and the empty table is its own unique subset repair).
-        return MisEnumeration { sets: vec![Vec::new()], truncated: false };
+        return MisEnumeration {
+            sets: vec![Vec::new()],
+            truncated: false,
+        };
     }
     // nbr[v] = bitmask of neighbors of v.
     let mut nbr = vec![0u128; n];
@@ -74,7 +77,11 @@ pub fn enumerate_maximal_independent_sets_capped(g: &Graph, cap: usize) -> MisEn
         nbr[u as usize] |= 1u128 << v;
         nbr[v as usize] |= 1u128 << u;
     }
-    let full: u128 = if n == 128 { u128::MAX } else { (1u128 << n) - 1 };
+    let full: u128 = if n == 128 {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    };
     let mut sets = Vec::new();
     let mut truncated = false;
     bron_kerbosch(&nbr, full, 0, full, 0, cap, &mut sets, &mut truncated);
@@ -187,13 +194,19 @@ mod tests {
     #[test]
     fn empty_graph_has_one_mis() {
         let g = Graph::unweighted(0);
-        assert_eq!(enumerate_maximal_independent_sets(&g), vec![Vec::<u32>::new()]);
+        assert_eq!(
+            enumerate_maximal_independent_sets(&g),
+            vec![Vec::<u32>::new()]
+        );
     }
 
     #[test]
     fn edgeless_graph_has_single_full_mis() {
         let g = Graph::unweighted(4);
-        assert_eq!(enumerate_maximal_independent_sets(&g), vec![vec![0, 1, 2, 3]]);
+        assert_eq!(
+            enumerate_maximal_independent_sets(&g),
+            vec![vec![0, 1, 2, 3]]
+        );
     }
 
     #[test]

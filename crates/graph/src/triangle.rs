@@ -29,7 +29,12 @@ pub type Triangle = (u32, u32, u32);
 impl Tripartite {
     /// Creates a tripartite graph with the given part sizes.
     pub fn new(na: usize, nb: usize, nc: usize) -> Tripartite {
-        Tripartite { na, nb, nc, ..Default::default() }
+        Tripartite {
+            na,
+            nb,
+            nc,
+            ..Default::default()
+        }
     }
 
     /// Adds an A–B edge.
@@ -86,7 +91,13 @@ pub fn max_edge_disjoint_triangles(tris: &[Triangle]) -> Vec<Triangle> {
         bc: HashSet<(u32, u32)>,
         ac: HashSet<(u32, u32)>,
     }
-    fn rec(tris: &[Triangle], idx: usize, used: &mut Used, chosen: &mut Vec<Triangle>, best: &mut Vec<Triangle>) {
+    fn rec(
+        tris: &[Triangle],
+        idx: usize,
+        used: &mut Used,
+        chosen: &mut Vec<Triangle>,
+        best: &mut Vec<Triangle>,
+    ) {
         if chosen.len() + (tris.len() - idx) <= best.len() {
             return; // cannot beat the incumbent
         }
@@ -97,9 +108,8 @@ pub fn max_edge_disjoint_triangles(tris: &[Triangle]) -> Vec<Triangle> {
             return;
         }
         let (a, b, c) = tris[idx];
-        let free = !used.ab.contains(&(a, b))
-            && !used.bc.contains(&(b, c))
-            && !used.ac.contains(&(a, c));
+        let free =
+            !used.ab.contains(&(a, b)) && !used.bc.contains(&(b, c)) && !used.ac.contains(&(a, c));
         if free {
             used.ab.insert((a, b));
             used.bc.insert((b, c));
@@ -178,7 +188,11 @@ mod tests {
         for _ in 0..20 {
             let mut g = Tripartite::new(4, 4, 4);
             for _ in 0..rng.gen_range(3..10) {
-                g.add_triangle(rng.gen_range(0..4), rng.gen_range(0..4), rng.gen_range(0..4));
+                g.add_triangle(
+                    rng.gen_range(0..4),
+                    rng.gen_range(0..4),
+                    rng.gen_range(0..4),
+                );
             }
             let tris = g.triangles();
             let exact = max_edge_disjoint_triangles(&tris);

@@ -101,7 +101,10 @@ fn branch(state: &mut State<'_>, best: &mut VertexCover) {
     let Some((_, v)) = pick else {
         // No active edges left: current choice covers everything.
         if state.cost < best.weight {
-            *best = VertexCover { weight: state.cost, nodes: state.chosen.clone() };
+            *best = VertexCover {
+                weight: state.cost,
+                nodes: state.chosen.clone(),
+            };
         }
         return;
     };
@@ -151,7 +154,10 @@ pub fn vertex_cover_2approx(g: &Graph) -> VertexCover {
     let nodes: Vec<u32> = (0..n as u32)
         .filter(|&v| residual[v as usize] == 0.0 && g.degree(v) > 0)
         .collect();
-    VertexCover { weight: g.weight_of(&nodes), nodes }
+    VertexCover {
+        weight: g.weight_of(&nodes),
+        nodes,
+    }
 }
 
 /// Exhaustive minimum-weight vertex cover (2ⁿ), oracle for tests (n ≤ 25).
@@ -179,7 +185,9 @@ pub fn brute_force_vertex_cover(g: &Graph) -> VertexCover {
     }
     VertexCover {
         weight: best_weight,
-        nodes: (0..n as u32).filter(|&v| best_mask & (1 << v) != 0).collect(),
+        nodes: (0..n as u32)
+            .filter(|&v| best_mask & (1 << v) != 0)
+            .collect(),
     }
 }
 

@@ -41,7 +41,13 @@ impl ProbTable {
     pub fn world_probability(&self, world: &HashSet<TupleId>) -> f64 {
         self.table
             .rows()
-            .map(|r| if world.contains(&r.id) { r.weight } else { 1.0 - r.weight })
+            .map(|r| {
+                if world.contains(&r.id) {
+                    r.weight
+                } else {
+                    1.0 - r.weight
+                }
+            })
             .product()
     }
 }
@@ -86,7 +92,10 @@ pub fn most_probable_database(prob: &ProbTable, fds: &FdSet) -> MpdResult {
     {
         let certain_ids: HashSet<TupleId> = certain.iter().map(|r| r.id).collect();
         if !source.subset(&certain_ids).satisfies(fds) {
-            return MpdResult { world: Vec::new(), probability: 0.0 };
+            return MpdResult {
+                world: Vec::new(),
+                probability: 0.0,
+            };
         }
     }
 
@@ -105,7 +114,9 @@ pub fn most_probable_database(prob: &ProbTable, fds: &FdSet) -> MpdResult {
     }
     for row in &uncertain {
         let w = (row.weight / (1.0 - row.weight)).ln();
-        reweighted.push_row(row.id, row.tuple.clone(), w).expect("ids unique");
+        reweighted
+            .push_row(row.id, row.tuple.clone(), w)
+            .expect("ids unique");
     }
 
     let repair: SRepair = if osr_succeeds(fds) {
@@ -116,7 +127,10 @@ pub fn most_probable_database(prob: &ProbTable, fds: &FdSet) -> MpdResult {
     let world: HashSet<TupleId> = repair.kept.iter().copied().collect();
     let mut ids: Vec<TupleId> = world.iter().copied().collect();
     ids.sort_unstable();
-    MpdResult { probability: prob.world_probability(&world), world: ids }
+    MpdResult {
+        probability: prob.world_probability(&world),
+        world: ids,
+    }
 }
 
 /// Exhaustive MPD over all `2ⁿ` worlds (n ≤ 20): the oracle for tests.
@@ -142,7 +156,10 @@ pub fn brute_force_mpd(prob: &ProbTable, fds: &FdSet) -> MpdResult {
     }
     let mut world: Vec<TupleId> = best.into_iter().collect();
     world.sort_unstable();
-    MpdResult { world, probability: best_p.max(0.0) }
+    MpdResult {
+        world,
+        probability: best_p.max(0.0),
+    }
 }
 
 #[cfg(test)]

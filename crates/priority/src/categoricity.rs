@@ -229,12 +229,16 @@ mod tests {
         // deletion per conflict to resolve.
         let t = Table::build_unweighted(
             s,
-            vec![tup!["x", 1, 0], tup!["x", 2, 0], tup!["y", 1, 0], tup!["y", 2, 0]],
+            vec![
+                tup!["x", 1, 0],
+                tup!["x", 2, 0],
+                tup!["y", 1, 0],
+                tup!["y", 2, 0],
+            ],
         )
         .unwrap();
         let rel = PriorityRelation::empty();
-        let sol =
-            min_deletions_to_categoricity(&t, &fds, &rel, Semantics::Pareto, 4).unwrap();
+        let sol = min_deletions_to_categoricity(&t, &fds, &rel, Semantics::Pareto, 4).unwrap();
         assert_eq!(sol.as_ref().map(Vec::len), Some(2));
         // And indeed no single deletion suffices.
         assert_eq!(

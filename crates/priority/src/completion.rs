@@ -46,8 +46,7 @@ impl PrioritizedTable<'_> {
                 if !remaining[s] || !set[s] {
                     continue;
                 }
-                let blocked =
-                    (0..n).any(|r| remaining[r] && r != s && self.better_idx(r, s));
+                let blocked = (0..n).any(|r| remaining[r] && r != s && self.better_idx(r, s));
                 if blocked {
                     continue;
                 }
@@ -139,9 +138,8 @@ mod tests {
     fn unprioritized_c_repairs_are_all_subset_repairs() {
         let s = schema_rabc();
         let fds = FdSet::parse(&s, "A -> B").unwrap();
-        let t =
-            Table::build_unweighted(s, vec![tup!["x", 1, 0], tup!["x", 2, 0], tup!["y", 1, 0]])
-                .unwrap();
+        let t = Table::build_unweighted(s, vec![tup!["x", 1, 0], tup!["x", 2, 0], tup!["y", 1, 0]])
+            .unwrap();
         let rel = PriorityRelation::empty();
         let inst = PrioritizedTable::new(&t, &fds, &rel).unwrap();
         let mut c = inst.completion_repairs().unwrap();
@@ -202,7 +200,7 @@ mod tests {
             let n = 3 + trial % 4; // 3..=6 tuples
             let rows: Vec<_> = (0..n)
                 .map(|_| {
-                    let a = ["x", "y"][rng.gen_range(0..2)];
+                    let a = ["x", "y"][rng.gen_range(0..2usize)];
                     let b = rng.gen_range(0..3) as i64;
                     tup![a, b, 0]
                 })

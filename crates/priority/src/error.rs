@@ -69,7 +69,10 @@ impl fmt::Display for PriorityError {
                 "ranking places {loser:?} above {winner:?}, contradicting {winner:?} ≻ {loser:?}"
             ),
             PriorityError::TooLargeForEnumeration { size, max } => {
-                write!(f, "table has {size} tuples; exhaustive analysis supports at most {max}")
+                write!(
+                    f,
+                    "table has {size} tuples; exhaustive analysis supports at most {max}"
+                )
             }
         }
     }

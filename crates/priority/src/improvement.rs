@@ -198,19 +198,22 @@ mod tests {
         assert!(!inst.is_pareto_improvement(&[id(1)], &[id(2)]).unwrap());
         // Equal sets and inconsistent sets are not improvements.
         assert!(!inst.is_pareto_improvement(&[id(1)], &[id(1)]).unwrap());
-        assert!(!inst.is_pareto_improvement(&[id(1)], &[id(0), id(2)]).unwrap());
+        assert!(!inst
+            .is_pareto_improvement(&[id(1)], &[id(0), id(2)])
+            .unwrap());
     }
 
     #[test]
     fn strict_superset_is_pareto_improvement() {
         let s = schema_rabc();
         let fds = FdSet::parse(&s, "A -> B").unwrap();
-        let t =
-            Table::build_unweighted(s, vec![tup!["x", 1, 0], tup!["x", 2, 0], tup!["y", 1, 0]])
-                .unwrap();
+        let t = Table::build_unweighted(s, vec![tup!["x", 1, 0], tup!["x", 2, 0], tup!["y", 1, 0]])
+            .unwrap();
         let rel = PriorityRelation::empty();
         let inst = PrioritizedTable::new(&t, &fds, &rel).unwrap();
-        assert!(inst.is_pareto_improvement(&[id(0)], &[id(0), id(2)]).unwrap());
+        assert!(inst
+            .is_pareto_improvement(&[id(0)], &[id(0), id(2)])
+            .unwrap());
     }
 
     #[test]

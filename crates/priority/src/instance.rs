@@ -59,7 +59,10 @@ impl<'a> PrioritizedTable<'a> {
             let wi = *index.get(&w).ok_or(PriorityError::UnknownTuple { id: w })?;
             let li = *index.get(&l).ok_or(PriorityError::UnknownTuple { id: l })?;
             if !conflict_set.contains(&(wi.min(li), wi.max(li))) {
-                return Err(PriorityError::NonConflictingPair { winner: w, loser: l });
+                return Err(PriorityError::NonConflictingPair {
+                    winner: w,
+                    loser: l,
+                });
             }
             better[wi * n + li] = true;
         }
@@ -77,7 +80,16 @@ impl<'a> PrioritizedTable<'a> {
             }
         }
 
-        Ok(PrioritizedTable { table, fds, ids, index, adj, direct, better, n })
+        Ok(PrioritizedTable {
+            table,
+            fds,
+            ids,
+            index,
+            adj,
+            direct,
+            better,
+            n,
+        })
     }
 
     /// The underlying table.
@@ -122,7 +134,10 @@ impl<'a> PrioritizedTable<'a> {
     }
 
     pub(crate) fn idx(&self, id: TupleId) -> Result<usize> {
-        self.index.get(&id).copied().ok_or(PriorityError::UnknownTuple { id })
+        self.index
+            .get(&id)
+            .copied()
+            .ok_or(PriorityError::UnknownTuple { id })
     }
 
     pub(crate) fn adj_of(&self, i: usize) -> &[usize] {
@@ -243,8 +258,10 @@ impl<'a> PrioritizedTable<'a> {
                 kept[i] = true;
             }
         }
-        let mut out: Vec<TupleId> =
-            (0..self.n).filter(|&i| kept[i]).map(|i| self.ids[i]).collect();
+        let mut out: Vec<TupleId> = (0..self.n)
+            .filter(|&i| kept[i])
+            .map(|i| self.ids[i])
+            .collect();
         out.sort_unstable();
         Ok(out)
     }
@@ -287,7 +304,10 @@ mod tests {
         let bad = PriorityRelation::new(vec![(id(0), id(2))]).unwrap();
         assert_eq!(
             PrioritizedTable::new(&t, &fds, &bad).err(),
-            Some(PriorityError::NonConflictingPair { winner: id(0), loser: id(2) })
+            Some(PriorityError::NonConflictingPair {
+                winner: id(0),
+                loser: id(2)
+            })
         );
 
         let unknown = PriorityRelation::new(vec![(id(0), id(99))]).unwrap();
@@ -321,7 +341,9 @@ mod tests {
         // Missing tuple 4 => not maximal.
         assert!(!inst.is_subset_repair(&[id(0), id(2)]).unwrap());
         // 0 and 1 conflict => inconsistent.
-        assert!(!inst.is_subset_repair(&[id(0), id(1), id(2), id(4)]).unwrap());
+        assert!(!inst
+            .is_subset_repair(&[id(0), id(1), id(2), id(4)])
+            .unwrap());
         assert!(inst.is_consistent(&[id(0), id(2)]).unwrap());
     }
 
@@ -353,7 +375,10 @@ mod tests {
         // A ranking contradicting 1 ≻ 0 is rejected.
         assert_eq!(
             inst.greedy(&[id(0), id(1), id(2), id(3), id(4)]).err(),
-            Some(PriorityError::NotALinearExtension { winner: id(1), loser: id(0) })
+            Some(PriorityError::NotALinearExtension {
+                winner: id(1),
+                loser: id(0)
+            })
         );
         // A non-permutation is rejected.
         assert_eq!(

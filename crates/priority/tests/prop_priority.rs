@@ -12,7 +12,7 @@
 //!   completion-optimal repairs.
 
 use fd_core::{schema_rabc, tup, FdSet, Table, Tuple, TupleId};
-use fd_priority::{PriorityRelation, PrioritizedTable};
+use fd_priority::{PrioritizedTable, PriorityRelation};
 use proptest::prelude::*;
 
 /// A random small table over R(A, B, C) under "A -> B; B -> C", with

@@ -15,7 +15,7 @@
 //! never pick 4 or 5 first.
 
 use fd_core::{schema_rabc, tup, FdSet, Table, TupleId};
-use fd_priority::{PriorityRelation, PrioritizedTable, Semantics};
+use fd_priority::{PrioritizedTable, PriorityRelation, Semantics};
 
 fn id(i: u32) -> TupleId {
     TupleId(i)

@@ -276,11 +276,8 @@ mod tests {
         let s = schema_rabc();
         let fds = FdSet::parse(&s, "-> A").unwrap();
         // Two A-groups of sizes 2 and 1: each group is one repair.
-        let t = Table::build_unweighted(
-            s,
-            vec![tup!["x", 1, 0], tup!["x", 2, 0], tup!["y", 1, 0]],
-        )
-        .unwrap();
+        let t = Table::build_unweighted(s, vec![tup!["x", 1, 0], tup!["x", 2, 0], tup!["y", 1, 0]])
+            .unwrap();
         assert_eq!(count_subset_repairs(&t, &fds), ChainCountOutcome::Count(2));
     }
 
@@ -320,7 +317,7 @@ mod tests {
             let rows: Vec<Tuple> = (0..n)
                 .map(|_| {
                     tup![
-                        ["x", "y"][rng.gen_range(0..2)],
+                        ["x", "y"][rng.gen_range(0..2usize)],
                         rng.gen_range(0..3) as i64,
                         rng.gen_range(0..2) as i64
                     ]
@@ -427,7 +424,7 @@ mod tests {
             let rows: Vec<Tuple> = (0..n)
                 .map(|_| {
                     tup![
-                        ["x", "y"][rng.gen_range(0..2)],
+                        ["x", "y"][rng.gen_range(0..2usize)],
                         rng.gen_range(0..3) as i64,
                         rng.gen_range(0..2) as i64
                     ]

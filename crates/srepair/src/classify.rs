@@ -91,17 +91,35 @@ fn classify_pair(fds: &FdSet, x1: AttrSet, x2: AttrSet, minima: &[AttrSet]) -> C
         // Both X̂₁ ∩ X₂ ≠ ∅ and X̂₂ ∩ X₁ ≠ ∅ (classes 4 and 5).
         if !x2.difference(x1).is_subset(xh1) {
             // Lemma A.17 conditions hold for (x1, x2).
-            Classification { class: 5, core: HardCore::ABtoCtoB, x1, x2, x3: None }
+            Classification {
+                class: 5,
+                core: HardCore::ABtoCtoB,
+                x1,
+                x2,
+                x3: None,
+            }
         } else if !x1.difference(x2).is_subset(xh2) {
             // Lemma A.17 with the roles swapped.
-            Classification { class: 5, core: HardCore::ABtoCtoB, x1: x2, x2: x1, x3: None }
+            Classification {
+                class: 5,
+                core: HardCore::ABtoCtoB,
+                x1: x2,
+                x2: x1,
+                x3: None,
+            }
         } else {
             // (X₁∖X₂) ⊆ X̂₂ and (X₂∖X₁) ⊆ X̂₁: class 4; Lemma A.22 shows a
             // third local minimum must exist (else Δ would have a common
             // lhs or an lhs marriage, contradicting irreducibility).
             let x3 = minima.iter().copied().find(|&m| m != x1 && m != x2);
             debug_assert!(x3.is_some(), "class 4 requires a third local minimum");
-            Classification { class: 4, core: HardCore::Triangle, x1, x2, x3 }
+            Classification {
+                class: 4,
+                core: HardCore::Triangle,
+                x1,
+                x2,
+                x3,
+            }
         }
     }
 }
@@ -118,13 +136,31 @@ fn classify_oriented(
 ) -> Classification {
     let cl2 = fds.closure_of(x2);
     if !xh1.intersects(cl2) {
-        Classification { class: 1, core: HardCore::AtoCfromB, x1, x2, x3: None }
+        Classification {
+            class: 1,
+            core: HardCore::AtoCfromB,
+            x1,
+            x2,
+            x3: None,
+        }
     } else if !xh1.intersects(x2) {
         // X̂₁ ∩ cl(X₂) ≠ ∅ but X̂₁ ∩ X₂ = ∅ forces X̂₁ ∩ X̂₂ ≠ ∅: class 2.
         debug_assert!(xh1.intersects(xh2));
-        Classification { class: 2, core: HardCore::AtoBtoC, x1, x2, x3: None }
+        Classification {
+            class: 2,
+            core: HardCore::AtoBtoC,
+            x1,
+            x2,
+            x3: None,
+        }
     } else {
-        Classification { class: 3, core: HardCore::AtoBtoC, x1, x2, x3: None }
+        Classification {
+            class: 3,
+            core: HardCore::AtoBtoC,
+            x1,
+            x2,
+            x3: None,
+        }
     }
 }
 
@@ -191,7 +227,12 @@ mod tests {
     #[test]
     fn reducible_sets_are_rejected() {
         let s = schema_rabc();
-        for spec in ["A -> B", "A -> B; A -> C", "-> C; A -> B", "A -> B; B -> A; B -> C"] {
+        for spec in [
+            "A -> B",
+            "A -> B; A -> C",
+            "-> C; A -> B",
+            "A -> B; B -> A; B -> C",
+        ] {
             let fds = FdSet::parse(&s, spec).unwrap();
             assert!(classify_irreducible(&fds).is_none(), "{spec}");
         }

@@ -114,7 +114,10 @@ mod tests {
     #[test]
     fn trivial_fd_set_has_one_repair() {
         let t = Table::build_unweighted(schema_rabc(), vec![tup![1, 1, 1]]).unwrap();
-        assert_eq!(count_optimal_s_repairs(&t, &FdSet::empty()), CountOutcome::Count(1));
+        assert_eq!(
+            count_optimal_s_repairs(&t, &FdSet::empty()),
+            CountOutcome::Count(1)
+        );
     }
 
     #[test]
@@ -122,18 +125,10 @@ mod tests {
         // Two equal-weight tuples conflicting on A→B: two optimal repairs.
         let s = schema_rabc();
         let fds = FdSet::parse(&s, "A -> B").unwrap();
-        let t = Table::build_unweighted(
-            s.clone(),
-            vec![tup![1, 1, 0], tup![1, 2, 0]],
-        )
-        .unwrap();
+        let t = Table::build_unweighted(s.clone(), vec![tup![1, 1, 0], tup![1, 2, 0]]).unwrap();
         assert_eq!(count_optimal_s_repairs(&t, &fds), CountOutcome::Count(2));
         // With distinct weights there is a unique optimum.
-        let t2 = Table::build(
-            s,
-            vec![(tup![1, 1, 0], 2.0), (tup![1, 2, 0], 1.0)],
-        )
-        .unwrap();
+        let t2 = Table::build(s, vec![(tup![1, 1, 0], 2.0), (tup![1, 2, 0], 1.0)]).unwrap();
         assert_eq!(count_optimal_s_repairs(&t2, &fds), CountOutcome::Count(1));
     }
 

@@ -59,8 +59,7 @@ pub fn answers_all_repairs(table: &Table, fds: &FdSet) -> TupleAnswers {
         conflicting.insert(a);
         conflicting.insert(b);
     }
-    let mut certain: Vec<TupleId> =
-        table.ids().filter(|id| !conflicting.contains(id)).collect();
+    let mut certain: Vec<TupleId> = table.ids().filter(|id| !conflicting.contains(id)).collect();
     certain.sort_unstable();
     let mut possible: Vec<TupleId> = table.ids().collect();
     possible.sort_unstable();
@@ -71,11 +70,7 @@ pub fn answers_all_repairs(table: &Table, fds: &FdSet) -> TupleAnswers {
 /// `OptSRepair`-based enumeration. Returns `None` when the enumeration is
 /// unavailable (hard side of the dichotomy, an lhs marriage with
 /// ambiguous matchings, or more than `limit` optimal repairs).
-pub fn answers_optimal_repairs(
-    table: &Table,
-    fds: &FdSet,
-    limit: usize,
-) -> Option<TupleAnswers> {
+pub fn answers_optimal_repairs(table: &Table, fds: &FdSet, limit: usize) -> Option<TupleAnswers> {
     let repairs = enumerate_optimal_s_repairs(table, fds, limit)?;
     Some(intersect_and_union(table, &repairs))
 }
@@ -88,8 +83,10 @@ pub fn brute_force_answers_optimal(table: &Table, fds: &FdSet) -> TupleAnswers {
     let mut best = f64::INFINITY;
     let mut repairs: Vec<Vec<TupleId>> = Vec::new();
     for mask in 0..(1u32 << n) {
-        let kept: Vec<TupleId> =
-            (0..n).filter(|&i| mask & (1 << i) != 0).map(|i| ids[i]).collect();
+        let kept: Vec<TupleId> = (0..n)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(|i| ids[i])
+            .collect();
         let keep_set: HashSet<TupleId> = kept.iter().copied().collect();
         let sub = table.subset(&keep_set);
         if !sub.satisfies(fds) {
@@ -136,11 +133,8 @@ mod tests {
     fn all_repairs_certainty_is_conflict_freedom() {
         let s = schema_rabc();
         let fds = FdSet::parse(&s, "A -> B").unwrap();
-        let t = Table::build_unweighted(
-            s,
-            vec![tup!["x", 1, 0], tup!["x", 2, 0], tup!["y", 1, 0]],
-        )
-        .unwrap();
+        let t = Table::build_unweighted(s, vec![tup!["x", 1, 0], tup!["x", 2, 0], tup!["y", 1, 0]])
+            .unwrap();
         let ans = answers_all_repairs(&t, &fds);
         assert_eq!(ans.certain, vec![id(2)]);
         assert_eq!(ans.possible, vec![id(0), id(1), id(2)]);
@@ -153,11 +147,7 @@ mod tests {
         // optimal semantics, uncertain under the all-repairs semantics.
         let s = schema_rabc();
         let fds = FdSet::parse(&s, "A -> B").unwrap();
-        let t = Table::build(
-            s,
-            vec![(tup!["x", 1, 0], 2.0), (tup!["x", 2, 0], 1.0)],
-        )
-        .unwrap();
+        let t = Table::build(s, vec![(tup!["x", 1, 0], 2.0), (tup!["x", 2, 0], 1.0)]).unwrap();
         let all = answers_all_repairs(&t, &fds);
         assert!(all.certain.is_empty());
         let opt = answers_optimal_repairs(&t, &fds, 100).expect("tractable");
@@ -175,7 +165,7 @@ mod tests {
             let rows: Vec<Tuple> = (0..n)
                 .map(|_| {
                     tup![
-                        ["x", "y"][rng.gen_range(0..2)],
+                        ["x", "y"][rng.gen_range(0..2usize)],
                         rng.gen_range(0..3) as i64,
                         rng.gen_range(0..2) as i64
                     ]
@@ -194,7 +184,12 @@ mod tests {
         let fds = FdSet::parse(&s, "A -> B").unwrap();
         let t = Table::build_unweighted(
             s,
-            vec![tup!["x", 1, 0], tup!["x", 2, 0], tup!["x", 3, 0], tup!["y", 1, 0]],
+            vec![
+                tup!["x", 1, 0],
+                tup!["x", 2, 0],
+                tup!["x", 3, 0],
+                tup!["y", 1, 0],
+            ],
         )
         .unwrap();
         let opt = answers_optimal_repairs(&t, &fds, 100).expect("tractable");

@@ -67,7 +67,11 @@ impl FactwiseReduction {
 
     /// Maps a whole table, preserving identifiers and weights.
     pub fn map_table(&self, table: &Table) -> Table {
-        assert_eq!(table.schema().as_ref(), self.source.as_ref(), "schema mismatch");
+        assert_eq!(
+            table.schema().as_ref(),
+            self.source.as_ref(),
+            "schema mismatch"
+        );
         let mut out = Table::new(self.target.clone());
         for row in table.rows() {
             out.push_row(row.id, self.map_tuple(&row.tuple), row.weight)
@@ -184,7 +188,11 @@ pub fn class_reduction(
             })
             .collect(),
     };
-    FactwiseReduction { source: schema_rabc(), target: schema.clone(), cells }
+    FactwiseReduction {
+        source: schema_rabc(),
+        target: schema.clone(),
+        cells,
+    }
 }
 
 /// The Lemma A.18 lifting reduction from `(R, Δ − X)` to `(R, Δ)`: removed
@@ -201,7 +209,11 @@ pub fn lifting_reduction(schema: &Arc<Schema>, removed: AttrSet) -> FactwiseRedu
             }
         })
         .collect();
-    FactwiseReduction { source: schema.clone(), target: schema.clone(), cells }
+    FactwiseReduction {
+        source: schema.clone(),
+        target: schema.clone(),
+        cells,
+    }
 }
 
 /// Composes the lifting reductions along a (stuck) simplification trace:
@@ -261,8 +273,7 @@ mod tests {
             let t = random_abc_table(&mut rng, 6 + trial % 4);
             let mapped = red.map_table(&t);
             // Injectivity on the rows present.
-            let mut images: Vec<Tuple> =
-                t.rows().map(|r| red.map_tuple(&r.tuple)).collect();
+            let mut images: Vec<Tuple> = t.rows().map(|r| red.map_tuple(&r.tuple)).collect();
             let distinct_src: std::collections::HashSet<&Tuple> =
                 t.rows().map(|r| &r.tuple).collect();
             images.sort();
@@ -279,10 +290,7 @@ mod tests {
                     .unwrap();
                     let dst_pair = Table::build_unweighted(
                         schema.clone(),
-                        vec![
-                            red.map_tuple(&rows[i].tuple),
-                            red.map_tuple(&rows[j].tuple),
-                        ],
+                        vec![red.map_tuple(&rows[i].tuple), red.map_tuple(&rows[j].tuple)],
                     )
                     .unwrap();
                     assert_eq!(

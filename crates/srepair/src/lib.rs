@@ -45,7 +45,9 @@ pub use chain_count::{
     sample_subset_repair, ChainCountOutcome,
 };
 pub use classify::{classify_irreducible, Classification, HardCore};
-pub use count::{brute_force_count, count_optimal_s_repairs, enumerate_optimal_s_repairs, CountOutcome};
+pub use count::{
+    brute_force_count, count_optimal_s_repairs, enumerate_optimal_s_repairs, CountOutcome,
+};
 pub use cqa::{
     answers_all_repairs, answers_optimal_repairs, brute_force_answers_optimal, TupleAnswers,
 };

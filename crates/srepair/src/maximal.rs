@@ -34,7 +34,10 @@ pub fn is_subset_repair(table: &Table, fds: &FdSet, repair: &SRepair) -> bool {
 /// can only decrease.
 pub fn make_maximal(table: &Table, fds: &FdSet, repair: &SRepair) -> SRepair {
     let mut kept: HashSet<TupleId> = repair.kept.iter().copied().collect();
-    debug_assert!(table.subset(&kept).satisfies(fds), "input must be consistent");
+    debug_assert!(
+        table.subset(&kept).satisfies(fds),
+        "input must be consistent"
+    );
     for row in table.rows() {
         if kept.contains(&row.id) {
             continue;
@@ -58,11 +61,8 @@ mod tests {
     fn empty_subset_extends_to_a_repair() {
         let s = schema_rabc();
         let fds = FdSet::parse(&s, "A -> B").unwrap();
-        let t = Table::build_unweighted(
-            s,
-            vec![tup![1, 1, 0], tup![1, 2, 0], tup![2, 5, 0]],
-        )
-        .unwrap();
+        let t =
+            Table::build_unweighted(s, vec![tup![1, 1, 0], tup![1, 2, 0], tup![2, 5, 0]]).unwrap();
         let empty = SRepair::from_kept(&t, vec![]);
         assert!(!is_subset_repair(&t, &fds, &empty));
         let maximal = make_maximal(&t, &fds, &empty);

@@ -111,7 +111,11 @@ pub(crate) fn solve(table: &Table, fds: &FdSet) -> Result<Vec<TupleId>, Irreduci
         let matching = max_weight_bipartite_matching(v1.len(), v2.len(), &edges);
         let mut kept = Vec::new();
         for pair in matching.pairs {
-            kept.extend(block_repairs.remove(&pair).expect("matched pairs are edges"));
+            kept.extend(
+                block_repairs
+                    .remove(&pair)
+                    .expect("matched pairs are edges"),
+            );
         }
         return Ok(kept);
     }
@@ -136,11 +140,8 @@ mod tests {
 
     #[test]
     fn trivial_fd_set_keeps_everything() {
-        let t = Table::build_unweighted(
-            schema_rabc(),
-            vec![tup!["x", 1, 0], tup!["x", 2, 0]],
-        )
-        .unwrap();
+        let t =
+            Table::build_unweighted(schema_rabc(), vec![tup!["x", 1, 0], tup!["x", 2, 0]]).unwrap();
         let r = opt_s_repair(&t, &FdSet::empty()).unwrap();
         assert_eq!(r.cost, 0.0);
         assert_eq!(r.kept.len(), 2);
@@ -215,11 +216,7 @@ mod tests {
         // removing X1X2) keeps the heavier C-group.
         let s = schema_rabc();
         let fds = FdSet::parse(&s, "A -> B; B -> A; B -> C").unwrap();
-        let t = Table::build(
-            s,
-            vec![(tup![1, 1, 0], 1.0), (tup![1, 1, 5], 2.0)],
-        )
-        .unwrap();
+        let t = Table::build(s, vec![(tup![1, 1, 0], 1.0), (tup![1, 1, 5], 2.0)]).unwrap();
         let r = opt_s_repair(&t, &fds).unwrap();
         assert_eq!(r.cost, 1.0);
         assert_eq!(r.kept, vec![TupleId(1)]);

@@ -34,7 +34,10 @@ pub struct ParallelConfig {
 
 impl Default for ParallelConfig {
     fn default() -> ParallelConfig {
-        ParallelConfig { threads: 0, min_blocks: 8 }
+        ParallelConfig {
+            threads: 0,
+            min_blocks: 8,
+        }
     }
 }
 
@@ -43,7 +46,9 @@ impl ParallelConfig {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 }
@@ -102,7 +107,10 @@ pub fn par_opt_s_repair(
                 best = Some((weight, kept));
             }
         }
-        return Ok(SRepair::from_kept(table, best.map(|(_, k)| k).unwrap_or_default()));
+        return Ok(SRepair::from_kept(
+            table,
+            best.map(|(_, k)| k).unwrap_or_default(),
+        ));
     }
 
     if let Some((x1, x2)) = fds.lhs_marriage() {
@@ -133,7 +141,11 @@ pub fn par_opt_s_repair(
         let matching = max_weight_bipartite_matching(v1.len(), v2.len(), &edges);
         let mut kept = Vec::new();
         for pair in matching.pairs {
-            kept.extend(block_repairs.remove(&pair).expect("matched pairs are edges"));
+            kept.extend(
+                block_repairs
+                    .remove(&pair)
+                    .expect("matched pairs are edges"),
+            );
         }
         return Ok(SRepair::from_kept(table, kept));
     }
@@ -211,7 +223,7 @@ mod tests {
                         rng.gen_range(0..4) as i64,
                         rng.gen_range(0..4) as i64
                     ],
-                    [1.0, 2.0, 0.5][rng.gen_range(0..3)],
+                    [1.0, 2.0, 0.5][rng.gen_range(0..3usize)],
                 )
             })
             .collect();
@@ -224,7 +236,10 @@ mod tests {
         let s = fd_core::schema_rabc();
         let fds = FdSet::parse(&s, "A -> B; A B -> C").unwrap();
         for threads in [1, 2, 4] {
-            let cfg = ParallelConfig { threads, min_blocks: 1 };
+            let cfg = ParallelConfig {
+                threads,
+                min_blocks: 1,
+            };
             for _ in 0..20 {
                 let t = random_table(&mut rng, 60);
                 let par = par_opt_s_repair(&t, &fds, &cfg).unwrap();
@@ -240,7 +255,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0x9a8);
         let s = fd_core::schema_rabc();
         let fds = FdSet::parse(&s, "-> A; A B -> C").unwrap();
-        let cfg = ParallelConfig { threads: 4, min_blocks: 1 };
+        let cfg = ParallelConfig {
+            threads: 4,
+            min_blocks: 1,
+        };
         for _ in 0..20 {
             let t = random_table(&mut rng, 40);
             let par = par_opt_s_repair(&t, &fds, &cfg).unwrap();
@@ -254,7 +272,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0x9a9);
         let s = fd_core::schema_rabc();
         let fds = FdSet::parse(&s, "A -> B; B -> A; B -> C").unwrap();
-        let cfg = ParallelConfig { threads: 3, min_blocks: 1 };
+        let cfg = ParallelConfig {
+            threads: 3,
+            min_blocks: 1,
+        };
         for _ in 0..20 {
             let t = random_table(&mut rng, 40);
             let par = par_opt_s_repair(&t, &fds, &cfg).unwrap();

@@ -50,7 +50,9 @@ impl SRepair {
             "repair is not consistent: {:?}",
             repaired.violating_pair(fds)
         );
-        let dist = table.dist_sub(&repaired).expect("apply() produces a subset");
+        let dist = table
+            .dist_sub(&repaired)
+            .expect("apply() produces a subset");
         assert!(
             (dist - self.cost).abs() < 1e-9,
             "recorded cost {} disagrees with dist_sub {}",

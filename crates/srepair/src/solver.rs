@@ -46,7 +46,9 @@ pub struct SRepairSolver {
 
 impl Default for SRepairSolver {
     fn default() -> SRepairSolver {
-        SRepairSolver { exact_fallback_limit: 64 }
+        SRepairSolver {
+            exact_fallback_limit: 64,
+        }
     }
 }
 
@@ -57,7 +59,12 @@ impl SRepairSolver {
         if osr_succeeds(fds) {
             let repair = opt_s_repair(table, fds)
                 .expect("OSRSucceeds(Δ) guarantees Algorithm 1 succeeds (Theorem 3.4)");
-            return SSolution { repair, method: SMethod::Dichotomy, optimal: true, ratio: 1.0 };
+            return SSolution {
+                repair,
+                method: SMethod::Dichotomy,
+                optimal: true,
+                ratio: 1.0,
+            };
         }
         if table.len() <= self.exact_fallback_limit {
             SSolution {
@@ -109,7 +116,9 @@ mod tests {
     fn hard_side_large_uses_approx() {
         let s = schema_rabc();
         let fds = FdSet::parse(&s, "A -> B; B -> C").unwrap();
-        let solver = SRepairSolver { exact_fallback_limit: 5 };
+        let solver = SRepairSolver {
+            exact_fallback_limit: 5,
+        };
         let t = dirty_table(30);
         let sol = solver.solve(&t, &fds);
         assert_eq!(sol.method, SMethod::Approx2);

@@ -103,7 +103,10 @@ pub fn simplification_trace(fds: &FdSet) -> Trace {
     loop {
         current = current.remove_trivial();
         if current.is_empty() {
-            return Trace { steps, outcome: Outcome::Success };
+            return Trace {
+                steps,
+                outcome: Outcome::Success,
+            };
         }
         let rule = if let Some(a) = current.common_lhs() {
             Rule::CommonLhs(AttrSet::singleton(a))
@@ -112,10 +115,17 @@ pub fn simplification_trace(fds: &FdSet) -> Trace {
         } else if let Some((x1, x2)) = current.lhs_marriage() {
             Rule::Marriage(x1, x2)
         } else {
-            return Trace { steps, outcome: Outcome::Stuck(current) };
+            return Trace {
+                steps,
+                outcome: Outcome::Stuck(current),
+            };
         };
         let after = current.minus(rule.removed());
-        steps.push(TraceStep { before: current.clone(), rule, after: after.clone() });
+        steps.push(TraceStep {
+            before: current.clone(),
+            rule,
+            after: after.clone(),
+        });
         current = after;
     }
 }
@@ -167,9 +177,9 @@ mod tests {
     fn hard_sets_get_stuck() {
         let s = schema_rabc();
         for spec in [
-            "A -> B; B -> C",          // Δ_{A→B→C}
-            "A -> C; B -> C",          // Δ_{A→C←B}
-            "A B -> C; C -> B",        // Δ_{AB→C→B}
+            "A -> B; B -> C",               // Δ_{A→B→C}
+            "A -> C; B -> C",               // Δ_{A→C←B}
+            "A B -> C; C -> B",             // Δ_{AB→C→B}
             "A B -> C; A C -> B; B C -> A", // Δ_{AB↔AC↔BC}
         ] {
             let fds = FdSet::parse(&s, spec).unwrap();
@@ -184,11 +194,7 @@ mod tests {
     fn chain_sets_always_succeed() {
         // Corollary 3.6.
         let s = Schema::new("R", ["A", "B", "C", "D"]).unwrap();
-        for spec in [
-            "A -> B; A B -> C; A B C -> D",
-            "-> A; A -> B",
-            "A -> B C D",
-        ] {
+        for spec in ["A -> B; A B -> C; A B C -> D", "-> A; A -> B", "A -> B C D"] {
             let fds = FdSet::parse(&s, spec).unwrap();
             assert!(fds.is_chain(), "{spec} is a chain");
             assert!(osr_succeeds(&fds), "{spec} should succeed");

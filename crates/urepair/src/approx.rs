@@ -59,9 +59,14 @@ pub fn approx_u_repair(table: &Table, fds: &FdSet) -> ApproxURepair {
         let merged_cost = repair.cost + part.cost;
         let mut merged_table = repair.updated;
         for (id, attr, _, new) in base.changed_cells(&part.updated).expect("update") {
-            merged_table.set_value(id, attr, new).expect("id from table");
+            merged_table
+                .set_value(id, attr, new)
+                .expect("id from table");
         }
-        repair = URepair { updated: merged_table, cost: merged_cost };
+        repair = URepair {
+            updated: merged_table,
+            cost: merged_cost,
+        };
     }
     ApproxURepair { repair, ratio }
 }
@@ -120,11 +125,8 @@ mod tests {
     fn consensus_only_is_optimal() {
         let s = schema_rabc();
         let fds = FdSet::parse(&s, "-> C").unwrap();
-        let t = Table::build_unweighted(
-            s,
-            vec![tup![1, 0, 5], tup![2, 0, 5], tup![3, 0, 6]],
-        )
-        .unwrap();
+        let t =
+            Table::build_unweighted(s, vec![tup![1, 0, 5], tup![2, 0, 5], tup![3, 0, 6]]).unwrap();
         let a = approx_u_repair(&t, &fds);
         assert_eq!(a.ratio, 1.0);
         assert_eq!(a.repair.cost, 1.0);
@@ -160,11 +162,8 @@ mod tests {
         // plus {A→B, B→C}.
         let s = Schema::new("R", ["A", "B", "C", "D"]).unwrap();
         let fds = FdSet::parse(&s, "-> D; A D -> B; B -> C D").unwrap();
-        let t = Table::build_unweighted(
-            s.clone(),
-            vec![tup![1, 1, 1, 7], tup![1, 2, 2, 8]],
-        )
-        .unwrap();
+        let t =
+            Table::build_unweighted(s.clone(), vec![tup![1, 1, 1, 7], tup![1, 2, 2, 8]]).unwrap();
         let a = approx_u_repair(&t, &fds);
         a.repair.verify(&t, &fds);
         // Consensus on D costs 1; the {A→B,B→C} component costs ≥ 1.

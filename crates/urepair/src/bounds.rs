@@ -57,7 +57,10 @@ mod tests {
         let s = Schema::new("R", names).unwrap();
         let mut spec = vec![format!(
             "{} -> B0",
-            (0..=k).map(|i| format!("A{i}")).collect::<Vec<_>>().join(" ")
+            (0..=k)
+                .map(|i| format!("A{i}"))
+                .collect::<Vec<_>>()
+                .join(" ")
         )];
         spec.push("B0 -> C".to_string());
         for i in 1..=k {

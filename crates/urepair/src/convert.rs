@@ -23,10 +23,7 @@ use std::collections::HashSet;
 pub fn update_to_subset(original: &Table, update: &URepair) -> SRepair {
     let mut kept = Vec::new();
     for row in original.rows() {
-        let new = update
-            .updated
-            .row(row.id)
-            .expect("update has the same ids");
+        let new = update.updated.row(row.id).expect("update has the same ids");
         if new.tuple == row.tuple {
             kept.push(row.id);
         }
@@ -43,8 +40,8 @@ pub fn update_to_subset(original: &Table, update: &URepair) -> SRepair {
 /// Panics if `Δ` has a consensus FD (no lhs cover exists then; Theorem 4.3
 /// strips consensus attributes first).
 pub fn subset_to_update(original: &Table, subset: &SRepair, fds: &FdSet) -> URepair {
-    let cover = fd_core::min_lhs_cover(fds)
-        .expect("Proposition 4.4(2) requires a consensus-free FD set");
+    let cover =
+        fd_core::min_lhs_cover(fds).expect("Proposition 4.4(2) requires a consensus-free FD set");
     let kept: HashSet<TupleId> = subset.kept.iter().copied().collect();
     let mut updated = original.clone();
     let mut fresh = FreshSource::new();
@@ -76,8 +73,10 @@ mod tests {
         )
         .unwrap();
         let mut u = t.clone();
-        u.set_value(TupleId(1), AttrId::new(1), Value::from(1)).unwrap();
-        u.set_value(TupleId(1), AttrId::new(2), Value::from(1)).unwrap();
+        u.set_value(TupleId(1), AttrId::new(1), Value::from(1))
+            .unwrap();
+        u.set_value(TupleId(1), AttrId::new(2), Value::from(1))
+            .unwrap();
         let ur = URepair::new(&t, u).unwrap();
         let sr = update_to_subset(&t, &ur);
         assert_eq!(sr.kept, vec![TupleId(0), TupleId(2)]);

@@ -49,7 +49,10 @@ pub fn attribute_components(fds: &FdSet) -> Vec<FdSet> {
             }
             attrs
         };
-        groups.entry((key_attrs, root)).or_default().push(*fd_list[i]);
+        groups
+            .entry((key_attrs, root))
+            .or_default()
+            .push(*fd_list[i]);
     }
     groups.into_values().map(FdSet::new).collect()
 }

@@ -73,8 +73,7 @@ impl Default for ExactConfig {
 /// configured [`DomainPolicy`] admits no consistent update — only possible
 /// with [`DomainPolicy::Explicit`]; use [`try_exact_u_repair`] there.
 pub fn exact_u_repair(table: &Table, fds: &FdSet, config: &ExactConfig) -> URepair {
-    try_exact_u_repair(table, fds, config)
-        .expect("the domain policy admits no consistent update")
+    try_exact_u_repair(table, fds, config).expect("the domain policy admits no consistent update")
 }
 
 /// [`exact_u_repair`], returning `None` when the [`DomainPolicy`] admits no
@@ -202,8 +201,7 @@ impl Search<'_> {
         for attr_idx in 0..row.tuple.arity() {
             let attr = fd_core::AttrId::new(attr_idx as u16);
             let original = &row.tuple.values()[attr_idx];
-            let mut options: Vec<(f64, Value, Option<usize>)> =
-                vec![(0.0, original.clone(), None)];
+            let mut options: Vec<(f64, Value, Option<usize>)> = vec![(0.0, original.clone(), None)];
             if self.mutable.contains(attr) {
                 for v in &self.domains[attr_idx] {
                     if v != original {
@@ -279,11 +277,8 @@ mod tests {
         // A→B with three tuples in one A-group: change the minority B.
         let s = schema_rabc();
         let fds = FdSet::parse(&s, "A -> B").unwrap();
-        let t = Table::build_unweighted(
-            s,
-            vec![tup![1, 7, 0], tup![1, 7, 1], tup![1, 8, 2]],
-        )
-        .unwrap();
+        let t =
+            Table::build_unweighted(s, vec![tup![1, 7, 0], tup![1, 7, 1], tup![1, 8, 2]]).unwrap();
         let r = solve(&t, &fds);
         assert_eq!(r.cost, 1.0);
         r.verify(&t, &fds);
@@ -307,7 +302,11 @@ mod tests {
         assert_eq!(r.cost, 2.0);
         r.verify(&t, &fds);
         assert_eq!(
-            r.updated.row(TupleId(0)).unwrap().tuple.get(fd_core::AttrId::new(1)),
+            r.updated
+                .row(TupleId(0))
+                .unwrap()
+                .tuple
+                .get(fd_core::AttrId::new(1)),
             &fd_core::Value::from(8)
         );
     }
@@ -339,11 +338,8 @@ mod tests {
     fn consensus_fd_handled() {
         let s = schema_rabc();
         let fds = FdSet::parse(&s, "-> C").unwrap();
-        let t = Table::build_unweighted(
-            s,
-            vec![tup![1, 0, 5], tup![2, 0, 5], tup![3, 0, 6]],
-        )
-        .unwrap();
+        let t =
+            Table::build_unweighted(s, vec![tup![1, 0, 5], tup![2, 0, 5], tup![3, 0, 6]]).unwrap();
         let r = solve(&t, &fds);
         assert_eq!(r.cost, 1.0);
         r.verify(&t, &fds);
@@ -368,11 +364,7 @@ mod tests {
     fn immutable_attrs_are_respected() {
         let s = schema_rabc();
         let fds = FdSet::parse(&s, "A -> B").unwrap();
-        let t = Table::build_unweighted(
-            s.clone(),
-            vec![tup![1, 1, 9], tup![1, 2, 9]],
-        )
-        .unwrap();
+        let t = Table::build_unweighted(s.clone(), vec![tup![1, 1, 9], tup![1, 2, 9]]).unwrap();
         let cfg = ExactConfig {
             mutable_attrs: Some(AttrSet::singleton(s.attr("B").unwrap())),
             ..Default::default()
@@ -380,9 +372,12 @@ mod tests {
         let r = exact_u_repair(&t, &fds, &cfg);
         r.verify(&t, &fds);
         assert_eq!(r.cost, 1.0); // must equalize B; cannot touch A
-        // C column untouched by construction.
+                                 // C column untouched by construction.
         for row in r.updated.rows() {
-            assert_eq!(row.tuple.get(s.attr("C").unwrap()), &fd_core::Value::from(9));
+            assert_eq!(
+                row.tuple.get(s.attr("C").unwrap()),
+                &fd_core::Value::from(9)
+            );
         }
     }
 

@@ -61,8 +61,7 @@ pub fn kl_u_repair(table: &Table, fds: &FdSet) -> URepair {
 
     // Step 3: re-admit picked tuples one at a time, heaviest first (a
     // heavier tuple has more to lose from extra cell changes).
-    let mut order: Vec<&fd_core::Row> =
-        working.rows().filter(|r| picked.contains(&r.id)).collect();
+    let mut order: Vec<&fd_core::Row> = working.rows().filter(|r| picked.contains(&r.id)).collect();
     order.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("finite"));
 
     let mut updated = working.clone();
@@ -78,7 +77,10 @@ pub fn kl_u_repair(table: &Table, fds: &FdSet) -> URepair {
     }
 
     let result = URepair::new(table, updated).expect("only values changed");
-    debug_assert!(result.updated.satisfies(fds), "KL reconstruction must be consistent");
+    debug_assert!(
+        result.updated.satisfies(fds),
+        "KL reconstruction must be consistent"
+    );
     result
 }
 
@@ -109,8 +111,8 @@ fn repair_one(
         } else {
             // Break every agreement that could force `a`: freshen a
             // minimum core implicant of `a`.
-            let ci = min_core_implicant(fds, a)
-                .expect("consensus attributes were stripped in step 1");
+            let ci =
+                min_core_implicant(fds, a).expect("consensus attributes were stripped in step 1");
             for b in ci.iter() {
                 t.set(b, fresh.next());
                 equalized.remove(&b);
@@ -236,11 +238,8 @@ mod tests {
         // One A-group, B disagreement: equalizing one rhs cell suffices.
         let s = schema_rabc();
         let fds = FdSet::parse(&s, "A -> B").unwrap();
-        let t = Table::build_unweighted(
-            s,
-            vec![tup![1, 7, 0], tup![1, 7, 1], tup![1, 8, 2]],
-        )
-        .unwrap();
+        let t =
+            Table::build_unweighted(s, vec![tup![1, 7, 0], tup![1, 7, 1], tup![1, 8, 2]]).unwrap();
         let r = kl_u_repair(&t, &fds);
         r.verify(&t, &fds);
         assert_eq!(r.cost, 1.0);
@@ -250,8 +249,7 @@ mod tests {
     fn handles_wide_schema_families() {
         // Δ'_2 = {A0A1→B0, A1A2→B1, A2A3→B2}.
         let s = Schema::new("R", ["A0", "A1", "A2", "A3", "B0", "B1", "B2"]).unwrap();
-        let fds =
-            FdSet::parse(&s, "A0 A1 -> B0; A1 A2 -> B1; A2 A3 -> B2").unwrap();
+        let fds = FdSet::parse(&s, "A0 A1 -> B0; A1 A2 -> B1; A2 A3 -> B2").unwrap();
         let t = Table::build_unweighted(
             s,
             vec![

@@ -43,8 +43,7 @@ pub fn detect_two_cycle(fds: &FdSet) -> Option<(AttrId, AttrId)> {
 /// Panics if `Δ` is not a two-cycle (use [`detect_two_cycle`] first).
 pub fn two_cycle_u_repair(table: &Table, fds: &FdSet) -> URepair {
     let (a, b) = detect_two_cycle(fds).expect("Δ must be a two-cycle {A→B, B→A}");
-    let sr = opt_s_repair(table, fds)
-        .expect("two-cycles pass OSRSucceeds via the lhs marriage");
+    let sr = opt_s_repair(table, fds).expect("two-cycles pass OSRSucceeds via the lhs marriage");
     let kept: HashSet<TupleId> = sr.kept.iter().copied().collect();
     // Kept tuples index: A value → B value and B value → A value.
     let mut by_a: HashMap<fd_core::Value, fd_core::Value> = HashMap::new();
@@ -61,9 +60,13 @@ pub fn two_cycle_u_repair(table: &Table, fds: &FdSet) -> URepair {
             continue;
         }
         if let Some(bv) = by_a.get(row.tuple.get(a)) {
-            updated.set_value(row.id, b, bv.clone()).expect("id from table");
+            updated
+                .set_value(row.id, b, bv.clone())
+                .expect("id from table");
         } else if let Some(av) = by_b.get(row.tuple.get(b)) {
-            updated.set_value(row.id, a, av.clone()).expect("id from table");
+            updated
+                .set_value(row.id, a, av.clone())
+                .expect("id from table");
         } else {
             unreachable!(
                 "optimal S-repair would have kept a tuple sharing no A or B \
@@ -151,11 +154,7 @@ mod tests {
     fn works_on_renamed_attributes() {
         let s = Schema::new("Passport", ["id", "passport", "holder"]).unwrap();
         let fds = FdSet::parse(&s, "id -> passport; passport -> id").unwrap();
-        let t = Table::build_unweighted(
-            s,
-            vec![tup![1, "p1", "x"], tup![1, "p2", "y"]],
-        )
-        .unwrap();
+        let t = Table::build_unweighted(s, vec![tup![1, "p1", "x"], tup![1, "p2", "y"]]).unwrap();
         let u = two_cycle_u_repair(&t, &fds);
         u.verify(&t, &fds);
         assert_eq!(u.cost, 1.0);

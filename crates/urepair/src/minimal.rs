@@ -41,12 +41,17 @@ pub fn is_update_repair(original: &Table, fds: &FdSet, repair: &URepair) -> bool
         return false;
     }
     let changed = original.changed_cells(&repair.updated).expect("update");
-    assert!(changed.len() <= 20, "exhaustive minimality limited to 20 cells");
+    assert!(
+        changed.len() <= 20,
+        "exhaustive minimality limited to 20 cells"
+    );
     for mask in 1u32..(1 << changed.len()) {
         let mut trial = repair.updated.clone();
         for (i, (id, attr, old, _)) in changed.iter().enumerate() {
             if mask & (1 << i) != 0 {
-                trial.set_value(*id, *attr, old.clone()).expect("id from table");
+                trial
+                    .set_value(*id, *attr, old.clone())
+                    .expect("id from table");
             }
         }
         if trial.satisfies(fds) {
@@ -67,16 +72,14 @@ mod tests {
     fn wasteful_update_is_trimmed() {
         let s = schema_rabc();
         let fds = FdSet::parse(&s, "A -> B").unwrap();
-        let t = Table::build_unweighted(
-            s,
-            vec![tup![1, 1, 0], tup![1, 2, 0]],
-        )
-        .unwrap();
+        let t = Table::build_unweighted(s, vec![tup![1, 1, 0], tup![1, 2, 0]]).unwrap();
         // Fix the violation (B := 1 on tuple 1) but also change an
         // unrelated cell (C on tuple 0).
         let mut u = t.clone();
-        u.set_value(TupleId(1), AttrId::new(1), Value::from(1)).unwrap();
-        u.set_value(TupleId(0), AttrId::new(2), Value::from(9)).unwrap();
+        u.set_value(TupleId(1), AttrId::new(1), Value::from(1))
+            .unwrap();
+        u.set_value(TupleId(0), AttrId::new(2), Value::from(9))
+            .unwrap();
         let wasteful = URepair::new(&t, u).unwrap();
         assert_eq!(wasteful.cost, 2.0);
         assert!(!is_update_repair(&t, &fds, &wasteful));
@@ -121,15 +124,13 @@ mod tests {
         // checker catches the sets.
         let s = schema_rabc();
         let fds = FdSet::parse(&s, "A -> B").unwrap();
-        let t = Table::build_unweighted(
-            s,
-            vec![tup![1, 1, 0], tup![1, 2, 0]],
-        )
-        .unwrap();
+        let t = Table::build_unweighted(s, vec![tup![1, 1, 0], tup![1, 2, 0]]).unwrap();
         // Change both conflicting cells (B of both tuples) to 7.
         let mut u = t.clone();
-        u.set_value(TupleId(0), AttrId::new(1), Value::from(7)).unwrap();
-        u.set_value(TupleId(1), AttrId::new(1), Value::from(7)).unwrap();
+        u.set_value(TupleId(0), AttrId::new(1), Value::from(7))
+            .unwrap();
+        u.set_value(TupleId(1), AttrId::new(1), Value::from(7))
+            .unwrap();
         let both = URepair::new(&t, u).unwrap();
         assert!(both.updated.satisfies(&fds));
         // Restoring either single cell alone re-violates; restoring both

@@ -25,8 +25,8 @@
 //!   Proposition 4.4(2) lhs-cover retagging;
 //! * [`mixed_ratio_bound`] — the proven ratio of the approximation.
 
-use crate::repair::URepair;
 use crate::exact::{try_exact_u_repair, ExactConfig};
+use crate::repair::URepair;
 use fd_core::{min_lhs_cover, FdSet, FreshSource, Table, TupleId};
 use fd_graph::{vertex_cover_2approx, ConflictGraph};
 use std::collections::HashSet;
@@ -42,7 +42,10 @@ pub struct MixedCosts {
 
 impl MixedCosts {
     /// Unit costs: one deletion = one cell change = `w(t)`.
-    pub const UNIT: MixedCosts = MixedCosts { delete: 1.0, update: 1.0 };
+    pub const UNIT: MixedCosts = MixedCosts {
+        delete: 1.0,
+        update: 1.0,
+    };
 
     /// Validates strictly positive, finite multipliers.
     pub fn new(delete: f64, update: f64) -> MixedCosts {
@@ -72,7 +75,11 @@ impl MixedRepair {
             .map(|&id| original.row(id).expect("id from table").weight)
             .sum();
         let cost = costs.delete * delete_weight + costs.update * update.cost;
-        MixedRepair { deleted, repaired: update.updated, cost }
+        MixedRepair {
+            deleted,
+            repaired: update.updated,
+            cost,
+        }
     }
 
     /// Verifies consistency and the recorded cost; panics with a
@@ -85,7 +92,8 @@ impl MixedRepair {
         );
         let delete: HashSet<TupleId> = self.deleted.iter().copied().collect();
         let survivors = original.without(&delete);
-        let delete_weight: f64 = self.deleted
+        let delete_weight: f64 = self
+            .deleted
             .iter()
             .map(|&id| original.row(id).expect("id from table").weight)
             .sum();
@@ -130,8 +138,10 @@ pub fn exact_mixed_repair(
     assert!(n <= 20, "exact_mixed_repair is exhaustive; got {n} rows");
     let mut best: Option<MixedRepair> = None;
     for mask in 0u32..(1u32 << n) {
-        let deleted: Vec<TupleId> =
-            (0..n).filter(|&i| mask & (1 << i) != 0).map(|i| ids[i]).collect();
+        let deleted: Vec<TupleId> = (0..n)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(|i| ids[i])
+            .collect();
         let delete_weight: f64 = deleted
             .iter()
             .map(|&id| table.row(id).expect("id from table").weight)
@@ -178,7 +188,11 @@ pub fn approx_mixed_repair(table: &Table, fds: &FdSet, costs: MixedCosts) -> Mix
     let cover = vertex_cover_2approx(&cg.graph);
     let covered: Vec<TupleId> = cg.to_ids(&cover.nodes);
 
-    let lhs_cover = if fds_n.is_consensus_free() { min_lhs_cover(&fds_n) } else { None };
+    let lhs_cover = if fds_n.is_consensus_free() {
+        min_lhs_cover(&fds_n)
+    } else {
+        None
+    };
     let retag_cells = lhs_cover.map(|c| c.len());
 
     let mut deleted: Vec<TupleId> = Vec::new();
@@ -188,9 +202,13 @@ pub fn approx_mixed_repair(table: &Table, fds: &FdSet, costs: MixedCosts) -> Mix
     for id in covered {
         let w = table.row(id).expect("id from table").weight;
         match (lhs_cover, retag_cells) {
-            (Some(cover_attrs), Some(cells)) if costs.update * (cells as f64) * w < costs.delete * w => {
+            (Some(cover_attrs), Some(cells))
+                if costs.update * (cells as f64) * w < costs.delete * w =>
+            {
                 for attr in cover_attrs.iter() {
-                    updated.set_value(id, attr, fresh.next()).expect("id from table");
+                    updated
+                        .set_value(id, attr, fresh.next())
+                        .expect("id from table");
                 }
                 update_cost += (cells as f64) * w;
             }
@@ -269,11 +287,11 @@ mod tests {
                 .map(|_| {
                     (
                         tup![
-                            ["x", "y"][rng.gen_range(0..2)],
+                            ["x", "y"][rng.gen_range(0..2usize)],
                             rng.gen_range(0..2) as i64,
                             rng.gen_range(0..2) as i64
                         ],
-                        [1.0, 2.0][rng.gen_range(0..2)],
+                        [1.0, 2.0][rng.gen_range(0..2usize)],
                     )
                 })
                 .collect();
@@ -294,11 +312,8 @@ mod tests {
     fn huge_delete_cost_collapses_to_optimal_u_repair() {
         let s = schema_rabc();
         let fds = FdSet::parse(&s, "A -> B").unwrap();
-        let t = Table::build_unweighted(
-            s,
-            vec![tup!["x", 1, 0], tup!["x", 2, 0], tup!["x", 3, 0]],
-        )
-        .unwrap();
+        let t = Table::build_unweighted(s, vec![tup!["x", 1, 0], tup!["x", 2, 0], tup!["x", 3, 0]])
+            .unwrap();
         let costs = MixedCosts::new(1000.0, 1.0);
         let mixed = exact_mixed_repair(&t, &fds, costs, &ExactConfig::default());
         mixed.verify(&t, &fds, costs);
@@ -349,7 +364,7 @@ mod tests {
             let rows: Vec<_> = (0..n)
                 .map(|_| {
                     tup![
-                        ["x", "y"][rng.gen_range(0..2)],
+                        ["x", "y"][rng.gen_range(0..2usize)],
                         rng.gen_range(0..2) as i64,
                         rng.gen_range(0..2) as i64
                     ]

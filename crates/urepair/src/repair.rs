@@ -21,7 +21,10 @@ impl URepair {
 
     /// The identity update (no cells changed).
     pub fn identity(original: &Table) -> URepair {
-        URepair { updated: original.clone(), cost: 0.0 }
+        URepair {
+            updated: original.clone(),
+            cost: 0.0,
+        }
     }
 
     /// Verifies consistency and the recorded cost; panics with a diagnostic
@@ -71,7 +74,8 @@ mod tests {
         )
         .unwrap();
         let mut u = t.clone();
-        u.set_value(fd_core::TupleId(0), AttrId::new(2), Value::from(9)).unwrap();
+        u.set_value(fd_core::TupleId(0), AttrId::new(2), Value::from(9))
+            .unwrap();
         let r = URepair::new(&t, u).unwrap();
         assert_eq!(r.cost, 2.0);
         let s = schema_rabc();
@@ -83,9 +87,11 @@ mod tests {
     fn compose_disjoint_updates() {
         let t = Table::build_unweighted(schema_rabc(), vec![tup![1, 1, 1]]).unwrap();
         let mut ua = t.clone();
-        ua.set_value(fd_core::TupleId(0), AttrId::new(0), Value::from(7)).unwrap();
+        ua.set_value(fd_core::TupleId(0), AttrId::new(0), Value::from(7))
+            .unwrap();
         let mut ub = t.clone();
-        ub.set_value(fd_core::TupleId(0), AttrId::new(2), Value::from(8)).unwrap();
+        ub.set_value(fd_core::TupleId(0), AttrId::new(2), Value::from(8))
+            .unwrap();
         let a = URepair::new(&t, ua).unwrap();
         let b = URepair::new(&t, ub).unwrap();
         let merged = a.compose(&t, &b).unwrap();
@@ -100,9 +106,11 @@ mod tests {
     fn compose_rejects_overlapping_updates() {
         let t = Table::build_unweighted(schema_rabc(), vec![tup![1, 1, 1]]).unwrap();
         let mut ua = t.clone();
-        ua.set_value(fd_core::TupleId(0), AttrId::new(0), Value::from(7)).unwrap();
+        ua.set_value(fd_core::TupleId(0), AttrId::new(0), Value::from(7))
+            .unwrap();
         let mut ub = t.clone();
-        ub.set_value(fd_core::TupleId(0), AttrId::new(0), Value::from(8)).unwrap();
+        ub.set_value(fd_core::TupleId(0), AttrId::new(0), Value::from(8))
+            .unwrap();
         let a = URepair::new(&t, ua).unwrap();
         let b = URepair::new(&t, ub).unwrap();
         assert!(a.compose(&t, &b).is_err());

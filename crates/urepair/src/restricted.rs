@@ -27,7 +27,10 @@ use fd_core::{AttrId, FdSet, Table, Value};
 /// Exhaustive (exponential) like [`crate::exact_u_repair`]; small tables
 /// only.
 pub fn active_domain_u_repair(table: &Table, fds: &FdSet, config: &ExactConfig) -> URepair {
-    let cfg = ExactConfig { domain_policy: DomainPolicy::ActiveDomain, ..config.clone() };
+    let cfg = ExactConfig {
+        domain_policy: DomainPolicy::ActiveDomain,
+        ..config.clone()
+    };
     try_exact_u_repair(table, fds, &cfg)
         .expect("active-domain repairs always exist (equalize each group)")
 }
@@ -40,7 +43,10 @@ pub fn try_restricted_u_repair(
     allowed: Vec<(AttrId, Vec<Value>)>,
     config: &ExactConfig,
 ) -> Option<URepair> {
-    let cfg = ExactConfig { domain_policy: DomainPolicy::Explicit(allowed), ..config.clone() };
+    let cfg = ExactConfig {
+        domain_policy: DomainPolicy::Explicit(allowed),
+        ..config.clone()
+    };
     try_exact_u_repair(table, fds, &cfg)
 }
 
@@ -71,7 +77,7 @@ pub(crate) mod tests {
             let rows: Vec<_> = (0..n)
                 .map(|_| {
                     tup![
-                        ["x", "y"][rng.gen_range(0..2)],
+                        ["x", "y"][rng.gen_range(0..2usize)],
                         rng.gen_range(0..2) as i64,
                         rng.gen_range(0..2) as i64
                     ]
@@ -104,18 +110,18 @@ pub(crate) mod tests {
     fn active_domain_repair_is_consistent_and_in_domain() {
         let s = schema_rabc();
         let fds = FdSet::parse(&s, "A -> B").unwrap();
-        let t = Table::build_unweighted(
-            s,
-            vec![tup!["a", 1, 0], tup!["a", 2, 0], tup!["b", 3, 0]],
-        )
-        .unwrap();
+        let t = Table::build_unweighted(s, vec![tup!["a", 1, 0], tup!["a", 2, 0], tup!["b", 3, 0]])
+            .unwrap();
         let rep = active_domain_u_repair(&t, &fds, &ExactConfig::default());
         rep.verify(&t, &fds);
         // Every value in the repaired table already occurred in its column.
         for attr in t.schema().attr_ids() {
             let domain = t.column_domain(attr);
             for row in rep.updated.rows() {
-                assert!(domain.contains(row.tuple.get(attr)), "fresh value sneaked in");
+                assert!(
+                    domain.contains(row.tuple.get(attr)),
+                    "fresh value sneaked in"
+                );
             }
         }
     }
@@ -127,8 +133,9 @@ pub(crate) mod tests {
         let t = Table::build_unweighted(s.clone(), vec![tup!["a", 0, 0], tup!["b", 0, 0]]).unwrap();
         let a = s.attr("A").unwrap();
         // Neither cell may move to the other's value: no repair.
-        assert!(try_restricted_u_repair(&t, &fds, vec![(a, vec![])], &ExactConfig::default())
-            .is_none());
+        assert!(
+            try_restricted_u_repair(&t, &fds, vec![(a, vec![])], &ExactConfig::default()).is_none()
+        );
         // Allowing "a" for both makes it feasible at cost 1.
         let rep = try_restricted_u_repair(
             &t,
@@ -155,7 +162,11 @@ pub(crate) mod tests {
             let n = 2 + rng.gen_range(0..5);
             let rows: Vec<_> = (0..n)
                 .map(|_| {
-                    tup![["x", "y"][rng.gen_range(0..2)], rng.gen_range(0..3) as i64, 0]
+                    tup![
+                        ["x", "y"][rng.gen_range(0..2usize)],
+                        rng.gen_range(0..3) as i64,
+                        0
+                    ]
                 })
                 .collect();
             let t = Table::build_unweighted(s.clone(), rows).unwrap();

@@ -56,7 +56,10 @@ pub struct URepairSolver {
 
 impl Default for URepairSolver {
     fn default() -> URepairSolver {
-        URepairSolver { exact_row_limit: 8, exact_node_budget: 2_000_000 }
+        URepairSolver {
+            exact_row_limit: 8,
+            exact_node_budget: 2_000_000,
+        }
     }
 }
 
@@ -96,15 +99,28 @@ impl URepairSolver {
             for (id, attr, _, new) in base.changed_cells(&part.updated).expect("update") {
                 merged.set_value(id, attr, new).expect("id from table");
             }
-            repair = URepair { updated: merged, cost: merged_cost };
+            repair = URepair {
+                updated: merged,
+                cost: merged_cost,
+            };
         }
         debug_assert!(repair.updated.satisfies(fds));
-        USolution { repair, methods, optimal, ratio }
+        USolution {
+            repair,
+            methods,
+            optimal,
+            ratio,
+        }
     }
 
     fn solve_component(&self, base: &Table, comp: &FdSet) -> (URepair, UMethod, bool, f64) {
         if base.satisfies(comp) {
-            return (URepair::identity(base), UMethod::AlreadyConsistent, true, 1.0);
+            return (
+                URepair::identity(base),
+                UMethod::AlreadyConsistent,
+                true,
+                1.0,
+            );
         }
         // Proposition 4.9.
         if detect_two_cycle(comp).is_some() {
@@ -132,7 +148,11 @@ impl URepairSolver {
         let ours = approx_u_repair(base, comp);
         let kl = kl_u_repair(base, comp);
         let bound = ours.ratio.min(crate::bounds::ratio_kl(comp));
-        let part = if kl.cost < ours.repair.cost { kl } else { ours.repair };
+        let part = if kl.cost < ours.repair.cost {
+            kl
+        } else {
+            ours.repair
+        };
         (part, UMethod::Approximate, false, bound)
     }
 }
@@ -181,11 +201,7 @@ mod tests {
     fn two_cycle_component_detected() {
         let s = schema_rabc();
         let fds = FdSet::parse(&s, "A -> B; B -> A").unwrap();
-        let t = Table::build_unweighted(
-            schema_rabc(),
-            vec![tup![1, 2, 0], tup![1, 3, 0]],
-        )
-        .unwrap();
+        let t = Table::build_unweighted(schema_rabc(), vec![tup![1, 2, 0], tup![1, 3, 0]]).unwrap();
         let sol = URepairSolver::default().solve(&t, &fds);
         assert!(sol.methods.contains(&UMethod::TwoCycle));
         assert!(sol.optimal);
@@ -213,7 +229,10 @@ mod tests {
         let fds = FdSet::parse(&s, "A -> B; B -> C").unwrap();
         let rows = (0..24).map(|i| tup![(i % 4) as i64, (i % 3) as i64, (i % 2) as i64]);
         let t = Table::build_unweighted(schema_rabc(), rows).unwrap();
-        let solver = URepairSolver { exact_row_limit: 4, ..Default::default() };
+        let solver = URepairSolver {
+            exact_row_limit: 4,
+            ..Default::default()
+        };
         let sol = solver.solve(&t, &fds);
         assert!(sol.methods.contains(&UMethod::Approximate));
         assert!(!sol.optimal);
@@ -227,8 +246,7 @@ mod tests {
         // Δ' = {item→cost, buyer→address, address→state}: the second
         // component {buyer→address, address→state} is the hard chain.
         let s = Schema::new("R", ["item", "cost", "buyer", "address", "state"]).unwrap();
-        let fds =
-            FdSet::parse(&s, "item -> cost; buyer -> address; address -> state").unwrap();
+        let fds = FdSet::parse(&s, "item -> cost; buyer -> address; address -> state").unwrap();
         let t = Table::build_unweighted(
             s,
             vec![

@@ -13,7 +13,12 @@ fn conflicted_table() -> (Table, FdSet) {
     let fds = FdSet::parse(&s, "A -> B").unwrap();
     let t = Table::build_unweighted(
         s,
-        vec![tup!["x", 1, 0], tup!["x", 2, 0], tup!["x", 3, 0], tup!["x", 4, 0]],
+        vec![
+            tup!["x", 1, 0],
+            tup!["x", 2, 0],
+            tup!["x", 3, 0],
+            tup!["x", 4, 0],
+        ],
     )
     .unwrap();
     (t, fds)
@@ -23,7 +28,10 @@ fn conflicted_table() -> (Table, FdSet) {
 #[should_panic(expected = "node budget exhausted")]
 fn exact_search_panics_when_budget_exhausted() {
     let (t, fds) = conflicted_table();
-    let cfg = ExactConfig { max_nodes: 1, ..ExactConfig::default() };
+    let cfg = ExactConfig {
+        max_nodes: 1,
+        ..ExactConfig::default()
+    };
     let _ = exact_u_repair(&t, &fds, &cfg);
 }
 
@@ -55,8 +63,9 @@ fn empty_explicit_domain_reports_infeasible_not_panic() {
     let fds = FdSet::parse(&s, "-> A").unwrap();
     let t = Table::build_unweighted(s.clone(), vec![tup!["a", 0, 0], tup!["b", 0, 0]]).unwrap();
     let a = s.attr("A").unwrap();
-    assert!(try_restricted_u_repair(&t, &fds, vec![(a, vec![])], &ExactConfig::default())
-        .is_none());
+    assert!(
+        try_restricted_u_repair(&t, &fds, vec![(a, vec![])], &ExactConfig::default()).is_none()
+    );
 }
 
 #[test]

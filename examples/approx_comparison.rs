@@ -12,7 +12,10 @@ use rand::prelude::*;
 
 fn main() {
     println!("Proved ratio bounds (Δ_k: ours Θ(k) vs KL Θ(k²)):");
-    println!("{:>3} {:>12} {:>12} {:>12}", "k", "ours 2·mlc", "KL bound", "combined");
+    println!(
+        "{:>3} {:>12} {:>12} {:>12}",
+        "k", "ours 2·mlc", "KL bound", "combined"
+    );
     for k in 1..=10 {
         let (_, fds) = delta_k(k);
         println!(
@@ -25,7 +28,10 @@ fn main() {
     }
 
     println!("\nProved ratio bounds (Δ'_k: ours Θ(k) vs KL constant 9):");
-    println!("{:>3} {:>12} {:>12} {:>12}", "k", "ours 2·mlc", "KL bound", "combined");
+    println!(
+        "{:>3} {:>12} {:>12} {:>12}",
+        "k", "ours 2·mlc", "KL bound", "combined"
+    );
     for k in 1..=10 {
         let (_, fds) = delta_prime_k(k);
         println!(

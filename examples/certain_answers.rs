@@ -31,13 +31,25 @@ fn main() {
 
     let all = answers_all_repairs(&table, &fds);
     println!("all-repairs semantics (polynomial, any FD set):");
-    println!("  certain  = {:?}  (only conflict-free tuples)", all.certain);
-    println!("  possible = {:?}  (every tuple extends to a repair)", all.possible);
+    println!(
+        "  certain  = {:?}  (only conflict-free tuples)",
+        all.certain
+    );
+    println!(
+        "  possible = {:?}  (every tuple extends to a repair)",
+        all.possible
+    );
 
     let opt = answers_optimal_repairs(&table, &fds, 1_000).expect("tractable FD set");
     println!("\noptimal-repairs semantics (weights vote):");
-    println!("  certain  = {:?}  (ada's heavy record joins bo's)", opt.certain);
-    println!("  possible = {:?}  (the light record is in NO optimal repair)", opt.possible);
+    println!(
+        "  certain  = {:?}  (ada's heavy record joins bo's)",
+        opt.certain
+    );
+    println!(
+        "  possible = {:?}  (the light record is in NO optimal repair)",
+        opt.possible
+    );
 
     assert_eq!(all.certain, vec![TupleId(2)]);
     assert_eq!(opt.certain, vec![TupleId(0), TupleId(2)]);

@@ -54,10 +54,17 @@ fn main() {
 
     println!("\n— CFD repair —");
     let analysis = ConflictAnalysis::build(&table, &cfds);
-    println!("forced deletions (single-tuple violations): {:?}", analysis.forced);
+    println!(
+        "forced deletions (single-tuple violations): {:?}",
+        analysis.forced
+    );
     println!("conflicting pairs: {:?}", analysis.edges);
     let repair = optimal_subset_repair(&table, &cfds);
-    println!("optimal subset repair deletes {:?} (cost {})", repair.deleted(&table), repair.cost);
+    println!(
+        "optimal subset repair deletes {:?} (cost {})",
+        repair.deleted(&table),
+        repair.cost
+    );
     assert!(satisfies(&repair.apply(&table), &cfds));
 
     println!("\n— DC repair —");

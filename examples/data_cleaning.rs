@@ -16,8 +16,8 @@ use rand::prelude::*;
 fn main() {
     // Employee(emp, name, dept, building, city): emp determines the rest;
     // a department sits in one building; a building is in one city.
-    let schema = Schema::new("Employee", ["emp", "name", "dept", "building", "city"])
-        .expect("valid schema");
+    let schema =
+        Schema::new("Employee", ["emp", "name", "dept", "building", "city"]).expect("valid schema");
     let fds = FdSet::parse(
         &schema,
         "emp -> name dept; dept -> building; building -> city",
@@ -33,7 +33,11 @@ fn main() {
     println!(
         "\nOSRSucceeds? {} — computing an optimal S-repair is {}",
         trace.succeeded(),
-        if trace.succeeded() { "polynomial" } else { "APX-complete (Theorem 3.4)" }
+        if trace.succeeded() {
+            "polynomial"
+        } else {
+            "APX-complete (Theorem 3.4)"
+        }
     );
     if let fd_repairs::srepair::Outcome::Stuck(stuck) = &trace.outcome {
         let cls = classify_irreducible(stuck).expect("irreducible");
@@ -46,7 +50,12 @@ fn main() {
     }
 
     let mut rng = StdRng::seed_from_u64(2024);
-    let cfg = DirtyConfig { rows: 40, domain: 6, corruptions: 8, weighted: false };
+    let cfg = DirtyConfig {
+        rows: 40,
+        domain: 6,
+        corruptions: 8,
+        weighted: false,
+    };
     let table = dirty_table(&schema, &fds, &cfg, &mut rng);
     let conflicts = table.conflicting_pairs(&fds).len();
     println!(
@@ -68,8 +77,11 @@ fn main() {
 
     // Update repair: the solver decomposes, uses exact search on small
     // components and the combined approximation otherwise.
-    let u_solution = URepairSolver { exact_row_limit: 8, ..Default::default() }
-        .solve(&table, &fds);
+    let u_solution = URepairSolver {
+        exact_row_limit: 8,
+        ..Default::default()
+    }
+    .solve(&table, &fds);
     let changed = table.changed_cells(&u_solution.repair.updated).unwrap();
     println!(
         "U-repair [{:?}, optimal = {}, ratio ≤ {:.1}]: change {} cells, cost {}",

@@ -17,13 +17,13 @@ fn main() {
     let specs: Vec<String> = if args.is_empty() {
         [
             // Example 3.5.
-            "A -> B; A C -> D",            // common-lhs flavored, succeeds
-            "A -> B; B -> A; B -> C",      // Δ_{A↔B→C}: marriage, succeeds
-            "A -> B; B -> C",              // Δ_{A→B→C}: stuck (class 2/3)
-            "A -> C; B -> C",              // Δ_{A→C←B}: stuck
+            "A -> B; A C -> D",       // common-lhs flavored, succeeds
+            "A -> B; B -> A; B -> C", // Δ_{A↔B→C}: marriage, succeeds
+            "A -> B; B -> C",         // Δ_{A→B→C}: stuck (class 2/3)
+            "A -> C; B -> C",         // Δ_{A→C←B}: stuck
             // Table 1.
-            "A B -> C; C -> B",            // Δ_{AB→C→B}: stuck, class 5
-            "A B -> C; A C -> B; B C -> A",// Δ_{AB↔AC↔BC}: stuck, class 4
+            "A B -> C; C -> B",             // Δ_{AB→C→B}: stuck, class 5
+            "A B -> C; A C -> B; B C -> A", // Δ_{AB↔AC↔BC}: stuck, class 4
             // Example 3.8 class witnesses.
             "A -> B; C -> D",
             "A -> C D; B -> C E",
@@ -40,8 +40,7 @@ fn main() {
         args
     };
 
-    let schema = Schema::new("R", ["A", "B", "C", "D", "E", "F", "G", "H"])
-        .expect("valid schema");
+    let schema = Schema::new("R", ["A", "B", "C", "D", "E", "F", "G", "H"]).expect("valid schema");
 
     for spec in specs {
         let fds = match FdSet::parse(&schema, &spec) {

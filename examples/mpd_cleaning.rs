@@ -18,12 +18,12 @@ fn main() {
     let table = Table::build(
         schema.clone(),
         vec![
-            (tup!["s1", "lab", 21], 0.95),  // trusted
-            (tup!["s1", "lab", 24], 0.60),  // conflicting re-read
-            (tup!["s1", "attic", 21], 0.40),// likely a routing glitch
-            (tup!["s2", "hall", 19], 1.00), // certain (manually verified)
-            (tup!["s2", "hall", 23], 0.90), // conflicts with the certain row
-            (tup!["s3", "roof", 17], 0.30), // low confidence, no conflict
+            (tup!["s1", "lab", 21], 0.95),   // trusted
+            (tup!["s1", "lab", 24], 0.60),   // conflicting re-read
+            (tup!["s1", "attic", 21], 0.40), // likely a routing glitch
+            (tup!["s2", "hall", 19], 1.00),  // certain (manually verified)
+            (tup!["s2", "hall", 23], 0.90),  // conflicts with the certain row
+            (tup!["s3", "roof", 17], 0.30),  // low confidence, no conflict
         ],
     )
     .expect("valid table");

@@ -18,10 +18,10 @@ fn main() {
     let table = Table::build_unweighted(
         schema.clone(),
         vec![
-            tup!["d17", "ana", "lab2"],  // 0: from the asset scan
-            tup!["d17", "ana", "lab4"],  // 1: from a stale spreadsheet
-            tup!["d17", "bruno", "lab2"],// 2: from the ticket system
-            tup!["d23", "carla", "hq"],  // 3: clean
+            tup!["d17", "ana", "lab2"],   // 0: from the asset scan
+            tup!["d17", "ana", "lab4"],   // 1: from a stale spreadsheet
+            tup!["d17", "bruno", "lab2"], // 2: from the ticket system
+            tup!["d23", "carla", "hq"],   // 3: clean
         ],
     )
     .unwrap();
@@ -39,11 +39,8 @@ fn main() {
 
     // Curators: the asset scan beats the spreadsheet (site conflict), and
     // the asset scan beats the ticket system (owner conflict).
-    let prio = PriorityRelation::new(vec![
-        (TupleId(0), TupleId(1)),
-        (TupleId(0), TupleId(2)),
-    ])
-    .unwrap();
+    let prio =
+        PriorityRelation::new(vec![(TupleId(0), TupleId(1)), (TupleId(0), TupleId(2))]).unwrap();
     let inst = PrioritizedTable::new(&table, &fds, &prio).unwrap();
     println!("\nwith priorities 0 ≻ 1 (sites) and 0 ≻ 2 (owners):");
     for (name, sem) in [
@@ -55,7 +52,11 @@ fn main() {
         println!(
             "  {name}: {} repair(s){}",
             repairs.len(),
-            if repairs.len() == 1 { format!(" → keep {:?}", repairs[0]) } else { String::new() }
+            if repairs.len() == 1 {
+                format!(" → keep {:?}", repairs[0])
+            } else {
+                String::new()
+            }
         );
     }
     assert!(inst.is_categorical(Semantics::Pareto).unwrap());

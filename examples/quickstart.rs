@@ -18,15 +18,17 @@ fn main() {
     println!(
         "T satisfies Δ? {} (violating pair: {:?})\n",
         table.satisfies(&fds),
-        table.violating_pair(&fds).map(|(i, j, fd)| format!(
-            "tuples {i} and {j} on {}",
-            fd.display(&schema)
-        ))
+        table
+            .violating_pair(&fds)
+            .map(|(i, j, fd)| format!("tuples {i} and {j} on {}", fd.display(&schema)))
     );
 
     // The dichotomy test (Algorithm 2) with its simplification trace.
     let trace = simplification_trace(&fds);
-    println!("OSRSucceeds trace (Example 3.5):\n{}\n", trace.display(&schema));
+    println!(
+        "OSRSucceeds trace (Example 3.5):\n{}\n",
+        trace.display(&schema)
+    );
 
     // Optimal subset repair (Algorithm 1).
     let s_repair = opt_s_repair(&table, &fds).expect("tractable side");
@@ -45,9 +47,6 @@ fn main() {
     );
     println!("{}", solution.repair.updated);
     for (id, attr, old, new) in table.changed_cells(&solution.repair.updated).unwrap() {
-        println!(
-            "  cell ({id}, {}) : {old} → {new}",
-            schema.attr_name(attr)
-        );
+        println!("  cell ({id}, {}) : {old} → {new}", schema.attr_name(attr));
     }
 }

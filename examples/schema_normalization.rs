@@ -24,10 +24,16 @@ fn main() {
     let keys = candidate_keys(&schema, &fds);
     println!(
         "candidate keys: {}",
-        keys.iter().map(|k| k.display(&schema)).collect::<Vec<_>>().join(", ")
+        keys.iter()
+            .map(|k| k.display(&schema))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     match bcnf_violation(&schema, &fds) {
-        Some(v) => println!("BCNF? no — {} has a non-superkey lhs", v.fd.display(&schema)),
+        Some(v) => println!(
+            "BCNF? no — {} has a non-superkey lhs",
+            v.fd.display(&schema)
+        ),
         None => println!("BCNF? yes"),
     }
     match third_nf_violation(&schema, &fds) {
@@ -62,7 +68,10 @@ fn main() {
         "lossless join (chase): {}",
         is_lossless_join(&schema, &fds, &tnf.fragments)
     );
-    println!("dependency preserving: {}", preserves_dependencies(&fds, &tnf.fragments));
+    println!(
+        "dependency preserving: {}",
+        preserves_dependencies(&fds, &tnf.fragments)
+    );
 
     assert!(is_lossless_join(&schema, &fds, &bcnf.fragments));
     assert!(!preserves_dependencies(&fds, &bcnf.fragments));

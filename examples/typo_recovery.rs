@@ -20,12 +20,19 @@ fn main() {
     );
     let mut rng = StdRng::seed_from_u64(0x7E57);
     for rate in [0.02, 0.05, 0.10, 0.20, 0.35] {
-        let cfg = TypoConfig { entities: 5, rows: 30, typo_rate: rate };
+        let cfg = TypoConfig {
+            entities: 5,
+            rows: 30,
+            typo_rate: rate,
+        };
         let (dirty, clean) = typo_table(&cfg, &mut rng);
         let conflicts = dirty.conflicting_pairs(&fds).len();
         let noise = dirty.dist_upd(&clean).unwrap();
-        let sol = URepairSolver { exact_row_limit: 0, ..Default::default() }
-            .solve(&dirty, &fds);
+        let sol = URepairSolver {
+            exact_row_limit: 0,
+            ..Default::default()
+        }
+        .solve(&dirty, &fds);
         sol.repair.verify(&dirty, &fds);
         // Sanity: the clean table is itself a consistent update, so the
         // solver must not exceed the noise by more than its ratio bound.

@@ -21,7 +21,8 @@ use fd_repairs::prelude::*;
 use fd_repairs::srepair::Outcome;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: fdrepair <classify|check|srepair|urepair|count|sample|mpd> <file.fdr>\n\
+const USAGE: &str =
+    "usage: fdrepair <classify|check|srepair|urepair|count|sample|mpd> <file.fdr>\n\
        fdrepair <command> <file.csv> --fds \"A -> B; B -> C\" [--weight <column>]";
 
 fn main() -> ExitCode {
@@ -93,7 +94,10 @@ fn sample(inst: &Instance) {
     let mut rng = rand::rngs::StdRng::from_entropy();
     match sample_subset_repair(&inst.table, &inst.fds, &mut rng) {
         Ok(kept) => {
-            println!("uniformly sampled subset repair keeps {} tuple(s):", kept.len());
+            println!(
+                "uniformly sampled subset repair keeps {} tuple(s):",
+                kept.len()
+            );
             let keep: std::collections::HashSet<TupleId> = kept.iter().copied().collect();
             println!("{}", inst.table.subset(&keep));
         }
@@ -140,7 +144,10 @@ fn classify(inst: &Instance) {
     println!("keys   : {}", keys_shown.join(", "));
     match fd_core::bcnf_violation(schema, &inst.fds) {
         None => println!("BCNF   : yes"),
-        Some(v) => println!("BCNF   : no ({} has a non-superkey lhs)", v.fd.display(schema)),
+        Some(v) => println!(
+            "BCNF   : no ({} has a non-superkey lhs)",
+            v.fd.display(schema)
+        ),
     }
 
     let trace = simplification_trace(&inst.fds);
@@ -208,8 +215,15 @@ fn urepair(inst: &Instance) {
         "methods {:?}; optimal {}; guaranteed ratio {:.1}",
         sol.methods, sol.optimal, sol.ratio
     );
-    let changed = inst.table.changed_cells(&sol.repair.updated).expect("update");
-    println!("change {} cell(s), dist_upd = {}", changed.len(), sol.repair.cost);
+    let changed = inst
+        .table
+        .changed_cells(&sol.repair.updated)
+        .expect("update");
+    println!(
+        "change {} cell(s), dist_upd = {}",
+        changed.len(),
+        sol.repair.cost
+    );
     for (id, attr, old, new) in &changed {
         println!(
             "  ~ tuple {id}, {}: {old} → {new}",

@@ -52,7 +52,10 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses a value: integer if possible, string otherwise.
@@ -88,8 +91,7 @@ impl Instance {
                     relation = Some(rest.to_string());
                 }
                 "attrs" => {
-                    let names: Vec<String> =
-                        rest.split_whitespace().map(str::to_string).collect();
+                    let names: Vec<String> = rest.split_whitespace().map(str::to_string).collect();
                     if names.is_empty() {
                         return Err(err(lineno, "attrs needs at least one attribute"));
                     }
@@ -116,8 +118,8 @@ impl Instance {
 
         let relation = relation.ok_or_else(|| err(0, "missing `relation` line"))?;
         let attrs = attrs.ok_or_else(|| err(0, "missing `attrs` line"))?;
-        let schema = Schema::new(relation, attrs)
-            .map_err(|e| err(0, format!("invalid schema: {e}")))?;
+        let schema =
+            Schema::new(relation, attrs).map_err(|e| err(0, format!("invalid schema: {e}")))?;
         let mut fds = Vec::new();
         for (lineno, spec) in fd_specs {
             fds.push(
@@ -154,7 +156,9 @@ impl Instance {
         fd_spec: &str,
         weight_column: Option<&str>,
     ) -> Result<Instance, ParseError> {
-        let options = fd_core::CsvOptions { weight_column: weight_column.map(str::to_string) };
+        let options = fd_core::CsvOptions {
+            weight_column: weight_column.map(str::to_string),
+        };
         let table = fd_core::table_from_csv(relation, csv_text, &options)
             .map_err(|e| err(0, e.to_string()))?;
         let schema = Arc::clone(table.schema());
@@ -183,8 +187,7 @@ impl Instance {
             ));
         }
         for row in self.table.rows() {
-            let values: Vec<String> =
-                row.tuple.values().iter().map(|v| v.to_string()).collect();
+            let values: Vec<String> = row.tuple.values().iter().map(|v| v.to_string()).collect();
             out.push_str(&format!("row {} | {}\n", row.weight, values.join(" | ")));
         }
         out

@@ -65,24 +65,24 @@ pub mod prelude {
         DenialConstraint, PairwiseConstraint,
     };
     pub use fd_core::{
-        bcnf_decompose, bcnf_violation, candidate_keys, derive, is_lossless_join, is_superkey,
-        mci, mfs, min_core_implicant, min_lhs_cover, mlc, preserves_dependencies, prime_attrs,
+        bcnf_decompose, bcnf_violation, candidate_keys, derive, is_lossless_join, is_superkey, mci,
+        mfs, min_core_implicant, min_lhs_cover, mlc, preserves_dependencies, prime_attrs,
         schema_rabc, table_from_csv, table_to_csv, third_nf_synthesis, third_nf_violation, tup,
         AttrId, AttrSet, CsvOptions, Decomposition, Derivation, Error, Fd, FdSet, FreshSource,
         Result, Row, Schema, Table, Tuple, TupleId, Value,
     };
-    pub use fd_priority::{PrioritizedTable, PriorityRelation, Semantics};
     pub use fd_graph::{
         max_weight_bipartite_matching, min_weight_vertex_cover, vertex_cover_2approx,
         ConflictGraph, Graph,
     };
     pub use fd_mpd::{brute_force_mpd, most_probable_database, MpdResult, ProbTable};
+    pub use fd_priority::{PrioritizedTable, PriorityRelation, Semantics};
     pub use fd_srepair::{
         answers_all_repairs, answers_optimal_repairs, approx_s_repair, classify_irreducible,
-        count_optimal_s_repairs, count_subset_repairs, sample_subset_repair,
-        exact_s_repair, is_subset_repair, make_maximal, opt_s_repair, osr_succeeds,
-        par_opt_s_repair, simplification_trace, ChainCountOutcome, Classification,
-        CountOutcome, HardCore, ParallelConfig, SMethod, SRepair, SRepairSolver,
+        count_optimal_s_repairs, count_subset_repairs, exact_s_repair, is_subset_repair,
+        make_maximal, opt_s_repair, osr_succeeds, par_opt_s_repair, sample_subset_repair,
+        simplification_trace, ChainCountOutcome, Classification, CountOutcome, HardCore,
+        ParallelConfig, SMethod, SRepair, SRepairSolver,
     };
     pub use fd_urepair::{
         approx_mixed_repair, approx_u_repair, consensus_u_repair, exact_mixed_repair,

@@ -91,7 +91,10 @@ fn sample_produces_a_repair() {
     let path = write_temp("cli_office_sample.fdr", OFFICE_FDR);
     let (out, _, ok) = fdrepair(&["sample", path.to_str().unwrap()]);
     assert!(ok);
-    assert!(out.contains("uniformly sampled subset repair keeps"), "got:\n{out}");
+    assert!(
+        out.contains("uniformly sampled subset repair keeps"),
+        "got:\n{out}"
+    );
 }
 
 #[test]
@@ -130,7 +133,10 @@ row 0.8 | s2 | lab
     let path = write_temp("cli_prob.fdr", prob);
     let (out, _, ok) = fdrepair(&["mpd", path.to_str().unwrap()]);
     assert!(ok);
-    assert!(out.contains("most probable consistent world: 2 of 3 tuples"), "got:\n{out}");
+    assert!(
+        out.contains("most probable consistent world: 2 of 3 tuples"),
+        "got:\n{out}"
+    );
 }
 
 #[test]

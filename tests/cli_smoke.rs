@@ -1,0 +1,84 @@
+//! Smoke test: every `fdrepair` subcommand's happy path over the
+//! checked-in fixtures (`examples/data/office.fdr` — the Figure-1
+//! running example — and `examples/data/sensors.fdr` for probabilistic
+//! weights). Complements `tests/cli.rs`, which exercises the formats and
+//! error paths over generated temp files.
+
+use std::process::Command;
+
+fn fixture(name: &str) -> String {
+    format!("{}/examples/data/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn run(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_fdrepair"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "fdrepair {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn classify_office() {
+    let out = run(&["classify", &fixture("office.fdr")]);
+    assert!(out.contains("chain  : true"), "got:\n{out}");
+    assert!(out.contains("polynomial time"), "got:\n{out}");
+}
+
+#[test]
+fn check_office() {
+    let out = run(&["check", &fixture("office.fdr")]);
+    assert!(
+        out.contains("inconsistent: 2 conflicting pair(s)"),
+        "got:\n{out}"
+    );
+}
+
+#[test]
+fn srepair_office_reproduces_figure_1() {
+    let out = run(&["srepair", &fixture("office.fdr")]);
+    // The paper's optimal subset repair deletes weight 2 (Example 2.3).
+    assert!(out.contains("dist_sub = 2"), "got:\n{out}");
+    assert!(out.contains("optimal true"), "got:\n{out}");
+}
+
+#[test]
+fn urepair_office_reproduces_example_4_7() {
+    let out = run(&["urepair", &fixture("office.fdr")]);
+    assert!(out.contains("dist_upd = 2"), "got:\n{out}");
+    assert!(out.contains("optimal true"), "got:\n{out}");
+}
+
+#[test]
+fn count_office() {
+    let out = run(&["count", &fixture("office.fdr")]);
+    assert!(
+        out.contains("subset repairs (maximal consistent subsets): 2"),
+        "got:\n{out}"
+    );
+    assert!(out.contains("optimal subset repairs: 2"), "got:\n{out}");
+}
+
+#[test]
+fn sample_office() {
+    let out = run(&["sample", &fixture("office.fdr")]);
+    assert!(
+        out.contains("uniformly sampled subset repair keeps"),
+        "got:\n{out}"
+    );
+}
+
+#[test]
+fn mpd_sensors() {
+    let out = run(&["mpd", &fixture("sensors.fdr")]);
+    // One reading per sensor survives; the sub-half tuples never do.
+    assert!(
+        out.contains("most probable consistent world: 3 of 6 tuples"),
+        "got:\n{out}"
+    );
+}

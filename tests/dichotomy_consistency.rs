@@ -15,18 +15,18 @@ fn corpus() -> Vec<(&'static str, bool)> {
         ("-> C", true),
         ("-> A; A -> B", true),
         ("A -> B; A -> C", true),
-        ("A -> B; A B -> C", true),                 // chain
-        ("A -> B; B -> A", true),                   // marriage
-        ("A -> B; B -> A; B -> C", true),           // Δ_{A↔B→C}
-        ("A B -> C; A C -> B", true),               // marriage of AB/AC
-        ("A -> B; B -> C", false),                  // Δ_{A→B→C}
-        ("A -> C; B -> C", false),                  // Δ_{A→C←B}
-        ("A B -> C; C -> B", false),                // Δ_{AB→C→B}
-        ("A B -> C; A C -> B; B C -> A", false),    // Δ_{AB↔AC↔BC}
-        ("A -> B; C -> D", false),                  // class 1
-        ("A -> C D; B -> C E", false),              // class 2
-        ("A -> B C; B -> D", false),                // class 3
-        ("A B -> C; C -> A D", false),              // class 5
+        ("A -> B; A B -> C", true),              // chain
+        ("A -> B; B -> A", true),                // marriage
+        ("A -> B; B -> A; B -> C", true),        // Δ_{A↔B→C}
+        ("A B -> C; A C -> B", true),            // marriage of AB/AC
+        ("A -> B; B -> C", false),               // Δ_{A→B→C}
+        ("A -> C; B -> C", false),               // Δ_{A→C←B}
+        ("A B -> C; C -> B", false),             // Δ_{AB→C→B}
+        ("A B -> C; A C -> B; B C -> A", false), // Δ_{AB↔AC↔BC}
+        ("A -> B; C -> D", false),               // class 1
+        ("A -> C D; B -> C E", false),           // class 2
+        ("A -> B C; B -> D", false),             // class 3
+        ("A B -> C; C -> A D", false),           // class 5
     ]
 }
 
@@ -59,8 +59,8 @@ fn algorithm1_agrees_with_exact_baseline_when_it_succeeds() {
                 }
                 Err(stuck) => {
                     assert!(!succeeds, "{spec} should have succeeded");
-                    let cls = classify_irreducible(&stuck.remaining)
-                        .expect("stuck sets are irreducible");
+                    let cls =
+                        classify_irreducible(&stuck.remaining).expect("stuck sets are irreducible");
                     assert!((1..=5).contains(&cls.class), "{spec}");
                 }
             }
@@ -76,7 +76,12 @@ fn success_is_a_property_of_the_fd_set_not_the_table() {
     for (spec, succeeds) in corpus() {
         let fds = FdSet::parse(&schema, spec).unwrap();
         for rows in [0usize, 1, 5] {
-            let cfg = DirtyConfig { rows, domain: 2, corruptions: rows, weighted: false };
+            let cfg = DirtyConfig {
+                rows,
+                domain: 2,
+                corruptions: rows,
+                weighted: false,
+            };
             let table = dirty_table(&schema, &fds, &cfg, &mut rng);
             assert_eq!(
                 opt_s_repair(&table, &fds).is_ok(),
@@ -91,10 +96,17 @@ fn success_is_a_property_of_the_fd_set_not_the_table() {
 fn solver_facade_always_produces_verified_repairs() {
     let schema = Schema::new("R", ["A", "B", "C", "D", "E"]).unwrap();
     let mut rng = StdRng::seed_from_u64(99);
-    let solver = SRepairSolver { exact_fallback_limit: 10 };
+    let solver = SRepairSolver {
+        exact_fallback_limit: 10,
+    };
     for (spec, _) in corpus() {
         let fds = FdSet::parse(&schema, spec).unwrap();
-        let cfg = DirtyConfig { rows: 20, domain: 3, corruptions: 8, weighted: false };
+        let cfg = DirtyConfig {
+            rows: 20,
+            domain: 3,
+            corruptions: 8,
+            weighted: false,
+        };
         let table = dirty_table(&schema, &fds, &cfg, &mut rng);
         let sol = solver.solve(&table, &fds);
         sol.repair.verify(&table, &fds);

@@ -30,13 +30,26 @@ fn running_example_round_trip_through_every_extension() {
 
     // Chain counting: the running example has exactly the paper's two
     // optimal S-repairs (S1, S2), and exactly two subset repairs overall.
-    assert_eq!(count_subset_repairs(&table, &fds), ChainCountOutcome::Count(2));
-    assert_eq!(count_optimal_s_repairs(&table, &fds), CountOutcome::Count(2));
+    assert_eq!(
+        count_subset_repairs(&table, &fds),
+        ChainCountOutcome::Count(2)
+    );
+    assert_eq!(
+        count_optimal_s_repairs(&table, &fds),
+        CountOutcome::Count(2)
+    );
 
     // Parallel Algorithm 1 agrees with the sequential one.
     let seq = opt_s_repair(&table, &fds).unwrap();
-    let par = par_opt_s_repair(&table, &fds, &ParallelConfig { threads: 4, min_blocks: 1 })
-        .unwrap();
+    let par = par_opt_s_repair(
+        &table,
+        &fds,
+        &ParallelConfig {
+            threads: 4,
+            min_blocks: 1,
+        },
+    )
+    .unwrap();
     assert_eq!(seq.kept, par.kept);
     assert_eq!(seq.cost, 2.0);
 
@@ -74,11 +87,12 @@ Lab1,B35,3,London,2
     let table = table_from_csv(
         "Office",
         csv,
-        &CsvOptions { weight_column: Some("w".to_string()) },
+        &CsvOptions {
+            weight_column: Some("w".to_string()),
+        },
     )
     .unwrap();
-    let fds =
-        FdSet::parse(table.schema(), "facility -> city; facility room -> floor").unwrap();
+    let fds = FdSet::parse(table.schema(), "facility -> city; facility room -> floor").unwrap();
     assert!(!table.satisfies(&fds));
     let repair = opt_s_repair(&table, &fds).unwrap();
     assert_eq!(repair.cost, 2.0);
@@ -87,7 +101,9 @@ Lab1,B35,3,London,2
     let again = table_from_csv(
         "Office",
         &clean_csv,
-        &CsvOptions { weight_column: Some("weight".to_string()) },
+        &CsvOptions {
+            weight_column: Some("weight".to_string()),
+        },
     )
     .unwrap();
     assert!(again.satisfies(&FdSet::parse(again.schema(), "facility -> city").unwrap()));
@@ -101,7 +117,13 @@ fn priority_families_nest_inside_subset_repairs() {
     for _ in 0..20 {
         let n = 2 + rng.gen_range(0..6);
         let rows: Vec<Tuple> = (0..n)
-            .map(|_| tup![["x", "y"][rng.gen_range(0..2)], rng.gen_range(0..3) as i64, 0])
+            .map(|_| {
+                tup![
+                    ["x", "y"][rng.gen_range(0..2usize)],
+                    rng.gen_range(0..3) as i64,
+                    0
+                ]
+            })
             .collect();
         let table = Table::build_unweighted(schema.clone(), rows).unwrap();
         let prio = PriorityRelation::from_weights(&table, &fds);
@@ -109,9 +131,16 @@ fn priority_families_nest_inside_subset_repairs() {
         let subset = inst.subset_repairs().unwrap();
         for sem in [Semantics::Global, Semantics::Pareto, Semantics::Completion] {
             for r in inst.repairs_under(sem).unwrap() {
-                assert!(subset.contains(&r), "{sem:?} repair {r:?} is not a subset repair");
+                assert!(
+                    subset.contains(&r),
+                    "{sem:?} repair {r:?} is not a subset repair"
+                );
                 // And each is a genuine S-repair per the paper's notion.
-                assert!(is_subset_repair(&table, &fds, &SRepair::from_kept(&table, r)));
+                assert!(is_subset_repair(
+                    &table,
+                    &fds,
+                    &SRepair::from_kept(&table, r)
+                ));
             }
         }
     }
@@ -127,7 +156,7 @@ fn mixed_repair_interpolates_between_s_and_u() {
         let rows: Vec<Tuple> = (0..n)
             .map(|_| {
                 tup![
-                    ["x", "y"][rng.gen_range(0..2)],
+                    ["x", "y"][rng.gen_range(0..2usize)],
                     rng.gen_range(0..2) as i64,
                     rng.gen_range(0..2) as i64
                 ]
@@ -158,7 +187,7 @@ fn restriction_never_helps() {
         let rows: Vec<Tuple> = (0..n)
             .map(|_| {
                 tup![
-                    ["x", "y"][rng.gen_range(0..2)],
+                    ["x", "y"][rng.gen_range(0..2usize)],
                     rng.gen_range(0..2) as i64,
                     rng.gen_range(0..2) as i64
                 ]

@@ -58,10 +58,7 @@ fn classification_pipeline_on_fixture() {
     assert!(inst.fds.is_chain());
     let keys = candidate_keys(&inst.schema, &inst.fds);
     assert_eq!(keys.len(), 1);
-    assert_eq!(
-        keys[0],
-        inst.schema.attr_set(["facility", "room"]).unwrap()
-    );
+    assert_eq!(keys[0], inst.schema.attr_set(["facility", "room"]).unwrap());
     assert!(fd_core::bcnf_violation(&inst.schema, &inst.fds).is_some());
     let trace = simplification_trace(&inst.fds);
     assert!(trace.succeeded());

@@ -18,10 +18,9 @@ fn arb_attrset(arity: u16) -> impl Strategy<Value = AttrSet> {
 
 fn arb_fdset(arity: u16, max_fds: usize) -> impl Strategy<Value = FdSet> {
     prop::collection::vec(
-        (arb_attrset(arity), arb_attrset(arity)).prop_filter_map(
-            "nonempty rhs",
-            |(lhs, rhs)| (!rhs.is_empty()).then_some(Fd::new(lhs, rhs)),
-        ),
+        (arb_attrset(arity), arb_attrset(arity)).prop_filter_map("nonempty rhs", |(lhs, rhs)| {
+            (!rhs.is_empty()).then_some(Fd::new(lhs, rhs))
+        }),
         0..=max_fds,
     )
     .prop_map(FdSet::new)
@@ -30,16 +29,14 @@ fn arb_fdset(arity: u16, max_fds: usize) -> impl Strategy<Value = FdSet> {
 /// Small random tables over R(A, B, C) with values in 0..3 and weights in
 /// {1, 2, 3}.
 fn arb_table(max_rows: usize) -> impl Strategy<Value = Table> {
-    prop::collection::vec(((0..3i64, 0..3i64, 0..3i64), 1..4i64), 0..=max_rows).prop_map(
-        |rows| {
-            Table::build(
-                schema_rabc(),
-                rows.into_iter()
-                    .map(|((a, b, c), w)| (tup![a, b, c], w as f64)),
-            )
-            .expect("valid rows")
-        },
-    )
+    prop::collection::vec(((0..3i64, 0..3i64, 0..3i64), 1..4i64), 0..=max_rows).prop_map(|rows| {
+        Table::build(
+            schema_rabc(),
+            rows.into_iter()
+                .map(|((a, b, c), w)| (tup![a, b, c], w as f64)),
+        )
+        .expect("valid rows")
+    })
 }
 
 fn arb_edges(n: u16, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {

@@ -32,8 +32,7 @@ fn non_mixed_sat_to_s_repair_identity() {
     // Lemma A.13, verbatim construction.
     let mut rng = StdRng::seed_from_u64(53);
     for _ in 0..10 {
-        let instance =
-            sat::NonMixedSat::random(rng.gen_range(1..5), rng.gen_range(2..6), &mut rng);
+        let instance = sat::NonMixedSat::random(rng.gen_range(1..5), rng.gen_range(2..6), &mut rng);
         let table = sat::non_mixed_sat_to_table(&instance);
         let repair = exact_s_repair(&table, &sat::delta_ab_c_b());
         assert_eq!(repair.kept.len(), instance.max_satisfiable());
@@ -62,8 +61,8 @@ fn theorem_4_10_vertex_cover_identity() {
     // Optimal U-repair distance = 2|E| + vc(G) under Δ_{A↔B→C}, verified
     // exhaustively on the smallest graphs.
     let tiny_graphs = vec![
-        graphs::UGraph::new(2, vec![(0, 1)]),          // K2: vc 1
-        graphs::UGraph::new(3, vec![(0, 1), (1, 2)]),  // P3: vc 1
+        graphs::UGraph::new(2, vec![(0, 1)]),         // K2: vc 1
+        graphs::UGraph::new(3, vec![(0, 1), (1, 2)]), // P3: vc 1
     ];
     for g in tiny_graphs {
         let cover = g.min_vertex_cover();
@@ -77,7 +76,10 @@ fn theorem_4_10_vertex_cover_identity() {
         let exact = exact_u_repair(
             &table,
             &graphs::delta_marriage(),
-            &ExactConfig { initial_bound: Some(expected + 1e-9), ..Default::default() },
+            &ExactConfig {
+                initial_bound: Some(expected + 1e-9),
+                ..Default::default()
+            },
         );
         exact.verify(&table, &graphs::delta_marriage());
         assert_eq!(
@@ -140,7 +142,10 @@ fn figure_4_pipeline_hard_core_to_original_fd_set() {
         let mut current_fds = stuck.clone();
         for (lift, step) in lifts.iter().zip(trace.steps.iter().rev()) {
             let mid_cost = exact_s_repair(&mapped, &current_fds).cost;
-            assert!((mid_cost - source_cost).abs() < 1e-9, "cost drift before lift");
+            assert!(
+                (mid_cost - source_cost).abs() < 1e-9,
+                "cost drift before lift"
+            );
             mapped = lift.map_table(&mapped);
             current_fds = step.before.clone();
         }

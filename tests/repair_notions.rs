@@ -45,8 +45,7 @@ fn every_s_repair_costs_at_least_the_optimum() {
         // Maximalize arbitrary consistent seeds; each result is a repair
         // whose cost dominates the optimum.
         for _ in 0..5 {
-            let seed: Vec<TupleId> =
-                t.ids().filter(|_| rng.gen_bool(0.3)).collect();
+            let seed: Vec<TupleId> = t.ids().filter(|_| rng.gen_bool(0.3)).collect();
             let seed_set: std::collections::HashSet<_> = seed.iter().copied().collect();
             if !t.subset(&seed_set).satisfies(&fds) {
                 continue;
@@ -96,7 +95,13 @@ fn solver_updates_are_minimal_after_trimming() {
 fn counting_agrees_with_enumeration_on_tractable_corpus() {
     let s = schema_rabc();
     let mut rng = StdRng::seed_from_u64(0x55);
-    for spec in ["A -> B", "A -> B C", "-> C", "A -> B; A B -> C", "-> A; A -> B"] {
+    for spec in [
+        "A -> B",
+        "A -> B C",
+        "-> C",
+        "A -> B; A B -> C",
+        "-> A; A -> B",
+    ] {
         let fds = FdSet::parse(&s, spec).unwrap();
         for _ in 0..8 {
             let n = rng.gen_range(2..8);
@@ -135,9 +140,7 @@ fn counting_matches_the_solved_optimum() {
                 .map(|i| ids[i])
                 .collect();
             let sub = t.subset(&keep);
-            if sub.satisfies(&fds)
-                && (t.dist_sub(&sub).unwrap() - opt.cost).abs() < 1e-9
-            {
+            if sub.satisfies(&fds) && (t.dist_sub(&sub).unwrap() - opt.cost).abs() < 1e-9 {
                 seen += 1;
             }
         }

@@ -32,7 +32,12 @@ fn small_tables(spec: &str, seed: u64, n_cases: usize) -> Vec<(FdSet, Table)> {
 fn corollary_4_5_sandwich() {
     // dist_sub(S*) ≤ dist_upd(U*) and, for consensus-free Δ,
     // dist_upd(U*) ≤ mlc(Δ)·dist_sub(S*).
-    for spec in ["A -> B", "A -> B; B -> C", "A -> C; B -> C", "A B -> C; C -> B"] {
+    for spec in [
+        "A -> B",
+        "A -> B; B -> C",
+        "A -> C; B -> C",
+        "A B -> C; C -> B",
+    ] {
         for (fds, table) in small_tables(spec, 7, 8) {
             let s_star = exact_s_repair(&table, &fds);
             let u_star = exact_u_repair(&table, &fds, &ExactConfig::default());
@@ -93,7 +98,12 @@ fn corollary_4_6_common_lhs_u_equals_s() {
     let fds = FdSet::parse(&schema, "facility -> city; facility room -> floor").unwrap();
     let mut rng = StdRng::seed_from_u64(17);
     for _ in 0..5 {
-        let cfg = DirtyConfig { rows: 7, domain: 3, corruptions: 4, weighted: false };
+        let cfg = DirtyConfig {
+            rows: 7,
+            domain: 3,
+            corruptions: 4,
+            weighted: false,
+        };
         let table = dirty_table(&schema, &fds, &cfg, &mut rng);
         let s_star = opt_s_repair(&table, &fds).unwrap();
         let u_sol = URepairSolver::default().solve(&table, &fds);

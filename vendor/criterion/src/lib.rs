@@ -1,0 +1,319 @@
+//! Vendored stand-in for the `criterion` bench harness. The build
+//! environment has no network access to a crate registry, so this
+//! implements the subset the workspace's benches use: [`Criterion`],
+//! benchmark groups with `sample_size` / `bench_function` /
+//! `bench_with_input` / `finish`, [`BenchmarkId`], [`Bencher::iter`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — per benchmark it warms up once,
+//! then times batches until a small wall-clock budget is exhausted and
+//! reports the best per-iteration time. Good enough to spot order-of-
+//! magnitude regressions; not a statistics engine. Honors the standard
+//! libtest-style args cargo passes (`--bench`, filters are applied to
+//! benchmark ids; `--test` runs each benchmark once).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A benchmark identifier: `group/function` or `group/function/param`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Hands the measured routine to the harness via [`Bencher::iter`].
+pub struct Bencher {
+    /// Best observed per-iteration time, set by `iter`.
+    elapsed: Duration,
+    /// In test mode (`cargo bench -- --test`) run the routine once only.
+    once: bool,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.once {
+            black_box(routine());
+            self.elapsed = Duration::ZERO;
+            return;
+        }
+        // Warm-up and batch-size calibration in one: time a single call.
+        let start = Instant::now();
+        black_box(routine());
+        let single = start.elapsed().max(Duration::from_nanos(1));
+
+        // Pick a batch size aiming at ~2ms per batch, then run batches
+        // until the budget is spent, keeping the best mean.
+        let batch = (Duration::from_millis(2).as_nanos() / single.as_nanos()).clamp(1, 100_000);
+        let budget = Duration::from_millis(20);
+        let mut best = single;
+        let all = Instant::now();
+        while all.elapsed() < budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let mean = start.elapsed() / batch as u32;
+            if mean < best && mean > Duration::ZERO {
+                best = mean;
+            }
+        }
+        self.elapsed = best;
+    }
+}
+
+#[derive(Clone, Default)]
+struct Config {
+    /// Substring filters from the command line; empty means "run all".
+    filters: Vec<String>,
+    /// `--skip PATTERN` exclusions, applied after the positive filters.
+    skip: Vec<String>,
+    /// `--test`: run each routine once without timing.
+    test_mode: bool,
+    /// `--list`: print benchmark ids without running.
+    list_only: bool,
+}
+
+impl Config {
+    fn from_args() -> Self {
+        let mut cfg = Config::default();
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--nocapture" | "--noplot" | "--quiet" | "-q" => {}
+                "--test" => cfg.test_mode = true,
+                "--list" => cfg.list_only = true,
+                "--skip" => cfg.skip.extend(args.next()),
+                // Any other flag is ignored; assume it takes a value
+                // unless the value is inline (`--flag=v`) or the next
+                // token is itself a flag. Mistaking a flag's value for a
+                // positive filter would silently skip benchmarks.
+                s if s.starts_with('-') => {
+                    if !s.contains('=') && args.peek().is_some_and(|a| !a.starts_with('-')) {
+                        args.next();
+                    }
+                }
+                filter => cfg.filters.push(filter.to_string()),
+            }
+        }
+        cfg
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        (self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str())))
+            && !self.skip.iter().any(|s| id.contains(s.as_str()))
+    }
+}
+
+/// The harness entry point, one per bench target.
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            config: Config::from_args(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream-compatible no-op: args are already read in `default()`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(&id.id, f);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        if !self.config.matches(id) {
+            return;
+        }
+        if self.config.list_only {
+            println!("{id}: bench");
+            return;
+        }
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            once: self.config.test_mode,
+        };
+        f(&mut bencher);
+        if self.config.test_mode {
+            println!("{id}: ok");
+        } else {
+            println!("{id:<60} time: {:>12.2?}", bencher.elapsed);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's budget-based measurement
+    /// ignores the requested sample count.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run(&id, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run(&id, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a group callable by
+/// [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($group, $($target),+);
+    };
+}
+
+/// Generates `fn main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> Criterion {
+        // Bypass from_args: test binaries carry libtest arguments.
+        Criterion {
+            config: Config {
+                test_mode: true,
+                ..Config::default()
+            },
+        }
+    }
+
+    #[test]
+    fn groups_and_functions_run() {
+        let mut c = fresh();
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.bench_function("plain", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 1, "test mode runs the routine exactly once");
+
+        let mut with_input = 0;
+        let mut g = c.benchmark_group("g2");
+        let input = vec![1, 2, 3];
+        g.bench_with_input(BenchmarkId::new("sum", input.len()), &input, |b, v| {
+            b.iter(|| with_input += v.iter().sum::<i32>())
+        });
+        g.finish();
+        assert_eq!(with_input, 6);
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        let cfg = Config {
+            filters: vec!["hung".into()],
+            ..Config::default()
+        };
+        assert!(cfg.matches("hungarian/dense/8"));
+        assert!(!cfg.matches("bruteforce/n5"));
+        assert!(Config::default().matches("anything"));
+    }
+
+    #[test]
+    fn skip_excludes_by_substring() {
+        let cfg = Config {
+            skip: vec!["hungarian".into()],
+            ..Config::default()
+        };
+        assert!(!cfg.matches("hungarian/dense/8"));
+        assert!(cfg.matches("bruteforce/n5"));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("dense", 8).id, "dense/8");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

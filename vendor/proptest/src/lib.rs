@@ -1,0 +1,589 @@
+//! Vendored stand-in for the `proptest` crate. The build environment has
+//! no network access to a crate registry, so this implements exactly the
+//! surface the workspace's property suites use:
+//!
+//! - the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! - [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`],
+//! - [`strategy::Strategy`] with `prop_map`, `prop_filter`,
+//!   `prop_filter_map`, and `prop_flat_map`,
+//! - range, tuple, `any::<T>()`, [`collection::vec`], and regex-lite
+//!   string strategies.
+//!
+//! Relative to upstream there is **no shrinking** and no failure
+//! persistence: a failing case panics with the ordinary assertion
+//! message. Generation is deterministic per test (the RNG is seeded from
+//! the test's name), so failures reproduce across runs.
+
+pub mod strategy {
+    use rand::prelude::*;
+
+    /// How many times a filter may reject before the case is abandoned.
+    const MAX_FILTER_RETRIES: u32 = 10_000;
+
+    /// A source of random values of one type.
+    ///
+    /// Mirrors `proptest::strategy::Strategy` minus shrinking: the only
+    /// required method produces a fresh value from the RNG.
+    pub trait Strategy {
+        type Value;
+
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+
+        fn prop_filter_map<O, F: Fn(Self::Value) -> Option<O>>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FilterMap {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn new_value(&self, rng: &mut StdRng) -> S::Value {
+            for _ in 0..MAX_FILTER_RETRIES {
+                let v = self.inner.new_value(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter {:?} rejected every candidate", self.whence);
+        }
+    }
+
+    pub struct FilterMap<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut StdRng) -> O {
+            for _ in 0..MAX_FILTER_RETRIES {
+                if let Some(v) = (self.f)(self.inner.new_value(rng)) {
+                    return v;
+                }
+            }
+            panic!("prop_filter_map {:?} rejected every candidate", self.whence);
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+
+        fn new_value(&self, rng: &mut StdRng) -> T::Value {
+            (self.f)(self.inner.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// A strategy that always yields clones of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, G);
+
+    /// String strategies from a regex-lite pattern: a sequence of atoms
+    /// (a char class `[...]` with ranges and `\\`-escapes, or a literal
+    /// char), each optionally repeated by `{m}`, `{m,n}`, `?`, `*`, `+`.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn new_value(&self, rng: &mut StdRng) -> String {
+            generate_pattern(self, rng)
+        }
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            '0' => '\0',
+            other => other,
+        }
+    }
+
+    fn generate_pattern(pattern: &str, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let class: Vec<char> = match c {
+                '[' => {
+                    let mut members = Vec::new();
+                    loop {
+                        match chars.next() {
+                            None => panic!("pattern {pattern:?}: unterminated class"),
+                            Some(']') => break,
+                            Some('\\') => {
+                                let e = chars
+                                    .next()
+                                    .unwrap_or_else(|| panic!("pattern {pattern:?}: dangling \\"));
+                                members.push(unescape(e));
+                            }
+                            Some(lo) => {
+                                if chars.peek() == Some(&'-') {
+                                    chars.next();
+                                    match chars.peek() {
+                                        Some(&hi) if hi != ']' => {
+                                            chars.next();
+                                            members.extend(lo..=hi);
+                                        }
+                                        // A trailing '-' is a literal.
+                                        _ => members.extend([lo, '-']),
+                                    }
+                                } else {
+                                    members.push(lo);
+                                }
+                            }
+                        }
+                    }
+                    members
+                }
+                '\\' => {
+                    let e = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("pattern {pattern:?}: dangling \\"));
+                    vec![unescape(e)]
+                }
+                '.' => (' '..='~').collect(),
+                lit => vec![lit],
+            };
+            assert!(!class.is_empty(), "pattern {pattern:?}: empty class");
+            let (lo, hi): (usize, usize) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                    match spec.split_once(',') {
+                        Some((m, n)) => {
+                            let m = m.trim().parse().expect("repeat lower bound");
+                            let n = if n.trim().is_empty() {
+                                m + 8
+                            } else {
+                                n.trim().parse().expect("repeat upper bound")
+                            };
+                            (m, n)
+                        }
+                        None => {
+                            let m = spec.trim().parse().expect("repeat count");
+                            (m, m)
+                        }
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            let count = rng.gen_range(lo..=hi);
+            for _ in 0..count {
+                out.push(class[rng.gen_range(0..class.len())]);
+            }
+        }
+        out
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::prelude::*;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical uniform strategy, reachable via [`any`].
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.gen_range(-1.0e6..1.0e6)
+        }
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`, as `proptest::prelude::any`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::prelude::*;
+
+    /// An inclusive bound on generated collection sizes.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`: a vector of `element` values with a
+    /// length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    /// The subset of `proptest::test_runner::ProptestConfig` the suites
+    /// set: the number of cases per property.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Seeds a property's RNG from its fully qualified test name, so each
+    /// property explores its own deterministic stream.
+    pub fn rng_for(test_name: &str) -> rand::rngs::StdRng {
+        use rand::SeedableRng;
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        test_name.hash(&mut h);
+        rand::rngs::StdRng::seed_from_u64(h.finish() ^ 0x5eed_fd5e_ed00_0001)
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop` module alias upstream's prelude exposes
+    /// (`prop::collection::vec(..)`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests. Each `#[test] fn name(pat in strategy, ..)`
+/// becomes an ordinary test that generates `cases` inputs and runs the
+/// body on each. No shrinking: the first failing case panics as-is.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)) => {};
+    // The `#[test]` attribute arrives inside the `$meta` repetition and is
+    // re-emitted with it; matching it literally would be ambiguous.
+    (@with_config ($cfg:expr)
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)+
+                $body
+            }
+        }
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        );
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its precondition fails. Expands to
+/// `continue` inside the per-case loop [`proptest!`] generates, so it is
+/// only meaningful directly inside a property body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_vecs_generate_in_bounds() {
+        let mut rng = crate::test_runner::rng_for("shim_smoke");
+        let strat = prop::collection::vec((0..5u16, 1..=3i64), 2..7);
+        for _ in 0..200 {
+            let v = strat.new_value(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            for (a, b) in v {
+                assert!(a < 5);
+                assert!((1..=3).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn string_pattern_respects_class_and_repeat() {
+        let mut rng = crate::test_runner::rng_for("shim_pattern");
+        for _ in 0..500 {
+            let s = Strategy::new_value(&"[a-z ,\"\n]{0,8}", &mut rng);
+            assert!(s.chars().count() <= 8);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_lowercase() || c == ' ' || c == ',' || c == '"' || c == '\n',
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+        let fixed = Strategy::new_value(&"ab{3}c", &mut rng);
+        assert_eq!(fixed, "abbbc");
+    }
+
+    #[test]
+    fn filter_map_retries_until_accepted() {
+        let mut rng = crate::test_runner::rng_for("shim_filter");
+        let evens = (0..100u32).prop_filter_map("even", |n| (n % 2 == 0).then_some(n));
+        for _ in 0..100 {
+            assert_eq!(evens.new_value(&mut rng) % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_generates_and_assumes(x in 0..10u8, flip in any::<bool>()) {
+            prop_assume!(x != 3);
+            prop_assert!(x < 10);
+            prop_assert_ne!(x, 3);
+            prop_assert_eq!(flip as u8 <= 1, true);
+        }
+    }
+}
