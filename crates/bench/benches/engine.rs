@@ -1,0 +1,159 @@
+//! Criterion bench: engine dispatch overhead and end-to-end
+//! `RepairRequest → RepairReport` latency per notion, plus JSON
+//! serialization. Besides the on-screen numbers, a machine-readable
+//! summary is written to `BENCH_engine.json` at the workspace root (or
+//! `$BENCH_ENGINE_JSON`) to seed the performance trajectory: each entry
+//! is re-measured per run, so successive CI runs can be diffed.
+
+use criterion::{black_box, Criterion};
+use fd_core::{tup, FdSet, Schema, Table};
+use fd_engine::{Json, Notion, Planner, RepairEngine, RepairRequest};
+use std::time::Instant;
+
+/// The Figure-1 running example.
+fn office() -> (Table, FdSet) {
+    let s = Schema::new("Office", ["facility", "room", "floor", "city"]).unwrap();
+    let fds = FdSet::parse(&s, "facility -> city; facility room -> floor").unwrap();
+    let t = Table::build(
+        s,
+        vec![
+            (tup!["HQ", 322, 3, "Paris"], 2.0),
+            (tup!["HQ", 322, 30, "Madrid"], 1.0),
+            (tup!["HQ", 122, 1, "Madrid"], 1.0),
+            (tup!["Lab1", "B35", 3, "London"], 2.0),
+        ],
+    )
+    .unwrap();
+    (t, fds)
+}
+
+/// A larger tractable instance: common-lhs FDs over n dirty rows.
+fn scaling(n: usize) -> (Table, FdSet) {
+    let s = Schema::new("S", ["K", "A", "B"]).unwrap();
+    let fds = FdSet::parse(&s, "K -> A B").unwrap();
+    let rows = (0..n).map(|i| tup![(i % (n / 4 + 1)) as i64, (i % 3) as i64, (i % 5) as i64]);
+    let t = Table::build_unweighted(s, rows).unwrap();
+    (t, fds)
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let (t, fds) = office();
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(50);
+    // Planning alone: the fixed dispatch overhead the engine adds.
+    group.bench_function("plan/subset/office", |b| {
+        let request = RepairRequest::subset();
+        b.iter(|| {
+            Planner
+                .plan(black_box(&t), black_box(&fds), &request)
+                .unwrap()
+        });
+    });
+    for (name, request) in [
+        ("run/subset/office", RepairRequest::subset()),
+        ("run/update/office", RepairRequest::update()),
+        ("run/count/office", RepairRequest::new(Notion::Count)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                Planner
+                    .run(black_box(&t), black_box(&fds), &request)
+                    .unwrap()
+            });
+        });
+    }
+    let (big, big_fds) = scaling(512);
+    group.bench_function("run/subset/512rows", |b| {
+        let request = RepairRequest::subset();
+        b.iter(|| {
+            Planner
+                .run(black_box(&big), black_box(&big_fds), &request)
+                .unwrap()
+        });
+    });
+    let report = Planner.run(&t, &fds, &RepairRequest::subset()).unwrap();
+    group.bench_function("to_json/office", |b| {
+        b.iter(|| black_box(&report).to_json());
+    });
+    group.finish();
+}
+
+/// Median wall-clock of `runs` executions of `f`, in microseconds.
+fn median_us(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Writes the machine-readable summary consumed by the perf trajectory.
+fn write_summary() {
+    let path = std::env::var("BENCH_ENGINE_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_engine.json", env!("CARGO_MANIFEST_DIR")));
+    let (t, fds) = office();
+    let (big, big_fds) = scaling(512);
+    let mut entries = Vec::new();
+    let mut push = |id: &str, us: f64| {
+        entries.push(Json::obj([
+            ("id", Json::str(id)),
+            ("median_us", Json::Num(us)),
+        ]));
+    };
+    push(
+        "plan/subset/office",
+        median_us(200, || {
+            Planner.plan(&t, &fds, &RepairRequest::subset()).unwrap();
+        }),
+    );
+    push(
+        "run/subset/office",
+        median_us(200, || {
+            Planner.run(&t, &fds, &RepairRequest::subset()).unwrap();
+        }),
+    );
+    push(
+        "run/update/office",
+        median_us(200, || {
+            Planner.run(&t, &fds, &RepairRequest::update()).unwrap();
+        }),
+    );
+    push(
+        "run/subset/512rows",
+        median_us(20, || {
+            Planner
+                .run(&big, &big_fds, &RepairRequest::subset())
+                .unwrap();
+        }),
+    );
+    let report = Planner.run(&t, &fds, &RepairRequest::subset()).unwrap();
+    push(
+        "to_json/office",
+        median_us(500, || {
+            report.to_json();
+        }),
+    );
+    let doc = Json::obj([
+        ("bench", Json::str("engine")),
+        ("unit", Json::str("microseconds, median")),
+        ("entries", Json::Arr(entries)),
+    ]);
+    match std::fs::write(&path, format!("{doc}\n")) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_dispatch(&mut criterion);
+    // Skip the summary in `--test`/`--list` compile-check mode.
+    let args: Vec<String> = std::env::args().collect();
+    if !args.iter().any(|a| a == "--test" || a == "--list") {
+        write_summary();
+    }
+}

@@ -1,0 +1,112 @@
+//! Engine adapter: a plan/solve split over the pairwise-constraint
+//! subset-repair machinery (CFDs, denial constraints, plain FDs),
+//! consumed by `fd-engine`'s extension surface.
+
+use crate::constraint::PairwiseConstraint;
+use crate::repair::{approx_subset_repair, optimal_subset_repair, ConflictAnalysis};
+use fd_core::Table;
+use fd_srepair::SRepair;
+
+/// The methods the constraint repairer provides.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CfdMethod {
+    /// Forced deletions + exact minimum-weight vertex cover; optimal,
+    /// exponential in the conflict-graph worst case.
+    ExactVertexCover,
+    /// The same skeleton with the 2-approximate cover; polynomial.
+    Approx2,
+}
+
+impl CfdMethod {
+    /// The provenance name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CfdMethod::ExactVertexCover => "ConstraintExactVertexCover",
+            CfdMethod::Approx2 => "ConstraintApprox2",
+        }
+    }
+}
+
+/// Picks the method the default policy would use: exact within
+/// `exact_fallback_limit` rows, the 2-approximation beyond it.
+pub fn constraint_strategy(rows: usize, exact_fallback_limit: usize) -> CfdMethod {
+    if rows <= exact_fallback_limit {
+        CfdMethod::ExactVertexCover
+    } else {
+        CfdMethod::Approx2
+    }
+}
+
+/// A constraint repair with provenance, mirroring the FD solvers.
+#[derive(Clone, Debug)]
+pub struct CfdSolution {
+    /// The subset repair.
+    pub repair: SRepair,
+    /// How it was computed.
+    pub method: CfdMethod,
+    /// Whether the cost is guaranteed optimal.
+    pub optimal: bool,
+    /// Guaranteed ratio (1 when optimal).
+    pub ratio: f64,
+    /// Number of single-tuple violations (forced deletions).
+    pub forced_deletions: usize,
+}
+
+/// Executes exactly the given method over any mix of pairwise
+/// constraints.
+pub fn solve_constraints<C: PairwiseConstraint>(
+    table: &Table,
+    constraints: &[C],
+    method: CfdMethod,
+) -> CfdSolution {
+    let analysis = ConflictAnalysis::build(table, constraints);
+    let forced = analysis.forced.len();
+    let (repair, optimal, ratio) = match method {
+        CfdMethod::ExactVertexCover => (optimal_subset_repair(table, constraints), true, 1.0),
+        CfdMethod::Approx2 => (approx_subset_repair(table, constraints), false, 2.0),
+    };
+    CfdSolution {
+        repair,
+        method,
+        optimal,
+        ratio,
+        forced_deletions: forced,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfd::Cfd;
+    use crate::repair::satisfies;
+    use fd_core::{schema_rabc, tup};
+
+    #[test]
+    fn both_methods_produce_consistent_repairs() {
+        let s = schema_rabc();
+        let constraints = vec![
+            Cfd::parse(&s, "A=_, C=1 -> B=_").unwrap(),
+            Cfd::parse(&s, "A=uk -> B=44").unwrap(),
+        ];
+        let t = Table::build_unweighted(
+            s,
+            vec![tup!["uk", 44, 1], tup!["uk", 33, 1], tup!["fr", 9, 0]],
+        )
+        .unwrap();
+        let exact = solve_constraints(&t, &constraints, CfdMethod::ExactVertexCover);
+        assert!(exact.optimal);
+        assert_eq!(exact.repair.cost, 1.0);
+        assert!(satisfies(&exact.repair.apply(&t), &constraints));
+
+        let approx = solve_constraints(&t, &constraints, CfdMethod::Approx2);
+        assert!(!approx.optimal);
+        assert!(satisfies(&approx.repair.apply(&t), &constraints));
+        assert!(approx.repair.cost <= approx.ratio * exact.repair.cost + 1e-9);
+    }
+
+    #[test]
+    fn strategy_cutoff() {
+        assert_eq!(constraint_strategy(10, 64), CfdMethod::ExactVertexCover);
+        assert_eq!(constraint_strategy(100, 64), CfdMethod::Approx2);
+    }
+}

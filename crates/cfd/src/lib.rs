@@ -48,6 +48,7 @@
 mod cfd;
 mod constraint;
 mod dc;
+pub mod engine;
 mod repair;
 
 pub use cfd::{Cfd, Pattern};

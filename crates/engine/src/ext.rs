@@ -1,0 +1,159 @@
+//! Extension surface: the §5 constraint classes (conditional FDs /
+//! denial constraints via `fd-cfd`) and prioritized repairing (via
+//! `fd-priority`) flow into the same [`RepairReport`] shape as the core
+//! notions, so every caller — CLI, services, experiments — consumes one
+//! result type.
+
+use crate::planner::EngineError;
+use crate::report::{DichotomyReport, RepairReport, ReportBody, Timings};
+use crate::request::{Notion, Optimality, RepairRequest};
+use fd_cfd::engine::{constraint_strategy, solve_constraints, CfdMethod};
+use fd_cfd::PairwiseConstraint;
+use fd_core::{FdSet, Table, TupleId};
+use fd_priority::engine::analyze;
+use fd_priority::{PriorityRelation, Semantics};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Subset-repairs a table under any mix of pairwise constraints (CFDs,
+/// denial constraints, plain FDs), reported in the unified shape. The
+/// request's budgets and optimality requirement are honored exactly as
+/// for [`Notion::Subset`]; since general constraints have no dichotomy,
+/// the report's dichotomy block classifies the empty FD set.
+pub fn constraint_subset_report<C: PairwiseConstraint>(
+    table: &Table,
+    constraints: &[C],
+    request: &RepairRequest,
+) -> Result<RepairReport, EngineError> {
+    let start = Instant::now();
+    let default = constraint_strategy(table.len(), request.budgets.exact_fallback_limit);
+    let method = match request.optimality {
+        Optimality::Best => default,
+        Optimality::Exact => CfdMethod::ExactVertexCover,
+        Optimality::Approximate { max_ratio } => {
+            if max_ratio.is_nan() || max_ratio < 1.0 {
+                return Err(EngineError::InvalidRequest(format!(
+                    "max_ratio must be ≥ 1, got {max_ratio}"
+                )));
+            }
+            if max_ratio >= 2.0 {
+                default
+            } else {
+                CfdMethod::ExactVertexCover
+            }
+        }
+    };
+    let plan_ms = start.elapsed().as_secs_f64() * 1e3;
+    let sol = solve_constraints(table, constraints, method);
+    let kept: HashSet<TupleId> = sol.repair.kept.iter().copied().collect();
+    let deleted: Vec<TupleId> = table.ids().filter(|id| !kept.contains(id)).collect();
+    let repaired = table.subset(&kept);
+    let solve_ms = start.elapsed().as_secs_f64() * 1e3 - plan_ms;
+    Ok(RepairReport {
+        notion: Notion::Subset,
+        methods: vec![sol.method.name().to_string()],
+        optimal: sol.optimal,
+        ratio: sol.ratio,
+        cost: sol.repair.cost,
+        dichotomy: DichotomyReport::classify(&FdSet::empty()),
+        timings: Timings {
+            plan_ms,
+            solve_ms,
+            total_ms: start.elapsed().as_secs_f64() * 1e3,
+        },
+        body: ReportBody::Subset { deleted, repaired },
+    })
+}
+
+/// Analyzes a prioritized instance and, when the priorities clean the
+/// table unambiguously (categoricity), reports the unique repair; an
+/// ambiguous instance reports the repair-family size in the provenance
+/// and no table. Exponential by nature (the semantics enumerate), meant
+/// for analysis at experiment scale.
+pub fn prioritized_report(
+    table: &Table,
+    fds: &FdSet,
+    prio: &PriorityRelation,
+    semantics: Semantics,
+) -> Result<RepairReport, EngineError> {
+    let start = Instant::now();
+    let analysis = analyze(table, fds, prio, semantics)
+        .map_err(|e| EngineError::InvalidRequest(e.to_string()))?;
+    let dichotomy = DichotomyReport::classify(fds);
+    let (cost, body) = match &analysis.the_repair {
+        Some(kept_ids) => {
+            let kept: HashSet<TupleId> = kept_ids.iter().copied().collect();
+            let deleted: Vec<TupleId> = table.ids().filter(|id| !kept.contains(id)).collect();
+            let repaired = table.subset(&kept);
+            let cost = table.total_weight() - repaired.total_weight();
+            (cost, ReportBody::Subset { deleted, repaired })
+        }
+        None => (
+            0.0,
+            ReportBody::Count {
+                subset_repairs: Some(analysis.repair_count as u128),
+                optimal_subset_repairs: None,
+                notes: vec![format!(
+                    "not categorical: {} repairs under {:?} semantics",
+                    analysis.repair_count, analysis.semantics
+                )],
+            },
+        ),
+    };
+    Ok(RepairReport {
+        notion: Notion::Subset,
+        methods: vec![analysis.method_name().to_string()],
+        optimal: analysis.categorical,
+        ratio: 1.0,
+        cost,
+        dichotomy,
+        timings: Timings {
+            plan_ms: 0.0,
+            solve_ms: start.elapsed().as_secs_f64() * 1e3,
+            total_ms: start.elapsed().as_secs_f64() * 1e3,
+        },
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_cfd::Cfd;
+    use fd_core::{schema_rabc, tup};
+
+    #[test]
+    fn constraint_report_flows_through_the_unified_shape() {
+        let s = schema_rabc();
+        let constraints = vec![Cfd::parse(&s, "A=uk -> B=44").unwrap()];
+        let t = Table::build_unweighted(s, vec![tup!["uk", 44, 0], tup!["uk", 33, 0]]).unwrap();
+        let report = constraint_subset_report(&t, &constraints, &RepairRequest::subset()).unwrap();
+        assert_eq!(report.cost, 1.0);
+        assert!(report.optimal);
+        let json = crate::json::Json::parse(&report.to_json()).unwrap();
+        assert_eq!(json.get("cost").unwrap().as_num(), Some(1.0));
+    }
+
+    #[test]
+    fn prioritized_report_when_categorical() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B").unwrap();
+        let t = Table::build_unweighted(s, vec![tup!["k", 1, 0], tup!["k", 2, 0]]).unwrap();
+        let prio = PriorityRelation::new(vec![(TupleId(0), TupleId(1))]).unwrap();
+        let report = prioritized_report(&t, &fds, &prio, Semantics::Pareto).unwrap();
+        assert!(report.optimal);
+        assert_eq!(report.cost, 1.0);
+        assert!(report.repaired().unwrap().satisfies(&fds));
+    }
+
+    #[test]
+    fn prioritized_report_when_ambiguous() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B").unwrap();
+        let t = Table::build_unweighted(s, vec![tup!["k", 1, 0], tup!["k", 2, 0]]).unwrap();
+        let prio = PriorityRelation::new(Vec::new()).unwrap();
+        let report = prioritized_report(&t, &fds, &prio, Semantics::Pareto).unwrap();
+        assert!(!report.optimal);
+        assert!(report.repaired().is_none());
+    }
+}

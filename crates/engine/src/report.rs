@@ -1,0 +1,472 @@
+//! The response side of the engine API: every notion returns the same
+//! [`RepairReport`] — repaired data, cost, provenance, guarantees,
+//! dichotomy classification, and timings — with machine-readable JSON
+//! via [`RepairReport::to_json`].
+
+use crate::json::Json;
+use crate::request::Notion;
+use fd_core::{FdSet, Schema, Table, TupleId, Value};
+use fd_srepair::{classify_irreducible, simplification_trace, Outcome};
+use fd_urepair::{ratio_kl, ratio_ours};
+
+/// Where the FD set falls in the paper's complexity landscape, computed
+/// once per call and attached to both plans and reports.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DichotomyReport {
+    /// Whether `Δ` is a chain (counting/sampling tractable).
+    pub chain: bool,
+    /// `OSRSucceeds(Δ)`: the tractable side of Theorem 3.4.
+    pub osr_succeeds: bool,
+    /// Figure-2 class (1–5) of the irreducible residue, hard side only.
+    pub hard_class: Option<u8>,
+    /// The Table-1 hard core the residue reduces from, hard side only.
+    pub hard_core: Option<String>,
+    /// The paper's U-repair approximation bound `2·mlc(Δ)` (§4.4).
+    pub ratio_ours: f64,
+    /// The Kolahi–Lakshmanan bound for comparison.
+    pub ratio_kl: f64,
+}
+
+impl DichotomyReport {
+    /// Classifies `fds` by running Algorithm 2 (and, on the hard side,
+    /// the Figure-2 classifier). Polynomial in `Δ` alone.
+    pub fn classify(fds: &FdSet) -> DichotomyReport {
+        let trace = simplification_trace(fds);
+        let (hard_class, hard_core) = match &trace.outcome {
+            Outcome::Success => (None, None),
+            Outcome::Stuck(stuck) => {
+                let cls = classify_irreducible(stuck)
+                    .expect("a stuck FD set is irreducible by construction");
+                (Some(cls.class), Some(cls.core.name().to_string()))
+            }
+        };
+        DichotomyReport {
+            chain: fds.is_chain(),
+            osr_succeeds: trace.succeeded(),
+            hard_class,
+            hard_core,
+            ratio_ours: ratio_ours(fds),
+            ratio_kl: ratio_kl(fds),
+        }
+    }
+
+    pub(crate) fn to_json(&self) -> Json {
+        Json::obj([
+            ("chain", self.chain.into()),
+            ("osr_succeeds", self.osr_succeeds.into()),
+            (
+                "hard_class",
+                self.hard_class.map_or(Json::Null, |c| Json::Num(c as f64)),
+            ),
+            (
+                "hard_core",
+                self.hard_core.as_deref().map_or(Json::Null, Json::str),
+            ),
+            ("ratio_ours", self.ratio_ours.into()),
+            ("ratio_kl", self.ratio_kl.into()),
+        ])
+    }
+}
+
+/// Wall-clock timings of one engine call, in milliseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Timings {
+    /// Time spent planning (dichotomy + strategy selection).
+    pub plan_ms: f64,
+    /// Time spent solving.
+    pub solve_ms: f64,
+    /// Total, including report assembly.
+    pub total_ms: f64,
+}
+
+impl Timings {
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("plan_ms", self.plan_ms.into()),
+            ("solve_ms", self.solve_ms.into()),
+            ("total_ms", self.total_ms.into()),
+        ])
+    }
+}
+
+/// One changed cell of an update repair, schema-free for serialization.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChangedCell {
+    /// Tuple identifier.
+    pub tuple: TupleId,
+    /// Attribute name.
+    pub attr: String,
+    /// Rendered old value.
+    pub old: String,
+    /// Rendered new value.
+    pub new: String,
+}
+
+impl ChangedCell {
+    /// Converts `Table::changed_cells` output, rendering values.
+    pub fn from_cells(
+        schema: &Schema,
+        cells: &[(TupleId, fd_core::AttrId, Value, Value)],
+    ) -> Vec<ChangedCell> {
+        cells
+            .iter()
+            .map(|(id, attr, old, new)| ChangedCell {
+                tuple: *id,
+                attr: schema.attr_name(*attr).to_string(),
+                old: old.to_string(),
+                new: new.to_string(),
+            })
+            .collect()
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("tuple", Json::Num(self.tuple.0 as f64)),
+            ("attr", Json::str(&self.attr)),
+            ("old", Json::str(&self.old)),
+            ("new", Json::str(&self.new)),
+        ])
+    }
+}
+
+/// The notion-specific payload of a [`RepairReport`].
+#[derive(Clone, Debug)]
+pub enum ReportBody {
+    /// Subset repair: what was deleted and what remains.
+    Subset {
+        /// Deleted tuple identifiers, sorted.
+        deleted: Vec<TupleId>,
+        /// The repaired (consistent) table.
+        repaired: Table,
+    },
+    /// Update repair: what changed and the updated table.
+    Update {
+        /// Changed cells.
+        changed: Vec<ChangedCell>,
+        /// The repaired (consistent) table.
+        repaired: Table,
+    },
+    /// Mixed repair: deletions plus updates on the survivors.
+    Mixed {
+        /// Deleted tuple identifiers, sorted.
+        deleted: Vec<TupleId>,
+        /// Changed cells among the survivors.
+        changed: Vec<ChangedCell>,
+        /// The repaired (consistent) table.
+        repaired: Table,
+    },
+    /// Most Probable Database: the chosen world.
+    Mpd {
+        /// Identifiers of the most probable consistent world, sorted.
+        kept: Vec<TupleId>,
+        /// Its probability.
+        probability: f64,
+        /// The world as a table.
+        repaired: Table,
+    },
+    /// Counting: either count may be unavailable on hard instances.
+    Count {
+        /// Subset repairs (maximal consistent subsets); `None` when `Δ`
+        /// is not a chain (#P-hard), with the reason in `notes`.
+        subset_repairs: Option<u128>,
+        /// Optimal subset repairs; `None` past a marriage or on the hard
+        /// side, with the reason in `notes`.
+        optimal_subset_repairs: Option<u128>,
+        /// Human-readable availability notes.
+        notes: Vec<String>,
+    },
+    /// Sampling: a uniformly random subset repair.
+    Sample {
+        /// Kept tuple identifiers, sorted.
+        kept: Vec<TupleId>,
+        /// The sampled repair as a table.
+        repaired: Table,
+    },
+    /// Classification only: schema/FD analysis, no repair computed.
+    Classify {
+        /// Candidate keys, rendered.
+        keys: Vec<String>,
+        /// A BCNF-violating FD (rendered), or `None` when the schema is
+        /// in BCNF under `Δ`.
+        bcnf_violation: Option<String>,
+        /// Whether `Δ` is satisfied by the input table already.
+        consistent: bool,
+        /// Number of conflicting tuple pairs in the input.
+        conflicts: usize,
+    },
+}
+
+/// Serializes a repair count exactly: counts grow as products over
+/// conflict blocks, so they routinely exceed `f64`'s 2⁵³ integer range —
+/// such counts become JSON strings rather than silently-rounded numbers.
+fn count_to_json(n: u128) -> Json {
+    const EXACT_F64_MAX: u128 = 1 << 53;
+    if n <= EXACT_F64_MAX {
+        Json::Num(n as f64)
+    } else {
+        Json::Str(n.to_string())
+    }
+}
+
+impl ReportBody {
+    /// The repaired table, for notions that produce one.
+    pub fn repaired(&self) -> Option<&Table> {
+        match self {
+            ReportBody::Subset { repaired, .. }
+            | ReportBody::Update { repaired, .. }
+            | ReportBody::Mixed { repaired, .. }
+            | ReportBody::Mpd { repaired, .. }
+            | ReportBody::Sample { repaired, .. } => Some(repaired),
+            ReportBody::Count { .. } | ReportBody::Classify { .. } => None,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        fn ids(ids: &[TupleId]) -> Json {
+            Json::Arr(ids.iter().map(|id| Json::Num(id.0 as f64)).collect())
+        }
+        fn cells(cells: &[ChangedCell]) -> Json {
+            Json::Arr(cells.iter().map(ChangedCell::to_json).collect())
+        }
+        match self {
+            ReportBody::Subset { deleted, repaired } => Json::obj([
+                ("deleted", ids(deleted)),
+                ("repaired", table_to_json(repaired)),
+            ]),
+            ReportBody::Update { changed, repaired } => Json::obj([
+                ("changed", cells(changed)),
+                ("repaired", table_to_json(repaired)),
+            ]),
+            ReportBody::Mixed {
+                deleted,
+                changed,
+                repaired,
+            } => Json::obj([
+                ("deleted", ids(deleted)),
+                ("changed", cells(changed)),
+                ("repaired", table_to_json(repaired)),
+            ]),
+            ReportBody::Mpd {
+                kept,
+                probability,
+                repaired,
+            } => Json::obj([
+                ("kept", ids(kept)),
+                ("probability", (*probability).into()),
+                ("repaired", table_to_json(repaired)),
+            ]),
+            ReportBody::Count {
+                subset_repairs,
+                optimal_subset_repairs,
+                notes,
+            } => Json::obj([
+                (
+                    "subset_repairs",
+                    subset_repairs.map_or(Json::Null, count_to_json),
+                ),
+                (
+                    "optimal_subset_repairs",
+                    optimal_subset_repairs.map_or(Json::Null, count_to_json),
+                ),
+                (
+                    "notes",
+                    Json::Arr(notes.iter().map(|n| Json::str(n.as_str())).collect()),
+                ),
+            ]),
+            ReportBody::Sample { kept, repaired } => {
+                Json::obj([("kept", ids(kept)), ("repaired", table_to_json(repaired))])
+            }
+            ReportBody::Classify {
+                keys,
+                bcnf_violation,
+                consistent,
+                conflicts,
+            } => Json::obj([
+                (
+                    "keys",
+                    Json::Arr(keys.iter().map(|k| Json::str(k.as_str())).collect()),
+                ),
+                ("bcnf", bcnf_violation.is_none().into()),
+                (
+                    "bcnf_violation",
+                    bcnf_violation.as_deref().map_or(Json::Null, Json::str),
+                ),
+                ("consistent", (*consistent).into()),
+                ("conflicts", (*conflicts).into()),
+            ]),
+        }
+    }
+}
+
+/// Serializes a table: schema, then one row object per tuple. Integer
+/// values become JSON numbers; everything else serializes via `Display`.
+pub fn table_to_json(table: &Table) -> Json {
+    let schema = table.schema();
+    let rows: Vec<Json> = table
+        .rows()
+        .map(|row| {
+            let values: Vec<Json> = row
+                .tuple
+                .values()
+                .iter()
+                .map(|v| match v {
+                    Value::Int(i) => Json::Num(*i as f64),
+                    other => Json::str(other.to_string()),
+                })
+                .collect();
+            Json::obj([
+                ("id", Json::Num(row.id.0 as f64)),
+                ("weight", row.weight.into()),
+                ("values", Json::Arr(values)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("relation", Json::str(schema.relation())),
+        (
+            "attrs",
+            Json::Arr(
+                schema
+                    .attr_names()
+                    .iter()
+                    .map(|a| Json::str(a.as_str()))
+                    .collect(),
+            ),
+        ),
+        ("rows", Json::Arr(rows)),
+    ])
+}
+
+/// The unified result of one engine call: one shape for every notion.
+#[derive(Clone, Debug)]
+pub struct RepairReport {
+    /// The notion that was computed.
+    pub notion: Notion,
+    /// Method provenance, in application order (e.g. `"Dichotomy"`,
+    /// `"ConsensusOnly"`, `"ExactSearch"`).
+    pub methods: Vec<String>,
+    /// Whether the result is guaranteed optimal.
+    pub optimal: bool,
+    /// The guaranteed approximation ratio (1 when optimal).
+    pub ratio: f64,
+    /// The cost of the repair under the notion's distance: `dist_sub`,
+    /// `dist_upd`, the mixed cost, or `−ln p` for MPD. Zero for the
+    /// count/classify services.
+    pub cost: f64,
+    /// Where `Δ` falls in the complexity landscape.
+    pub dichotomy: DichotomyReport,
+    /// Wall-clock timings.
+    pub timings: Timings,
+    /// The notion-specific payload.
+    pub body: ReportBody,
+}
+
+impl RepairReport {
+    /// The repaired table, for notions that produce one.
+    pub fn repaired(&self) -> Option<&Table> {
+        self.body.repaired()
+    }
+
+    /// The report as a JSON value tree.
+    pub fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("notion", Json::str(self.notion.name())),
+            ("cost", self.cost.into()),
+            ("optimal", self.optimal.into()),
+            ("ratio", self.ratio.into()),
+            (
+                "methods",
+                Json::Arr(self.methods.iter().map(|m| Json::str(m.as_str())).collect()),
+            ),
+            ("dichotomy", self.dichotomy.to_json()),
+            ("timings", self.timings.to_json()),
+            ("result", self.body.to_json()),
+        ])
+    }
+
+    /// The report as a compact JSON document.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::{schema_rabc, tup};
+
+    #[test]
+    fn dichotomy_report_both_sides() {
+        let s = schema_rabc();
+        let easy = DichotomyReport::classify(&FdSet::parse(&s, "A -> B C").unwrap());
+        assert!(easy.osr_succeeds);
+        assert_eq!(easy.hard_class, None);
+
+        let hard = DichotomyReport::classify(&FdSet::parse(&s, "A -> B; B -> C").unwrap());
+        assert!(!hard.osr_succeeds);
+        // "chain" is lhs-nesting (§2.2): {A} and {B} are incomparable.
+        assert!(!hard.chain);
+        assert_eq!(hard.hard_class, Some(3));
+        assert_eq!(hard.hard_core.as_deref(), Some("Δ_{A→B→C}"));
+    }
+
+    #[test]
+    fn report_json_is_parseable_and_carries_cost() {
+        let s = schema_rabc();
+        let table = Table::build(s, vec![(tup![1, 1, "x"], 2.0)]).unwrap();
+        let report = RepairReport {
+            notion: Notion::Subset,
+            methods: vec!["Dichotomy".to_string()],
+            optimal: true,
+            ratio: 1.0,
+            cost: 2.0,
+            dichotomy: DichotomyReport::classify(&FdSet::empty()),
+            timings: Timings::default(),
+            body: ReportBody::Subset {
+                deleted: vec![TupleId(1)],
+                repaired: table,
+            },
+        };
+        let parsed = Json::parse(&report.to_json()).unwrap();
+        assert_eq!(parsed.get("cost").unwrap().as_num(), Some(2.0));
+        assert_eq!(parsed.get("notion").unwrap().as_str(), Some("s"));
+        let repaired = parsed.get("result").unwrap().get("repaired").unwrap();
+        assert_eq!(repaired.get("relation").unwrap().as_str(), Some("R"));
+        let row = &repaired.get("rows").unwrap().as_arr().unwrap()[0];
+        assert_eq!(row.get("weight").unwrap().as_num(), Some(2.0));
+        // Int value serializes as a number, string as a string.
+        let values = row.get("values").unwrap().as_arr().unwrap();
+        assert_eq!(values[0].as_num(), Some(1.0));
+        assert_eq!(values[2].as_str(), Some("x"));
+    }
+
+    #[test]
+    fn counts_beyond_f64_precision_serialize_as_exact_strings() {
+        let report = RepairReport {
+            notion: Notion::Count,
+            methods: vec!["ChainCount".to_string()],
+            optimal: true,
+            ratio: 1.0,
+            cost: 0.0,
+            dichotomy: DichotomyReport::classify(&FdSet::empty()),
+            timings: Timings::default(),
+            body: ReportBody::Count {
+                subset_repairs: Some((1u128 << 60) + 1),
+                optimal_subset_repairs: Some(4),
+                notes: Vec::new(),
+            },
+        };
+        let parsed = Json::parse(&report.to_json()).unwrap();
+        let result = parsed.get("result").unwrap();
+        // 2^60 + 1 is not representable in f64 — exact decimal string.
+        assert_eq!(
+            result.get("subset_repairs").unwrap().as_str(),
+            Some("1152921504606846977")
+        );
+        // Small counts stay plain numbers.
+        assert_eq!(
+            result.get("optimal_subset_repairs").unwrap().as_num(),
+            Some(4.0)
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Engine adapter: a plan/solve split over the Most Probable Database
+//! reduction, consumed by the `fd-engine` planner.
+
+use crate::{most_probable_database, MpdResult, ProbTable};
+use fd_core::{FdSet, Result, Table};
+use fd_srepair::osr_succeeds;
+
+/// The method the Theorem 3.10 reduction will use on the reweighted
+/// table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MpdMethod {
+    /// `OSRSucceeds(Δ)`: Algorithm 1 on log-odds weights — polynomial.
+    Dichotomy,
+    /// Hard side: exact minimum-weight vertex cover — exponential worst
+    /// case, per the dichotomy (Theorem 3.10 settles that no polynomial
+    /// algorithm exists unless P = NP).
+    ExactVertexCover,
+}
+
+impl MpdMethod {
+    /// The provenance name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MpdMethod::Dichotomy => "MpdLogOddsDichotomy",
+            MpdMethod::ExactVertexCover => "MpdLogOddsExactVertexCover",
+        }
+    }
+}
+
+/// Predicts the method without solving: MPD is polynomial iff
+/// `OSRSucceeds(Δ)` (Theorem 3.10 / Corollary 3.12).
+pub fn plan_mpd(fds: &FdSet) -> MpdMethod {
+    if osr_succeeds(fds) {
+        MpdMethod::Dichotomy
+    } else {
+        MpdMethod::ExactVertexCover
+    }
+}
+
+/// Validates the weights as probabilities and runs the reduction.
+///
+/// # Errors
+/// [`fd_core::Error::InvalidProbability`] when a weight falls outside
+/// `(0, 1]`.
+pub fn solve_mpd(table: &Table, fds: &FdSet) -> Result<(MpdResult, MpdMethod)> {
+    let prob = ProbTable::new(table.clone())?;
+    let method = plan_mpd(fds);
+    Ok((most_probable_database(&prob, fds), method))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::{schema_rabc, tup};
+
+    #[test]
+    fn plans_by_dichotomy_side() {
+        let s = schema_rabc();
+        assert_eq!(
+            plan_mpd(&FdSet::parse(&s, "A -> B C").unwrap()),
+            MpdMethod::Dichotomy
+        );
+        assert_eq!(
+            plan_mpd(&FdSet::parse(&s, "A -> B; B -> C").unwrap()),
+            MpdMethod::ExactVertexCover
+        );
+    }
+
+    #[test]
+    fn solve_validates_probabilities() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B").unwrap();
+        let good =
+            Table::build(s.clone(), vec![(tup![1, 1, 0], 0.9), (tup![1, 2, 0], 0.6)]).unwrap();
+        let (result, method) = solve_mpd(&good, &fds).unwrap();
+        assert_eq!(method, MpdMethod::Dichotomy);
+        assert_eq!(result.world.len(), 1);
+
+        let bad = Table::build(s, vec![(tup![1, 1, 0], 2.0)]).unwrap();
+        assert!(solve_mpd(&bad, &fds).is_err());
+    }
+}

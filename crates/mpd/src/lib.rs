@@ -9,6 +9,8 @@
 
 #![warn(missing_docs)]
 
+pub mod engine;
+
 use fd_core::{Error, FdSet, Result, Table, TupleId};
 use fd_srepair::{exact_s_repair, opt_s_repair, osr_succeeds, SRepair};
 use std::collections::HashSet;

@@ -1,0 +1,84 @@
+//! Engine adapter: a single analysis entry point over the prioritized
+//! repair semantics, consumed by `fd-engine`'s extension surface so
+//! priority results flow into the same `RepairReport` shape as every
+//! other notion.
+
+use crate::categoricity::Semantics;
+use crate::error::Result;
+use crate::instance::PrioritizedTable;
+use crate::relation::PriorityRelation;
+use fd_core::{FdSet, Table, TupleId};
+
+/// The outcome of analyzing a prioritized instance under one semantics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PriorityAnalysis {
+    /// The semantics analyzed.
+    pub semantics: Semantics,
+    /// Number of repairs in the family.
+    pub repair_count: usize,
+    /// Whether exactly one repair exists (categoricity).
+    pub categorical: bool,
+    /// The unique repair, when categorical.
+    pub the_repair: Option<Vec<TupleId>>,
+}
+
+impl PriorityAnalysis {
+    /// The provenance name used in reports.
+    pub fn method_name(&self) -> &'static str {
+        match self.semantics {
+            Semantics::Global => "PrioritizedGlobal",
+            Semantics::Pareto => "PrioritizedPareto",
+            Semantics::Completion => "PrioritizedCompletion",
+        }
+    }
+}
+
+/// Analyzes `table` under `fds` with priority `prio`: counts the repair
+/// family of `semantics` and extracts the unique repair when the
+/// instance is categorical.
+pub fn analyze(
+    table: &Table,
+    fds: &FdSet,
+    prio: &PriorityRelation,
+    semantics: Semantics,
+) -> Result<PriorityAnalysis> {
+    let inst = PrioritizedTable::new(table, fds, prio)?;
+    let repairs = inst.repairs_under(semantics)?;
+    let categorical = repairs.len() == 1;
+    Ok(PriorityAnalysis {
+        semantics,
+        repair_count: repairs.len(),
+        categorical,
+        the_repair: categorical.then(|| repairs[0].clone()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::{schema_rabc, tup};
+
+    #[test]
+    fn categorical_instance_yields_the_repair() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B").unwrap();
+        let t = Table::build_unweighted(s, vec![tup!["k", 1, 0], tup!["k", 2, 0]]).unwrap();
+        let prio = PriorityRelation::new(vec![(TupleId(0), TupleId(1))]).unwrap();
+        let analysis = analyze(&t, &fds, &prio, Semantics::Pareto).unwrap();
+        assert!(analysis.categorical);
+        assert_eq!(analysis.the_repair, Some(vec![TupleId(0)]));
+        assert_eq!(analysis.method_name(), "PrioritizedPareto");
+    }
+
+    #[test]
+    fn empty_priority_leaves_ambiguity() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B").unwrap();
+        let t = Table::build_unweighted(s, vec![tup!["k", 1, 0], tup!["k", 2, 0]]).unwrap();
+        let prio = PriorityRelation::new(Vec::new()).unwrap();
+        let analysis = analyze(&t, &fds, &prio, Semantics::Pareto).unwrap();
+        assert_eq!(analysis.repair_count, 2);
+        assert!(!analysis.categorical);
+        assert_eq!(analysis.the_repair, None);
+    }
+}

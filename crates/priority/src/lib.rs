@@ -60,6 +60,7 @@
 
 mod categoricity;
 mod completion;
+pub mod engine;
 mod error;
 mod improvement;
 mod instance;

@@ -30,6 +30,7 @@ mod chain_count;
 mod classify;
 mod count;
 mod cqa;
+pub mod engine;
 mod exact;
 mod factwise;
 mod maximal;

@@ -30,6 +30,7 @@ mod bounds;
 mod consensus;
 mod convert;
 mod decompose;
+pub mod engine;
 mod exact;
 mod kl;
 mod marriage;

@@ -32,7 +32,7 @@ use fd_graph::{vertex_cover_2approx, ConflictGraph};
 use std::collections::HashSet;
 
 /// Cost multipliers for the two operation types.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MixedCosts {
     /// Deleting tuple `t` costs `delete · w(t)`.
     pub delete: f64,

@@ -66,41 +66,49 @@ fn main() {
     );
 
     // Subset repair: exact on this scale via the vertex-cover baseline.
-    let s_solution = SRepairSolver::default().solve(&table, &fds);
+    let s_report = Planner
+        .run(&table, &fds, &RepairRequest::subset())
+        .expect("solvable");
+    let ReportBody::Subset { deleted, .. } = &s_report.body else {
+        unreachable!("subset request yields a subset body");
+    };
     println!(
-        "\nS-repair [{:?}, optimal = {}]: delete {} tuples, cost {}",
-        s_solution.method,
-        s_solution.optimal,
-        s_solution.repair.deleted(&table).len(),
-        s_solution.repair.cost
+        "\nS-repair [{}, optimal = {}]: delete {} tuples, cost {}",
+        s_report.methods.join("+"),
+        s_report.optimal,
+        deleted.len(),
+        s_report.cost
     );
 
-    // Update repair: the solver decomposes, uses exact search on small
+    // Update repair: the engine decomposes, uses exact search on small
     // components and the combined approximation otherwise.
-    let u_solution = URepairSolver {
-        exact_row_limit: 8,
-        ..Default::default()
-    }
-    .solve(&table, &fds);
-    let changed = table.changed_cells(&u_solution.repair.updated).unwrap();
+    let u_report = Planner
+        .run(&table, &fds, &RepairRequest::update().exact_row_limit(8))
+        .expect("solvable");
+    let ReportBody::Update { changed, .. } = &u_report.body else {
+        unreachable!("update request yields an update body");
+    };
     println!(
         "U-repair [{:?}, optimal = {}, ratio ≤ {:.1}]: change {} cells, cost {}",
-        u_solution.methods,
-        u_solution.optimal,
-        u_solution.ratio,
+        u_report.methods,
+        u_report.optimal,
+        u_report.ratio,
         changed.len(),
-        u_solution.repair.cost
+        u_report.cost
     );
 
     // Corollary 4.5 sanity: dist_sub(S*) ≤ dist_upd(U) always.
-    assert!(s_solution.repair.cost <= u_solution.repair.cost + 1e-9);
+    assert!(s_report.cost <= u_report.cost + 1e-9);
     println!(
         "\nCorollary 4.5 check: dist_sub = {} ≤ dist_upd = {} ✓",
-        s_solution.repair.cost, u_solution.repair.cost
+        s_report.cost, u_report.cost
     );
 
     println!("\nFirst few repaired cells:");
-    for (id, attr, old, new) in changed.iter().take(8) {
-        println!("  tuple {id}, {}: {old} → {new}", schema.attr_name(*attr));
+    for cell in changed.iter().take(8) {
+        println!(
+            "  tuple {}, {}: {} → {}",
+            cell.tuple, cell.attr, cell.old, cell.new
+        );
     }
 }

@@ -39,14 +39,24 @@ fn main() {
     );
     println!("{}", s_repair.apply(&table));
 
-    // Optimal update repair (Corollary 4.6: common lhs ⇒ polynomial).
-    let solution = URepairSolver::default().solve(&table, &fds);
+    // Optimal update repair through the unified engine (Corollary 4.6:
+    // common lhs ⇒ polynomial; the planner detects that and says so).
+    let request = RepairRequest::update();
     println!(
-        "Optimal U-repair (method {:?}, optimal = {}): cost {}",
-        solution.methods, solution.optimal, solution.repair.cost
+        "Engine plan:\n{}",
+        Planner.explain(&table, &fds, &request).expect("plannable")
     );
-    println!("{}", solution.repair.updated);
-    for (id, attr, old, new) in table.changed_cells(&solution.repair.updated).unwrap() {
+    let report = Planner.run(&table, &fds, &request).expect("solvable");
+    println!(
+        "Optimal U-repair (methods {:?}, optimal = {}): cost {}",
+        report.methods, report.optimal, report.cost
+    );
+    let repaired = report.repaired().expect("update notion repairs");
+    println!("{repaired}");
+    for (id, attr, old, new) in table.changed_cells(repaired).unwrap() {
         println!("  cell ({id}, {}) : {old} → {new}", schema.attr_name(attr));
     }
+
+    // Every report is machine readable, no serde involved.
+    println!("\nJSON report:\n{}", report.to_json());
 }

@@ -28,23 +28,22 @@ fn main() {
         let (dirty, clean) = typo_table(&cfg, &mut rng);
         let conflicts = dirty.conflicting_pairs(&fds).len();
         let noise = dirty.dist_upd(&clean).unwrap();
-        let sol = URepairSolver {
-            exact_row_limit: 0,
-            ..Default::default()
-        }
-        .solve(&dirty, &fds);
-        sol.repair.verify(&dirty, &fds);
+        let report = Planner
+            .run(&dirty, &fds, &RepairRequest::update().exact_row_limit(0))
+            .expect("solvable");
+        let repaired = report.repaired().expect("update notion repairs");
+        assert!(repaired.satisfies(&fds));
         // Sanity: the clean table is itself a consistent update, so the
-        // solver must not exceed the noise by more than its ratio bound.
-        assert!(sol.repair.cost <= sol.ratio * noise + 1e-9);
+        // engine must not exceed the noise by more than its ratio bound.
+        assert!(report.cost <= report.ratio * noise + 1e-9);
         println!(
             "{:>6.2} {:>8} {:>10} {:>12} {:>12} {:>10}",
             rate,
             dirty.len(),
             conflicts,
             noise,
-            sol.repair.cost,
-            if sol.optimal { "yes" } else { "approx" }
+            report.cost,
+            if report.optimal { "yes" } else { "approx" }
         );
     }
     println!(

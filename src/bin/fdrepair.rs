@@ -1,13 +1,19 @@
-//! `fdrepair` — command-line optimal repairs for functional dependencies.
+//! `fdrepair` — command-line optimal repairs for functional dependencies,
+//! a thin client of the unified [`fd_engine`] call path: every command
+//! builds a [`RepairRequest`], hands it to the [`Planner`], and renders
+//! the [`RepairReport`] as text or (with `--json`) as machine-readable
+//! JSON.
 //!
 //! ```text
+//! fdrepair repair   <file>    unified repair: --notion <s|u|mixed|mpd>
 //! fdrepair classify <file>    dichotomy, Figure-2 class, keys, normal forms
 //! fdrepair check    <file>    consistency report and conflicting pairs
-//! fdrepair srepair  <file>    optimal/approximate subset repair
-//! fdrepair urepair  <file>    optimal/approximate update repair
+//! fdrepair explain  <file>    print the engine's plan without running it
+//! fdrepair srepair  <file>    alias of `repair --notion s`
+//! fdrepair urepair  <file>    alias of `repair --notion u`
+//! fdrepair mpd      <file>    alias of `repair --notion mpd`
 //! fdrepair count    <file>    number of (optimal) subset repairs
 //! fdrepair sample   <file>    uniformly random subset repair (chain Δ)
-//! fdrepair mpd      <file>    most probable database (weights = probabilities)
 //! ```
 //!
 //! `<file>` is either a `.fdr` instance (schema + FDs + rows; format
@@ -15,173 +21,512 @@
 //! `examples/data/office.fdr`) or a `.csv` file, in which case the FDs
 //! come from `--fds "A -> B; B -> C"` and an optional `--weight <column>`
 //! names the tuple-weight column.
+//!
+//! Exit codes: `0` success, `1` I/O or solve error, `2` usage error.
 
 use fd_repairs::instance::Instance;
 use fd_repairs::prelude::*;
-use fd_repairs::srepair::Outcome;
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: fdrepair <classify|check|srepair|urepair|count|sample|mpd> <file.fdr>\n\
-       fdrepair <command> <file.csv> --fds \"A -> B; B -> C\" [--weight <column>]";
+const USAGE: &str = "\
+usage: fdrepair <command> <file.fdr> [options]
+       fdrepair <command> <file.csv> --fds \"A -> B; B -> C\" [--weight <column>]
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.len() < 2 {
-        eprintln!("{USAGE}");
-        return ExitCode::from(2);
+commands:
+  repair      unified repair; pick the notion with --notion <s|u|mixed|mpd>
+  classify    dichotomy side, Figure-2 class, keys, normal forms
+  check       consistency report and conflicting pairs
+  explain     print the engine's plan without running it
+  srepair     alias of `repair --notion s`
+  urepair     alias of `repair --notion u`
+  mpd         alias of `repair --notion mpd`
+  count       number of (optimal) subset repairs
+  sample      uniformly random subset repair (chain Δ only)
+
+options:
+  --fds <spec>         FD set for CSV input (e.g. \"A -> B; B -> C\")
+  --weight <column>    CSV column holding tuple weights
+  --notion <name>      repair notion: s, u, mixed, mpd (default: s)
+  --json               emit the full report as JSON on stdout
+  --output <file>      write the repaired instance as .fdr
+  --seed <n>           RNG seed for `sample` (default: from the OS)
+  --exact              require a provably optimal result
+  --max-ratio <r>      accept a guaranteed approximation ratio up to r
+  --delete-cost <x>    mixed repair: cost multiplier per deleted tuple
+  --update-cost <x>    mixed repair: cost multiplier per changed cell
+  -h, --help           print this help
+  --version            print the version
+
+exit codes: 0 success, 1 I/O or solve error, 2 usage error";
+
+/// Everything parsed from the command line.
+struct Cli {
+    command: String,
+    path: String,
+    fd_spec: Option<String>,
+    weight_col: Option<String>,
+    notion: Option<String>,
+    json: bool,
+    output: Option<String>,
+    seed: Option<u64>,
+    exact: bool,
+    max_ratio: Option<f64>,
+    delete_cost: f64,
+    update_cost: f64,
+}
+
+enum CliOutcome {
+    Run(Box<Cli>),
+    /// `--help` / `--version`: printed, exit 0.
+    Done,
+    /// Usage error: printed to stderr, exit 2.
+    Usage,
+}
+
+fn parse_args(args: &[String]) -> CliOutcome {
+    // --help/--version anywhere win, even without a file argument.
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return CliOutcome::Done;
     }
-    let (command, path) = (args[0].as_str(), args[1].as_str());
-    let mut fd_spec: Option<String> = None;
-    let mut weight_col: Option<String> = None;
-    let mut it = args[2..].iter();
+    if args.iter().any(|a| a == "--version") {
+        println!("fdrepair {}", env!("CARGO_PKG_VERSION"));
+        return CliOutcome::Done;
+    }
+    let mut cli = Cli {
+        command: String::new(),
+        path: String::new(),
+        fd_spec: None,
+        weight_col: None,
+        notion: None,
+        json: false,
+        output: None,
+        seed: None,
+        exact: false,
+        max_ratio: None,
+        delete_cost: 1.0,
+        update_cost: 1.0,
+    };
+    // Flags may appear anywhere; the first two non-flag arguments are the
+    // command and the file.
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
     while let Some(flag) = it.next() {
-        match (flag.as_str(), it.next()) {
-            ("--fds", Some(v)) => fd_spec = Some(v.clone()),
-            ("--weight", Some(v)) => weight_col = Some(v.clone()),
-            _ => {
-                eprintln!("fdrepair: unexpected argument {flag:?}\n{USAGE}");
-                return ExitCode::from(2);
+        if !flag.starts_with('-') {
+            positional.push(flag);
+            continue;
+        }
+        let mut value = |name: &str| match it.next() {
+            Some(v) => Some(v.clone()),
+            None => {
+                eprintln!("fdrepair: {name} needs a value\n{USAGE}");
+                None
+            }
+        };
+        match flag.as_str() {
+            "--json" => cli.json = true,
+            "--exact" => cli.exact = true,
+            "--fds" => match value("--fds") {
+                Some(v) => cli.fd_spec = Some(v),
+                None => return CliOutcome::Usage,
+            },
+            "--weight" => match value("--weight") {
+                Some(v) => cli.weight_col = Some(v),
+                None => return CliOutcome::Usage,
+            },
+            "--notion" => match value("--notion") {
+                Some(v) => cli.notion = Some(v),
+                None => return CliOutcome::Usage,
+            },
+            "--output" => match value("--output") {
+                Some(v) => cli.output = Some(v),
+                None => return CliOutcome::Usage,
+            },
+            "--seed" => match value("--seed").map(|v| v.parse::<u64>()) {
+                Some(Ok(v)) => cli.seed = Some(v),
+                Some(Err(_)) => {
+                    eprintln!("fdrepair: --seed needs an integer\n{USAGE}");
+                    return CliOutcome::Usage;
+                }
+                None => return CliOutcome::Usage,
+            },
+            "--max-ratio" => match value("--max-ratio").map(|v| v.parse::<f64>()) {
+                Some(Ok(v)) => cli.max_ratio = Some(v),
+                Some(Err(_)) => {
+                    eprintln!("fdrepair: --max-ratio needs a number\n{USAGE}");
+                    return CliOutcome::Usage;
+                }
+                None => return CliOutcome::Usage,
+            },
+            "--delete-cost" => match value("--delete-cost").map(|v| v.parse::<f64>()) {
+                Some(Ok(v)) => cli.delete_cost = v,
+                Some(Err(_)) => {
+                    eprintln!("fdrepair: --delete-cost needs a number\n{USAGE}");
+                    return CliOutcome::Usage;
+                }
+                None => return CliOutcome::Usage,
+            },
+            "--update-cost" => match value("--update-cost").map(|v| v.parse::<f64>()) {
+                Some(Ok(v)) => cli.update_cost = v,
+                Some(Err(_)) => {
+                    eprintln!("fdrepair: --update-cost needs a number\n{USAGE}");
+                    return CliOutcome::Usage;
+                }
+                None => return CliOutcome::Usage,
+            },
+            other => {
+                eprintln!("fdrepair: unexpected argument {other:?}\n{USAGE}");
+                return CliOutcome::Usage;
             }
         }
     }
-    let text = match std::fs::read_to_string(path) {
+    // MixedCosts::new asserts on its inputs; reject them here so bad
+    // multipliers are a usage error (exit 2), not a panic.
+    for (flag, v) in [
+        ("--delete-cost", cli.delete_cost),
+        ("--update-cost", cli.update_cost),
+    ] {
+        if !(v > 0.0 && v.is_finite()) {
+            eprintln!("fdrepair: {flag} must be a positive finite number, got {v}\n{USAGE}");
+            return CliOutcome::Usage;
+        }
+    }
+    let [command, path] = positional.as_slice() else {
+        eprintln!("{USAGE}");
+        return CliOutcome::Usage;
+    };
+    cli.command = (*command).clone();
+    cli.path = (*path).clone();
+    CliOutcome::Run(Box::new(cli))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        CliOutcome::Run(cli) => cli,
+        CliOutcome::Done => return ExitCode::SUCCESS,
+        CliOutcome::Usage => return ExitCode::from(2),
+    };
+
+    let text = match std::fs::read_to_string(&cli.path) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("fdrepair: cannot read {path}: {e}");
+            eprintln!("fdrepair: cannot read {}: {e}", cli.path);
             return ExitCode::FAILURE;
         }
     };
-    let parsed = if path.ends_with(".csv") {
-        let Some(spec) = fd_spec.as_deref() else {
+    let parsed = if cli.path.ends_with(".csv") {
+        let Some(spec) = cli.fd_spec.as_deref() else {
             eprintln!("fdrepair: CSV input needs --fds \"<spec>\"\n{USAGE}");
             return ExitCode::from(2);
         };
-        let relation = std::path::Path::new(path)
+        let relation = std::path::Path::new(&cli.path)
             .file_stem()
             .and_then(|s| s.to_str())
             .unwrap_or("R");
-        Instance::from_csv(relation, &text, spec, weight_col.as_deref())
+        Instance::from_csv(relation, &text, spec, cli.weight_col.as_deref())
     } else {
         Instance::parse(&text)
     };
     let instance = match parsed {
         Ok(i) => i,
         Err(e) => {
-            eprintln!("fdrepair: {path}: {e}");
+            eprintln!("fdrepair: {}: {e}", cli.path);
             return ExitCode::FAILURE;
         }
     };
-    match command {
-        "classify" => classify(&instance),
-        "check" => check(&instance),
-        "srepair" => srepair(&instance),
-        "urepair" => urepair(&instance),
-        "count" => count(&instance),
-        "sample" => sample(&instance),
-        "mpd" => mpd(&instance),
+
+    // Resolve the command to an engine request.
+    let notion = match cli.command.as_str() {
+        "repair" => match cli.notion.as_deref() {
+            None => Some(Notion::Subset),
+            Some(name) => match Notion::parse(name) {
+                Some(n) => Some(n),
+                None => {
+                    eprintln!("fdrepair: unknown notion {name:?}\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+        },
+        "srepair" => Some(Notion::Subset),
+        "urepair" => Some(Notion::Update),
+        "mpd" => Some(Notion::Mpd),
+        "count" => Some(Notion::Count),
+        "sample" => Some(Notion::Sample),
+        "classify" => Some(Notion::Classify),
+        "check" | "explain" => None,
         other => {
             eprintln!("fdrepair: unknown command {other:?}\n{USAGE}");
             return ExitCode::from(2);
         }
+    };
+
+    match (cli.command.as_str(), notion) {
+        ("check", _) => {
+            check(&instance, cli.json);
+            ExitCode::SUCCESS
+        }
+        ("explain", _) => {
+            let notion = cli
+                .notion
+                .as_deref()
+                .map_or(Some(Notion::Subset), Notion::parse);
+            let Some(notion) = notion else {
+                eprintln!("fdrepair: unknown notion\n{USAGE}");
+                return ExitCode::from(2);
+            };
+            let request = build_request(&cli, notion);
+            let rendered = if cli.json {
+                Planner
+                    .plan(&instance.table, &instance.fds, &request)
+                    .map(|plan| format!("{}\n", plan.to_json_value()))
+            } else {
+                Planner.explain(&instance.table, &instance.fds, &request)
+            };
+            match rendered {
+                Ok(text) => {
+                    print!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("fdrepair: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        (_, Some(notion)) => {
+            let request = build_request(&cli, notion);
+            match Planner.run(&instance.table, &instance.fds, &request) {
+                Ok(report) => {
+                    if let Some(path) = cli.output.as_deref() {
+                        let Some(repaired) = report.repaired() else {
+                            eprintln!(
+                                "fdrepair: --output needs a repairing notion, not {:?}",
+                                notion.name()
+                            );
+                            return ExitCode::from(2);
+                        };
+                        let out = Instance {
+                            schema: instance.schema.clone(),
+                            fds: instance.fds.clone(),
+                            table: repaired.clone(),
+                        };
+                        if let Err(e) = std::fs::write(path, out.to_fdr()) {
+                            eprintln!("fdrepair: cannot write {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    if cli.json {
+                        println!("{}", report.to_json());
+                    } else {
+                        render(&instance, &report);
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("fdrepair: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => unreachable!("every command resolves above"),
     }
-    ExitCode::SUCCESS
 }
 
-fn sample(inst: &Instance) {
-    use rand::SeedableRng;
-    // Seed from the OS for a genuinely random sample per invocation.
-    let mut rng = rand::rngs::StdRng::from_entropy();
-    match sample_subset_repair(&inst.table, &inst.fds, &mut rng) {
-        Ok(kept) => {
+fn build_request(cli: &Cli, notion: Notion) -> RepairRequest {
+    let mut request =
+        RepairRequest::new(notion).mixed_costs(MixedCosts::new(cli.delete_cost, cli.update_cost));
+    if let Some(seed) = cli.seed {
+        request = request.seed(seed);
+    }
+    if cli.exact {
+        request = request.optimality(Optimality::Exact);
+    } else if let Some(max_ratio) = cli.max_ratio {
+        request = request.optimality(Optimality::Approximate { max_ratio });
+    }
+    request
+}
+
+/// Renders a report in the human-readable style of the pre-engine CLI.
+fn render(inst: &Instance, report: &RepairReport) {
+    match &report.body {
+        ReportBody::Subset { deleted, repaired } => {
+            println!(
+                "method {}; optimal {}; guaranteed ratio {:.1}",
+                report.methods.join("+"),
+                report.optimal,
+                report.ratio
+            );
+            println!(
+                "delete {} tuple(s), dist_sub = {}",
+                deleted.len(),
+                report.cost
+            );
+            for id in deleted {
+                let row = inst.table.row(*id).expect("id from table");
+                println!("  - tuple {id}: {} (weight {})", row.tuple, row.weight);
+            }
+            println!("\nrepaired table:\n{repaired}");
+        }
+        ReportBody::Update { changed, repaired } => {
+            println!(
+                "methods [{}]; optimal {}; guaranteed ratio {:.1}",
+                report.methods.join(", "),
+                report.optimal,
+                report.ratio
+            );
+            println!(
+                "change {} cell(s), dist_upd = {}",
+                changed.len(),
+                report.cost
+            );
+            for cell in changed {
+                println!(
+                    "  ~ tuple {}, {}: {} → {}",
+                    cell.tuple, cell.attr, cell.old, cell.new
+                );
+            }
+            println!("\nrepaired table:\n{repaired}");
+        }
+        ReportBody::Mixed {
+            deleted,
+            changed,
+            repaired,
+        } => {
+            println!(
+                "method {}; optimal {}; guaranteed ratio {:.1}",
+                report.methods.join("+"),
+                report.optimal,
+                report.ratio
+            );
+            println!(
+                "delete {} tuple(s) and change {} cell(s), mixed cost = {}",
+                deleted.len(),
+                changed.len(),
+                report.cost
+            );
+            for id in deleted {
+                let row = inst.table.row(*id).expect("id from table");
+                println!("  - tuple {id}: {} (weight {})", row.tuple, row.weight);
+            }
+            for cell in changed {
+                println!(
+                    "  ~ tuple {}, {}: {} → {}",
+                    cell.tuple, cell.attr, cell.old, cell.new
+                );
+            }
+            println!("\nrepaired table:\n{repaired}");
+        }
+        ReportBody::Mpd {
+            kept,
+            probability,
+            repaired,
+        } => {
+            println!(
+                "most probable consistent world: {} of {} tuples, probability {:.6}",
+                kept.len(),
+                inst.table.len(),
+                probability
+            );
+            println!("{repaired}");
+        }
+        ReportBody::Count {
+            subset_repairs,
+            optimal_subset_repairs,
+            notes,
+        } => {
+            if let Some(n) = subset_repairs {
+                println!("subset repairs (maximal consistent subsets): {n}");
+            }
+            if let Some(n) = optimal_subset_repairs {
+                println!("optimal subset repairs: {n}");
+            }
+            for note in notes {
+                println!("{note}");
+            }
+        }
+        ReportBody::Sample { kept, repaired } => {
             println!(
                 "uniformly sampled subset repair keeps {} tuple(s):",
                 kept.len()
             );
-            let keep: std::collections::HashSet<TupleId> = kept.iter().copied().collect();
-            println!("{}", inst.table.subset(&keep));
+            println!("{repaired}");
         }
-        Err(stuck) => println!(
-            "sampling needs a chain FD set; stuck at {} (sampling, like counting, is hard here)",
-            stuck.display(&inst.schema)
-        ),
-    }
-}
-
-fn count(inst: &Instance) {
-    match count_subset_repairs(&inst.table, &inst.fds) {
-        ChainCountOutcome::Count(n) => {
-            println!("subset repairs (maximal consistent subsets): {n}");
-        }
-        ChainCountOutcome::NotAChain(stuck) => {
+        ReportBody::Classify {
+            keys,
+            bcnf_violation,
+            consistent,
+            conflicts,
+        } => {
+            let schema = &inst.schema;
+            println!("schema : {schema}");
+            println!("Δ      : {}", inst.fds.display(schema));
+            println!("chain  : {}", report.dichotomy.chain);
+            println!("keys   : {}", keys.join(", "));
+            match bcnf_violation {
+                None => println!("BCNF   : yes"),
+                Some(fd) => println!("BCNF   : no ({fd} has a non-superkey lhs)"),
+            }
             println!(
-                "subset repairs: Δ is not a chain (stuck at {}); counting is #P-hard here",
-                stuck.display(&inst.schema)
+                "input  : {}",
+                if *consistent {
+                    "consistent".to_string()
+                } else {
+                    format!("inconsistent ({conflicts} conflicting pairs)")
+                }
+            );
+
+            let trace = simplification_trace(&inst.fds);
+            println!("\nOSRSucceeds trace:");
+            for line in trace.display(schema).lines() {
+                println!("  {line}");
+            }
+            if report.dichotomy.osr_succeeds {
+                println!("\n⇒ optimal S-repairs: polynomial time (Theorem 3.4)");
+            } else {
+                println!(
+                    "\n⇒ optimal S-repairs: APX-complete; Figure-2 class {} via {}",
+                    report.dichotomy.hard_class.expect("hard side"),
+                    report.dichotomy.hard_core.as_deref().expect("hard side")
+                );
+            }
+            println!(
+                "U-repair approximation bounds: ours 2·mlc = {:.0}, Kolahi–Lakshmanan = {:.0}",
+                report.dichotomy.ratio_ours, report.dichotomy.ratio_kl
             );
         }
     }
-    match count_optimal_s_repairs(&inst.table, &inst.fds) {
-        CountOutcome::Count(n) => println!("optimal subset repairs: {n}"),
-        CountOutcome::MarriageEncountered => println!(
-            "optimal subset repairs: lhs marriage reached \
-             (counting maximum-weight matchings is #P-hard)"
-        ),
-        CountOutcome::Irreducible(stuck) => println!(
-            "optimal subset repairs: irreducible FD set {} (hard side of the dichotomy)",
-            stuck.display(&inst.schema)
-        ),
-    }
 }
 
-fn classify(inst: &Instance) {
-    let schema = &inst.schema;
-    println!("schema : {schema}");
-    println!("Δ      : {}", inst.fds.display(schema));
-    println!("chain  : {}", inst.fds.is_chain());
-
-    let keys = candidate_keys(schema, &inst.fds);
-    let keys_shown: Vec<String> = keys.iter().map(|k| k.display(schema)).collect();
-    println!("keys   : {}", keys_shown.join(", "));
-    match fd_core::bcnf_violation(schema, &inst.fds) {
-        None => println!("BCNF   : yes"),
-        Some(v) => println!(
-            "BCNF   : no ({} has a non-superkey lhs)",
-            v.fd.display(schema)
-        ),
+fn check(inst: &Instance, json: bool) {
+    let consistent = inst.table.satisfies(&inst.fds);
+    let pairs = if consistent {
+        Vec::new()
+    } else {
+        inst.table.conflicting_pairs(&inst.fds)
+    };
+    if json {
+        let doc = Json::obj([
+            ("consistent", consistent.into()),
+            ("conflicting_pairs", pairs.len().into()),
+            (
+                "pairs",
+                Json::Arr(
+                    pairs
+                        .iter()
+                        .map(|(i, j)| Json::Arr(vec![Json::Num(i.0 as f64), Json::Num(j.0 as f64)]))
+                        .collect(),
+                ),
+            ),
+        ]);
+        println!("{doc}");
+        return;
     }
-
-    let trace = simplification_trace(&inst.fds);
-    println!("\nOSRSucceeds trace:");
-    for line in trace.display(schema).lines() {
-        println!("  {line}");
-    }
-    match &trace.outcome {
-        Outcome::Success => {
-            println!("\n⇒ optimal S-repairs: polynomial time (Theorem 3.4)");
-        }
-        Outcome::Stuck(stuck) => {
-            let cls = classify_irreducible(stuck).expect("irreducible");
-            println!(
-                "\n⇒ optimal S-repairs: APX-complete; Figure-2 class {} via {}",
-                cls.class,
-                cls.core.name()
-            );
-        }
-    }
-    println!(
-        "U-repair approximation bounds: ours 2·mlc = {:.0}, Kolahi–Lakshmanan = {:.0}",
-        ratio_ours(&inst.fds),
-        ratio_kl(&inst.fds)
-    );
-}
-
-fn check(inst: &Instance) {
     println!("{}", inst.table);
-    if inst.table.satisfies(&inst.fds) {
+    if consistent {
         println!("consistent: the table satisfies Δ");
         return;
     }
-    let pairs = inst.table.conflicting_pairs(&inst.fds);
     println!("inconsistent: {} conflicting pair(s)", pairs.len());
     for (i, j) in pairs.iter().take(20) {
         println!("  tuples {i} and {j}");
@@ -189,65 +534,4 @@ fn check(inst: &Instance) {
     if pairs.len() > 20 {
         println!("  … and {} more", pairs.len() - 20);
     }
-}
-
-fn srepair(inst: &Instance) {
-    let sol = SRepairSolver::default().solve(&inst.table, &inst.fds);
-    println!(
-        "method {:?}; optimal {}; guaranteed ratio {:.1}",
-        sol.method, sol.optimal, sol.ratio
-    );
-    println!(
-        "delete {} tuple(s), dist_sub = {}",
-        sol.repair.deleted(&inst.table).len(),
-        sol.repair.cost
-    );
-    for id in sol.repair.deleted(&inst.table) {
-        let row = inst.table.row(id).expect("id from table");
-        println!("  - tuple {id}: {} (weight {})", row.tuple, row.weight);
-    }
-    println!("\nrepaired table:\n{}", sol.repair.apply(&inst.table));
-}
-
-fn urepair(inst: &Instance) {
-    let sol = URepairSolver::default().solve(&inst.table, &inst.fds);
-    println!(
-        "methods {:?}; optimal {}; guaranteed ratio {:.1}",
-        sol.methods, sol.optimal, sol.ratio
-    );
-    let changed = inst
-        .table
-        .changed_cells(&sol.repair.updated)
-        .expect("update");
-    println!(
-        "change {} cell(s), dist_upd = {}",
-        changed.len(),
-        sol.repair.cost
-    );
-    for (id, attr, old, new) in &changed {
-        println!(
-            "  ~ tuple {id}, {}: {old} → {new}",
-            inst.schema.attr_name(*attr)
-        );
-    }
-    println!("\nrepaired table:\n{}", sol.repair.updated);
-}
-
-fn mpd(inst: &Instance) {
-    let prob = match ProbTable::new(inst.table.clone()) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("fdrepair mpd: {e} (weights must be probabilities in (0, 1])");
-            std::process::exit(1);
-        }
-    };
-    let result = most_probable_database(&prob, &inst.fds);
-    println!(
-        "most probable consistent world: {} of {} tuples, probability {:.6}",
-        result.world.len(),
-        inst.table.len(),
-        result.probability
-    );
-    let kept: std::collections::HashSet<TupleId> = result.world.iter().copied().collect();
-    println!("{}", inst.table.subset(&kept));
 }

@@ -173,24 +173,39 @@ impl Instance {
         fd_core::table_to_csv(&self.table, true)
     }
 
-    /// Serializes back to the text format (round-trips through
-    /// [`Instance::parse`] for integer/string values).
+    /// Serializes to the `.fdr` text format (round-trips through
+    /// [`Instance::parse`] for integer/string values free of `|` and
+    /// newlines; see the property test in `tests/fdr_roundtrip.rs`).
+    /// Also available through the [`std::fmt::Display`] impl, so
+    /// `format!("{instance}")` writes a valid `.fdr` document.
+    pub fn to_fdr(&self) -> String {
+        self.to_string()
+    }
+
+    /// Deprecated name of [`Instance::to_fdr`].
+    #[deprecated(since = "0.2.0", note = "renamed to `Instance::to_fdr`")]
     pub fn to_text(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&format!("relation {}\n", self.schema.relation()));
-        out.push_str(&format!("attrs {}\n", self.schema.attr_names().join(" ")));
+        self.to_fdr()
+    }
+}
+
+impl std::fmt::Display for Instance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "relation {}", self.schema.relation())?;
+        writeln!(f, "attrs {}", self.schema.attr_names().join(" "))?;
         for fd in self.fds.iter() {
-            out.push_str(&format!(
-                "fd {} -> {}\n",
+            writeln!(
+                f,
+                "fd {} -> {}",
                 fd.lhs().display(&self.schema).replace('∅', ""),
                 fd.rhs().display(&self.schema)
-            ));
+            )?;
         }
         for row in self.table.rows() {
             let values: Vec<String> = row.tuple.values().iter().map(|v| v.to_string()).collect();
-            out.push_str(&format!("row {} | {}\n", row.weight, values.join(" | ")));
+            writeln!(f, "row {} | {}", row.weight, values.join(" | "))?;
         }
-        out
+        Ok(())
     }
 }
 
@@ -233,7 +248,9 @@ row 2 | Lab1 | B35 | 3 | London
     #[test]
     fn round_trips() {
         let inst = Instance::parse(OFFICE).unwrap();
-        let text = inst.to_text();
+        let text = inst.to_fdr();
+        // Display and to_fdr agree.
+        assert_eq!(text, format!("{inst}"));
         let again = Instance::parse(&text).unwrap();
         assert_eq!(again.table, inst.table);
         assert_eq!(again.fds, inst.fds);
@@ -244,7 +261,7 @@ row 2 | Lab1 | B35 | 3 | London
         let text = "relation R\nattrs A B\nfd -> B\nrow 1 | 1 | 2\n";
         let inst = Instance::parse(text).unwrap();
         assert!(inst.fds.consensus_fd().is_some());
-        let again = Instance::parse(&inst.to_text()).unwrap();
+        let again = Instance::parse(&inst.to_fdr()).unwrap();
         assert_eq!(again.fds, inst.fds);
     }
 

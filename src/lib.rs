@@ -16,11 +16,16 @@
 //! | [`srepair`] | Algorithms 1–2, the dichotomy, fact-wise reductions |
 //! | [`urepair`] | §4: decompositions, polynomial cases, approximations |
 //! | [`mpd`] | §3.4: Most Probable Database |
+//! | [`engine`] | the unified `RepairRequest → RepairReport` call path |
 //! | [`gen`] | workload generators and hardness gadgets |
 //! | [`priority`] | §5 outlook: prioritized repairs (Pareto/global/completion) |
 //! | [`cfd`] | §5 outlook: conditional FDs and denial constraints |
 //!
 //! ## Quickstart
+//!
+//! Every repair notion goes through one call path: build a
+//! [`RepairRequest`], hand it to the [`Planner`] engine, read the
+//! [`RepairReport`].
 //!
 //! ```
 //! use fd_repairs::prelude::*;
@@ -35,22 +40,46 @@
 //!     (tup!["Lab1", "B35", 3, "London"], 2.0),
 //! ]).unwrap();
 //!
-//! // The FD set is on the tractable side of the dichotomy …
-//! assert!(osr_succeeds(&fds));
-//! // … so Algorithm 1 yields an optimal S-repair (distance 2, Example 2.3).
-//! let repair = opt_s_repair(&table, &fds).unwrap();
-//! assert_eq!(repair.cost, 2.0);
+//! // Optimal S-repair (the engine consults the dichotomy: Algorithm 1
+//! // applies, so the result is provably optimal — distance 2, Example 2.3).
+//! let report = Planner.run(&table, &fds, &RepairRequest::subset()).unwrap();
+//! assert_eq!(report.cost, 2.0);
+//! assert!(report.optimal && report.dichotomy.osr_succeeds);
 //!
-//! // An optimal U-repair exists in polynomial time too (Example 4.7).
-//! let solution = URepairSolver::default().solve(&table, &fds);
-//! assert!(solution.optimal);
-//! assert_eq!(solution.repair.cost, 2.0);
+//! // Optimal U-repair through the same surface (Example 4.7).
+//! let report = Planner.run(&table, &fds, &RepairRequest::update()).unwrap();
+//! assert_eq!(report.cost, 2.0);
+//! assert!(report.repaired().unwrap().satisfies(&fds));
+//!
+//! // Machine-readable output, no serde required.
+//! let json = Json::parse(&report.to_json()).unwrap();
+//! assert_eq!(json.get("cost").unwrap().as_num(), Some(2.0));
 //! ```
+//!
+//! ## Migrating from the solver facades
+//!
+//! The pre-engine entry points remain available but deprecated:
+//!
+//! | old | new |
+//! |---|---|
+//! | `SRepairSolver::default().solve(&t, &fds)` | `Planner.run(&t, &fds, &RepairRequest::subset())` |
+//! | `SRepairSolver { exact_fallback_limit: n }` | `RepairRequest::subset().exact_fallback_limit(n)` |
+//! | `URepairSolver::default().solve(&t, &fds)` | `Planner.run(&t, &fds, &RepairRequest::update())` |
+//! | `URepairSolver { exact_row_limit: n, exact_node_budget: b }` | `RepairRequest::update().exact_row_limit(n).exact_node_budget(b)` |
+//! | `exact_mixed_repair(&t, &fds, costs, &cfg)` | `Planner.run(&t, &fds, &RepairRequest::mixed(costs).optimality(Optimality::Exact))` |
+//! | `most_probable_database(&ProbTable::new(t)?, &fds)` | `Planner.run(&t, &fds, &RepairRequest::mpd())` |
+//! | `count_subset_repairs` / `count_optimal_s_repairs` | `Planner.run(&t, &fds, &RepairRequest::new(Notion::Count))` |
+//! | `sample_subset_repair(&t, &fds, &mut rng)` | `Planner.run(&t, &fds, &RepairRequest::new(Notion::Sample).seed(s))` |
+//!
+//! The solver result types (`SSolution`, `USolution`, method enums) stay
+//! exported for the underlying algorithm APIs, which remain public and
+//! un-deprecated — the engine is a front door, not a wall.
 
 pub mod instance;
 
 pub use fd_cfd as cfd;
 pub use fd_core as core;
+pub use fd_engine as engine;
 pub use fd_gen as gen;
 pub use fd_graph as graph;
 pub use fd_mpd as mpd;
@@ -71,6 +100,11 @@ pub mod prelude {
         AttrId, AttrSet, CsvOptions, Decomposition, Derivation, Error, Fd, FdSet, FreshSource,
         Result, Row, Schema, Table, Tuple, TupleId, Value,
     };
+    pub use fd_engine::{
+        constraint_subset_report, prioritized_report, Budgets, ChangedCell, DichotomyReport,
+        EngineError, Json, Notion, Optimality, Plan, PlanStep, Planner, RepairEngine, RepairReport,
+        RepairRequest, ReportBody, Timings,
+    };
     pub use fd_graph::{
         max_weight_bipartite_matching, min_weight_vertex_cover, vertex_cover_2approx,
         ConflictGraph, Graph,
@@ -82,14 +116,31 @@ pub mod prelude {
         count_optimal_s_repairs, count_subset_repairs, exact_s_repair, is_subset_repair,
         make_maximal, opt_s_repair, osr_succeeds, par_opt_s_repair, sample_subset_repair,
         simplification_trace, ChainCountOutcome, Classification, CountOutcome, HardCore,
-        ParallelConfig, SMethod, SRepair, SRepairSolver,
+        ParallelConfig, SMethod, SRepair, SSolution,
     };
     pub use fd_urepair::{
         approx_mixed_repair, approx_u_repair, consensus_u_repair, exact_mixed_repair,
         exact_u_repair, is_update_repair, kl_u_repair, make_minimal, ratio_combined, ratio_kl,
         ratio_ours, two_cycle_u_repair, DomainPolicy, ExactConfig, MixedCosts, MixedRepair,
-        UMethod, URepair, URepairSolver,
+        UMethod, URepair, USolution,
     };
+
+    /// Deprecated shim: the legacy subset-repair facade.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Planner.run(&table, &fds, &RepairRequest::subset())`; \
+                the `exact_fallback_limit` knob lives on `RepairRequest` now"
+    )]
+    pub type SRepairSolver = fd_srepair::SRepairSolver;
+
+    /// Deprecated shim: the legacy update-repair facade.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Planner.run(&table, &fds, &RepairRequest::update())`; \
+                the `exact_row_limit`/`exact_node_budget` knobs live on \
+                `RepairRequest` now"
+    )]
+    pub type URepairSolver = fd_urepair::URepairSolver;
 }
 
 pub use prelude::*;

@@ -6,6 +6,13 @@ use std::io::Write;
 use std::process::Command;
 
 fn fdrepair(args: &[&str]) -> (String, String, bool) {
+    let (out, err, code) = fdrepair_code(args);
+    (out, err, code == 0)
+}
+
+/// Like [`fdrepair`] but returns the raw exit code (0 success, 1 I/O or
+/// solve error, 2 usage error).
+fn fdrepair_code(args: &[&str]) -> (String, String, i32) {
     let out = Command::new(env!("CARGO_BIN_EXE_fdrepair"))
         .args(args)
         .output()
@@ -13,7 +20,7 @@ fn fdrepair(args: &[&str]) -> (String, String, bool) {
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
-        out.status.success(),
+        out.status.code().expect("no signal"),
     )
 }
 
@@ -153,6 +160,147 @@ fn unknown_command_and_missing_file_fail_cleanly() {
     let (_, err, ok) = fdrepair(&["check"]);
     assert!(!ok);
     assert!(err.contains("usage"));
+}
+
+#[test]
+fn help_works_even_without_a_file() {
+    // A lone --help/-h must print usage on stdout and exit 0 (it used to
+    // fall into the "too few arguments" usage error).
+    for flag in ["--help", "-h"] {
+        let (out, err, code) = fdrepair_code(&[flag]);
+        assert_eq!(code, 0, "{flag}");
+        assert!(out.contains("usage"), "{flag}: {out}");
+        assert!(out.contains("--json"), "{flag}: {out}");
+        assert!(err.is_empty(), "{flag}: {err}");
+    }
+    // --help wins even alongside other arguments.
+    let (out, _, code) = fdrepair_code(&["srepair", "--help"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("usage"));
+}
+
+#[test]
+fn version_prints_and_exits_zero() {
+    let (out, _, code) = fdrepair_code(&["--version"]);
+    assert_eq!(code, 0);
+    assert!(out.starts_with("fdrepair "), "got: {out}");
+    assert!(out.contains(env!("CARGO_PKG_VERSION")));
+}
+
+#[test]
+fn exit_codes_distinguish_usage_io_and_success() {
+    let path = write_temp("cli_exitcodes.fdr", OFFICE_FDR);
+    let path = path.to_str().unwrap();
+    // 0: success.
+    assert_eq!(fdrepair_code(&["srepair", path]).2, 0);
+    // 2: usage errors — too few args, unknown command, unknown flag,
+    // unknown notion, flag missing its value.
+    assert_eq!(fdrepair_code(&["check"]).2, 2);
+    assert_eq!(fdrepair_code(&["frobnicate", path]).2, 2);
+    assert_eq!(fdrepair_code(&["srepair", path, "--bogus"]).2, 2);
+    assert_eq!(fdrepair_code(&["repair", path, "--notion", "nope"]).2, 2);
+    assert_eq!(fdrepair_code(&["repair", path, "--notion"]).2, 2);
+    // 1: I/O and data errors.
+    assert_eq!(fdrepair_code(&["check", "/nonexistent/nope.fdr"]).2, 1);
+    let bad = write_temp("cli_exitcodes_bad.fdr", "relation R\nattrs A\nrow x | 1\n");
+    assert_eq!(fdrepair_code(&["check", bad.to_str().unwrap()]).2, 1);
+}
+
+#[test]
+fn unified_repair_subcommand_with_json() {
+    let path = write_temp("cli_unified.fdr", OFFICE_FDR);
+    let path = path.to_str().unwrap();
+    for notion in ["s", "u", "mixed"] {
+        let (out, err, ok) = fdrepair(&["repair", "--notion", notion, "--json", path]);
+        assert!(ok, "notion {notion}: {err}");
+        let json = fd_repairs::Json::parse(out.trim())
+            .unwrap_or_else(|e| panic!("notion {notion}: invalid JSON ({e}):\n{out}"));
+        assert_eq!(
+            json.get("cost").and_then(|c| c.as_num()),
+            Some(2.0),
+            "notion {notion}"
+        );
+        assert_eq!(json.get("notion").and_then(|n| n.as_str()), Some(notion));
+    }
+}
+
+#[test]
+fn repair_output_writes_a_consistent_fdr_file() {
+    let path = write_temp("cli_output_in.fdr", OFFICE_FDR);
+    let out_path = std::env::temp_dir().join("cli_output_repaired.fdr");
+    let (_, err, ok) = fdrepair(&[
+        "repair",
+        path.to_str().unwrap(),
+        "--output",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    // The written file is a valid .fdr instance and already consistent.
+    let (out, _, ok) = fdrepair(&["check", out_path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(
+        out.contains("consistent: the table satisfies Δ"),
+        "got:\n{out}"
+    );
+}
+
+#[test]
+fn invalid_cost_multipliers_are_usage_errors_not_panics() {
+    let path = write_temp("cli_badcosts.fdr", OFFICE_FDR);
+    let path = path.to_str().unwrap();
+    for args in [
+        ["repair", path, "--delete-cost", "0"],
+        ["repair", path, "--delete-cost", "-1"],
+        ["repair", path, "--update-cost", "inf"],
+        ["srepair", path, "--update-cost", "NaN"],
+    ] {
+        let (_, err, code) = fdrepair_code(&args);
+        assert_eq!(code, 2, "{args:?}: {err}");
+        assert!(err.contains("positive finite"), "{args:?}: {err}");
+    }
+    // A missing value reports exactly one diagnostic, not two.
+    let (_, err, code) = fdrepair_code(&["repair", path, "--delete-cost"]);
+    assert_eq!(code, 2);
+    assert_eq!(err.matches("--delete-cost needs").count(), 1, "{err}");
+}
+
+#[test]
+fn check_honors_json() {
+    let path = write_temp("cli_check_json.fdr", OFFICE_FDR);
+    let (out, _, ok) = fdrepair(&["check", "--json", path.to_str().unwrap()]);
+    assert!(ok);
+    let json = fd_repairs::Json::parse(out.trim()).expect("valid JSON");
+    assert_eq!(
+        json.get("consistent").and_then(|c| c.as_bool()),
+        Some(false)
+    );
+    assert_eq!(
+        json.get("conflicting_pairs").and_then(|c| c.as_num()),
+        Some(2.0)
+    );
+}
+
+#[test]
+fn classify_names_the_bcnf_violating_fd() {
+    let path = write_temp("cli_classify_bcnf.fdr", OFFICE_FDR);
+    let (out, _, ok) = fdrepair(&["classify", path.to_str().unwrap()]);
+    assert!(ok);
+    // Office's facility → city has a non-superkey lhs.
+    assert!(
+        out.contains("BCNF   : no (facility → city has a non-superkey lhs)"),
+        "got:\n{out}"
+    );
+}
+
+#[test]
+fn explain_prints_a_plan_without_repairing() {
+    let path = write_temp("cli_explain.fdr", OFFICE_FDR);
+    let (out, _, ok) = fdrepair(&["explain", path.to_str().unwrap(), "--notion", "u"]);
+    assert!(ok);
+    assert!(out.contains("plan for notion `u`"), "got:\n{out}");
+    assert!(out.contains("optimal = true"), "got:\n{out}");
+    // No repaired table in plan output.
+    assert!(!out.contains("repaired table"), "got:\n{out}");
 }
 
 #[test]

@@ -74,6 +74,21 @@ fn sample_office() {
 }
 
 #[test]
+fn unified_repair_office() {
+    // The engine-backed unified subcommand, default notion (subset).
+    let out = run(&["repair", &fixture("office.fdr")]);
+    assert!(out.contains("dist_sub = 2"), "got:\n{out}");
+    assert!(out.contains("optimal true"), "got:\n{out}");
+}
+
+#[test]
+fn explain_office() {
+    let out = run(&["explain", &fixture("office.fdr")]);
+    assert!(out.contains("plan for notion `s`"), "got:\n{out}");
+    assert!(out.contains("Dichotomy"), "got:\n{out}");
+}
+
+#[test]
 fn mpd_sensors() {
     let out = run(&["mpd", &fixture("sensors.fdr")]);
     // One reading per sensor survives; the sub-half tuples never do.

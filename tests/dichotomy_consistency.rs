@@ -96,9 +96,7 @@ fn success_is_a_property_of_the_fd_set_not_the_table() {
 fn solver_facade_always_produces_verified_repairs() {
     let schema = Schema::new("R", ["A", "B", "C", "D", "E"]).unwrap();
     let mut rng = StdRng::seed_from_u64(99);
-    let solver = SRepairSolver {
-        exact_fallback_limit: 10,
-    };
+    let request = RepairRequest::subset().exact_fallback_limit(10);
     for (spec, _) in corpus() {
         let fds = FdSet::parse(&schema, spec).unwrap();
         let cfg = DirtyConfig {
@@ -108,11 +106,16 @@ fn solver_facade_always_produces_verified_repairs() {
             weighted: false,
         };
         let table = dirty_table(&schema, &fds, &cfg, &mut rng);
-        let sol = solver.solve(&table, &fds);
-        sol.repair.verify(&table, &fds);
+        let sol = Planner.run(&table, &fds, &request).unwrap();
+        let repaired = sol.repaired().unwrap();
+        assert!(repaired.satisfies(&fds), "{spec}");
+        assert!(
+            (table.dist_sub(repaired).unwrap() - sol.cost).abs() < 1e-9,
+            "{spec}"
+        );
         if sol.optimal {
             let exact = exact_s_repair(&table, &fds);
-            assert!((sol.repair.cost - exact.cost).abs() < 1e-9, "{spec}");
+            assert!((sol.cost - exact.cost).abs() < 1e-9, "{spec}");
         } else {
             assert_eq!(sol.ratio, 2.0);
         }

@@ -1,0 +1,93 @@
+//! Property test for the `.fdr` writer: `parse ∘ to_fdr = id` on
+//! arbitrary instances whose values stay within the format's lossless
+//! fragment (integers and strings free of `|`, newlines, and leading /
+//! trailing whitespace).
+
+use fd_repairs::instance::Instance;
+use fd_repairs::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_attrset(arity: u16) -> impl Strategy<Value = AttrSet> {
+    prop::collection::vec(0..arity, 0..=arity as usize)
+        .prop_map(|ids| ids.into_iter().map(AttrId::new).collect())
+}
+
+fn arb_fdset(arity: u16, max_fds: usize) -> impl Strategy<Value = FdSet> {
+    prop::collection::vec(
+        (arb_attrset(arity), arb_attrset(arity)).prop_filter_map("nonempty rhs", |(lhs, rhs)| {
+            (!rhs.is_empty()).then_some(Fd::new(lhs, rhs))
+        }),
+        0..=max_fds,
+    )
+    .prop_map(FdSet::new)
+}
+
+/// A value from the lossless fragment: an integer, or a string over
+/// `[a-z]` (the parser treats anything non-integer as a string, so any
+/// token without separators round-trips).
+fn arb_value() -> impl Strategy<Value = Value> {
+    (0..2u8, -999..1000i64, "[a-z]{1,6}").prop_map(|(kind, int, text)| {
+        if kind == 0 {
+            Value::Int(int)
+        } else {
+            Value::str(&text)
+        }
+    })
+}
+
+fn arb_instance(arity: usize, max_rows: usize) -> impl Strategy<Value = Instance> {
+    let schema_names: Vec<String> = (0..arity).map(|i| format!("attr{i}")).collect();
+    (
+        arb_fdset(arity as u16, 3),
+        prop::collection::vec(
+            (prop::collection::vec(arb_value(), arity..=arity), 1..50u32),
+            0..=max_rows,
+        ),
+        "[A-Z][a-z]{0,7}",
+    )
+        .prop_map(move |(fds, rows, relation)| {
+            let schema = Schema::new(relation, schema_names.clone()).expect("valid names");
+            let mut table = Table::new(schema.clone());
+            for (values, w) in rows {
+                // Quarter-integral weights exercise a fractional Display
+                // path that still round-trips exactly through f64.
+                table
+                    .push(Tuple::new(values), w as f64 / 4.0)
+                    .expect("arity matches");
+            }
+            Instance {
+                schema: Arc::clone(&schema),
+                fds,
+                table,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_after_write_is_identity(inst in arb_instance(4, 8)) {
+        let text = inst.to_fdr();
+        let again = Instance::parse(&text).unwrap_or_else(|e| {
+            panic!("written .fdr failed to parse: {e}\n--- document ---\n{text}")
+        });
+        prop_assert_eq!(&again.table, &inst.table);
+        prop_assert_eq!(&again.fds, &inst.fds);
+        prop_assert_eq!(again.schema.relation(), inst.schema.relation());
+        prop_assert_eq!(again.schema.attr_names(), inst.schema.attr_names());
+        // Writing again yields the identical document (a fixpoint after
+        // one round, since Display is deterministic).
+        prop_assert_eq!(again.to_fdr(), text);
+    }
+}
+
+#[test]
+fn display_and_to_fdr_agree_on_fixtures() {
+    for name in ["office.fdr", "sensors.fdr"] {
+        let path = format!("{}/examples/data/{name}", env!("CARGO_MANIFEST_DIR"));
+        let inst = Instance::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(inst.to_fdr(), format!("{inst}"), "{name}");
+    }
+}

@@ -16,14 +16,20 @@ fn office_fixture_solves_like_figure_1() {
     assert_eq!(inst.table.len(), 4);
     assert!(!inst.table.satisfies(&inst.fds));
 
-    let s = SRepairSolver::default().solve(&inst.table, &inst.fds);
+    let s = Planner
+        .run(&inst.table, &inst.fds, &RepairRequest::subset())
+        .unwrap();
     assert!(s.optimal);
-    assert_eq!(s.repair.cost, 2.0);
+    assert_eq!(s.cost, 2.0);
 
-    let u = URepairSolver::default().solve(&inst.table, &inst.fds);
+    let u = Planner
+        .run(&inst.table, &inst.fds, &RepairRequest::update())
+        .unwrap();
     assert!(u.optimal);
-    assert_eq!(u.repair.cost, 2.0);
-    u.repair.verify(&inst.table, &inst.fds);
+    assert_eq!(u.cost, 2.0);
+    let repaired = u.repaired().unwrap();
+    assert!(repaired.satisfies(&inst.fds));
+    assert!((inst.table.dist_upd(repaired).unwrap() - u.cost).abs() < 1e-9);
 }
 
 #[test]
@@ -44,7 +50,7 @@ fn sensors_fixture_solves_like_the_mpd_example() {
 fn fixtures_round_trip_through_the_text_format() {
     for name in ["office.fdr", "sensors.fdr"] {
         let inst = Instance::parse(&fixture(name)).unwrap();
-        let again = Instance::parse(&inst.to_text()).unwrap();
+        let again = Instance::parse(&inst.to_fdr()).unwrap();
         assert_eq!(again.table, inst.table, "{name}");
         assert_eq!(again.fds, inst.fds, "{name}");
         assert_eq!(again.schema.relation(), inst.schema.relation(), "{name}");

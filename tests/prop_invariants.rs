@@ -201,21 +201,23 @@ proptest! {
     }
 
     #[test]
-    fn u_solver_is_sound_and_never_beats_exact(
+    fn u_engine_is_sound_and_never_beats_exact(
         fds in arb_fdset(3, 2),
         table in arb_table(5),
     ) {
-        let sol = URepairSolver::default().solve(&table, &fds);
-        sol.repair.verify(&table, &fds);
+        let sol = Planner.run(&table, &fds, &RepairRequest::update()).unwrap();
+        let repaired = sol.repaired().unwrap();
+        prop_assert!(repaired.satisfies(&fds));
+        prop_assert!((table.dist_upd(repaired).unwrap() - sol.cost).abs() < 1e-9);
         let exact = exact_u_repair(&table, &fds, &ExactConfig::default());
         // No algorithm may return a cheaper consistent update than the
         // exhaustive optimum; optimal methods must match it.
-        prop_assert!(sol.repair.cost >= exact.cost - 1e-9);
+        prop_assert!(sol.cost >= exact.cost - 1e-9);
         if sol.optimal {
-            prop_assert!((sol.repair.cost - exact.cost).abs() < 1e-9,
-                "claimed optimal {} vs exact {}", sol.repair.cost, exact.cost);
+            prop_assert!((sol.cost - exact.cost).abs() < 1e-9,
+                "claimed optimal {} vs exact {}", sol.cost, exact.cost);
         } else {
-            prop_assert!(sol.repair.cost <= sol.ratio * exact.cost + 1e-9);
+            prop_assert!(sol.cost <= sol.ratio * exact.cost + 1e-9);
         }
     }
 

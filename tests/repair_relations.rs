@@ -106,18 +106,19 @@ fn corollary_4_6_common_lhs_u_equals_s() {
         };
         let table = dirty_table(&schema, &fds, &cfg, &mut rng);
         let s_star = opt_s_repair(&table, &fds).unwrap();
-        let u_sol = URepairSolver::default().solve(&table, &fds);
+        let u_sol = Planner.run(&table, &fds, &RepairRequest::update()).unwrap();
         assert!(u_sol.optimal);
-        u_sol.repair.verify(&table, &fds);
+        let repaired = u_sol.repaired().unwrap();
+        assert!(repaired.satisfies(&fds));
         assert!(
-            (u_sol.repair.cost - s_star.cost).abs() < 1e-9,
+            (u_sol.cost - s_star.cost).abs() < 1e-9,
             "U {} vs S {}\n{table}",
-            u_sol.repair.cost,
+            u_sol.cost,
             s_star.cost
         );
         // Cross-check against exhaustive search.
         let exact = exact_u_repair(&table, &fds, &ExactConfig::default());
-        assert!((u_sol.repair.cost - exact.cost).abs() < 1e-9);
+        assert!((u_sol.cost - exact.cost).abs() < 1e-9);
     }
 }
 
@@ -139,14 +140,15 @@ fn corollary_4_8_chain_u_repairs_are_polynomial_and_optimal() {
             )
         });
         let table = Table::build(schema.clone(), rows).unwrap();
-        let sol = URepairSolver::default().solve(&table, &fds);
+        let sol = Planner.run(&table, &fds, &RepairRequest::update()).unwrap();
         assert!(sol.optimal, "chain sets must be solved optimally");
-        sol.repair.verify(&table, &fds);
+        let repaired = sol.repaired().unwrap();
+        assert!(repaired.satisfies(&fds));
         let exact = exact_u_repair(&table, &fds, &ExactConfig::default());
         assert!(
-            (sol.repair.cost - exact.cost).abs() < 1e-9,
+            (sol.cost - exact.cost).abs() < 1e-9,
             "solver {} vs exact {}\n{table}",
-            sol.repair.cost,
+            sol.cost,
             exact.cost
         );
     }
