@@ -1,0 +1,216 @@
+//! Criterion bench: end-to-end serving performance over loopback — one
+//! in-process `fd-serve` server, real TCP round trips. Besides the
+//! on-screen numbers, a machine-readable summary is written to
+//! `BENCH_serve.json` at the workspace root (or `$BENCH_SERVE_JSON`) to
+//! seed the serving performance trajectory: median end-to-end latency
+//! for a cold-cache and a hot-cache `POST /repair`, plus concurrent
+//! requests/sec from a small client fleet.
+
+use criterion::{black_box, Criterion};
+use fd_core::{tup, FdSet, Schema, Table};
+use fd_engine::{Json, RepairCall, RepairRequest};
+use fd_serve::{client, ServeConfig, Server};
+use std::net::SocketAddr;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The Figure-1 running example as a wire body.
+fn office_body(include_timings: bool) -> String {
+    let s = Schema::new("Office", ["facility", "room", "floor", "city"]).unwrap();
+    let fds = FdSet::parse(&s, "facility -> city; facility room -> floor").unwrap();
+    let table = Table::build(
+        s,
+        vec![
+            (tup!["HQ", 322, 3, "Paris"], 2.0),
+            (tup!["HQ", 322, 30, "Madrid"], 1.0),
+            (tup!["HQ", 122, 1, "Madrid"], 1.0),
+            (tup!["Lab1", "B35", 3, "London"], 2.0),
+        ],
+    )
+    .unwrap();
+    RepairCall {
+        table,
+        fds,
+        request: RepairRequest::subset(),
+        include_timings,
+    }
+    .to_json_value()
+    .to_string()
+}
+
+/// A larger tractable instance (key FD over `n` dirty rows).
+fn scaling_body(n: usize) -> String {
+    let s = Schema::new("S", ["K", "A", "B"]).unwrap();
+    let fds = FdSet::parse(&s, "K -> A B").unwrap();
+    let rows = (0..n).map(|i| tup![(i % (n / 4 + 1)) as i64, (i % 3) as i64, (i % 5) as i64]);
+    let table = Table::build_unweighted(s, rows).unwrap();
+    RepairCall {
+        table,
+        fds,
+        request: RepairRequest::subset(),
+        include_timings: false,
+    }
+    .to_json_value()
+    .to_string()
+}
+
+struct RunningServer {
+    addr: SocketAddr,
+    flag: Arc<std::sync::atomic::AtomicBool>,
+    handle: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn start(cache_entries: usize) -> RunningServer {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 4,
+        cache_entries,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral");
+    let addr = server.local_addr().unwrap();
+    let flag = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.run());
+    RunningServer { addr, flag, handle }
+}
+
+fn stop(server: RunningServer) {
+    server.flag.store(true, Ordering::SeqCst);
+    server.handle.join().unwrap().unwrap();
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let server = start(256);
+    let addr = server.addr;
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(30);
+
+    let cold = office_body(true); // timing-bearing calls are never cached → always a real solve
+    group.bench_function("repair/office/roundtrip", |b| {
+        b.iter(|| {
+            let resp = client::post(addr, "/repair", black_box(&cold)).unwrap();
+            assert_eq!(resp.status, 200);
+        });
+    });
+    let big = scaling_body(512);
+    group.bench_function("repair/512rows/roundtrip", |b| {
+        b.iter(|| {
+            let resp = client::post(addr, "/repair", black_box(&big)).unwrap();
+            assert_eq!(resp.status, 200);
+        });
+    });
+    group.bench_function("healthz/roundtrip", |b| {
+        b.iter(|| {
+            let resp = client::get(addr, "/healthz").unwrap();
+            assert_eq!(resp.status, 200);
+        });
+    });
+    group.finish();
+    stop(server);
+}
+
+/// Median wall-clock of `runs` executions of `f`, in microseconds.
+fn median_us(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Concurrent requests/sec: `clients` threads firing `per_client`
+/// sequential round trips each.
+fn requests_per_sec(addr: SocketAddr, body: &str, clients: usize, per_client: usize) -> f64 {
+    let body: Arc<str> = Arc::from(body);
+    let start = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|_| {
+            let body = Arc::clone(&body);
+            std::thread::spawn(move || {
+                for _ in 0..per_client {
+                    let resp = client::post(addr, "/repair", &body).unwrap();
+                    assert_eq!(resp.status, 200);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    (clients * per_client) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Writes the machine-readable summary consumed by the perf trajectory.
+fn write_summary() {
+    let path = std::env::var("BENCH_SERVE_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_serve.json", env!("CARGO_MANIFEST_DIR")));
+    let mut entries = Vec::new();
+
+    // Cold path: cache disabled, every call solves.
+    let server = start(0);
+    let addr = server.addr;
+    let body = office_body(false);
+    entries.push(Json::obj([
+        ("id", Json::str("repair/office/cold_median_us")),
+        (
+            "median_us",
+            Json::Num(median_us(200, || {
+                client::post(addr, "/repair", &body).unwrap();
+            })),
+        ),
+    ]));
+    let rps = requests_per_sec(addr, &body, 8, 40);
+    entries.push(Json::obj([
+        ("id", Json::str("repair/office/cold_rps_8clients")),
+        ("requests_per_sec", Json::Num(rps)),
+    ]));
+    stop(server);
+
+    // Hot path: warm LRU cache replays serialized reports.
+    let server = start(256);
+    let addr = server.addr;
+    client::post(addr, "/repair", &body).unwrap(); // warm
+    entries.push(Json::obj([
+        ("id", Json::str("repair/office/hot_median_us")),
+        (
+            "median_us",
+            Json::Num(median_us(200, || {
+                client::post(addr, "/repair", &body).unwrap();
+            })),
+        ),
+    ]));
+    let rps = requests_per_sec(addr, &body, 8, 40);
+    entries.push(Json::obj([
+        ("id", Json::str("repair/office/hot_rps_8clients")),
+        ("requests_per_sec", Json::Num(rps)),
+    ]));
+    stop(server);
+
+    let doc = Json::obj([
+        ("bench", Json::str("serve")),
+        (
+            "unit",
+            Json::str("microseconds (median end-to-end over loopback) / requests per second"),
+        ),
+        ("entries", Json::Arr(entries)),
+    ]);
+    match std::fs::write(&path, format!("{doc}\n")) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_serving(&mut criterion);
+    // Skip the summary in `--test`/`--list` compile-check mode.
+    let args: Vec<String> = std::env::args().collect();
+    if !args.iter().any(|a| a == "--test" || a == "--list") {
+        write_summary();
+    }
+}

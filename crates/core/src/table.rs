@@ -398,6 +398,41 @@ impl Table {
         Ok(total)
     }
 
+    /// Renames every [`Value::Fresh`] constant to a dense
+    /// first-appearance numbering (`⊥0`, `⊥1`, … in row/attribute
+    /// order). Fresh constants are arbitrary placeholders, so this is a
+    /// semantics-preserving renaming — equal cells stay equal, distinct
+    /// cells stay distinct — that makes output containing fresh values
+    /// deterministic across calls (the global fresh counter otherwise
+    /// leaks process history into every serialized repair).
+    pub fn canonicalize_fresh(&mut self) {
+        use std::collections::HashMap;
+        let mut rename: HashMap<u64, u64> = HashMap::new();
+        fn remap(value: &Value, rename: &mut HashMap<u64, u64>) -> Option<Value> {
+            match value {
+                Value::Fresh(tag) => {
+                    let next = rename.len() as u64;
+                    Some(Value::Fresh(*rename.entry(*tag).or_insert(next)))
+                }
+                Value::Composite(parts) => {
+                    let mapped: Vec<Value> = parts
+                        .iter()
+                        .map(|p| remap(p, rename).unwrap_or_else(|| p.clone()))
+                        .collect();
+                    (mapped[..] != parts[..]).then(|| Value::Composite(mapped.into()))
+                }
+                _ => None,
+            }
+        }
+        for row in &mut self.rows {
+            for value in row.tuple.values_mut() {
+                if let Some(mapped) = remap(value, &mut rename) {
+                    *value = mapped;
+                }
+            }
+        }
+    }
+
     /// The cells on which `other` differs from `self`, as
     /// `(id, attr, old, new)` tuples in row order. Requires an update.
     pub fn changed_cells(&self, other: &Table) -> Result<Vec<(TupleId, AttrId, Value, Value)>> {

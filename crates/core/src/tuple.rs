@@ -35,6 +35,11 @@ impl Tuple {
         &self.0
     }
 
+    /// Mutable view of all values in schema order.
+    pub fn values_mut(&mut self) -> &mut [Value] {
+        &mut self.0
+    }
+
     /// The projection `t[X]` as a key (values in ascending attribute order).
     pub fn project(&self, attrs: AttrSet) -> Vec<Value> {
         attrs.iter().map(|a| self.0[a.usize()].clone()).collect()

@@ -10,9 +10,44 @@
 //! tests — and downstream clients without a JSON stack — can round-trip
 //! and inspect reports; it accepts exactly the constructs the writer
 //! emits plus arbitrary whitespace.
+//!
+//! Since the wire surface of `fd-serve` feeds this parser *untrusted*
+//! input, parsing is hardened: recursion depth and document size are
+//! bounded ([`JsonLimits`], enforced by [`Json::parse_with_limits`] and,
+//! with the default depth cap, by [`Json::parse`] itself), and every
+//! malformed, truncated, or hostile document yields a structured
+//! [`JsonError`] — never a panic or a stack overflow.
 
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// Resource bounds for parsing untrusted JSON.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JsonLimits {
+    /// Maximum document size in bytes; longer inputs are rejected before
+    /// any parsing work happens.
+    pub max_bytes: usize,
+    /// Maximum nesting depth of arrays/objects. The parser is recursive,
+    /// so this bound is what keeps `[[[[…` from overflowing the stack.
+    pub max_depth: usize,
+}
+
+impl JsonLimits {
+    /// The default depth cap applied even by plain [`Json::parse`].
+    pub const DEFAULT_MAX_DEPTH: usize = 128;
+
+    /// Limits suitable for untrusted network input: 16 MiB, depth 128.
+    pub const UNTRUSTED: JsonLimits = JsonLimits {
+        max_bytes: 16 << 20,
+        max_depth: JsonLimits::DEFAULT_MAX_DEPTH,
+    };
+}
+
+impl Default for JsonLimits {
+    fn default() -> JsonLimits {
+        JsonLimits::UNTRUSTED
+    }
+}
 
 /// A JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -84,12 +119,37 @@ impl Json {
     }
 
     /// Parses a JSON document (one value, optionally surrounded by
-    /// whitespace).
+    /// whitespace). Depth is bounded by
+    /// [`JsonLimits::DEFAULT_MAX_DEPTH`]; size is unbounded — use
+    /// [`Json::parse_with_limits`] for wire input.
     pub fn parse(text: &str) -> Result<Json, JsonError> {
+        Json::parse_with_limits(
+            text,
+            &JsonLimits {
+                max_bytes: usize::MAX,
+                max_depth: JsonLimits::DEFAULT_MAX_DEPTH,
+            },
+        )
+    }
+
+    /// Parses a JSON document under explicit resource bounds. Oversized
+    /// documents fail immediately; nesting beyond `max_depth` fails at
+    /// the offending bracket. Never panics on any input.
+    pub fn parse_with_limits(text: &str, limits: &JsonLimits) -> Result<Json, JsonError> {
         let bytes = text.as_bytes();
+        if bytes.len() > limits.max_bytes {
+            return Err(JsonError {
+                pos: 0,
+                message: format!(
+                    "document is {} bytes, limit is {}",
+                    bytes.len(),
+                    limits.max_bytes
+                ),
+            });
+        }
         let mut pos = 0usize;
         skip_ws(bytes, &mut pos);
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, limits.max_depth)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(JsonError {
@@ -148,7 +208,7 @@ fn expect(bytes: &[u8], pos: &mut usize, token: &str) -> Result<(), JsonError> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
     match bytes.get(*pos) {
         None => Err(err(*pos, "unexpected end of input")),
         Some(b'n') => expect(bytes, pos, "null").map(|()| Json::Null),
@@ -156,6 +216,9 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
         Some(b'f') => expect(bytes, pos, "false").map(|()| Json::Bool(false)),
         Some(b'"') => parse_string(bytes, pos).map(Json::Str),
         Some(b'[') => {
+            if depth == 0 {
+                return Err(err(*pos, "nesting exceeds the depth limit"));
+            }
             *pos += 1;
             let mut items = Vec::new();
             skip_ws(bytes, pos);
@@ -165,7 +228,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
             }
             loop {
                 skip_ws(bytes, pos);
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth - 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -178,6 +241,9 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
             }
         }
         Some(b'{') => {
+            if depth == 0 {
+                return Err(err(*pos, "nesting exceeds the depth limit"));
+            }
             *pos += 1;
             let mut pairs = Vec::new();
             skip_ws(bytes, pos);
@@ -191,7 +257,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
                 skip_ws(bytes, pos);
                 expect(bytes, pos, ":")?;
                 skip_ws(bytes, pos);
-                let value = parse_value(bytes, pos)?;
+                let value = parse_value(bytes, pos, depth - 1)?;
                 pairs.push((key, value));
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
@@ -423,5 +489,38 @@ mod tests {
         for bad in ["", "{", "[1,", "\"abc", "{\"a\" 1}", "nul", "1 2", "{]"] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        let deep = "[".repeat(100_000);
+        let e = Json::parse(&deep).unwrap_err();
+        assert!(e.message.contains("depth"), "{e}");
+        let deep_obj = "{\"k\":".repeat(100_000);
+        assert!(Json::parse(&deep_obj).is_err());
+        // Documents within the cap still parse.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn byte_limit_rejects_before_parsing() {
+        let limits = JsonLimits {
+            max_bytes: 8,
+            max_depth: 4,
+        };
+        assert!(Json::parse_with_limits("[1,2]", &limits).is_ok());
+        let e = Json::parse_with_limits("[1,2,3,4,5]", &limits).unwrap_err();
+        assert_eq!(e.pos, 0);
+        assert!(e.message.contains("limit"), "{e}");
+        let e = Json::parse_with_limits(
+            "[[[[[1]]]]]",
+            &JsonLimits {
+                max_bytes: 64,
+                max_depth: 3,
+            },
+        )
+        .unwrap_err();
+        assert!(e.message.contains("depth"), "{e}");
     }
 }

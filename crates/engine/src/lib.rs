@@ -66,9 +66,11 @@ pub mod json;
 mod planner;
 mod report;
 mod request;
+pub mod wire;
 
 pub use ext::{constraint_subset_report, prioritized_report};
-pub use json::{Json, JsonError};
+pub use json::{Json, JsonError, JsonLimits};
 pub use planner::{EngineError, Plan, PlanStep, Planner, RepairEngine};
 pub use report::{table_to_json, ChangedCell, DichotomyReport, RepairReport, ReportBody, Timings};
 pub use request::{Budgets, Notion, Optimality, RepairRequest};
+pub use wire::{cache_key, Fnv64, RepairCall, WireError};

@@ -458,7 +458,12 @@ impl RepairEngine for Planner {
         let (methods, optimal, ratio, cost, body) = match request.notion {
             Notion::Subset => {
                 let method = Planner::plan_subset_method(table, fds, request)?;
-                let sol = fd_srepair::engine::solve_subset(table, fds, method);
+                let sol = fd_srepair::engine::solve_subset_threaded(
+                    table,
+                    fds,
+                    method,
+                    request.budgets.threads,
+                );
                 let deleted = sol.repair.deleted(table);
                 let repaired = sol.repair.apply(table);
                 (
@@ -471,7 +476,11 @@ impl RepairEngine for Planner {
             }
             Notion::Update => {
                 let solver = Planner::effective_u_solver(table, fds, request);
-                let sol = fd_urepair::engine::solve_update(table, fds, &solver);
+                let mut sol = fd_urepair::engine::solve_update(table, fds, &solver);
+                // Fresh constants are minted from a process-global
+                // counter; canonicalize so identical calls serialize
+                // identically (serving and caching depend on it).
+                sol.repair.updated.canonicalize_fresh();
                 let cells = table
                     .changed_cells(&sol.repair.updated)
                     .expect("solver output updates the input");
@@ -488,13 +497,14 @@ impl RepairEngine for Planner {
             }
             Notion::Mixed => {
                 let method = Planner::plan_mixed_method(table, fds, request)?;
-                let sol = fd_urepair::engine::solve_mixed(
+                let mut sol = fd_urepair::engine::solve_mixed(
                     table,
                     fds,
                     request.mixed_costs,
                     method,
                     request.budgets.exact_node_budget,
                 );
+                sol.repair.repaired.canonicalize_fresh();
                 let deleted_set: HashSet<TupleId> = sol.repair.deleted.iter().copied().collect();
                 let survivors = table.without(&deleted_set);
                 let cells = survivors

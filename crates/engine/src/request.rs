@@ -93,6 +93,11 @@ pub struct Budgets {
     /// exceeded cap aborts the call with
     /// [`crate::EngineError::TimeBudgetExceeded`].
     pub time_cap_ms: Option<u64>,
+    /// Worker threads for the data-parallel subset path
+    /// (`par_opt_s_repair`): `1` runs sequentially, `0` asks the OS,
+    /// `n > 1` fans the top-level partition over `n` threads. The result
+    /// is identical to the sequential computation.
+    pub threads: usize,
 }
 
 impl Default for Budgets {
@@ -102,6 +107,7 @@ impl Default for Budgets {
             exact_row_limit: 8,
             exact_node_budget: 2_000_000,
             time_cap_ms: None,
+            threads: 1,
         }
     }
 }
@@ -204,6 +210,13 @@ impl RepairRequest {
         self
     }
 
+    /// Sets the worker-thread count for the parallel subset path
+    /// (`0` = ask the OS, `1` = sequential).
+    pub fn threads(mut self, threads: usize) -> RepairRequest {
+        self.budgets.threads = threads;
+        self
+    }
+
     /// Sets the mixed-operation cost multipliers.
     pub fn mixed_costs(mut self, costs: MixedCosts) -> RepairRequest {
         self.mixed_costs = costs;
@@ -245,12 +258,14 @@ mod tests {
             .exact_row_limit(3)
             .exact_node_budget(10)
             .time_cap_ms(500)
+            .threads(4)
             .seed(7);
         assert_eq!(r.notion, Notion::Update);
         assert_eq!(r.optimality, Optimality::Exact);
         assert_eq!(r.budgets.exact_row_limit, 3);
         assert_eq!(r.budgets.exact_node_budget, 10);
         assert_eq!(r.budgets.time_cap_ms, Some(500));
+        assert_eq!(r.budgets.threads, 4);
         assert_eq!(r.seed, Some(7));
     }
 }

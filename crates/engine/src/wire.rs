@@ -1,0 +1,618 @@
+//! The wire surface of the engine: a complete repair call — instance
+//! *and* request — parsed from untrusted JSON, plus the cache-key
+//! hashing that lets a server memoize reports.
+//!
+//! This is what `fd-serve` speaks. A [`RepairCall`] document looks like:
+//!
+//! ```json
+//! {
+//!   "relation": "Office",
+//!   "attrs": ["facility", "room", "floor", "city"],
+//!   "fds": "facility -> city; facility room -> floor",
+//!   "rows": [
+//!     {"weight": 2, "values": ["HQ", 322, 3, "Paris"]},
+//!     ["HQ", 322, 30, "Madrid"]
+//!   ],
+//!   "request": {"notion": "s", "optimality": "best"}
+//! }
+//! ```
+//!
+//! Rows may be bare value arrays (weight 1) or objects with `weight` /
+//! `values`; the `request` object and all of its fields are optional and
+//! default to [`RepairRequest::subset`]'s settings. Value conversion
+//! inverts [`crate::table_to_json`]: JSON numbers with integral values
+//! become [`Value::Int`], strings become [`Value::Str`]. Parsing is
+//! strict — unknown request fields are errors, not silent no-ops — and
+//! bounded by [`JsonLimits`], so a hostile body can neither crash nor
+//! overload the parser.
+
+use crate::json::{Json, JsonError, JsonLimits};
+use crate::request::{Budgets, Notion, Optimality, RepairRequest};
+use fd_core::{FdSet, Schema, Table, Tuple, Value};
+use fd_urepair::MixedCosts;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Why a wire document could not be turned into a [`RepairCall`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Human-readable description, safe to echo back to the client.
+    pub message: String,
+}
+
+impl WireError {
+    fn new(message: impl Into<String>) -> WireError {
+        WireError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<JsonError> for WireError {
+    fn from(e: JsonError) -> WireError {
+        WireError::new(e.to_string())
+    }
+}
+
+/// One complete engine invocation as it travels over the wire: the
+/// instance (schema, FDs, table) plus the [`RepairRequest`] and the
+/// response-shaping options.
+#[derive(Clone, Debug)]
+pub struct RepairCall {
+    /// The (possibly dirty) input table.
+    pub table: Table,
+    /// The FD set Δ.
+    pub fds: FdSet,
+    /// What to compute and under which budgets.
+    pub request: RepairRequest,
+    /// Whether the response should carry real wall-clock timings.
+    /// `false` zeroes them, making responses byte-for-byte deterministic
+    /// for identical calls (used by the parity tests and friendly to
+    /// caches).
+    pub include_timings: bool,
+}
+
+impl RepairCall {
+    /// Parses a wire document under the given limits.
+    pub fn parse(text: &str, limits: &JsonLimits) -> Result<RepairCall, WireError> {
+        let doc = Json::parse_with_limits(text, limits)?;
+        RepairCall::from_json(&doc)
+    }
+
+    /// Builds a call from an already-parsed JSON value.
+    pub fn from_json(doc: &Json) -> Result<RepairCall, WireError> {
+        let Json::Obj(_) = doc else {
+            return Err(WireError::new("the document must be a JSON object"));
+        };
+        for (key, _) in doc.to_map().expect("checked object") {
+            if !matches!(key, "relation" | "attrs" | "fds" | "rows" | "request") {
+                return Err(WireError::new(format!("unknown field {key:?}")));
+            }
+        }
+        let relation = match doc.get("relation") {
+            None => "R",
+            Some(Json::Str(s)) => s.as_str(),
+            Some(_) => return Err(WireError::new("\"relation\" must be a string")),
+        };
+        let attrs = match doc.get("attrs") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|a| match a {
+                    Json::Str(s) => Ok(s.clone()),
+                    _ => Err(WireError::new("\"attrs\" must be an array of strings")),
+                })
+                .collect::<Result<Vec<String>, WireError>>()?,
+            _ => {
+                return Err(WireError::new(
+                    "missing \"attrs\": an array of attribute names",
+                ))
+            }
+        };
+        let schema = Schema::new(relation, attrs)
+            .map_err(|e| WireError::new(format!("invalid schema: {e}")))?;
+        let fds = match doc.get("fds") {
+            None => FdSet::empty(),
+            Some(Json::Str(spec)) => FdSet::parse(&schema, spec)
+                .map_err(|e| WireError::new(format!("invalid \"fds\": {e}")))?,
+            Some(_) => {
+                return Err(WireError::new(
+                    "\"fds\" must be a string like \"A -> B; B -> C\"",
+                ))
+            }
+        };
+        let mut table = Table::new(schema);
+        let rows = match doc.get("rows") {
+            Some(Json::Arr(items)) => items,
+            _ => return Err(WireError::new("missing \"rows\": an array of rows")),
+        };
+        for (i, row) in rows.iter().enumerate() {
+            let (weight, values) =
+                parse_row(row).map_err(|e| WireError::new(format!("row {i}: {}", e.message)))?;
+            table
+                .push(Tuple::new(values), weight)
+                .map_err(|e| WireError::new(format!("row {i}: {e}")))?;
+        }
+        let (request, include_timings) = match doc.get("request") {
+            None => (RepairRequest::subset(), true),
+            Some(req) => parse_request(req)?,
+        };
+        Ok(RepairCall {
+            table,
+            fds,
+            request,
+            include_timings,
+        })
+    }
+
+    /// The call rendered back as a wire document (request fixtures,
+    /// tests, benches).
+    pub fn to_json_value(&self) -> Json {
+        let schema = self.table.schema();
+        let fd_spec: Vec<String> = self
+            .fds
+            .iter()
+            .map(|fd| {
+                format!(
+                    "{} -> {}",
+                    fd.lhs().display(schema),
+                    fd.rhs().display(schema)
+                )
+            })
+            .collect();
+        let rows: Vec<Json> = self
+            .table
+            .rows()
+            .map(|row| {
+                let values: Vec<Json> = row
+                    .tuple
+                    .values()
+                    .iter()
+                    .map(|v| match v {
+                        Value::Int(i) => Json::Num(*i as f64),
+                        other => Json::str(other.to_string()),
+                    })
+                    .collect();
+                Json::obj([("weight", row.weight.into()), ("values", Json::Arr(values))])
+            })
+            .collect();
+        Json::obj([
+            ("relation", Json::str(schema.relation())),
+            (
+                "attrs",
+                Json::Arr(
+                    schema
+                        .attr_names()
+                        .iter()
+                        .map(|a| Json::str(a.as_str()))
+                        .collect(),
+                ),
+            ),
+            ("fds", Json::str(fd_spec.join("; "))),
+            ("rows", Json::Arr(rows)),
+            (
+                "request",
+                request_to_json(&self.request, self.include_timings),
+            ),
+        ])
+    }
+
+    /// Whether identical calls always produce identical responses — the
+    /// precondition for serving a memoized one. Two things break that:
+    /// unseeded sampling (nondeterministic repair) and
+    /// `include_timings: true` (real wall-clock timings differ per
+    /// call, so a replay would serve the first call's timings as if
+    /// they were fresh).
+    pub fn cacheable(&self) -> bool {
+        !self.include_timings
+            && (self.request.notion != Notion::Sample || self.request.seed.is_some())
+    }
+
+    /// The cache key of this call: [`cache_key`] plus the
+    /// response-shaping options.
+    pub fn cache_key(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(cache_key(&self.table, &self.fds, &self.request));
+        h.write_u8(self.include_timings as u8);
+        h.finish()
+    }
+}
+
+/// 64-bit FNV-1a — a small, deterministic, dependency-free hasher for
+/// cache keys. Not cryptographic; collisions only cost a cache miss
+/// being served a wrong entry, so the full (instance, Δ, knobs) state is
+/// fed in with length/tag framing to keep accidental collisions
+/// implausible.
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Fnv64 {
+        Fnv64::new()
+    }
+}
+
+impl Hasher for Fnv64 {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Hashes one engine call — instance, FD set, and every request knob —
+/// into the key an LRU result cache indexes by. Deterministic across
+/// processes and runs (FNV-1a, no randomized state).
+pub fn cache_key(table: &Table, fds: &FdSet, request: &RepairRequest) -> u64 {
+    let mut h = Fnv64::new();
+    let schema = table.schema();
+    schema.relation().hash(&mut h);
+    schema.attr_names().hash(&mut h);
+    fds.display(schema).hash(&mut h);
+    h.write_usize(table.len());
+    for row in table.rows() {
+        h.write_u32(row.id.0);
+        h.write_u64(row.weight.to_bits());
+        row.tuple.values().hash(&mut h);
+    }
+    request.notion.name().hash(&mut h);
+    match request.optimality {
+        Optimality::Best => h.write_u8(0),
+        Optimality::Exact => h.write_u8(1),
+        Optimality::Approximate { max_ratio } => {
+            h.write_u8(2);
+            h.write_u64(max_ratio.to_bits());
+        }
+    }
+    let Budgets {
+        exact_fallback_limit,
+        exact_row_limit,
+        exact_node_budget,
+        time_cap_ms,
+        threads,
+    } = request.budgets;
+    h.write_usize(exact_fallback_limit);
+    h.write_usize(exact_row_limit);
+    h.write_u64(exact_node_budget);
+    time_cap_ms.hash(&mut h);
+    h.write_usize(threads);
+    h.write_u64(request.mixed_costs.delete.to_bits());
+    h.write_u64(request.mixed_costs.update.to_bits());
+    request.seed.hash(&mut h);
+    h.finish()
+}
+
+/// A row: either a bare array of values, or `{"weight": w, "values":
+/// [...]}` (an `"id"` field, as emitted by report tables, is accepted
+/// and ignored — ids are reassigned on load).
+fn parse_row(row: &Json) -> Result<(f64, Vec<Value>), WireError> {
+    match row {
+        Json::Arr(values) => Ok((1.0, parse_values(values)?)),
+        Json::Obj(_) => {
+            for (key, _) in row.to_map().expect("checked object") {
+                if !matches!(key, "weight" | "values" | "id") {
+                    return Err(WireError::new(format!("unknown row field {key:?}")));
+                }
+            }
+            let weight = match row.get("weight") {
+                None => 1.0,
+                Some(Json::Num(w)) => *w,
+                Some(_) => return Err(WireError::new("\"weight\" must be a number")),
+            };
+            let values = match row.get("values") {
+                Some(Json::Arr(values)) => parse_values(values)?,
+                _ => return Err(WireError::new("missing \"values\" array")),
+            };
+            Ok((weight, values))
+        }
+        _ => Err(WireError::new(
+            "each row must be an array of values or an object with \"values\"",
+        )),
+    }
+}
+
+fn parse_values(values: &[Json]) -> Result<Vec<Value>, WireError> {
+    values
+        .iter()
+        .map(|v| match v {
+            Json::Str(s) => Ok(Value::str(s)),
+            Json::Num(n) if n.fract() == 0.0 && n.abs() < 9.0e15 => Ok(Value::Int(*n as i64)),
+            Json::Num(n) => Err(WireError::new(format!(
+                "value {n} is not an integer; send non-integral values as strings"
+            ))),
+            other => Err(WireError::new(format!(
+                "values must be strings or integers, got {other}"
+            ))),
+        })
+        .collect()
+}
+
+fn parse_request(req: &Json) -> Result<(RepairRequest, bool), WireError> {
+    let Json::Obj(_) = req else {
+        return Err(WireError::new("\"request\" must be an object"));
+    };
+    for (key, _) in req.to_map().expect("checked object") {
+        if !matches!(
+            key,
+            "notion" | "optimality" | "budgets" | "mixed_costs" | "seed" | "include_timings"
+        ) {
+            return Err(WireError::new(format!("unknown request field {key:?}")));
+        }
+    }
+    let notion = match req.get("notion") {
+        None => Notion::Subset,
+        Some(Json::Str(name)) => {
+            Notion::parse(name).ok_or_else(|| WireError::new(format!("unknown notion {name:?}")))?
+        }
+        Some(_) => return Err(WireError::new("\"notion\" must be a string")),
+    };
+    let mut request = RepairRequest::new(notion);
+    match req.get("optimality") {
+        None => {}
+        Some(Json::Str(s)) if s == "best" => {}
+        Some(Json::Str(s)) if s == "exact" => {
+            request = request.optimality(Optimality::Exact);
+        }
+        Some(obj @ Json::Obj(_)) => {
+            let Some(Json::Num(max_ratio)) = obj.get("max_ratio") else {
+                return Err(WireError::new(
+                    "\"optimality\" object needs a numeric \"max_ratio\"",
+                ));
+            };
+            request = request.optimality(Optimality::Approximate {
+                max_ratio: *max_ratio,
+            });
+        }
+        Some(_) => {
+            return Err(WireError::new(
+                "\"optimality\" must be \"best\", \"exact\", or {\"max_ratio\": r}",
+            ))
+        }
+    }
+    if let Some(budgets) = req.get("budgets") {
+        let Json::Obj(_) = budgets else {
+            return Err(WireError::new("\"budgets\" must be an object"));
+        };
+        let mut b = Budgets::default();
+        for (key, value) in budgets.to_map().expect("checked object") {
+            match key {
+                "exact_fallback_limit" => b.exact_fallback_limit = as_usize(key, value)?,
+                "exact_row_limit" => b.exact_row_limit = as_usize(key, value)?,
+                "exact_node_budget" => b.exact_node_budget = as_usize(key, value)? as u64,
+                "time_cap_ms" => b.time_cap_ms = Some(as_usize(key, value)? as u64),
+                "threads" => b.threads = as_usize(key, value)?,
+                other => {
+                    return Err(WireError::new(format!("unknown budget field {other:?}")));
+                }
+            }
+        }
+        request = request.budgets(b);
+    }
+    if let Some(costs) = req.get("mixed_costs") {
+        let (Some(Json::Num(delete)), Some(Json::Num(update))) =
+            (costs.get("delete"), costs.get("update"))
+        else {
+            return Err(WireError::new(
+                "\"mixed_costs\" needs numeric \"delete\" and \"update\"",
+            ));
+        };
+        // MixedCosts::new asserts; turn bad multipliers into wire errors.
+        if !(delete.is_finite() && *delete > 0.0 && update.is_finite() && *update > 0.0) {
+            return Err(WireError::new(
+                "\"mixed_costs\" multipliers must be positive finite numbers",
+            ));
+        }
+        request = request.mixed_costs(MixedCosts::new(*delete, *update));
+    }
+    match req.get("seed") {
+        None => {}
+        Some(seed) => {
+            request = request.seed(as_usize("seed", seed)? as u64);
+        }
+    }
+    let include_timings = match req.get("include_timings") {
+        None => true,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return Err(WireError::new("\"include_timings\" must be a boolean")),
+    };
+    Ok((request, include_timings))
+}
+
+fn as_usize(key: &str, value: &Json) -> Result<usize, WireError> {
+    match value {
+        Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 9.0e15 => Ok(*n as usize),
+        _ => Err(WireError::new(format!(
+            "{key:?} must be a non-negative integer"
+        ))),
+    }
+}
+
+fn request_to_json(request: &RepairRequest, include_timings: bool) -> Json {
+    let optimality = match request.optimality {
+        Optimality::Best => Json::str("best"),
+        Optimality::Exact => Json::str("exact"),
+        Optimality::Approximate { max_ratio } => Json::obj([("max_ratio", max_ratio.into())]),
+    };
+    let mut budgets = vec![
+        (
+            "exact_fallback_limit",
+            request.budgets.exact_fallback_limit.into(),
+        ),
+        ("exact_row_limit", request.budgets.exact_row_limit.into()),
+        (
+            "exact_node_budget",
+            Json::Num(request.budgets.exact_node_budget as f64),
+        ),
+        ("threads", request.budgets.threads.into()),
+    ];
+    if let Some(cap) = request.budgets.time_cap_ms {
+        budgets.push(("time_cap_ms", Json::Num(cap as f64)));
+    }
+    let mut fields = vec![
+        ("notion", Json::str(request.notion.name())),
+        ("optimality", optimality),
+        ("budgets", Json::obj(budgets)),
+        (
+            "mixed_costs",
+            Json::obj([
+                ("delete", request.mixed_costs.delete.into()),
+                ("update", request.mixed_costs.update.into()),
+            ]),
+        ),
+        ("include_timings", include_timings.into()),
+    ];
+    if let Some(seed) = request.seed {
+        fields.push(("seed", Json::Num(seed as f64)));
+    }
+    Json::obj(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OFFICE: &str = r#"{
+        "relation": "Office",
+        "attrs": ["facility", "room", "floor", "city"],
+        "fds": "facility -> city; facility room -> floor",
+        "rows": [
+            {"weight": 2, "values": ["HQ", 322, 3, "Paris"]},
+            {"weight": 1, "values": ["HQ", 322, 30, "Madrid"]},
+            {"weight": 1, "values": ["HQ", 122, 1, "Madrid"]},
+            {"weight": 2, "values": ["Lab1", "B35", 3, "London"]},
+            ["Lab2", 9, 1, "Oslo"]
+        ],
+        "request": {"notion": "s", "optimality": "best", "include_timings": false}
+    }"#;
+
+    #[test]
+    fn parses_the_office_wire_document() {
+        let call = RepairCall::parse(OFFICE, &JsonLimits::UNTRUSTED).unwrap();
+        assert_eq!(call.table.len(), 5);
+        assert_eq!(call.fds.len(), 2);
+        assert_eq!(call.request.notion, Notion::Subset);
+        assert!(!call.include_timings);
+        // The bare-array row defaults to weight 1.
+        let last = call.table.rows().last().unwrap();
+        assert_eq!(last.weight, 1.0);
+        assert_eq!(last.tuple.values()[0], Value::str("Lab2"));
+        assert_eq!(last.tuple.values()[1], Value::Int(9));
+    }
+
+    #[test]
+    fn wire_round_trips() {
+        let mut call = RepairCall::parse(OFFICE, &JsonLimits::UNTRUSTED).unwrap();
+        // Every budget knob must survive the trip, time cap included.
+        call.request = call.request.time_cap_ms(750).threads(3).seed(11);
+        let text = call.to_json_value().to_string();
+        let again = RepairCall::parse(&text, &JsonLimits::UNTRUSTED).unwrap();
+        assert_eq!(again.table, call.table);
+        assert_eq!(again.fds, call.fds);
+        assert_eq!(again.request, call.request);
+        assert_eq!(again.include_timings, call.include_timings);
+        assert_eq!(again.cache_key(), call.cache_key());
+    }
+
+    #[test]
+    fn defaults_are_permissive_and_unknown_fields_are_not() {
+        let minimal = r#"{"attrs": ["A"], "rows": [[1]]}"#;
+        let call = RepairCall::parse(minimal, &JsonLimits::UNTRUSTED).unwrap();
+        assert_eq!(call.table.schema().relation(), "R");
+        assert!(call.fds.is_empty());
+        assert_eq!(call.request, RepairRequest::subset());
+        assert!(call.include_timings);
+
+        for bad in [
+            r#"{"attrs": ["A"], "rows": [[1]], "extra": 1}"#,
+            r#"{"attrs": ["A"], "rows": [[1]], "request": {"notio": "s"}}"#,
+            r#"{"attrs": ["A"], "rows": [[1]], "request": {"budgets": {"thread": 2}}}"#,
+            r#"{"attrs": ["A"], "rows": [[1.5]]}"#,
+            r#"{"attrs": ["A"], "rows": [[true]]}"#,
+            r#"{"attrs": ["A"], "rows": [{"weight": 1}]}"#,
+            r#"{"attrs": ["A"], "rows": [[1]], "fds": "A -> Z"}"#,
+            r#"{"attrs": "A", "rows": [[1]]}"#,
+            r#"{"attrs": ["A"]}"#,
+            r#"[1, 2]"#,
+            r#"{"attrs": ["A"], "rows": [[1]], "request": {"mixed_costs": {"delete": 0, "update": 1}}}"#,
+        ] {
+            assert!(
+                RepairCall::parse(bad, &JsonLimits::UNTRUSTED).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn request_knobs_parse() {
+        let doc = r#"{
+            "attrs": ["A", "B"],
+            "fds": "A -> B",
+            "rows": [[1, 2], [1, 3]],
+            "request": {
+                "notion": "mixed",
+                "optimality": {"max_ratio": 2.5},
+                "budgets": {"exact_fallback_limit": 32, "threads": 4, "time_cap_ms": 500},
+                "mixed_costs": {"delete": 2.0, "update": 0.5},
+                "seed": 7
+            }
+        }"#;
+        let call = RepairCall::parse(doc, &JsonLimits::UNTRUSTED).unwrap();
+        assert_eq!(call.request.notion, Notion::Mixed);
+        assert_eq!(
+            call.request.optimality,
+            Optimality::Approximate { max_ratio: 2.5 }
+        );
+        assert_eq!(call.request.budgets.exact_fallback_limit, 32);
+        assert_eq!(call.request.budgets.threads, 4);
+        assert_eq!(call.request.budgets.time_cap_ms, Some(500));
+        assert_eq!(call.request.mixed_costs.delete, 2.0);
+        assert_eq!(call.request.seed, Some(7));
+    }
+
+    #[test]
+    fn cache_keys_separate_distinct_calls() {
+        let base = RepairCall::parse(OFFICE, &JsonLimits::UNTRUSTED).unwrap();
+        let mut other = base.clone();
+        other.request = other.request.threads(8);
+        assert_ne!(base.cache_key(), other.cache_key());
+        let mut timings = base.clone();
+        timings.include_timings = true;
+        assert_ne!(base.cache_key(), timings.cache_key());
+        // Stability: the key is a pure function of the call.
+        assert_eq!(base.cache_key(), base.clone().cache_key());
+    }
+
+    #[test]
+    fn nondeterministic_calls_are_not_cacheable() {
+        // OFFICE sets include_timings: false, so determinism hinges on
+        // the notion/seed alone …
+        let mut call = RepairCall::parse(OFFICE, &JsonLimits::UNTRUSTED).unwrap();
+        call.request = RepairRequest::new(Notion::Sample);
+        assert!(!call.cacheable(), "unseeded sampling varies per call");
+        call.request = call.request.seed(3);
+        assert!(call.cacheable());
+        call.request = RepairRequest::subset();
+        assert!(call.cacheable());
+        // … while live timings make even a subset call vary per call.
+        call.include_timings = true;
+        assert!(!call.cacheable(), "real timings differ on every call");
+    }
+}

@@ -1,0 +1,139 @@
+//! A minimal blocking HTTP/1.1 client for loopback use: the integration
+//! tests, the serving bench, and quick manual pokes at a local server.
+//! One request per connection, mirroring the server's
+//! `Connection: close` discipline. Not a general-purpose HTTP client —
+//! no TLS, no redirects, no keep-alive.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A response as the client sees it.
+#[derive(Clone, Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Body as text.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// `GET path` against `addr`.
+pub fn get(addr: impl ToSocketAddrs, path: &str) -> std::io::Result<ClientResponse> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST path` with a body against `addr`.
+pub fn post(addr: impl ToSocketAddrs, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+    request(addr, "POST", path, Some(body))
+}
+
+/// One full request/response round trip.
+pub fn request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    // The server may answer-and-close before the whole body is written
+    // (413 on an oversized Content-Length); a broken pipe here still has
+    // a response waiting to be read.
+    if let Err(e) = stream
+        .write_all(body.as_bytes())
+        .and_then(|()| stream.flush())
+    {
+        if !matches!(
+            e.kind(),
+            std::io::ErrorKind::BrokenPipe | std::io::ErrorKind::ConnectionReset
+        ) {
+            return Err(e);
+        }
+    }
+
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 8192];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&chunk[..n]),
+            // A reset after (part of) the response arrived: parse what
+            // we have rather than dropping an already-sent status.
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset && !raw.is_empty() => break,
+            Err(e) => return Err(e),
+        }
+    }
+    parse_response(&raw)
+}
+
+fn bad(message: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message.to_string())
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<ClientResponse> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("no header terminator in response"))?;
+    let head =
+        std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("response head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let headers = lines
+        .filter(|l| !l.is_empty())
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    let body = String::from_utf8(raw[head_end + 4..].to_vec())
+        .map_err(|_| bad("response body is not UTF-8"))?;
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nX-Fd-Cache: hit\r\n\r\n{\"ok\":true}";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("x-fd-cache"), Some("hit"));
+        assert_eq!(resp.body, "{\"ok\":true}");
+    }
+
+    #[test]
+    fn malformed_responses_error_cleanly() {
+        assert!(parse_response(b"garbage").is_err());
+        assert!(parse_response(b"HTTP/1.1 nope\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,406 @@
+//! Minimal HTTP/1.1 over `std::net`: exactly the subset the repair
+//! service needs — request parsing with hard header/body limits, and
+//! response writing with `Connection: close` semantics (one request per
+//! connection; keep-alive buys nothing for solve-dominated calls and
+//! would keep workers pinned to idle sockets).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Maximum bytes of request line + headers; anything longer is hostile.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The method verb, uppercased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// The request path, query string included.
+    pub path: String,
+    /// Header name/value pairs in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (names are stored lowercased).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read; each maps to one 4xx response.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, header syntax, or header overflow → 400.
+    BadRequest(String),
+    /// A body-carrying method without `Content-Length` → 411.
+    LengthRequired,
+    /// `Content-Length` exceeds the configured body cap → 413.
+    PayloadTooLarge {
+        /// The configured cap, echoed in the response.
+        limit: usize,
+    },
+    /// The socket failed or timed out mid-request; no response is owed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            HttpError::LengthRequired => write!(f, "length required"),
+            HttpError::PayloadTooLarge { limit } => {
+                write!(f, "payload exceeds the {limit}-byte limit")
+            }
+            HttpError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl HttpError {
+    /// The error as a response, or `None` when the socket is gone.
+    pub fn into_response(self) -> Option<Response> {
+        match self {
+            HttpError::BadRequest(msg) => Some(Response::error(400, &msg)),
+            HttpError::LengthRequired => Some(Response::error(411, "POST requires Content-Length")),
+            HttpError::PayloadTooLarge { limit } => Some(Response::error(
+                413,
+                &format!("request body exceeds the {limit}-byte limit"),
+            )),
+            HttpError::Io(_) => None,
+        }
+    }
+}
+
+/// One bounded read: errors once `deadline` has passed, and caps each
+/// wait at the remaining budget. A per-*read* timeout alone would let a
+/// slow-trickle client (one byte per almost-timeout) pin a worker
+/// indefinitely; the deadline makes the whole request a single budget.
+fn read_within(
+    stream: &mut TcpStream,
+    chunk: &mut [u8],
+    deadline: std::time::Instant,
+) -> std::io::Result<usize> {
+    let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+    if remaining.is_zero() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            "request deadline exceeded",
+        ));
+    }
+    stream.set_read_timeout(Some(remaining))?;
+    stream.read(chunk)
+}
+
+/// Reads one request from the stream. Bounded three ways: at most
+/// [`MAX_HEAD_BYTES`] of head and `max_body` bytes of body are ever
+/// buffered, and the *whole* request must arrive before `deadline`,
+/// whatever the peer claims or how slowly it trickles.
+pub fn read_request(
+    stream: &mut TcpStream,
+    max_body: usize,
+    deadline: std::time::Instant,
+) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::BadRequest("request head too large".into()));
+        }
+        let n = read_within(stream, &mut chunk, deadline).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::BadRequest(
+                "connection closed mid-request".into(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::BadRequest("request head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::BadRequest(format!(
+            "malformed request line {request_line:?}"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol {version:?}"
+        )));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!("malformed header {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let request = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::BadRequest(
+            "chunked transfer encoding is not supported; send Content-Length".into(),
+        ));
+    }
+    let content_length = match request.header("content-length") {
+        None => {
+            if request.method == "POST" || request.method == "PUT" {
+                return Err(HttpError::LengthRequired);
+            }
+            0
+        }
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest(format!("bad Content-Length {v:?}")))?,
+    };
+    if content_length > max_body {
+        return Err(HttpError::PayloadTooLarge { limit: max_body });
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    if body.len() > content_length {
+        return Err(HttpError::BadRequest(
+            "body longer than Content-Length".into(),
+        ));
+    }
+    while body.len() < content_length {
+        let n = read_within(stream, &mut chunk, deadline).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::BadRequest("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+        if body.len() > content_length {
+            return Err(HttpError::BadRequest(
+                "body longer than Content-Length".into(),
+            ));
+        }
+    }
+    Ok(Request { body, ..request })
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// A response ready to serialize.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra headers (name must be already well-formed).
+    pub headers: Vec<(String, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An `application/json` response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A JSON error envelope: `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        let doc = fd_engine::Json::obj([("error", fd_engine::Json::str(message))]);
+        Response::json(status, doc.to_string())
+    }
+
+    /// Adds a header, builder-style.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+}
+
+/// The reason phrase for every status the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes and writes one response; the caller closes the stream.
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    for (name, value) in &response.headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn deadline() -> std::time::Instant {
+        std::time::Instant::now() + std::time::Duration::from_secs(5)
+    }
+
+    /// Feeds raw bytes to `read_request` through a real socket pair.
+    fn read_from_bytes(bytes: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(bytes).unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        read_request(&mut server_side, max_body, deadline())
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = read_from_bytes(
+            b"POST /repair HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/repair");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn get_without_length_has_empty_body() {
+        let req = read_from_bytes(b"GET /healthz HTTP/1.1\r\n\r\n", 1024).unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn post_without_length_is_411() {
+        let e = read_from_bytes(b"POST /repair HTTP/1.1\r\n\r\n", 1024).unwrap_err();
+        assert!(matches!(e, HttpError::LengthRequired));
+        assert_eq!(e.into_response().unwrap().status, 411);
+    }
+
+    #[test]
+    fn oversized_body_is_413_without_buffering_it() {
+        let e = read_from_bytes(
+            b"POST /repair HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n",
+            64,
+        )
+        .unwrap_err();
+        assert!(matches!(e, HttpError::PayloadTooLarge { limit: 64 }));
+        assert_eq!(e.into_response().unwrap().status, 413);
+    }
+
+    #[test]
+    fn malformed_requests_are_400() {
+        for bytes in [
+            b"NOT-HTTP\r\n\r\n".as_slice(),
+            b"GET /x SPDY/3\r\n\r\n".as_slice(),
+            b"GET /x HTTP/1.1\r\nbadheader\r\n\r\n".as_slice(),
+            b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n".as_slice(),
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".as_slice(),
+        ] {
+            let e = read_from_bytes(bytes, 1024).unwrap_err();
+            let resp = e.into_response().expect("responds");
+            assert_eq!(resp.status, 400, "{bytes:?}");
+        }
+    }
+
+    #[test]
+    fn slow_trickle_hits_the_request_deadline() {
+        // A client drip-feeding bytes keeps every individual read fast,
+        // but the per-request deadline must still cut it off.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut client = TcpStream::connect(addr).unwrap();
+            for _ in 0..40 {
+                if client.write_all(b"G").is_err() {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(200);
+        let start = std::time::Instant::now();
+        let result = read_request(&mut server_side, 1024, deadline);
+        assert!(matches!(result, Err(HttpError::Io(_))), "{result:?}");
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(1),
+            "must give up at the deadline, not per-read-timeout forever"
+        );
+        drop(server_side);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn truncated_requests_do_not_hang_or_panic() {
+        // Closing mid-head and mid-body must both surface as errors.
+        for bytes in [
+            b"POST /x HTT".as_slice(),
+            b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc".as_slice(),
+        ] {
+            assert!(read_from_bytes(bytes, 1024).is_err());
+        }
+    }
+}

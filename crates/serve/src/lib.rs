@@ -1,0 +1,300 @@
+//! # fd-serve
+//!
+//! A concurrent, dependency-free HTTP repair service over the unified
+//! engine: the ROADMAP's "serve heavy traffic" north star made
+//! concrete, with nothing beyond `std::net`.
+//!
+//! The paper's framing makes repair a natural *service*: each call is
+//! one instance of the same minimization problem, and the dichotomy
+//! lets the server promise exact-vs-approximate behavior per request.
+//! `fd-serve` exposes exactly that:
+//!
+//! | endpoint | method | body | response |
+//! |---|---|---|---|
+//! | `/repair` | POST | a [`RepairCall`] wire document | the engine's `RepairReport` JSON |
+//! | `/explain` | POST | the same document | the planner's `Plan` JSON, nothing solved |
+//! | `/healthz` | GET | — | liveness JSON |
+//! | `/metrics` | GET | — | Prometheus-style counters, p50/p99 latency |
+//!
+//! Operationally it is a fixed worker pool over a bounded queue
+//! (saturation answers **503**, never unbounded buffering), an LRU
+//! result cache keyed by [`fd_engine::cache_key`] over (instance, Δ,
+//! request knobs), per-request body-size and time-budget ceilings, and
+//! graceful shutdown: SIGINT/SIGTERM (or a programmatic flag) stops
+//! accepting, drains the queue, and joins the workers.
+//!
+//! ## Example
+//!
+//! ```
+//! use fd_serve::{client, ServeConfig, Server};
+//!
+//! let server = Server::bind(ServeConfig {
+//!     addr: "127.0.0.1:0".into(),     // ephemeral port
+//!     threads: 2,
+//!     ..ServeConfig::default()
+//! }).unwrap();
+//! let addr = server.local_addr().unwrap();
+//! let flag = server.shutdown_flag();
+//! let handle = std::thread::spawn(move || server.run());
+//!
+//! let health = client::get(addr, "/healthz").unwrap();
+//! assert_eq!(health.status, 200);
+//!
+//! let report = client::post(addr, "/repair", r#"{
+//!     "attrs": ["A", "B"],
+//!     "fds": "A -> B",
+//!     "rows": [{"weight": 2, "values": [1, 10]}, [1, 20]]
+//! }"#).unwrap();
+//! assert_eq!(report.status, 200);
+//! assert!(report.body.contains("\"cost\":1"));
+//!
+//! flag.store(true, std::sync::atomic::Ordering::SeqCst);
+//! handle.join().unwrap().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+pub mod client;
+mod http;
+mod metrics;
+mod pool;
+mod router;
+mod shutdown;
+
+pub use cache::{CachedResponse, LruCache};
+pub use http::{Request, Response};
+pub use metrics::Metrics;
+pub use pool::WorkerPool;
+pub use shutdown::{install_signal_handlers, request_shutdown, shutdown_requested};
+
+use fd_engine::RepairCall;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Everything `fdrepair serve` can tune.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads (`0` = ask the OS).
+    pub threads: usize,
+    /// Pending connections the queue holds beyond in-flight work;
+    /// beyond it, new connections get 503 (`0` = `4 × threads`).
+    pub queue_depth: usize,
+    /// LRU result-cache capacity in entries (`0` disables caching).
+    pub cache_entries: usize,
+    /// Largest accepted request body, in bytes.
+    pub max_body_bytes: usize,
+    /// Ceiling on every request's solve-time budget, ms. Requests may
+    /// ask for less; asking for more (or not asking) gets this.
+    /// `None` leaves requests uncapped.
+    pub default_time_cap_ms: Option<u64>,
+    /// Socket read/write timeout per connection, ms (slowloris guard).
+    pub io_timeout_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:7878".into(),
+            threads: 4,
+            queue_depth: 0,
+            cache_entries: 256,
+            max_body_bytes: 4 << 20,
+            default_time_cap_ms: Some(30_000),
+            io_timeout_ms: 10_000,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        }
+    }
+
+    fn effective_queue_depth(&self) -> usize {
+        if self.queue_depth > 0 {
+            self.queue_depth
+        } else {
+            4 * self.effective_threads()
+        }
+    }
+}
+
+/// State shared by the accept loop and every worker.
+pub struct Shared {
+    /// The configuration the server was built with.
+    pub config: ServeConfig,
+    /// Service counters.
+    pub metrics: Metrics,
+    /// The LRU result cache (hits are verified against the canonical
+    /// call before being served — see [`CachedResponse`]).
+    pub cache: Mutex<LruCache<CachedResponse>>,
+    /// When the server came up (for `/healthz` uptime).
+    pub started: Instant,
+}
+
+impl Shared {
+    /// Fresh shared state for `config`.
+    pub fn new(config: ServeConfig) -> Shared {
+        let cache = Mutex::new(LruCache::new(config.cache_entries));
+        Shared {
+            config,
+            metrics: Metrics::new(),
+            cache,
+            started: Instant::now(),
+        }
+    }
+}
+
+/// A bound-but-not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listener. The server does not accept until
+    /// [`Server::run`].
+    pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared::new(config)),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (the actual port when the config said `:0`).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A flag that stops the server when set: the accept loop exits,
+    /// queued connections drain, workers join. Clone it into whatever
+    /// should be able to stop serving (tests, the CLI's signal wiring).
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// The shared state (metrics and cache), for inspection.
+    pub fn shared(&self) -> Arc<Shared> {
+        Arc::clone(&self.shared)
+    }
+
+    /// Serves until the shutdown flag is set or a SIGINT/SIGTERM
+    /// arrives (when [`install_signal_handlers`] was called), then
+    /// drains gracefully. Blocks the calling thread.
+    pub fn run(self) -> std::io::Result<()> {
+        let Server {
+            listener,
+            shared,
+            shutdown,
+        } = self;
+        listener.set_nonblocking(true)?;
+        let worker_shared = Arc::clone(&shared);
+        let pool = WorkerPool::spawn(
+            shared.config.effective_threads(),
+            shared.config.effective_queue_depth(),
+            Arc::new(move |stream| serve_connection(&worker_shared, stream)),
+        );
+        while !shutdown.load(Ordering::SeqCst) && !shutdown_requested() {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    // The listener is nonblocking; the worker must not be.
+                    let _ = stream.set_nonblocking(false);
+                    if let Err(mut refused) = pool.try_submit(stream) {
+                        // Shed: counted as a rejected 5xx but kept out of
+                        // the latency histogram — a fabricated sub-µs
+                        // sample would drag p50/p99 down exactly when the
+                        // operator needs them to reflect real service.
+                        shared.metrics.observe_shed();
+                        let _ = refused.set_write_timeout(Some(Duration::from_millis(250)));
+                        let _ = http::write_response(
+                            &mut refused,
+                            &Response::error(503, "server is at capacity, retry later"),
+                        );
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    // 1 ms keeps idle CPU negligible while bounding both
+                    // added request latency and shutdown-notice delay.
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    // A failing accept with workers still healthy is not
+                    // worth dying for (EMFILE etc.); back off and retry.
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+        pool.shutdown();
+        Ok(())
+    }
+}
+
+/// One connection, end to end: read, route, respond, record. A panic
+/// anywhere in routing (it would indicate an engine bug) is caught and
+/// answered as 500 — a hostile request must never take a worker down.
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    let timeout = Duration::from_millis(shared.config.io_timeout_ms.max(1));
+    // io_timeout_ms is a *per-request* budget: read_request shrinks the
+    // socket timeout toward this deadline on every read, so slow-trickle
+    // bodies cannot pin a worker beyond it.
+    let deadline = Instant::now() + timeout;
+    let _ = stream.set_write_timeout(Some(timeout));
+    let start = Instant::now();
+    let response = match http::read_request(&mut stream, shared.config.max_body_bytes, deadline) {
+        Ok(request) => match catch_unwind(AssertUnwindSafe(|| router::handle(shared, &request))) {
+            Ok(response) => response,
+            Err(_) => {
+                shared.metrics.observe_panic();
+                Response::error(500, "internal error while handling the request")
+            }
+        },
+        Err(e) => match e.into_response() {
+            Some(response) => response,
+            None => return, // socket died; nobody is listening for a reply
+        },
+    };
+    shared
+        .metrics
+        .observe_request(response.status, start.elapsed());
+    if http::write_response(&mut stream, &response).is_err() {
+        return;
+    }
+    // Half-close, then briefly drain the peer: closing with unread bytes
+    // in the receive queue (an early 4xx cut a body short) sends RST,
+    // which can destroy the response before the client reads it. The
+    // drain is bounded in both bytes and time.
+    use std::io::Read;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let drain_deadline = Instant::now() + Duration::from_millis(500);
+    let mut sink = [0u8; 4096];
+    let mut drained = 0usize;
+    while drained < 1 << 20 && Instant::now() < drain_deadline {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+}
+
+/// Convenience used by tests and benches: a wire document for `call`.
+pub fn wire_body(call: &RepairCall) -> String {
+    call.to_json_value().to_string()
+}

@@ -1,0 +1,245 @@
+//! Service counters and latency tracking, lock-free (atomics only) on
+//! the hot path, rendered in Prometheus text-exposition style by
+//! `GET /metrics`.
+//!
+//! Latency is a power-of-two histogram over microseconds: 32 buckets
+//! cover 1 µs to ~1 hour, and p50/p99 are read off the cumulative
+//! distribution. Quantiles are therefore bucket-upper-bound
+//! approximations — within 2× of truth, which is what capacity planning
+//! needs from a metrics endpoint (exact per-request numbers travel in
+//! each report's `timings`).
+
+use fd_engine::Notion;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of power-of-two latency buckets (`2^31` µs ≈ 36 minutes).
+const BUCKETS: usize = 32;
+
+/// The notions a request can count under, in wire-name order.
+const NOTIONS: [Notion; 7] = [
+    Notion::Subset,
+    Notion::Update,
+    Notion::Mixed,
+    Notion::Mpd,
+    Notion::Count,
+    Notion::Sample,
+    Notion::Classify,
+];
+
+fn notion_index(notion: Notion) -> usize {
+    NOTIONS
+        .iter()
+        .position(|n| *n == notion)
+        .expect("every notion is listed")
+}
+
+/// All counters of one server instance.
+pub struct Metrics {
+    started: Instant,
+    requests_total: AtomicU64,
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+    queue_rejected: AtomicU64,
+    handler_panics: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    by_notion: [AtomicU64; 7],
+    latency_us: [AtomicU64; BUCKETS],
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics; the uptime clock starts now.
+    pub fn new() -> Metrics {
+        Metrics {
+            started: Instant::now(),
+            requests_total: AtomicU64::new(0),
+            responses_2xx: AtomicU64::new(0),
+            responses_4xx: AtomicU64::new(0),
+            responses_5xx: AtomicU64::new(0),
+            queue_rejected: AtomicU64::new(0),
+            handler_panics: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            by_notion: Default::default(),
+            latency_us: [const { AtomicU64::new(0) }; BUCKETS],
+        }
+    }
+
+    /// Records one finished request: its response status and wall time.
+    pub fn observe_request(&self, status: u16, elapsed: Duration) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        let class = match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+        let us = elapsed.as_micros().max(1) as u64;
+        let bucket = (63 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.latency_us[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a repair/explain call against its notion.
+    pub fn observe_notion(&self, notion: Notion) {
+        self.by_notion[notion_index(notion)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a connection shed at the accept loop (503): a request and
+    /// a 5xx response, but *no* latency sample — the shed path's
+    /// fabricated sub-µs timing would corrupt the quantiles exactly
+    /// when the server is saturated.
+    pub fn observe_shed(&self) {
+        self.queue_rejected.fetch_add(1, Ordering::Relaxed);
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        self.responses_5xx.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a handler panic turned into a 500.
+    pub fn observe_panic(&self) {
+        self.handler_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a result-cache hit or miss (cacheable requests only).
+    pub fn observe_cache(&self, hit: bool) {
+        let counter = if hit {
+            &self.cache_hits
+        } else {
+            &self.cache_misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `p`-quantile (0 < p ≤ 1) of observed latency, in µs: the
+    /// upper bound of the histogram bucket the quantile falls in, or 0
+    /// before any observation.
+    pub fn latency_quantile_us(&self, p: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .latency_us
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (i, count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        1u64 << BUCKETS
+    }
+
+    /// Renders every counter in Prometheus text-exposition style.
+    pub fn render(&self) -> String {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fd_serve_uptime_seconds {}\n",
+            self.started.elapsed().as_secs()
+        ));
+        out.push_str(&format!(
+            "fd_serve_requests_total {}\n",
+            load(&self.requests_total)
+        ));
+        for (class, counter) in [
+            ("2xx", &self.responses_2xx),
+            ("4xx", &self.responses_4xx),
+            ("5xx", &self.responses_5xx),
+        ] {
+            out.push_str(&format!(
+                "fd_serve_responses{{class=\"{class}\"}} {}\n",
+                load(counter)
+            ));
+        }
+        for (notion, counter) in NOTIONS.iter().zip(&self.by_notion) {
+            out.push_str(&format!(
+                "fd_serve_requests{{notion=\"{}\"}} {}\n",
+                notion.name(),
+                load(counter)
+            ));
+        }
+        out.push_str(&format!("fd_serve_cache_hits {}\n", load(&self.cache_hits)));
+        out.push_str(&format!(
+            "fd_serve_cache_misses {}\n",
+            load(&self.cache_misses)
+        ));
+        out.push_str(&format!(
+            "fd_serve_queue_rejected_total {}\n",
+            load(&self.queue_rejected)
+        ));
+        out.push_str(&format!(
+            "fd_serve_handler_panics_total {}\n",
+            load(&self.handler_panics)
+        ));
+        out.push_str(&format!(
+            "fd_serve_latency_p50_us {}\n",
+            self.latency_quantile_us(0.5)
+        ));
+        out.push_str(&format!(
+            "fd_serve_latency_p99_us {}\n",
+            self.latency_quantile_us(0.99)
+        ));
+        out
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_render() {
+        let m = Metrics::new();
+        m.observe_request(200, Duration::from_micros(100));
+        m.observe_request(200, Duration::from_micros(120));
+        m.observe_request(400, Duration::from_micros(3));
+        m.observe_notion(Notion::Subset);
+        m.observe_notion(Notion::Subset);
+        m.observe_notion(Notion::Mpd);
+        m.observe_cache(true);
+        m.observe_cache(false);
+        m.observe_shed();
+        let text = m.render();
+        // The shed counts as a request and a 5xx but adds no latency sample.
+        assert!(text.contains("fd_serve_requests_total 4"), "{text}");
+        assert!(text.contains("fd_serve_responses{class=\"2xx\"} 2"));
+        assert!(text.contains("fd_serve_responses{class=\"4xx\"} 1"));
+        assert!(text.contains("fd_serve_responses{class=\"5xx\"} 1"));
+        assert!(text.contains("fd_serve_requests{notion=\"s\"} 2"));
+        assert!(text.contains("fd_serve_requests{notion=\"mpd\"} 1"));
+        assert!(text.contains("fd_serve_cache_hits 1"));
+        assert!(text.contains("fd_serve_queue_rejected_total 1"));
+    }
+
+    #[test]
+    fn quantiles_track_the_distribution() {
+        let m = Metrics::new();
+        assert_eq!(m.latency_quantile_us(0.5), 0);
+        // 99 fast requests (~100 µs) and one slow (~100 ms).
+        for _ in 0..99 {
+            m.observe_request(200, Duration::from_micros(100));
+        }
+        m.observe_request(200, Duration::from_millis(100));
+        let p50 = m.latency_quantile_us(0.5);
+        let p99 = m.latency_quantile_us(0.99);
+        // 100 µs falls in bucket [64,128) → reported bound 128.
+        assert_eq!(p50, 128);
+        assert!(p50 <= p99);
+        let p999 = m.latency_quantile_us(0.999);
+        // The slow outlier dominates the extreme tail: 100 ms falls in
+        // [65536, 131072) → reported bound 131072.
+        assert_eq!(p999, 131_072);
+    }
+}

@@ -1,0 +1,331 @@
+//! Request routing: the four endpoints, wire parsing, cache
+//! consultation, engine invocation, and the 4xx/5xx mapping that keeps
+//! every malformed or infeasible call a *response* rather than a crash.
+
+use crate::http::{Request, Response};
+use crate::Shared;
+use fd_engine::{
+    EngineError, JsonLimits, Notion, Planner, RepairCall, RepairEngine, Timings, WireError,
+};
+use std::sync::Arc;
+
+/// Distinguishes `/repair` from `/explain` in the cache-key space: the
+/// two endpoints return different documents for the same call.
+const EXPLAIN_KEY_TAG: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Dispatches one parsed request to its endpoint.
+pub fn handle(shared: &Shared, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/metrics") => Response::text(200, shared.metrics.render()),
+        ("POST", "/repair") => repair(shared, &request.body, Endpoint::Repair),
+        ("POST", "/explain") => repair(shared, &request.body, Endpoint::Explain),
+        ("GET" | "HEAD", "/repair" | "/explain") | ("POST", "/healthz" | "/metrics") => {
+            Response::error(405, "wrong method for this path")
+        }
+        _ => Response::error(
+            404,
+            "no such endpoint (try /repair, /explain, /healthz, /metrics)",
+        ),
+    }
+}
+
+fn healthz(shared: &Shared) -> Response {
+    use fd_engine::Json;
+    let doc = Json::obj([
+        ("status", Json::str("ok")),
+        ("service", Json::str("fd-serve")),
+        ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+        (
+            "uptime_seconds",
+            Json::Num(shared.started.elapsed().as_secs() as f64),
+        ),
+    ]);
+    Response::json(200, doc.to_string())
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Endpoint {
+    Repair,
+    Explain,
+}
+
+/// `/repair` and `/explain` share everything up to the engine call:
+/// bounded parsing, server-side budget clamping, and the result cache.
+fn repair(shared: &Shared, body: &[u8], endpoint: Endpoint) -> Response {
+    let limits = JsonLimits {
+        max_bytes: shared.config.max_body_bytes,
+        max_depth: JsonLimits::DEFAULT_MAX_DEPTH,
+    };
+    let text = match std::str::from_utf8(body) {
+        Ok(text) => text,
+        Err(_) => return Response::error(400, "body is not UTF-8"),
+    };
+    let mut call = match RepairCall::parse(text, &limits) {
+        Ok(call) => call,
+        Err(WireError { message }) => return Response::error(400, &message),
+    };
+    shared.metrics.observe_notion(call.request.notion);
+
+    // The server's time cap is a ceiling: a request may ask for less,
+    // never for more.
+    if let Some(server_cap) = shared.config.default_time_cap_ms {
+        let cap = call
+            .request
+            .budgets
+            .time_cap_ms
+            .map_or(server_cap, |c| c.min(server_cap));
+        call.request.budgets.time_cap_ms = Some(cap);
+    }
+
+    let (key, endpoint_name) = match endpoint {
+        Endpoint::Repair => (call.cache_key(), "repair"),
+        Endpoint::Explain => (call.cache_key() ^ EXPLAIN_KEY_TAG, "explain"),
+    };
+    let cacheable = call.cacheable();
+    // The 64-bit key is a hash; a hit counts only if the entry was
+    // produced by this exact call (canonical forms equal), so a crafted
+    // FNV collision degrades to a miss instead of serving a wrong report.
+    let canonical: Arc<str> = if cacheable {
+        Arc::from(format!("{endpoint_name}\n{}", call.to_json_value()))
+    } else {
+        Arc::from("")
+    };
+    if cacheable {
+        let hit = shared.cache.lock().expect("cache lock").get(key);
+        match hit {
+            Some(entry) if entry.canonical == canonical => {
+                shared.metrics.observe_cache(true);
+                return Response::json(200, entry.body.to_string())
+                    .with_header("X-Fd-Cache", "hit");
+            }
+            _ => shared.metrics.observe_cache(false),
+        }
+    }
+
+    let result = match endpoint {
+        Endpoint::Repair => Planner
+            .run(&call.table, &call.fds, &call.request)
+            .map(|mut report| {
+                if !call.include_timings {
+                    report.timings = Timings::default();
+                }
+                report.to_json()
+            }),
+        Endpoint::Explain => Planner
+            .plan(&call.table, &call.fds, &call.request)
+            .map(|plan| plan.to_json_value().to_string()),
+    };
+    match result {
+        Ok(body) => {
+            if cacheable {
+                shared.cache.lock().expect("cache lock").insert(
+                    key,
+                    crate::CachedResponse {
+                        canonical,
+                        body: Arc::from(body.as_str()),
+                    },
+                );
+            }
+            Response::json(200, body).with_header("X-Fd-Cache", "miss")
+        }
+        Err(e) => engine_error_response(&e, call.request.notion),
+    }
+}
+
+/// Engine failures are the client's problem (4xx), each with a stable
+/// `kind` so clients can branch without parsing prose.
+fn engine_error_response(e: &EngineError, notion: Notion) -> Response {
+    use fd_engine::Json;
+    let (status, kind) = match e {
+        EngineError::InvalidRequest(_) => (400, "invalid_request"),
+        EngineError::InvalidProbability(_) => (422, "invalid_probability"),
+        EngineError::ExactInfeasible(_) => (422, "exact_infeasible"),
+        EngineError::RatioUnattainable { .. } => (422, "ratio_unattainable"),
+        EngineError::NotAChain(_) => (422, "not_a_chain"),
+        EngineError::TimeBudgetExceeded { .. } => (408, "time_budget_exceeded"),
+    };
+    let doc = Json::obj([
+        ("error", Json::str(e.to_string())),
+        ("kind", Json::str(kind)),
+        ("notion", Json::str(notion.name())),
+    ]);
+    Response::json(status, doc.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServeConfig;
+    use fd_engine::Json;
+
+    fn shared() -> Shared {
+        Shared::new(ServeConfig::default())
+    }
+
+    fn post(shared: &Shared, path: &str, body: &str) -> Response {
+        let request = Request {
+            method: "POST".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        };
+        handle(shared, &request)
+    }
+
+    fn get(shared: &Shared, path: &str) -> Response {
+        let request = Request {
+            method: "GET".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        handle(shared, &request)
+    }
+
+    const OFFICE: &str = r#"{
+        "relation": "Office",
+        "attrs": ["facility", "room", "floor", "city"],
+        "fds": "facility -> city; facility room -> floor",
+        "rows": [
+            {"weight": 2, "values": ["HQ", 322, 3, "Paris"]},
+            {"weight": 1, "values": ["HQ", 322, 30, "Madrid"]},
+            {"weight": 1, "values": ["HQ", 122, 1, "Madrid"]},
+            {"weight": 2, "values": ["Lab1", "B35", 3, "London"]}
+        ],
+        "request": {"include_timings": false}
+    }"#;
+
+    #[test]
+    fn repair_answers_with_the_paper_optimum() {
+        let shared = shared();
+        let resp = post(&shared, "/repair", OFFICE);
+        assert_eq!(resp.status, 200);
+        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("cost").unwrap().as_num(), Some(2.0));
+        assert_eq!(doc.get("optimal").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn identical_calls_hit_the_cache() {
+        let shared = shared();
+        let first = post(&shared, "/repair", OFFICE);
+        let second = post(&shared, "/repair", OFFICE);
+        assert_eq!(first.status, 200);
+        assert_eq!(second.status, 200);
+        let cache_header = |r: &Response| {
+            r.headers
+                .iter()
+                .find(|(k, _)| k == "X-Fd-Cache")
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(cache_header(&first).as_deref(), Some("miss"));
+        assert_eq!(cache_header(&second).as_deref(), Some("hit"));
+        assert_eq!(first.body, second.body, "a hit replays the exact bytes");
+        let metrics = shared.metrics.render();
+        assert!(metrics.contains("fd_serve_cache_hits 1"), "{metrics}");
+        assert!(metrics.contains("fd_serve_cache_misses 1"), "{metrics}");
+    }
+
+    #[test]
+    fn timing_bearing_responses_are_never_cached() {
+        let shared = shared();
+        // Strip the include_timings override: the default (true) asks
+        // for real wall-clock timings, which a replay would falsify.
+        let body = OFFICE.replace(",\n        \"request\": {\"include_timings\": false}", "");
+        assert_ne!(body, OFFICE, "fixture edit must apply");
+        for _ in 0..2 {
+            let resp = post(&shared, "/repair", &body);
+            assert_eq!(resp.status, 200);
+            let cache = resp
+                .headers
+                .iter()
+                .find(|(k, _)| k == "X-Fd-Cache")
+                .map(|(_, v)| v.clone());
+            assert_eq!(cache.as_deref(), Some("miss"));
+        }
+        let metrics = shared.metrics.render();
+        assert!(metrics.contains("fd_serve_cache_hits 0"), "{metrics}");
+    }
+
+    #[test]
+    fn explain_plans_without_solving_and_caches_separately() {
+        let shared = shared();
+        let repair = post(&shared, "/repair", OFFICE);
+        let explain = post(&shared, "/explain", OFFICE);
+        assert_eq!(explain.status, 200);
+        let doc = Json::parse(std::str::from_utf8(&explain.body).unwrap()).unwrap();
+        assert!(doc.get("steps").is_some(), "plans carry steps");
+        assert!(doc.get("result").is_none(), "plans carry no repair");
+        assert_ne!(repair.body, explain.body);
+    }
+
+    #[test]
+    fn malformed_bodies_are_4xx_never_a_crash() {
+        let shared = shared();
+        for (body, expect) in [
+            ("", 400),
+            ("{", 400),
+            ("[]", 400),
+            ("{\"attrs\": [\"A\"]}", 400),
+            (&"[".repeat(100_000), 400),
+            ("{\"attrs\": [\"A\"], \"rows\": [[1]], \"bogus\": 0}", 400),
+        ] {
+            let resp = post(&shared, "/repair", body);
+            assert_eq!(resp.status, expect, "body {body:.40?}");
+            let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+            assert!(doc.get("error").is_some());
+        }
+    }
+
+    #[test]
+    fn infeasible_engine_calls_are_422() {
+        let shared = shared();
+        // Sampling needs a chain; A->B, B->C is not one.
+        let body = r#"{
+            "attrs": ["A", "B", "C"],
+            "fds": "A -> B; B -> C",
+            "rows": [[1, 2, 3], [1, 3, 4]],
+            "request": {"notion": "sample", "seed": 1}
+        }"#;
+        let resp = post(&shared, "/repair", body);
+        assert_eq!(resp.status, 422);
+        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("not_a_chain"));
+    }
+
+    #[test]
+    fn healthz_metrics_and_unknown_routes() {
+        let shared = shared();
+        assert_eq!(get(&shared, "/healthz").status, 200);
+        let _ = post(&shared, "/repair", OFFICE);
+        let metrics = get(&shared, "/metrics");
+        assert_eq!(metrics.status, 200);
+        let text = String::from_utf8(metrics.body).unwrap();
+        assert!(text.contains("fd_serve_requests{notion=\"s\"} 1"), "{text}");
+        assert_eq!(get(&shared, "/nope").status, 404);
+        assert_eq!(get(&shared, "/repair").status, 405);
+        assert_eq!(post(&shared, "/healthz", "").status, 405);
+    }
+
+    #[test]
+    fn server_time_cap_clamps_the_request() {
+        let config = ServeConfig {
+            default_time_cap_ms: Some(60_000),
+            ..ServeConfig::default()
+        };
+        let shared = Shared::new(config);
+        // A request asking for a looser cap than the server allows gets
+        // the server's; one asking for a tighter cap keeps its own. Both
+        // still succeed on this tiny instance.
+        for request_cap in ["\"time_cap_ms\": 999999,", ""] {
+            let body = format!(
+                r#"{{"attrs": ["A", "B"], "fds": "A -> B",
+                     "rows": [[1, 2], [1, 3]],
+                     "request": {{"budgets": {{{request_cap} "threads": 1}}}}}}"#
+            );
+            let resp = post(&shared, "/repair", &body);
+            assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Process-wide shutdown signaling without a signals crate: a static
+//! flag flipped by a `signal(2)` handler installed through the C
+//! runtime every Rust program already links. Setting an atomic is one
+//! of the few things that is async-signal-safe, and it is all we do.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the SIGINT/SIGTERM handler; polled by every server's accept
+/// loop (signals are process-global, so the flag is too).
+static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// True once SIGINT or SIGTERM has been received (after
+/// [`install_signal_handlers`]) or [`request_shutdown`] was called.
+pub fn shutdown_requested() -> bool {
+    SIGNAL_SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Programmatic equivalent of ctrl-c: asks every server in the process
+/// to finish in-flight work and exit its accept loop.
+pub fn request_shutdown() {
+    SIGNAL_SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn handle(_signum: i32) {
+        // Async-signal-safe: a single atomic store, nothing else.
+        super::SIGNAL_SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    extern "C" {
+        // `sighandler_t signal(int signum, sighandler_t handler)` from
+        // the C runtime (declared here directly — no libc crate in this
+        // dependency-free build). The return value (the previous
+        // handler) is deliberately ignored.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, handle);
+            signal(SIGTERM, handle);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {
+        // No signal plumbing off Unix; ctrl-c terminates the process the
+        // default way and `request_shutdown` remains available.
+    }
+}
+
+/// Routes SIGINT (ctrl-c) and SIGTERM to the shutdown flag. Idempotent;
+/// call once from the binary before `Server::run`. Test processes do
+/// not call this, so their signal disposition is untouched.
+pub fn install_signal_handlers() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programmatic_shutdown_sets_the_flag() {
+        // Deliberately does NOT install the real handlers (this process
+        // runs the rest of the test suite too).
+        assert!(!shutdown_requested() || cfg!(not(unix)));
+        request_shutdown();
+        assert!(shutdown_requested());
+        // Reset for any test that runs after in the same process.
+        super::SIGNAL_SHUTDOWN.store(false, std::sync::atomic::Ordering::SeqCst);
+    }
+}

@@ -14,6 +14,7 @@
 //! fdrepair mpd      <file>    alias of `repair --notion mpd`
 //! fdrepair count    <file>    number of (optimal) subset repairs
 //! fdrepair sample   <file>    uniformly random subset repair (chain Δ)
+//! fdrepair serve              HTTP repair service (POST /repair, /explain)
 //! ```
 //!
 //! `<file>` is either a `.fdr` instance (schema + FDs + rows; format
@@ -31,6 +32,8 @@ use std::process::ExitCode;
 const USAGE: &str = "\
 usage: fdrepair <command> <file.fdr> [options]
        fdrepair <command> <file.csv> --fds \"A -> B; B -> C\" [--weight <column>]
+       fdrepair serve [--addr <ip:port>] [--threads <n>] [--cache-entries <n>]
+                      [--max-body-bytes <n>]
 
 commands:
   repair      unified repair; pick the notion with --notion <s|u|mixed|mpd>
@@ -42,6 +45,7 @@ commands:
   mpd         alias of `repair --notion mpd`
   count       number of (optimal) subset repairs
   sample      uniformly random subset repair (chain Δ only)
+  serve       HTTP service: POST /repair, POST /explain, GET /healthz, /metrics
 
 options:
   --fds <spec>         FD set for CSV input (e.g. \"A -> B; B -> C\")
@@ -54,6 +58,11 @@ options:
   --max-ratio <r>      accept a guaranteed approximation ratio up to r
   --delete-cost <x>    mixed repair: cost multiplier per deleted tuple
   --update-cost <x>    mixed repair: cost multiplier per changed cell
+  --threads <n>        worker threads: parallel subset solve, or the
+                       serve pool (0 = ask the OS; default 1 / serve 4)
+  --addr <ip:port>     serve: bind address (default 127.0.0.1:7878)
+  --cache-entries <n>  serve: LRU result-cache capacity (0 disables)
+  --max-body-bytes <n> serve: largest accepted request body
   -h, --help           print this help
   --version            print the version
 
@@ -73,6 +82,10 @@ struct Cli {
     max_ratio: Option<f64>,
     delete_cost: f64,
     update_cost: f64,
+    threads: Option<usize>,
+    addr: Option<String>,
+    cache_entries: Option<usize>,
+    max_body_bytes: Option<usize>,
 }
 
 enum CliOutcome {
@@ -106,6 +119,10 @@ fn parse_args(args: &[String]) -> CliOutcome {
         max_ratio: None,
         delete_cost: 1.0,
         update_cost: 1.0,
+        threads: None,
+        addr: None,
+        cache_entries: None,
+        max_body_bytes: None,
     };
     // Flags may appear anywhere; the first two non-flag arguments are the
     // command and the file.
@@ -174,6 +191,34 @@ fn parse_args(args: &[String]) -> CliOutcome {
                 }
                 None => return CliOutcome::Usage,
             },
+            "--threads" => match value("--threads").map(|v| v.parse::<usize>()) {
+                Some(Ok(v)) => cli.threads = Some(v),
+                Some(Err(_)) => {
+                    eprintln!("fdrepair: --threads needs an integer\n{USAGE}");
+                    return CliOutcome::Usage;
+                }
+                None => return CliOutcome::Usage,
+            },
+            "--addr" => match value("--addr") {
+                Some(v) => cli.addr = Some(v),
+                None => return CliOutcome::Usage,
+            },
+            "--cache-entries" => match value("--cache-entries").map(|v| v.parse::<usize>()) {
+                Some(Ok(v)) => cli.cache_entries = Some(v),
+                Some(Err(_)) => {
+                    eprintln!("fdrepair: --cache-entries needs an integer\n{USAGE}");
+                    return CliOutcome::Usage;
+                }
+                None => return CliOutcome::Usage,
+            },
+            "--max-body-bytes" => match value("--max-body-bytes").map(|v| v.parse::<usize>()) {
+                Some(Ok(v)) => cli.max_body_bytes = Some(v),
+                Some(Err(_)) => {
+                    eprintln!("fdrepair: --max-body-bytes needs an integer\n{USAGE}");
+                    return CliOutcome::Usage;
+                }
+                None => return CliOutcome::Usage,
+            },
             other => {
                 eprintln!("fdrepair: unexpected argument {other:?}\n{USAGE}");
                 return CliOutcome::Usage;
@@ -191,12 +236,20 @@ fn parse_args(args: &[String]) -> CliOutcome {
             return CliOutcome::Usage;
         }
     }
-    let [command, path] = positional.as_slice() else {
-        eprintln!("{USAGE}");
-        return CliOutcome::Usage;
-    };
-    cli.command = (*command).clone();
-    cli.path = (*path).clone();
+    // `serve` is the one command without a file argument.
+    match positional.as_slice() {
+        [command] if command.as_str() == "serve" => {
+            cli.command = (*command).clone();
+        }
+        [command, path] => {
+            cli.command = (*command).clone();
+            cli.path = (*path).clone();
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            return CliOutcome::Usage;
+        }
+    }
     CliOutcome::Run(Box::new(cli))
 }
 
@@ -207,6 +260,14 @@ fn main() -> ExitCode {
         CliOutcome::Done => return ExitCode::SUCCESS,
         CliOutcome::Usage => return ExitCode::from(2),
     };
+
+    if cli.command == "serve" {
+        if !cli.path.is_empty() {
+            eprintln!("fdrepair: serve takes no file argument\n{USAGE}");
+            return ExitCode::from(2);
+        }
+        return serve(&cli);
+    }
 
     let text = match std::fs::read_to_string(&cli.path) {
         Ok(t) => t,
@@ -339,12 +400,57 @@ fn build_request(cli: &Cli, notion: Notion) -> RepairRequest {
     if let Some(seed) = cli.seed {
         request = request.seed(seed);
     }
+    if let Some(threads) = cli.threads {
+        request = request.threads(threads);
+    }
     if cli.exact {
         request = request.optimality(Optimality::Exact);
     } else if let Some(max_ratio) = cli.max_ratio {
         request = request.optimality(Optimality::Approximate { max_ratio });
     }
     request
+}
+
+/// `fdrepair serve`: bind, wire ctrl-c to graceful shutdown, serve.
+fn serve(cli: &Cli) -> ExitCode {
+    let defaults = fd_serve::ServeConfig::default();
+    let config = fd_serve::ServeConfig {
+        addr: cli.addr.clone().unwrap_or(defaults.addr.clone()),
+        threads: cli.threads.unwrap_or(defaults.threads),
+        cache_entries: cli.cache_entries.unwrap_or(defaults.cache_entries),
+        max_body_bytes: cli.max_body_bytes.unwrap_or(defaults.max_body_bytes),
+        ..defaults
+    };
+    let server = match fd_serve::Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("fdrepair: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("fdrepair: cannot read the bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    fd_serve::install_signal_handlers();
+    println!("fdrepair: serving repairs on http://{addr} (ctrl-c to stop)");
+    println!("  POST /repair    engine-JSON RepairRequest + instance → RepairReport");
+    println!("  POST /explain   the same body → the plan, nothing solved");
+    println!("  GET  /healthz   liveness");
+    println!("  GET  /metrics   counters and latency quantiles");
+    match server.run() {
+        Ok(()) => {
+            println!("fdrepair: shutdown complete");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fdrepair: server error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Renders a report in the human-readable style of the pre-engine CLI.

@@ -17,6 +17,7 @@
 //! | [`urepair`] | §4: decompositions, polynomial cases, approximations |
 //! | [`mpd`] | §3.4: Most Probable Database |
 //! | [`engine`] | the unified `RepairRequest → RepairReport` call path |
+//! | [`serve`] | the HTTP repair service over the engine (`fdrepair serve`) |
 //! | [`gen`] | workload generators and hardness gadgets |
 //! | [`priority`] | §5 outlook: prioritized repairs (Pareto/global/completion) |
 //! | [`cfd`] | §5 outlook: conditional FDs and denial constraints |
@@ -84,6 +85,7 @@ pub use fd_gen as gen;
 pub use fd_graph as graph;
 pub use fd_mpd as mpd;
 pub use fd_priority as priority;
+pub use fd_serve as serve;
 pub use fd_srepair as srepair;
 pub use fd_urepair as urepair;
 
@@ -101,9 +103,10 @@ pub mod prelude {
         Result, Row, Schema, Table, Tuple, TupleId, Value,
     };
     pub use fd_engine::{
-        constraint_subset_report, prioritized_report, Budgets, ChangedCell, DichotomyReport,
-        EngineError, Json, Notion, Optimality, Plan, PlanStep, Planner, RepairEngine, RepairReport,
-        RepairRequest, ReportBody, Timings,
+        cache_key, constraint_subset_report, prioritized_report, Budgets, ChangedCell,
+        DichotomyReport, EngineError, Json, JsonError, JsonLimits, Notion, Optimality, Plan,
+        PlanStep, Planner, RepairCall, RepairEngine, RepairReport, RepairRequest, ReportBody,
+        Timings, WireError,
     };
     pub use fd_graph::{
         max_weight_bipartite_matching, min_weight_vertex_cover, vertex_cover_2approx,
@@ -111,6 +114,7 @@ pub mod prelude {
     };
     pub use fd_mpd::{brute_force_mpd, most_probable_database, MpdResult, ProbTable};
     pub use fd_priority::{PrioritizedTable, PriorityRelation, Semantics};
+    pub use fd_serve::{ServeConfig, Server};
     pub use fd_srepair::{
         answers_all_repairs, answers_optimal_repairs, approx_s_repair, classify_irreducible,
         count_optimal_s_repairs, count_subset_repairs, exact_s_repair, is_subset_repair,

@@ -310,3 +310,49 @@ fn malformed_instance_reports_line() {
     assert!(!ok);
     assert!(err.contains("line 3"), "got:\n{err}");
 }
+
+#[test]
+fn repair_threads_flag_keeps_the_cost_and_report() {
+    let path = write_temp("cli_threads.fdr", OFFICE_FDR);
+    let path = path.to_str().unwrap();
+    let (seq, _, ok) = fdrepair(&["repair", "--json", path]);
+    assert!(ok);
+    let (par, _, ok) = fdrepair(&["repair", "--json", "--threads", "4", path]);
+    assert!(ok);
+    let strip_timings = |text: &str| {
+        let mut json = fd_repairs::Json::parse(text.trim()).unwrap();
+        if let fd_repairs::Json::Obj(pairs) = &mut json {
+            pairs.retain(|(k, _)| k != "timings");
+        }
+        json.to_string()
+    };
+    assert_eq!(strip_timings(&seq), strip_timings(&par));
+    let json = fd_repairs::Json::parse(par.trim()).unwrap();
+    assert_eq!(json.get("cost").unwrap().as_num(), Some(2.0));
+}
+
+#[test]
+fn serve_usage_errors() {
+    // `serve` takes no file argument…
+    let path = write_temp("cli_serve_extra.fdr", OFFICE_FDR);
+    let (_, err, code) = fdrepair_code(&["serve", path.to_str().unwrap()]);
+    assert_eq!(code, 2);
+    assert!(err.contains("serve takes no file argument"), "got:\n{err}");
+    // …its numeric flags validate…
+    let (_, _, code) = fdrepair_code(&["serve", "--threads", "many"]);
+    assert_eq!(code, 2);
+    let (_, _, code) = fdrepair_code(&["serve", "--cache-entries", "-3"]);
+    assert_eq!(code, 2);
+    // …and an unbindable address is a runtime failure, not a hang.
+    let (_, err, code) = fdrepair_code(&["serve", "--addr", "999.0.0.1:1"]);
+    assert_eq!(code, 1);
+    assert!(err.contains("cannot bind"), "got:\n{err}");
+}
+
+#[test]
+fn serve_usage_mentions_the_service() {
+    let (out, _, ok) = fdrepair(&["--help"]);
+    assert!(ok);
+    assert!(out.contains("serve"), "got:\n{out}");
+    assert!(out.contains("--cache-entries"), "got:\n{out}");
+}

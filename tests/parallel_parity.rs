@@ -1,0 +1,69 @@
+//! Parity of the parallel subset path through the unified engine: with
+//! the `threads` budget knob set, `par_opt_s_repair` must produce the
+//! same cost — and in fact the same repair and the same serialized
+//! report — as the sequential recursion, on both checked-in fixtures
+//! (office + sensors).
+
+use fd_repairs::instance::Instance;
+use fd_repairs::prelude::*;
+
+fn fixture(name: &str) -> Instance {
+    let path = format!("{}/examples/data/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).expect("fixture exists");
+    Instance::parse(&text).expect("fixture parses")
+}
+
+/// A report with timings zeroed (the one nondeterministic field).
+fn canonical_json(mut report: RepairReport) -> String {
+    report.timings = Timings::default();
+    report.to_json()
+}
+
+#[test]
+fn parallel_subset_repair_matches_sequential_on_the_fixtures() {
+    for name in ["office.fdr", "sensors.fdr"] {
+        let inst = fixture(name);
+        let sequential = Planner
+            .run(&inst.table, &inst.fds, &RepairRequest::subset())
+            .unwrap();
+        for threads in [0usize, 2, 4, 8] {
+            let parallel = Planner
+                .run(
+                    &inst.table,
+                    &inst.fds,
+                    &RepairRequest::subset().threads(threads),
+                )
+                .unwrap();
+            assert_eq!(
+                parallel.cost, sequential.cost,
+                "{name}: parallel cost must equal sequential cost (threads={threads})"
+            );
+            assert_eq!(parallel.optimal, sequential.optimal);
+            assert_eq!(parallel.methods, sequential.methods);
+            let (
+                ReportBody::Subset { deleted: d_par, .. },
+                ReportBody::Subset { deleted: d_seq, .. },
+            ) = (&parallel.body, &sequential.body)
+            else {
+                panic!("{name}: expected subset bodies");
+            };
+            assert_eq!(d_par, d_seq, "{name}: same deleted ids (threads={threads})");
+            assert_eq!(
+                canonical_json(parallel),
+                canonical_json(sequential.clone()),
+                "{name}: byte-identical reports (threads={threads})"
+            );
+        }
+    }
+}
+
+#[test]
+fn office_parallel_cost_is_the_paper_optimum() {
+    let inst = fixture("office.fdr");
+    let report = Planner
+        .run(&inst.table, &inst.fds, &RepairRequest::subset().threads(4))
+        .unwrap();
+    assert_eq!(report.cost, 2.0);
+    assert!(report.optimal);
+    assert!(report.repaired().unwrap().satisfies(&inst.fds));
+}
