@@ -74,3 +74,8 @@ pub use planner::{EngineError, Plan, PlanStep, Planner, RepairEngine};
 pub use report::{table_to_json, ChangedCell, DichotomyReport, RepairReport, ReportBody, Timings};
 pub use request::{Budgets, Notion, Optimality, RepairRequest};
 pub use wire::{cache_key, Fnv64, RepairCall, WireError};
+
+// The one value type [`RepairRequest`] borrows from a solver crate, so
+// engine callers (CLI, serve, the fd-oracle harness) need no direct
+// `fd-urepair` dependency to build mixed requests.
+pub use fd_urepair::MixedCosts;

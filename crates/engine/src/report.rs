@@ -367,6 +367,182 @@ impl RepairReport {
         self.body.repaired()
     }
 
+    /// Structurally validates this report against the call that (should
+    /// have) produced it: the claimed guarantees are coherent, the body
+    /// matches the notion, every returned table satisfies `Δ`, is a
+    /// genuine subset/update of the input, and the recorded cost equals
+    /// the recomputed distance under the notion's semantics. Used by the
+    /// differential fuzz harness and the serving tests; returns the
+    /// first violated invariant as text.
+    pub fn validate_against(
+        &self,
+        input: &Table,
+        fds: &FdSet,
+        request: &crate::request::RepairRequest,
+    ) -> Result<(), String> {
+        const EPS: f64 = 1e-6;
+        if self.notion != request.notion {
+            return Err(format!(
+                "notion mismatch: report says {:?}, request says {:?}",
+                self.notion, request.notion
+            ));
+        }
+        if self.ratio < 1.0 || self.ratio.is_nan() {
+            return Err(format!("guaranteed ratio {} is below 1", self.ratio));
+        }
+        if self.optimal && self.ratio != 1.0 {
+            return Err(format!("optimal report carries ratio {}", self.ratio));
+        }
+        if let Some(repaired) = self.repaired() {
+            if !repaired.satisfies(fds) {
+                return Err(format!(
+                    "returned table violates Δ: {:?}",
+                    repaired.violating_pair(fds)
+                ));
+            }
+        }
+        match &self.body {
+            ReportBody::Subset { deleted, repaired } => {
+                let dist = input
+                    .dist_sub(repaired)
+                    .map_err(|e| format!("returned table is not a subset of the input: {e}"))?;
+                if (dist - self.cost).abs() > EPS {
+                    return Err(format!(
+                        "subset cost {} disagrees with dist_sub {}",
+                        self.cost, dist
+                    ));
+                }
+                let mut expect: Vec<TupleId> = {
+                    let kept: std::collections::HashSet<TupleId> = repaired.ids().collect();
+                    input.ids().filter(|id| !kept.contains(id)).collect()
+                };
+                expect.sort_unstable();
+                let mut got = deleted.clone();
+                got.sort_unstable();
+                if got != expect {
+                    return Err(format!(
+                        "deleted ids {got:?} disagree with the returned table ({expect:?})"
+                    ));
+                }
+            }
+            ReportBody::Update { changed, repaired } => {
+                let dist = input
+                    .dist_upd(repaired)
+                    .map_err(|e| format!("returned table is not an update of the input: {e}"))?;
+                if (dist - self.cost).abs() > EPS {
+                    return Err(format!(
+                        "update cost {} disagrees with dist_upd {}",
+                        self.cost, dist
+                    ));
+                }
+                let cells = input.changed_cells(repaired).expect("validated update");
+                let expect = ChangedCell::from_cells(input.schema(), &cells);
+                if expect != *changed {
+                    return Err(format!(
+                        "reported changed cells disagree with the table diff: \
+                         reported {changed:?}, actual {expect:?}"
+                    ));
+                }
+            }
+            ReportBody::Mixed {
+                deleted,
+                changed,
+                repaired,
+            } => {
+                let delete_set: std::collections::HashSet<TupleId> =
+                    deleted.iter().copied().collect();
+                let mut delete_weight = 0.0;
+                for id in deleted {
+                    delete_weight += input
+                        .row(*id)
+                        .map_err(|e| format!("deleted id {id} is not in the input: {e}"))?
+                        .weight;
+                }
+                let survivors = input.without(&delete_set);
+                let dist = survivors
+                    .dist_upd(repaired)
+                    .map_err(|e| format!("returned table does not update the survivors: {e}"))?;
+                let cost =
+                    request.mixed_costs.delete * delete_weight + request.mixed_costs.update * dist;
+                if (cost - self.cost).abs() > EPS {
+                    return Err(format!(
+                        "mixed cost {} disagrees with recomputed {}",
+                        self.cost, cost
+                    ));
+                }
+                let cells = survivors.changed_cells(repaired).expect("validated update");
+                let expect = ChangedCell::from_cells(input.schema(), &cells);
+                if expect != *changed {
+                    return Err(format!(
+                        "reported changed cells disagree with the survivor diff: \
+                         reported {changed:?}, actual {expect:?}"
+                    ));
+                }
+            }
+            ReportBody::Mpd {
+                kept,
+                probability,
+                repaired,
+            } => {
+                let world: std::collections::HashSet<TupleId> = kept.iter().copied().collect();
+                let mut p = 1.0;
+                for row in input.rows() {
+                    p *= if world.contains(&row.id) {
+                        row.weight
+                    } else {
+                        1.0 - row.weight
+                    };
+                }
+                // Relative tolerance: world probabilities shrink
+                // geometrically with the row count, so an absolute 1e-9
+                // would be vacuous past a dozen rows.
+                if (p - *probability).abs() > 1e-9 * p.abs().max(probability.abs()) {
+                    return Err(format!(
+                        "world probability {probability} disagrees with recomputed {p}"
+                    ));
+                }
+                let mut world_ids: Vec<TupleId> = repaired.ids().collect();
+                world_ids.sort_unstable();
+                let mut kept_sorted = kept.clone();
+                kept_sorted.sort_unstable();
+                if world_ids != kept_sorted {
+                    return Err(format!(
+                        "returned world table ids {world_ids:?} disagree with kept {kept_sorted:?}"
+                    ));
+                }
+                let cost = -probability.ln();
+                if *probability > 0.0 && (cost - self.cost).abs() > EPS {
+                    return Err(format!(
+                        "MPD cost {} disagrees with −ln p = {cost}",
+                        self.cost
+                    ));
+                }
+            }
+            ReportBody::Sample { kept, repaired } => {
+                let dist = input
+                    .dist_sub(repaired)
+                    .map_err(|e| format!("sample is not a subset of the input: {e}"))?;
+                if (dist - self.cost).abs() > EPS {
+                    return Err(format!(
+                        "sample cost {} disagrees with dist_sub {}",
+                        self.cost, dist
+                    ));
+                }
+                let mut sampled_ids: Vec<TupleId> = repaired.ids().collect();
+                sampled_ids.sort_unstable();
+                let mut kept_sorted = kept.clone();
+                kept_sorted.sort_unstable();
+                if sampled_ids != kept_sorted {
+                    return Err(format!(
+                        "kept ids {kept_sorted:?} disagree with the sampled table ({sampled_ids:?})"
+                    ));
+                }
+            }
+            ReportBody::Count { .. } | ReportBody::Classify { .. } => {}
+        }
+        Ok(())
+    }
+
     /// The report as a JSON value tree.
     pub fn to_json_value(&self) -> Json {
         Json::obj([

@@ -14,10 +14,14 @@
 //! * [`families`] — the `Δ_k` / `Δ'_k` families of §4.4;
 //! * [`armstrong_rel`] — Armstrong relations: tables realizing *exactly*
 //!   the closure of an FD set (perfect test fixtures);
-//! * [`typos`] — realistic typo-injection workloads.
+//! * [`typos`] — realistic typo-injection workloads;
+//! * [`adversarial`] — the named schema pool (every Figure-2 class and
+//!   simplification rule), deterministic sized instances, and exhaustive
+//!   FD-set enumeration for the oracle's dichotomy cross-check.
 
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod armstrong_rel;
 pub mod families;
 pub mod graphs;

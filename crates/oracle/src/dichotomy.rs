@@ -1,0 +1,245 @@
+//! An independent reimplementation of the paper's complexity
+//! classification — Algorithm 2 (`OSRSucceeds`) and the Figure-2
+//! classifier — written from the paper against `fd-core`'s *data types*
+//! only (no `FdSet` predicate helpers, no `fd-srepair` code), so a bug
+//! shared by the engine's classifier and its helpers cannot hide.
+//!
+//! The tie-breaking rules mirror the engine's documented determinism: the
+//! smallest-indexed common-lhs attribute first, then the first consensus
+//! FD in canonical `FdSet` order, then the first lhs marriage in sorted
+//! lhs order; the Figure-2 class is decided on the first two local minima
+//! in sorted order. Matching these choices exactly is what lets the
+//! cross-check assert *equality* of classes rather than mere consistency.
+
+use fd_core::{AttrSet, Fd, FdSet};
+
+/// The oracle's verdict on one FD set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OracleDichotomy {
+    /// `OSRSucceeds(Δ)`: the tractable side of Theorem 3.4.
+    pub osr_succeeds: bool,
+    /// Figure-2 class (1–5) of the stuck residue, hard side only.
+    pub hard_class: Option<u8>,
+    /// Whether `Δ` is a chain (every two lhs comparable).
+    pub chain: bool,
+}
+
+/// Classifies `fds` with the from-scratch reimplementation.
+pub fn classify(fds: &FdSet) -> OracleDichotomy {
+    let chain = is_chain(fds);
+    match simplify(fds) {
+        None => OracleDichotomy {
+            osr_succeeds: true,
+            hard_class: None,
+            chain,
+        },
+        Some(stuck) => OracleDichotomy {
+            osr_succeeds: false,
+            hard_class: Some(figure2_class(&stuck)),
+            chain,
+        },
+    }
+}
+
+/// The closure `cl_Δ(X)`, recomputed from the definition.
+fn closure(fds: &[Fd], x: AttrSet) -> AttrSet {
+    let mut closed = x;
+    loop {
+        let before = closed;
+        for fd in fds {
+            if fd.lhs().is_subset(closed) {
+                closed = closed.union(fd.rhs());
+            }
+        }
+        if closed == before {
+            return closed;
+        }
+    }
+}
+
+/// True iff every two lhs are ⊆-comparable (§2.2).
+fn is_chain(fds: &FdSet) -> bool {
+    let lhss: Vec<AttrSet> = fds.iter().map(Fd::lhs).collect();
+    lhss.iter()
+        .all(|&a| lhss.iter().all(|&b| a.is_subset(b) || b.is_subset(a)))
+}
+
+/// Non-trivial FDs of `Δ` (an FD `X → Y` is trivial iff `Y ⊆ X`).
+fn nontrivial(fds: &FdSet) -> Vec<Fd> {
+    fds.iter()
+        .filter(|fd| !fd.rhs().is_subset(fd.lhs()))
+        .copied()
+        .collect()
+}
+
+/// `Δ − X` from §3's notation: remove the attributes of `X` everywhere.
+fn minus(fds: &[Fd], x: AttrSet) -> FdSet {
+    FdSet::new(
+        fds.iter()
+            .map(|fd| Fd::new(fd.lhs().difference(x), fd.rhs().difference(x))),
+    )
+}
+
+/// Algorithm 2: repeatedly apply the three simplifications; `None` on
+/// success (reduced to a trivial set), `Some(stuck residue)` otherwise.
+fn simplify(fds: &FdSet) -> Option<FdSet> {
+    let mut current = fds.clone();
+    loop {
+        let live = nontrivial(&current);
+        if live.is_empty() {
+            return None;
+        }
+        // Rule 1: a common lhs attribute (smallest index).
+        let mut common = live[0].lhs();
+        for fd in &live[1..] {
+            common = common.intersect(fd.lhs());
+        }
+        if let Some(attr) = common.first() {
+            current = minus(&live, AttrSet::singleton(attr));
+            continue;
+        }
+        // Rule 2: a consensus FD ∅ → Y (first in canonical order).
+        if let Some(cfd) = live.iter().find(|fd| fd.lhs().is_empty()) {
+            current = minus(&live, cfd.rhs());
+            continue;
+        }
+        // Rule 3: an lhs marriage (first pair in sorted lhs order).
+        if let Some((x1, x2)) = find_marriage(&live) {
+            current = minus(&live, x1.union(x2));
+            continue;
+        }
+        return Some(FdSet::new(live));
+    }
+}
+
+/// An lhs marriage: distinct lhs `X₁ ≠ X₂` with equal closures such that
+/// every lhs of `Δ` contains `X₁` or `X₂`.
+fn find_marriage(fds: &[Fd]) -> Option<(AttrSet, AttrSet)> {
+    let mut lhss: Vec<AttrSet> = fds.iter().map(Fd::lhs).collect();
+    lhss.sort();
+    lhss.dedup();
+    for (i, &x1) in lhss.iter().enumerate() {
+        let c1 = closure(fds, x1);
+        for &x2 in &lhss[i + 1..] {
+            if closure(fds, x2) != c1 {
+                continue;
+            }
+            if fds
+                .iter()
+                .all(|fd| x1.is_subset(fd.lhs()) || x2.is_subset(fd.lhs()))
+            {
+                return Some((x1, x2));
+            }
+        }
+    }
+    None
+}
+
+/// The local minima of `Δ`: lhs sets with no strict subset among the lhs
+/// sets, sorted.
+fn local_minima(fds: &[Fd]) -> Vec<AttrSet> {
+    let mut lhss: Vec<AttrSet> = fds.iter().map(Fd::lhs).collect();
+    lhss.sort();
+    lhss.dedup();
+    lhss.iter()
+        .filter(|&&x| !lhss.iter().any(|&z| z.is_strict_subset(x)))
+        .copied()
+        .collect()
+}
+
+/// Places an irreducible (stuck) FD set into its Figure-2 class, deciding
+/// the Lemma A.22 case analysis on the first two sorted local minima.
+fn figure2_class(stuck: &FdSet) -> u8 {
+    let fds = nontrivial(stuck);
+    let minima = local_minima(&fds);
+    assert!(
+        minima.len() >= 2,
+        "a stuck FD set has at least two local minima"
+    );
+    let (x1, x2) = (minima[0], minima[1]);
+    let xh1 = closure(&fds, x1).difference(x1);
+    let xh2 = closure(&fds, x2).difference(x2);
+    if !xh2.intersects(x1) {
+        oriented_class(&fds, x1, x2, xh1)
+    } else if !xh1.intersects(x2) {
+        oriented_class(&fds, x2, x1, xh2)
+    } else if !x2.difference(x1).is_subset(xh1) || !x1.difference(x2).is_subset(xh2) {
+        5
+    } else {
+        4
+    }
+}
+
+/// Classes 1–3, for an orientation with `X̂₂ ∩ X₁ = ∅` (`xh1` is the
+/// first minimum's `X̂`).
+fn oriented_class(fds: &[Fd], _x1: AttrSet, x2: AttrSet, xh1: AttrSet) -> u8 {
+    if !xh1.intersects(closure(fds, x2)) {
+        1
+    } else if !xh1.intersects(x2) {
+        2
+    } else {
+        3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::Schema;
+
+    fn classify_spec(attrs: &[&str], spec: &str) -> OracleDichotomy {
+        let s = Schema::new("R", attrs.to_vec()).unwrap();
+        classify(&FdSet::parse(&s, spec).unwrap())
+    }
+
+    #[test]
+    fn tractable_families_succeed() {
+        for (attrs, spec) in [
+            (&["A", "B", "C"][..], "A -> B C"),
+            (&["A", "B", "C"], "A -> B; B -> A; B -> C"),
+            (&["A", "B", "C"], "-> C; A -> B"),
+            (&["A", "B", "C"], ""),
+            (&["A", "B", "C"], "A B -> A"),
+            (
+                &["facility", "room", "floor", "city"],
+                "facility -> city; facility room -> floor",
+            ),
+        ] {
+            let verdict = classify_spec(attrs, spec);
+            assert!(verdict.osr_succeeds, "{spec}");
+            assert_eq!(verdict.hard_class, None);
+        }
+    }
+
+    #[test]
+    fn example_3_8_classes_reproduce() {
+        assert_eq!(
+            classify_spec(&["A", "B", "C", "D"], "A -> B; C -> D").hard_class,
+            Some(1)
+        );
+        assert_eq!(
+            classify_spec(&["A", "B", "C", "D", "E"], "A -> C D; B -> C E").hard_class,
+            Some(2)
+        );
+        assert_eq!(
+            classify_spec(&["A", "B", "C", "D"], "A -> B C; B -> D").hard_class,
+            Some(3)
+        );
+        assert_eq!(
+            classify_spec(&["A", "B", "C"], "A B -> C; A C -> B; B C -> A").hard_class,
+            Some(4)
+        );
+        assert_eq!(
+            classify_spec(&["A", "B", "C", "D"], "A B -> C; C -> A D").hard_class,
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn chain_flag_is_independent_of_hardness() {
+        let chain = classify_spec(&["A", "B", "C"], "A -> B; A B -> C");
+        assert!(chain.chain && chain.osr_succeeds);
+        let not_chain = classify_spec(&["A", "B", "C"], "A -> C; B -> C");
+        assert!(!not_chain.chain && !not_chain.osr_succeeds);
+    }
+}

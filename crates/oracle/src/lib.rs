@@ -1,0 +1,58 @@
+//! # fd-oracle
+//!
+//! Brute-force ground-truth solvers and the differential fuzz harness:
+//! an adversarial second implementation of every repair notion the
+//! workspace serves, built so that a bug shared by the engine and its
+//! solver crates cannot pass silently.
+//!
+//! The paper's central claim is a dichotomy: inside the tractable
+//! classes of Figure 2 the engine must return a *certified optimum*, and
+//! outside them an approximation with a *guaranteed ratio*. The solvers
+//! here check both claims from first principles:
+//!
+//! * [`brute_subset_repair`] — exhaustive branch-and-bound over tuple
+//!   subsets (Definition 2.2 transcribed, no conflict graph);
+//! * [`brute_update_repair`] — enumeration over the paper's sufficient
+//!   value sets (active domain + column-shared fresh constants);
+//! * [`brute_mixed_repair`] — deletion sets × update oracle under the §5
+//!   cost multipliers;
+//! * [`brute_mpd`] — exhaustive world enumeration for §3.4;
+//! * [`dichotomy::classify`] — Algorithm 2 and the Figure-2 classifier
+//!   reimplemented from the paper, for the exhaustive cross-check
+//!   against the engine's `DichotomyReport`;
+//! * [`fuzz::run_fuzz`] — the differential driver behind
+//!   `fdrepair fuzz`: random adversarial instances, engine vs oracle,
+//!   failures shrunk to minimal reproducible `.fdr` counterexamples.
+//!
+//! None of the solvers call into `fd-srepair`, `fd-urepair` or `fd-mpd`;
+//! they share only the `fd-core` data types with the production paths.
+//!
+//! ## Example
+//!
+//! ```
+//! use fd_core::{tup, FdSet, Table, schema_rabc};
+//! use fd_oracle::brute_subset_repair;
+//!
+//! let s = schema_rabc();
+//! let fds = FdSet::parse(&s, "A -> B").unwrap();
+//! let t = Table::build_unweighted(s, vec![tup![1, 1, 0], tup![1, 2, 0]]).unwrap();
+//! assert_eq!(brute_subset_repair(&t, &fds).cost, 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod check;
+pub mod dichotomy;
+pub mod fuzz;
+mod mixed;
+mod mpd;
+mod subset;
+mod update;
+
+pub use check::satisfies_naive;
+pub use dichotomy::OracleDichotomy;
+pub use fuzz::{run_fuzz, Divergence, FuzzConfig, FuzzNotion, FuzzSummary};
+pub use mixed::{brute_mixed_repair, OracleMixed};
+pub use mpd::{brute_mpd, OracleMpd, MAX_MPD_ROWS};
+pub use subset::{brute_subset_by_conflicts, brute_subset_repair, OracleSubset, MAX_SUBSET_ROWS};
+pub use update::{brute_update_cost, brute_update_repair, OracleUpdate, MAX_UPDATE_ROWS};

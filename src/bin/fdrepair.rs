@@ -15,6 +15,7 @@
 //! fdrepair count    <file>    number of (optimal) subset repairs
 //! fdrepair sample   <file>    uniformly random subset repair (chain Δ)
 //! fdrepair serve              HTTP repair service (POST /repair, /explain)
+//! fdrepair fuzz               differential fuzz: engine vs brute-force oracle
 //! ```
 //!
 //! `<file>` is either a `.fdr` instance (schema + FDs + rows; format
@@ -34,6 +35,8 @@ usage: fdrepair <command> <file.fdr> [options]
        fdrepair <command> <file.csv> --fds \"A -> B; B -> C\" [--weight <column>]
        fdrepair serve [--addr <ip:port>] [--threads <n>] [--cache-entries <n>]
                       [--max-body-bytes <n>]
+       fdrepair fuzz [--notion <s|u|mixed|mpd>] [--cases <n>] [--seed <n>]
+                     [--max-rows <n>]
 
 commands:
   repair      unified repair; pick the notion with --notion <s|u|mixed|mpd>
@@ -46,6 +49,8 @@ commands:
   count       number of (optimal) subset repairs
   sample      uniformly random subset repair (chain Δ only)
   serve       HTTP service: POST /repair, POST /explain, GET /healthz, /metrics
+  fuzz        differential fuzzing: random instances, engine vs brute-force
+              oracle; divergences shrink to a .fdr counterexample (exit 1)
 
 options:
   --fds <spec>         FD set for CSV input (e.g. \"A -> B; B -> C\")
@@ -53,7 +58,10 @@ options:
   --notion <name>      repair notion: s, u, mixed, mpd (default: s)
   --json               emit the full report as JSON on stdout
   --output <file>      write the repaired instance as .fdr
-  --seed <n>           RNG seed for `sample` (default: from the OS)
+  --seed <n>           RNG seed for `sample` / `fuzz` (default: OS / 7)
+  --cases <n>          fuzz: number of random cases per notion (default 200)
+  --max-rows <n>       fuzz: largest table to draw (default: per-notion
+                       oracle-safe bound)
   --exact              require a provably optimal result
   --max-ratio <r>      accept a guaranteed approximation ratio up to r
   --delete-cost <x>    mixed repair: cost multiplier per deleted tuple
@@ -86,6 +94,8 @@ struct Cli {
     addr: Option<String>,
     cache_entries: Option<usize>,
     max_body_bytes: Option<usize>,
+    cases: Option<usize>,
+    max_rows: Option<usize>,
 }
 
 enum CliOutcome {
@@ -123,6 +133,8 @@ fn parse_args(args: &[String]) -> CliOutcome {
         addr: None,
         cache_entries: None,
         max_body_bytes: None,
+        cases: None,
+        max_rows: None,
     };
     // Flags may appear anywhere; the first two non-flag arguments are the
     // command and the file.
@@ -219,6 +231,22 @@ fn parse_args(args: &[String]) -> CliOutcome {
                 }
                 None => return CliOutcome::Usage,
             },
+            "--cases" => match value("--cases").map(|v| v.parse::<usize>()) {
+                Some(Ok(v)) => cli.cases = Some(v),
+                Some(Err(_)) => {
+                    eprintln!("fdrepair: --cases needs an integer\n{USAGE}");
+                    return CliOutcome::Usage;
+                }
+                None => return CliOutcome::Usage,
+            },
+            "--max-rows" => match value("--max-rows").map(|v| v.parse::<usize>()) {
+                Some(Ok(v)) => cli.max_rows = Some(v),
+                Some(Err(_)) => {
+                    eprintln!("fdrepair: --max-rows needs an integer\n{USAGE}");
+                    return CliOutcome::Usage;
+                }
+                None => return CliOutcome::Usage,
+            },
             other => {
                 eprintln!("fdrepair: unexpected argument {other:?}\n{USAGE}");
                 return CliOutcome::Usage;
@@ -236,9 +264,9 @@ fn parse_args(args: &[String]) -> CliOutcome {
             return CliOutcome::Usage;
         }
     }
-    // `serve` is the one command without a file argument.
+    // `serve` and `fuzz` are the commands without a file argument.
     match positional.as_slice() {
-        [command] if command.as_str() == "serve" => {
+        [command] if matches!(command.as_str(), "serve" | "fuzz") => {
             cli.command = (*command).clone();
         }
         [command, path] => {
@@ -261,12 +289,16 @@ fn main() -> ExitCode {
         CliOutcome::Usage => return ExitCode::from(2),
     };
 
-    if cli.command == "serve" {
+    if cli.command == "serve" || cli.command == "fuzz" {
         if !cli.path.is_empty() {
-            eprintln!("fdrepair: serve takes no file argument\n{USAGE}");
+            eprintln!("fdrepair: {} takes no file argument\n{USAGE}", cli.command);
             return ExitCode::from(2);
         }
-        return serve(&cli);
+        return if cli.command == "serve" {
+            serve(&cli)
+        } else {
+            fuzz(&cli)
+        };
     }
 
     let text = match std::fs::read_to_string(&cli.path) {
@@ -409,6 +441,76 @@ fn build_request(cli: &Cli, notion: Notion) -> RepairRequest {
         request = request.optimality(Optimality::Approximate { max_ratio });
     }
     request
+}
+
+/// `fdrepair fuzz`: differential campaigns, engine vs brute-force
+/// oracle; each divergence shrinks to a `.fdr` counterexample written to
+/// the working directory. Exit 0 iff every notion agreed everywhere.
+fn fuzz(cli: &Cli) -> ExitCode {
+    use fd_oracle::{run_fuzz, FuzzConfig, FuzzNotion};
+    let notions: Vec<FuzzNotion> = match cli.notion.as_deref() {
+        None => vec![
+            FuzzNotion::Subset,
+            FuzzNotion::Update,
+            FuzzNotion::Mixed,
+            FuzzNotion::Mpd,
+        ],
+        Some(name) => match FuzzNotion::parse(name) {
+            Some(n) => vec![n],
+            None => {
+                eprintln!("fdrepair: fuzz supports --notion s|u|mixed|mpd, got {name:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let cases = cli.cases.unwrap_or(200);
+    let seed = cli.seed.unwrap_or(7);
+    let mut failed = false;
+    for notion in notions {
+        let config = FuzzConfig {
+            notion,
+            cases,
+            seed,
+            max_rows: cli.max_rows.unwrap_or(0),
+        };
+        let summary = run_fuzz(&config);
+        println!(
+            "fuzz --notion {}: {} cases (seed {}), {} optimal, {} approximate, {} divergence(s)",
+            notion.name(),
+            summary.cases,
+            seed,
+            summary.optimal_cases,
+            summary.approximate_cases,
+            summary.divergences.len()
+        );
+        for d in &summary.divergences {
+            failed = true;
+            eprintln!(
+                "fdrepair: DIVERGENCE case {} (seed {}, schema {}): {}",
+                d.case_index, d.case_seed, d.schema_name, d.message
+            );
+            let stem = format!("fuzz-{}-{}", notion.name(), d.case_seed);
+            for (suffix, contents, note) in [
+                (".fdr", &d.instance_fdr, "instance (request in header)"),
+                (
+                    ".call.json",
+                    &d.call_json,
+                    "full call, replays via POST /repair",
+                ),
+            ] {
+                let path = format!("{stem}{suffix}");
+                match std::fs::write(&path, contents) {
+                    Ok(()) => eprintln!("  {note} written to {path}"),
+                    Err(e) => eprintln!("  cannot write {path}: {e}"),
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// `fdrepair serve`: bind, wire ctrl-c to graceful shutdown, serve.

@@ -19,6 +19,7 @@
 //! | [`engine`] | the unified `RepairRequest → RepairReport` call path |
 //! | [`serve`] | the HTTP repair service over the engine (`fdrepair serve`) |
 //! | [`gen`] | workload generators and hardness gadgets |
+//! | [`oracle`] | brute-force ground truth + differential fuzzing (`fdrepair fuzz`) |
 //! | [`priority`] | §5 outlook: prioritized repairs (Pareto/global/completion) |
 //! | [`cfd`] | §5 outlook: conditional FDs and denial constraints |
 //!
@@ -84,6 +85,7 @@ pub use fd_engine as engine;
 pub use fd_gen as gen;
 pub use fd_graph as graph;
 pub use fd_mpd as mpd;
+pub use fd_oracle as oracle;
 pub use fd_priority as priority;
 pub use fd_serve as serve;
 pub use fd_srepair as srepair;

@@ -356,3 +356,37 @@ fn serve_usage_mentions_the_service() {
     assert!(out.contains("serve"), "got:\n{out}");
     assert!(out.contains("--cache-entries"), "got:\n{out}");
 }
+
+#[test]
+fn fuzz_smoke_agrees_on_small_campaigns() {
+    // A bounded differential campaign: engine vs oracle on 8 cases per
+    // notion must find no divergence (exit 0) and print one summary
+    // line per notion.
+    let (out, _, code) = fdrepair_code(&["fuzz", "--cases", "8", "--seed", "7"]);
+    assert_eq!(code, 0, "got:\n{out}");
+    for notion in ["s", "u", "mixed", "mpd"] {
+        assert!(
+            out.contains(&format!("fuzz --notion {notion}: 8 cases")),
+            "missing {notion} summary:\n{out}"
+        );
+    }
+    assert!(out.contains("0 divergence(s)"), "got:\n{out}");
+}
+
+#[test]
+fn fuzz_usage_errors() {
+    // `fuzz` takes no file argument…
+    let path = write_temp("cli_fuzz_extra.fdr", OFFICE_FDR);
+    let (_, err, code) = fdrepair_code(&["fuzz", path.to_str().unwrap()]);
+    assert_eq!(code, 2);
+    assert!(err.contains("fuzz takes no file argument"), "got:\n{err}");
+    // …its notion is restricted to the oracle-backed four…
+    let (_, err, code) = fdrepair_code(&["fuzz", "--notion", "count"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("s|u|mixed|mpd"), "got:\n{err}");
+    // …and the numeric flags validate.
+    let (_, _, code) = fdrepair_code(&["fuzz", "--cases", "many"]);
+    assert_eq!(code, 2);
+    let (_, _, code) = fdrepair_code(&["fuzz", "--max-rows", "-1"]);
+    assert_eq!(code, 2);
+}

@@ -1,0 +1,169 @@
+//! Oracle parity for the extension surface — the two report paths
+//! `engine_parity.rs` never covered: constraint-subset repairs (CFDs /
+//! denial constraints) and prioritized repairs. Optima are checked two
+//! ways: against hand-enumerated values, and against the generic
+//! brute-force pairwise-constraint search in `fd-oracle`.
+
+use fd_oracle::brute_subset_by_conflicts;
+use fd_repairs::instance::Instance;
+use fd_repairs::prelude::*;
+
+/// Brute-force ground truth for any `PairwiseConstraint` family, wired
+/// through the oracle's generic exhaustive subset search.
+fn oracle_constraint_optimum<C: PairwiseConstraint>(table: &Table, constraints: &[C]) -> f64 {
+    let single = |r: &Row| constraints.iter().any(|c| c.violates_single(&r.tuple));
+    let pair = |a: &Row, b: &Row| {
+        constraints
+            .iter()
+            .any(|c| c.violates_pair(&a.tuple, &b.tuple))
+    };
+    brute_subset_by_conflicts(table, &single, &pair).cost
+}
+
+#[test]
+fn cfd_report_matches_hand_enumeration_and_oracle() {
+    // R(A, B, C) with the CFD (A=uk → B=44): rows 1 and 3 violate it on
+    // their own (constant patterns bind single tuples), so the optimum
+    // deletes exactly those, cost 1 + 3 = 4.
+    let s = schema_rabc();
+    let constraints = vec![Cfd::parse(&s, "A=uk -> B=44").unwrap()];
+    let t = Table::build(
+        s,
+        vec![
+            (tup!["uk", 44, 0], 2.0), // consistent
+            (tup!["uk", 33, 0], 1.0), // violates alone
+            (tup!["fr", 33, 0], 5.0), // pattern does not bind
+            (tup!["uk", 45, 1], 3.0), // violates alone
+        ],
+    )
+    .unwrap();
+    let report = constraint_subset_report(&t, &constraints, &RepairRequest::subset()).unwrap();
+    assert!(report.optimal);
+    assert_eq!(report.cost, 4.0);
+    assert_eq!(report.cost, oracle_constraint_optimum(&t, &constraints));
+    let repaired = report.repaired().unwrap();
+    assert_eq!(repaired.len(), 2);
+    assert!(fd_repairs::cfd::satisfies(repaired, &constraints));
+}
+
+#[test]
+fn variable_cfd_conflicts_are_pairwise_and_weighted() {
+    // (A=uk → B=_): among A=uk rows, B must be functional — rows with
+    // different B conflict pairwise. Weights 1/2/4 on three mutually
+    // conflicting rows: keep the heaviest, delete 1 + 2 = 3.
+    let s = schema_rabc();
+    let constraints = vec![Cfd::parse(&s, "A=uk -> B=_").unwrap()];
+    let t = Table::build(
+        s,
+        vec![
+            (tup!["uk", 1, 0], 1.0),
+            (tup!["uk", 2, 0], 2.0),
+            (tup!["uk", 3, 0], 4.0),
+            (tup!["de", 9, 0], 1.0),
+        ],
+    )
+    .unwrap();
+    let report = constraint_subset_report(&t, &constraints, &RepairRequest::subset()).unwrap();
+    assert_eq!(report.cost, 3.0);
+    assert_eq!(report.cost, oracle_constraint_optimum(&t, &constraints));
+}
+
+#[test]
+fn cfd_exact_and_approximate_honor_the_oracle_bound() {
+    // A larger random-ish instance: the default strategy must stay
+    // within factor 2 of the oracle optimum; the exact strategy must hit
+    // it exactly.
+    let s = schema_rabc();
+    let constraints = vec![
+        Cfd::parse(&s, "A=uk -> B=44").unwrap(),
+        Cfd::parse(&s, "A=_ -> C=_").unwrap(),
+    ];
+    let rows: Vec<(Tuple, f64)> = (0..12)
+        .map(|i| {
+            (
+                tup![
+                    ["uk", "fr", "de"][i % 3],
+                    40 + (i % 4) as i64,
+                    (i % 2) as i64
+                ],
+                1.0 + (i % 3) as f64,
+            )
+        })
+        .collect();
+    let t = Table::build(s, rows).unwrap();
+    let optimum = oracle_constraint_optimum(&t, &constraints);
+    let exact = constraint_subset_report(
+        &t,
+        &constraints,
+        &RepairRequest::subset().optimality(Optimality::Exact),
+    )
+    .unwrap();
+    assert!((exact.cost - optimum).abs() < 1e-9);
+    // Starve the exact budget to force the 2-approximation.
+    let approx = constraint_subset_report(
+        &t,
+        &constraints,
+        &RepairRequest::subset().exact_fallback_limit(0),
+    )
+    .unwrap();
+    assert!(approx.cost + 1e-9 >= optimum);
+    assert!(approx.cost <= approx.ratio * optimum + 1e-9);
+}
+
+#[test]
+fn prioritized_report_matches_hand_enumerated_families() {
+    // A → B, three mutually conflicting tuples {t0, t1, t2} (same A,
+    // distinct B) plus an unrelated t3. With priority t0 ≻ t1 only:
+    //   Pareto-optimal repairs: {t0, t3} and {t2, t3} — ambiguous;
+    //   adding t0 ≻ t2 makes {t0, t3} the unique (categorical) repair.
+    let s = schema_rabc();
+    let fds = FdSet::parse(&s, "A -> B").unwrap();
+    let t = Table::build_unweighted(
+        s,
+        vec![
+            tup!["k", 1, 0],
+            tup!["k", 2, 0],
+            tup!["k", 3, 0],
+            tup!["z", 9, 0],
+        ],
+    )
+    .unwrap();
+
+    let partial = PriorityRelation::new(vec![(TupleId(0), TupleId(1))]).unwrap();
+    let report = prioritized_report(&t, &fds, &partial, Semantics::Pareto).unwrap();
+    assert!(!report.optimal, "two Pareto repairs remain");
+    assert!(report.repaired().is_none());
+    let ReportBody::Count { subset_repairs, .. } = &report.body else {
+        panic!("ambiguous prioritized analysis reports the family size");
+    };
+    assert_eq!(*subset_repairs, Some(2));
+
+    let total =
+        PriorityRelation::new(vec![(TupleId(0), TupleId(1)), (TupleId(0), TupleId(2))]).unwrap();
+    for semantics in [Semantics::Pareto, Semantics::Global] {
+        let report = prioritized_report(&t, &fds, &total, semantics).unwrap();
+        assert!(report.optimal, "{semantics:?} should be categorical");
+        // The unique repair keeps t0 and t3: cost = weight of t1 + t2.
+        assert_eq!(report.cost, 2.0);
+        let repaired = report.repaired().unwrap();
+        assert!(repaired.satisfies(&fds));
+        let kept: Vec<TupleId> = repaired.ids().collect();
+        assert_eq!(kept, vec![TupleId(0), TupleId(3)]);
+    }
+}
+
+#[test]
+fn plain_fds_as_pairwise_constraints_agree_with_the_subset_oracle() {
+    // The FdConstraint adapter must make the generic constraint path
+    // reproduce the FD-specific oracle exactly, fixture included.
+    let path = format!("{}/examples/data/office.fdr", env!("CARGO_MANIFEST_DIR"));
+    let inst = Instance::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+    let constraints = fd_repairs::cfd::fd_constraints(&inst.fds);
+    let report =
+        constraint_subset_report(&inst.table, &constraints, &RepairRequest::subset()).unwrap();
+    let generic = oracle_constraint_optimum(&inst.table, &constraints);
+    let direct = fd_oracle::brute_subset_repair(&inst.table, &inst.fds).cost;
+    assert_eq!(report.cost, 2.0);
+    assert_eq!(generic, direct);
+    assert_eq!(report.cost, generic);
+}

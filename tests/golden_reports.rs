@@ -1,0 +1,106 @@
+//! Golden-file tests for the `RepairReport` wire format: the canonical
+//! JSON for the shipped fixtures under every notion is committed under
+//! `tests/golden/`, and these tests diff the *exact serialized bytes* —
+//! any wire-format drift (field order, number formatting, new fields)
+//! becomes an explicit, reviewable test change.
+//!
+//! Timings are the one nondeterministic report field; they are zeroed
+//! before serialization, exactly as `include_timings: false` does on the
+//! serving path. Regenerate the files with
+//! `UPDATE_GOLDEN=1 cargo test --test golden_reports`.
+
+use fd_repairs::instance::Instance;
+use fd_repairs::prelude::*;
+
+fn fixture(name: &str) -> Instance {
+    let path = format!("{}/examples/data/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    Instance::parse(&text).unwrap()
+}
+
+fn canonical_json(inst: &Instance, request: &RepairRequest) -> String {
+    let mut report = Planner
+        .run(&inst.table, &inst.fds, request)
+        .expect("fixture requests solve");
+    report.timings = Timings::default();
+    let mut json = report.to_json();
+    json.push('\n');
+    json
+}
+
+fn check_golden(file: &str, inst: &Instance, request: &RepairRequest) {
+    let path = format!("{}/tests/golden/{file}", env!("CARGO_MANIFEST_DIR"));
+    let got = canonical_json(inst, request);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &got).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("read {path}: {e}\nrun UPDATE_GOLDEN=1 cargo test --test golden_reports")
+    });
+    assert_eq!(
+        got, want,
+        "{file}: serialized report drifted from the committed golden bytes \
+         (if intentional, regenerate with UPDATE_GOLDEN=1)"
+    );
+}
+
+#[test]
+fn office_reports_match_golden_bytes() {
+    let inst = fixture("office.fdr");
+    check_golden("office_s.json", &inst, &RepairRequest::subset());
+    check_golden("office_u.json", &inst, &RepairRequest::update());
+    check_golden(
+        "office_mixed.json",
+        &inst,
+        &RepairRequest::mixed(MixedCosts::new(1.5, 1.0)),
+    );
+    check_golden(
+        "office_count.json",
+        &inst,
+        &RepairRequest::new(Notion::Count),
+    );
+    check_golden(
+        "office_sample_seed7.json",
+        &inst,
+        &RepairRequest::new(Notion::Sample).seed(7),
+    );
+    check_golden(
+        "office_classify.json",
+        &inst,
+        &RepairRequest::new(Notion::Classify),
+    );
+}
+
+#[test]
+fn sensors_reports_match_golden_bytes() {
+    let inst = fixture("sensors.fdr");
+    check_golden("sensors_s.json", &inst, &RepairRequest::subset());
+    check_golden("sensors_u.json", &inst, &RepairRequest::update());
+    check_golden("sensors_mpd.json", &inst, &RepairRequest::mpd());
+}
+
+#[test]
+fn golden_bytes_parse_and_round_trip_structurally() {
+    // The committed bytes are valid JSON and re-serialize to themselves
+    // (field order and number formatting are part of the contract).
+    let dir = format!("{}/tests/golden", env!("CARGO_MANIFEST_DIR"));
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("golden dir exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = Json::parse(text.trim_end())
+            .unwrap_or_else(|e| panic!("{}: golden file is not valid JSON: {e}", path.display()));
+        assert_eq!(
+            format!("{parsed}"),
+            text.trim_end(),
+            "{}: JSON does not re-serialize to its own bytes",
+            path.display()
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 9, "expected 9 golden files, found {checked}");
+}
