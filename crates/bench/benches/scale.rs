@@ -1,0 +1,151 @@
+//! Scalability suite: the million-row trajectory of the sharded solve
+//! path. Criterion covers the small sizes interactively; the summary
+//! pass measures the full 1k → 1M ladder and writes the
+//! machine-readable medians to `BENCH_scale.json` at the workspace root
+//! (or `$BENCH_SCALE_JSON`). The committed copy is the scale-trajectory
+//! seed that `bench_guard` diffs fresh runs against in CI (> 2×
+//! regression on any shared entry fails the build).
+//!
+//! Measured per size, generation excluded:
+//!
+//! * `components/tractable/<n>` — edge-free conflict-component
+//!   extraction (`fd_graph::conflict_components`) on the tractable
+//!   workload;
+//! * `subset/tractable/<n>` — `repair --notion s` end-to-end through
+//!   the engine (sharded path, single thread);
+//! * `subset/tractable_threads/<n>` — the same with the OS thread count;
+//! * `subset/hard/<n>` — the hard-core workload `Δ_{A→C←B}`:
+//!   per-component exact vertex cover at scale, a regime the unsharded
+//!   path could only 2-approximate;
+//! * `csr/compact/<n>` — building the hard workload's conflict graph
+//!   (streamed) and compacting it to [`fd_graph::CsrGraph`], the
+//!   flat-array form for holding a large conflict graph as a graph.
+
+use criterion::{black_box, Criterion};
+use fd_engine::{Json, Planner, RepairEngine, RepairRequest};
+use fd_gen::scale::{hard_scale, tractable_scale};
+use std::time::Instant;
+
+fn bench_small_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale");
+    group.sample_size(20);
+    for n in [1_000usize, 10_000] {
+        let (_, fds, table) = tractable_scale(n, false, 42);
+        group.bench_function(format!("components/tractable/{n}"), |b| {
+            b.iter(|| fd_graph::conflict_components(black_box(&table), black_box(&fds)));
+        });
+        let request = RepairRequest::subset();
+        group.bench_function(format!("subset/tractable/{n}"), |b| {
+            b.iter(|| {
+                Planner
+                    .run(black_box(&table), black_box(&fds), &request)
+                    .unwrap()
+            });
+        });
+        let (_, hard_fds, hard_table) = hard_scale(n, false, 42);
+        group.bench_function(format!("subset/hard/{n}"), |b| {
+            b.iter(|| {
+                Planner
+                    .run(black_box(&hard_table), black_box(&hard_fds), &request)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Median wall-clock of `runs` executions of `f`, in microseconds.
+fn median_us(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Repetitions per size: enough at the small end for stable medians,
+/// few at the million-row end to keep CI affordable.
+fn reps(n: usize) -> usize {
+    match n {
+        0..=1_000 => 50,
+        1_001..=10_000 => 20,
+        10_001..=100_000 => 7,
+        _ => 3,
+    }
+}
+
+fn write_summary() {
+    let path = std::env::var("BENCH_SCALE_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_scale.json", env!("CARGO_MANIFEST_DIR")));
+    let mut entries = Vec::new();
+    let mut push = |id: String, us: f64| {
+        println!("  {id:<40} {us:>12.1} µs");
+        entries.push(Json::obj([
+            ("id", Json::Str(id)),
+            ("median_us", Json::Num((us * 1000.0).round() / 1000.0)),
+        ]));
+    };
+    for n in [1_000usize, 10_000, 100_000, 1_000_000] {
+        let runs = reps(n);
+        let (_, fds, table) = tractable_scale(n, false, 42);
+        push(
+            format!("components/tractable/{n}"),
+            median_us(runs, || {
+                black_box(fd_graph::conflict_components(&table, &fds));
+            }),
+        );
+        push(
+            format!("subset/tractable/{n}"),
+            median_us(runs, || {
+                Planner.run(&table, &fds, &RepairRequest::subset()).unwrap();
+            }),
+        );
+        push(
+            format!("subset/tractable_threads/{n}"),
+            median_us(runs, || {
+                Planner
+                    .run(&table, &fds, &RepairRequest::subset().threads(0))
+                    .unwrap();
+            }),
+        );
+        let (_, hard_fds, hard_table) = hard_scale(n, false, 42);
+        push(
+            format!("subset/hard/{n}"),
+            median_us(runs, || {
+                Planner
+                    .run(&hard_table, &hard_fds, &RepairRequest::subset())
+                    .unwrap();
+            }),
+        );
+        push(
+            format!("csr/compact/{n}"),
+            median_us(runs, || {
+                let cg = fd_graph::ConflictGraph::build(&hard_table, &hard_fds);
+                black_box(cg.graph.to_csr());
+            }),
+        );
+    }
+    let doc = Json::obj([
+        ("bench", Json::str("scale")),
+        ("unit", Json::str("microseconds, median")),
+        ("entries", Json::Arr(entries)),
+    ]);
+    match std::fs::write(&path, format!("{doc}\n")) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_small_sizes(&mut criterion);
+    // Skip the summary in `--test`/`--list` compile-check mode.
+    let args: Vec<String> = std::env::args().collect();
+    if !args.iter().any(|a| a == "--test" || a == "--list") {
+        write_summary();
+    }
+}

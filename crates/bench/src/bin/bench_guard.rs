@@ -1,0 +1,151 @@
+//! `bench_guard` — the CI bench-regression gate.
+//!
+//! ```text
+//! bench_guard <committed.json> <fresh.json> [--factor 2.0] [--calibrate <id>]
+//! ```
+//!
+//! Reads two `BENCH_*.json` documents (the committed seed and a freshly
+//! produced run), matches entries by `id`, and fails (exit 1) when any
+//! shared entry's fresh median exceeds `factor ×` the committed median
+//! (default 2.0, overridable with `--factor` or `$BENCH_GUARD_FACTOR`).
+//! Entries below a 200 µs noise floor are reported but never fail the
+//! gate — sub-millisecond medians jitter with machine load, and the
+//! scale suite's load-bearing entries are all far above it. Entries
+//! present on only one side are reported and skipped, so adding a bench
+//! never breaks the gate retroactively.
+//!
+//! `--calibrate <id>` makes the comparison **machine-independent**:
+//! each side's medians are divided by that side's own median for the
+//! calibration entry before comparing, so a uniformly slower (or
+//! faster) runner cancels out and only *shape* regressions — one entry
+//! slowing down relative to the others — fail. CI uses this, because
+//! the committed seed and the CI runner are different machines;
+//! omitting the flag compares raw wall-clock, which is what you want
+//! when both files come from the same box.
+
+use fd_engine::Json;
+use std::process::ExitCode;
+
+/// Medians below this many microseconds are too noisy to gate on.
+const NOISE_FLOOR_US: f64 = 200.0;
+
+fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let Some(Json::Arr(entries)) = doc.get("entries") else {
+        return Err(format!("{path}: missing \"entries\" array"));
+    };
+    let mut out = Vec::new();
+    for entry in entries {
+        let (Some(id), Some(median)) = (
+            entry.get("id").and_then(Json::as_str),
+            entry.get("median_us").and_then(Json::as_num),
+        ) else {
+            // Entries with other units (e.g. requests/sec) are not
+            // regression-gated here.
+            continue;
+        };
+        out.push((id.to_string(), median));
+    }
+    Ok(out)
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut factor: f64 = std::env::var("BENCH_GUARD_FACTOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    let mut calibrate: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--factor" {
+            factor = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or("--factor needs a number")?;
+        } else if arg == "--calibrate" {
+            calibrate = Some(it.next().ok_or("--calibrate needs an entry id")?.clone());
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    let [committed_path, fresh_path] = paths.as_slice() else {
+        return Err(
+            "usage: bench_guard <committed.json> <fresh.json> [--factor 2.0] [--calibrate <id>]"
+                .to_string(),
+        );
+    };
+    let committed = load(committed_path)?;
+    let fresh = load(fresh_path)?;
+
+    // Per-side scale divisor: 1 (raw wall-clock) or the side's own
+    // calibration-entry median.
+    let scale_of = |entries: &[(String, f64)], path: &str| -> Result<f64, String> {
+        let Some(id) = calibrate.as_deref() else {
+            return Ok(1.0);
+        };
+        entries
+            .iter()
+            .find(|(eid, _)| eid == id)
+            .map(|(_, m)| *m)
+            .filter(|m| *m > 0.0)
+            .ok_or(format!("{path}: calibration entry {id:?} missing or zero"))
+    };
+    let committed_scale = scale_of(&committed, committed_path)?;
+    let fresh_scale = scale_of(&fresh, fresh_path)?;
+
+    let mut failed = false;
+    println!(
+        "bench_guard: {committed_path} vs {fresh_path} (factor {factor}{})",
+        calibrate
+            .as_deref()
+            .map(|id| format!(", calibrated on {id:?}"))
+            .unwrap_or_default()
+    );
+    for (id, base) in &committed {
+        let Some((_, now)) = fresh.iter().find(|(fid, _)| fid == id) else {
+            println!("  SKIP {id}: absent from the fresh run");
+            continue;
+        };
+        let (base_scaled, now_scaled) = (base / committed_scale, now / fresh_scale);
+        let ratio = if base_scaled > 0.0 {
+            now_scaled / base_scaled
+        } else {
+            f64::INFINITY
+        };
+        // The noise floor applies to the raw medians on both sides: an
+        // entry that runs fast on either machine jitters too much to
+        // gate on, calibrated or not.
+        let verdict = if *base < NOISE_FLOOR_US || *now < NOISE_FLOOR_US {
+            "noise"
+        } else if ratio > factor {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!("  {verdict:<5} {id:<42} {base:>12.1} -> {now:>12.1} µs ({ratio:.2}x)");
+    }
+    for (id, _) in &fresh {
+        if !committed.iter().any(|(cid, _)| cid == id) {
+            println!("  NEW  {id}: not in the committed seed (commit the fresh file to adopt)");
+        }
+    }
+    Ok(failed)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => {
+            eprintln!("bench_guard: regression beyond the allowed factor");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_guard: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

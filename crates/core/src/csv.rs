@@ -10,15 +10,23 @@
 //! Writing renders `Int` and `Str` losslessly; composite and fresh values
 //! render via their `Display` form (they are library-internal artifacts —
 //! reductions and fresh repairs — not interchange data).
+//!
+//! The parser is **streaming**: [`CsvReader`] pulls one record at a time
+//! from any [`BufRead`] source, and [`table_from_csv_reader`] feeds rows
+//! straight into a [`Table`] — a million-row file is loaded without ever
+//! holding its text (or its parsed records) in memory. [`parse_csv`] and
+//! [`table_from_csv`] are thin in-memory wrappers over the same state
+//! machine, so all paths share one grammar.
 
 use crate::error::{Error, Result};
 use crate::schema::Schema;
 use crate::table::Table;
 use crate::tuple::Tuple;
 use crate::value::Value;
+use std::io::BufRead;
 use std::sync::Arc;
 
-/// Options for [`table_from_csv`].
+/// Options for [`table_from_csv`] / [`table_from_csv_reader`].
 #[derive(Clone, Debug, Default)]
 pub struct CsvOptions {
     /// Header name of the column holding tuple weights; that column is
@@ -26,96 +34,248 @@ pub struct CsvOptions {
     pub weight_column: Option<String>,
 }
 
+/// A streaming RFC-4180 record reader over any buffered byte source.
+///
+/// Records are pulled one at a time with [`CsvReader::next_record`]; the
+/// reader holds only the current record's bytes, so arbitrarily large
+/// documents parse in constant memory (modulo the largest single
+/// record). Quoted fields may span record separators; `\r\n` and `\n`
+/// both end records; doubled quotes escape quotes inside quoted fields.
+///
+/// # Errors
+///
+/// [`Error::CsvParse`] on an unterminated quoted field (mid-record EOF
+/// inside quotes), stray data after a closing quote, a quote opening
+/// mid-field, non-UTF-8 field bytes, or an I/O failure of the
+/// underlying source.
+pub struct CsvReader<R: BufRead> {
+    input: R,
+    /// One byte of lookahead (for `""` escapes and `\r\n`).
+    peeked: Option<u8>,
+    /// 1-based line number for error reporting.
+    line: usize,
+    /// Line the most recently returned record started on (blank lines
+    /// skipped), for caller-side error reporting.
+    record_start: usize,
+    done: bool,
+}
+
+impl<R: BufRead> CsvReader<R> {
+    /// Wraps a buffered byte source.
+    pub fn new(input: R) -> CsvReader<R> {
+        CsvReader {
+            input,
+            peeked: None,
+            line: 1,
+            record_start: 1,
+            done: false,
+        }
+    }
+
+    fn next_byte(&mut self) -> Result<Option<u8>> {
+        if let Some(b) = self.peeked.take() {
+            return Ok(Some(b));
+        }
+        let mut buf = [0u8; 1];
+        loop {
+            match self.input.read(&mut buf) {
+                Ok(0) => return Ok(None),
+                Ok(_) => return Ok(Some(buf[0])),
+                // EINTR is non-fatal by the `Read` contract: a stray
+                // signal must not abort a long streaming load.
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    return Err(Error::CsvRead {
+                        message: e.to_string(),
+                    })
+                }
+            }
+        }
+    }
+
+    fn peek_byte(&mut self) -> Result<Option<u8>> {
+        if self.peeked.is_none() {
+            self.peeked = self.next_byte()?;
+        }
+        Ok(self.peeked)
+    }
+
+    /// Bulk-copies the longest run of buffered "plain" bytes for the
+    /// current state into `field` — the fast path that spares the
+    /// per-byte state machine from handling every ordinary character.
+    /// Inside quotes everything but `"` is plain (embedded newlines
+    /// advance the line counter); outside, everything but the
+    /// structural bytes `"` `,` `\r` `\n`. Returns whether progress was
+    /// made; the state machine handles whatever byte stopped the run.
+    fn take_plain_run(&mut self, field: &mut Vec<u8>, in_quotes: bool) -> Result<bool> {
+        if self.peeked.is_some() {
+            return Ok(false);
+        }
+        let buf = loop {
+            match self.input.fill_buf() {
+                Ok(buf) => break buf,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    return Err(Error::CsvRead {
+                        message: e.to_string(),
+                    })
+                }
+            }
+        };
+        let stop = |b: u8| {
+            if in_quotes {
+                b == b'"'
+            } else {
+                matches!(b, b'"' | b',' | b'\r' | b'\n')
+            }
+        };
+        let run = buf.iter().position(|&b| stop(b)).unwrap_or(buf.len());
+        if run == 0 {
+            return Ok(false);
+        }
+        if in_quotes {
+            self.line += buf[..run].iter().filter(|&&b| b == b'\n').count();
+        }
+        field.extend_from_slice(&buf[..run]);
+        self.input.consume(run);
+        Ok(true)
+    }
+
+    fn err(&self, reason: &'static str) -> Error {
+        Error::CsvParse {
+            line: self.line,
+            reason,
+        }
+    }
+
+    fn take_field(&self, bytes: &mut Vec<u8>) -> Result<String> {
+        String::from_utf8(std::mem::take(bytes)).map_err(|_| self.err("field is not valid UTF-8"))
+    }
+
+    /// Reads the next record into `record` (cleared first). Returns
+    /// `false` at end of input. Blank lines (a record consisting of one
+    /// empty unquoted field) are skipped, matching [`parse_csv`].
+    pub fn next_record(&mut self, record: &mut Vec<String>) -> Result<bool> {
+        record.clear();
+        let mut field: Vec<u8> = Vec::new();
+        let mut in_quotes = false;
+        let mut field_started_quoted = false;
+        let mut quote_closed = false;
+        if self.done {
+            return Ok(false);
+        }
+        self.record_start = self.line;
+        loop {
+            // Fast path: swallow runs of ordinary field bytes in bulk.
+            // After a closing quote only separators may follow, so the
+            // per-byte machine must see every byte there.
+            if !quote_closed {
+                while self.take_plain_run(&mut field, in_quotes)? {}
+            }
+            let next = self.next_byte()?;
+            // After a closing quote only a separator or EOF may follow.
+            if quote_closed && !matches!(next, None | Some(b',') | Some(b'\n') | Some(b'\r')) {
+                return Err(self.err("stray data after a closing quote"));
+            }
+            match next {
+                None => {
+                    self.done = true;
+                    if in_quotes {
+                        return Err(self.err("unterminated quoted field"));
+                    }
+                    if !field.is_empty() || !record.is_empty() || field_started_quoted {
+                        let text = self.take_field(&mut field)?;
+                        record.push(text);
+                        return Ok(true);
+                    }
+                    return Ok(false);
+                }
+                Some(b'"') if in_quotes => {
+                    if self.peek_byte()? == Some(b'"') {
+                        self.next_byte()?;
+                        field.push(b'"');
+                    } else {
+                        in_quotes = false;
+                        quote_closed = true;
+                    }
+                }
+                Some(b'"') if field.is_empty() && !field_started_quoted => {
+                    in_quotes = true;
+                    field_started_quoted = true;
+                }
+                Some(b'"') => {
+                    return Err(self.err("quote inside an unquoted field"));
+                }
+                Some(b',') if !in_quotes => {
+                    let text = self.take_field(&mut field)?;
+                    record.push(text);
+                    field_started_quoted = false;
+                    quote_closed = false;
+                }
+                Some(b'\r') if !in_quotes && self.peek_byte()? == Some(b'\n') => {
+                    // Consumed with the '\n' that follows.
+                }
+                Some(b'\n') if !in_quotes => {
+                    self.line += 1;
+                    let text = self.take_field(&mut field)?;
+                    record.push(text);
+                    // A blank line yields no record: keep scanning, and
+                    // the eventual record starts after it.
+                    if record.len() == 1 && record[0].is_empty() {
+                        record.clear();
+                        field_started_quoted = false;
+                        quote_closed = false;
+                        self.record_start = self.line;
+                        continue;
+                    }
+                    return Ok(true);
+                }
+                Some(b) => {
+                    if b == b'\n' {
+                        self.line += 1;
+                    }
+                    field.push(b);
+                }
+            }
+        }
+    }
+
+    /// The 1-based line the reader is currently positioned at.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The 1-based line the most recently returned record started on
+    /// (blank lines are skipped past, multiline quoted fields count
+    /// their embedded newlines) — what error messages about that
+    /// record should cite.
+    pub fn record_line(&self) -> usize {
+        self.record_start
+    }
+}
+
 /// Splits a CSV document into records of raw string fields.
+///
+/// In-memory convenience wrapper over [`CsvReader`]; large documents
+/// should stream through [`table_from_csv_reader`] instead.
 ///
 /// # Errors
 ///
 /// [`Error::CsvParse`] on an unterminated quoted field or on stray data
 /// after a closing quote.
 pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut reader = CsvReader::new(text.as_bytes());
     let mut records = Vec::new();
-    let mut field = String::new();
-    let mut record: Vec<String> = Vec::new();
-    let mut line = 1usize;
-    let mut chars = text.chars().peekable();
-    let mut in_quotes = false;
-    let mut field_started_quoted = false;
-    let mut quote_closed = false;
-
-    loop {
-        let next = chars.next();
-        // After a closing quote only a separator or EOF may follow.
-        if quote_closed && !matches!(next, None | Some(',') | Some('\n') | Some('\r')) {
-            return Err(Error::CsvParse {
-                line,
-                reason: "stray data after a closing quote",
-            });
-        }
-        match next {
-            None => {
-                if in_quotes {
-                    return Err(Error::CsvParse {
-                        line,
-                        reason: "unterminated quoted field",
-                    });
-                }
-                if !field.is_empty() || !record.is_empty() || field_started_quoted {
-                    record.push(std::mem::take(&mut field));
-                    records.push(std::mem::take(&mut record));
-                }
-                return Ok(records);
-            }
-            Some('"') if in_quotes => {
-                if chars.peek() == Some(&'"') {
-                    chars.next();
-                    field.push('"');
-                } else {
-                    in_quotes = false;
-                    quote_closed = true;
-                }
-            }
-            Some('"') if field.is_empty() && !field_started_quoted => {
-                in_quotes = true;
-                field_started_quoted = true;
-            }
-            Some('"') => {
-                return Err(Error::CsvParse {
-                    line,
-                    reason: "quote inside an unquoted field",
-                });
-            }
-            Some(',') if !in_quotes => {
-                record.push(std::mem::take(&mut field));
-                field_started_quoted = false;
-                quote_closed = false;
-            }
-            Some('\r') if !in_quotes && chars.peek() == Some(&'\n') => {
-                // Consumed with the '\n' that follows.
-            }
-            Some('\n') if !in_quotes => {
-                record.push(std::mem::take(&mut field));
-                field_started_quoted = false;
-                quote_closed = false;
-                // A lone newline at EOF produces no empty trailing record.
-                if !(record.len() == 1 && record[0].is_empty()) {
-                    records.push(std::mem::take(&mut record));
-                } else {
-                    record.clear();
-                }
-                line += 1;
-            }
-            Some(c) => {
-                if c == '\n' {
-                    line += 1;
-                }
-                field.push(c);
-            }
-        }
+    let mut record = Vec::new();
+    while reader.next_record(&mut record)? {
+        records.push(std::mem::take(&mut record));
     }
+    Ok(records)
 }
 
 /// Loads a table from CSV text: the first record is the header (attribute
-/// names), every further record one tuple.
+/// names), every further record one tuple. In-memory wrapper over
+/// [`table_from_csv_reader`].
 ///
 /// # Errors
 ///
@@ -123,13 +283,43 @@ pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>> {
 /// column, or a non-numeric weight; schema/weight errors propagate from
 /// [`Schema::new`] and [`Table::push`].
 pub fn table_from_csv(relation: &str, text: &str, options: &CsvOptions) -> Result<Table> {
-    let records = parse_csv(text)?;
-    let Some((header, rows)) = records.split_first() else {
+    table_from_csv_reader(relation, text.as_bytes(), options)
+}
+
+/// Streams a table out of any buffered CSV source — a [`std::fs::File`]
+/// behind a [`std::io::BufReader`], a socket, an in-memory slice — with
+/// one record in flight at a time: rows are pushed into the [`Table`] as
+/// they parse, and the raw text is never held.
+///
+/// # Errors
+///
+/// As [`table_from_csv`], plus [`Error::CsvRead`] when the underlying
+/// source fails.
+///
+/// # Examples
+///
+/// ```
+/// use fd_core::{table_from_csv_reader, CsvOptions};
+///
+/// let csv = "city,zip,w\nParis,75,2\nNice,06,1\n";
+/// let options = CsvOptions { weight_column: Some("w".into()) };
+/// let table = table_from_csv_reader("Addr", csv.as_bytes(), &options).unwrap();
+/// assert_eq!(table.len(), 2);
+/// assert_eq!(table.schema().attr_names(), ["city", "zip"]);
+/// ```
+pub fn table_from_csv_reader<R: BufRead>(
+    relation: &str,
+    input: R,
+    options: &CsvOptions,
+) -> Result<Table> {
+    let mut reader = CsvReader::new(input);
+    let mut header: Vec<String> = Vec::new();
+    if !reader.next_record(&mut header)? {
         return Err(Error::CsvParse {
             line: 1,
             reason: "empty document (no header)",
         });
-    };
+    }
     let weight_idx = match &options.weight_column {
         None => None,
         Some(name) => Some(
@@ -150,10 +340,17 @@ pub fn table_from_csv(relation: &str, text: &str, options: &CsvOptions) -> Resul
         .collect();
     let schema = Schema::new(relation, attrs)?;
     let mut table = Table::new(Arc::clone(&schema));
-    for (k, row) in rows.iter().enumerate() {
+    let mut row: Vec<String> = Vec::new();
+    loop {
+        if !reader.next_record(&mut row)? {
+            return Ok(table);
+        }
+        // Errors cite the line the record started on (blank lines and
+        // multiline quoted fields accounted for by the reader).
+        let record_line = reader.record_line();
         if row.len() != header.len() {
             return Err(Error::CsvParse {
-                line: k + 2,
+                line: record_line,
                 reason: "record width differs from header",
             });
         }
@@ -162,7 +359,7 @@ pub fn table_from_csv(relation: &str, text: &str, options: &CsvOptions) -> Resul
         for (i, fieldtext) in row.iter().enumerate() {
             if Some(i) == weight_idx {
                 weight = fieldtext.parse::<f64>().map_err(|_| Error::CsvParse {
-                    line: k + 2,
+                    line: record_line,
                     reason: "weight field is not a number",
                 })?;
             } else {
@@ -171,7 +368,6 @@ pub fn table_from_csv(relation: &str, text: &str, options: &CsvOptions) -> Resul
         }
         table.push(Tuple::new(values), weight)?;
     }
-    Ok(table)
 }
 
 /// Renders a table as CSV, optionally appending a `weight` column.
@@ -349,5 +545,132 @@ mod tests {
         let row = t.rows().next().unwrap();
         assert_eq!(row.tuple.values()[0], Value::Int(5));
         assert_eq!(row.tuple.values()[1], Value::str("x"));
+    }
+
+    #[test]
+    fn streaming_reader_pulls_one_record_at_a_time() {
+        let text = "a,b\r\nx,1\r\n\"y\ny\",2\n";
+        let mut reader = CsvReader::new(text.as_bytes());
+        let mut record = Vec::new();
+        assert!(reader.next_record(&mut record).unwrap());
+        assert_eq!(record, vec!["a", "b"]);
+        assert!(reader.next_record(&mut record).unwrap());
+        assert_eq!(record, vec!["x", "1"]);
+        assert!(reader.next_record(&mut record).unwrap());
+        assert_eq!(record, vec!["y\ny", "2"]);
+        assert!(!reader.next_record(&mut record).unwrap());
+        // Stays exhausted.
+        assert!(!reader.next_record(&mut record).unwrap());
+    }
+
+    #[test]
+    fn streaming_matches_in_memory_parse_on_edge_cases() {
+        for text in [
+            "a,b\nx,1\n",
+            "a,b\r\nx,1\r\n",           // CRLF endings
+            "a,b\nx,1",                 // no trailing newline
+            "a\n\n\nx\n",               // blank lines skipped
+            "\"\"",                     // empty quoted field at EOF
+            "a,b\n\"x,\"\"q\"\"\",2\n", // quoting
+            "a\n\"two\nlines\"\n",      // newline inside quotes
+        ] {
+            let mut reader = CsvReader::new(text.as_bytes());
+            let mut streamed = Vec::new();
+            let mut record = Vec::new();
+            while reader.next_record(&mut record).unwrap() {
+                streamed.push(std::mem::take(&mut record));
+            }
+            assert_eq!(streamed, parse_csv(text).unwrap(), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn mid_record_eof_inside_quotes_is_an_error_with_the_right_line() {
+        // EOF arrives inside a quoted field that started on line 3.
+        let text = "a\nok\n\"oops";
+        let err = table_from_csv("R", text, &CsvOptions::default()).unwrap_err();
+        assert_eq!(
+            err,
+            Error::CsvParse {
+                line: 3,
+                reason: "unterminated quoted field"
+            }
+        );
+        // Same through the streaming entry point.
+        let err = table_from_csv_reader("R", text.as_bytes(), &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, Error::CsvParse { line: 3, .. }));
+    }
+
+    #[test]
+    fn huge_rows_stream_without_holding_the_document() {
+        // A single ~1 MiB field and many records: the reader only ever
+        // holds one record.
+        let big = "v".repeat(1 << 20);
+        let mut text = String::from("a,b\n");
+        text.push_str(&format!("\"{big}\",1\n"));
+        for i in 0..1000 {
+            text.push_str(&format!("x{i},{i}\n"));
+        }
+        let t = table_from_csv_reader("R", text.as_bytes(), &CsvOptions::default()).unwrap();
+        assert_eq!(t.len(), 1001);
+        let first = t.rows().next().unwrap();
+        assert_eq!(first.tuple.values()[0], Value::str(&big));
+        assert_eq!(t.rows().last().unwrap().tuple.values()[1], Value::Int(999));
+    }
+
+    #[test]
+    fn streaming_reports_io_failures() {
+        struct Failing;
+        impl std::io::Read for Failing {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+        }
+        let reader = std::io::BufReader::new(Failing);
+        let err = table_from_csv_reader("R", reader, &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, Error::CsvRead { .. }), "{err}");
+    }
+
+    #[test]
+    fn non_utf8_fields_are_rejected_not_garbled() {
+        let bytes: &[u8] = b"a\n\xff\xfe\n";
+        let err = table_from_csv_reader("R", bytes, &CsvOptions::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::CsvParse {
+                reason: "field is not valid UTF-8",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn error_lines_skip_past_blank_lines() {
+        // Two blank lines precede the ragged record, which therefore
+        // starts on line 4 — the error must cite 4, not 2.
+        let text = "a,b\n\n\nonly_one\n";
+        let err = table_from_csv("R", text, &CsvOptions::default()).unwrap_err();
+        assert_eq!(
+            err,
+            Error::CsvParse {
+                line: 4,
+                reason: "record width differs from header"
+            }
+        );
+    }
+
+    #[test]
+    fn ragged_error_lines_account_for_multiline_fields() {
+        // The quoted field spans lines 2–3, so the ragged record after it
+        // starts on line 4.
+        let text = "a,b\n\"x\ny\",1\nonly_one\n";
+        let err = table_from_csv("R", text, &CsvOptions::default()).unwrap_err();
+        assert_eq!(
+            err,
+            Error::CsvParse {
+                line: 4,
+                reason: "record width differs from header"
+            }
+        );
     }
 }

@@ -67,6 +67,11 @@ pub enum Error {
         /// Why it failed.
         reason: &'static str,
     },
+    /// The byte source behind a streaming CSV read failed.
+    CsvRead {
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -101,6 +106,7 @@ impl fmt::Display for Error {
             Error::NotAnUpdate => write!(f, "table is not an update of the original"),
             Error::InvalidProbability { p } => write!(f, "probability {p} outside [0, 1]"),
             Error::CsvParse { line, reason } => write!(f, "CSV parse error, line {line}: {reason}"),
+            Error::CsvRead { message } => write!(f, "CSV read error: {message}"),
         }
     }
 }

@@ -37,6 +37,8 @@ mod fd;
 mod fdset;
 mod keys;
 mod normalize;
+mod parallel;
+mod scan;
 mod schema;
 mod table;
 mod tuple;
@@ -45,7 +47,9 @@ mod value;
 pub use armstrong::{derive, Derivation};
 pub use attrset::AttrSet;
 pub use cover::{mci, mfs, min_core_implicant, min_lhs_cover, mlc};
-pub use csv::{parse_csv, table_from_csv, table_to_csv, CsvOptions};
+pub use csv::{
+    parse_csv, table_from_csv, table_from_csv_reader, table_to_csv, CsvOptions, CsvReader,
+};
 pub use error::{Error, Result};
 pub use fd::Fd;
 pub use fdset::FdSet;
@@ -57,6 +61,8 @@ pub use normalize::{
     bcnf_decompose, is_lossless_join, preserves_dependencies, project_fds, third_nf_synthesis,
     Decomposition,
 };
+pub use parallel::{effective_threads, round_robin_map};
+pub use scan::KeyExtractor;
 pub use schema::{schema_rabc, AttrId, Schema};
 pub use table::{Row, Table, TupleId};
 pub use tuple::Tuple;

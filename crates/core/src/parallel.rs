@@ -1,0 +1,90 @@
+//! The one scoped-thread fan-out primitive the solver crates share.
+//!
+//! Both component-sharded solve paths (`fd-srepair`'s conflict
+//! components, `fd-urepair`'s attribute components) need the same
+//! skeleton: resolve a thread-count knob (`0` = ask the OS), split a
+//! work list round-robin across scoped threads, and hand the results
+//! back **in work order** so downstream merging stays deterministic.
+//! Keeping one copy here means fixes to clamping, panic propagation or
+//! balancing land everywhere at once.
+
+/// Resolves a `threads` knob: `0` asks the OS, anything else is taken
+/// literally.
+pub fn effective_threads(threads: usize) -> usize {
+    if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Maps `f` over `items` across at most `threads` scoped OS threads
+/// (`0` = ask the OS), returning the results **in item order**.
+///
+/// Work is assigned round-robin — cheap static balancing that keeps the
+/// assignment deterministic. With one effective thread (or fewer than
+/// two items) no thread is spawned and `f` runs inline, so callers get
+/// identical behavior on every configuration; a panicking `f` panics
+/// the caller either way.
+pub fn round_robin_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = effective_threads(threads).min(items.len().max(1));
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().map(&f).collect();
+    }
+    let mut collected: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                for (i, item) in items.iter().enumerate() {
+                    if i % threads == worker {
+                        out.push((i, f(item)));
+                    }
+                }
+                out
+            }));
+        }
+        for handle in handles {
+            collected.push(handle.join().expect("fan-out worker panicked"));
+        }
+    });
+    let mut merged: Vec<(usize, R)> = collected.into_iter().flatten().collect();
+    merged.sort_by_key(|(i, _)| *i);
+    merged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        let items: Vec<usize> = (0..37).collect();
+        for threads in [0, 1, 2, 5, 64] {
+            let out = round_robin_map(threads, &items, |&i| i * 2);
+            assert_eq!(out, (0..37).map(|i| i * 2).collect::<Vec<_>>(), "{threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_work_inline() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(round_robin_map(4, &empty, |_| 0).is_empty());
+        assert_eq!(round_robin_map(4, &[9], |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn effective_threads_resolves_zero() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+}

@@ -1,0 +1,335 @@
+//! Streaming, allocation-light conflict detection.
+//!
+//! [`Table::conflicting_pairs`] answers "which pairs violate Δ?" by
+//! materializing every pair — fine for hundreds of rows, fatal for a
+//! million (a dense instance has `Θ(n²)` conflicting pairs). This module
+//! is the scalable substrate underneath it:
+//!
+//! * [`KeyExtractor`] — a per-FD precomputed column-index list that
+//!   hashes and compares projections **in place**, without allocating a
+//!   `Vec<Value>` key per row per FD;
+//! * [`Table::for_each_conflict_group`] — streams, per FD, each
+//!   lhs-group that contains at least two rhs-classes (exactly the
+//!   groups that induce conflicts), in first-row order;
+//! * [`Table::for_each_conflicting_pair`] — streams the individual
+//!   conflicting row-position pairs derived from those groups, via a
+//!   callback instead of a collected `Vec`.
+//!
+//! Both scans run in `O(|T| · |Δ|)` time plus output size, use `O(|T|)`
+//! scratch memory, and are **deterministic**: FDs in `Δ` order, groups in
+//! first-occurrence (row) order, rhs classes in first-occurrence order.
+//! Hashes only choose buckets; grouping always verifies true equality,
+//! so hash collisions cost time, never correctness.
+//!
+//! Consumers: `fd-graph` builds conflict graphs edge-by-edge from the
+//! pair stream and connected components directly from the group stream
+//! (a group with ≥ 2 rhs classes induces a *connected* complete
+//! multipartite block, so union-find over groups finds the components
+//! without ever touching an edge).
+
+use crate::attrset::AttrSet;
+use crate::fd::Fd;
+use crate::fdset::FdSet;
+use crate::table::Table;
+use crate::tuple::Tuple;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// A precomputed projection key for one attribute set: hashes and
+/// compares `t[X]` directly against tuple storage, with no per-row
+/// allocation. The hash is deterministic across runs and platforms
+/// (`DefaultHasher::new()` is keyed with constants).
+#[derive(Clone, Debug)]
+pub struct KeyExtractor {
+    cols: Box<[usize]>,
+}
+
+impl KeyExtractor {
+    /// Builds an extractor for the attribute set `X` (ascending order,
+    /// matching [`Tuple::project`]).
+    pub fn new(attrs: AttrSet) -> KeyExtractor {
+        KeyExtractor {
+            cols: attrs.iter().map(|a| a.usize()).collect(),
+        }
+    }
+
+    /// The hash of `t[X]`.
+    pub fn hash(&self, t: &Tuple) -> u64 {
+        let mut h = DefaultHasher::new();
+        let values = t.values();
+        for &c in self.cols.iter() {
+            values[c].hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// True iff `a[X] = b[X]`.
+    pub fn eq(&self, a: &Tuple, b: &Tuple) -> bool {
+        let (av, bv) = (a.values(), b.values());
+        self.cols.iter().all(|&c| av[c] == bv[c])
+    }
+
+    /// True iff `X = ∅` (every tuple projects to the same empty key).
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+}
+
+/// Hash-partitioned grouping of row positions by a projection, in
+/// first-occurrence order. `slots` maps a hash to the indices of the
+/// groups sharing it (true equality is always verified).
+struct Grouper<'a> {
+    key: KeyExtractor,
+    tuples: &'a [&'a Tuple],
+    groups: Vec<Vec<u32>>,
+    slots: HashMap<u64, Vec<u32>>,
+}
+
+impl<'a> Grouper<'a> {
+    fn new(attrs: AttrSet, tuples: &'a [&'a Tuple]) -> Grouper<'a> {
+        Grouper {
+            key: KeyExtractor::new(attrs),
+            tuples,
+            groups: Vec::new(),
+            slots: HashMap::new(),
+        }
+    }
+
+    fn insert(&mut self, pos: u32) {
+        let tuple = self.tuples[pos as usize];
+        let hash = self.key.hash(tuple);
+        let candidates = self.slots.entry(hash).or_default();
+        for &g in candidates.iter() {
+            let rep = self.groups[g as usize][0];
+            if self.key.eq(self.tuples[rep as usize], tuple) {
+                self.groups[g as usize].push(pos);
+                return;
+            }
+        }
+        candidates.push(self.groups.len() as u32);
+        self.groups.push(vec![pos]);
+    }
+}
+
+impl Table {
+    /// Runs the grouped conflict scan: for each FD of `Δ` (in `Δ` order)
+    /// and each lhs-group splitting into ≥ 2 rhs classes, calls
+    /// `f(fd, classes)` where `classes` are the rhs-equality classes of
+    /// the group (first-occurrence order, members in row order). Rows in
+    /// *different* classes of one call jointly violate `fd`.
+    fn grouped_conflict_scan<F: FnMut(&Fd, &[Vec<u32>])>(&self, fds: &FdSet, mut f: F) {
+        let tuples: Vec<&Tuple> = self.rows().map(|r| &r.tuple).collect();
+        for fd in fds.iter() {
+            let mut by_lhs = Grouper::new(fd.lhs(), &tuples);
+            for pos in 0..tuples.len() as u32 {
+                by_lhs.insert(pos);
+            }
+            for group in &by_lhs.groups {
+                if group.len() < 2 {
+                    continue;
+                }
+                let mut by_rhs = Grouper::new(fd.rhs(), &tuples);
+                for &pos in group {
+                    by_rhs.insert(pos);
+                }
+                if by_rhs.groups.len() >= 2 {
+                    f(fd, &by_rhs.groups);
+                }
+            }
+        }
+    }
+
+    /// Streams every *conflict group*: for each FD and each lhs-group
+    /// whose rows split into at least two rhs classes, calls
+    /// `f(fd, positions)` with the row positions of the whole group, in
+    /// row order. Every such group induces a connected (complete
+    /// multipartite) block of the conflict graph, which is what makes
+    /// connected-component extraction possible in `O(|T| · |Δ|)` without
+    /// enumerating edges. The same row may appear in groups of several
+    /// FDs.
+    pub fn for_each_conflict_group<F: FnMut(&Fd, &[u32])>(&self, fds: &FdSet, mut f: F) {
+        let mut flat: Vec<u32> = Vec::new();
+        self.grouped_conflict_scan(fds, |fd, classes| {
+            flat.clear();
+            for class in classes {
+                flat.extend_from_slice(class);
+            }
+            flat.sort_unstable(); // classes interleave; restore row order
+            f(fd, &flat);
+        });
+    }
+
+    /// Streams every conflicting row-position pair `(p, q)` with
+    /// `p < q`: the two rows jointly violate some FD of `Δ`. Pairs are
+    /// yielded in a deterministic order (FDs in `Δ` order, groups in
+    /// first-row order, classes in first-row order); a pair violating
+    /// several FDs is yielded once **per FD** — consumers that need a
+    /// set (e.g. a graph builder) deduplicate on insertion.
+    ///
+    /// This is the streaming replacement for materializing
+    /// [`Table::conflicting_pairs`]: `O(|T| · |Δ|)` time plus one
+    /// callback per pair, `O(|T|)` memory.
+    pub fn for_each_conflicting_pair<F: FnMut(u32, u32)>(&self, fds: &FdSet, mut f: F) {
+        self.grouped_conflict_scan(fds, |_, classes| {
+            for (ci, class_a) in classes.iter().enumerate() {
+                for class_b in &classes[ci + 1..] {
+                    for &p in class_a {
+                        for &q in class_b {
+                            f(p.min(q), p.max(q));
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    /// The number of distinct conflicting pairs.
+    ///
+    /// With at most one FD every pair is witnessed by exactly one
+    /// lhs-group, so the count is computed combinatorially from the
+    /// rhs-class sizes — `O(|T|)` time, **no** pair is ever stored.
+    /// With several FDs the same pair may violate more than one of
+    /// them, and exact deduplication needs a pair set: `Θ(#pairs)`
+    /// memory, like the materializing [`Table::conflicting_pairs`]
+    /// (dense multi-FD instances should prefer the streaming scans or
+    /// [`Table::violating_pair`]).
+    pub fn conflicting_pair_count(&self, fds: &FdSet) -> usize {
+        if fds.len() <= 1 {
+            let mut count = 0usize;
+            self.grouped_conflict_scan(fds, |_, classes| {
+                let total: usize = classes.iter().map(Vec::len).sum();
+                let same: usize = classes.iter().map(|c| c.len() * c.len()).sum();
+                count += (total * total - same) / 2;
+            });
+            return count;
+        }
+        let mut seen: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+        self.for_each_conflicting_pair(fds, |p, q| {
+            seen.insert((p, q));
+        });
+        seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::schema_rabc;
+    use crate::table::TupleId;
+    use crate::tup;
+
+    fn positions_to_ids(t: &Table, pairs: &[(u32, u32)]) -> Vec<(TupleId, TupleId)> {
+        let ids: Vec<TupleId> = t.ids().collect();
+        pairs
+            .iter()
+            .map(|&(p, q)| (ids[p as usize], ids[q as usize]))
+            .collect()
+    }
+
+    #[test]
+    fn streamed_pairs_agree_with_materialized_pairs() {
+        let s = schema_rabc();
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(0x5CA7);
+        for spec in ["A -> B", "A -> B; B -> C", "-> C", "A B -> C; C -> B", ""] {
+            let fds = FdSet::parse(&s, spec).unwrap();
+            for _ in 0..10 {
+                let rows = (0..rng.gen_range(0..20)).map(|_| {
+                    (
+                        tup![
+                            rng.gen_range(0..3i64),
+                            rng.gen_range(0..3i64),
+                            rng.gen_range(0..3i64)
+                        ],
+                        1.0,
+                    )
+                });
+                let t = Table::build(s.clone(), rows).unwrap();
+                let mut streamed: Vec<(u32, u32)> = Vec::new();
+                t.for_each_conflicting_pair(&fds, |p, q| streamed.push((p, q)));
+                streamed.sort_unstable();
+                streamed.dedup();
+                let ids = positions_to_ids(&t, &streamed);
+                assert_eq!(ids, t.conflicting_pairs(&fds), "{spec}\n{t}");
+                assert_eq!(t.conflicting_pair_count(&fds), ids.len(), "{spec}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_order_is_deterministic() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B; B -> C").unwrap();
+        let t = Table::build_unweighted(
+            s,
+            vec![
+                tup!["x", 1, 0],
+                tup!["x", 2, 0],
+                tup!["x", 1, 1],
+                tup!["y", 2, 9],
+            ],
+        )
+        .unwrap();
+        let collect = || {
+            let mut out = Vec::new();
+            t.for_each_conflicting_pair(&fds, |p, q| out.push((p, q)));
+            out
+        };
+        let first = collect();
+        for _ in 0..5 {
+            assert_eq!(collect(), first);
+        }
+    }
+
+    #[test]
+    fn conflict_groups_cover_every_pair_and_are_row_ordered() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B").unwrap();
+        // Group x: B-classes {0,1},{2} → conflicting group {0,1,2};
+        // row 3 is alone in group y.
+        let t = Table::build_unweighted(
+            s,
+            vec![
+                tup!["x", 1, 0],
+                tup!["x", 1, 1],
+                tup!["x", 2, 0],
+                tup!["y", 3, 0],
+            ],
+        )
+        .unwrap();
+        let mut groups: Vec<Vec<u32>> = Vec::new();
+        t.for_each_conflict_group(&fds, |_, members| groups.push(members.to_vec()));
+        assert_eq!(groups, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn consensus_fd_scans_one_global_group() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "-> C").unwrap();
+        let t =
+            Table::build_unweighted(s, vec![tup![1, 1, 0], tup![2, 2, 1], tup![3, 3, 0]]).unwrap();
+        let mut groups = 0;
+        let mut members = Vec::new();
+        t.for_each_conflict_group(&fds, |_, m| {
+            groups += 1;
+            members = m.to_vec();
+        });
+        assert_eq!(groups, 1);
+        assert_eq!(members, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn extractor_hash_and_eq_match_projection() {
+        let s = schema_rabc();
+        let x = KeyExtractor::new(s.attr_set(["A", "C"]).unwrap());
+        let a = tup!["x", 1, 2];
+        let b = tup!["x", 9, 2];
+        let c = tup!["x", 1, 3];
+        assert!(x.eq(&a, &b));
+        assert!(!x.eq(&a, &c));
+        assert_eq!(x.hash(&a), x.hash(&b));
+        assert!(!x.is_empty());
+        assert!(KeyExtractor::new(AttrSet::EMPTY).is_empty());
+    }
+}

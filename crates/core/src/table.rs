@@ -235,41 +235,19 @@ impl Table {
     /// All conflicting pairs of identifiers: pairs `(i, j)`, `i < j` in row
     /// order, whose two tuples jointly violate some FD of `Δ`. This is the
     /// edge set of the *conflict graph* used by Proposition 3.3.
+    ///
+    /// This materializes every pair — `Θ(n²)` on dense instances. Large
+    /// consumers should stream via
+    /// [`Table::for_each_conflicting_pair`] instead.
     pub fn conflicting_pairs(&self, fds: &FdSet) -> Vec<(TupleId, TupleId)> {
-        let mut pairs: HashSet<(usize, usize)> = HashSet::new();
-        for fd in fds.iter() {
-            // Group row positions by lhs projection, then split by rhs
-            // projection; rows in different rhs groups of one lhs group
-            // conflict.
-            let mut groups: HashMap<Vec<Value>, BTreeMap<Vec<Value>, Vec<usize>>> = HashMap::new();
-            for (pos, row) in self.rows.iter().enumerate() {
-                groups
-                    .entry(row.tuple.project(fd.lhs()))
-                    .or_default()
-                    .entry(row.tuple.project(fd.rhs()))
-                    .or_default()
-                    .push(pos);
-            }
-            for by_rhs in groups.values() {
-                if by_rhs.len() < 2 {
-                    continue;
-                }
-                let classes: Vec<&Vec<usize>> = by_rhs.values().collect();
-                for (ci, class_a) in classes.iter().enumerate() {
-                    for class_b in &classes[ci + 1..] {
-                        for &p in class_a.iter() {
-                            for &q in class_b.iter() {
-                                pairs.insert((p.min(q), p.max(q)));
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        let mut out: Vec<(usize, usize)> = pairs.into_iter().collect();
+        let mut pairs: HashSet<(u32, u32)> = HashSet::new();
+        self.for_each_conflicting_pair(fds, |p, q| {
+            pairs.insert((p, q));
+        });
+        let mut out: Vec<(u32, u32)> = pairs.into_iter().collect();
         out.sort_unstable();
         out.into_iter()
-            .map(|(p, q)| (self.rows[p].id, self.rows[q].id))
+            .map(|(p, q)| (self.rows[p as usize].id, self.rows[q as usize].id))
             .collect()
     }
 

@@ -56,6 +56,7 @@ pub fn constraint_subset_report<C: PairwiseConstraint>(
         ratio: sol.ratio,
         cost: sol.repair.cost,
         dichotomy: DichotomyReport::classify(&FdSet::empty()),
+        components: None,
         timings: Timings {
             plan_ms,
             solve_ms,
@@ -107,6 +108,7 @@ pub fn prioritized_report(
         ratio: 1.0,
         cost,
         dichotomy,
+        components: None,
         timings: Timings {
             plan_ms: 0.0,
             solve_ms: start.elapsed().as_secs_f64() * 1e3,

@@ -71,8 +71,10 @@ pub mod wire;
 pub use ext::{constraint_subset_report, prioritized_report};
 pub use json::{Json, JsonError, JsonLimits};
 pub use planner::{EngineError, Plan, PlanStep, Planner, RepairEngine};
-pub use report::{table_to_json, ChangedCell, DichotomyReport, RepairReport, ReportBody, Timings};
-pub use request::{Budgets, Notion, Optimality, RepairRequest};
+pub use report::{
+    table_to_json, ChangedCell, ComponentReport, DichotomyReport, RepairReport, ReportBody, Timings,
+};
+pub use request::{Budgets, Notion, Optimality, RepairRequest, WIRE_INT_MAX};
 pub use wire::{cache_key, Fnv64, RepairCall, WireError};
 
 // The one value type [`RepairRequest`] borrows from a solver crate, so

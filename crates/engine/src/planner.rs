@@ -2,12 +2,14 @@
 //! [`Planner`] implementation, and the [`Plan`] it can explain without
 //! running.
 
-use crate::report::{ChangedCell, DichotomyReport, RepairReport, ReportBody, Timings};
+use crate::report::{
+    ChangedCell, ComponentReport, DichotomyReport, RepairReport, ReportBody, Timings,
+};
 use crate::request::{Notion, Optimality, RepairRequest};
 use fd_core::{candidate_keys, FdSet, Table, TupleId};
 use fd_srepair::{
     count_optimal_s_repairs, count_subset_repairs, sample_subset_repair, ChainCountOutcome,
-    CountOutcome, SMethod,
+    CountOutcome, SMethod, ShardConfig, ShardPlan,
 };
 use fd_urepair::engine::MixedMethod;
 use fd_urepair::URepairSolver;
@@ -205,6 +207,79 @@ impl Planner {
         Ok(())
     }
 
+    /// Whether a subset request solves component-sharded.
+    fn shards(table: &Table, request: &RepairRequest) -> bool {
+        table.len() >= request.budgets.shard_min_rows
+    }
+
+    /// The sharding configuration a subset request resolves to:
+    /// `Optimality::Exact` forces per-component exactness outright, and
+    /// an `Approximate` ceiling below the plan's guaranteed ratio
+    /// escalates to it (mirroring the unsharded escalation path).
+    fn shard_config(table: &Table, fds: &FdSet, request: &RepairRequest) -> ShardConfig {
+        let base = ShardConfig {
+            threads: request.budgets.threads,
+            // `exact_fallback_limit` is the caller's global allowance for
+            // exponential exact solving; the per-component cutoff refines
+            // it but never exceeds it, so pre-sharding clients that
+            // starved the old knob (e.g. `exact_fallback_limit: 0` =
+            // "polynomial methods only") keep that guarantee on the
+            // sharded path without learning a new field.
+            component_exact_limit: request
+                .budgets
+                .component_exact_limit
+                .min(request.budgets.exact_fallback_limit),
+            force_exact: request.optimality == Optimality::Exact,
+        };
+        if let Optimality::Approximate { max_ratio } = request.optimality {
+            // The sharded ratio is 1 on the tractable side and at most 2
+            // on the hard side, so the `O(|T|·|Δ|)` component pre-pass
+            // that decides escalation only runs when it can matter:
+            // hard Δ and a ceiling below 2.
+            if max_ratio < 2.0 && !fd_srepair::osr_succeeds(fds) {
+                let (_, plan) = fd_srepair::shard_plan(table, fds, &base);
+                if plan.ratio > max_ratio {
+                    return ShardConfig {
+                        force_exact: true,
+                        ..base
+                    };
+                }
+            }
+        }
+        base
+    }
+
+    /// Renders a [`ShardPlan`] into plan steps plus the component
+    /// statistics the report carries.
+    fn shard_steps(plan: &ShardPlan) -> (Vec<PlanStep>, ComponentReport) {
+        let steps = plan
+            .methods
+            .iter()
+            .map(|(method, count)| {
+                let (_, ratio) = fd_srepair::engine::subset_guarantees(*method);
+                PlanStep {
+                    method: format!("{method:?}"),
+                    scope: format!(
+                        "{count} of {} conflict component(s), largest {} row(s), {} clean row(s)",
+                        plan.components, plan.largest, plan.clean_rows
+                    ),
+                    ratio,
+                }
+            })
+            .collect();
+        let stats = ComponentReport {
+            count: plan.components,
+            largest: plan.largest,
+            clean_rows: plan.clean_rows,
+            methods: plan
+                .methods
+                .iter()
+                .map(|(m, n)| (format!("{m:?}"), *n))
+                .collect(),
+        };
+        (steps, stats)
+    }
+
     fn plan_subset_method(
         table: &Table,
         fds: &FdSet,
@@ -242,6 +317,7 @@ impl Planner {
         let base = URepairSolver {
             exact_row_limit: request.budgets.exact_row_limit,
             exact_node_budget: request.budgets.exact_node_budget,
+            threads: request.budgets.threads,
         };
         let escalate = match request.optimality {
             Optimality::Exact => true,
@@ -318,6 +394,12 @@ impl RepairEngine for Planner {
         let schema = table.schema();
         let whole = format!("{} rows", table.len());
         let (steps, optimal, ratio) = match request.notion {
+            Notion::Subset if Planner::shards(table, request) => {
+                let cfg = Planner::shard_config(table, fds, request);
+                let (_, plan) = fd_srepair::shard_plan(table, fds, &cfg);
+                let (steps, _) = Planner::shard_steps(&plan);
+                (steps, plan.optimal, plan.ratio)
+            }
             Notion::Subset => {
                 let method = Planner::plan_subset_method(table, fds, request)?;
                 let (optimal, ratio) = fd_srepair::engine::subset_guarantees(method);
@@ -455,7 +537,24 @@ impl RepairEngine for Planner {
         let solve_start = Instant::now();
         let schema = table.schema();
 
+        let mut components: Option<ComponentReport> = None;
         let (methods, optimal, ratio, cost, body) = match request.notion {
+            Notion::Subset if Planner::shards(table, request) => {
+                let cfg = Planner::shard_config(table, fds, request);
+                let sol = fd_srepair::sharded_s_repair(table, fds, &cfg);
+                let (_, stats) = Planner::shard_steps(&sol.plan);
+                let methods = stats.methods.iter().map(|(m, _)| m.clone()).collect();
+                components = Some(stats);
+                let deleted = sol.repair.deleted(table);
+                let repaired = sol.repair.apply(table);
+                (
+                    methods,
+                    sol.optimal,
+                    sol.ratio,
+                    sol.repair.cost,
+                    ReportBody::Subset { deleted, repaired },
+                )
+            }
             Notion::Subset => {
                 let method = Planner::plan_subset_method(table, fds, request)?;
                 let sol = fd_srepair::engine::solve_subset_threaded(
@@ -618,7 +717,10 @@ impl RepairEngine for Planner {
                 let conflicts = if consistent {
                     0
                 } else {
-                    table.conflicting_pairs(fds).len()
+                    // Counting without materializing the pair *list*;
+                    // single-FD Δ counts combinatorially with no pair
+                    // storage at all (see `conflicting_pair_count`).
+                    table.conflicting_pair_count(fds)
                 };
                 (
                     vec!["Dichotomy".to_string()],
@@ -659,6 +761,7 @@ impl RepairEngine for Planner {
             ratio,
             cost,
             dichotomy,
+            components,
             timings: Timings {
                 plan_ms,
                 solve_ms,
@@ -726,7 +829,11 @@ mod tests {
         let fds = FdSet::parse(&s, "A -> B; B -> C").unwrap();
         let rows = (0..12).map(|i| tup![(i % 3) as i64, (i % 2) as i64, (i % 5) as i64]);
         let t = Table::build_unweighted(s, rows).unwrap();
-        let best = RepairRequest::subset().exact_fallback_limit(5);
+        // Starve both the whole-table and the per-component exact
+        // budgets so the default policy has to approximate.
+        let best = RepairRequest::subset()
+            .exact_fallback_limit(5)
+            .component_exact_limit(5);
         let approx = Planner.run(&t, &fds, &best).unwrap();
         assert!(!approx.optimal);
         let exact = Planner

@@ -68,6 +68,42 @@ impl DichotomyReport {
     }
 }
 
+/// Connected-component statistics of a sharded subset solve: how the
+/// conflict graph decomposed and which method covered how many
+/// components. Attached to subset reports produced by the sharded path;
+/// `None` elsewhere.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ComponentReport {
+    /// Conflicting (≥ 2 row) components.
+    pub count: usize,
+    /// Rows of the largest component (0 when the input is consistent).
+    pub largest: usize,
+    /// Rows in singleton components: conflict-free, kept untouched.
+    pub clean_rows: usize,
+    /// Method name → number of components it solved, in execution
+    /// order (`Dichotomy`, `ExactVertexCover`, `Approx2`).
+    pub methods: Vec<(String, usize)>,
+}
+
+impl ComponentReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", self.count.into()),
+            ("largest", self.largest.into()),
+            ("clean_rows", self.clean_rows.into()),
+            (
+                "methods",
+                Json::Obj(
+                    self.methods
+                        .iter()
+                        .map(|(name, n)| (name.clone(), Json::Num(*n as f64)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
 /// Wall-clock timings of one engine call, in milliseconds.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Timings {
@@ -355,6 +391,9 @@ pub struct RepairReport {
     pub cost: f64,
     /// Where `Δ` falls in the complexity landscape.
     pub dichotomy: DichotomyReport,
+    /// Conflict-graph component statistics of the sharded subset path;
+    /// `None` for other notions and for the legacy whole-table path.
+    pub components: Option<ComponentReport>,
     /// Wall-clock timings.
     pub timings: Timings,
     /// The notion-specific payload.
@@ -555,6 +594,12 @@ impl RepairReport {
                 Json::Arr(self.methods.iter().map(|m| Json::str(m.as_str())).collect()),
             ),
             ("dichotomy", self.dichotomy.to_json()),
+            (
+                "components",
+                self.components
+                    .as_ref()
+                    .map_or(Json::Null, ComponentReport::to_json),
+            ),
             ("timings", self.timings.to_json()),
             ("result", self.body.to_json()),
         ])
@@ -597,6 +642,7 @@ mod tests {
             ratio: 1.0,
             cost: 2.0,
             dichotomy: DichotomyReport::classify(&FdSet::empty()),
+            components: None,
             timings: Timings::default(),
             body: ReportBody::Subset {
                 deleted: vec![TupleId(1)],
@@ -625,6 +671,7 @@ mod tests {
             ratio: 1.0,
             cost: 0.0,
             dichotomy: DichotomyReport::classify(&FdSet::empty()),
+            components: None,
             timings: Timings::default(),
             body: ReportBody::Count {
                 subset_repairs: Some((1u128 << 60) + 1),

@@ -82,6 +82,48 @@ pub struct RepairCall {
 
 impl RepairCall {
     /// Parses a wire document under the given limits.
+    ///
+    /// # Examples
+    ///
+    /// The exact body `POST /repair` accepts (see `docs/API.md`):
+    ///
+    /// ```
+    /// use fd_engine::{JsonLimits, Notion, Planner, RepairCall, RepairEngine};
+    ///
+    /// let body = r#"{
+    ///     "relation": "Office",
+    ///     "attrs": ["facility", "room", "floor", "city"],
+    ///     "fds": "facility -> city; facility room -> floor",
+    ///     "rows": [
+    ///         {"weight": 2, "values": ["HQ", 322, 3, "Paris"]},
+    ///         {"weight": 1, "values": ["HQ", 322, 30, "Madrid"]},
+    ///         {"weight": 1, "values": ["HQ", 122, 1, "Madrid"]},
+    ///         {"weight": 2, "values": ["Lab1", "B35", 3, "London"]}
+    ///     ],
+    ///     "request": {"notion": "s", "include_timings": false}
+    /// }"#;
+    /// let call = RepairCall::parse(body, &JsonLimits::UNTRUSTED).unwrap();
+    /// assert_eq!(call.request.notion, Notion::Subset);
+    ///
+    /// // What the server does with it: run the engine, serialize the
+    /// // report — Figure 1's optimal subset repair costs 2.
+    /// let report = Planner.run(&call.table, &call.fds, &call.request).unwrap();
+    /// assert_eq!(report.cost, 2.0);
+    /// assert!(report.to_json().starts_with("{\"notion\":\"s\",\"cost\":2,"));
+    /// ```
+    ///
+    /// Unknown fields are rejected, not ignored — a typo in a request
+    /// knob is a `400`, never a silently different repair:
+    ///
+    /// ```
+    /// use fd_engine::{JsonLimits, RepairCall};
+    ///
+    /// let err = RepairCall::parse(
+    ///     r#"{"attrs": ["A"], "rows": [[1]], "request": {"notio": "s"}}"#,
+    ///     &JsonLimits::UNTRUSTED,
+    /// ).unwrap_err();
+    /// assert!(err.to_string().contains("unknown request field"));
+    /// ```
     pub fn parse(text: &str, limits: &JsonLimits) -> Result<RepairCall, WireError> {
         let doc = Json::parse_with_limits(text, limits)?;
         RepairCall::from_json(&doc)
@@ -210,6 +252,24 @@ impl RepairCall {
     /// `include_timings: true` (real wall-clock timings differ per
     /// call, so a replay would serve the first call's timings as if
     /// they were fresh).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fd_engine::{JsonLimits, RepairCall};
+    ///
+    /// let doc = r#"{"attrs": ["A"], "rows": [[1]],
+    ///               "request": {"include_timings": false}}"#;
+    /// let cached = RepairCall::parse(doc, &JsonLimits::UNTRUSTED).unwrap();
+    /// assert!(cached.cacheable());
+    ///
+    /// // Live timings vary per call, so the default is uncacheable.
+    /// let live = RepairCall::parse(
+    ///     r#"{"attrs": ["A"], "rows": [[1]]}"#,
+    ///     &JsonLimits::UNTRUSTED,
+    /// ).unwrap();
+    /// assert!(!live.cacheable());
+    /// ```
     pub fn cacheable(&self) -> bool {
         !self.include_timings
             && (self.request.notion != Notion::Sample || self.request.seed.is_some())
@@ -288,12 +348,16 @@ pub fn cache_key(table: &Table, fds: &FdSet, request: &RepairRequest) -> u64 {
         exact_node_budget,
         time_cap_ms,
         threads,
+        shard_min_rows,
+        component_exact_limit,
     } = request.budgets;
     h.write_usize(exact_fallback_limit);
     h.write_usize(exact_row_limit);
     h.write_u64(exact_node_budget);
     time_cap_ms.hash(&mut h);
     h.write_usize(threads);
+    h.write_usize(shard_min_rows);
+    h.write_usize(component_exact_limit);
     h.write_u64(request.mixed_costs.delete.to_bits());
     h.write_u64(request.mixed_costs.update.to_bits());
     request.seed.hash(&mut h);
@@ -399,6 +463,8 @@ fn parse_request(req: &Json) -> Result<(RepairRequest, bool), WireError> {
                 "exact_node_budget" => b.exact_node_budget = as_usize(key, value)? as u64,
                 "time_cap_ms" => b.time_cap_ms = Some(as_usize(key, value)? as u64),
                 "threads" => b.threads = as_usize(key, value)?,
+                "shard_min_rows" => b.shard_min_rows = as_usize(key, value)?,
+                "component_exact_limit" => b.component_exact_limit = as_usize(key, value)?,
                 other => {
                     return Err(WireError::new(format!("unknown budget field {other:?}")));
                 }
@@ -462,6 +528,26 @@ fn request_to_json(request: &RepairRequest, include_timings: bool) -> Json {
             Json::Num(request.budgets.exact_node_budget as f64),
         ),
         ("threads", request.budgets.threads.into()),
+        (
+            "shard_min_rows",
+            // The builders clamp to WIRE_INT_MAX; clamp again here so
+            // even hand-built Budgets literals serialize parseably.
+            Json::Num(
+                request
+                    .budgets
+                    .shard_min_rows
+                    .min(crate::request::WIRE_INT_MAX) as f64,
+            ),
+        ),
+        (
+            "component_exact_limit",
+            Json::Num(
+                request
+                    .budgets
+                    .component_exact_limit
+                    .min(crate::request::WIRE_INT_MAX) as f64,
+            ),
+        ),
     ];
     if let Some(cap) = request.budgets.time_cap_ms {
         budgets.push(("time_cap_ms", Json::Num(cap as f64)));

@@ -17,7 +17,10 @@
 //! * [`typos`] — realistic typo-injection workloads;
 //! * [`adversarial`] — the named schema pool (every Figure-2 class and
 //!   simplification rule), deterministic sized instances, and exhaustive
-//!   FD-set enumeration for the oracle's dichotomy cross-check.
+//!   FD-set enumeration for the oracle's dichotomy cross-check;
+//! * [`scale`] — `O(n)` million-row workloads with bounded conflict
+//!   components, feeding the scalability bench suite
+//!   (`BENCH_scale.json`).
 
 #![warn(missing_docs)]
 
@@ -28,5 +31,6 @@ pub mod graphs;
 pub mod office;
 pub mod random;
 pub mod sat;
+pub mod scale;
 pub mod triangles;
 pub mod typos;

@@ -5,7 +5,14 @@
 //! * [`Graph`] — undirected node-weighted graphs with components and
 //!   induced subgraphs;
 //! * [`ConflictGraph`] — the conflict graph of a table under an FD set
-//!   (Proposition 3.3);
+//!   (Proposition 3.3), built by streaming the grouped conflict scan;
+//! * [`conflict_components`] — the graph's connected components computed
+//!   in `O(|T| · |Δ|)` **without enumerating edges** (the optimal-repair
+//!   problems decompose over them), as a compact CSR partition
+//!   ([`Components`]);
+//! * [`UnionFind`] / [`Components`] — the flat-array substrate behind
+//!   the million-row sharded solve path, with [`CsrGraph`] as the
+//!   compact adjacency form for graph-scale analysis;
 //! * [`max_weight_bipartite_matching`] — the Hungarian algorithm backing
 //!   `MarriageRep` (Subroutine 3);
 //! * [`min_weight_vertex_cover`] / [`vertex_cover_2approx`] — the exact
@@ -22,13 +29,15 @@
 #![warn(missing_docs)]
 
 mod conflict;
+mod csr;
 mod graph;
 mod matching;
 mod mis;
 mod triangle;
 mod vertex_cover;
 
-pub use conflict::ConflictGraph;
+pub use conflict::{conflict_components, ConflictGraph};
+pub use csr::{Components, CsrGraph, UnionFind};
 pub use graph::Graph;
 pub use matching::{
     brute_force_matching, greedy_matching, max_weight_bipartite_matching, Matching,

@@ -94,6 +94,12 @@ pub struct FuzzConfig {
     pub seed: u64,
     /// Largest table to draw (`0` = the notion's oracle-safe default).
     pub max_rows: usize,
+    /// Pins `Budgets::shard_min_rows` on every generated subset
+    /// request: `Some(0)` forces the component-sharded path everywhere,
+    /// `Some(usize::MAX)` forces the legacy whole-table path. `None`
+    /// (the default campaign) draws a mix of both so the two paths are
+    /// differentially fuzzed against the oracle in one run.
+    pub shard_min_rows: Option<usize>,
 }
 
 /// One engine/oracle divergence, shrunk and reproducible.
@@ -149,7 +155,12 @@ struct Case {
     request: RepairRequest,
 }
 
-fn generate_case(notion: FuzzNotion, max_rows: usize, case_seed: u64) -> Case {
+fn generate_case(
+    notion: FuzzNotion,
+    max_rows: usize,
+    case_seed: u64,
+    shard_min_rows: Option<usize>,
+) -> Case {
     let mut rng = StdRng::seed_from_u64(case_seed);
     let pool = schema_pool();
     let case = &pool[rng.gen_range(0..pool.len())];
@@ -180,15 +191,25 @@ fn generate_case(notion: FuzzNotion, max_rows: usize, case_seed: u64) -> Case {
     }
     // Exercise every planner branch: mostly the default Best policy, a
     // quarter of cases with starved budgets (forcing the approximation
-    // paths on the hard side), an eighth demanding certified exactness.
+    // paths on the hard side), an eighth demanding certified exactness,
+    // an eighth on the legacy unsharded subset path.
     match rng.gen_range(0..8) {
         0 | 1 => {
-            request = request.exact_fallback_limit(0).exact_row_limit(0);
+            request = request
+                .exact_fallback_limit(0)
+                .exact_row_limit(0)
+                .component_exact_limit(0);
         }
         2 if notion != FuzzNotion::Mpd => {
             request = request.optimality(Optimality::Exact);
         }
+        3 => {
+            request = request.shard_min_rows(usize::MAX);
+        }
         _ => {}
+    }
+    if let Some(rows) = shard_min_rows {
+        request = request.shard_min_rows(rows);
     }
     Case {
         name: case.name,
@@ -400,7 +421,7 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzSummary {
     let mut summary = FuzzSummary::default();
     for i in 0..config.cases {
         let case_seed = derive_seed(config.seed, i);
-        let case = generate_case(config.notion, max_rows, case_seed);
+        let case = generate_case(config.notion, max_rows, case_seed, config.shard_min_rows);
         summary.cases += 1;
         match check_case(&case.table, &case.fds, &case.request, config.notion) {
             Ok(report) => {
@@ -450,8 +471,8 @@ mod tests {
             FuzzNotion::Mixed,
             FuzzNotion::Mpd,
         ] {
-            let a = generate_case(notion, notion.default_max_rows(), 99);
-            let b = generate_case(notion, notion.default_max_rows(), 99);
+            let a = generate_case(notion, notion.default_max_rows(), 99, None);
+            let b = generate_case(notion, notion.default_max_rows(), 99, None);
             assert_eq!(a.table, b.table, "{}", notion.name());
             assert_eq!(a.fds, b.fds);
             assert_eq!(a.request, b.request);
@@ -460,7 +481,7 @@ mod tests {
 
     #[test]
     fn rendered_fdr_reparses_via_fd_parse() {
-        let case = generate_case(FuzzNotion::Subset, 6, 3);
+        let case = generate_case(FuzzNotion::Subset, 6, 3, None);
         let text = render_fdr(&case.table, &case.fds);
         assert!(text.starts_with("relation R"));
         // Every FD line must re-parse against the schema.
@@ -475,7 +496,7 @@ mod tests {
         // The .fdr alone loses the request knobs, which are often what
         // made a case diverge — the sibling wire document must replay
         // the complete call exactly.
-        let case = generate_case(FuzzNotion::Mixed, 5, 1234);
+        let case = generate_case(FuzzNotion::Mixed, 5, 1234, None);
         let (fdr, call_json) = render_counterexample(&case.table, &case.fds, &case.request);
         assert!(fdr.starts_with("# differential fuzz counterexample"));
         assert!(fdr.contains("# request: notion mixed"));
@@ -533,7 +554,7 @@ mod tests {
         // only when the checker actually fails. Here the checker passes,
         // so shrink would loop zero times; assert the helper is a no-op
         // on honest instances.
-        let case = generate_case(FuzzNotion::Subset, 5, 11);
+        let case = generate_case(FuzzNotion::Subset, 5, 11, None);
         if check_case(&case.table, &case.fds, &case.request, FuzzNotion::Subset).is_ok() {
             // Nothing to shrink — the dominant (healthy-engine) path.
             return;

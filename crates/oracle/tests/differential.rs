@@ -12,6 +12,7 @@ fn campaign(notion: FuzzNotion, cases: usize, seed: u64) {
         cases,
         seed,
         max_rows: 0,
+        shard_min_rows: None,
     });
     assert_eq!(summary.cases, cases);
     for d in &summary.divergences {
@@ -60,6 +61,7 @@ fn approximate_paths_are_exercised() {
         cases: 200,
         seed: 11,
         max_rows: 0,
+        shard_min_rows: None,
     });
     assert!(summary.divergences.is_empty());
     assert!(

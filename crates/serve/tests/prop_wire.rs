@@ -30,7 +30,7 @@ fn random_call(seed: u64) -> RepairCall {
     if notion == Notion::Mixed {
         request = request.mixed_costs(MixedCosts::new(1.5, 1.0));
     }
-    match rng.gen_range(0..4) {
+    match rng.gen_range(0..5) {
         0 => request = request.optimality(Optimality::Approximate { max_ratio: 16.0 }),
         1 => {
             request = request
@@ -38,6 +38,11 @@ fn random_call(seed: u64) -> RepairCall {
                 .threads(rng.gen_range(1..4usize));
         }
         2 => request = request.time_cap_ms(60_000).seed(rng.gen_range(0..1000)),
+        3 => {
+            request = request
+                .shard_min_rows([0, 4, usize::MAX][rng.gen_range(0..3usize)])
+                .component_exact_limit(rng.gen_range(0..80usize));
+        }
         _ => {}
     }
     RepairCall {

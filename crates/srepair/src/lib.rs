@@ -17,6 +17,11 @@
 //! * [`par_opt_s_repair`] — Algorithm 1 with the top-level partition
 //!   solved across threads (blocks never interact, so `CommonLHSRep`,
 //!   `ConsensusRep` and the `MarriageRep` sub-problems are data-parallel);
+//! * [`sharded_s_repair`] — the million-row path: conflict-graph
+//!   components extracted edge-free, conflict-free rows kept for free,
+//!   each component solved independently (exact-per-component on the
+//!   hard side) and fanned out across threads, bit-identical to the
+//!   unsharded entry points;
 //! * [`answers_all_repairs`] / [`answers_optimal_repairs`] — tuple-level
 //!   consistent query answering (certain/possible membership) under the
 //!   all-repairs and optimal-repairs semantics;
@@ -37,6 +42,7 @@ mod maximal;
 mod optsrepair;
 mod parallel;
 mod repair;
+mod sharded;
 mod solver;
 mod succeeds;
 
@@ -58,5 +64,6 @@ pub use maximal::{is_subset_repair, make_maximal};
 pub use optsrepair::{opt_s_repair, Irreducible};
 pub use parallel::{par_opt_s_repair, ParallelConfig};
 pub use repair::SRepair;
+pub use sharded::{shard_plan, sharded_s_repair, ShardConfig, ShardPlan, ShardedSolution};
 pub use solver::{SMethod, SRepairSolver, SSolution};
 pub use succeeds::{osr_succeeds, simplification_trace, Outcome, Rule, Trace, TraceStep};

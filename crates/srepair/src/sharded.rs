@@ -1,0 +1,450 @@
+//! Component-sharded subset repairing: the million-row solve path.
+//!
+//! Optimal S-repairs decompose over the connected components of the
+//! conflict graph: deleting tuples never creates new conflicts, so the
+//! restriction of an optimal repair to a component is an optimal repair
+//! of that component, and the union of per-component optima is a global
+//! optimum (the per-component structure behind the dichotomy of
+//! Livshits & Kimelfeld, arXiv:1708.09140, and the large-instance
+//! decomposition of Miao et al., arXiv:2001.00315). This module
+//! exploits that end to end:
+//!
+//! 1. components come from [`fd_graph::conflict_components`] — a
+//!    union-find over conflict *groups*, `O(|T| · |Δ|)`, no edges;
+//! 2. rows in singleton components are conflict-free and are kept for
+//!    free, without ever touching a solver;
+//! 3. each conflicting component is solved independently — Algorithm 1
+//!    on the tractable side, exact vertex cover or the 2-approximation
+//!    on the hard side, chosen **per component** against
+//!    [`ShardConfig::component_exact_limit`] (a 64-row hard cap on the
+//!    whole table becomes a 64-row cap per component, so exactness
+//!    survives to much larger instances);
+//! 4. components fan out over the existing scoped-thread pool and merge
+//!    deterministically.
+//!
+//! The result is bit-identical to the unsharded entry points
+//! ([`crate::opt_s_repair`], [`crate::exact_s_repair`],
+//! [`crate::approx_s_repair`]) — pinned by the parity tests below and
+//! the workspace-level `shard_parity` suite: the exact vertex-cover
+//! solver already decomposes per component in the same order, the
+//! Bar-Yehuda–Even scan is component-local with a preserved edge order,
+//! and Algorithm 1's rule sequence depends on `Δ` alone, so recursing
+//! per component reproduces the global recursion's choices. The one
+//! exception is a marriage step in `Δ`'s simplification trace, whose
+//! matching tie-breaks are global; those FD sets are solved by the
+//! (equally parallel, bit-identical-by-construction)
+//! [`crate::par_opt_s_repair`] instead.
+
+use crate::approx::approx_s_repair;
+use crate::exact::exact_s_repair;
+use crate::optsrepair::opt_s_repair;
+use crate::parallel::{par_opt_s_repair, ParallelConfig};
+use crate::repair::SRepair;
+use crate::solver::SMethod;
+use crate::succeeds::{simplification_trace, Rule};
+use fd_core::{FdSet, Table, TupleId};
+use fd_graph::{conflict_components, Components};
+
+/// Knobs of the sharded solve path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShardConfig {
+    /// Worker threads fanning the components out: `1` is sequential,
+    /// `0` asks the OS, `n > 1` uses `n` scoped threads. The result is
+    /// identical regardless.
+    pub threads: usize,
+    /// Hard-side components up to this many rows are solved with the
+    /// exact vertex-cover baseline; larger ones fall back to the
+    /// 2-approximation.
+    pub component_exact_limit: usize,
+    /// Solve every hard-side component exactly, whatever its size
+    /// (the `Optimality::Exact` escalation).
+    pub force_exact: bool,
+}
+
+impl Default for ShardConfig {
+    fn default() -> ShardConfig {
+        ShardConfig {
+            threads: 1,
+            component_exact_limit: 64,
+            force_exact: false,
+        }
+    }
+}
+
+/// What the sharded path intends to do (and, after solving, did):
+/// polynomial to compute, so plans never commit to exponential work.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardPlan {
+    /// Conflicting (≥ 2 row) components.
+    pub components: usize,
+    /// Rows of the largest component (0 when the table is consistent).
+    pub largest: usize,
+    /// Rows in singleton components: conflict-free, kept for free.
+    pub clean_rows: usize,
+    /// Planned methods with the number of components each covers,
+    /// in the stable order Dichotomy, ExactVertexCover, Approx2.
+    pub methods: Vec<(SMethod, usize)>,
+    /// Whether the composed result will be guaranteed optimal.
+    pub optimal: bool,
+    /// The composed guaranteed ratio (max over components).
+    pub ratio: f64,
+}
+
+impl ShardPlan {
+    /// The planned method for a conflicting component of `rows` rows
+    /// under `Δ`'s dichotomy side.
+    fn component_method(tractable: bool, rows: usize, cfg: &ShardConfig) -> SMethod {
+        if tractable {
+            SMethod::Dichotomy
+        } else if cfg.force_exact || rows <= cfg.component_exact_limit {
+            SMethod::ExactVertexCover
+        } else {
+            SMethod::Approx2
+        }
+    }
+}
+
+/// A subset repair produced by the sharded path, with per-component
+/// provenance.
+#[derive(Clone, Debug)]
+pub struct ShardedSolution {
+    /// The repair (kept ids sorted; identical to the unsharded result).
+    pub repair: SRepair,
+    /// The executed plan, with per-method component counts.
+    pub plan: ShardPlan,
+    /// Whether the total cost is guaranteed optimal.
+    pub optimal: bool,
+    /// Guaranteed overall ratio (1 when optimal).
+    pub ratio: f64,
+}
+
+/// Computes the component partition and the plan in one polynomial
+/// pass: `O(|T| · |Δ|)` plus the union-find. The same function feeds
+/// `explain()` (plan only) and [`sharded_s_repair`] (plan + execute).
+pub fn shard_plan(table: &Table, fds: &FdSet, cfg: &ShardConfig) -> (Components, ShardPlan) {
+    let comps = conflict_components(table, fds);
+    let tractable = crate::succeeds::osr_succeeds(fds);
+    let mut dichotomy = 0usize;
+    let mut exact = 0usize;
+    let mut approx = 0usize;
+    let mut largest = 0usize;
+    let mut clean_rows = 0usize;
+    for comp in comps.iter() {
+        if comp.len() < 2 {
+            clean_rows += 1;
+            continue;
+        }
+        largest = largest.max(comp.len());
+        match ShardPlan::component_method(tractable, comp.len(), cfg) {
+            SMethod::Dichotomy => dichotomy += 1,
+            SMethod::ExactVertexCover => exact += 1,
+            SMethod::Approx2 => approx += 1,
+        }
+    }
+    let mut methods = Vec::new();
+    for (method, count) in [
+        (SMethod::Dichotomy, dichotomy),
+        (SMethod::ExactVertexCover, exact),
+        (SMethod::Approx2, approx),
+    ] {
+        if count > 0 {
+            methods.push((method, count));
+        }
+    }
+    // A consistent table has nothing to solve: vacuously exact under
+    // whichever method the dichotomy side names, matching the unsharded
+    // strategy's provenance.
+    if methods.is_empty() {
+        let vacuous = if tractable {
+            SMethod::Dichotomy
+        } else {
+            SMethod::ExactVertexCover
+        };
+        methods.push((vacuous, 0));
+    }
+    let optimal = approx == 0;
+    let ratio = if optimal { 1.0 } else { 2.0 };
+    let plan = ShardPlan {
+        components: dichotomy + exact + approx,
+        largest,
+        clean_rows,
+        methods,
+        optimal,
+        ratio,
+    };
+    (comps, plan)
+}
+
+/// The sub-table holding exactly the rows at `positions` (ascending),
+/// under their **original** tuple identifiers.
+fn component_table(table: &Table, rows: &[&fd_core::Row], positions: &[u32]) -> Table {
+    let mut t = Table::new(table.schema().clone());
+    for &p in positions {
+        let row = rows[p as usize];
+        t.push_row(row.id, row.tuple.clone(), row.weight)
+            .expect("ids are unique within one table");
+    }
+    t
+}
+
+/// Solves one conflicting component with the planned method.
+fn solve_component(sub: &Table, fds: &FdSet, method: SMethod) -> Vec<TupleId> {
+    match method {
+        SMethod::Dichotomy => {
+            opt_s_repair(sub, fds)
+                .expect("OSRSucceeds(Δ) holds on every sub-table (Δ-only test)")
+                .kept
+        }
+        SMethod::ExactVertexCover => exact_s_repair(sub, fds).kept,
+        SMethod::Approx2 => approx_s_repair(sub, fds).kept,
+    }
+}
+
+/// Component-sharded optimal/approximate subset repairing: solves each
+/// conflicting component of the conflict graph independently (fanned
+/// out over [`ShardConfig::threads`] scoped threads), keeps every
+/// conflict-free row untouched, and merges the per-component repairs
+/// into one [`SRepair`] — bit-identical to the unsharded entry points.
+///
+/// # Examples
+///
+/// ```
+/// use fd_core::{schema_rabc, tup, FdSet, Table};
+/// use fd_srepair::{sharded_s_repair, ShardConfig};
+///
+/// let s = schema_rabc();
+/// // Hard-side Δ, but every component is tiny: sharding keeps the
+/// // exact method (and the optimality guarantee) that a whole-table
+/// // cutoff would have abandoned.
+/// let fds = FdSet::parse(&s, "A -> C; B -> C").unwrap();
+/// let t = Table::build_unweighted(
+///     s,
+///     vec![tup![1, 1, 0], tup![1, 2, 1], tup![7, 8, 0], tup![9, 8, 1]],
+/// ).unwrap();
+/// let sol = sharded_s_repair(&t, &fds, &ShardConfig::default());
+/// assert!(sol.optimal);
+/// assert_eq!(sol.plan.components, 2);
+/// sol.repair.verify(&t, &fds);
+/// ```
+pub fn sharded_s_repair(table: &Table, fds: &FdSet, cfg: &ShardConfig) -> ShardedSolution {
+    let (comps, plan) = shard_plan(table, fds, cfg);
+    let tractable = plan
+        .methods
+        .first()
+        .is_some_and(|(m, _)| *m == SMethod::Dichotomy);
+
+    // Marriage tie-breaks (maximum-weight matching) are global, so a
+    // trace that needs MarriageRep solves globally via the block-parallel
+    // path instead of per component; everything else shards.
+    if tractable {
+        let trace = simplification_trace(fds);
+        if trace
+            .steps
+            .iter()
+            .any(|s| matches!(s.rule, Rule::Marriage(_, _)))
+        {
+            let parallel = ParallelConfig {
+                threads: cfg.threads,
+                ..ParallelConfig::default()
+            };
+            let repair =
+                par_opt_s_repair(table, fds, &parallel).expect("OSRSucceeds(Δ) (Theorem 3.4)");
+            return ShardedSolution {
+                repair,
+                plan,
+                optimal: true,
+                ratio: 1.0,
+            };
+        }
+    }
+
+    let rows: Vec<&fd_core::Row> = table.rows().collect();
+    let mut kept: Vec<TupleId> = Vec::with_capacity(table.len());
+    let mut work: Vec<&[u32]> = Vec::with_capacity(plan.components);
+    for comp in comps.iter() {
+        if comp.len() < 2 {
+            kept.push(rows[comp[0] as usize].id);
+        } else {
+            work.push(comp);
+        }
+    }
+
+    let method_of = |len: usize| ShardPlan::component_method(tractable, len, cfg);
+    let solved = fd_core::round_robin_map(cfg.threads, &work, |comp| {
+        let sub = component_table(table, &rows, comp);
+        solve_component(&sub, fds, method_of(comp.len()))
+    });
+    for comp_kept in solved {
+        kept.extend(comp_kept);
+    }
+
+    ShardedSolution {
+        repair: SRepair::from_kept(table, kept),
+        optimal: plan.optimal,
+        ratio: plan.ratio,
+        plan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::{schema_rabc, tup};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_table(rng: &mut StdRng, n: usize, keys: i64) -> Table {
+        let s = schema_rabc();
+        let rows: Vec<_> = (0..n)
+            .map(|_| {
+                (
+                    tup![
+                        rng.gen_range(0..keys),
+                        rng.gen_range(0..4i64),
+                        rng.gen_range(0..4i64)
+                    ],
+                    [1.0, 2.0, 0.5][rng.gen_range(0..3usize)],
+                )
+            })
+            .collect();
+        Table::build(s, rows).unwrap()
+    }
+
+    #[test]
+    fn tractable_sharding_is_bit_identical_to_algorithm_1() {
+        let s = schema_rabc();
+        let mut rng = StdRng::seed_from_u64(0x51A);
+        for spec in ["A -> B", "A -> B C", "A -> B; A B -> C", "-> C; A -> B"] {
+            let fds = FdSet::parse(&s, spec).unwrap();
+            for threads in [1, 4] {
+                let cfg = ShardConfig {
+                    threads,
+                    ..ShardConfig::default()
+                };
+                for _ in 0..15 {
+                    let t = random_table(&mut rng, 50, 12);
+                    let sharded = sharded_s_repair(&t, &fds, &cfg);
+                    let global = crate::opt_s_repair(&t, &fds).unwrap();
+                    assert_eq!(sharded.repair.kept, global.kept, "{spec} threads={threads}");
+                    assert_eq!(sharded.repair.cost, global.cost);
+                    assert!(sharded.optimal);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn marriage_traces_fall_back_to_the_global_parallel_path() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B; B -> A; B -> C").unwrap();
+        let mut rng = StdRng::seed_from_u64(0x51B);
+        for _ in 0..15 {
+            let t = random_table(&mut rng, 40, 6);
+            let sharded = sharded_s_repair(&t, &fds, &ShardConfig::default());
+            let global = crate::opt_s_repair(&t, &fds).unwrap();
+            assert_eq!(sharded.repair.kept, global.kept);
+            assert_eq!(sharded.repair.cost, global.cost);
+        }
+    }
+
+    #[test]
+    fn hard_side_exact_sharding_is_bit_identical_to_global_exact() {
+        let s = schema_rabc();
+        let mut rng = StdRng::seed_from_u64(0x51C);
+        for spec in ["A -> B; B -> C", "A -> C; B -> C", "A B -> C; C -> B"] {
+            let fds = FdSet::parse(&s, spec).unwrap();
+            for _ in 0..15 {
+                let t = random_table(&mut rng, 24, 9);
+                let cfg = ShardConfig {
+                    threads: 3,
+                    component_exact_limit: usize::MAX,
+                    force_exact: false,
+                };
+                let sharded = sharded_s_repair(&t, &fds, &cfg);
+                let global = crate::exact_s_repair(&t, &fds);
+                assert_eq!(sharded.repair.kept, global.kept, "{spec}\n{t}");
+                assert_eq!(sharded.repair.cost, global.cost);
+                assert!(sharded.optimal);
+                sharded.repair.verify(&t, &fds);
+            }
+        }
+    }
+
+    #[test]
+    fn hard_side_approx_sharding_is_bit_identical_to_global_approx() {
+        let s = schema_rabc();
+        let mut rng = StdRng::seed_from_u64(0x51D);
+        let fds = FdSet::parse(&s, "A -> B; B -> C").unwrap();
+        for _ in 0..15 {
+            let t = random_table(&mut rng, 40, 10);
+            let cfg = ShardConfig {
+                threads: 2,
+                component_exact_limit: 0, // force the approximation everywhere
+                force_exact: false,
+            };
+            let sharded = sharded_s_repair(&t, &fds, &cfg);
+            let global = crate::approx_s_repair(&t, &fds);
+            assert_eq!(sharded.repair.kept, global.kept, "{t}");
+            assert_eq!(sharded.repair.cost, global.cost);
+            assert!(!sharded.optimal || sharded.plan.components == 0);
+        }
+    }
+
+    #[test]
+    fn per_component_exactness_beats_the_whole_table_cutoff() {
+        // 30 rows of tiny hard-side components: a whole-table limit of 8
+        // would abandon exactness; per-component it survives.
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> C; B -> C").unwrap();
+        let rows = (0..30).map(|i| tup![(i / 2) as i64, 100 + (i / 2) as i64, (i % 2) as i64]);
+        let t = Table::build_unweighted(s, rows).unwrap();
+        let cfg = ShardConfig {
+            component_exact_limit: 8,
+            ..ShardConfig::default()
+        };
+        let sol = sharded_s_repair(&t, &fds, &cfg);
+        assert!(sol.optimal, "{:?}", sol.plan);
+        assert_eq!(sol.plan.components, 15);
+        assert_eq!(sol.plan.largest, 2);
+        let exact = crate::exact_s_repair(&t, &fds);
+        assert_eq!(sol.repair.cost, exact.cost);
+    }
+
+    #[test]
+    fn consistent_and_empty_tables_short_circuit() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B").unwrap();
+        let t = Table::build_unweighted(s.clone(), vec![tup![1, 1, 0], tup![2, 2, 0]]).unwrap();
+        let sol = sharded_s_repair(&t, &fds, &ShardConfig::default());
+        assert_eq!(sol.repair.cost, 0.0);
+        assert_eq!(sol.repair.kept.len(), 2);
+        assert_eq!(sol.plan.components, 0);
+        assert_eq!(sol.plan.clean_rows, 2);
+        assert!(sol.optimal);
+
+        let empty = Table::new(s);
+        let sol = sharded_s_repair(&empty, &fds, &ShardConfig::default());
+        assert!(sol.repair.kept.is_empty());
+        assert_eq!(sol.repair.cost, 0.0);
+    }
+
+    #[test]
+    fn force_exact_overrides_the_component_limit() {
+        let s = schema_rabc();
+        let fds = FdSet::parse(&s, "A -> B; B -> C").unwrap();
+        let rows = (0..14).map(|i| tup![(i % 3) as i64, (i % 2) as i64, (i % 5) as i64]);
+        let t = Table::build_unweighted(s, rows).unwrap();
+        let starved = ShardConfig {
+            component_exact_limit: 0,
+            force_exact: false,
+            threads: 1,
+        };
+        assert!(!sharded_s_repair(&t, &fds, &starved).optimal);
+        let forced = ShardConfig {
+            force_exact: true,
+            ..starved
+        };
+        let sol = sharded_s_repair(&t, &fds, &forced);
+        assert!(sol.optimal);
+        assert_eq!(sol.repair.cost, crate::exact_s_repair(&t, &fds).cost);
+    }
+}

@@ -30,6 +30,9 @@ pub enum UMethod {
     Approximate,
 }
 
+/// One solved component: its repair, method, optimality, and ratio.
+type ComponentPart = (URepair, UMethod, bool, f64);
+
 /// A U-repair with provenance.
 #[derive(Clone, Debug)]
 pub struct USolution {
@@ -52,6 +55,18 @@ pub struct URepairSolver {
     pub exact_row_limit: usize,
     /// Node budget handed to the exact search.
     pub exact_node_budget: u64,
+    /// Worker threads fanning the attribute-disjoint components of
+    /// Theorem 4.1 out in parallel (`1` sequential, `0` asks the OS).
+    /// Components touch disjoint attribute sets and are merged in
+    /// component order, so the repair is identical to the sequential
+    /// computation **modulo fresh-constant tags**: `⊥`-placeholders are
+    /// minted from a process-global counter, so their raw numbering
+    /// depends on thread interleaving. Callers comparing outputs must
+    /// canonicalize (`Table::canonicalize_fresh`), exactly as the
+    /// engine does before serializing any report. The `CommonLhsViaS`
+    /// strategy additionally runs its inner S-repair through the
+    /// (deterministic) parallel Algorithm 1 when threads are available.
+    pub threads: usize,
 }
 
 impl Default for URepairSolver {
@@ -59,6 +74,7 @@ impl Default for URepairSolver {
         URepairSolver {
             exact_row_limit: 8,
             exact_node_budget: 2_000_000,
+            threads: 1,
         }
     }
 }
@@ -88,9 +104,12 @@ impl URepairSolver {
         };
         let base = repair.updated.clone();
 
-        // Theorem 4.1: attribute-disjoint components compose.
-        for comp in attribute_components(&rest) {
-            let (part, method, part_optimal, part_ratio) = self.solve_component(&base, &comp);
+        // Theorem 4.1: attribute-disjoint components compose — and,
+        // writing disjoint attribute sets against the same base table,
+        // they solve in parallel with a deterministic in-order merge.
+        let components = attribute_components(&rest);
+        let solved = self.solve_components(&base, &components);
+        for (part, method, part_optimal, part_ratio) in solved {
             methods.push(method);
             optimal &= part_optimal;
             ratio = ratio.max(part_ratio);
@@ -113,7 +132,16 @@ impl URepairSolver {
         }
     }
 
-    fn solve_component(&self, base: &Table, comp: &FdSet) -> (URepair, UMethod, bool, f64) {
+    /// Solves every component against `base`, fanning them across
+    /// scoped threads when configured; results come back in component
+    /// order either way.
+    fn solve_components(&self, base: &Table, components: &[FdSet]) -> Vec<ComponentPart> {
+        fd_core::round_robin_map(self.threads, components, |comp| {
+            self.solve_component(base, comp)
+        })
+    }
+
+    fn solve_component(&self, base: &Table, comp: &FdSet) -> ComponentPart {
         if base.satisfies(comp) {
             return (
                 URepair::identity(base),
@@ -128,7 +156,15 @@ impl URepairSolver {
         }
         // Corollary 4.6: common lhs (mlc = 1) on the tractable side.
         if mlc(comp) == Some(1) && osr_succeeds(comp) {
-            let sr = opt_s_repair(base, comp).expect("OSRSucceeds");
+            let sr = if self.threads == 1 {
+                opt_s_repair(base, comp).expect("OSRSucceeds")
+            } else {
+                let config = fd_srepair::ParallelConfig {
+                    threads: self.threads,
+                    ..fd_srepair::ParallelConfig::default()
+                };
+                fd_srepair::par_opt_s_repair(base, comp, &config).expect("OSRSucceeds")
+            };
             let part = subset_to_update(base, &sr, comp);
             return (part, UMethod::CommonLhsViaS, true, 1.0);
         }
@@ -239,6 +275,47 @@ mod tests {
         assert!(sol.ratio >= 2.0);
         sol.repair.verify(&t, &fds);
         let _ = s;
+    }
+
+    #[test]
+    fn threaded_component_fanout_matches_sequential() {
+        // Δ' of Example 4.2 plus a two-cycle: three attribute-disjoint
+        // components with different strategies, solved across threads.
+        let s = Schema::new("R", ["item", "cost", "buyer", "address", "state", "x", "y"]).unwrap();
+        let fds = FdSet::parse(
+            &s,
+            "item -> cost; buyer -> address; address -> state; x -> y; y -> x",
+        )
+        .unwrap();
+        let rows = (0..12).map(|i| {
+            fd_core::tup![
+                (i % 4) as i64,
+                (i % 3) as i64,
+                (i % 5) as i64,
+                (i % 2) as i64,
+                (i % 3) as i64,
+                (i % 2) as i64,
+                (i % 4) as i64
+            ]
+        });
+        let t = Table::build_unweighted(s, rows).unwrap();
+        let mut seq = URepairSolver::default().solve(&t, &fds);
+        // Fresh constants are minted from a process-global counter, so
+        // canonicalize both sides (as the engine does) before comparing.
+        seq.repair.updated.canonicalize_fresh();
+        for threads in [0, 2, 4] {
+            let mut par = URepairSolver {
+                threads,
+                ..Default::default()
+            }
+            .solve(&t, &fds);
+            par.repair.updated.canonicalize_fresh();
+            assert_eq!(par.repair.cost, seq.repair.cost, "threads={threads}");
+            assert_eq!(par.repair.updated, seq.repair.updated);
+            assert_eq!(par.methods, seq.methods);
+            assert_eq!(par.optimal, seq.optimal);
+            assert_eq!(par.ratio, seq.ratio);
+        }
     }
 
     #[test]

@@ -66,8 +66,17 @@ options:
   --max-ratio <r>      accept a guaranteed approximation ratio up to r
   --delete-cost <x>    mixed repair: cost multiplier per deleted tuple
   --update-cost <x>    mixed repair: cost multiplier per changed cell
-  --threads <n>        worker threads: parallel subset solve, or the
-                       serve pool (0 = ask the OS; default 1 / serve 4)
+  --threads <n>        worker threads: component fan-out of the sharded
+                       subset/update solve, or the serve pool
+                       (0 = ask the OS; default 1 / serve 4)
+  --shard-min-rows <n> shard subset solving by conflict component from
+                       this many rows on (default 0 = always); for
+                       `fuzz`, pins the knob on every generated case
+  --component-exact-limit <n>
+                       sharded solve: hard-side components up to n rows
+                       use the exact vertex-cover baseline (default 64)
+  --no-shard           force the legacy whole-table subset path
+                       (shorthand for --shard-min-rows <huge>)
   --addr <ip:port>     serve: bind address (default 127.0.0.1:7878)
   --cache-entries <n>  serve: LRU result-cache capacity (0 disables)
   --max-body-bytes <n> serve: largest accepted request body
@@ -91,6 +100,9 @@ struct Cli {
     delete_cost: f64,
     update_cost: f64,
     threads: Option<usize>,
+    shard_min_rows: Option<usize>,
+    component_exact_limit: Option<usize>,
+    no_shard: bool,
     addr: Option<String>,
     cache_entries: Option<usize>,
     max_body_bytes: Option<usize>,
@@ -130,6 +142,9 @@ fn parse_args(args: &[String]) -> CliOutcome {
         delete_cost: 1.0,
         update_cost: 1.0,
         threads: None,
+        shard_min_rows: None,
+        component_exact_limit: None,
+        no_shard: false,
         addr: None,
         cache_entries: None,
         max_body_bytes: None,
@@ -211,6 +226,25 @@ fn parse_args(args: &[String]) -> CliOutcome {
                 }
                 None => return CliOutcome::Usage,
             },
+            "--no-shard" => cli.no_shard = true,
+            "--shard-min-rows" => match value("--shard-min-rows").map(|v| v.parse::<usize>()) {
+                Some(Ok(v)) => cli.shard_min_rows = Some(v),
+                Some(Err(_)) => {
+                    eprintln!("fdrepair: --shard-min-rows needs an integer\n{USAGE}");
+                    return CliOutcome::Usage;
+                }
+                None => return CliOutcome::Usage,
+            },
+            "--component-exact-limit" => {
+                match value("--component-exact-limit").map(|v| v.parse::<usize>()) {
+                    Some(Ok(v)) => cli.component_exact_limit = Some(v),
+                    Some(Err(_)) => {
+                        eprintln!("fdrepair: --component-exact-limit needs an integer\n{USAGE}");
+                        return CliOutcome::Usage;
+                    }
+                    None => return CliOutcome::Usage,
+                }
+            }
             "--addr" => match value("--addr") {
                 Some(v) => cli.addr = Some(v),
                 None => return CliOutcome::Usage,
@@ -301,13 +335,6 @@ fn main() -> ExitCode {
         };
     }
 
-    let text = match std::fs::read_to_string(&cli.path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("fdrepair: cannot read {}: {e}", cli.path);
-            return ExitCode::FAILURE;
-        }
-    };
     let parsed = if cli.path.ends_with(".csv") {
         let Some(spec) = cli.fd_spec.as_deref() else {
             eprintln!("fdrepair: CSV input needs --fds \"<spec>\"\n{USAGE}");
@@ -317,9 +344,28 @@ fn main() -> ExitCode {
             .file_stem()
             .and_then(|s| s.to_str())
             .unwrap_or("R");
-        Instance::from_csv(relation, &text, spec, cli.weight_col.as_deref())
+        // Stream the CSV straight off disk: million-row inputs load
+        // without the raw text ever being held in memory.
+        match std::fs::File::open(&cli.path) {
+            Ok(file) => Instance::from_csv_reader(
+                relation,
+                std::io::BufReader::new(file),
+                spec,
+                cli.weight_col.as_deref(),
+            ),
+            Err(e) => {
+                eprintln!("fdrepair: cannot read {}: {e}", cli.path);
+                return ExitCode::FAILURE;
+            }
+        }
     } else {
-        Instance::parse(&text)
+        match std::fs::read_to_string(&cli.path) {
+            Ok(text) => Instance::parse(&text),
+            Err(e) => {
+                eprintln!("fdrepair: cannot read {}: {e}", cli.path);
+                return ExitCode::FAILURE;
+            }
+        }
     };
     let instance = match parsed {
         Ok(i) => i,
@@ -435,6 +481,20 @@ fn build_request(cli: &Cli, notion: Notion) -> RepairRequest {
     if let Some(threads) = cli.threads {
         request = request.threads(threads);
     }
+    if cli.no_shard {
+        request = request.shard_min_rows(usize::MAX);
+    } else if let Some(rows) = cli.shard_min_rows {
+        request = request.shard_min_rows(rows);
+    }
+    if let Some(limit) = cli.component_exact_limit {
+        // The per-component cutoff is capped by the global
+        // exponential-work allowance; a user raising the flag means to
+        // raise the allowance with it.
+        request = request.component_exact_limit(limit);
+        if request.budgets.exact_fallback_limit < limit {
+            request = request.exact_fallback_limit(limit);
+        }
+    }
     if cli.exact {
         request = request.optimality(Optimality::Exact);
     } else if let Some(max_ratio) = cli.max_ratio {
@@ -472,6 +532,13 @@ fn fuzz(cli: &Cli) -> ExitCode {
             cases,
             seed,
             max_rows: cli.max_rows.unwrap_or(0),
+            // --shard-min-rows 0 forces sharding on for every case;
+            // --no-shard forces the legacy path; default mixes both.
+            shard_min_rows: if cli.no_shard {
+                Some(usize::MAX)
+            } else {
+                cli.shard_min_rows
+            },
         };
         let summary = run_fuzz(&config);
         println!(

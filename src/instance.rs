@@ -156,10 +156,23 @@ impl Instance {
         fd_spec: &str,
         weight_column: Option<&str>,
     ) -> Result<Instance, ParseError> {
+        Instance::from_csv_reader(relation, csv_text.as_bytes(), fd_spec, weight_column)
+    }
+
+    /// Streams an instance out of any buffered CSV source (e.g. a
+    /// `BufReader<File>`): rows flow straight into the table and the
+    /// raw text is never held in memory — the entry point for
+    /// million-row loads.
+    pub fn from_csv_reader<R: std::io::BufRead>(
+        relation: &str,
+        input: R,
+        fd_spec: &str,
+        weight_column: Option<&str>,
+    ) -> Result<Instance, ParseError> {
         let options = fd_core::CsvOptions {
             weight_column: weight_column.map(str::to_string),
         };
-        let table = fd_core::table_from_csv(relation, csv_text, &options)
+        let table = fd_core::table_from_csv_reader(relation, input, &options)
             .map_err(|e| err(0, e.to_string()))?;
         let schema = Arc::clone(table.schema());
         let fds = FdSet::parse(&schema, fd_spec).map_err(|e| err(0, e.to_string()))?;

@@ -76,6 +76,11 @@
 //! The solver result types (`SSolution`, `USolution`, method enums) stay
 //! exported for the underlying algorithm APIs, which remain public and
 //! un-deprecated — the engine is a front door, not a wall.
+//!
+//! `ARCHITECTURE.md` (repo root) maps the crate topology and data flow;
+//! `docs/API.md` documents the HTTP surface `fdrepair serve` exposes.
+
+#![warn(missing_docs)]
 
 pub mod instance;
 
@@ -106,9 +111,9 @@ pub mod prelude {
     };
     pub use fd_engine::{
         cache_key, constraint_subset_report, prioritized_report, Budgets, ChangedCell,
-        DichotomyReport, EngineError, Json, JsonError, JsonLimits, Notion, Optimality, Plan,
-        PlanStep, Planner, RepairCall, RepairEngine, RepairReport, RepairRequest, ReportBody,
-        Timings, WireError,
+        ComponentReport, DichotomyReport, EngineError, Json, JsonError, JsonLimits, Notion,
+        Optimality, Plan, PlanStep, Planner, RepairCall, RepairEngine, RepairReport, RepairRequest,
+        ReportBody, Timings, WireError,
     };
     pub use fd_graph::{
         max_weight_bipartite_matching, min_weight_vertex_cover, vertex_cover_2approx,
@@ -121,8 +126,9 @@ pub mod prelude {
         answers_all_repairs, answers_optimal_repairs, approx_s_repair, classify_irreducible,
         count_optimal_s_repairs, count_subset_repairs, exact_s_repair, is_subset_repair,
         make_maximal, opt_s_repair, osr_succeeds, par_opt_s_repair, sample_subset_repair,
-        simplification_trace, ChainCountOutcome, Classification, CountOutcome, HardCore,
-        ParallelConfig, SMethod, SRepair, SSolution,
+        sharded_s_repair, simplification_trace, ChainCountOutcome, Classification, CountOutcome,
+        HardCore, ParallelConfig, SMethod, SRepair, SSolution, ShardConfig, ShardPlan,
+        ShardedSolution,
     };
     pub use fd_urepair::{
         approx_mixed_repair, approx_u_repair, consensus_u_repair, exact_mixed_repair,

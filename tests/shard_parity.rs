@@ -1,0 +1,161 @@
+//! Sharded-vs-unsharded parity: the component-sharded subset path must
+//! return **the same repair** as the legacy whole-table path on every
+//! schema of the `fd-gen` adversarial pool — same cost, same deleted
+//! ids, same repaired table — under every optimality regime where the
+//! two resolve to the same class of method, and a **never weaker**
+//! guarantee everywhere (sharding may legitimately *upgrade* a
+//! 2-approximation to per-component exactness; it must never lose
+//! optimality the whole-table path had).
+//!
+//! A forced-shard differential fuzz campaign (engine vs brute-force
+//! oracle) closes the loop: zero divergences with `shard_min_rows`
+//! pinned to 0 on every generated case.
+
+use fd_gen::adversarial::{schema_pool, sized_instance};
+use fd_repairs::prelude::*;
+
+fn run(table: &Table, fds: &FdSet, request: &RepairRequest) -> RepairReport {
+    Planner.run(table, fds, request).expect("request solves")
+}
+
+fn deleted_ids(report: &RepairReport) -> Vec<u32> {
+    match &report.body {
+        ReportBody::Subset { deleted, .. } => deleted.iter().map(|id| id.0).collect(),
+        other => panic!("expected a subset body, got {other:?}"),
+    }
+}
+
+/// The request pairs under comparison: (sharded, unsharded) with knobs
+/// aligned so both sides resolve the same method class.
+fn aligned_requests() -> Vec<(&'static str, RepairRequest, RepairRequest)> {
+    let shard = RepairRequest::subset(); // shard_min_rows: 0 (default)
+    let legacy = RepairRequest::subset().shard_min_rows(usize::MAX);
+    vec![
+        (
+            // Both sides fully exact: whole-table cutoffs generous
+            // (exact_fallback_limit is the global allowance that caps
+            // the per-component cutoff, so raise both).
+            "exact-everywhere",
+            shard
+                .component_exact_limit(10_000)
+                .exact_fallback_limit(10_000),
+            legacy.exact_fallback_limit(10_000),
+        ),
+        (
+            // Both sides forced to approximate on the hard side.
+            "approx-everywhere",
+            shard.component_exact_limit(0),
+            legacy.exact_fallback_limit(0),
+        ),
+        (
+            // Certified exactness demanded of both.
+            "optimality-exact",
+            shard.optimality(Optimality::Exact),
+            legacy.optimality(Optimality::Exact),
+        ),
+    ]
+}
+
+#[test]
+fn sharded_reports_are_bit_identical_across_the_adversarial_pool() {
+    for case in schema_pool() {
+        for rows in [10, 28] {
+            for seed in [3, 17] {
+                let table = sized_instance(&case, rows, 3, seed % 2 == 1, seed);
+                for (name, sharded_req, legacy_req) in aligned_requests() {
+                    // Approximating a consistent table differs in
+                    // *guarantee* only; skip the approx alignment there.
+                    if name == "approx-everywhere" && table.satisfies(&case.fds) {
+                        continue;
+                    }
+                    let sharded = run(&table, &case.fds, &sharded_req);
+                    let legacy = run(&table, &case.fds, &legacy_req);
+                    let ctx = format!("{} {name} rows={rows} seed={seed}", case.name);
+                    assert_eq!(sharded.cost, legacy.cost, "{ctx}: cost drifted");
+                    assert_eq!(
+                        deleted_ids(&sharded),
+                        deleted_ids(&legacy),
+                        "{ctx}: deleted set drifted"
+                    );
+                    assert_eq!(
+                        sharded.repaired().unwrap().to_string(),
+                        legacy.repaired().unwrap().to_string(),
+                        "{ctx}: repaired table drifted"
+                    );
+                    assert_eq!(sharded.optimal, legacy.optimal, "{ctx}: guarantee drifted");
+                    assert_eq!(sharded.ratio, legacy.ratio, "{ctx}: ratio drifted");
+                    // The sharded report additionally carries component
+                    // statistics; the legacy one must not.
+                    assert!(sharded.components.is_some(), "{ctx}");
+                    assert!(legacy.components.is_none(), "{ctx}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sharding_never_weakens_and_often_upgrades_the_guarantee() {
+    // Default knobs on 90-row instances — past the whole-table exact
+    // cutoff (64), so the legacy path must 2-approximate every hard Δ,
+    // while the sharded path stays exact whenever the individual
+    // components fit the (identically-valued) per-component cutoff.
+    // The guarantee may only improve, and the cost may only go down.
+    let mut upgraded = 0usize;
+    for case in schema_pool() {
+        for seed in [5, 9] {
+            let table = sized_instance(&case, 90, 3, false, seed);
+            let sharded = run(&table, &case.fds, &RepairRequest::subset());
+            let legacy = run(
+                &table,
+                &case.fds,
+                &RepairRequest::subset().shard_min_rows(usize::MAX),
+            );
+            assert!(
+                sharded.ratio <= legacy.ratio,
+                "{}: sharding weakened the ratio {} -> {}",
+                case.name,
+                legacy.ratio,
+                sharded.ratio
+            );
+            assert!(
+                sharded.cost <= legacy.cost + 1e-9,
+                "{}: sharding worsened the cost {} -> {}",
+                case.name,
+                legacy.cost,
+                sharded.cost
+            );
+            if sharded.optimal && !legacy.optimal {
+                upgraded += 1;
+            }
+        }
+    }
+    assert!(
+        upgraded > 0,
+        "no pool instance exercised the per-component exactness upgrade"
+    );
+}
+
+#[test]
+fn forced_shard_fuzz_campaign_has_zero_divergences() {
+    use fd_oracle::{run_fuzz, FuzzConfig, FuzzNotion};
+    let summary = run_fuzz(&FuzzConfig {
+        notion: FuzzNotion::Subset,
+        cases: 120,
+        seed: 23,
+        max_rows: 0,
+        shard_min_rows: Some(0),
+    });
+    assert_eq!(summary.cases, 120);
+    for d in &summary.divergences {
+        eprintln!(
+            "case {} (seed {}) on {}: {}\n{}",
+            d.case_index, d.case_seed, d.schema_name, d.message, d.instance_fdr
+        );
+    }
+    assert!(
+        summary.divergences.is_empty(),
+        "{} divergence(s) with sharding forced on",
+        summary.divergences.len()
+    );
+}
