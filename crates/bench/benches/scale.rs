@@ -19,9 +19,20 @@
 //!   path could only 2-approximate;
 //! * `csr/compact/<n>` — building the hard workload's conflict graph
 //!   (streamed) and compacting it to [`fd_graph::CsrGraph`], the
-//!   flat-array form for holding a large conflict graph as a graph.
+//!   flat-array form for holding a large conflict graph as a graph;
+//! * `scan/intern/<n>` — streaming CSV parse + dictionary interning
+//!   into a columnar table (the load path of a million-row repair);
+//! * `scan/key_extract/<n>` — hashing every row's lhs projection for
+//!   every FD via [`fd_core::KeyExtractor`] over the symbol columns
+//!   (the inner loop of the grouped conflict scan).
+//!
+//! The summary also records `mem/peak_rss_per_row/1000000`: the
+//! process peak RSS (`VmHWM`) divided by the ladder's top row count,
+//! in bytes per row. `bench_guard` gates it raw (never calibrated —
+//! memory footprint does not scale with machine speed).
 
 use criterion::{black_box, Criterion};
+use fd_core::{table_from_csv_reader, table_to_csv, CsvOptions, KeyExtractor};
 use fd_engine::{Json, Planner, RepairEngine, RepairRequest};
 use fd_gen::scale::{hard_scale, tractable_scale};
 use std::time::Instant;
@@ -78,6 +89,15 @@ fn reps(n: usize) -> usize {
     }
 }
 
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`); `None` on platforms without procfs.
+fn peak_rss_bytes() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024.0)
+}
+
 fn write_summary() {
     let path = std::env::var("BENCH_SCALE_JSON")
         .unwrap_or_else(|_| format!("{}/../../BENCH_scale.json", env!("CARGO_MANIFEST_DIR")));
@@ -128,6 +148,46 @@ fn write_summary() {
                 black_box(cg.graph.to_csr());
             }),
         );
+        // The load path: CSV bytes → streamed parse → dictionary
+        // interning → columnar table, measured on the table's own CSV
+        // rendering so every size exercises the real value mix.
+        let csv = table_to_csv(&table, true);
+        let options = CsvOptions {
+            weight_column: Some("weight".to_string()),
+        };
+        push(
+            format!("scan/intern/{n}"),
+            median_us(runs, || {
+                black_box(table_from_csv_reader("R", csv.as_bytes(), &options).unwrap());
+            }),
+        );
+        // The scan's inner loop in isolation: hash every row's lhs
+        // projection for every FD, straight over the symbol columns.
+        push(
+            format!("scan/key_extract/{n}"),
+            median_us(runs, || {
+                let cols = table.sym_cols();
+                let mut acc = 0u64;
+                for fd in fds.iter() {
+                    let ex = KeyExtractor::new(fd.lhs());
+                    for pos in 0..table.len() as u32 {
+                        acc ^= ex.hash(cols, pos);
+                    }
+                }
+                black_box(acc);
+            }),
+        );
+    }
+    // Memory trajectory: peak RSS over the whole ladder, amortized per
+    // row of the top size. Gated raw by `bench_guard` (a `bytes_per_row`
+    // entry is never calibrated — footprint is machine-independent).
+    if let Some(bytes) = peak_rss_bytes() {
+        let per_row = bytes / 1e6;
+        println!("  {:<40} {per_row:>12.1} B/row (peak RSS)", "mem/peak_rss_per_row/1000000");
+        entries.push(Json::obj([
+            ("id", Json::str("mem/peak_rss_per_row/1000000")),
+            ("bytes_per_row", Json::Num((per_row * 1000.0).round() / 1000.0)),
+        ]));
     }
     let doc = Json::obj([
         ("bench", Json::str("scale")),

@@ -22,6 +22,11 @@
 //! the committed seed and the CI runner are different machines;
 //! omitting the flag compares raw wall-clock, which is what you want
 //! when both files come from the same box.
+//!
+//! Besides `median_us` timings, entries may carry a `bytes_per_row`
+//! number (the scale suite's peak-RSS-per-row probe). Those are gated
+//! with the same factor but always compared raw — memory footprint
+//! does not scale with machine speed — and skip the noise floor.
 
 use fd_engine::Json;
 use std::process::ExitCode;
@@ -29,7 +34,16 @@ use std::process::ExitCode;
 /// Medians below this many microseconds are too noisy to gate on.
 const NOISE_FLOOR_US: f64 = 200.0;
 
-fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
+/// What an entry's number measures. Time entries are calibrated and
+/// noise-floored; byte entries are compared raw — memory footprint does
+/// not scale with machine speed, and it barely jitters.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Unit {
+    TimeUs,
+    BytesPerRow,
+}
+
+fn load(path: &str) -> Result<Vec<(String, f64, Unit)>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let doc = Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
     let Some(Json::Arr(entries)) = doc.get("entries") else {
@@ -37,15 +51,16 @@ fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
     };
     let mut out = Vec::new();
     for entry in entries {
-        let (Some(id), Some(median)) = (
-            entry.get("id").and_then(Json::as_str),
-            entry.get("median_us").and_then(Json::as_num),
-        ) else {
-            // Entries with other units (e.g. requests/sec) are not
-            // regression-gated here.
+        let Some(id) = entry.get("id").and_then(Json::as_str) else {
             continue;
         };
-        out.push((id.to_string(), median));
+        if let Some(median) = entry.get("median_us").and_then(Json::as_num) {
+            out.push((id.to_string(), median, Unit::TimeUs));
+        } else if let Some(bytes) = entry.get("bytes_per_row").and_then(Json::as_num) {
+            out.push((id.to_string(), bytes, Unit::BytesPerRow));
+        }
+        // Entries with other units (e.g. requests/sec) are not
+        // regression-gated here.
     }
     Ok(out)
 }
@@ -81,15 +96,15 @@ fn run() -> Result<bool, String> {
     let fresh = load(fresh_path)?;
 
     // Per-side scale divisor: 1 (raw wall-clock) or the side's own
-    // calibration-entry median.
-    let scale_of = |entries: &[(String, f64)], path: &str| -> Result<f64, String> {
+    // calibration-entry median. Only time entries can calibrate.
+    let scale_of = |entries: &[(String, f64, Unit)], path: &str| -> Result<f64, String> {
         let Some(id) = calibrate.as_deref() else {
             return Ok(1.0);
         };
         entries
             .iter()
-            .find(|(eid, _)| eid == id)
-            .map(|(_, m)| *m)
+            .find(|(eid, _, unit)| eid == id && *unit == Unit::TimeUs)
+            .map(|(_, m, _)| *m)
             .filter(|m| *m > 0.0)
             .ok_or(format!("{path}: calibration entry {id:?} missing or zero"))
     };
@@ -104,12 +119,17 @@ fn run() -> Result<bool, String> {
             .map(|id| format!(", calibrated on {id:?}"))
             .unwrap_or_default()
     );
-    for (id, base) in &committed {
-        let Some((_, now)) = fresh.iter().find(|(fid, _)| fid == id) else {
+    for (id, base, unit) in &committed {
+        let Some((_, now, _)) = fresh.iter().find(|(fid, _, _)| fid == id) else {
             println!("  SKIP {id}: absent from the fresh run");
             continue;
         };
-        let (base_scaled, now_scaled) = (base / committed_scale, now / fresh_scale);
+        // Byte entries compare raw: peak-RSS-per-row is a property of
+        // the data layout, not of how fast the runner's CPU is.
+        let (base_scaled, now_scaled) = match unit {
+            Unit::TimeUs => (base / committed_scale, now / fresh_scale),
+            Unit::BytesPerRow => (*base, *now),
+        };
         let ratio = if base_scaled > 0.0 {
             now_scaled / base_scaled
         } else {
@@ -117,8 +137,9 @@ fn run() -> Result<bool, String> {
         };
         // The noise floor applies to the raw medians on both sides: an
         // entry that runs fast on either machine jitters too much to
-        // gate on, calibrated or not.
-        let verdict = if *base < NOISE_FLOOR_US || *now < NOISE_FLOOR_US {
+        // gate on, calibrated or not. Byte entries have no floor.
+        let noisy = *unit == Unit::TimeUs && (*base < NOISE_FLOOR_US || *now < NOISE_FLOOR_US);
+        let verdict = if noisy {
             "noise"
         } else if ratio > factor {
             failed = true;
@@ -126,10 +147,14 @@ fn run() -> Result<bool, String> {
         } else {
             "ok"
         };
-        println!("  {verdict:<5} {id:<42} {base:>12.1} -> {now:>12.1} µs ({ratio:.2}x)");
+        let label = match unit {
+            Unit::TimeUs => "µs",
+            Unit::BytesPerRow => "B/row",
+        };
+        println!("  {verdict:<5} {id:<42} {base:>12.1} -> {now:>12.1} {label} ({ratio:.2}x)");
     }
-    for (id, _) in &fresh {
-        if !committed.iter().any(|(cid, _)| cid == id) {
+    for (id, _, _) in &fresh {
+        if !committed.iter().any(|(cid, _, _)| cid == id) {
             println!("  NEW  {id}: not in the committed seed (commit the fresh file to adopt)");
         }
     }

@@ -21,7 +21,6 @@
 use crate::error::{Error, Result};
 use crate::schema::Schema;
 use crate::table::Table;
-use crate::tuple::Tuple;
 use crate::value::Value;
 use std::io::BufRead;
 use std::sync::Arc;
@@ -148,16 +147,27 @@ impl<R: BufRead> CsvReader<R> {
         }
     }
 
-    fn take_field(&self, bytes: &mut Vec<u8>) -> Result<String> {
-        String::from_utf8(std::mem::take(bytes)).map_err(|_| self.err("field is not valid UTF-8"))
+    /// Validates the current field's bytes (`buf[start..]`) as UTF-8 and
+    /// seals it by recording its end offset.
+    fn seal_field(&self, buf: &[u8], ends: &mut Vec<u32>) -> Result<()> {
+        let start = ends.last().copied().unwrap_or(0) as usize;
+        std::str::from_utf8(&buf[start..])
+            .map_err(|_| self.err("field is not valid UTF-8"))?;
+        ends.push(buf.len() as u32);
+        Ok(())
     }
 
-    /// Reads the next record into `record` (cleared first). Returns
-    /// `false` at end of input. Blank lines (a record consisting of one
-    /// empty unquoted field) are skipped, matching [`parse_csv`].
-    pub fn next_record(&mut self, record: &mut Vec<String>) -> Result<bool> {
-        record.clear();
-        let mut field: Vec<u8> = Vec::new();
+    /// Reads the next record into a flat byte buffer: field `i` is
+    /// `buf[ends[i-1]..ends[i]]` (with `ends[-1]` read as 0), already
+    /// UTF-8 validated. Returns `false` at end of input. Blank lines (a
+    /// record consisting of one empty unquoted field) are skipped.
+    ///
+    /// This is the zero-copy path underneath [`CsvReader::next_record`]:
+    /// bulk loaders intern fields straight out of `buf` without ever
+    /// materializing a `String` per cell.
+    pub fn next_record_raw(&mut self, buf: &mut Vec<u8>, ends: &mut Vec<u32>) -> Result<bool> {
+        buf.clear();
+        ends.clear();
         let mut in_quotes = false;
         let mut field_started_quoted = false;
         let mut quote_closed = false;
@@ -170,8 +180,9 @@ impl<R: BufRead> CsvReader<R> {
             // After a closing quote only separators may follow, so the
             // per-byte machine must see every byte there.
             if !quote_closed {
-                while self.take_plain_run(&mut field, in_quotes)? {}
+                while self.take_plain_run(buf, in_quotes)? {}
             }
+            let field_start = ends.last().copied().unwrap_or(0) as usize;
             let next = self.next_byte()?;
             // After a closing quote only a separator or EOF may follow.
             if quote_closed && !matches!(next, None | Some(b',') | Some(b'\n') | Some(b'\r')) {
@@ -183,9 +194,8 @@ impl<R: BufRead> CsvReader<R> {
                     if in_quotes {
                         return Err(self.err("unterminated quoted field"));
                     }
-                    if !field.is_empty() || !record.is_empty() || field_started_quoted {
-                        let text = self.take_field(&mut field)?;
-                        record.push(text);
+                    if buf.len() > field_start || !ends.is_empty() || field_started_quoted {
+                        self.seal_field(buf, ends)?;
                         return Ok(true);
                     }
                     return Ok(false);
@@ -193,13 +203,13 @@ impl<R: BufRead> CsvReader<R> {
                 Some(b'"') if in_quotes => {
                     if self.peek_byte()? == Some(b'"') {
                         self.next_byte()?;
-                        field.push(b'"');
+                        buf.push(b'"');
                     } else {
                         in_quotes = false;
                         quote_closed = true;
                     }
                 }
-                Some(b'"') if field.is_empty() && !field_started_quoted => {
+                Some(b'"') if buf.len() == field_start && !field_started_quoted => {
                     in_quotes = true;
                     field_started_quoted = true;
                 }
@@ -207,8 +217,7 @@ impl<R: BufRead> CsvReader<R> {
                     return Err(self.err("quote inside an unquoted field"));
                 }
                 Some(b',') if !in_quotes => {
-                    let text = self.take_field(&mut field)?;
-                    record.push(text);
+                    self.seal_field(buf, ends)?;
                     field_started_quoted = false;
                     quote_closed = false;
                 }
@@ -217,12 +226,12 @@ impl<R: BufRead> CsvReader<R> {
                 }
                 Some(b'\n') if !in_quotes => {
                     self.line += 1;
-                    let text = self.take_field(&mut field)?;
-                    record.push(text);
+                    self.seal_field(buf, ends)?;
                     // A blank line yields no record: keep scanning, and
                     // the eventual record starts after it.
-                    if record.len() == 1 && record[0].is_empty() {
-                        record.clear();
+                    if ends.len() == 1 && ends[0] == 0 {
+                        buf.clear();
+                        ends.clear();
                         field_started_quoted = false;
                         quote_closed = false;
                         self.record_start = self.line;
@@ -234,10 +243,29 @@ impl<R: BufRead> CsvReader<R> {
                     if b == b'\n' {
                         self.line += 1;
                     }
-                    field.push(b);
+                    buf.push(b);
                 }
             }
         }
+    }
+
+    /// Reads the next record into `record` (cleared first). Returns
+    /// `false` at end of input. Blank lines (a record consisting of one
+    /// empty unquoted field) are skipped, matching [`parse_csv`].
+    pub fn next_record(&mut self, record: &mut Vec<String>) -> Result<bool> {
+        record.clear();
+        let mut buf = Vec::new();
+        let mut ends = Vec::new();
+        if !self.next_record_raw(&mut buf, &mut ends)? {
+            return Ok(false);
+        }
+        let mut start = 0usize;
+        for &end in &ends {
+            let bytes = &buf[start..end as usize];
+            record.push(std::str::from_utf8(bytes).expect("validated by raw read").to_string());
+            start = end as usize;
+        }
+        Ok(true)
     }
 
     /// The 1-based line the reader is currently positioned at.
@@ -340,33 +368,42 @@ pub fn table_from_csv_reader<R: BufRead>(
         .collect();
     let schema = Schema::new(relation, attrs)?;
     let mut table = Table::new(Arc::clone(&schema));
-    let mut row: Vec<String> = Vec::new();
+    // Zero-copy load loop: fields are interned straight out of the raw
+    // record buffer — no per-cell `String`, no per-row `Vec<Value>`; a
+    // string cell allocates only the first time its text appears.
+    let mut buf: Vec<u8> = Vec::new();
+    let mut ends: Vec<u32> = Vec::new();
+    let mut syms: Vec<crate::sym::Sym> = Vec::with_capacity(schema.arity());
     loop {
-        if !reader.next_record(&mut row)? {
+        if !reader.next_record_raw(&mut buf, &mut ends)? {
             return Ok(table);
         }
         // Errors cite the line the record started on (blank lines and
         // multiline quoted fields accounted for by the reader).
         let record_line = reader.record_line();
-        if row.len() != header.len() {
+        if ends.len() != header.len() {
             return Err(Error::CsvParse {
                 line: record_line,
                 reason: "record width differs from header",
             });
         }
         let mut weight = 1.0;
-        let mut values = Vec::with_capacity(schema.arity());
-        for (i, fieldtext) in row.iter().enumerate() {
+        syms.clear();
+        let mut start = 0usize;
+        for (i, &end) in ends.iter().enumerate() {
+            let fieldtext =
+                std::str::from_utf8(&buf[start..end as usize]).expect("validated by raw read");
+            start = end as usize;
             if Some(i) == weight_idx {
                 weight = fieldtext.parse::<f64>().map_err(|_| Error::CsvParse {
                     line: record_line,
                     reason: "weight field is not a number",
                 })?;
             } else {
-                values.push(parse_value(fieldtext));
+                syms.push(table.intern_text(fieldtext));
             }
         }
-        table.push(Tuple::new(values), weight)?;
+        table.push_syms(&syms, weight)?;
     }
 }
 
@@ -387,13 +424,6 @@ pub fn table_to_csv(table: &Table, include_weights: bool) -> String {
         push_record(&mut out, &fields);
     }
     out
-}
-
-fn parse_value(text: &str) -> Value {
-    match text.parse::<i64>() {
-        Ok(i) => Value::Int(i),
-        Err(_) => Value::str(text),
-    }
 }
 
 fn render_value(v: &Value) -> String {

@@ -40,6 +40,7 @@ mod normalize;
 mod parallel;
 mod scan;
 mod schema;
+mod sym;
 mod table;
 mod tuple;
 mod value;
@@ -64,6 +65,7 @@ pub use normalize::{
 pub use parallel::{effective_threads, round_robin_map};
 pub use scan::KeyExtractor;
 pub use schema::{schema_rabc, AttrId, Schema};
+pub use sym::{Dictionary, FnvBuild, FnvHasher, Sym};
 pub use table::{Row, Table, TupleId};
 pub use tuple::Tuple;
 pub use value::{FreshSource, Value};

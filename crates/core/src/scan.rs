@@ -1,13 +1,14 @@
-//! Streaming, allocation-light conflict detection.
+//! Streaming, allocation-light conflict detection over symbol columns.
 //!
 //! [`Table::conflicting_pairs`] answers "which pairs violate Δ?" by
 //! materializing every pair — fine for hundreds of rows, fatal for a
 //! million (a dense instance has `Θ(n²)` conflicting pairs). This module
 //! is the scalable substrate underneath it:
 //!
-//! * [`KeyExtractor`] — a per-FD precomputed column-index list that
-//!   hashes and compares projections **in place**, without allocating a
-//!   `Vec<Value>` key per row per FD;
+//! * [`KeyExtractor`] — a per-FD precomputed column-index list whose
+//!   key operations are **gathers over the table's `u32` symbol
+//!   columns**: hashing is one FNV fold per attribute over a fixed-width
+//!   word, equality is a word compare — no `Value` is touched;
 //! * [`Table::for_each_conflict_group`] — streams, per FD, each
 //!   lhs-group that contains at least two rhs-classes (exactly the
 //!   groups that induce conflicts), in first-row order;
@@ -15,11 +16,18 @@
 //!   conflicting row-position pairs derived from those groups, via a
 //!   callback instead of a collected `Vec`.
 //!
+//! Grouping runs through an open-addressing probe table with intrusive
+//! member chains (`next[]` per row), so a full lhs partition of the
+//! table costs zero per-group allocations; rhs sub-grouping reuses an
+//! epoch-stamped scratch table across groups. Symbol equality is value
+//! equality within one dictionary, so grouping by symbols produces
+//! exactly the groups the old `Value`-level scan produced.
+//!
 //! Both scans run in `O(|T| · |Δ|)` time plus output size, use `O(|T|)`
 //! scratch memory, and are **deterministic**: FDs in `Δ` order, groups in
 //! first-occurrence (row) order, rhs classes in first-occurrence order.
-//! Hashes only choose buckets; grouping always verifies true equality,
-//! so hash collisions cost time, never correctness.
+//! Hashes only choose probe slots; grouping always verifies true symbol
+//! equality, so hash collisions cost time, never correctness.
 //!
 //! Consumers: `fd-graph` builds conflict graphs edge-by-edge from the
 //! pair stream and connected components directly from the group stream
@@ -30,16 +38,16 @@
 use crate::attrset::AttrSet;
 use crate::fd::Fd;
 use crate::fdset::FdSet;
+use crate::sym::Sym;
 use crate::table::Table;
-use crate::tuple::Tuple;
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+
+/// "Not a position" sentinel in the intrusive member chains.
+const NONE: u32 = u32::MAX;
 
 /// A precomputed projection key for one attribute set: hashes and
-/// compares `t[X]` directly against tuple storage, with no per-row
-/// allocation. The hash is deterministic across runs and platforms
-/// (`DefaultHasher::new()` is keyed with constants).
+/// compares `t[X]` as a gather over the table's symbol columns, with no
+/// per-row allocation. The hash is an FNV-1a fold over the projected
+/// 32-bit symbols — deterministic across runs and platforms.
 #[derive(Clone, Debug)]
 pub struct KeyExtractor {
     cols: Box<[usize]>,
@@ -47,68 +55,37 @@ pub struct KeyExtractor {
 
 impl KeyExtractor {
     /// Builds an extractor for the attribute set `X` (ascending order,
-    /// matching [`Tuple::project`]).
+    /// matching [`crate::Tuple::project`]).
     pub fn new(attrs: AttrSet) -> KeyExtractor {
         KeyExtractor {
             cols: attrs.iter().map(|a| a.usize()).collect(),
         }
     }
 
-    /// The hash of `t[X]`.
-    pub fn hash(&self, t: &Tuple) -> u64 {
-        let mut h = DefaultHasher::new();
-        let values = t.values();
+    /// The hash of the projection of the row at `pos`: one FNV fold per
+    /// attribute over its 32-bit symbol, with a final bit-mix so the low
+    /// bits (used for power-of-two slot masks) see the whole word.
+    #[inline]
+    pub fn hash(&self, cols: &[Vec<Sym>], pos: u32) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
         for &c in self.cols.iter() {
-            values[c].hash(&mut h);
+            h = (h ^ cols[c][pos as usize].raw() as u64).wrapping_mul(0x0000_0100_0000_01b3);
         }
-        h.finish()
+        h ^ (h >> 31)
     }
 
-    /// True iff `a[X] = b[X]`.
-    pub fn eq(&self, a: &Tuple, b: &Tuple) -> bool {
-        let (av, bv) = (a.values(), b.values());
-        self.cols.iter().all(|&c| av[c] == bv[c])
+    /// True iff the rows at `p` and `q` agree on `X` (symbol compare
+    /// per attribute; symbol equality ⇔ value equality).
+    #[inline]
+    pub fn eq(&self, cols: &[Vec<Sym>], p: u32, q: u32) -> bool {
+        self.cols
+            .iter()
+            .all(|&c| cols[c][p as usize] == cols[c][q as usize])
     }
 
     /// True iff `X = ∅` (every tuple projects to the same empty key).
     pub fn is_empty(&self) -> bool {
         self.cols.is_empty()
-    }
-}
-
-/// Hash-partitioned grouping of row positions by a projection, in
-/// first-occurrence order. `slots` maps a hash to the indices of the
-/// groups sharing it (true equality is always verified).
-struct Grouper<'a> {
-    key: KeyExtractor,
-    tuples: &'a [&'a Tuple],
-    groups: Vec<Vec<u32>>,
-    slots: HashMap<u64, Vec<u32>>,
-}
-
-impl<'a> Grouper<'a> {
-    fn new(attrs: AttrSet, tuples: &'a [&'a Tuple]) -> Grouper<'a> {
-        Grouper {
-            key: KeyExtractor::new(attrs),
-            tuples,
-            groups: Vec::new(),
-            slots: HashMap::new(),
-        }
-    }
-
-    fn insert(&mut self, pos: u32) {
-        let tuple = self.tuples[pos as usize];
-        let hash = self.key.hash(tuple);
-        let candidates = self.slots.entry(hash).or_default();
-        for &g in candidates.iter() {
-            let rep = self.groups[g as usize][0];
-            if self.key.eq(self.tuples[rep as usize], tuple) {
-                self.groups[g as usize].push(pos);
-                return;
-            }
-        }
-        candidates.push(self.groups.len() as u32);
-        self.groups.push(vec![pos]);
     }
 }
 
@@ -119,22 +96,96 @@ impl Table {
     /// the group (first-occurrence order, members in row order). Rows in
     /// *different* classes of one call jointly violate `fd`.
     fn grouped_conflict_scan<F: FnMut(&Fd, &[Vec<u32>])>(&self, fds: &FdSet, mut f: F) {
-        let tuples: Vec<&Tuple> = self.rows().map(|r| &r.tuple).collect();
+        let n = self.len();
+        let cols = self.sym_cols();
+        // Scratch reused across every FD and group: rhs probe slots are
+        // "cleared" by bumping the epoch, class member vectors keep
+        // their capacity.
+        let mut classes: Vec<Vec<u32>> = Vec::new();
+        let mut rhs_slot: Vec<u32> = Vec::new();
+        let mut rhs_epoch: Vec<u64> = Vec::new();
+        let mut epoch: u64 = 0;
         for fd in fds.iter() {
-            let mut by_lhs = Grouper::new(fd.lhs(), &tuples);
-            for pos in 0..tuples.len() as u32 {
-                by_lhs.insert(pos);
+            let lhs = KeyExtractor::new(fd.lhs());
+            let rhs = KeyExtractor::new(fd.rhs());
+            // Partition all rows by lhs: open addressing over group
+            // representatives, members threaded through `next` so the
+            // whole partition allocates a constant number of vectors.
+            let cap = (2 * n).next_power_of_two().max(8);
+            let mask = cap - 1;
+            let mut slots = vec![0u32; cap]; // group index + 1; 0 = empty
+            let mut g_hash: Vec<u64> = Vec::new();
+            let mut g_rep: Vec<u32> = Vec::new();
+            let mut g_tail: Vec<u32> = Vec::new();
+            let mut g_len: Vec<u32> = Vec::new();
+            let mut next = vec![NONE; n];
+            for pos in 0..n as u32 {
+                let h = lhs.hash(cols, pos);
+                let mut slot = h as usize & mask;
+                loop {
+                    let g = slots[slot];
+                    if g == 0 {
+                        slots[slot] = g_rep.len() as u32 + 1;
+                        g_hash.push(h);
+                        g_rep.push(pos);
+                        g_tail.push(pos);
+                        g_len.push(1);
+                        break;
+                    }
+                    let gi = (g - 1) as usize;
+                    if g_hash[gi] == h && lhs.eq(cols, g_rep[gi], pos) {
+                        next[g_tail[gi] as usize] = pos;
+                        g_tail[gi] = pos;
+                        g_len[gi] += 1;
+                        break;
+                    }
+                    slot = (slot + 1) & mask;
+                }
             }
-            for group in &by_lhs.groups {
-                if group.len() < 2 {
+            // Sub-partition each non-singleton group by rhs.
+            for gi in 0..g_rep.len() {
+                if g_len[gi] < 2 {
                     continue;
                 }
-                let mut by_rhs = Grouper::new(fd.rhs(), &tuples);
-                for &pos in group {
-                    by_rhs.insert(pos);
+                let m = g_len[gi] as usize;
+                let rcap = (2 * m).next_power_of_two();
+                if rhs_slot.len() < rcap {
+                    rhs_slot.resize(rcap, 0);
+                    rhs_epoch.resize(rcap, 0);
                 }
-                if by_rhs.groups.len() >= 2 {
-                    f(fd, &by_rhs.groups);
+                let rmask = rcap - 1;
+                epoch += 1;
+                let mut nclasses = 0usize;
+                let mut pos = g_rep[gi];
+                loop {
+                    let h = rhs.hash(cols, pos);
+                    let mut slot = h as usize & rmask;
+                    loop {
+                        if rhs_epoch[slot] != epoch {
+                            rhs_epoch[slot] = epoch;
+                            rhs_slot[slot] = nclasses as u32;
+                            if classes.len() == nclasses {
+                                classes.push(Vec::new());
+                            }
+                            classes[nclasses].clear();
+                            classes[nclasses].push(pos);
+                            nclasses += 1;
+                            break;
+                        }
+                        let ci = rhs_slot[slot] as usize;
+                        if rhs.eq(cols, classes[ci][0], pos) {
+                            classes[ci].push(pos);
+                            break;
+                        }
+                        slot = (slot + 1) & rmask;
+                    }
+                    if pos == g_tail[gi] {
+                        break;
+                    }
+                    pos = next[pos as usize];
+                }
+                if nclasses >= 2 {
+                    f(fd, &classes[..nclasses]);
                 }
             }
         }
@@ -322,14 +373,21 @@ mod tests {
     #[test]
     fn extractor_hash_and_eq_match_projection() {
         let s = schema_rabc();
+        let t = Table::build_unweighted(
+            s.clone(),
+            vec![tup!["x", 1, 2], tup!["x", 9, 2], tup!["x", 1, 3]],
+        )
+        .unwrap();
+        let cols = t.sym_cols();
         let x = KeyExtractor::new(s.attr_set(["A", "C"]).unwrap());
-        let a = tup!["x", 1, 2];
-        let b = tup!["x", 9, 2];
-        let c = tup!["x", 1, 3];
-        assert!(x.eq(&a, &b));
-        assert!(!x.eq(&a, &c));
-        assert_eq!(x.hash(&a), x.hash(&b));
+        assert!(x.eq(cols, 0, 1));
+        assert!(!x.eq(cols, 0, 2));
+        assert_eq!(x.hash(cols, 0), x.hash(cols, 1));
         assert!(!x.is_empty());
         assert!(KeyExtractor::new(AttrSet::EMPTY).is_empty());
+        // Empty keys: everything hashes and compares equal.
+        let e = KeyExtractor::new(AttrSet::EMPTY);
+        assert_eq!(e.hash(cols, 0), e.hash(cols, 2));
+        assert!(e.eq(cols, 0, 2));
     }
 }

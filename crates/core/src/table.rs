@@ -1,14 +1,29 @@
 //! Weighted tables with tuple identifiers (§2.1), FD satisfaction (§2.2),
 //! and the repair distances `dist_sub` / `dist_upd` (§2.3).
+//!
+//! # Storage layout
+//!
+//! A [`Table`] is **columnar and dictionary-encoded**: every cell is
+//! interned to a 32-bit [`Sym`] through the table's copy-on-write
+//! [`Dictionary`], and the symbols live in one dense `Vec<Sym>` per
+//! attribute plus a parallel weights column. The row-oriented view
+//! ([`Row`] / [`Tuple`], one decoded `Value` per cell sharing the
+//! dictionary's pooled `Arc<str>`s) is maintained alongside for the
+//! report/wire boundary and cross-table comparisons; every scan, group,
+//! and hash hot path runs over the symbol columns (see the `scan`
+//! module). Identifier lookup is a dense offset `Vec<u32>`, not a hash
+//! map. Derived tables (subsets, partition blocks, component shards)
+//! share the dictionary and gather symbol columns by position.
 
 use crate::attrset::AttrSet;
 use crate::error::{Error, Result};
 use crate::fd::Fd;
 use crate::fdset::FdSet;
 use crate::schema::{AttrId, Schema};
+use crate::sym::{value_contains_fresh, Dictionary, FnvBuild, Sym};
 use crate::tuple::Tuple;
 use crate::value::Value;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -35,41 +50,66 @@ pub struct Row {
     pub weight: f64,
 }
 
+/// Position sentinel: "this identifier is not in the table".
+const NO_POS: u32 = u32::MAX;
+
 /// A table `T` over a schema: a finite map from identifiers to weighted
 /// tuples (§2.1). Duplicate *tuples* are allowed; identifiers are unique.
+///
+/// Storage is columnar and dictionary-encoded — see the module docs.
 #[derive(Clone, Debug)]
 pub struct Table {
     schema: Arc<Schema>,
     rows: Vec<Row>,
     next_id: u32,
-    /// Identifier → position in `rows`, for O(1) row access.
-    index: HashMap<TupleId, u32>,
+    /// Dense identifier index: `index[id - index_base]` is the position
+    /// in `rows` (or [`NO_POS`]). Covers `[index_base, max id]`, so
+    /// sparse shards of a large table stay small.
+    index: Vec<u32>,
+    index_base: u32,
+    /// Sorted `(id, pos)` pairs, used instead of the dense index when a
+    /// gather's id range is much wider than its row count (e.g. a tiny
+    /// component whose rows stride across a million-row table). Empty
+    /// when the dense index is in use.
+    index_sparse: Vec<(u32, u32)>,
+    /// The copy-on-write value dictionary shared with derived tables.
+    dict: Arc<Dictionary>,
+    /// One symbol column per attribute, row positions aligned.
+    cols: Vec<Vec<Sym>>,
+    /// The weights column, row positions aligned.
+    weights: Vec<f64>,
+    /// Conservative: true iff a fresh-containing value may be stored.
+    has_fresh: bool,
 }
 
 impl Table {
     /// Creates an empty table over `schema`.
     pub fn new(schema: Arc<Schema>) -> Table {
+        let arity = schema.arity();
         Table {
             schema,
             rows: Vec::new(),
             next_id: 0,
-            index: HashMap::new(),
+            index: Vec::new(),
+            index_base: 0,
+            index_sparse: Vec::new(),
+            dict: Arc::new(Dictionary::new()),
+            cols: vec![Vec::new(); arity],
+            weights: Vec::new(),
+            has_fresh: false,
         }
     }
 
-    /// Internal constructor from pre-validated rows.
-    fn from_rows(schema: Arc<Schema>, rows: Vec<Row>, next_id: u32) -> Table {
-        let index = rows
-            .iter()
-            .enumerate()
-            .map(|(pos, r)| (r.id, pos as u32))
-            .collect();
-        Table {
-            schema,
-            rows,
-            next_id,
-            index,
+    /// Creates an empty table with row capacity reserved — the entry
+    /// point for bulk loads (CSV streaming, scale generators).
+    pub fn with_capacity(schema: Arc<Schema>, rows: usize) -> Table {
+        let mut t = Table::new(schema);
+        t.rows.reserve(rows);
+        t.weights.reserve(rows);
+        for col in &mut t.cols {
+            col.reserve(rows);
         }
+        t
     }
 
     /// Builds a table from `(tuple, weight)` pairs with ids `0, 1, 2, …`.
@@ -77,8 +117,9 @@ impl Table {
     where
         I: IntoIterator<Item = (Tuple, f64)>,
     {
-        let mut t = Table::new(schema);
-        for (tuple, weight) in rows {
+        let iter = rows.into_iter();
+        let mut t = Table::with_capacity(schema, iter.size_hint().0);
+        for (tuple, weight) in iter {
             t.push(tuple, weight)?;
         }
         Ok(t)
@@ -99,6 +140,65 @@ impl Table {
         Ok(id)
     }
 
+    /// Interns `v` through the table's dictionary, copy-on-write: the
+    /// shared pool is only cloned when `v` is genuinely new.
+    fn intern(&mut self, v: &Value) -> Sym {
+        match self.dict.lookup(v) {
+            Some(sym) => sym,
+            None => Arc::make_mut(&mut self.dict).intern(v),
+        }
+    }
+
+    /// Records `id → pos` in the identifier index.
+    fn index_insert(&mut self, id: u32, pos: u32) {
+        if !self.index_sparse.is_empty() {
+            // Pushing into a sparsely-indexed gather result: keep the
+            // pair list sorted (duplicates were rejected upstream).
+            let at = self
+                .index_sparse
+                .partition_point(|&(i, _)| i < id);
+            self.index_sparse.insert(at, (id, pos));
+            return;
+        }
+        if self.index.is_empty() {
+            self.index_base = id;
+        }
+        if id < self.index_base {
+            // Rare rebase: an explicit identifier below every previous
+            // one. Rebuild the offset index over the existing rows.
+            let base = id;
+            let max = self.index_base as usize + self.index.len() - 1;
+            let mut index = vec![NO_POS; max - base as usize + 1];
+            for (p, row) in self.rows.iter().enumerate() {
+                index[(row.id.0 - base) as usize] = p as u32;
+            }
+            self.index = index;
+            self.index_base = base;
+        }
+        let slot = (id - self.index_base) as usize;
+        if slot >= self.index.len() {
+            self.index.resize(slot + 1, NO_POS);
+        }
+        self.index[slot] = pos;
+    }
+
+    /// The position of `id`, if present.
+    #[inline]
+    fn pos_of(&self, id: TupleId) -> Option<u32> {
+        if !self.index_sparse.is_empty() {
+            return self
+                .index_sparse
+                .binary_search_by_key(&id.0, |&(i, _)| i)
+                .ok()
+                .map(|k| self.index_sparse[k].1);
+        }
+        let slot = id.0.checked_sub(self.index_base)? as usize;
+        match self.index.get(slot) {
+            Some(&pos) if pos != NO_POS => Some(pos),
+            _ => None,
+        }
+    }
+
     /// Appends a tuple under an explicit identifier.
     pub fn push_row(&mut self, id: TupleId, tuple: Tuple, weight: f64) -> Result<()> {
         if tuple.arity() != self.schema.arity() {
@@ -110,18 +210,83 @@ impl Table {
         if weight <= 0.0 || !weight.is_finite() {
             return Err(Error::InvalidWeight { weight });
         }
-        if self.index.contains_key(&id) {
+        if self.pos_of(id).is_some() {
             return Err(Error::DuplicateTupleId { id: id.0 });
         }
+        let pos = self.rows.len() as u32;
+        for (c, v) in tuple.values().iter().enumerate() {
+            let sym = self.intern(v);
+            self.cols[c].push(sym);
+            self.has_fresh |= value_contains_fresh(v);
+        }
         self.next_id = self.next_id.max(id.0 + 1);
-        self.index.insert(id, self.rows.len() as u32);
+        self.index_insert(id.0, pos);
+        self.weights.push(weight);
         self.rows.push(Row { id, tuple, weight });
         Ok(())
+    }
+
+    /// Appends a row given pre-interned symbols (one per attribute, in
+    /// schema order) — the zero-copy path for streaming loaders that
+    /// intern fields straight off the wire. The row view is decoded from
+    /// the dictionary, so string cells share the pooled `Arc<str>`s.
+    pub fn push_syms(&mut self, syms: &[Sym], weight: f64) -> Result<TupleId> {
+        if syms.len() != self.schema.arity() {
+            return Err(Error::ArityMismatch {
+                expected: self.schema.arity(),
+                found: syms.len(),
+            });
+        }
+        if weight <= 0.0 || !weight.is_finite() {
+            return Err(Error::InvalidWeight { weight });
+        }
+        let id = TupleId(self.next_id);
+        let pos = self.rows.len() as u32;
+        let tuple = Tuple::new(syms.iter().map(|&s| {
+            self.has_fresh |= self.dict.sym_contains_fresh(s);
+            self.dict.decode(s)
+        }));
+        for (c, &sym) in syms.iter().enumerate() {
+            self.cols[c].push(sym);
+        }
+        self.next_id += 1;
+        self.index_insert(id.0, pos);
+        self.weights.push(weight);
+        self.rows.push(Row { id, tuple, weight });
+        Ok(id)
+    }
+
+    /// Interns a raw text field through the table's dictionary (integer
+    /// syntax becomes an integer symbol), for use with
+    /// [`Table::push_syms`].
+    pub fn intern_text(&mut self, text: &str) -> Sym {
+        Arc::make_mut(&mut self.dict).intern_text(text)
     }
 
     /// The schema of the table.
     pub fn schema(&self) -> &Arc<Schema> {
         &self.schema
+    }
+
+    /// The table's value dictionary.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// The symbol column of one attribute, row positions aligned with
+    /// [`Table::rows`] order.
+    pub fn col(&self, attr: AttrId) -> &[Sym] {
+        &self.cols[attr.usize()]
+    }
+
+    /// All symbol columns, in schema attribute order.
+    pub fn sym_cols(&self) -> &[Vec<Sym>] {
+        &self.cols
+    }
+
+    /// The weights column, row positions aligned.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
     }
 
     /// `|T|`: the number of tuple identifiers.
@@ -139,44 +304,55 @@ impl Table {
         self.rows.iter()
     }
 
+    /// The row at a position (insertion order), for consumers that work
+    /// in position space (scans, component shards).
+    pub fn row_at(&self, pos: usize) -> &Row {
+        &self.rows[pos]
+    }
+
     /// All identifiers, in insertion order.
     pub fn ids(&self) -> impl Iterator<Item = TupleId> + '_ {
         self.rows.iter().map(|r| r.id)
     }
 
-    /// Looks up a row by identifier (O(1)).
+    /// Looks up a row by identifier (O(1), a dense offset lookup).
     pub fn row(&self, id: TupleId) -> Result<&Row> {
-        self.index
-            .get(&id)
-            .map(|&pos| &self.rows[pos as usize])
+        self.pos_of(id)
+            .map(|pos| &self.rows[pos as usize])
             .ok_or(Error::UnknownTupleId { id: id.0 })
     }
 
     /// Replaces the value of one cell; returns the old value (O(1)).
+    /// The new value is interned and the symbol column updated in step.
     pub fn set_value(&mut self, id: TupleId, attr: AttrId, value: Value) -> Result<Value> {
-        let pos = *self
-            .index
-            .get(&id)
-            .ok_or(Error::UnknownTupleId { id: id.0 })?;
-        Ok(self.rows[pos as usize].tuple.set(attr, value))
+        let pos = self
+            .pos_of(id)
+            .ok_or(Error::UnknownTupleId { id: id.0 })? as usize;
+        let sym = self.intern(&value);
+        self.has_fresh |= value_contains_fresh(&value);
+        self.cols[attr.usize()][pos] = sym;
+        Ok(self.rows[pos].tuple.set(attr, value))
     }
 
     /// The total weight `w_T(T)` of all rows.
     pub fn total_weight(&self) -> f64 {
-        self.rows.iter().map(|r| r.weight).sum()
+        self.weights.iter().sum()
     }
 
     /// True iff distinct identifiers carry distinct tuples (§2.1).
     pub fn is_duplicate_free(&self) -> bool {
-        let mut seen = HashSet::with_capacity(self.rows.len());
-        self.rows.iter().all(|r| seen.insert(&r.tuple))
+        let mut seen: HashSet<Box<[Sym]>, FnvBuild> = HashSet::default();
+        (0..self.rows.len()).all(|pos| {
+            let key: Box<[Sym]> = self.cols.iter().map(|col| col[pos]).collect();
+            seen.insert(key)
+        })
     }
 
     /// True iff all weights are equal (§2.1).
     pub fn is_unweighted(&self) -> bool {
-        match self.rows.first() {
+        match self.weights.first() {
             None => true,
-            Some(first) => self.rows.iter().all(|r| r.weight == first.weight),
+            Some(first) => self.weights.iter().all(|w| w == first),
         }
     }
 
@@ -186,22 +362,34 @@ impl Table {
 
     /// True iff the table satisfies the FD `X → Y` (§2.2).
     pub fn satisfies_fd(&self, fd: &Fd) -> bool {
-        let mut seen: HashMap<Vec<Value>, Vec<Value>> = HashMap::with_capacity(self.rows.len());
-        for row in &self.rows {
-            let key = row.tuple.project(fd.lhs());
-            let val = row.tuple.project(fd.rhs());
+        self.violation_positions(fd).is_none()
+    }
+
+    /// First violating position pair of one FD, in the deterministic
+    /// "first row of the lhs group vs. current row" order.
+    fn violation_positions(&self, fd: &Fd) -> Option<(u32, u32)> {
+        let lhs: Vec<usize> = fd.lhs().iter().map(|a| a.usize()).collect();
+        let rhs: Vec<usize> = fd.rhs().iter().map(|a| a.usize()).collect();
+        let mut seen: HashMap<Box<[Sym]>, u32, FnvBuild> =
+            HashMap::with_capacity_and_hasher(self.rows.len(), FnvBuild::default());
+        for pos in 0..self.rows.len() as u32 {
+            let key: Box<[Sym]> = lhs.iter().map(|&c| self.cols[c][pos as usize]).collect();
             match seen.entry(key) {
                 std::collections::hash_map::Entry::Occupied(e) => {
-                    if e.get() != &val {
-                        return false;
+                    let rep = *e.get() as usize;
+                    if rhs
+                        .iter()
+                        .any(|&c| self.cols[c][rep] != self.cols[c][pos as usize])
+                    {
+                        return Some((rep as u32, pos));
                     }
                 }
                 std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(val);
+                    e.insert(pos);
                 }
             }
         }
-        true
+        None
     }
 
     /// True iff the table satisfies every FD of `Δ`.
@@ -213,20 +401,8 @@ impl Table {
     /// or `None` if consistent.
     pub fn violating_pair(&self, fds: &FdSet) -> Option<(TupleId, TupleId, Fd)> {
         for fd in fds.iter() {
-            let mut seen: HashMap<Vec<Value>, (TupleId, Vec<Value>)> = HashMap::new();
-            for row in &self.rows {
-                let key = row.tuple.project(fd.lhs());
-                let val = row.tuple.project(fd.rhs());
-                match seen.entry(key) {
-                    std::collections::hash_map::Entry::Occupied(e) => {
-                        if e.get().1 != val {
-                            return Some((e.get().0, row.id, *fd));
-                        }
-                    }
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert((row.id, val));
-                    }
-                }
+            if let Some((p, q)) = self.violation_positions(fd) {
+                return Some((self.rows[p as usize].id, self.rows[q as usize].id, *fd));
             }
         }
         None
@@ -255,85 +431,226 @@ impl Table {
     // Subsets, updates, distances.
     // ------------------------------------------------------------------
 
+    /// The sub-table holding exactly the rows at the given positions
+    /// (insertion order indices), under their original identifiers: a
+    /// **gather** — symbol columns are copied by position and the
+    /// dictionary is shared, no value is re-interned. This is how
+    /// component shards and partition blocks are built.
+    pub fn gather_positions(&self, positions: &[u32]) -> Table {
+        let rows: Vec<Row> = positions
+            .iter()
+            .map(|&p| self.rows[p as usize].clone())
+            .collect();
+        let cols: Vec<Vec<Sym>> = self
+            .cols
+            .iter()
+            .map(|col| positions.iter().map(|&p| col[p as usize]).collect())
+            .collect();
+        let weights: Vec<f64> = positions.iter().map(|&p| self.weights[p as usize]).collect();
+        // Offset index over the id range actually present; when the
+        // range is much wider than the row count (a few rows strided
+        // across a huge table), sorted pairs beat a mostly-empty array.
+        let (mut index, mut index_base) = (Vec::new(), 0);
+        let mut index_sparse = Vec::new();
+        if let (Some(min), Some(max)) = (
+            rows.iter().map(|r| r.id.0).min(),
+            rows.iter().map(|r| r.id.0).max(),
+        ) {
+            let range = (max - min + 1) as usize;
+            if range <= rows.len() * 4 + 16 {
+                index_base = min;
+                index = vec![NO_POS; range];
+                for (pos, row) in rows.iter().enumerate() {
+                    index[(row.id.0 - min) as usize] = pos as u32;
+                }
+            } else {
+                index_sparse = rows
+                    .iter()
+                    .enumerate()
+                    .map(|(pos, row)| (row.id.0, pos as u32))
+                    .collect();
+                index_sparse.sort_unstable_by_key(|&(i, _)| i);
+            }
+        }
+        Table {
+            schema: self.schema.clone(),
+            rows,
+            next_id: self.next_id,
+            index,
+            index_base,
+            index_sparse,
+            dict: Arc::clone(&self.dict),
+            cols,
+            weights,
+            has_fresh: self.has_fresh,
+        }
+    }
+
+
+    /// A keep-mask over row positions: `mask[pos]` is true iff the row
+    /// at `pos` has an id in `ids`. Pure index lookups — no hashing.
+    pub fn position_mask<'a>(&self, ids: impl IntoIterator<Item = &'a TupleId>) -> Vec<bool> {
+        let mut mask = vec![false; self.rows.len()];
+        for id in ids {
+            if let Some(pos) = self.pos_of(*id) {
+                mask[pos as usize] = true;
+            }
+        }
+        mask
+    }
+
+    /// Positions whose mask entry equals `keep`, in row order.
+    fn masked_positions(mask: &[bool], keep: bool) -> Vec<u32> {
+        mask.iter()
+            .enumerate()
+            .filter(|(_, &m)| m == keep)
+            .map(|(p, _)| p as u32)
+            .collect()
+    }
+
     /// The subset of `self` keeping exactly the identifiers in `keep`
     /// (ids not present in the table are ignored).
     pub fn subset(&self, keep: &HashSet<TupleId>) -> Table {
-        Table::from_rows(
-            self.schema.clone(),
-            self.rows
-                .iter()
-                .filter(|r| keep.contains(&r.id))
-                .cloned()
-                .collect(),
-            self.next_id,
-        )
+        self.subset_ids(keep.iter())
+    }
+
+    /// [`Table::subset`] from any id sequence (duplicates are fine) —
+    /// the allocation-light path used to materialize repairs: one keep
+    /// mask through the dense id index, one gather.
+    pub fn subset_ids<'a>(&self, keep: impl IntoIterator<Item = &'a TupleId>) -> Table {
+        let mask = self.position_mask(keep);
+        self.gather_positions(&Table::masked_positions(&mask, true))
     }
 
     /// The subset of `self` obtained by deleting the identifiers in `delete`.
     pub fn without(&self, delete: &HashSet<TupleId>) -> Table {
-        Table::from_rows(
-            self.schema.clone(),
-            self.rows
-                .iter()
-                .filter(|r| !delete.contains(&r.id))
-                .cloned()
-                .collect(),
-            self.next_id,
-        )
+        let mask = self.position_mask(delete.iter());
+        self.gather_positions(&Table::masked_positions(&mask, false))
     }
 
     /// Selection `σ_{X = key} T`: rows whose projection on `attrs` equals
     /// `key` (values in ascending attribute order).
     pub fn select_eq(&self, attrs: AttrSet, key: &[Value]) -> Table {
-        Table::from_rows(
-            self.schema.clone(),
-            self.rows
-                .iter()
-                .filter(|r| r.tuple.project(attrs) == key)
-                .cloned()
-                .collect(),
-            self.next_id,
-        )
+        let cols: Vec<usize> = attrs.iter().map(|a| a.usize()).collect();
+        if cols.len() != key.len() {
+            return self.gather_positions(&[]);
+        }
+        // Encode the key through the dictionary: a component the
+        // dictionary has never seen cannot occur in any row.
+        let mut key_syms = Vec::with_capacity(key.len());
+        for v in key {
+            match self.dict.lookup(v) {
+                Some(sym) => key_syms.push(sym),
+                None => return self.gather_positions(&[]),
+            }
+        }
+        let positions: Vec<u32> = (0..self.rows.len() as u32)
+            .filter(|&pos| {
+                cols.iter()
+                    .zip(key_syms.iter())
+                    .all(|(&c, &k)| self.cols[c][pos as usize] == k)
+            })
+            .collect();
+        self.gather_positions(&positions)
     }
 
     /// Partitions the table by the projection on `attrs`, returning
-    /// `(key, block)` pairs sorted by key (deterministic).
+    /// `(key, block)` pairs sorted by key (deterministic). Grouping runs
+    /// in symbol space; only one key per distinct block is decoded.
     pub fn partition_by(&self, attrs: AttrSet) -> Vec<(Vec<Value>, Table)> {
-        let mut blocks: BTreeMap<Vec<Value>, Vec<Row>> = BTreeMap::new();
-        for row in &self.rows {
-            blocks
-                .entry(row.tuple.project(attrs))
-                .or_default()
-                .push(row.clone());
+        let cols: Vec<usize> = attrs.iter().map(|a| a.usize()).collect();
+        let mut blocks: Vec<Vec<u32>> = Vec::new();
+        if let [col] = cols[..] {
+            // Single-attribute partitions (every level of Algorithm 1's
+            // recursion) key the map on the symbol itself — no per-row
+            // boxing. Tiny tables (component shards, recursion blocks)
+            // group by linear scan instead of a hash map: first-occurrence
+            // order either way.
+            let column = &self.cols[col];
+            if column.len() <= 32 {
+                let mut keys: Vec<Sym> = Vec::new();
+                for (pos, &sym) in column.iter().enumerate() {
+                    match keys.iter().position(|&k| k == sym) {
+                        Some(b) => blocks[b].push(pos as u32),
+                        None => {
+                            keys.push(sym);
+                            blocks.push(vec![pos as u32]);
+                        }
+                    }
+                }
+            } else {
+                let mut lookup: HashMap<Sym, u32, FnvBuild> = HashMap::default();
+                for (pos, &sym) in column.iter().enumerate() {
+                    match lookup.entry(sym) {
+                        std::collections::hash_map::Entry::Occupied(e) => {
+                            blocks[*e.get() as usize].push(pos as u32);
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(blocks.len() as u32);
+                            blocks.push(vec![pos as u32]);
+                        }
+                    }
+                }
+            }
+        } else {
+            let mut lookup: HashMap<Box<[Sym]>, u32, FnvBuild> = HashMap::default();
+            for pos in 0..self.rows.len() as u32 {
+                let key: Box<[Sym]> = cols.iter().map(|&c| self.cols[c][pos as usize]).collect();
+                match lookup.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        blocks[*e.get() as usize].push(pos);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(blocks.len() as u32);
+                        blocks.push(vec![pos]);
+                    }
+                }
+            }
         }
-        blocks
+        let mut keyed: Vec<(Vec<Value>, Vec<u32>)> = blocks
             .into_iter()
-            .map(|(key, rows)| {
-                (
-                    key,
-                    Table::from_rows(self.schema.clone(), rows, self.next_id),
-                )
+            .map(|positions| {
+                let rep = positions[0] as usize;
+                let key: Vec<Value> = cols
+                    .iter()
+                    .map(|&c| self.dict.decode(self.cols[c][rep]))
+                    .collect();
+                (key, positions)
             })
+            .collect();
+        keyed.sort_by(|(a, _), (b, _)| a.cmp(b));
+        keyed
+            .into_iter()
+            .map(|(key, positions)| (key, self.gather_positions(&positions)))
             .collect()
     }
 
     /// The distinct projections `π_X T[∗]`, sorted.
     pub fn distinct_projections(&self, attrs: AttrSet) -> Vec<Vec<Value>> {
-        let mut keys: Vec<Vec<Value>> = self.rows.iter().map(|r| r.tuple.project(attrs)).collect();
+        let cols: Vec<usize> = attrs.iter().map(|a| a.usize()).collect();
+        let mut seen: HashSet<Box<[Sym]>, FnvBuild> = HashSet::default();
+        let mut keys: Vec<Vec<Value>> = Vec::new();
+        for pos in 0..self.rows.len() {
+            let sym_key: Box<[Sym]> = cols.iter().map(|&c| self.cols[c][pos]).collect();
+            if seen.insert(sym_key) {
+                keys.push(cols.iter().map(|&c| self.dict.decode(self.cols[c][pos])).collect());
+            }
+        }
         keys.sort();
-        keys.dedup();
         keys
     }
 
     /// The distinct values of one column, sorted (the column's active domain).
     pub fn column_domain(&self, attr: AttrId) -> Vec<Value> {
-        let mut vals: Vec<Value> = self
-            .rows
-            .iter()
-            .map(|r| r.tuple.get(attr).clone())
-            .collect();
+        let col = &self.cols[attr.usize()];
+        let mut seen: HashSet<Sym, FnvBuild> = HashSet::default();
+        let mut vals: Vec<Value> = Vec::new();
+        for &sym in col {
+            if seen.insert(sym) {
+                vals.push(self.dict.decode(sym));
+            }
+        }
         vals.sort();
-        vals.dedup();
         vals
     }
 
@@ -383,8 +700,17 @@ impl Table {
     /// cells stay distinct — that makes output containing fresh values
     /// deterministic across calls (the global fresh counter otherwise
     /// leaks process history into every serialized repair).
+    ///
+    /// **Fast path:** a table through which no fresh value has ever
+    /// passed (the overwhelmingly common case — every subset repair,
+    /// every clean load) returns immediately, without scanning a row.
+    /// The check is a conservative flag, so a table that once held a
+    /// fresh value still takes the full scan even after the value was
+    /// overwritten.
     pub fn canonicalize_fresh(&mut self) {
-        use std::collections::HashMap;
+        if !self.has_fresh {
+            return;
+        }
         let mut rename: HashMap<u64, u64> = HashMap::new();
         fn remap(value: &Value, rename: &mut HashMap<u64, u64>) -> Option<Value> {
             match value {
@@ -402,10 +728,39 @@ impl Table {
                 _ => None,
             }
         }
-        for row in &mut self.rows {
-            for value in row.tuple.values_mut() {
-                if let Some(mapped) = remap(value, &mut rename) {
-                    *value = mapped;
+        // Remap in symbol space first: each distinct fresh-containing
+        // symbol is rewritten once, then the columns translate through
+        // the (old → new) symbol map and the row view decodes from it.
+        let mut sym_map: HashMap<Sym, Sym, FnvBuild> = HashMap::default();
+        for pos in 0..self.rows.len() {
+            for c in 0..self.cols.len() {
+                let old = self.cols[c][pos];
+                let new = match sym_map.get(&old) {
+                    Some(&mapped) => mapped,
+                    None => {
+                        let mapped = if self.dict.sym_contains_fresh(old) {
+                            let value = self.dict.decode(old);
+                            let renamed = remap(&value, &mut rename).expect("contains fresh");
+                            let sym = match self.dict.lookup(&renamed) {
+                                Some(sym) => sym,
+                                None => Arc::make_mut(&mut self.dict).intern(&renamed),
+                            };
+                            if old != sym {
+                                *self.rows[pos].tuple.values_mut().get_mut(c).expect("arity") =
+                                    renamed;
+                            }
+                            sym
+                        } else {
+                            old
+                        };
+                        sym_map.insert(old, mapped);
+                        mapped
+                    }
+                };
+                if new != old {
+                    self.cols[c][pos] = new;
+                    let decoded = self.dict.decode(new);
+                    *self.rows[pos].tuple.values_mut().get_mut(c).expect("arity") = decoded;
                 }
             }
         }
@@ -525,6 +880,44 @@ mod tests {
     }
 
     #[test]
+    fn columns_mirror_rows() {
+        let s = schema_rabc();
+        let mut t = table_abc(vec![(tup!["x", 1, 2], 1.0), (tup!["y", 1, 3], 2.0)]);
+        assert_eq!(t.weights(), &[1.0, 2.0]);
+        let b = s.attr("B").unwrap();
+        // Both rows share B = 1 → one symbol.
+        assert_eq!(t.col(b)[0], t.col(b)[1]);
+        assert_eq!(t.dictionary().decode(t.col(b)[0]), Value::from(1));
+        // set_value keeps the column in step.
+        t.set_value(TupleId(0), b, Value::from(9)).unwrap();
+        assert_ne!(t.col(b)[0], t.col(b)[1]);
+        assert_eq!(t.dictionary().decode(t.col(b)[0]), Value::from(9));
+        // Shared strings intern to one pooled symbol.
+        let a = s.attr("A").unwrap();
+        let mut u = table_abc(vec![(tup!["x", 1, 2], 1.0), (tup!["x", 2, 3], 1.0)]);
+        assert_eq!(u.col(a)[0], u.col(a)[1]);
+        assert_eq!(u.dictionary().len(), 1);
+        u.push(tup!["x", 7, 7], 1.0).unwrap();
+        assert_eq!(u.dictionary().len(), 1);
+    }
+
+    #[test]
+    fn explicit_ids_index_correctly() {
+        let s = schema_rabc();
+        let mut t = Table::new(s);
+        t.push_row(TupleId(7), tup!["x", 1, 2], 1.0).unwrap();
+        t.push_row(TupleId(3), tup!["y", 1, 2], 1.0).unwrap();
+        t.push_row(TupleId(11), tup!["z", 1, 2], 1.0).unwrap();
+        assert_eq!(t.row(TupleId(3)).unwrap().tuple, tup!["y", 1, 2]);
+        assert_eq!(t.row(TupleId(7)).unwrap().tuple, tup!["x", 1, 2]);
+        assert!(t.row(TupleId(0)).is_err());
+        assert!(t.row(TupleId(12)).is_err());
+        // Auto ids continue above the maximum explicit id.
+        let id = t.push(tup!["w", 1, 2], 1.0).unwrap();
+        assert_eq!(id, TupleId(12));
+    }
+
+    #[test]
     fn fd_satisfaction() {
         let s = schema_rabc();
         let fds = FdSet::parse(&s, "A -> B").unwrap();
@@ -633,6 +1026,16 @@ mod tests {
     }
 
     #[test]
+    fn select_eq_on_unseen_values_is_empty() {
+        let s = schema_rabc();
+        let t = table_abc(vec![(tup!["x", 1, 2], 1.0)]);
+        let a = AttrSet::singleton(s.attr("A").unwrap());
+        assert!(t.select_eq(a, &[Value::str("unseen")]).is_empty());
+        assert!(t.select_eq(a, &[Value::from(123456)]).is_empty());
+        assert!(t.select_eq(a, &[]).is_empty()); // arity mismatch
+    }
+
+    #[test]
     fn column_domain_sorted_dedup() {
         let s = schema_rabc();
         let t = table_abc(vec![
@@ -664,5 +1067,38 @@ mod tests {
         let shown = t.to_string();
         assert!(shown.contains("id"));
         assert!(shown.contains('x'));
+    }
+
+    #[test]
+    fn canonicalize_fresh_renumbers_and_fast_paths() {
+        use crate::value::FreshSource;
+        let mut src = FreshSource::new();
+        let (f1, f2) = (src.next(), src.next());
+        let s = schema_rabc();
+        let mut t = Table::build_unweighted(
+            s,
+            vec![
+                Tuple::new(vec![f2.clone(), Value::from(1), f2.clone()]),
+                Tuple::new(vec![f1.clone(), Value::from(1), Value::str("keep")]),
+            ],
+        )
+        .unwrap();
+        t.canonicalize_fresh();
+        // First-appearance order: f2 → ⊥0, f1 → ⊥1; equal cells stay equal.
+        let r0 = t.row(TupleId(0)).unwrap();
+        assert_eq!(r0.tuple.values()[0], Value::Fresh(0));
+        assert_eq!(r0.tuple.values()[2], Value::Fresh(0));
+        assert_eq!(
+            t.row(TupleId(1)).unwrap().tuple.values()[0],
+            Value::Fresh(1)
+        );
+        // Columns stay in step with the renamed rows.
+        let a = AttrId::new(0);
+        assert_eq!(t.dictionary().decode(t.col(a)[0]), Value::Fresh(0));
+        // A fresh-free table is untouched (the fast path).
+        let mut clean = Table::build_unweighted(schema_rabc(), vec![tup!["x", 1, 2]]).unwrap();
+        let before = clean.clone();
+        clean.canonicalize_fresh();
+        assert_eq!(clean, before);
     }
 }

@@ -327,11 +327,19 @@ pub fn cache_key(table: &Table, fds: &FdSet, request: &RepairRequest) -> u64 {
     schema.relation().hash(&mut h);
     schema.attr_names().hash(&mut h);
     fds.display(schema).hash(&mut h);
+    // Rows are hashed in symbol space: the dictionary pools pin what
+    // each symbol means, then ids/weights/cells are fixed-width words —
+    // no per-row value decoding or string traversal.
+    table.dictionary().hash_pools(&mut h);
     h.write_usize(table.len());
     for row in table.rows() {
         h.write_u32(row.id.0);
         h.write_u64(row.weight.to_bits());
-        row.tuple.values().hash(&mut h);
+    }
+    for col in table.sym_cols() {
+        for &sym in col {
+            h.write_u32(sym.raw());
+        }
     }
     request.notion.name().hash(&mut h);
     match request.optimality {

@@ -58,8 +58,11 @@ pub fn tractable_scale(rows: usize, weighted: bool, seed: u64) -> (Arc<Schema>, 
     let fds = FdSet::parse(&schema, "K -> A B").expect("valid FDs");
     let mut rng = StdRng::seed_from_u64(seed);
     let ws = weights(&mut rng, rows, weighted);
-    let mut tuples = Vec::with_capacity(rows);
-    for i in 0..rows {
+    // Rows stream straight into the interned columnar table — every
+    // value is an inline-int symbol, so no intermediate tuple buffer
+    // and no dictionary pool entry is ever materialized.
+    let mut table = Table::with_capacity(schema.clone(), rows);
+    for (i, w) in ws.into_iter().enumerate() {
         let group = (i / GROUP_ROWS) as i64;
         let clean_a = group % 1000;
         let dirty_group = rng.gen_range(0..DIRTY_ONE_IN) == 0 && i % GROUP_ROWS == 0;
@@ -68,13 +71,13 @@ pub fn tractable_scale(rows: usize, weighted: bool, seed: u64) -> (Arc<Schema>, 
         } else {
             clean_a
         };
-        tuples.push(Tuple::new(vec![
+        let tuple = Tuple::new(vec![
             Value::Int(group),
             Value::Int(a),
             Value::Int(group % 7),
-        ]));
+        ]);
+        table.push(tuple, w).expect("valid row");
     }
-    let table = Table::build(schema.clone(), tuples.into_iter().zip(ws)).expect("valid rows");
     (schema, fds, table)
 }
 
@@ -88,8 +91,8 @@ pub fn hard_scale(rows: usize, weighted: bool, seed: u64) -> (Arc<Schema>, FdSet
     let fds = FdSet::parse(&schema, "A -> C; B -> C").expect("valid FDs");
     let mut rng = StdRng::seed_from_u64(seed ^ 0x4A5D);
     let ws = weights(&mut rng, rows, weighted);
-    let mut tuples = Vec::with_capacity(rows);
-    for i in 0..rows {
+    let mut table = Table::with_capacity(schema.clone(), rows);
+    for (i, w) in ws.into_iter().enumerate() {
         let group = (i / GROUP_ROWS) as i64;
         // Two A-values and two B-values per group: dense enough for a
         // genuine vertex-cover instance, never crossing groups.
@@ -97,13 +100,9 @@ pub fn hard_scale(rows: usize, weighted: bool, seed: u64) -> (Arc<Schema>, FdSet
         let b = 2 * group + ((i / 2) % 2) as i64;
         let dirty = rng.gen_range(0..DIRTY_ONE_IN) == 0 && i % GROUP_ROWS == GROUP_ROWS - 1;
         let c = if dirty { group + 1_000_000 } else { group };
-        tuples.push(Tuple::new(vec![
-            Value::Int(a),
-            Value::Int(b),
-            Value::Int(c),
-        ]));
+        let tuple = Tuple::new(vec![Value::Int(a), Value::Int(b), Value::Int(c)]);
+        table.push(tuple, w).expect("valid row");
     }
-    let table = Table::build(schema.clone(), tuples.into_iter().zip(ws)).expect("valid rows");
     (schema, fds, table)
 }
 

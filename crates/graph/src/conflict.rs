@@ -29,7 +29,7 @@ impl ConflictGraph {
     /// single component equals the global order restricted to it.
     pub fn build(table: &Table, fds: &FdSet) -> ConflictGraph {
         let ids: Vec<TupleId> = table.ids().collect();
-        let mut graph = Graph::new(table.rows().map(|r| r.weight).collect());
+        let mut graph = Graph::new(table.weights().to_vec());
         table.for_each_conflicting_pair(fds, |p, q| {
             graph.add_edge(p, q);
         });

@@ -4,15 +4,20 @@
 use crate::repair::SRepair;
 use fd_core::{FdSet, Table, TupleId};
 use fd_graph::{vertex_cover_2approx, ConflictGraph};
-use std::collections::HashSet;
 
 /// Computes a 2-optimal S-repair in polynomial time (Proposition 3.3):
 /// `dist_sub(S, T) ≤ 2 · dist_sub(S*, T)` for every FD set `Δ`.
 pub fn approx_s_repair(table: &Table, fds: &FdSet) -> SRepair {
     let cg = ConflictGraph::build(table, fds);
     let cover = vertex_cover_2approx(&cg.graph);
-    let deleted: HashSet<TupleId> = cg.to_ids(&cover.nodes).into_iter().collect();
-    let kept: Vec<TupleId> = table.ids().filter(|id| !deleted.contains(id)).collect();
+    let deleted = cg.to_ids(&cover.nodes);
+    let mask = table.position_mask(deleted.iter());
+    let kept: Vec<TupleId> = table
+        .ids()
+        .zip(mask.iter())
+        .filter(|(_, &del)| !del)
+        .map(|(id, _)| id)
+        .collect();
     SRepair::from_kept(table, kept)
 }
 

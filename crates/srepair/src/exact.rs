@@ -16,8 +16,14 @@ use std::collections::HashSet;
 pub fn exact_s_repair(table: &Table, fds: &FdSet) -> SRepair {
     let cg = ConflictGraph::build(table, fds);
     let cover = min_weight_vertex_cover(&cg.graph);
-    let deleted: HashSet<TupleId> = cg.to_ids(&cover.nodes).into_iter().collect();
-    let kept: Vec<TupleId> = table.ids().filter(|id| !deleted.contains(id)).collect();
+    let deleted = cg.to_ids(&cover.nodes);
+    let mask = table.position_mask(deleted.iter());
+    let kept: Vec<TupleId> = table
+        .ids()
+        .zip(mask.iter())
+        .filter(|(_, &del)| !del)
+        .map(|(id, _)| id)
+        .collect();
     SRepair::from_kept(table, kept)
 }
 

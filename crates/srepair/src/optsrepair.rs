@@ -19,7 +19,7 @@
 //! level partition `T`.
 
 use crate::repair::SRepair;
-use fd_core::{FdSet, Table, TupleId};
+use fd_core::{FdSet, FnvBuild, Sym, Table, TupleId};
 use fd_graph::max_weight_bipartite_matching;
 use std::collections::HashMap;
 
@@ -90,15 +90,16 @@ pub(crate) fn solve(table: &Table, fds: &FdSet) -> Result<Vec<TupleId>, Irreduci
     if let Some((x1, x2)) = fds.lhs_marriage() {
         let x12 = x1.union(x2);
         let reduced = fds.minus(x12);
-        // Node sets V₁ = π_{X₁}T[∗], V₂ = π_{X₂}T[∗].
-        let mut v1: HashMap<Vec<fd_core::Value>, u32> = HashMap::new();
-        let mut v2: HashMap<Vec<fd_core::Value>, u32> = HashMap::new();
+        // Node sets V₁ = π_{X₁}T[∗], V₂ = π_{X₂}T[∗]. Blocks of one
+        // table share its dictionary, so the projections are compared
+        // as symbol tuples — no value decoding in the recursion.
+        let mut v1: HashMap<Vec<Sym>, u32, FnvBuild> = HashMap::default();
+        let mut v2: HashMap<Vec<Sym>, u32, FnvBuild> = HashMap::default();
         let mut edges: Vec<(u32, u32, f64)> = Vec::new();
         let mut block_repairs: HashMap<(u32, u32), Vec<TupleId>> = HashMap::new();
         for (_, block) in table.partition_by(x12) {
-            let sample = block.rows().next().expect("blocks are nonempty");
-            let a1 = sample.tuple.project(x1);
-            let a2 = sample.tuple.project(x2);
+            let a1: Vec<Sym> = x1.iter().map(|a| block.col(a)[0]).collect();
+            let a2: Vec<Sym> = x2.iter().map(|a| block.col(a)[0]).collect();
             let n1 = v1.len() as u32;
             let i1 = *v1.entry(a1).or_insert(n1);
             let n2 = v2.len() as u32;
@@ -125,11 +126,14 @@ pub(crate) fn solve(table: &Table, fds: &FdSet) -> Result<Vec<TupleId>, Irreduci
 }
 
 pub(crate) fn block_weight(block: &Table, kept: &[TupleId]) -> f64 {
-    let keep: std::collections::HashSet<TupleId> = kept.iter().copied().collect();
+    // A positional mask through the block's id index instead of a hash
+    // set; the sum stays in row order, so the total is bit-identical.
+    let mask = block.position_mask(kept.iter());
     block
         .rows()
-        .filter(|r| keep.contains(&r.id))
-        .map(|r| r.weight)
+        .zip(mask.iter())
+        .filter(|(_, &in_kept)| in_kept)
+        .map(|(r, _)| r.weight)
         .sum()
 }
 

@@ -1,7 +1,6 @@
 //! The subset-repair result type.
 
 use fd_core::{FdSet, Table, TupleId};
-use std::collections::HashSet;
 
 /// A consistent subset of a table, described by the identifiers it keeps,
 /// together with its distance `dist_sub` from the original (§2.3).
@@ -19,25 +18,33 @@ impl SRepair {
     pub fn from_kept(table: &Table, mut kept: Vec<TupleId>) -> SRepair {
         kept.sort_unstable();
         kept.dedup();
-        let kept_set: HashSet<TupleId> = kept.iter().copied().collect();
+        // Membership through the table's dense position index — no
+        // hashing; the deleted weights still sum in row order, so the
+        // floating-point total is bit-identical to a filtered row scan.
+        let mask = table.position_mask(kept.iter());
         let cost = table
             .rows()
-            .filter(|r| !kept_set.contains(&r.id))
-            .map(|r| r.weight)
+            .zip(mask.iter())
+            .filter(|(_, &in_kept)| !in_kept)
+            .map(|(r, _)| r.weight)
             .sum();
         SRepair { kept, cost }
     }
 
     /// Identifiers of the deleted tuples, in row order.
     pub fn deleted(&self, table: &Table) -> Vec<TupleId> {
-        let kept: HashSet<TupleId> = self.kept.iter().copied().collect();
-        table.ids().filter(|id| !kept.contains(id)).collect()
+        let mask = table.position_mask(self.kept.iter());
+        table
+            .ids()
+            .zip(mask.iter())
+            .filter(|(_, &in_kept)| !in_kept)
+            .map(|(id, _)| id)
+            .collect()
     }
 
     /// Materializes the repaired table.
     pub fn apply(&self, table: &Table) -> Table {
-        let kept: HashSet<TupleId> = self.kept.iter().copied().collect();
-        table.subset(&kept)
+        table.subset_ids(self.kept.iter())
     }
 
     /// Verifies that this repair is a consistent subset of `table` and that

@@ -37,7 +37,6 @@
 
 use crate::approx::approx_s_repair;
 use crate::exact::exact_s_repair;
-use crate::optsrepair::opt_s_repair;
 use crate::parallel::{par_opt_s_repair, ParallelConfig};
 use crate::repair::SRepair;
 use crate::solver::SMethod;
@@ -175,26 +174,17 @@ pub fn shard_plan(table: &Table, fds: &FdSet, cfg: &ShardConfig) -> (Components,
     (comps, plan)
 }
 
-/// The sub-table holding exactly the rows at `positions` (ascending),
-/// under their **original** tuple identifiers.
-fn component_table(table: &Table, rows: &[&fd_core::Row], positions: &[u32]) -> Table {
-    let mut t = Table::new(table.schema().clone());
-    for &p in positions {
-        let row = rows[p as usize];
-        t.push_row(row.id, row.tuple.clone(), row.weight)
-            .expect("ids are unique within one table");
-    }
-    t
-}
-
 /// Solves one conflicting component with the planned method.
-fn solve_component(sub: &Table, fds: &FdSet, method: SMethod) -> Vec<TupleId> {
+///
+/// `normalized` is `Δ` pre-normalized to single-rhs form, hoisted out
+/// of the per-component loop. The Dichotomy arm calls the recursion
+/// directly and returns its raw kept list: per-component sorting and
+/// cost accounting would be thrown away anyway — the merged list is
+/// sorted and costed once, globally, in [`sharded_s_repair`].
+fn solve_component(sub: &Table, fds: &FdSet, normalized: &FdSet, method: SMethod) -> Vec<TupleId> {
     match method {
-        SMethod::Dichotomy => {
-            opt_s_repair(sub, fds)
-                .expect("OSRSucceeds(Δ) holds on every sub-table (Δ-only test)")
-                .kept
-        }
+        SMethod::Dichotomy => crate::optsrepair::solve(sub, normalized)
+            .expect("OSRSucceeds(Δ) holds on every sub-table (Δ-only test)"),
         SMethod::ExactVertexCover => exact_s_repair(sub, fds).kept,
         SMethod::Approx2 => approx_s_repair(sub, fds).kept,
     }
@@ -258,21 +248,23 @@ pub fn sharded_s_repair(table: &Table, fds: &FdSet, cfg: &ShardConfig) -> Sharde
         }
     }
 
-    let rows: Vec<&fd_core::Row> = table.rows().collect();
     let mut kept: Vec<TupleId> = Vec::with_capacity(table.len());
     let mut work: Vec<&[u32]> = Vec::with_capacity(plan.components);
     for comp in comps.iter() {
         if comp.len() < 2 {
-            kept.push(rows[comp[0] as usize].id);
+            kept.push(table.row_at(comp[0] as usize).id);
         } else {
             work.push(comp);
         }
     }
 
     let method_of = |len: usize| ShardPlan::component_method(tractable, len, cfg);
+    let normalized = fds.normalize_single_rhs();
     let solved = fd_core::round_robin_map(cfg.threads, &work, |comp| {
-        let sub = component_table(table, &rows, comp);
-        solve_component(&sub, fds, method_of(comp.len()))
+        // A component sub-table is a pure position gather: symbol
+        // columns copied by index, dictionary shared, original ids kept.
+        let sub = table.gather_positions(comp);
+        solve_component(&sub, fds, &normalized, method_of(comp.len()))
     });
     for comp_kept in solved {
         kept.extend(comp_kept);

@@ -6,25 +6,32 @@
 //! in that column and rewrites everything else to it.
 
 use crate::repair::URepair;
-use fd_core::{AttrSet, Table, Value};
+use fd_core::{AttrSet, FnvBuild, Sym, Table, Value};
 use std::collections::HashMap;
 
 /// The weighted-majority value of one column: the value whose carriers have
 /// maximum total weight (smallest value on ties, for determinism).
+///
+/// The vote runs in symbol space — one FNV-keyed accumulation over the
+/// column's `u32` symbols — and only the distinct candidates are decoded
+/// for the deterministic tie-break. Weights accumulate per symbol in row
+/// order, so the floating-point totals match a value-keyed scan exactly.
 pub fn weighted_majority(table: &Table, attr: fd_core::AttrId) -> Option<Value> {
-    let mut weights: HashMap<&Value, f64> = HashMap::new();
-    for row in table.rows() {
-        *weights.entry(row.tuple.get(attr)).or_insert(0.0) += row.weight;
+    let mut weights: HashMap<Sym, f64, FnvBuild> = HashMap::default();
+    for (&sym, &w) in table.col(attr).iter().zip(table.weights()) {
+        *weights.entry(sym).or_insert(0.0) += w;
     }
+    let dict = table.dictionary();
     weights
         .into_iter()
+        .map(|(sym, w)| (dict.decode(sym), w))
         .max_by(|(va, wa), (vb, wb)| {
             wa.partial_cmp(wb)
                 .expect("weights are finite")
                 // On weight ties prefer the smaller value.
                 .then_with(|| vb.cmp(va))
         })
-        .map(|(v, _)| v.clone())
+        .map(|(v, _)| v)
 }
 
 /// Computes the optimal U-repair for the consensus FD `∅ → attrs`
@@ -36,9 +43,13 @@ pub fn consensus_u_repair(table: &Table, attrs: AttrSet) -> URepair {
         let Some(majority) = weighted_majority(table, attr) else {
             continue; // empty table
         };
+        let maj_sym = table
+            .dictionary()
+            .lookup(&majority)
+            .expect("the majority value came from this column");
         let ids: Vec<fd_core::TupleId> = table.ids().collect();
-        for id in ids {
-            if table.row(id).expect("id from table").tuple.get(attr) != &majority {
+        for (id, &sym) in ids.into_iter().zip(table.col(attr)) {
+            if sym != maj_sym {
                 updated
                     .set_value(id, attr, majority.clone())
                     .expect("id from table");

@@ -622,6 +622,24 @@ fn serve(cli: &Cli) -> ExitCode {
     }
 }
 
+/// Prints a repaired table for human eyes: small tables in full, large
+/// ones only a head — rendering a million aligned rows costs more than
+/// the solve, and the full table belongs in `--output` / `--json`.
+fn render_table(label: &str, repaired: &Table) {
+    const FULL: usize = 200;
+    const HEAD: u32 = 20;
+    if repaired.len() <= FULL {
+        println!("{label}{repaired}");
+    } else {
+        let head: Vec<u32> = (0..HEAD).collect();
+        println!("{label}{}", repaired.gather_positions(&head));
+        println!(
+            "… {} more row(s) not shown (write the full table with --output or --json)",
+            repaired.len() - HEAD as usize
+        );
+    }
+}
+
 /// Renders a report in the human-readable style of the pre-engine CLI.
 fn render(inst: &Instance, report: &RepairReport) {
     match &report.body {
@@ -641,7 +659,7 @@ fn render(inst: &Instance, report: &RepairReport) {
                 let row = inst.table.row(*id).expect("id from table");
                 println!("  - tuple {id}: {} (weight {})", row.tuple, row.weight);
             }
-            println!("\nrepaired table:\n{repaired}");
+            render_table("\nrepaired table:\n", repaired);
         }
         ReportBody::Update { changed, repaired } => {
             println!(
@@ -661,7 +679,7 @@ fn render(inst: &Instance, report: &RepairReport) {
                     cell.tuple, cell.attr, cell.old, cell.new
                 );
             }
-            println!("\nrepaired table:\n{repaired}");
+            render_table("\nrepaired table:\n", repaired);
         }
         ReportBody::Mixed {
             deleted,
@@ -690,7 +708,7 @@ fn render(inst: &Instance, report: &RepairReport) {
                     cell.tuple, cell.attr, cell.old, cell.new
                 );
             }
-            println!("\nrepaired table:\n{repaired}");
+            render_table("\nrepaired table:\n", repaired);
         }
         ReportBody::Mpd {
             kept,
@@ -703,7 +721,7 @@ fn render(inst: &Instance, report: &RepairReport) {
                 inst.table.len(),
                 probability
             );
-            println!("{repaired}");
+            render_table("", repaired);
         }
         ReportBody::Count {
             subset_repairs,
@@ -725,7 +743,7 @@ fn render(inst: &Instance, report: &RepairReport) {
                 "uniformly sampled subset repair keeps {} tuple(s):",
                 kept.len()
             );
-            println!("{repaired}");
+            render_table("", repaired);
         }
         ReportBody::Classify {
             keys,

@@ -16,7 +16,7 @@
 //! The first `|`-separated field of a `row` is the weight; values parse as
 //! integers when possible and strings otherwise.
 
-use fd_core::{FdSet, Schema, Table, Tuple, Value};
+use fd_core::{FdSet, Schema, Table, Value};
 use std::sync::Arc;
 
 /// A parsed repair instance: schema, FDs, and the (possibly dirty) table.
@@ -73,7 +73,10 @@ impl Instance {
         let mut relation: Option<String> = None;
         let mut attrs: Option<Vec<String>> = None;
         let mut fd_specs: Vec<(usize, String)> = Vec::new();
-        let mut rows: Vec<(usize, f64, Vec<Value>)> = Vec::new();
+        // Row fields stay borrowed slices of `text` until the schema is
+        // known; they are then interned straight into the table's
+        // dictionary — no owned `String`/`Value` per cell.
+        let mut rows: Vec<(usize, f64, Vec<&str>)> = Vec::new();
 
         for (idx, raw) in text.lines().enumerate() {
             let lineno = idx + 1;
@@ -104,8 +107,7 @@ impl Instance {
                     let weight: f64 = weight_field.parse().map_err(|_| {
                         err(lineno, format!("cannot parse weight {weight_field:?}"))
                     })?;
-                    let values: Vec<Value> = fields.map(parse_value).collect();
-                    rows.push((lineno, weight, values));
+                    rows.push((lineno, weight, fields.map(str::trim).collect()));
                 }
                 other => {
                     return Err(err(
@@ -128,20 +130,23 @@ impl Instance {
             );
         }
         let fds = FdSet::new(fds);
-        let mut table = Table::new(schema.clone());
-        for (lineno, weight, values) in rows {
-            if values.len() != schema.arity() {
+        let mut table = Table::with_capacity(schema.clone(), rows.len());
+        let mut syms = Vec::with_capacity(schema.arity());
+        for (lineno, weight, fields) in rows {
+            if fields.len() != schema.arity() {
                 return Err(err(
                     lineno,
                     format!(
                         "row has {} values but the schema has {} attributes",
-                        values.len(),
+                        fields.len(),
                         schema.arity()
                     ),
                 ));
             }
+            syms.clear();
+            syms.extend(fields.iter().map(|f| table.intern_text(f)));
             table
-                .push(Tuple::new(values), weight)
+                .push_syms(&syms, weight)
                 .map_err(|e| err(lineno, format!("invalid row: {e}")))?;
         }
         Ok(Instance { schema, fds, table })
@@ -192,7 +197,13 @@ impl Instance {
     /// Also available through the [`std::fmt::Display`] impl, so
     /// `format!("{instance}")` writes a valid `.fdr` document.
     pub fn to_fdr(&self) -> String {
-        self.to_string()
+        use std::fmt::Write;
+        // Preallocate roughly one short line per row; large instances
+        // then serialize with a handful of reallocations instead of
+        // thousands.
+        let mut out = String::with_capacity(64 + self.table.len() * 24);
+        write!(out, "{self}").expect("fmt to String cannot fail");
+        out
     }
 
     /// Deprecated name of [`Instance::to_fdr`].
@@ -215,8 +226,13 @@ impl std::fmt::Display for Instance {
             )?;
         }
         for row in self.table.rows() {
-            let values: Vec<String> = row.tuple.values().iter().map(|v| v.to_string()).collect();
-            writeln!(f, "row {} | {}", row.weight, values.join(" | "))?;
+            // Stream each value straight into the formatter: a
+            // million-row serialization allocates no per-cell strings.
+            write!(f, "row {}", row.weight)?;
+            for v in row.tuple.values() {
+                write!(f, " | {v}")?;
+            }
+            writeln!(f)?;
         }
         Ok(())
     }
