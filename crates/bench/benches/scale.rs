@@ -183,10 +183,16 @@ fn write_summary() {
     // entry is never calibrated — footprint is machine-independent).
     if let Some(bytes) = peak_rss_bytes() {
         let per_row = bytes / 1e6;
-        println!("  {:<40} {per_row:>12.1} B/row (peak RSS)", "mem/peak_rss_per_row/1000000");
+        println!(
+            "  {:<40} {per_row:>12.1} B/row (peak RSS)",
+            "mem/peak_rss_per_row/1000000"
+        );
         entries.push(Json::obj([
             ("id", Json::str("mem/peak_rss_per_row/1000000")),
-            ("bytes_per_row", Json::Num((per_row * 1000.0).round() / 1000.0)),
+            (
+                "bytes_per_row",
+                Json::Num((per_row * 1000.0).round() / 1000.0),
+            ),
         ]));
     }
     let doc = Json::obj([

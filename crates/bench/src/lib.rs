@@ -10,6 +10,7 @@
 //!
 //! This library crate only holds small shared helpers for the binaries.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::time::Instant;

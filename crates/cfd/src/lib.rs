@@ -43,6 +43,7 @@
 //! assert!(satisfies(&repair.apply(&table), &constraints));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cfd;

@@ -151,8 +151,7 @@ impl<R: BufRead> CsvReader<R> {
     /// seals it by recording its end offset.
     fn seal_field(&self, buf: &[u8], ends: &mut Vec<u32>) -> Result<()> {
         let start = ends.last().copied().unwrap_or(0) as usize;
-        std::str::from_utf8(&buf[start..])
-            .map_err(|_| self.err("field is not valid UTF-8"))?;
+        std::str::from_utf8(&buf[start..]).map_err(|_| self.err("field is not valid UTF-8"))?;
         ends.push(buf.len() as u32);
         Ok(())
     }
@@ -262,7 +261,11 @@ impl<R: BufRead> CsvReader<R> {
         let mut start = 0usize;
         for &end in &ends {
             let bytes = &buf[start..end as usize];
-            record.push(std::str::from_utf8(bytes).expect("validated by raw read").to_string());
+            record.push(
+                std::str::from_utf8(bytes)
+                    .expect("validated by raw read")
+                    .to_string(),
+            );
             start = end as usize;
         }
         Ok(true)

@@ -26,6 +26,7 @@
 //! assert!(!table.satisfies(&fds));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod armstrong;

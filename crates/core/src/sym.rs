@@ -163,10 +163,7 @@ impl Dictionary {
                 Some(s) => Some(s),
                 None => self.lookup_spill(v),
             },
-            Value::Str(s) => self
-                .str_lookup
-                .get(&**s)
-                .map(|&i| Sym(TAG_STR | i)),
+            Value::Str(s) => self.str_lookup.get(&**s).map(|&i| Sym(TAG_STR | i)),
             Value::Composite(_) => self.lookup_spill(v),
         }
     }
@@ -191,7 +188,10 @@ impl Dictionary {
             return Sym(TAG_STR | i);
         }
         let i = self.strs.len() as u32;
-        assert!(i <= PAYLOAD_MASK, "dictionary string pool exhausted (2^30 symbols)");
+        assert!(
+            i <= PAYLOAD_MASK,
+            "dictionary string pool exhausted (2^30 symbols)"
+        );
         self.strs.push(Arc::clone(s));
         self.str_lookup.insert(Arc::clone(s), i);
         Sym(TAG_STR | i)
@@ -213,7 +213,10 @@ impl Dictionary {
         }
         let arc: Arc<str> = Arc::from(text);
         let i = self.strs.len() as u32;
-        assert!(i <= PAYLOAD_MASK, "dictionary string pool exhausted (2^30 symbols)");
+        assert!(
+            i <= PAYLOAD_MASK,
+            "dictionary string pool exhausted (2^30 symbols)"
+        );
         self.strs.push(Arc::clone(&arc));
         self.str_lookup.insert(arc, i);
         Sym(TAG_STR | i)
@@ -224,7 +227,10 @@ impl Dictionary {
             return Sym(TAG_SPILL | i);
         }
         let i = self.spill.len() as u32;
-        assert!(i <= PAYLOAD_MASK, "dictionary spill pool exhausted (2^30 symbols)");
+        assert!(
+            i <= PAYLOAD_MASK,
+            "dictionary spill pool exhausted (2^30 symbols)"
+        );
         self.spill_has_fresh |= value_contains_fresh(v);
         self.spill.push(v.clone());
         self.spill_lookup.insert(v.clone(), i);
@@ -400,11 +406,11 @@ mod prop {
     fn arb_value() -> impl Strategy<Value = Value> {
         (0..7u8, any::<i64>(), "[a-zA-Z0-9 _.-]{0,12}", any::<u64>()).prop_map(
             |(kind, int, text, tag)| match kind {
-                0 => Value::Int(int),                 // usually spilled
-                1 => Value::Int(int % 1000),          // inline zig-zag range
+                0 => Value::Int(int),        // usually spilled
+                1 => Value::Int(int % 1000), // inline zig-zag range
                 2 => Value::str(&text),
-                3 => Value::Fresh(tag),               // usually spilled
-                4 => Value::Fresh(tag % 1000),        // inline range
+                3 => Value::Fresh(tag),        // usually spilled
+                4 => Value::Fresh(tag % 1000), // inline range
                 5 => Value::pair(Value::Int(int), Value::str(&text)),
                 _ => Value::pair(
                     Value::pair(Value::Fresh(tag), Value::Int(int % 1000)),

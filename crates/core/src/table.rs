@@ -154,9 +154,7 @@ impl Table {
         if !self.index_sparse.is_empty() {
             // Pushing into a sparsely-indexed gather result: keep the
             // pair list sorted (duplicates were rejected upstream).
-            let at = self
-                .index_sparse
-                .partition_point(|&(i, _)| i < id);
+            let at = self.index_sparse.partition_point(|&(i, _)| i < id);
             self.index_sparse.insert(at, (id, pos));
             return;
         }
@@ -325,9 +323,7 @@ impl Table {
     /// Replaces the value of one cell; returns the old value (O(1)).
     /// The new value is interned and the symbol column updated in step.
     pub fn set_value(&mut self, id: TupleId, attr: AttrId, value: Value) -> Result<Value> {
-        let pos = self
-            .pos_of(id)
-            .ok_or(Error::UnknownTupleId { id: id.0 })? as usize;
+        let pos = self.pos_of(id).ok_or(Error::UnknownTupleId { id: id.0 })? as usize;
         let sym = self.intern(&value);
         self.has_fresh |= value_contains_fresh(&value);
         self.cols[attr.usize()][pos] = sym;
@@ -446,7 +442,10 @@ impl Table {
             .iter()
             .map(|col| positions.iter().map(|&p| col[p as usize]).collect())
             .collect();
-        let weights: Vec<f64> = positions.iter().map(|&p| self.weights[p as usize]).collect();
+        let weights: Vec<f64> = positions
+            .iter()
+            .map(|&p| self.weights[p as usize])
+            .collect();
         // Offset index over the id range actually present; when the
         // range is much wider than the row count (a few rows strided
         // across a huge table), sorted pairs beat a mostly-empty array.
@@ -486,7 +485,6 @@ impl Table {
         }
     }
 
-
     /// A keep-mask over row positions: `mask[pos]` is true iff the row
     /// at `pos` has an id in `ids`. Pure index lookups — no hashing.
     pub fn position_mask<'a>(&self, ids: impl IntoIterator<Item = &'a TupleId>) -> Vec<bool> {
@@ -511,6 +509,7 @@ impl Table {
     /// The subset of `self` keeping exactly the identifiers in `keep`
     /// (ids not present in the table are ignored).
     pub fn subset(&self, keep: &HashSet<TupleId>) -> Table {
+        // fdlint: allow(D001, "position_mask sets one bit per id: commutative, order cannot reach the gathered table")
         self.subset_ids(keep.iter())
     }
 
@@ -524,6 +523,7 @@ impl Table {
 
     /// The subset of `self` obtained by deleting the identifiers in `delete`.
     pub fn without(&self, delete: &HashSet<TupleId>) -> Table {
+        // fdlint: allow(D001, "position_mask sets one bit per id: commutative, order cannot reach the gathered table")
         let mask = self.position_mask(delete.iter());
         self.gather_positions(&Table::masked_positions(&mask, false))
     }
@@ -633,7 +633,11 @@ impl Table {
         for pos in 0..self.rows.len() {
             let sym_key: Box<[Sym]> = cols.iter().map(|&c| self.cols[c][pos]).collect();
             if seen.insert(sym_key) {
-                keys.push(cols.iter().map(|&c| self.dict.decode(self.cols[c][pos])).collect());
+                keys.push(
+                    cols.iter()
+                        .map(|&c| self.dict.decode(self.cols[c][pos]))
+                        .collect(),
+                );
             }
         }
         keys.sort();

@@ -120,6 +120,7 @@ impl fmt::Display for Value {
 
 /// Global tag counter backing [`FreshSource`]. Process-wide so that two
 /// independent sources can never mint colliding fresh constants.
+// fdlint: allow(D003, "fresh tags never reach serialized output: canonicalize_fresh renumbers them in first-occurrence order in every report")
 static FRESH_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 /// A supply of fresh constants from the infinite domain.

@@ -59,6 +59,7 @@
 //! assert!(plan.is_err() == false);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod ext;

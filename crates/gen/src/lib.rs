@@ -22,6 +22,7 @@
 //!   components, feeding the scalability bench suite
 //!   (`BENCH_scale.json`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adversarial;

@@ -26,6 +26,7 @@
 //! Everything is implemented in-tree; there are no external graph
 //! dependencies.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod conflict;

@@ -69,8 +69,12 @@ impl Tripartite {
 
     /// Enumerates all triangles, sorted lexicographically.
     pub fn triangles(&self) -> Vec<Triangle> {
+        // Iterate the a-b edges in sorted order so the enumeration (not
+        // just the final list) is deterministic.
+        let mut edges: Vec<(u32, u32)> = self.ab.iter().copied().collect();
+        edges.sort_unstable();
         let mut out = Vec::new();
-        for &(a, b) in &self.ab {
+        for (a, b) in edges {
             for c in 0..self.nc as u32 {
                 if self.bc.contains(&(b, c)) && self.ac.contains(&(a, c)) {
                     out.push((a, b, c));

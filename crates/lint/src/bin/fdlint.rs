@@ -1,0 +1,150 @@
+//! `fdlint` — determinism & safety static analysis for the workspace.
+//!
+//! ```text
+//! fdlint [--root DIR] [--config FILE] [--json]
+//! fdlint --explain RULE
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage/config/IO error.
+
+use fd_lint::{explain, run_workspace, to_json, Config, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: bool,
+    explain: Option<String>,
+}
+
+const USAGE: &str = "fdlint — determinism & safety lints for the fd-repairs workspace
+
+USAGE:
+    fdlint [--root DIR] [--config FILE] [--json]
+    fdlint --explain RULE
+    fdlint --list
+
+OPTIONS:
+    --root DIR      Workspace root to lint (default: current directory)
+    --config FILE   lint.toml to use (default: <root>/lint.toml)
+    --json          Emit findings as JSON
+    --explain RULE  Print the catalog entry for one rule and exit
+    --list          List all known rules and exit
+    -h, --help      This help
+
+EXIT CODES:
+    0  no findings    1  findings reported    2  usage, config, or IO error
+";
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        json: false,
+        explain: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(None);
+            }
+            "--list" => {
+                for r in RULES {
+                    println!("{}  {}", r.id, r.title);
+                }
+                return Ok(None);
+            }
+            "--json" => args.json = true,
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config needs a file")?));
+            }
+            "--explain" => {
+                args.explain = Some(it.next().ok_or("--explain needs a rule id")?);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(Some(args))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fdlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(rule) = &args.explain {
+        return match explain(rule) {
+            Some(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "fdlint: unknown rule `{rule}` (known: {})",
+                    RULES.iter().map(|r| r.id).collect::<Vec<_>>().join(", ")
+                );
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint.toml"));
+    let config_text = match std::fs::read_to_string(&config_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("fdlint: cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let config = match Config::parse(&config_text) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("fdlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = match run_workspace(&args.root, &config) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("fdlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.json {
+        print!("{}", to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        if findings.is_empty() {
+            println!("fdlint: clean");
+        } else {
+            println!(
+                "fdlint: {} finding{} (run `fdlint --explain <RULE>` for rationale)",
+                findings.len(),
+                if findings.len() == 1 { "" } else { "s" }
+            );
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

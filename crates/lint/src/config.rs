@@ -1,0 +1,317 @@
+//! `lint.toml` parsing and path-glob matching.
+//!
+//! The configuration format is a deliberately small TOML subset — enough
+//! to scope rules to path globs and carry per-rule allowlists without
+//! pulling a TOML dependency into the workspace:
+//!
+//! ```toml
+//! [[scope]]
+//! rules = ["D001", "D004"]
+//! paths = ["crates/core/src/**", "crates/srepair/src/**"]
+//!
+//! [rules.D003]
+//! allow = ["crates/serve/src/shutdown.rs#SIGNAL_SHUTDOWN"]
+//! ```
+//!
+//! Supported: `[[scope]]` array-of-tables, `[rules.<ID>]` tables, string
+//! keys assigned single-line or multi-line arrays of strings, `#`
+//! comments. Nothing else.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One `[[scope]]` block: which rules run on which paths.
+#[derive(Debug, Clone, Default)]
+pub struct Scope {
+    /// Rule identifiers this scope enables.
+    pub rules: Vec<String>,
+    /// Path globs (workspace-relative, `/`-separated, `*` and `**`).
+    pub paths: Vec<String>,
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// All `[[scope]]` blocks in file order.
+    pub scopes: Vec<Scope>,
+    /// Per-rule allowlists from `[rules.<ID>] allow = [...]`.
+    pub rule_allow: BTreeMap<String, Vec<String>>,
+}
+
+/// Error produced when `lint.toml` does not parse.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Parses the configuration text.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        enum Section {
+            None,
+            Scope(usize),
+            Rule(String),
+        }
+        let mut config = Config::default();
+        let mut section = Section::None;
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[scope]]" {
+                config.scopes.push(Scope::default());
+                section = Section::Scope(config.scopes.len() - 1);
+            } else if let Some(rest) = line.strip_prefix("[rules.") {
+                let id = rest.strip_suffix(']').ok_or_else(|| ConfigError {
+                    line: idx + 1,
+                    message: format!("malformed section header `{line}`"),
+                })?;
+                section = Section::Rule(id.to_string());
+            } else if line.starts_with('[') {
+                return Err(ConfigError {
+                    line: idx + 1,
+                    message: format!(
+                        "unknown section `{line}` (expected [[scope]] or [rules.<ID>])"
+                    ),
+                });
+            } else if let Some((key, value_start)) = line.split_once('=') {
+                let key = key.trim();
+                // Accumulate a (possibly multi-line) array value.
+                let mut value = value_start.trim().to_string();
+                while !array_closed(&value) {
+                    match lines.next() {
+                        Some((_, cont)) => {
+                            value.push(' ');
+                            value.push_str(strip_comment(cont).trim());
+                        }
+                        None => {
+                            return Err(ConfigError {
+                                line: idx + 1,
+                                message: format!("unterminated array for key `{key}`"),
+                            })
+                        }
+                    }
+                }
+                let items = parse_string_array(&value).map_err(|message| ConfigError {
+                    line: idx + 1,
+                    message,
+                })?;
+                match (&section, key) {
+                    (Section::Scope(i), "rules") => config.scopes[*i].rules = items,
+                    (Section::Scope(i), "paths") => config.scopes[*i].paths = items,
+                    (Section::Rule(id), "allow") => {
+                        config.rule_allow.insert(id.clone(), items);
+                    }
+                    _ => {
+                        return Err(ConfigError {
+                            line: idx + 1,
+                            message: format!("key `{key}` is not valid in this section"),
+                        })
+                    }
+                }
+            } else {
+                return Err(ConfigError {
+                    line: idx + 1,
+                    message: format!("cannot parse line `{line}`"),
+                });
+            }
+        }
+        Ok(config)
+    }
+
+    /// Union of rules enabled for `path` across all matching scopes, in
+    /// sorted order.
+    pub fn rules_for(&self, path: &str) -> Vec<String> {
+        let mut rules: Vec<String> = self
+            .scopes
+            .iter()
+            .filter(|s| s.paths.iter().any(|g| glob_match(g, path)))
+            .flat_map(|s| s.rules.iter().cloned())
+            .collect();
+        rules.sort();
+        rules.dedup();
+        rules
+    }
+
+    /// The allowlist for `rule` (empty slice when absent).
+    pub fn allow_for(&self, rule: &str) -> &[String] {
+        self.rule_allow.get(rule).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` starts a comment unless inside a quoted string.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn array_closed(value: &str) -> bool {
+    let mut in_str = false;
+    let mut depth = 0i32;
+    for c in value.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth <= 0
+}
+
+fn parse_string_array(value: &str) -> Result<Vec<String>, String> {
+    let inner = value
+        .trim()
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("expected an array of strings, got `{value}`"))?;
+    let mut items = Vec::new();
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        let body = rest
+            .strip_prefix('"')
+            .ok_or_else(|| format!("expected a quoted string in `{rest}`"))?;
+        let end = body
+            .find('"')
+            .ok_or_else(|| format!("unterminated string in `{rest}`"))?;
+        items.push(body[..end].to_string());
+        rest = body[end + 1..].trim().trim_start_matches(',').trim();
+    }
+    Ok(items)
+}
+
+/// Matches `path` against a `/`-separated glob where `**` spans any
+/// number of segments and `*` matches within one segment.
+pub fn glob_match(pattern: &str, path: &str) -> bool {
+    let pats: Vec<&str> = pattern.split('/').collect();
+    let segs: Vec<&str> = path.split('/').collect();
+    match_segments(&pats, &segs)
+}
+
+fn match_segments(pats: &[&str], segs: &[&str]) -> bool {
+    match pats.first() {
+        None => segs.is_empty(),
+        Some(&"**") => (0..=segs.len()).any(|k| match_segments(&pats[1..], &segs[k..])),
+        Some(p) => {
+            !segs.is_empty() && match_one(p, segs[0]) && match_segments(&pats[1..], &segs[1..])
+        }
+    }
+}
+
+fn match_one(pattern: &str, segment: &str) -> bool {
+    // Iterative wildcard match: `*` matches any run of characters.
+    let p: Vec<char> = pattern.chars().collect();
+    let s: Vec<char> = segment.chars().collect();
+    let (mut pi, mut si) = (0usize, 0usize);
+    let (mut star, mut mark) = (None, 0usize);
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == s[si]) {
+            pi += 1;
+            si += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = Some(pi);
+            mark = si;
+            pi += 1;
+        } else if let Some(st) = star {
+            pi = st + 1;
+            mark += 1;
+            si = mark;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scopes_and_allowlists() {
+        let cfg = Config::parse(
+            r#"
+# determinism rules
+[[scope]]
+rules = ["D001", "D004"]
+paths = [
+    "crates/core/src/**",  # hot path
+    "crates/srepair/src/**",
+]
+
+[[scope]]
+rules = ["U001"]
+paths = ["crates/**", "src/**"]
+
+[rules.U001]
+allow = ["crates/serve/src/shutdown.rs"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.scopes.len(), 2);
+        assert_eq!(
+            cfg.rules_for("crates/core/src/table.rs"),
+            vec!["D001", "D004", "U001"]
+        );
+        assert_eq!(cfg.rules_for("src/lib.rs"), vec!["U001"]);
+        assert!(cfg.rules_for("vendor/rand/src/lib.rs").is_empty());
+        assert_eq!(cfg.allow_for("U001"), ["crates/serve/src/shutdown.rs"]);
+        assert!(cfg.allow_for("D003").is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Config::parse("[mystery]").is_err());
+        assert!(Config::parse("[[scope]]\nrules = [\"unterminated").is_err());
+        assert!(Config::parse("[[scope]]\nrules = 3").is_err());
+        assert!(Config::parse("just words").is_err());
+    }
+
+    #[test]
+    fn glob_semantics() {
+        assert!(glob_match("crates/*/src/**", "crates/core/src/table.rs"));
+        assert!(glob_match("crates/*/src/**", "crates/serve/src/bin/x.rs"));
+        assert!(!glob_match(
+            "crates/*/src/*.rs",
+            "crates/serve/src/bin/x.rs"
+        ));
+        assert!(glob_match("src/**", "src/lib.rs"));
+        assert!(!glob_match("src/**", "crates/core/src/lib.rs"));
+        assert!(glob_match("**/*.rs", "a/b/c.rs"));
+        assert!(glob_match(
+            "crates/serve/src/shutdown.rs",
+            "crates/serve/src/shutdown.rs"
+        ));
+        assert!(!glob_match(
+            "crates/serve/src/shutdown.rs",
+            "crates/serve/src/pool.rs"
+        ));
+        assert!(glob_match(
+            "crates/s*r/src/**",
+            "crates/srepair/src/exact.rs"
+        ));
+    }
+}

@@ -1,0 +1,1179 @@
+//! The analysis engine: walks the workspace, applies scoped rules to the
+//! token stream of each file, and resolves inline suppressions.
+//!
+//! Everything here is *heuristic* token-level analysis — there is no type
+//! inference. The working assumptions, chosen to be cheap and auditable:
+//!
+//! * A binding is "unordered" when its declaration, parameter, or struct
+//!   field mentions `HashMap`/`HashSet` in type position, or its
+//!   initializer calls an associated function on those types. Cross-file
+//!   types are invisible; the fixture corpus pins what is and is not
+//!   caught.
+//! * Items under `#[cfg(test)]` / `#[test]` are skipped for every rule —
+//!   tests may unwrap and may iterate hash maps freely.
+//! * A finding is suppressed by `// fdlint: allow(<RULE>, "<why>")` on
+//!   the same line or the line above, and **only** when the justification
+//!   string is non-empty: an allow without a reason does not suppress.
+
+use crate::config::Config;
+use crate::findings::{sort_findings, Finding};
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Iterator-producing methods on hash containers.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Adapters that forward the underlying (unordered) order.
+const ORDER_PRESERVING: &[&str] = &[
+    "map",
+    "filter",
+    "filter_map",
+    "copied",
+    "cloned",
+    "enumerate",
+    "zip",
+    "chain",
+    "flatten",
+    "flat_map",
+    "inspect",
+    "by_ref",
+    "rev",
+    "take",
+    "skip",
+    "step_by",
+    "fuse",
+    "peekable",
+];
+
+/// Chain sinks whose result does not depend on iteration order.
+const ORDER_INSENSITIVE_SINKS: &[&str] = &["count", "any", "all", "min", "max", "size_hint"];
+
+/// Chain sinks that *do* depend on order — flagged even at the end of an
+/// otherwise innocuous chain.
+const ORDER_SENSITIVE_SINKS: &[&str] = &[
+    "next",
+    "nth",
+    "last",
+    "position",
+    "find",
+    "find_map",
+    "max_by",
+    "max_by_key",
+    "min_by",
+    "min_by_key",
+    "reduce",
+    "partition",
+    "unzip",
+    "for_each",
+    "try_for_each",
+    "extend",
+];
+
+/// Interior-mutability wrappers that make a `static` global mutable state.
+const MUTABLE_STATIC_TYPES: &[&str] = &[
+    "Mutex",
+    "RwLock",
+    "RefCell",
+    "Cell",
+    "OnceLock",
+    "OnceCell",
+    "LazyLock",
+    "UnsafeCell",
+];
+
+/// Panicking calls policed by P001 (method names).
+const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+
+/// Panicking macros policed by P001.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// One parsed `fdlint: allow(...)` comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Line the comment starts on.
+    pub line: u32,
+    /// Rule identifier being allowed.
+    pub rule: String,
+    /// True when a non-empty justification string was supplied.
+    pub valid: bool,
+}
+
+/// Analyzes one file's source under the given enabled rules.
+///
+/// `path` is the workspace-relative path used in findings and allowlist
+/// matching; `rules` is the set of enabled rule ids for this file.
+pub fn analyze_source(path: &str, src: &str, rules: &[String], config: &Config) -> Vec<Finding> {
+    let all = lex(src);
+    let suppressions = parse_suppressions(&all);
+    let code: Vec<Token> = all
+        .into_iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .collect();
+    let test_ranges = test_line_ranges(&code);
+    let enabled = |id: &str| rules.iter().any(|r| r == id);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    if enabled("D001") || enabled("D004") {
+        let bindings = unordered_bindings(&code);
+        scan_iteration(
+            path,
+            &code,
+            &bindings,
+            enabled("D001"),
+            enabled("D004"),
+            &mut raw,
+        );
+    }
+    if enabled("D002") {
+        scan_time(path, &code, &mut raw);
+    }
+    if enabled("D003") {
+        scan_global_state(path, &code, config.allow_for("D003"), &mut raw);
+    }
+    if enabled("P001") {
+        scan_panics(path, &code, &mut raw);
+    }
+    if enabled("U001") && !config.allow_for("U001").iter().any(|f| f == path) {
+        scan_unsafe(path, &code, &mut raw);
+    }
+
+    // Test items are out of scope for every rule.
+    raw.retain(|f| !test_ranges.iter().any(|&(a, b)| f.line >= a && f.line <= b));
+
+    // One finding per (rule, line): the for-loop scan and the method-chain
+    // scan may both fire on the same expression.
+    let mut seen: BTreeSet<(String, u32)> = BTreeSet::new();
+    raw.retain(|f| seen.insert((f.rule.clone(), f.line)));
+
+    let mut out = Vec::new();
+    for mut f in raw {
+        let matching = suppressions
+            .iter()
+            .find(|s| s.rule == f.rule && (s.line == f.line || s.line + 1 == f.line));
+        match matching {
+            Some(s) if s.valid => {}
+            Some(_) => {
+                f.message
+                    .push_str(" [suppression ignored: justification missing or empty]");
+                out.push(f);
+            }
+            None => out.push(f),
+        }
+    }
+    sort_findings(&mut out);
+    out
+}
+
+/// Lists every `.rs` file the linter walks: `crates/*/src/**` plus the
+/// root `src/**`, workspace-relative, sorted. Vendored stand-ins, test
+/// trees, and benches are intentionally out of scope.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for entry in entries {
+            let src = entry.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs every configured rule over the workspace rooted at `root`.
+pub fn run_workspace(root: &Path, config: &Config) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for file in workspace_files(root)? {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let rules = config.rules_for(&rel);
+        if rules.is_empty() {
+            continue;
+        }
+        let src = std::fs::read_to_string(&file)?;
+        findings.extend(analyze_source(&rel, &src, &rules, config));
+    }
+    sort_findings(&mut findings);
+    Ok(findings)
+}
+
+// ---------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------
+
+fn parse_suppressions(tokens: &[Token]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for t in tokens.iter().filter(|t| t.kind == TokenKind::Comment) {
+        let Some(at) = t.text.find("fdlint:") else {
+            continue;
+        };
+        let rest = t.text[at + "fdlint:".len()..].trim_start();
+        let Some(args) = rest.strip_prefix("allow").map(str::trim_start) else {
+            continue;
+        };
+        let Some(args) = args.strip_prefix('(') else {
+            continue;
+        };
+        let Some(close) = args.rfind(')') else {
+            continue;
+        };
+        let inner = &args[..close];
+        let (rule, justification) = match inner.split_once(',') {
+            Some((r, j)) => (r.trim(), Some(j.trim())),
+            None => (inner.trim(), None),
+        };
+        let valid = justification
+            .and_then(|j| j.strip_prefix('"').and_then(|j| j.strip_suffix('"')))
+            .is_some_and(|j| !j.trim().is_empty());
+        out.push(Suppression {
+            line: t.line,
+            rule: rule.to_string(),
+            valid,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// cfg(test) regions
+// ---------------------------------------------------------------------
+
+/// Inclusive line ranges covered by `#[cfg(test)]` / `#[test]` items.
+fn test_line_ranges(toks: &[Token]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let attr_end = matching_close(toks, i + 1, '[', ']');
+            let attr = &toks[i + 2..attr_end.min(toks.len())];
+            if attr_is_test(attr) {
+                let start_line = toks[i].line;
+                // Skip any further attributes on the same item.
+                let mut j = attr_end + 1;
+                while j < toks.len()
+                    && toks[j].is_punct('#')
+                    && toks.get(j + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    j = matching_close(toks, j + 1, '[', ']') + 1;
+                }
+                // The item ends at `;` before any brace, or at the close
+                // of its outermost brace block.
+                let mut depth = 0usize;
+                while j < toks.len() {
+                    if toks[j].is_punct('{') {
+                        depth += 1;
+                    } else if toks[j].is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if toks[j].is_punct(';') && depth == 0 {
+                        break;
+                    }
+                    j += 1;
+                }
+                let end_line = toks.get(j).map(|t| t.line).unwrap_or(u32::MAX);
+                out.push((start_line, end_line));
+                i = j + 1;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+fn attr_is_test(attr: &[Token]) -> bool {
+    let idents: Vec<&str> = attr
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    match idents.first() {
+        Some(&"test") => idents.len() == 1,
+        // `cfg(not(test))` is production code; only unnegated test cfgs
+        // mark a test region.
+        Some(&"cfg") => idents.contains(&"test") && !idents.contains(&"not"),
+        _ => false,
+    }
+}
+
+/// Index of the token closing the group opened at `open_idx` (which must
+/// hold `open`). Returns `toks.len()` on unbalanced input.
+fn matching_close(toks: &[Token], open_idx: usize, open: char, close: char) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    toks.len()
+}
+
+/// Index just past the group opened at `open_idx` over all three bracket
+/// kinds at once (used to skip call arguments).
+fn skip_group(toks: &[Token], open_idx: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = open_idx;
+    while k < toks.len() {
+        match toks[k].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return k + 1;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    toks.len()
+}
+
+// ---------------------------------------------------------------------
+// Unordered-binding inference (D001/D004)
+// ---------------------------------------------------------------------
+
+/// Names bound to `HashMap`/`HashSet` anywhere in the file: let bindings,
+/// fn parameters, struct fields, and struct-literal fields.
+fn unordered_bindings(toks: &[Token]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+
+    // First pass: local `type Alias = …HashMap…;` declarations count as
+    // hash types for the rest of the file.
+    let mut aliases: BTreeSet<String> = BTreeSet::new();
+    for i in 0..toks.len() {
+        if toks[i].is_ident("type")
+            && toks.get(i + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('='))
+            && init_mentions_hash_type(toks, i + 3)
+        {
+            aliases.insert(toks[i + 1].text.clone());
+        }
+    }
+    let is_hashy = |name: &str| is_hash_type(name) || aliases.contains(name);
+
+    for i in 0..toks.len() {
+        // `NAME : <type whose OUTER constructor is HashMap/HashSet>` —
+        // covers let-with-annotation, fn params, struct fields, struct
+        // literals, and closure parameters. `::` paths are excluded, and
+        // so is `Vec<HashMap<…>>`: the outer container dictates the
+        // iteration order.
+        if toks[i].is_punct(':')
+            && !toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && i > 0
+            && !toks.get(i.wrapping_sub(2)).is_some_and(|t| t.is_punct(':'))
+            && toks[i - 1].kind == TokenKind::Ident
+            && toks[i - 1].text != "self"
+            && outer_type_name(toks, i + 1).is_some_and(|n| is_hashy(&n))
+        {
+            names.insert(toks[i - 1].text.clone());
+        }
+        // `let [mut] NAME = <expr calling HashMap::…/HashSet::…>` —
+        // covers un-annotated initializers.
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name) = toks.get(j).filter(|t| t.kind == TokenKind::Ident) else {
+                continue;
+            };
+            if toks.get(j + 1).is_some_and(|t| t.is_punct('='))
+                && !toks.get(j + 2).is_some_and(|t| t.is_punct('='))
+                && init_mentions_hash_type(toks, j + 2)
+            {
+                names.insert(name.text.clone());
+            }
+        }
+    }
+    names
+}
+
+fn is_hash_type(name: &str) -> bool {
+    name == "HashMap" || name == "HashSet"
+}
+
+/// The outermost type constructor of a type region starting at `start`:
+/// skips `&`/`mut`/lifetimes, follows one `a::b::C` path, and returns the
+/// path's final segment (`std::collections::HashMap<K, V>` → `HashMap`,
+/// `Vec<HashMap<K, V>>` → `Vec`). `None` for tuples, slices, and
+/// anything else that does not start with a path.
+fn outer_type_name(toks: &[Token], start: usize) -> Option<String> {
+    let mut k = start;
+    while toks
+        .get(k)
+        .is_some_and(|t| t.is_punct('&') || t.is_ident("mut") || t.kind == TokenKind::Lifetime)
+    {
+        k += 1;
+    }
+    let mut last: Option<&str> = None;
+    loop {
+        let t = toks.get(k)?;
+        if t.kind != TokenKind::Ident {
+            return last.map(str::to_string);
+        }
+        last = Some(&t.text);
+        if toks.get(k + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(k + 2).is_some_and(|n| n.is_punct(':'))
+        {
+            k += 3;
+            continue;
+        }
+        return last.map(str::to_string);
+    }
+}
+
+/// True when the initializer expression starting at `start` (up to `;` at
+/// depth 0) constructs a hash container as its OUTERMOST value:
+/// `HashMap::new()`, `HashSet::from(…)`, or a `collect::<HashMap<…>>()`
+/// turbofish. `vec![HashMap::new(); n]` does not count — the outer Vec
+/// dictates iteration order.
+fn init_mentions_hash_type(toks: &[Token], start: usize) -> bool {
+    // Leading path expression: `std::collections::HashMap::new(…)`.
+    let mut k = start;
+    while toks.get(k).is_some_and(|t| t.kind == TokenKind::Ident) {
+        if is_hash_type(&toks[k].text) {
+            return true;
+        }
+        if toks.get(k + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(k + 2).is_some_and(|n| n.is_punct(':'))
+        {
+            k += 3;
+        } else {
+            break;
+        }
+    }
+    // `collect::<HashMap<…>>()` / `collect::<HashSet<…>>()` anywhere in
+    // the statement, with the hash type as the collection's outer type.
+    let mut depth = 0i32;
+    let mut k = start;
+    while k < toks.len() && k < start + 256 {
+        let t = &toks[k];
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            ";" if depth <= 0 => return false,
+            "collect"
+                if t.kind == TokenKind::Ident
+                    && toks.get(k + 1).is_some_and(|n| n.is_punct(':'))
+                    && toks.get(k + 2).is_some_and(|n| n.is_punct(':'))
+                    && toks.get(k + 3).is_some_and(|n| n.is_punct('<'))
+                    && outer_type_name(toks, k + 4).is_some_and(|n| is_hash_type(&n)) =>
+            {
+                return true;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// D001 / D004 — unordered iteration & float accumulation
+// ---------------------------------------------------------------------
+
+/// How a method chain hanging off an unordered iteration disposes of the
+/// iteration order.
+enum Disposition {
+    /// Order provably cannot reach the result.
+    Safe,
+    /// Order escapes (D001).
+    Leaks(&'static str),
+    /// Floats are accumulated in iteration order (D004).
+    FloatAccumulation,
+    /// Collected into an order-preserving container; safe only if the
+    /// target binding is sorted immediately after.
+    NeedsSort,
+}
+
+fn scan_iteration(
+    path: &str,
+    toks: &[Token],
+    bindings: &BTreeSet<String>,
+    d001: bool,
+    d004: bool,
+    out: &mut Vec<Finding>,
+) {
+    // Method-call events: `name.iter()` / `self.field.keys()` / …
+    for i in 0..toks.len() {
+        if !toks[i].is_punct('.') {
+            continue;
+        }
+        let Some(m) = toks.get(i + 1).filter(|t| t.kind == TokenKind::Ident) else {
+            continue;
+        };
+        if !ITER_METHODS.contains(&m.text.as_str()) {
+            continue;
+        }
+        if !toks.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        let Some(recv) = toks.get(i.wrapping_sub(1)) else {
+            continue;
+        };
+        if recv.kind != TokenKind::Ident || !bindings.contains(&recv.text) {
+            continue;
+        }
+        let line = m.line;
+        match chain_disposition(toks, i, &recv.text, &m.text) {
+            Disposition::Safe => {}
+            Disposition::Leaks(why) => {
+                if d001 {
+                    out.push(Finding {
+                        rule: "D001".into(),
+                        path: path.into(),
+                        line,
+                        message: format!(
+                            "iteration order of hash container `{}` escapes via `.{}()` ({why}); \
+                             sort the result, use an ordered container, or iterate an ordered source",
+                            recv.text, m.text
+                        ),
+                    });
+                }
+            }
+            Disposition::FloatAccumulation => {
+                if d004 {
+                    out.push(Finding {
+                        rule: "D004".into(),
+                        path: path.into(),
+                        line,
+                        message: format!(
+                            "float accumulation over unordered `{}.{}()`: float addition is not \
+                             associative, so hash order changes the result bits; accumulate in \
+                             row order or over sorted keys",
+                            recv.text, m.text
+                        ),
+                    });
+                }
+            }
+            Disposition::NeedsSort => {
+                if d001 {
+                    out.push(Finding {
+                        rule: "D001".into(),
+                        path: path.into(),
+                        line,
+                        message: format!(
+                            "hash container `{}` is collected into an ordered container without \
+                             a sort nearby; sort the result right after collecting",
+                            recv.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // `for pat in expr` events where expr's root is a tracked binding.
+    if d001 {
+        let mut i = 0;
+        while i < toks.len() {
+            if !toks[i].is_ident("for") {
+                i += 1;
+                continue;
+            }
+            // `for<'a>` (HRTB) and `impl Trait for Type` have no `in`
+            // before the body brace; require one.
+            let Some(in_idx) = find_for_in(toks, i) else {
+                i += 1;
+                continue;
+            };
+            let Some(body) = find_expr_end(toks, in_idx + 1) else {
+                i += 1;
+                continue;
+            };
+            let expr = &toks[in_idx + 1..body];
+            if let Some(name) = tracked_root(expr, bindings) {
+                out.push(Finding {
+                    rule: "D001".into(),
+                    path: path.into(),
+                    line: toks[in_idx].line,
+                    message: format!(
+                        "`for` loop iterates hash container `{name}` directly; iteration order \
+                         is nondeterministic — iterate an ordered source or sort first"
+                    ),
+                });
+            }
+            i = body;
+        }
+    }
+}
+
+/// Index of the `in` keyword of a `for` loop headed at `for_idx`, or
+/// `None` when this `for` is not a loop.
+fn find_for_in(toks: &[Token], for_idx: usize) -> Option<usize> {
+    if toks.get(for_idx + 1).is_some_and(|t| t.is_punct('<')) {
+        return None; // for<'a> — higher-ranked trait bound
+    }
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(for_idx + 1).take(64) {
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" | ";" => return None,
+            _ => {
+                if depth == 0 && t.is_ident("in") {
+                    return Some(k);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Index of the `{` opening the loop body, scanning from `start`.
+fn find_expr_end(toks: &[Token], start: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(start) {
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => return Some(k),
+            ";" if depth == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// When `expr` is rooted in a dotted path whose final segment is a
+/// tracked unordered binding (`map`, `&map`, `&mut self.map`, possibly
+/// followed by adapter calls), returns that name.
+fn tracked_root(expr: &[Token], bindings: &BTreeSet<String>) -> Option<String> {
+    let mut k = 0;
+    while expr
+        .get(k)
+        .is_some_and(|t| t.is_punct('&') || t.is_ident("mut"))
+    {
+        k += 1;
+    }
+    // Dotted path of plain idents (no calls): `a`, `self.a.b`.
+    loop {
+        let t = expr.get(k)?;
+        if t.kind != TokenKind::Ident {
+            return None;
+        }
+        if expr.get(k + 1).is_some_and(|n| n.is_punct('(')) {
+            // A call in root position (`f(x)`, `a.blocks()`) hides the
+            // container behind a return value we cannot see through.
+            return None;
+        }
+        if expr.get(k + 1).is_some_and(|n| n.is_punct('.')) {
+            if expr.get(k + 2).is_some_and(|n| n.kind == TokenKind::Ident) {
+                k += 2;
+                continue;
+            }
+            return None;
+        }
+        // Root must end the expression (`for x in &map`) — iteration
+        // methods and adapter chains belong to the method-call scan.
+        if k + 1 != expr.len() {
+            return None;
+        }
+        return bindings.get(t.text.as_str()).cloned();
+    }
+}
+
+/// Walks the method chain following `name.method(` at `dot_idx` and
+/// classifies where the iteration order ends up.
+fn chain_disposition(
+    toks: &[Token],
+    dot_idx: usize,
+    _recv: &str,
+    _first_method: &str,
+) -> Disposition {
+    // Cursor sits just past the closing paren of each chained call.
+    let mut k = skip_group(toks, dot_idx + 2);
+    loop {
+        if !toks.get(k).is_some_and(|t| t.is_punct('.')) {
+            // Chain ends without a decisive sink: the iterator escapes
+            // into surrounding context (a `for` loop handles its own
+            // case; everything else leaks).
+            return Disposition::Leaks("iterator escapes the chain unordered");
+        }
+        let Some(m) = toks.get(k + 1).filter(|t| t.kind == TokenKind::Ident) else {
+            return Disposition::Leaks("iterator escapes the chain unordered");
+        };
+        let name = m.text.as_str();
+        // Optional turbofish: `::<T>` — capture its idents.
+        let mut args_at = k + 2;
+        let mut turbofish: Vec<String> = Vec::new();
+        if toks.get(k + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(k + 3).is_some_and(|t| t.is_punct(':'))
+            && toks.get(k + 4).is_some_and(|t| t.is_punct('<'))
+        {
+            let close = matching_angle(toks, k + 4);
+            turbofish = toks[k + 5..close.min(toks.len())]
+                .iter()
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text.clone())
+                .collect();
+            args_at = close + 1;
+        }
+        if !toks.get(args_at).is_some_and(|t| t.is_punct('(')) {
+            // Field access or macro — treat as escape.
+            return Disposition::Leaks("iterator escapes the chain unordered");
+        }
+        let after = skip_group(toks, args_at);
+
+        if ORDER_PRESERVING.contains(&name) || ITER_METHODS.contains(&name) {
+            k = after;
+            continue;
+        }
+        if ORDER_INSENSITIVE_SINKS.contains(&name) {
+            return Disposition::Safe;
+        }
+        if name == "sum" || name == "product" {
+            return sum_disposition(&turbofish);
+        }
+        if name == "fold" {
+            // Float-seeded folds accumulate in hash order; anything else
+            // is order-dependent in general.
+            let first_arg = toks.get(args_at + 1);
+            let is_float_seed = first_arg.is_some_and(|t| {
+                t.kind == TokenKind::Num && (t.text.contains('.') || t.text.contains('f'))
+            });
+            return if is_float_seed {
+                Disposition::FloatAccumulation
+            } else {
+                Disposition::Leaks("fold over unordered input is order-dependent")
+            };
+        }
+        if name == "collect" {
+            if turbofish
+                .iter()
+                .any(|t| matches!(t.as_str(), "HashMap" | "HashSet" | "BTreeMap" | "BTreeSet"))
+            {
+                return Disposition::Safe;
+            }
+            return collect_sort_disposition(toks, dot_idx, after);
+        }
+        if ORDER_SENSITIVE_SINKS.contains(&name) {
+            return Disposition::Leaks("order-sensitive combinator");
+        }
+        // Unknown method: conservatively treat as a leak.
+        return Disposition::Leaks("unrecognized combinator consumes the iterator");
+    }
+}
+
+fn sum_disposition(turbofish: &[String]) -> Disposition {
+    let is_int = |t: &str| {
+        matches!(
+            t,
+            "u8" | "u16"
+                | "u32"
+                | "u64"
+                | "u128"
+                | "usize"
+                | "i8"
+                | "i16"
+                | "i32"
+                | "i64"
+                | "i128"
+                | "isize"
+        )
+    };
+    if turbofish.iter().any(|t| is_int(t)) {
+        Disposition::Safe // integer addition commutes exactly
+    } else {
+        // f64/f32 — or no turbofish, where we assume the worst.
+        Disposition::FloatAccumulation
+    }
+}
+
+/// `collect()` into an ordered container: safe only when the statement is
+/// a `let` or plain assignment whose target is sorted within the next few
+/// lines (or whose annotated type is itself a set/map).
+fn collect_sort_disposition(toks: &[Token], dot_idx: usize, chain_end: usize) -> Disposition {
+    // Find the statement start: the token after the previous `;`/`{`/`}`.
+    let mut s = dot_idx;
+    while s > 0 {
+        let t = &toks[s - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        s -= 1;
+    }
+    let mut j = s;
+    if toks.get(j).is_some_and(|t| t.is_ident("let")) {
+        j += 1;
+    }
+    if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    let Some(target) = toks.get(j).filter(|t| t.kind == TokenKind::Ident) else {
+        return Disposition::NeedsSort;
+    };
+    // Only `let NAME [: T] = …` and `NAME = …` forms qualify; anything
+    // fancier (destructuring, field assignment) is treated as unsorted.
+    let after_target = toks.get(j + 1);
+    let is_assign = after_target.is_some_and(|t| t.is_punct('='))
+        && !toks.get(j + 2).is_some_and(|t| t.is_punct('='));
+    let is_annotated = after_target.is_some_and(|t| t.is_punct(':'))
+        && !toks.get(j + 2).is_some_and(|t| t.is_punct(':'));
+    if !is_assign && !is_annotated {
+        return Disposition::NeedsSort;
+    }
+    // `let seen: HashSet<_> = xs.iter().collect();` — collecting INTO a
+    // set/map (hash or btree) erases iteration order again.
+    if is_annotated {
+        let sorted_or_set =
+            |name: &str| matches!(name, "HashMap" | "HashSet" | "BTreeMap" | "BTreeSet");
+        if outer_type_name(toks, j + 2).is_some_and(|n| sorted_or_set(&n)) {
+            return Disposition::Safe;
+        }
+    }
+    // Look for `target.sort*(` within the next 8 lines after the chain.
+    let horizon = toks.get(chain_end).map(|t| t.line + 8).unwrap_or(u32::MAX);
+    let mut k = chain_end;
+    while k + 2 < toks.len() && toks[k].line <= horizon {
+        if toks[k].is_ident(&target.text)
+            && toks[k + 1].is_punct('.')
+            && toks[k + 2].kind == TokenKind::Ident
+            && toks[k + 2].text.starts_with("sort")
+        {
+            return Disposition::Safe;
+        }
+        k += 1;
+    }
+    Disposition::NeedsSort
+}
+
+fn matching_angle(toks: &[Token], open_idx: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    toks.len()
+}
+
+// ---------------------------------------------------------------------
+// D002 — time sources in report / cache-key modules
+// ---------------------------------------------------------------------
+
+fn scan_time(path: &str, toks: &[Token], out: &mut Vec<Finding>) {
+    for t in toks {
+        if t.kind == TokenKind::Ident && (t.text == "SystemTime" || t.text == "Instant") {
+            out.push(Finding {
+                rule: "D002".into(),
+                path: path.into(),
+                line: t.line,
+                message: format!(
+                    "`{}` in a report/cache-key module: time values differ per run and must \
+                     not reach serialized reports or cache keys",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// D003 — global mutable state
+// ---------------------------------------------------------------------
+
+fn scan_global_state(path: &str, toks: &[Token], allow: &[String], out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        if toks[i].is_ident("thread_local") && toks.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            out.push(Finding {
+                rule: "D003".into(),
+                path: path.into(),
+                line: toks[i].line,
+                message: "`thread_local!` state makes output depend on thread scheduling \
+                          history; thread state through explicit parameters"
+                    .into(),
+            });
+            continue;
+        }
+        if !toks[i].is_ident("static") {
+            continue;
+        }
+        if toks.get(i + 1).is_some_and(|t| t.is_ident("mut")) {
+            let name = toks
+                .get(i + 2)
+                .map(|t| t.text.as_str())
+                .unwrap_or("<unnamed>");
+            out.push(Finding {
+                rule: "D003".into(),
+                path: path.into(),
+                line: toks[i].line,
+                message: format!(
+                    "`static mut {name}` is global mutable state (and unsound to boot); use \
+                     explicit parameters or message passing"
+                ),
+            });
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokenKind::Ident) else {
+            continue;
+        };
+        if !toks.get(i + 2).is_some_and(|t| t.is_punct(':')) {
+            continue;
+        }
+        // Scan the type region up to `=` or `;`.
+        let mut interior_mutable = None;
+        let mut k = i + 3;
+        while k < toks.len() && k < i + 40 {
+            let t = &toks[k];
+            if t.is_punct('=') || t.is_punct(';') {
+                break;
+            }
+            if t.kind == TokenKind::Ident
+                && (t.text.starts_with("Atomic") || MUTABLE_STATIC_TYPES.contains(&t.text.as_str()))
+            {
+                interior_mutable = Some(t.text.clone());
+                break;
+            }
+            k += 1;
+        }
+        let Some(ty) = interior_mutable else {
+            continue;
+        };
+        let key = format!("{path}#{}", name.text);
+        if allow.contains(&key) {
+            continue;
+        }
+        out.push(Finding {
+            rule: "D003".into(),
+            path: path.into(),
+            line: toks[i].line,
+            message: format!(
+                "module-level mutable state `static {}: {ty}` leaks process history into \
+                 output (the fresh-counter bug class); pass state explicitly or add \
+                 `{key}` to [rules.D003] allow with a written rationale",
+                name.text
+            ),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// P001 — panicking calls on the request path
+// ---------------------------------------------------------------------
+
+fn scan_panics(path: &str, toks: &[Token], out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let is_method = PANIC_METHODS.contains(&t.text.as_str())
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+        let is_macro = PANIC_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        if is_method || is_macro {
+            out.push(Finding {
+                rule: "P001".into(),
+                path: path.into(),
+                line: t.line,
+                message: format!(
+                    "`{}{}` can panic on a request-handling path; return an error response \
+                     instead (workers catch panics, but the request is lost and hostile \
+                     input becomes a 5xx)",
+                    t.text,
+                    if is_macro { "!" } else { "()" }
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// U001 — unsafe code outside the allowlist
+// ---------------------------------------------------------------------
+
+fn scan_unsafe(path: &str, toks: &[Token], out: &mut Vec<Finding>) {
+    for t in toks {
+        if t.is_ident("unsafe") {
+            out.push(Finding {
+                rule: "U001".into(),
+                path: path.into(),
+                line: t.line,
+                message: "`unsafe` outside the allowlisted modules; rewrite safely or \
+                          isolate it in an allowlisted module with a safety comment"
+                    .into(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_rules() -> Vec<String> {
+        ["D001", "D002", "D003", "D004", "P001", "U001"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    fn findings(src: &str) -> Vec<Finding> {
+        analyze_source("x.rs", src, &all_rules(), &Config::default())
+    }
+
+    #[test]
+    fn flags_for_loop_over_hash_map() {
+        let src = "fn f() { let mut m: HashMap<u32, u32> = HashMap::new(); for (k, v) in &m { use_it(k, v); } }";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "D001");
+    }
+
+    #[test]
+    fn membership_and_counting_are_safe() {
+        let src = "fn f(s: &HashSet<u32>) -> usize { if s.contains(&3) { s.len() } else { s.iter().count() } }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn collect_then_sort_is_safe_but_unsorted_leaks() {
+        let sorted = "fn f(s: HashSet<u32>) -> Vec<u32> {\n let mut v: Vec<u32> = s.into_iter().collect();\n v.sort_unstable();\n v }";
+        assert!(findings(sorted).is_empty(), "{:?}", findings(sorted));
+        let unsorted = "fn f(s: HashSet<u32>) -> Vec<u32> {\n let v: Vec<u32> = s.into_iter().collect();\n v }";
+        let f = findings(unsorted);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "D001");
+    }
+
+    #[test]
+    fn float_sum_is_d004_and_integer_sum_is_safe() {
+        let float = "fn f(m: &HashMap<u32, f64>) -> f64 { m.values().sum::<f64>() }";
+        let f = findings(float);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "D004");
+        let int = "fn f(m: &HashMap<u32, usize>) -> usize { m.values().sum::<usize>() }";
+        assert!(findings(int).is_empty());
+    }
+
+    #[test]
+    fn collect_to_set_is_safe() {
+        let src = "fn f(m: &HashMap<u32, u32>) -> HashSet<u32> { m.keys().copied().collect::<HashSet<u32>>() }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn tests_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f() { let m: HashMap<u32, u32> = HashMap::new(); for k in m.keys() { drop(k); } }\n}";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn suppression_needs_a_justification() {
+        let good = "fn f(m: &HashMap<u32, u32>) {\n // fdlint: allow(D001, \"feeds a commutative count\")\n for k in m.keys() { bump(k); }\n}";
+        assert!(findings(good).is_empty(), "{:?}", findings(good));
+        let bad = "fn f(m: &HashMap<u32, u32>) {\n // fdlint: allow(D001, \"\")\n for k in m.keys() { bump(k); }\n}";
+        let f = findings(bad);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("suppression ignored"));
+        let missing = "fn f(m: &HashMap<u32, u32>) {\n // fdlint: allow(D001)\n for k in m.keys() { bump(k); }\n}";
+        assert_eq!(findings(missing).len(), 1);
+    }
+
+    #[test]
+    fn d003_static_atomics_and_allowlist() {
+        let src = "static COUNTER: AtomicU64 = AtomicU64::new(0);";
+        let f = findings(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "D003");
+        let mut config = Config::default();
+        config
+            .rule_allow
+            .insert("D003".into(), vec!["x.rs#COUNTER".into()]);
+        assert!(analyze_source("x.rs", src, &all_rules(), &config).is_empty());
+        // Immutable statics are fine.
+        assert!(findings("static NAME: &str = \"x\";").is_empty());
+    }
+
+    #[test]
+    fn p001_flags_unwrap_but_not_unwrap_or() {
+        let f = findings("fn f(x: Option<u32>) -> u32 { x.unwrap() }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "P001");
+        assert!(findings("fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }").is_empty());
+        let m = findings("fn f() { panic!(\"boom\"); }");
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn u001_respects_file_allowlist() {
+        let src = "fn f() { unsafe { do_it(); } }";
+        assert_eq!(findings(src).len(), 1);
+        let mut config = Config::default();
+        config.rule_allow.insert("U001".into(), vec!["x.rs".into()]);
+        assert!(analyze_source("x.rs", src, &all_rules(), &config).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_never_trigger() {
+        let src = "fn f() { let s = \"for k in m.keys() unsafe panic!\"; /* unsafe */ drop(s); }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn d002_flags_time_idents() {
+        let f = findings("fn f() { let t = std::time::Instant::now(); }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "D002");
+    }
+}

@@ -1,0 +1,115 @@
+//! Finding records and their text / JSON renderings.
+
+use std::fmt;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier, e.g. `D001`.
+    pub rule: String,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Sorts findings into the canonical (path, line, rule) order. The linter
+/// polices determinism, so its own output is deterministic by
+/// construction: every consumer sees the same order on the same input.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule.as_str()).cmp(&(b.path.as_str(), b.line, b.rule.as_str()))
+    });
+}
+
+/// Renders findings as a JSON document: `{"count": N, "findings": [...]}`.
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"count\": ");
+    out.push_str(&findings.len().to_string());
+    out.push_str(",\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"rule\": ");
+        json_string(&mut out, &f.rule);
+        out.push_str(", \"path\": ");
+        json_string(&mut out, &f.path);
+        out.push_str(", \"line\": ");
+        out.push_str(&f.line.to_string());
+        out.push_str(", \"message\": ");
+        json_string(&mut out, &f.message);
+        out.push('}');
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_shape() {
+        let findings = vec![Finding {
+            rule: "D001".into(),
+            path: "a/b.rs".into(),
+            line: 3,
+            message: "iterates \"unordered\"".into(),
+        }];
+        let json = to_json(&findings);
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\\\"unordered\\\""));
+        assert!(json.contains("\"line\": 3"));
+    }
+
+    #[test]
+    fn sorted_by_path_line_rule() {
+        let mk = |rule: &str, path: &str, line| Finding {
+            rule: rule.into(),
+            path: path.into(),
+            line,
+            message: String::new(),
+        };
+        let mut v = vec![
+            mk("P001", "b.rs", 1),
+            mk("D001", "a.rs", 9),
+            mk("D001", "a.rs", 2),
+        ];
+        sort_findings(&mut v);
+        assert_eq!(v[0].path, "a.rs");
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[2].path, "b.rs");
+    }
+}

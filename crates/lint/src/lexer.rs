@@ -1,0 +1,418 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! Just enough fidelity to walk the workspace's own source without being
+//! fooled by the token classes that break naive `grep`-style analysis:
+//! ordinary and raw strings (`r#"…"#` with any hash count), byte and C
+//! strings, char literals vs. lifetimes (`'a'` vs. `'a`), raw identifiers
+//! (`r#type`), nested block comments, and numeric literals with embedded
+//! dots. It does **not** build a syntax tree — the rule engine works on
+//! the flat token stream.
+
+/// Classification of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`let`, `HashMap`, `r#type` → `type`).
+    Ident,
+    /// Lifetime such as `'a` or `'static` (without char-literal ambiguity).
+    Lifetime,
+    /// String literal of any flavor: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// Numeric literal, including suffixes and embedded dots (`1.0f64`).
+    Num,
+    /// Any single punctuation character. Multi-character operators appear
+    /// as adjacent `Punct` tokens (`::` is two `:`).
+    Punct,
+    /// Line or block comment, text preserved (suppressions live here).
+    Comment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What class of token this is.
+    pub kind: TokenKind,
+    /// The raw text of the token (comments keep their delimiters).
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// Lexes `src` into a flat token stream. Whitespace is dropped; comments
+/// are kept (the suppression syntax lives in them). The lexer never
+/// fails: unexpected bytes become single-character `Punct` tokens.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                c if c.is_whitespace() => self.i += 1,
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(false, 0),
+                '\'' => self.char_or_lifetime(),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => {
+                    let start = self.i;
+                    self.i += 1;
+                    self.push(TokenKind::Punct, start, self.line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i;
+        while self.peek(0).is_some_and(|c| c != '\n') {
+            self.i += 1;
+        }
+        self.push(TokenKind::Comment, start, self.line);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.i;
+        let start_line = self.line;
+        let mut depth = 1u32;
+        self.i += 2;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.i += 2;
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.i += 2;
+                }
+                (Some('\n'), _) => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                (Some(_), _) => self.i += 1,
+                (None, _) => break,
+            }
+        }
+        self.push(TokenKind::Comment, start, start_line);
+    }
+
+    /// Ordinary or raw string starting at the opening `"` (raw: `hashes`
+    /// is the number of `#` that must follow the closing quote).
+    fn string(&mut self, raw: bool, hashes: usize) {
+        let start = self.i;
+        let start_line = self.line;
+        self.i += 1; // opening quote
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some('\n') => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                Some('\\') if !raw => self.i += 2,
+                Some('"') => {
+                    if raw {
+                        let closed = (0..hashes).all(|k| self.peek(1 + k) == Some('#'));
+                        if closed {
+                            self.i += 1 + hashes;
+                            break;
+                        }
+                        self.i += 1;
+                    } else {
+                        self.i += 1;
+                        break;
+                    }
+                }
+                Some(_) => self.i += 1,
+            }
+        }
+        self.push(TokenKind::Str, start, start_line);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let start = self.i;
+        match self.peek(1) {
+            // '\…' is always an escaped char literal.
+            Some('\\') => {
+                self.i += 2;
+                while self.peek(0).is_some_and(|c| c != '\'') {
+                    self.i += if self.peek(0) == Some('\\') { 2 } else { 1 };
+                }
+                self.i += 1;
+                self.push(TokenKind::Char, start, self.line);
+            }
+            // 'x' (any single char, multi-byte included) closed by a quote.
+            Some(c1) if c1 != '\'' && self.peek(2) == Some('\'') => {
+                self.i += 3;
+                self.push(TokenKind::Char, start, self.line);
+            }
+            // 'ident — a lifetime.
+            Some(c1) if c1 == '_' || c1.is_alphabetic() => {
+                self.i += 1;
+                while self
+                    .peek(0)
+                    .is_some_and(|c| c == '_' || c.is_alphanumeric())
+                {
+                    self.i += 1;
+                }
+                self.push(TokenKind::Lifetime, start, self.line);
+            }
+            _ => {
+                self.i += 1;
+                self.push(TokenKind::Punct, start, self.line);
+            }
+        }
+    }
+
+    fn ident_or_prefixed(&mut self) {
+        let start = self.i;
+        while self
+            .peek(0)
+            .is_some_and(|c| c == '_' || c.is_alphanumeric())
+        {
+            self.i += 1;
+        }
+        let word: String = self.chars[start..self.i].iter().collect();
+        let is_str_prefix = matches!(word.as_str(), "r" | "b" | "br" | "rb" | "c" | "cr");
+        match self.peek(0) {
+            // r"…", b"…", br#"…"#, c"…" — string with a prefix.
+            Some('"') if is_str_prefix => {
+                let raw = word.contains('r');
+                self.string_with_prefix(start, raw, 0);
+            }
+            Some('#') if is_str_prefix && word.contains('r') => {
+                let mut hashes = 0;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    self.i += hashes;
+                    self.string_with_prefix(start, true, hashes);
+                } else if word == "r" && hashes == 1 {
+                    // r#ident — raw identifier; token text is the bare name.
+                    self.i += 1;
+                    let name_start = self.i;
+                    while self
+                        .peek(0)
+                        .is_some_and(|c| c == '_' || c.is_alphanumeric())
+                    {
+                        self.i += 1;
+                    }
+                    let name: String = self.chars[name_start..self.i].iter().collect();
+                    self.out.push(Token {
+                        kind: TokenKind::Ident,
+                        text: name,
+                        line: self.line,
+                    });
+                } else {
+                    self.push(TokenKind::Ident, start, self.line);
+                }
+            }
+            // b'x' — byte char literal.
+            Some('\'') if word == "b" => {
+                self.i += 1; // consume the quote, then reuse char logic
+                let mut depth_guard = 0;
+                while self.peek(0).is_some_and(|c| c != '\'') && depth_guard < 8 {
+                    self.i += if self.peek(0) == Some('\\') { 2 } else { 1 };
+                    depth_guard += 1;
+                }
+                self.i += 1;
+                self.push(TokenKind::Char, start, self.line);
+            }
+            _ => self.push(TokenKind::Ident, start, self.line),
+        }
+    }
+
+    /// Finishes a prefixed string: cursor sits on the opening quote,
+    /// `start` covers the prefix so the token text includes it.
+    fn string_with_prefix(&mut self, start: usize, raw: bool, hashes: usize) {
+        let start_line = self.line;
+        self.i += 1; // opening quote
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some('\n') => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                Some('\\') if !raw => self.i += 2,
+                Some('"') => {
+                    if raw {
+                        let closed = (0..hashes).all(|k| self.peek(1 + k) == Some('#'));
+                        if closed {
+                            self.i += 1 + hashes;
+                            break;
+                        }
+                        self.i += 1;
+                    } else {
+                        self.i += 1;
+                        break;
+                    }
+                }
+                Some(_) => self.i += 1,
+            }
+        }
+        self.push(TokenKind::Str, start, start_line);
+    }
+
+    fn number(&mut self) {
+        let start = self.i;
+        while self
+            .peek(0)
+            .is_some_and(|c| c == '_' || c.is_alphanumeric())
+        {
+            self.i += 1;
+        }
+        // 1.25 / 1.0e9 — but not `1..n` (range) or `1.max(2)` (method).
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+            while self
+                .peek(0)
+                .is_some_and(|c| c == '_' || c.is_alphanumeric())
+            {
+                self.i += 1;
+            }
+        }
+        self.push(TokenKind::Num, start, self.line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "for x in map.iter() {";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("iter")));
+        // The words inside the string must NOT surface as identifiers.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "iter"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r##"let s = r#"quote " inside"#; let t = 1;"##);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains("quote"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "t"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ let x = 1;");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Comment)
+                .count(),
+            1
+        );
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "let"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "let a = \"line\nline\nline\";\nlet b = 2;";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_to_bare_names() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "type"));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let toks = kinds(r##"let a = b"bytes"; let b = c"cstr"; let c = br#"raw"#;"##);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 3);
+    }
+
+    #[test]
+    fn numbers_with_dots_and_suffixes() {
+        let toks = kinds("let x = 1.25f64; let y = 1..n; let z = 7.max(2);");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Num)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert!(nums.contains(&"1.25f64"));
+        assert!(nums.contains(&"1")); // range start stays separate
+        assert!(nums.contains(&"7")); // method receiver stays separate
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "max"));
+    }
+}

@@ -1,0 +1,66 @@
+//! # fd-lint
+//!
+//! Determinism & safety static analysis for the fd-repairs workspace.
+//!
+//! Everything this reproduction promises — byte-identical `RepairReport`s
+//! for cache replay, shard-parity bit-identity, oracle differential
+//! equality — hinges on determinism invariants that runtime tests can
+//! only check after a bug ships. `fd-lint` moves that class of bug to
+//! `cargo` time: a dependency-free, hand-rolled Rust lexer feeds a rule
+//! engine that walks every `crates/*/src/**/*.rs` (plus the root `src/`)
+//! and reports violations of the workspace's determinism and
+//! panic-safety rules.
+//!
+//! ## Rules
+//!
+//! | id | catches |
+//! |---|---|
+//! | `D001` | unordered `HashMap`/`HashSet` iteration on a deterministic-output path |
+//! | `D002` | `SystemTime`/`Instant` flowing into report or cache-key modules |
+//! | `D003` | global mutable state (`static mut`, module-level atomics) outside an allowlist |
+//! | `D004` | float accumulation over an unordered source |
+//! | `P001` | `unwrap()`/`expect()`/`panic!` in fd-serve request-handling modules |
+//! | `U001` | `unsafe` outside the allowlisted modules |
+//!
+//! Rules are scoped to path globs by the checked-in `lint.toml`; findings
+//! are suppressed per-line with
+//! `// fdlint: allow(<RULE>, "<justification>")` — a suppression without
+//! a non-empty justification does **not** suppress. See `docs/LINTS.md`
+//! for the full catalog and `fdlint --explain <RULE>` for any one rule.
+//!
+//! ## Usage
+//!
+//! ```text
+//! fdlint                 # lint the workspace rooted at the cwd, exit 0/1
+//! fdlint --json          # machine-readable findings
+//! fdlint --explain D001  # rule catalog entry
+//! ```
+//!
+//! ## Example
+//!
+//! ```
+//! use fd_lint::{analyze_source, Config};
+//!
+//! let config = Config::default();
+//! let rules = vec!["D001".to_string()];
+//! let src = "fn f(m: &std::collections::HashMap<u32, u32>) {
+//!     for k in m.keys() { println!(\"{k}\"); }
+//! }";
+//! let findings = analyze_source("demo.rs", src, &rules, &config);
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].rule, "D001");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{Config, ConfigError, Scope};
+pub use engine::{analyze_source, run_workspace, workspace_files, Suppression};
+pub use findings::{sort_findings, to_json, Finding};
+pub use rules::{explain, rule_info, RuleInfo, RULES};

@@ -1,0 +1,142 @@
+//! The rule catalog: identifiers, rationale, and `--explain` text.
+//!
+//! The *detection* logic lives in [`crate::engine`]; this module is the
+//! single source of truth for what each rule means, why it exists, and
+//! how it maps onto the runtime test layers that backstop it (golden
+//! files, shard parity, byte-replay caching, the differential oracle).
+
+/// Static description of one lint rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable identifier (`D001`, `P001`, …).
+    pub id: &'static str,
+    /// One-line title.
+    pub title: &'static str,
+    /// Why the rule exists in this workspace.
+    pub rationale: &'static str,
+    /// A minimal violating example.
+    pub example: &'static str,
+    /// How to fix — and when annotating instead is legitimate.
+    pub fix: &'static str,
+}
+
+/// Every rule fdlint knows, in identifier order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "D001",
+        title: "unordered iteration over a hash container on a deterministic-output path",
+        rationale: "HashMap/HashSet iteration order varies run to run (SipHash keys are \
+                    randomized) and across platforms. Any iteration whose order reaches a \
+                    cost, a report, a counterexample, or a cache key silently breaks the \
+                    byte-identical guarantees the golden-file, shard-parity, and \
+                    byte-replay-cache suites enforce at runtime.",
+        example: "let mut ids: Vec<TupleId> = kept.into_iter().collect(); // kept: HashSet\nreturn ids; // order is random",
+        fix: "Sort the collected result (`ids.sort_unstable()`), switch the container to \
+              BTreeMap/BTreeSet, or key the loop off an ordered source (row order, a sorted \
+              Vec). If the consumer is provably order-insensitive (pure membership, counting, \
+              set-to-set), suppress with `// fdlint: allow(D001, \"why order cannot escape\")`.",
+    },
+    RuleInfo {
+        id: "D002",
+        title: "wall-clock or monotonic time flowing into a report or cache-key module",
+        rationale: "SystemTime/Instant values differ per run by construction. In modules \
+                    that serialize RepairReports or derive cache keys they make identical \
+                    requests produce different bytes, which defeats the LRU byte-replay \
+                    cache and every golden-file comparison.",
+        example: "let stamp = std::time::SystemTime::now(); // inside report serialization",
+        fix: "Keep timing in the planner/solver layers where it is reported under \
+              include_timings (excluded from cacheable calls), or thread an explicit \
+              timestamp parameter in from the edge. Suppress only for code paths proven \
+              to never reach serialized output.",
+    },
+    RuleInfo {
+        id: "D003",
+        title: "global mutable state outside the allowlist",
+        rationale: "`static mut`, module-level atomics, and thread_local! counters make \
+                    output depend on process history — the fresh-constant counter leak \
+                    (fixed by canonicalize_fresh in PR 3) shipped exactly this way: every \
+                    update-repair report serialized differently depending on how many \
+                    repairs ran before it.",
+        example: "static NEXT_ID: AtomicU64 = AtomicU64::new(0); // leaks process history",
+        fix: "Thread state through explicit parameters or per-call structs. Process-global \
+              state is legitimate only for signal flags and similar OS-mandated globals: \
+              add those to `[rules.D003] allow` in lint.toml, or suppress inline with a \
+              justification explaining why the state cannot reach deterministic output.",
+    },
+    RuleInfo {
+        id: "D004",
+        title: "float accumulation over an unordered source",
+        rationale: "Float addition is not associative: summing weights in hash order \
+                    produces different low bits on different runs even when the set of \
+                    addends is identical. Costs and probabilities must be accumulated in \
+                    row order (or over sorted keys) to stay bit-identical, which is what \
+                    the shard-parity suite asserts.",
+        example: "let total: f64 = weight_by_id.values().sum::<f64>(); // hash order",
+        fix: "Accumulate over an ordered source: iterate rows positionally, or collect \
+              keys, sort, then sum. Integer sums are order-insensitive and allowed.",
+    },
+    RuleInfo {
+        id: "P001",
+        title: "panicking call in a request-handling module",
+        rationale: "fd-serve's workers catch panics, but a panic still drops the request \
+                    on the floor, skews the latency histogram, and turns hostile input \
+                    into a 5xx. Request-path code (router, http, pool, cache) must return \
+                    errors, not unwrap.",
+        example: "let call = RepairCall::parse(&body).unwrap(); // hostile input panics",
+        fix: "Propagate with `?`, map to an HTTP error response, or handle the None/Err \
+              arm explicitly. For invariants that are locally provable (e.g. a lock that \
+              cannot be poisoned because holders never panic), suppress with a \
+              justification stating the invariant.",
+    },
+    RuleInfo {
+        id: "U001",
+        title: "unsafe code outside the allowlisted modules",
+        rationale: "The workspace is dependency-free and pure-safe Rust except for the \
+                    signal-handler installation in fd-serve's shutdown.rs (a C-runtime \
+                    call that cannot be expressed safely). Every other crate carries \
+                    #![forbid(unsafe_code)]; this rule keeps the allowlist from growing \
+                    silently.",
+        example: "let x = unsafe { mem::transmute::<u32, f32>(bits) };",
+        fix: "Rewrite safely. If a new OS-level interface genuinely requires unsafe, \
+              isolate it in one module, document the safety argument on every block, and \
+              add the file to `[rules.U001] allow` in lint.toml in the same change.",
+    },
+];
+
+/// Looks up one rule by identifier.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Renders the `--explain` text for a rule.
+pub fn explain(id: &str) -> Option<String> {
+    let r = rule_info(id)?;
+    Some(format!(
+        "{} — {}\n\nWhy\n  {}\n\nExample\n  {}\n\nFix\n  {}\n",
+        r.id,
+        r.title,
+        r.rationale,
+        r.example.replace('\n', "\n  "),
+        r.fix
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_sorted_and_unique() {
+        let ids: Vec<&str> = RULES.iter().map(|r| r.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn explain_known_and_unknown() {
+        assert!(explain("D001").unwrap().contains("hash container"));
+        assert!(explain("Z999").is_none());
+    }
+}

@@ -1,0 +1,139 @@
+//! The fixture corpus: for every rule, one file that must trip exactly
+//! that rule and one that must come back clean — plus the suppression
+//! round-trip (a justification is required, not decorative) and the live
+//! workspace itself, which must be lint-clean at all times.
+
+use fd_lint::{analyze_source, run_workspace, Config};
+use std::path::{Path, PathBuf};
+
+const ALL_RULES: &[&str] = &["D001", "D002", "D003", "D004", "P001", "U001"];
+
+fn all_rules() -> Vec<String> {
+    ALL_RULES.iter().map(|r| r.to_string()).collect()
+}
+
+fn empty_config() -> Config {
+    Config::parse("").expect("empty config parses")
+}
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn analyze_fixture(name: &str) -> Vec<fd_lint::Finding> {
+    let path = corpus_dir().join(name);
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    analyze_source(name, &src, &all_rules(), &empty_config())
+}
+
+#[test]
+fn each_violation_fixture_trips_exactly_its_rule() {
+    for rule in ALL_RULES {
+        let name = format!("{}_violation.rs", rule.to_lowercase());
+        let findings = analyze_fixture(&name);
+        assert!(
+            !findings.is_empty(),
+            "{name}: expected at least one {rule} finding, got none"
+        );
+        for f in &findings {
+            assert_eq!(
+                f.rule, *rule,
+                "{name}: expected only {rule} findings, got {f}"
+            );
+        }
+    }
+}
+
+#[test]
+fn each_clean_fixture_is_clean() {
+    for rule in ALL_RULES {
+        let name = format!("{}_clean.rs", rule.to_lowercase());
+        let findings = analyze_fixture(&name);
+        assert!(
+            findings.is_empty(),
+            "{name}: expected no findings, got: {}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[test]
+fn suppression_with_justification_suppresses() {
+    let src = r#"
+use std::sync::atomic::AtomicU64;
+// fdlint: allow(D003, "the counter is scrubbed from all serialized output")
+static CALLS: AtomicU64 = AtomicU64::new(0);
+"#;
+    let findings = analyze_source("suppressed.rs", src, &all_rules(), &empty_config());
+    assert!(
+        findings.is_empty(),
+        "justified suppression should silence the finding, got: {findings:?}"
+    );
+}
+
+#[test]
+fn suppression_without_justification_is_ignored() {
+    // No justification at all.
+    let bare = r#"
+use std::sync::atomic::AtomicU64;
+// fdlint: allow(D003)
+static CALLS: AtomicU64 = AtomicU64::new(0);
+"#;
+    // An empty justification string is just as ignored.
+    let empty = r#"
+use std::sync::atomic::AtomicU64;
+// fdlint: allow(D003, "")
+static CALLS: AtomicU64 = AtomicU64::new(0);
+"#;
+    for (label, src) in [("bare", bare), ("empty", empty)] {
+        let findings = analyze_source("unjustified.rs", src, &all_rules(), &empty_config());
+        assert_eq!(
+            findings.len(),
+            1,
+            "{label}: an unjustified suppression must not suppress"
+        );
+        assert_eq!(findings[0].rule, "D003");
+        assert!(
+            findings[0].message.contains("suppression ignored"),
+            "{label}: the finding should explain why the suppression did not count: {}",
+            findings[0].message
+        );
+    }
+}
+
+#[test]
+fn suppression_for_a_different_rule_does_not_suppress() {
+    let src = r#"
+use std::sync::atomic::AtomicU64;
+// fdlint: allow(D001, "wrong rule entirely")
+static CALLS: AtomicU64 = AtomicU64::new(0);
+"#;
+    let findings = analyze_source("wrong_rule.rs", src, &all_rules(), &empty_config());
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, "D003");
+}
+
+#[test]
+fn live_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let config_text = std::fs::read_to_string(root.join("lint.toml")).expect("workspace lint.toml");
+    let config = Config::parse(&config_text).expect("lint.toml parses");
+    let findings = run_workspace(&root, &config).expect("walk workspace");
+    assert!(
+        findings.is_empty(),
+        "the workspace must stay fdlint-clean; findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,27 @@
+//! D001 fixture (clean): every hash iteration is sorted, counted, or
+//! collected back into a set before it can reach a result.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Sorted immediately after collecting: deterministic.
+pub fn totals(m: &HashMap<String, u64>) -> Vec<u64> {
+    let mut out: Vec<u64> = m.values().copied().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Order-insensitive sink.
+pub fn how_many(m: &HashMap<String, u64>) -> usize {
+    m.keys().count()
+}
+
+/// Collecting into a set erases iteration order again.
+pub fn mirrored(s: &HashSet<u32>) -> HashSet<u32> {
+    s.iter().map(|x| x + 1).collect::<HashSet<u32>>()
+}
+
+/// Ordered container: nothing to flag. (Named distinctly from the hash
+/// maps above — binding inference is name-based and file-global.)
+pub fn ordered(btree: &BTreeMap<String, u64>) -> Vec<u64> {
+    btree.values().copied().collect()
+}

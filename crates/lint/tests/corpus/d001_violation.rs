@@ -1,0 +1,8 @@
+//! D001 fixture: hash-map iteration order escapes into the result.
+
+use std::collections::HashMap;
+
+/// The returned Vec is in HashMap iteration order — nondeterministic.
+pub fn totals(m: &HashMap<String, u64>) -> Vec<u64> {
+    m.values().copied().collect()
+}

@@ -1,0 +1,6 @@
+//! D002 fixture (clean): reports are a pure function of their inputs.
+
+/// Same inputs, same bytes.
+pub fn report_header(rows: usize, fds: usize) -> String {
+    format!("rows: {rows}, fds: {fds}")
+}

@@ -1,0 +1,7 @@
+//! D002 fixture: wall-clock time flows into a report.
+
+/// A timestamp in a serialized report differs on every run.
+pub fn report_header() -> String {
+    let stamp = std::time::SystemTime::now();
+    format!("generated: {stamp:?}")
+}

@@ -1,0 +1,29 @@
+//! D003 fixture (clean): state is threaded explicitly; immutable
+//! statics and consts are fine.
+
+static GREETING: &str = "hello";
+const LIMIT: u64 = 16;
+
+/// A counter owned by the caller instead of the process.
+pub struct IdSource {
+    next: u64,
+}
+
+impl IdSource {
+    /// Fresh source starting at zero.
+    pub fn new() -> IdSource {
+        IdSource { next: 0 }
+    }
+
+    /// Deterministic given the source's own history alone.
+    pub fn next_id(&mut self) -> u64 {
+        let id = self.next;
+        self.next += 1;
+        id
+    }
+}
+
+/// Uses only immutable module-level data.
+pub fn greet(n: u64) -> String {
+    format!("{GREETING} {}", n.min(LIMIT))
+}

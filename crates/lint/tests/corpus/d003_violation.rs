@@ -1,0 +1,11 @@
+//! D003 fixture: a module-level counter leaks process history.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// The value depends on how many calls happened before, anywhere in the
+/// process — test order, request order, thread interleaving.
+pub fn next_id() -> u64 {
+    CALLS.fetch_add(1, Ordering::Relaxed)
+}

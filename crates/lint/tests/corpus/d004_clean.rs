@@ -1,0 +1,16 @@
+//! D004 fixture (clean): sort before accumulating, or accumulate
+//! integers (integer addition commutes exactly).
+
+use std::collections::HashMap;
+
+/// Sorting first pins the accumulation order bit-for-bit.
+pub fn total_weight(weights: &HashMap<u32, f64>) -> f64 {
+    let mut ws: Vec<(u32, f64)> = weights.iter().map(|(&k, &w)| (k, w)).collect();
+    ws.sort_unstable_by_key(|&(k, _)| k);
+    ws.iter().map(|&(_, w)| w).fold(0.0, |acc, w| acc + w)
+}
+
+/// Integer sums are order-insensitive.
+pub fn total_count(counts: &HashMap<u32, u64>) -> u64 {
+    counts.values().sum::<u64>()
+}

@@ -1,0 +1,9 @@
+//! D004 fixture: floats summed in hash iteration order. Float addition
+//! does not associate, so the total differs run to run in the low bits.
+
+use std::collections::HashMap;
+
+/// Accumulation order follows the map's nondeterministic iteration.
+pub fn total_weight(weights: &HashMap<u32, f64>) -> f64 {
+    weights.values().sum::<f64>()
+}

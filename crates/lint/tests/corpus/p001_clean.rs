@@ -1,0 +1,15 @@
+//! P001 fixture (clean): hostile input becomes an error value the
+//! router can turn into a 4xx response.
+
+/// Malformed headers are an `Err`, never a panic.
+pub fn content_length(header: &str) -> Result<usize, String> {
+    header
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad Content-Length: {e}"))
+}
+
+/// Defaults are fine too.
+pub fn keep_alive(header: Option<&str>) -> bool {
+    header.map(|h| h.eq_ignore_ascii_case("keep-alive")).unwrap_or(false)
+}

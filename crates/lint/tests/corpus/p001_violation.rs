@@ -1,0 +1,7 @@
+//! P001 fixture: a panic on the request path loses the request.
+
+/// Hostile input (`Content-Length: banana`) panics the worker instead
+/// of coming back as a 400.
+pub fn content_length(header: &str) -> usize {
+    header.trim().parse().unwrap()
+}

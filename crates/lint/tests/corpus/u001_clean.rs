@@ -1,0 +1,6 @@
+//! U001 fixture (clean): safe indexing, no `unsafe` anywhere.
+
+/// Checked read: `None` on an empty slice.
+pub fn first_byte(v: &[u8]) -> Option<u8> {
+    v.first().copied()
+}

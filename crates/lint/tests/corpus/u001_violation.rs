@@ -1,0 +1,6 @@
+//! U001 fixture: unsafe outside the allowlisted signal module.
+
+/// An unchecked read — undefined behavior on an empty slice.
+pub fn first_byte(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

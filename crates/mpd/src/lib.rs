@@ -7,6 +7,7 @@
 //! by Gribkoff, Van den Broeck & Suciu for non-unary FDs: MPD is solvable
 //! in polynomial time iff `OSRSucceeds(Δ)`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;

@@ -39,6 +39,7 @@
 //! assert_eq!(brute_subset_repair(&t, &fds).cost, 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod check;

@@ -134,6 +134,7 @@ impl PriorityRelation {
             .filter(|(_, &d)| d == 0)
             .map(|(&n, _)| n)
             .collect();
+        queue.sort_unstable();
         let mut seen = 0usize;
         while let Some(n) = queue.pop() {
             seen += 1;

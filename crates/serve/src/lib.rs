@@ -52,6 +52,7 @@
 //! handle.join().unwrap().unwrap();
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cache;

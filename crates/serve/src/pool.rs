@@ -77,7 +77,9 @@ impl Drop for WorkerPool {
 fn worker_loop(receiver: &Mutex<Receiver<TcpStream>>, handler: &(dyn Fn(TcpStream) + Send + Sync)) {
     loop {
         let job = {
-            let guard = receiver.lock().expect("receiver lock");
+            // A poisoned lock means a sibling worker panicked mid-recv;
+            // treat it as shutdown instead of propagating the panic.
+            let Ok(guard) = receiver.lock() else { return };
             guard.recv()
         };
         match job {

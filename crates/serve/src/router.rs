@@ -92,7 +92,13 @@ fn repair(shared: &Shared, body: &[u8], endpoint: Endpoint) -> Response {
         Arc::from("")
     };
     if cacheable {
-        let hit = shared.cache.lock().expect("cache lock").get(key);
+        // A poisoned cache lock degrades to a miss: serving uncached is
+        // always correct, panicking on a request path never is.
+        let hit = shared
+            .cache
+            .lock()
+            .ok()
+            .and_then(|mut cache| cache.get(key));
         match hit {
             Some(entry) if entry.canonical == canonical => {
                 shared.metrics.observe_cache(true);
@@ -119,13 +125,17 @@ fn repair(shared: &Shared, body: &[u8], endpoint: Endpoint) -> Response {
     match result {
         Ok(body) => {
             if cacheable {
-                shared.cache.lock().expect("cache lock").insert(
-                    key,
-                    crate::CachedResponse {
-                        canonical,
-                        body: Arc::from(body.as_str()),
-                    },
-                );
+                // Skip the insert if the lock is poisoned — losing a
+                // cache entry is harmless.
+                if let Ok(mut cache) = shared.cache.lock() {
+                    cache.insert(
+                        key,
+                        crate::CachedResponse {
+                            canonical,
+                            body: Arc::from(body.as_str()),
+                        },
+                    );
+                }
             }
             Response::json(200, body).with_header("X-Fd-Cache", "miss")
         }

@@ -39,7 +39,15 @@ mod imp {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
     }
 
+    // The crate is #![deny(unsafe_code)]; this module is the one
+    // permitted exception (see [rules.U001] in lint.toml).
+    #[allow(unsafe_code)]
     pub fn install() {
+        // SAFETY: `signal` is the C runtime's own declaration; both
+        // arguments are valid (`SIGINT`/`SIGTERM` are real signal
+        // numbers, `handle` is a non-unwinding extern "C" fn that only
+        // performs an atomic store, which is async-signal-safe). The
+        // ignored return value is the previous handler, not a resource.
         unsafe {
             signal(SIGINT, handle);
             signal(SIGTERM, handle);

@@ -48,6 +48,7 @@ pub fn brute_force_s_repair(table: &Table, fds: &FdSet) -> SRepair {
         if cost < best_cost {
             best_cost = cost;
             best_kept = keep.into_iter().collect();
+            best_kept.sort_unstable();
         }
     }
     SRepair::from_kept(table, best_kept)

@@ -28,6 +28,7 @@
 //! * [`SRepairSolver`] — a facade choosing the best method per the
 //!   dichotomy.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod approx;

@@ -47,7 +47,9 @@ pub fn make_maximal(table: &Table, fds: &FdSet, repair: &SRepair) -> SRepair {
             kept.remove(&row.id);
         }
     }
-    SRepair::from_kept(table, kept.into_iter().collect())
+    let mut kept: Vec<TupleId> = kept.into_iter().collect();
+    kept.sort_unstable();
+    SRepair::from_kept(table, kept)
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@ pub fn weighted_majority(table: &Table, attr: fd_core::AttrId) -> Option<Value> 
     }
     let dict = table.dictionary();
     weights
+        // fdlint: allow(D001, "the comparator is a total order (weight, then value), so max_by has a unique winner regardless of visit order")
         .into_iter()
         .map(|(sym, w)| (dict.decode(sym), w))
         .max_by(|(va, wa), (vb, wb)| {

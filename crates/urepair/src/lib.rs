@@ -23,6 +23,7 @@
 //!   deletions and updates under operation-dependent costs
 //!   ([`MixedCosts`]).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod approx;

@@ -80,6 +80,7 @@
 //! `ARCHITECTURE.md` (repo root) maps the crate topology and data flow;
 //! `docs/API.md` documents the HTTP surface `fdrepair serve` exposes.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod instance;

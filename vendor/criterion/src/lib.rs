@@ -11,6 +11,7 @@
 //! magnitude regressions; not a statistics engine. Honors the standard
 //! libtest-style args cargo passes (`--bench`, filters are applied to
 //! benchmark ids; `--test` runs each benchmark once).
+#![forbid(unsafe_code)]
 
 use std::time::{Duration, Instant};
 

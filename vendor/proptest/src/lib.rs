@@ -14,6 +14,7 @@
 //! persistence: a failing case panics with the ordinary assertion
 //! message. Generation is deterministic per test (the RNG is seeded from
 //! the test's name), so failures reproduce across runs.
+#![forbid(unsafe_code)]
 
 pub mod strategy {
     use rand::prelude::*;

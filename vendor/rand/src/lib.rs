@@ -9,6 +9,7 @@
 //! The generator behind [`rngs::StdRng`] is xoshiro256** seeded through
 //! SplitMix64 — deterministic for a given seed, statistically solid for
 //! test-workload generation, and explicitly **not** cryptographic.
+#![forbid(unsafe_code)]
 
 use std::ops::{Range, RangeInclusive};
 
