@@ -30,6 +30,13 @@
 //! process peak RSS (`VmHWM`) divided by the ladder's top row count,
 //! in bytes per row. `bench_guard` gates it raw (never calibrated —
 //! memory footprint does not scale with machine speed).
+//!
+//! `trace/overhead_disabled/1000000` pins the fd-trace fast path: one
+//! million `fd_trace::span` constructions with **no collector
+//! installed**. The disabled path is specified as a thread-local read
+//! and a branch — no clock, no allocation — and this entry fails the
+//! gate if anyone makes it expensive, which would silently tax every
+//! instrumented pipeline stage.
 
 use criterion::{black_box, Criterion};
 use fd_core::{table_from_csv_reader, table_to_csv, CsvOptions, KeyExtractor};
@@ -178,6 +185,18 @@ fn write_summary() {
             }),
         );
     }
+    // The disabled-tracing fast path: a million span constructions with
+    // no collector installed. Must stay a thread-local read plus a
+    // branch per call; regressions here tax every instrumented stage
+    // even when nobody is tracing.
+    push(
+        "trace/overhead_disabled/1000000".to_string(),
+        median_us(reps(1_000_000), || {
+            for _ in 0..1_000_000u32 {
+                black_box(fd_trace::span("bench/disabled"));
+            }
+        }),
+    );
     // Memory trajectory: peak RSS over the whole ladder, amortized per
     // row of the top size. Gated raw by `bench_guard` (a `bytes_per_row`
     // entry is never calibrated — footprint is machine-independent).

@@ -24,9 +24,13 @@
 //! when both files come from the same box.
 //!
 //! Besides `median_us` timings, entries may carry a `bytes_per_row`
-//! number (the scale suite's peak-RSS-per-row probe). Those are gated
+//! number (the scale suite's peak-RSS-per-row probe) or a
+//! `requests_per_sec` throughput (the serve suite). Bytes are gated
 //! with the same factor but always compared raw — memory footprint
 //! does not scale with machine speed — and skip the noise floor.
+//! Throughput gates in the *opposite direction*: `requests_per_sec` is
+//! higher-is-better, so the regression ratio is `committed / fresh`,
+//! and an rps collapse fails exactly like a latency blow-up.
 
 use fd_engine::Json;
 use std::process::ExitCode;
@@ -36,11 +40,30 @@ const NOISE_FLOOR_US: f64 = 200.0;
 
 /// What an entry's number measures. Time entries are calibrated and
 /// noise-floored; byte entries are compared raw — memory footprint does
-/// not scale with machine speed, and it barely jitters.
-#[derive(Clone, Copy, PartialEq, Eq)]
+/// not scale with machine speed, and it barely jitters. Throughput
+/// entries are compared raw and *inverted*: higher is better.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Unit {
     TimeUs,
     BytesPerRow,
+    Rps,
+}
+
+impl Unit {
+    /// The regression ratio for this unit, normalized so that > 1 means
+    /// "worse": fresh/committed for lower-is-better numbers,
+    /// committed/fresh for higher-is-better throughput.
+    fn regression_ratio(self, base: f64, now: f64) -> f64 {
+        let (num, den) = match self {
+            Unit::TimeUs | Unit::BytesPerRow => (now, base),
+            Unit::Rps => (base, now),
+        };
+        if den > 0.0 {
+            num / den
+        } else {
+            f64::INFINITY
+        }
+    }
 }
 
 fn load(path: &str) -> Result<Vec<(String, f64, Unit)>, String> {
@@ -58,9 +81,9 @@ fn load(path: &str) -> Result<Vec<(String, f64, Unit)>, String> {
             out.push((id.to_string(), median, Unit::TimeUs));
         } else if let Some(bytes) = entry.get("bytes_per_row").and_then(Json::as_num) {
             out.push((id.to_string(), bytes, Unit::BytesPerRow));
+        } else if let Some(rps) = entry.get("requests_per_sec").and_then(Json::as_num) {
+            out.push((id.to_string(), rps, Unit::Rps));
         }
-        // Entries with other units (e.g. requests/sec) are not
-        // regression-gated here.
     }
     Ok(out)
 }
@@ -124,17 +147,14 @@ fn run() -> Result<bool, String> {
             println!("  SKIP {id}: absent from the fresh run");
             continue;
         };
-        // Byte entries compare raw: peak-RSS-per-row is a property of
-        // the data layout, not of how fast the runner's CPU is.
+        // Byte and throughput entries compare raw: peak-RSS-per-row is
+        // a property of the data layout, and rps across machines is
+        // gated loosely enough that the factor absorbs runner speed.
         let (base_scaled, now_scaled) = match unit {
             Unit::TimeUs => (base / committed_scale, now / fresh_scale),
-            Unit::BytesPerRow => (*base, *now),
+            Unit::BytesPerRow | Unit::Rps => (*base, *now),
         };
-        let ratio = if base_scaled > 0.0 {
-            now_scaled / base_scaled
-        } else {
-            f64::INFINITY
-        };
+        let ratio = unit.regression_ratio(base_scaled, now_scaled);
         // The noise floor applies to the raw medians on both sides: an
         // entry that runs fast on either machine jitters too much to
         // gate on, calibrated or not. Byte entries have no floor.
@@ -150,6 +170,7 @@ fn run() -> Result<bool, String> {
         let label = match unit {
             Unit::TimeUs => "µs",
             Unit::BytesPerRow => "B/row",
+            Unit::Rps => "req/s",
         };
         println!("  {verdict:<5} {id:<42} {base:>12.1} -> {now:>12.1} {label} ({ratio:.2}x)");
     }
@@ -172,5 +193,29 @@ fn main() -> ExitCode {
             eprintln!("bench_guard: {e}");
             ExitCode::from(2)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Unit;
+
+    #[test]
+    fn time_and_bytes_fail_when_the_number_grows() {
+        assert!(Unit::TimeUs.regression_ratio(100.0, 300.0) > 2.0);
+        assert!(Unit::TimeUs.regression_ratio(300.0, 100.0) < 1.0);
+        assert!(Unit::BytesPerRow.regression_ratio(64.0, 200.0) > 2.0);
+    }
+
+    #[test]
+    fn throughput_fails_when_the_number_collapses() {
+        // An rps collapse (5000 → 1000) is a 5× regression, not a 0.2×
+        // improvement — the direction that used to slip through when
+        // requests_per_sec entries were silently skipped.
+        assert!(Unit::Rps.regression_ratio(5000.0, 1000.0) > 2.0);
+        // Faster serving must pass, however large the improvement.
+        assert!(Unit::Rps.regression_ratio(1000.0, 5000.0) < 1.0);
+        // A throughput of zero is an infinite regression, not a skip.
+        assert_eq!(Unit::Rps.regression_ratio(1000.0, 0.0), f64::INFINITY);
     }
 }

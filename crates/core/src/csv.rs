@@ -343,6 +343,7 @@ pub fn table_from_csv_reader<R: BufRead>(
     input: R,
     options: &CsvOptions,
 ) -> Result<Table> {
+    let mut sp = fd_trace::span("core/csv_intern");
     let mut reader = CsvReader::new(input);
     let mut header: Vec<String> = Vec::new();
     if !reader.next_record(&mut header)? {
@@ -379,6 +380,7 @@ pub fn table_from_csv_reader<R: BufRead>(
     let mut syms: Vec<crate::sym::Sym> = Vec::with_capacity(schema.arity());
     loop {
         if !reader.next_record_raw(&mut buf, &mut ends)? {
+            sp.attr("rows", table.len());
             return Ok(table);
         }
         // Errors cite the line the record started on (blank lines and

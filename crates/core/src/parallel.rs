@@ -38,12 +38,18 @@ where
     if threads <= 1 || items.len() < 2 {
         return items.iter().map(&f).collect();
     }
+    // Tracing side-channel: the caller's collector (if any) is handed
+    // to every worker so per-item spans land in the caller's trace.
+    // Results carry no trace data — determinism is untouched.
+    let tracer = fd_trace::current();
     let mut collected: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let f = &f;
+        let tracer = &tracer;
         let mut handles = Vec::with_capacity(threads);
         for worker in 0..threads {
             handles.push(scope.spawn(move || {
+                let _trace_guard = tracer.as_ref().map(fd_trace::Collector::install);
                 let mut out = Vec::new();
                 for (i, item) in items.iter().enumerate() {
                     if i % threads == worker {
@@ -86,5 +92,25 @@ mod tests {
     fn effective_threads_resolves_zero() {
         assert!(effective_threads(0) >= 1);
         assert_eq!(effective_threads(3), 3);
+    }
+
+    #[test]
+    fn fan_out_propagates_the_installed_collector() {
+        let collector = fd_trace::Collector::with_capacity(64);
+        let _guard = collector.install();
+        let items: Vec<usize> = (0..8).collect();
+        let out = round_robin_map(4, &items, |&i| {
+            let mut sp = fd_trace::span("worker/item");
+            sp.attr("i", i);
+            i + 1
+        });
+        assert_eq!(out, (1..9).collect::<Vec<_>>());
+        let events = collector.events();
+        assert_eq!(
+            events.len(),
+            8,
+            "every worker span landed in the caller's trace"
+        );
+        assert!(events.iter().all(|e| e.name == "worker/item"));
     }
 }

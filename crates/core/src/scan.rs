@@ -97,6 +97,9 @@ impl Table {
     /// *different* classes of one call jointly violate `fd`.
     fn grouped_conflict_scan<F: FnMut(&Fd, &[Vec<u32>])>(&self, fds: &FdSet, mut f: F) {
         let n = self.len();
+        let mut sp = fd_trace::span("core/conflict_scan");
+        sp.attr("rows", n);
+        sp.attr("fds", fds.len());
         let cols = self.sym_cols();
         // Scratch reused across every FD and group: rhs probe slots are
         // "cleared" by bumping the epoch, class member vectors keep

@@ -530,11 +530,16 @@ impl RepairEngine for Planner {
         // Validation and classification only — each notion arm below
         // resolves its own strategy, so re-running the full plan() here
         // (with its per-component pre-passes) would duplicate work.
+        let plan_sp = fd_trace::span("engine/plan");
         Planner::validate(request)?;
         let dichotomy = DichotomyReport::classify(fds);
+        drop(plan_sp);
         let plan_ms = start.elapsed().as_secs_f64() * 1e3;
         Planner::check_time(start, request)?;
         let solve_start = Instant::now();
+        let mut solve_sp = fd_trace::span("engine/solve");
+        solve_sp.attr("notion", request.notion.name());
+        solve_sp.attr("rows", table.len());
         let schema = table.schema();
 
         let mut components: Option<ComponentReport> = None;
@@ -736,6 +741,10 @@ impl RepairEngine for Planner {
                 )
             }
         };
+        if let Some(stats) = &components {
+            solve_sp.attr("components", stats.count);
+        }
+        drop(solve_sp);
         let solve_ms = solve_start.elapsed().as_secs_f64() * 1e3;
         Planner::check_time(start, request)?;
 

@@ -28,11 +28,14 @@ impl ConflictGraph {
     /// crucially for sharded/unsharded parity, the edge order of a
     /// single component equals the global order restricted to it.
     pub fn build(table: &Table, fds: &FdSet) -> ConflictGraph {
+        let mut sp = fd_trace::span("graph/conflict_build");
+        sp.attr("rows", table.len());
         let ids: Vec<TupleId> = table.ids().collect();
         let mut graph = Graph::new(table.weights().to_vec());
         table.for_each_conflicting_pair(fds, |p, q| {
             graph.add_edge(p, q);
         });
+        sp.attr("edges", graph.edge_count());
         ConflictGraph { graph, ids }
     }
 
@@ -55,11 +58,16 @@ impl ConflictGraph {
 /// CSR partition ordered by smallest row, matching
 /// [`Graph::connected_components`] on the materialized graph exactly.
 pub fn conflict_components(table: &Table, fds: &FdSet) -> Components {
+    let mut sp = fd_trace::span("graph/components");
+    sp.attr("rows", table.len());
     let mut uf = UnionFind::new(table.len());
     table.for_each_conflict_group(fds, |_, group| {
         uf.union_all(group);
     });
-    Components::from_labels(&uf.labels())
+    let components = Components::from_labels(&uf.labels());
+    sp.attr("components", components.len());
+    sp.attr("largest", components.largest());
+    components
 }
 
 #[cfg(test)]

@@ -200,6 +200,8 @@ impl CsrGraph {
         F: FnMut(&mut dyn FnMut(u32, u32)),
     {
         let n = weights.len();
+        let mut sp = fd_trace::span("graph/csr_build");
+        sp.attr("nodes", n);
         // Pass 1: degrees, duplicates included for now.
         let mut degree = vec![0u32; n];
         edges(&mut |u, v| {
@@ -239,6 +241,7 @@ impl CsrGraph {
             new_offsets.push(adj.len() as u32);
         }
         let edge_count = adj.len() / 2;
+        sp.attr("edges", edge_count);
         CsrGraph {
             weights,
             offsets: new_offsets,

@@ -93,6 +93,11 @@ const MUTABLE_STATIC_TYPES: &[&str] = &[
     "UnsafeCell",
 ];
 
+/// Trace-machinery identifiers policed by O001: the fd-trace crate path
+/// and its public types/exporters. Any of these in a report or
+/// cache-key module means observability state can reach output bytes.
+const TRACE_IDENTS: &[&str] = &["fd_trace", "Collector", "InstallGuard", "to_chrome_json"];
+
 /// Panicking calls policed by P001 (method names).
 const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
 
@@ -141,6 +146,9 @@ pub fn analyze_source(path: &str, src: &str, rules: &[String], config: &Config) 
     }
     if enabled("D003") {
         scan_global_state(path, &code, config.allow_for("D003"), &mut raw);
+    }
+    if enabled("O001") {
+        scan_trace(path, &code, &mut raw);
     }
     if enabled("P001") {
         scan_panics(path, &code, &mut raw);
@@ -1006,6 +1014,28 @@ fn scan_global_state(path: &str, toks: &[Token], allow: &[String], out: &mut Vec
 }
 
 // ---------------------------------------------------------------------
+// O001 — trace machinery in report / cache-key modules
+// ---------------------------------------------------------------------
+
+fn scan_trace(path: &str, toks: &[Token], out: &mut Vec<Finding>) {
+    for t in toks {
+        if t.kind == TokenKind::Ident && TRACE_IDENTS.contains(&t.text.as_str()) {
+            out.push(Finding {
+                rule: "O001".into(),
+                path: path.into(),
+                line: t.line,
+                message: format!(
+                    "`{}` in a report/cache-key module: tracing is out-of-band and must \
+                     not reach serialized reports or cache keys — install collectors at \
+                     the request edge and splice trace output around the report bytes",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // P001 — panicking calls on the request path
 // ---------------------------------------------------------------------
 
@@ -1062,7 +1092,7 @@ mod tests {
     use super::*;
 
     fn all_rules() -> Vec<String> {
-        ["D001", "D002", "D003", "D004", "P001", "U001"]
+        ["D001", "D002", "D003", "D004", "O001", "P001", "U001"]
             .iter()
             .map(|s| s.to_string())
             .collect()
@@ -1175,5 +1205,16 @@ mod tests {
         let f = findings("fn f() { let t = std::time::Instant::now(); }");
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, "D002");
+    }
+
+    #[test]
+    fn o001_flags_trace_idents_but_not_innocent_names() {
+        // fd_trace and Collector sit on one line; (rule, line) dedup
+        // keeps a single finding.
+        let f = findings("fn f() { let c = fd_trace::Collector::default(); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "O001");
+        let src = "fn key(call: &Call) -> u64 { hash_canonical(call) }";
+        assert!(findings(src).is_empty());
     }
 }

@@ -19,6 +19,7 @@
 //! | `D002` | `SystemTime`/`Instant` flowing into report or cache-key modules |
 //! | `D003` | global mutable state (`static mut`, module-level atomics) outside an allowlist |
 //! | `D004` | float accumulation over an unordered source |
+//! | `O001` | fd-trace machinery (`Collector`, span exporters) in report or cache-key modules |
 //! | `P001` | `unwrap()`/`expect()`/`panic!` in fd-serve request-handling modules |
 //! | `U001` | `unsafe` outside the allowlisted modules |
 //!

@@ -76,6 +76,22 @@ pub const RULES: &[RuleInfo] = &[
               keys, sort, then sum. Integer sums are order-insensitive and allowed.",
     },
     RuleInfo {
+        id: "O001",
+        title: "trace machinery reaching a report or cache-key module",
+        rationale: "Tracing is strictly out-of-band: spans, collectors, and per-request \
+                    timing exist to observe a solve, never to participate in it. If the \
+                    fd-trace API (or a raw Instant) shows up where reports are serialized \
+                    or cache keys are derived, trace state can leak into wire bytes — \
+                    breaking the guarantee that a traced call's report is byte-identical \
+                    to an untraced one, which the envelope splice, the LRU byte-replay \
+                    cache, and the golden suite all rely on.",
+        example: "let spans = fd_trace::Collector::default(); // inside wire.rs key derivation",
+        fix: "Keep collectors installed at the request edge (router/CLI) and splice trace \
+              output around the finished report bytes, never into them. If a scoped module \
+              legitimately names a trace type without serializing it, suppress with a \
+              justification proving the value cannot reach the output bytes.",
+    },
+    RuleInfo {
         id: "P001",
         title: "panicking call in a request-handling module",
         rationale: "fd-serve's workers catch panics, but a panic still drops the request \

@@ -6,7 +6,7 @@
 use fd_lint::{analyze_source, run_workspace, Config};
 use std::path::{Path, PathBuf};
 
-const ALL_RULES: &[&str] = &["D001", "D002", "D003", "D004", "P001", "U001"];
+const ALL_RULES: &[&str] = &["D001", "D002", "D003", "D004", "O001", "P001", "U001"];
 
 fn all_rules() -> Vec<String> {
     ALL_RULES.iter().map(|r| r.to_string()).collect()

@@ -1,0 +1,9 @@
+//! O001 fixture (clean): the cache key is a pure function of the
+//! canonical call — tracing never enters the module.
+
+/// Same canonical bytes, same key, traced or not.
+pub fn cache_key(canonical: &str) -> u64 {
+    canonical.bytes().fold(0xcbf29ce484222325, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
+}

@@ -1,0 +1,14 @@
+//! O001 fixture: trace machinery participates in cache-key derivation.
+
+/// Mixing collector state into the key makes traced and untraced calls
+/// key (and hence cache) differently.
+pub fn cache_key(canonical: &str) -> u64 {
+    let collector = fd_trace::Collector::default();
+    fnv(canonical) ^ collector.dropped() as u64
+}
+
+fn fnv(s: &str) -> u64 {
+    s.bytes().fold(0xcbf29ce484222325, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
+}

@@ -55,6 +55,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod access;
 mod cache;
 pub mod client;
 mod http;
@@ -63,16 +64,18 @@ mod pool;
 mod router;
 mod shutdown;
 
+pub use access::AccessRecord;
 pub use cache::{CachedResponse, LruCache};
 pub use http::{Request, Response};
 pub use metrics::Metrics;
 pub use pool::WorkerPool;
+pub use router::RequestInfo;
 pub use shutdown::{install_signal_handlers, request_shutdown, shutdown_requested};
 
 use fd_engine::RepairCall;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -96,6 +99,10 @@ pub struct ServeConfig {
     pub default_time_cap_ms: Option<u64>,
     /// Socket read/write timeout per connection, ms (slowloris guard).
     pub io_timeout_ms: u64,
+    /// Write one JSON access-log line per finished (or shed) request to
+    /// stderr. Strictly out-of-band: responses are byte-identical with
+    /// the log on or off.
+    pub access_log: bool,
 }
 
 impl Default for ServeConfig {
@@ -108,6 +115,7 @@ impl Default for ServeConfig {
             max_body_bytes: 4 << 20,
             default_time_cap_ms: Some(30_000),
             io_timeout_ms: 10_000,
+            access_log: false,
         }
     }
 }
@@ -143,17 +151,57 @@ pub struct Shared {
     pub cache: Mutex<LruCache<CachedResponse>>,
     /// When the server came up (for `/healthz` uptime).
     pub started: Instant,
+    /// Source of generated `req-<n>` request ids.
+    request_counter: AtomicU64,
+    /// The access-log sink, when logging is on. A mutex (not a channel)
+    /// because one short line per request is far below the solve cost,
+    /// and `writeln!` under the lock keeps lines atomic.
+    access: Option<Mutex<Box<dyn std::io::Write + Send>>>,
 }
 
 impl Shared {
-    /// Fresh shared state for `config`.
+    /// Fresh shared state for `config`; with `access_log` set, lines go
+    /// to stderr.
     pub fn new(config: ServeConfig) -> Shared {
+        let sink: Option<Box<dyn std::io::Write + Send>> = config
+            .access_log
+            .then(|| Box::new(std::io::stderr()) as Box<dyn std::io::Write + Send>);
+        Shared::with_access_sink(config, sink)
+    }
+
+    /// Shared state whose access log writes to `sink` (tests capture
+    /// lines this way); `None` disables logging regardless of config.
+    pub fn with_access_sink(
+        config: ServeConfig,
+        sink: Option<Box<dyn std::io::Write + Send>>,
+    ) -> Shared {
         let cache = Mutex::new(LruCache::new(config.cache_entries));
         Shared {
             config,
             metrics: Metrics::new(),
             cache,
             started: Instant::now(),
+            request_counter: AtomicU64::new(0),
+            access: sink.map(Mutex::new),
+        }
+    }
+
+    /// The next generated request id (`req-1`, `req-2`, …).
+    pub fn next_request_id(&self) -> String {
+        format!(
+            "req-{}",
+            self.request_counter.fetch_add(1, Ordering::Relaxed) + 1
+        )
+    }
+
+    /// Writes one access-log line, if logging is on. Failures are
+    /// swallowed: observability must never take down serving.
+    pub fn log_access(&self, record: &AccessRecord) {
+        use std::io::Write;
+        if let Some(sink) = &self.access {
+            if let Ok(mut sink) = sink.lock() {
+                let _ = writeln!(sink, "{}", record.to_json_line());
+            }
         }
     }
 }
@@ -169,10 +217,16 @@ impl Server {
     /// Binds the listener. The server does not accept until
     /// [`Server::run`].
     pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(&config.addr)?;
+        Server::bind_shared(Shared::new(config))
+    }
+
+    /// Binds a listener for pre-built shared state (tests inject an
+    /// access-log sink this way via [`Shared::with_access_sink`]).
+    pub fn bind_shared(shared: Shared) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&shared.config.addr)?;
         Ok(Server {
             listener,
-            shared: Arc::new(Shared::new(config)),
+            shared: Arc::new(shared),
             shutdown: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -208,24 +262,33 @@ impl Server {
         let pool = WorkerPool::spawn(
             shared.config.effective_threads(),
             shared.config.effective_queue_depth(),
-            Arc::new(move |stream| serve_connection(&worker_shared, stream)),
+            Arc::new(move |(stream, accepted)| serve_connection(&worker_shared, stream, accepted)),
         );
         while !shutdown.load(Ordering::SeqCst) && !shutdown_requested() {
             match listener.accept() {
                 Ok((stream, _peer)) => {
                     // The listener is nonblocking; the worker must not be.
                     let _ = stream.set_nonblocking(false);
-                    if let Err(mut refused) = pool.try_submit(stream) {
-                        // Shed: counted as a rejected 5xx but kept out of
-                        // the latency histogram — a fabricated sub-µs
-                        // sample would drag p50/p99 down exactly when the
-                        // operator needs them to reflect real service.
-                        shared.metrics.observe_shed();
-                        let _ = refused.set_write_timeout(Some(Duration::from_millis(250)));
-                        let _ = http::write_response(
-                            &mut refused,
-                            &Response::error(503, "server is at capacity, retry later"),
-                        );
+                    // The accept instant rides with the job: its age when
+                    // a worker finally pops the pair is the queue wait.
+                    match pool.try_submit((stream, Instant::now())) {
+                        Ok(()) => shared.metrics.queue_enter(),
+                        Err((mut refused, _accepted)) => {
+                            // Shed: counted as a rejected 5xx but kept out
+                            // of the latency histogram — a fabricated
+                            // sub-µs sample would drag p50/p99 down exactly
+                            // when the operator needs them to reflect real
+                            // service. It still gets an access-log line,
+                            // marked `queued=false`: shed traffic must be
+                            // visible per-event, not only as a counter.
+                            shared.metrics.observe_shed();
+                            shared.log_access(&AccessRecord::shed(shared.next_request_id()));
+                            let _ = refused.set_write_timeout(Some(Duration::from_millis(250)));
+                            let _ = http::write_response(
+                                &mut refused,
+                                &Response::error(503, "server is at capacity, retry later"),
+                            );
+                        }
                     }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -250,7 +313,9 @@ impl Server {
 /// One connection, end to end: read, route, respond, record. A panic
 /// anywhere in routing (it would indicate an engine bug) is caught and
 /// answered as 500 — a hostile request must never take a worker down.
-fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+fn serve_connection(shared: &Shared, mut stream: TcpStream, accepted: Instant) {
+    shared.metrics.queue_exit();
+    let queue_wait_us = accepted.elapsed().as_micros() as u64;
     let timeout = Duration::from_millis(shared.config.io_timeout_ms.max(1));
     // io_timeout_ms is a *per-request* budget: read_request shrinks the
     // socket timeout toward this deadline on every read, so slow-trickle
@@ -258,22 +323,78 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
     let deadline = Instant::now() + timeout;
     let _ = stream.set_write_timeout(Some(timeout));
     let start = Instant::now();
-    let response = match http::read_request(&mut stream, shared.config.max_body_bytes, deadline) {
-        Ok(request) => match catch_unwind(AssertUnwindSafe(|| router::handle(shared, &request))) {
-            Ok(response) => response,
-            Err(_) => {
-                shared.metrics.observe_panic();
-                Response::error(500, "internal error while handling the request")
-            }
-        },
-        Err(e) => match e.into_response() {
-            Some(response) => response,
-            None => return, // socket died; nobody is listening for a reply
-        },
+    // Every answered request produces exactly one access record; paths
+    // that never parse a request line log with `-` placeholders.
+    let blank_record = |request_id: String, status: u16| AccessRecord {
+        request_id,
+        method: "-".into(),
+        path: "-".into(),
+        status,
+        notion: None,
+        rows: None,
+        components: None,
+        cache_hit: None,
+        queued: true,
+        queue_wait_us,
+        solve_us: 0,
     };
-    shared
-        .metrics
-        .observe_request(response.status, start.elapsed());
+    let (response, endpoint, record) =
+        match http::read_request(&mut stream, shared.config.max_body_bytes, deadline) {
+            Ok(request) => {
+                match catch_unwind(AssertUnwindSafe(|| router::handle(shared, &request))) {
+                    Ok((response, info)) => {
+                        let record = AccessRecord {
+                            request_id: info.request_id,
+                            method: request.method.clone(),
+                            path: request
+                                .path
+                                .split('?')
+                                .next()
+                                .unwrap_or(&request.path)
+                                .to_string(),
+                            status: response.status,
+                            notion: info.notion.map(fd_engine::Notion::name),
+                            rows: info.rows,
+                            components: info.components,
+                            cache_hit: info.cache_hit,
+                            queued: true,
+                            queue_wait_us,
+                            solve_us: info.solve_us,
+                        };
+                        (response, info.endpoint, record)
+                    }
+                    Err(_) => {
+                        shared.metrics.observe_panic();
+                        let request_id = shared.next_request_id();
+                        let response =
+                            Response::error(500, "internal error while handling the request")
+                                .with_header("X-Request-Id", request_id.clone());
+                        let mut record = blank_record(request_id, 500);
+                        record.method = request.method.clone();
+                        record.path = request
+                            .path
+                            .split('?')
+                            .next()
+                            .unwrap_or(&request.path)
+                            .to_string();
+                        (response, "other", record)
+                    }
+                }
+            }
+            Err(e) => match e.into_response() {
+                Some(response) => {
+                    let request_id = shared.next_request_id();
+                    let record = blank_record(request_id.clone(), response.status);
+                    let response = response.with_header("X-Request-Id", request_id);
+                    (response, "other", record)
+                }
+                None => return, // socket died; nobody is listening for a reply
+            },
+        };
+    let elapsed = start.elapsed();
+    shared.metrics.observe_request(response.status, elapsed);
+    shared.metrics.observe_endpoint(endpoint, elapsed);
+    shared.log_access(&record);
     if http::write_response(&mut stream, &response).is_err() {
         return;
     }

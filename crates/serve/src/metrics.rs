@@ -8,12 +8,17 @@
 //! approximations — within 2× of truth, which is what capacity planning
 //! needs from a metrics endpoint (exact per-request numbers travel in
 //! each report's `timings`).
+//!
+//! Every series the server can ever emit is rendered on every scrape,
+//! zeros included: `docs/API.md` documents the full set, and the
+//! exposition test in this crate holds the two equal in both
+//! directions, so a new family cannot ship undocumented.
 
 use fd_engine::Notion;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-/// Number of power-of-two latency buckets (`2^31` µs ≈ 36 minutes).
+/// Number of power-of-two histogram buckets (`2^31` µs ≈ 36 minutes).
 const BUCKETS: usize = 32;
 
 /// The notions a request can count under, in wire-name order.
@@ -27,11 +32,59 @@ const NOTIONS: [Notion; 7] = [
     Notion::Classify,
 ];
 
+/// The endpoint labels latency is broken down by. Anything that is not
+/// one of the four routes (404s, 405s, unreadable requests) counts as
+/// `other`.
+pub const ENDPOINTS: [&str; 5] = ["repair", "explain", "healthz", "metrics", "other"];
+
 fn notion_index(notion: Notion) -> usize {
     NOTIONS
         .iter()
         .position(|n| *n == notion)
         .expect("every notion is listed")
+}
+
+/// One power-of-two histogram: bucket `i` counts values in
+/// `[2^i, 2^(i+1))` (values clamp into the last bucket).
+struct Hist {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Hist {
+    const fn new() -> Hist {
+        Hist {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+        }
+    }
+
+    fn observe(&self, value: u64) {
+        let value = value.max(1);
+        let bucket = (63 - value.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `p`-quantile (0 < p ≤ 1): the upper bound of the bucket the
+    /// quantile falls in, or 0 before any observation.
+    fn quantile(&self, p: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (i, count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        1u64 << BUCKETS
+    }
 }
 
 /// All counters of one server instance.
@@ -46,7 +99,12 @@ pub struct Metrics {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     by_notion: [AtomicU64; 7],
-    latency_us: [AtomicU64; BUCKETS],
+    latency: Hist,
+    endpoint_latency: [Hist; 5],
+    notion_latency: [Hist; 7],
+    components: Hist,
+    queue_depth: AtomicU64,
+    trace_dropped: AtomicU64,
 }
 
 impl Metrics {
@@ -63,7 +121,12 @@ impl Metrics {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             by_notion: Default::default(),
-            latency_us: [const { AtomicU64::new(0) }; BUCKETS],
+            latency: Hist::new(),
+            endpoint_latency: [const { Hist::new() }; 5],
+            notion_latency: [const { Hist::new() }; 7],
+            components: Hist::new(),
+            queue_depth: AtomicU64::new(0),
+            trace_dropped: AtomicU64::new(0),
         }
     }
 
@@ -76,14 +139,33 @@ impl Metrics {
             _ => &self.responses_5xx,
         };
         class.fetch_add(1, Ordering::Relaxed);
-        let us = elapsed.as_micros().max(1) as u64;
-        let bucket = (63 - us.leading_zeros() as usize).min(BUCKETS - 1);
-        self.latency_us[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency.observe(elapsed.as_micros() as u64);
+    }
+
+    /// Records the same wall time against one endpoint label (an
+    /// unknown label counts as `other`).
+    pub fn observe_endpoint(&self, endpoint: &str, elapsed: Duration) {
+        let idx = ENDPOINTS
+            .iter()
+            .position(|e| *e == endpoint)
+            .unwrap_or(ENDPOINTS.len() - 1);
+        self.endpoint_latency[idx].observe(elapsed.as_micros() as u64);
     }
 
     /// Counts a repair/explain call against its notion.
     pub fn observe_notion(&self, notion: Notion) {
         self.by_notion[notion_index(notion)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the engine time of one solved (not cached) call against
+    /// its notion.
+    pub fn observe_notion_latency(&self, notion: Notion, solve_us: u64) {
+        self.notion_latency[notion_index(notion)].observe(solve_us);
+    }
+
+    /// Records the conflict-component count one solve reported.
+    pub fn observe_components(&self, count: u64) {
+        self.components.observe(count);
     }
 
     /// Counts a connection shed at the accept loop (503): a request and
@@ -111,28 +193,31 @@ impl Metrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A connection entered the worker queue (gauge up).
+    pub fn queue_enter(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker popped a connection off the queue (gauge down).
+    pub fn queue_exit(&self) {
+        // Saturating: a stray extra exit must not wrap the gauge to 2^64.
+        let _ = self
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| d.checked_sub(1));
+    }
+
+    /// Adds trace events dropped by one request's ring buffer.
+    pub fn observe_trace_dropped(&self, dropped: u64) {
+        if dropped > 0 {
+            self.trace_dropped.fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+
     /// The `p`-quantile (0 < p ≤ 1) of observed latency, in µs: the
     /// upper bound of the histogram bucket the quantile falls in, or 0
     /// before any observation.
     pub fn latency_quantile_us(&self, p: f64) -> u64 {
-        let counts: Vec<u64> = self
-            .latency_us
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((p * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0;
-        for (i, count) in counts.iter().enumerate() {
-            seen += count;
-            if seen >= rank {
-                return 1u64 << (i + 1).min(63);
-            }
-        }
-        1u64 << BUCKETS
+        self.latency.quantile(p)
     }
 
     /// Renders every counter in Prometheus text-exposition style.
@@ -179,11 +264,49 @@ impl Metrics {
         ));
         out.push_str(&format!(
             "fd_serve_latency_p50_us {}\n",
-            self.latency_quantile_us(0.5)
+            self.latency.quantile(0.5)
         ));
         out.push_str(&format!(
             "fd_serve_latency_p99_us {}\n",
-            self.latency_quantile_us(0.99)
+            self.latency.quantile(0.99)
+        ));
+        out.push_str(&format!(
+            "fd_serve_queue_depth {}\n",
+            load(&self.queue_depth)
+        ));
+        for (endpoint, hist) in ENDPOINTS.iter().zip(&self.endpoint_latency) {
+            out.push_str(&format!(
+                "fd_serve_endpoint_latency_p50_us{{endpoint=\"{endpoint}\"}} {}\n",
+                hist.quantile(0.5)
+            ));
+            out.push_str(&format!(
+                "fd_serve_endpoint_latency_p99_us{{endpoint=\"{endpoint}\"}} {}\n",
+                hist.quantile(0.99)
+            ));
+        }
+        for (notion, hist) in NOTIONS.iter().zip(&self.notion_latency) {
+            out.push_str(&format!(
+                "fd_serve_notion_latency_p50_us{{notion=\"{}\"}} {}\n",
+                notion.name(),
+                hist.quantile(0.5)
+            ));
+            out.push_str(&format!(
+                "fd_serve_notion_latency_p99_us{{notion=\"{}\"}} {}\n",
+                notion.name(),
+                hist.quantile(0.99)
+            ));
+        }
+        out.push_str(&format!(
+            "fd_serve_components_p50 {}\n",
+            self.components.quantile(0.5)
+        ));
+        out.push_str(&format!(
+            "fd_serve_components_p99 {}\n",
+            self.components.quantile(0.99)
+        ));
+        out.push_str(&format!(
+            "fd_serve_trace_dropped_total {}\n",
+            load(&self.trace_dropped)
         ));
         out
     }
@@ -241,5 +364,60 @@ mod tests {
         // The slow outlier dominates the extreme tail: 100 ms falls in
         // [65536, 131072) → reported bound 131072.
         assert_eq!(p999, 131_072);
+    }
+
+    #[test]
+    fn endpoint_and_notion_latency_render_labeled_series() {
+        let m = Metrics::new();
+        m.observe_endpoint("repair", Duration::from_micros(100));
+        m.observe_endpoint("/bogus", Duration::from_micros(100));
+        m.observe_notion_latency(Notion::Subset, 1000);
+        let text = m.render();
+        assert!(
+            text.contains("fd_serve_endpoint_latency_p50_us{endpoint=\"repair\"} 128"),
+            "{text}"
+        );
+        // Unknown labels fold into `other` rather than minting a series.
+        assert!(
+            text.contains("fd_serve_endpoint_latency_p50_us{endpoint=\"other\"} 128"),
+            "{text}"
+        );
+        // Unobserved families still render, as zeros.
+        assert!(
+            text.contains("fd_serve_endpoint_latency_p99_us{endpoint=\"explain\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("fd_serve_notion_latency_p50_us{notion=\"s\"} 1024"),
+            "{text}"
+        );
+        assert!(
+            text.contains("fd_serve_notion_latency_p50_us{notion=\"u\"} 0"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn queue_depth_gauge_moves_and_never_wraps() {
+        let m = Metrics::new();
+        m.queue_enter();
+        m.queue_enter();
+        m.queue_exit();
+        assert!(m.render().contains("fd_serve_queue_depth 1"));
+        m.queue_exit();
+        m.queue_exit(); // stray extra exit
+        assert!(m.render().contains("fd_serve_queue_depth 0"));
+    }
+
+    #[test]
+    fn component_and_trace_counters_render() {
+        let m = Metrics::new();
+        m.observe_components(40);
+        m.observe_trace_dropped(0);
+        m.observe_trace_dropped(7);
+        let text = m.render();
+        // 40 falls in [32, 64) → reported bound 64.
+        assert!(text.contains("fd_serve_components_p50 64"), "{text}");
+        assert!(text.contains("fd_serve_trace_dropped_total 7"), "{text}");
     }
 }

@@ -1,31 +1,35 @@
 //! A fixed worker thread pool with a *bounded* job queue. The bound is
 //! the backpressure mechanism: when every worker is busy and the queue
-//! is full, [`WorkerPool::try_submit`] hands the connection back and the
+//! is full, [`WorkerPool::try_submit`] hands the job back and the
 //! accept loop answers 503 instead of buffering unboundedly — a loaded
 //! server degrades by shedding, not by OOM.
+//!
+//! The pool is generic over the job type so the accept loop can attach
+//! metadata to each connection (the server ships the accept timestamp
+//! alongside the stream, which is how queue wait shows up in the access
+//! log without any clock living in the pool itself).
 
-use std::net::TcpStream;
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-/// The pool: `threads` workers draining one bounded channel.
-pub struct WorkerPool {
-    sender: Option<SyncSender<TcpStream>>,
+/// The pool: `threads` workers draining one bounded channel of `T`s.
+pub struct WorkerPool<T: Send + 'static> {
+    sender: Option<SyncSender<T>>,
     handles: Vec<JoinHandle<()>>,
 }
 
-impl WorkerPool {
+impl<T: Send + 'static> WorkerPool<T> {
     /// Spawns `threads` workers (at least 1), each running `handler` on
     /// every job it pops. The queue holds at most `queue_depth` pending
     /// jobs beyond the ones being worked.
     pub fn spawn(
         threads: usize,
         queue_depth: usize,
-        handler: Arc<dyn Fn(TcpStream) + Send + Sync>,
-    ) -> WorkerPool {
+        handler: Arc<dyn Fn(T) + Send + Sync>,
+    ) -> WorkerPool<T> {
         let threads = threads.max(1);
-        let (sender, receiver) = std::sync::mpsc::sync_channel::<TcpStream>(queue_depth.max(1));
+        let (sender, receiver) = std::sync::mpsc::sync_channel::<T>(queue_depth.max(1));
         // The std channel is single-consumer; workers share the receiver
         // behind a mutex (the lock is held only while popping — the
         // classic book pattern, and contention is trivial next to a
@@ -44,14 +48,14 @@ impl WorkerPool {
         }
     }
 
-    /// Queues a connection, or returns it when the pool is saturated
-    /// (the caller sheds load) or already shut down.
-    pub fn try_submit(&self, stream: TcpStream) -> Result<(), TcpStream> {
+    /// Queues a job, or returns it when the pool is saturated (the
+    /// caller sheds load) or already shut down.
+    pub fn try_submit(&self, job: T) -> Result<(), T> {
         let Some(sender) = &self.sender else {
-            return Err(stream);
+            return Err(job);
         };
-        sender.try_send(stream).map_err(|e| match e {
-            TrySendError::Full(stream) | TrySendError::Disconnected(stream) => stream,
+        sender.try_send(job).map_err(|e| match e {
+            TrySendError::Full(job) | TrySendError::Disconnected(job) => job,
         })
     }
 
@@ -65,7 +69,7 @@ impl WorkerPool {
     }
 }
 
-impl Drop for WorkerPool {
+impl<T: Send + 'static> Drop for WorkerPool<T> {
     fn drop(&mut self) {
         self.sender.take();
         for handle in self.handles.drain(..) {
@@ -74,7 +78,7 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(receiver: &Mutex<Receiver<TcpStream>>, handler: &(dyn Fn(TcpStream) + Send + Sync)) {
+fn worker_loop<T>(receiver: &Mutex<Receiver<T>>, handler: &(dyn Fn(T) + Send + Sync)) {
     loop {
         let job = {
             // A poisoned lock means a sibling worker panicked mid-recv;
@@ -83,7 +87,7 @@ fn worker_loop(receiver: &Mutex<Receiver<TcpStream>>, handler: &(dyn Fn(TcpStrea
             guard.recv()
         };
         match job {
-            Ok(stream) => handler(stream),
+            Ok(job) => handler(job),
             // Channel closed and drained: the pool is shutting down.
             Err(_) => return,
         }
@@ -94,7 +98,7 @@ fn worker_loop(receiver: &Mutex<Receiver<TcpStream>>, handler: &(dyn Fn(TcpStrea
 mod tests {
     use super::*;
     use std::io::{Read, Write};
-    use std::net::TcpListener;
+    use std::net::{TcpListener, TcpStream};
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::time::Duration;
 
@@ -156,5 +160,26 @@ mod tests {
         // Leak the pool: its worker sleeps for an hour by design, and
         // Drop would join it. The process exits when tests finish.
         std::mem::forget(pool);
+    }
+
+    #[test]
+    fn jobs_carry_arbitrary_payloads() {
+        // The server ships (stream, accept-instant) pairs; any Send
+        // payload must ride through unchanged.
+        let sum = Arc::new(AtomicUsize::new(0));
+        let sum_in_handler = Arc::clone(&sum);
+        let pool = WorkerPool::spawn(
+            2,
+            8,
+            Arc::new(move |(n, tag): (usize, &'static str)| {
+                assert_eq!(tag, "job");
+                sum_in_handler.fetch_add(n, Ordering::SeqCst);
+            }),
+        );
+        for n in 1..=4 {
+            pool.try_submit((n, "job")).expect("queue has room");
+        }
+        pool.shutdown();
+        assert_eq!(sum.load(Ordering::SeqCst), 10);
     }
 }

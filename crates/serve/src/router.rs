@@ -1,6 +1,13 @@
 //! Request routing: the four endpoints, wire parsing, cache
 //! consultation, engine invocation, and the 4xx/5xx mapping that keeps
 //! every malformed or infeasible call a *response* rather than a crash.
+//!
+//! Observability rides alongside routing but never inside it: the
+//! request id, per-request trace, and [`RequestInfo`] the access log
+//! consumes are all derived *around* the report bytes. Cache keys and
+//! cached bodies are computed exactly as before tracing existed, and a
+//! `?trace=1` envelope wraps the verbatim report rather than editing
+//! it, so replies stay bit-identical whether or not anyone is watching.
 
 use crate::http::{Request, Response};
 use crate::Shared;
@@ -8,18 +15,79 @@ use fd_engine::{
     EngineError, JsonLimits, Notion, Planner, RepairCall, RepairEngine, Timings, WireError,
 };
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Distinguishes `/repair` from `/explain` in the cache-key space: the
 /// two endpoints return different documents for the same call.
 const EXPLAIN_KEY_TAG: u64 = 0x9e37_79b9_7f4a_7c15;
 
-/// Dispatches one parsed request to its endpoint.
-pub fn handle(shared: &Shared, request: &Request) -> Response {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => healthz(shared),
-        ("GET", "/metrics") => Response::text(200, shared.metrics.render()),
-        ("POST", "/repair") => repair(shared, &request.body, Endpoint::Repair),
-        ("POST", "/explain") => repair(shared, &request.body, Endpoint::Explain),
+/// Longest `X-Request-Id` value the server will echo rather than
+/// replace.
+const MAX_REQUEST_ID_LEN: usize = 64;
+
+/// What one routed request looked like, for the access log and the
+/// labeled metrics. Produced next to the [`Response`], never encoded
+/// into it (the `request_id` response header and the `?trace=1`
+/// envelope are additive wrappers around unchanged report bytes).
+pub struct RequestInfo {
+    /// The id echoed in `X-Request-Id` (client-supplied or generated).
+    pub request_id: String,
+    /// Which endpoint label the request counts under (`repair`,
+    /// `explain`, `healthz`, `metrics`, or `other`).
+    pub endpoint: &'static str,
+    /// The parsed notion, once known.
+    pub notion: Option<Notion>,
+    /// Rows in the submitted instance, once parsed.
+    pub rows: Option<usize>,
+    /// Conflict components the solve reported (subset path only).
+    pub components: Option<usize>,
+    /// Result-cache outcome for cacheable calls.
+    pub cache_hit: Option<bool>,
+    /// Engine time, µs (0 when nothing was solved).
+    pub solve_us: u64,
+}
+
+impl RequestInfo {
+    fn new(request_id: String) -> RequestInfo {
+        RequestInfo {
+            request_id,
+            endpoint: "other",
+            notion: None,
+            rows: None,
+            components: None,
+            cache_hit: None,
+            solve_us: 0,
+        }
+    }
+}
+
+/// Dispatches one parsed request to its endpoint. Every response
+/// carries an `X-Request-Id` header: the client's own (when it sent a
+/// well-formed one) or a generated `req-<n>`.
+pub fn handle(shared: &Shared, request: &Request) -> (Response, RequestInfo) {
+    let (path, query) = match request.path.split_once('?') {
+        Some((path, query)) => (path, Some(query)),
+        None => (request.path.as_str(), None),
+    };
+    let trace = query.is_some_and(|q| q.split('&').any(|p| p == "trace=1"));
+    let mut info = RequestInfo::new(request_id_for(shared, request));
+    let response = match (request.method.as_str(), path) {
+        ("GET", "/healthz") => {
+            info.endpoint = "healthz";
+            healthz(shared)
+        }
+        ("GET", "/metrics") => {
+            info.endpoint = "metrics";
+            Response::text(200, shared.metrics.render())
+        }
+        ("POST", "/repair") => {
+            info.endpoint = "repair";
+            repair(shared, &request.body, Endpoint::Repair, trace, &mut info)
+        }
+        ("POST", "/explain") => {
+            info.endpoint = "explain";
+            repair(shared, &request.body, Endpoint::Explain, trace, &mut info)
+        }
         ("GET" | "HEAD", "/repair" | "/explain") | ("POST", "/healthz" | "/metrics") => {
             Response::error(405, "wrong method for this path")
         }
@@ -27,6 +95,26 @@ pub fn handle(shared: &Shared, request: &Request) -> Response {
             404,
             "no such endpoint (try /repair, /explain, /healthz, /metrics)",
         ),
+    };
+    let response = response.with_header("X-Request-Id", info.request_id.clone());
+    (response, info)
+}
+
+/// The client's `X-Request-Id` when it is printable and short enough to
+/// echo safely (ASCII alphanumerics plus `-`, `_`, `.`), otherwise a
+/// fresh `req-<n>` from the server's own counter.
+fn request_id_for(shared: &Shared, request: &Request) -> String {
+    match request.header("x-request-id") {
+        Some(id)
+            if !id.is_empty()
+                && id.len() <= MAX_REQUEST_ID_LEN
+                && id
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.')) =>
+        {
+            id.to_string()
+        }
+        _ => shared.next_request_id(),
     }
 }
 
@@ -52,7 +140,22 @@ enum Endpoint {
 
 /// `/repair` and `/explain` share everything up to the engine call:
 /// bounded parsing, server-side budget clamping, and the result cache.
-fn repair(shared: &Shared, body: &[u8], endpoint: Endpoint) -> Response {
+///
+/// With `trace` set, a per-request collector observes the solve and the
+/// 200 response becomes `{"request_id","trace","report"}` where
+/// `report` is the *exact* bytes a traceless call would have returned
+/// (and the exact bytes the cache stores — hits under `?trace=1` wrap
+/// the cached body unchanged).
+fn repair(
+    shared: &Shared,
+    body: &[u8],
+    endpoint: Endpoint,
+    trace: bool,
+    info: &mut RequestInfo,
+) -> Response {
+    let collector = trace.then(fd_trace::Collector::default);
+    let _trace_guard = collector.as_ref().map(fd_trace::Collector::install);
+
     let limits = JsonLimits {
         max_bytes: shared.config.max_body_bytes,
         max_depth: JsonLimits::DEFAULT_MAX_DEPTH,
@@ -66,6 +169,8 @@ fn repair(shared: &Shared, body: &[u8], endpoint: Endpoint) -> Response {
         Err(WireError { message }) => return Response::error(400, &message),
     };
     shared.metrics.observe_notion(call.request.notion);
+    info.notion = Some(call.request.notion);
+    info.rows = Some(call.table.len());
 
     // The server's time cap is a ceiling: a request may ask for less,
     // never for more.
@@ -102,17 +207,22 @@ fn repair(shared: &Shared, body: &[u8], endpoint: Endpoint) -> Response {
         match hit {
             Some(entry) if entry.canonical == canonical => {
                 shared.metrics.observe_cache(true);
-                return Response::json(200, entry.body.to_string())
-                    .with_header("X-Fd-Cache", "hit");
+                info.cache_hit = Some(true);
+                return ok_response(shared, entry.body.to_string(), "hit", collector, info);
             }
-            _ => shared.metrics.observe_cache(false),
+            _ => {
+                shared.metrics.observe_cache(false);
+                info.cache_hit = Some(false);
+            }
         }
     }
 
+    let solve_start = Instant::now();
     let result = match endpoint {
         Endpoint::Repair => Planner
             .run(&call.table, &call.fds, &call.request)
             .map(|mut report| {
+                info.components = report.components.as_ref().map(|c| c.count);
                 if !call.include_timings {
                     report.timings = Timings::default();
                 }
@@ -122,11 +232,19 @@ fn repair(shared: &Shared, body: &[u8], endpoint: Endpoint) -> Response {
             .plan(&call.table, &call.fds, &call.request)
             .map(|plan| plan.to_json_value().to_string()),
     };
+    info.solve_us = solve_start.elapsed().as_micros() as u64;
+    shared
+        .metrics
+        .observe_notion_latency(call.request.notion, info.solve_us);
+    if let Some(count) = info.components {
+        shared.metrics.observe_components(count as u64);
+    }
     match result {
         Ok(body) => {
             if cacheable {
                 // Skip the insert if the lock is poisoned — losing a
-                // cache entry is harmless.
+                // cache entry is harmless. The cache stores the bare
+                // report bytes; the trace envelope is never cached.
                 if let Ok(mut cache) = shared.cache.lock() {
                     cache.insert(
                         key,
@@ -137,10 +255,38 @@ fn repair(shared: &Shared, body: &[u8], endpoint: Endpoint) -> Response {
                     );
                 }
             }
-            Response::json(200, body).with_header("X-Fd-Cache", "miss")
+            ok_response(shared, body, "miss", collector, info)
         }
         Err(e) => engine_error_response(&e, call.request.notion),
     }
+}
+
+/// Builds the 200 response for `body` (the report/plan bytes). Without
+/// a collector the body ships as-is; with one, it is spliced verbatim
+/// into the trace envelope — the report bytes are never re-serialized,
+/// so tracing cannot perturb them.
+fn ok_response(
+    shared: &Shared,
+    body: String,
+    cache_state: &'static str,
+    collector: Option<fd_trace::Collector>,
+    info: &RequestInfo,
+) -> Response {
+    let body = match collector {
+        None => body,
+        Some(collector) => {
+            shared.metrics.observe_trace_dropped(collector.dropped());
+            // The id charset is sanitized on ingress, so quoting it
+            // directly cannot break the JSON.
+            format!(
+                "{{\"request_id\":\"{}\",\"trace\":{},\"report\":{}}}",
+                info.request_id,
+                collector.to_chrome_json(),
+                body
+            )
+        }
+    };
+    Response::json(200, body).with_header("X-Fd-Cache", cache_state)
 }
 
 /// Engine failures are the client's problem (4xx), each with a stable
@@ -173,14 +319,26 @@ mod tests {
         Shared::new(ServeConfig::default())
     }
 
-    fn post(shared: &Shared, path: &str, body: &str) -> Response {
+    fn post_with_headers(
+        shared: &Shared,
+        path: &str,
+        body: &str,
+        headers: &[(&str, &str)],
+    ) -> (Response, RequestInfo) {
         let request = Request {
             method: "POST".into(),
             path: path.into(),
-            headers: Vec::new(),
+            headers: headers
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
             body: body.as_bytes().to_vec(),
         };
         handle(shared, &request)
+    }
+
+    fn post(shared: &Shared, path: &str, body: &str) -> Response {
+        post_with_headers(shared, path, body, &[]).0
     }
 
     fn get(shared: &Shared, path: &str) -> Response {
@@ -190,7 +348,15 @@ mod tests {
             headers: Vec::new(),
             body: Vec::new(),
         };
-        handle(shared, &request)
+        handle(shared, &request).0
+    }
+
+    fn header<'r>(response: &'r Response, name: &str) -> Option<&'r str> {
+        response
+            .headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
     }
 
     const OFFICE: &str = r#"{
@@ -223,14 +389,8 @@ mod tests {
         let second = post(&shared, "/repair", OFFICE);
         assert_eq!(first.status, 200);
         assert_eq!(second.status, 200);
-        let cache_header = |r: &Response| {
-            r.headers
-                .iter()
-                .find(|(k, _)| k == "X-Fd-Cache")
-                .map(|(_, v)| v.clone())
-        };
-        assert_eq!(cache_header(&first).as_deref(), Some("miss"));
-        assert_eq!(cache_header(&second).as_deref(), Some("hit"));
+        assert_eq!(header(&first, "X-Fd-Cache"), Some("miss"));
+        assert_eq!(header(&second, "X-Fd-Cache"), Some("hit"));
         assert_eq!(first.body, second.body, "a hit replays the exact bytes");
         let metrics = shared.metrics.render();
         assert!(metrics.contains("fd_serve_cache_hits 1"), "{metrics}");
@@ -247,12 +407,7 @@ mod tests {
         for _ in 0..2 {
             let resp = post(&shared, "/repair", &body);
             assert_eq!(resp.status, 200);
-            let cache = resp
-                .headers
-                .iter()
-                .find(|(k, _)| k == "X-Fd-Cache")
-                .map(|(_, v)| v.clone());
-            assert_eq!(cache.as_deref(), Some("miss"));
+            assert_eq!(header(&resp, "X-Fd-Cache"), Some("miss"));
         }
         let metrics = shared.metrics.render();
         assert!(metrics.contains("fd_serve_cache_hits 0"), "{metrics}");
@@ -337,5 +492,101 @@ mod tests {
             let resp = post(&shared, "/repair", &body);
             assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
         }
+    }
+
+    #[test]
+    fn request_ids_echo_when_clean_and_regenerate_when_hostile() {
+        let shared = shared();
+        let (resp, info) =
+            post_with_headers(&shared, "/repair", OFFICE, &[("x-request-id", "ab.C_1-2")]);
+        assert_eq!(header(&resp, "X-Request-Id"), Some("ab.C_1-2"));
+        assert_eq!(info.request_id, "ab.C_1-2");
+        // Hostile or oversized ids are replaced, never echoed.
+        let long = "x".repeat(65);
+        for bad in ["with space", "crlf\r\ninject", "", long.as_str()] {
+            let (resp, _) = post_with_headers(&shared, "/repair", OFFICE, &[("x-request-id", bad)]);
+            let echoed = header(&resp, "X-Request-Id").unwrap();
+            assert!(echoed.starts_with("req-"), "{bad:?} echoed as {echoed:?}");
+        }
+        // Generated ids are distinct per request, on every route.
+        let a = get(&shared, "/healthz");
+        let b = get(&shared, "/nope");
+        assert_ne!(header(&a, "X-Request-Id"), header(&b, "X-Request-Id"));
+    }
+
+    #[test]
+    fn trace_envelope_wraps_the_exact_report_bytes() {
+        let shared = shared();
+        let plain = post(&shared, "/repair", OFFICE);
+        // Same call with ?trace=1: a cache hit whose envelope must embed
+        // the cached bytes verbatim.
+        let traced = post(&shared, "/repair?trace=1", OFFICE);
+        assert_eq!(traced.status, 200);
+        assert_eq!(header(&traced, "X-Fd-Cache"), Some("hit"));
+        let text = std::str::from_utf8(&traced.body).unwrap();
+        let plain_text = std::str::from_utf8(&plain.body).unwrap();
+        assert!(
+            text.contains(plain_text),
+            "envelope must splice the report bytes unchanged"
+        );
+        let doc = Json::parse(text).unwrap();
+        assert!(doc.get("request_id").is_some());
+        assert!(doc.get("trace").unwrap().get("traceEvents").is_some());
+        assert_eq!(
+            doc.get("report").unwrap().get("cost").unwrap().as_num(),
+            Some(2.0)
+        );
+
+        // A traced miss actually records the solve.
+        let fresh = OFFICE.replace("\"Office\"", "\"Office2\"");
+        let traced_miss = post(&shared, "/repair?trace=1", &fresh);
+        assert_eq!(header(&traced_miss, "X-Fd-Cache"), Some("miss"));
+        let doc = Json::parse(std::str::from_utf8(&traced_miss.body).unwrap()).unwrap();
+        let events = doc
+            .get("trace")
+            .unwrap()
+            .get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert!(!events.is_empty(), "traced solve must produce spans");
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        assert!(names.contains(&"engine/solve"), "{names:?}");
+
+        // The cache stored the bare report, not the envelope: a later
+        // traceless call replays clean bytes.
+        let replay = post(&shared, "/repair", &fresh);
+        assert_eq!(header(&replay, "X-Fd-Cache"), Some("hit"));
+        let doc = Json::parse(std::str::from_utf8(&replay.body).unwrap()).unwrap();
+        assert!(doc.get("trace").is_none(), "no envelope on cached replay");
+        assert!(doc.get("cost").is_some());
+    }
+
+    #[test]
+    fn query_strings_route_and_unknown_flags_are_ignored() {
+        let shared = shared();
+        assert_eq!(get(&shared, "/healthz?x=1").status, 200);
+        let resp = post(&shared, "/repair?verbose=1&trace=0", OFFICE);
+        assert_eq!(resp.status, 200);
+        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert!(doc.get("trace").is_none(), "trace=0 must not wrap");
+    }
+
+    #[test]
+    fn request_info_reports_the_solve_shape() {
+        let shared = shared();
+        let (_, info) = post_with_headers(&shared, "/repair", OFFICE, &[]);
+        assert_eq!(info.endpoint, "repair");
+        assert_eq!(info.notion, Some(Notion::Subset));
+        assert_eq!(info.rows, Some(4));
+        assert_eq!(info.cache_hit, Some(false));
+        assert!(info.components.is_some());
+        // Cache hits solve nothing and report no components.
+        let (_, hit) = post_with_headers(&shared, "/repair", OFFICE, &[]);
+        assert_eq!(hit.cache_hit, Some(true));
+        assert_eq!(hit.components, None);
     }
 }

@@ -1,0 +1,295 @@
+//! End-to-end observability: the access log, request ids, `?trace=1`
+//! envelopes over real sockets, shed accounting, and the contract that
+//! `/metrics` and `docs/API.md` describe exactly the same series.
+
+use fd_engine::Json;
+use fd_serve::{client, AccessRecord, Metrics, ServeConfig, Server, Shared};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const OFFICE: &str = r#"{
+    "attrs": ["facility", "room", "floor", "city"],
+    "fds": "facility -> city; facility room -> floor",
+    "rows": [
+        {"weight": 2, "values": ["HQ", 322, 3, "Paris"]},
+        {"weight": 1, "values": ["HQ", 322, 30, "Madrid"]},
+        {"weight": 1, "values": ["HQ", 122, 1, "Madrid"]},
+        {"weight": 2, "values": ["Lab1", "B35", 3, "London"]}
+    ],
+    "request": {"include_timings": false}
+}"#;
+
+/// A `Write` handle into a shared buffer, so the test can read back
+/// what the server's access log wrote.
+struct BufSink(Arc<Mutex<Vec<u8>>>);
+
+impl Write for BufSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Everything a test needs from [`server_with_log`]: where to connect,
+/// the captured access log, and the handles to stop and join the server.
+type RunningServer = (
+    std::net::SocketAddr,
+    Arc<Mutex<Vec<u8>>>,
+    Arc<std::sync::atomic::AtomicBool>,
+    std::thread::JoinHandle<std::io::Result<()>>,
+);
+
+/// Starts a server whose access log writes into the returned buffer.
+fn server_with_log(config: ServeConfig) -> RunningServer {
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    let shared = Shared::with_access_sink(config, Some(Box::new(BufSink(Arc::clone(&buf)))));
+    let server = Server::bind_shared(shared).unwrap();
+    let addr = server.local_addr().unwrap();
+    let flag = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, buf, flag, handle)
+}
+
+fn log_lines(buf: &Arc<Mutex<Vec<u8>>>) -> Vec<Json> {
+    let bytes = buf.lock().unwrap().clone();
+    String::from_utf8(bytes)
+        .unwrap()
+        .lines()
+        .map(|line| Json::parse(line).unwrap_or_else(|e| panic!("bad log line {line:?}: {e:?}")))
+        .collect()
+}
+
+#[test]
+fn access_log_records_every_request_as_one_json_line() {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        ..ServeConfig::default()
+    };
+    let (addr, buf, flag, handle) = server_with_log(config);
+
+    let repair = client::post(addr, "/repair", OFFICE).unwrap();
+    assert_eq!(repair.status, 200);
+    let id = repair.header("x-request-id").unwrap().to_string();
+    assert!(id.starts_with("req-"), "{id:?}");
+    assert_eq!(client::get(addr, "/healthz").unwrap().status, 200);
+    assert_eq!(client::get(addr, "/nope").unwrap().status, 404);
+
+    // The log write happens just before the response bytes, but give the
+    // worker a beat in case the client read raced ahead.
+    std::thread::sleep(Duration::from_millis(100));
+    let lines = log_lines(&buf);
+    assert_eq!(lines.len(), 3, "{lines:?}");
+
+    let repair_line = lines
+        .iter()
+        .find(|l| l.get("path").and_then(Json::as_str) == Some("/repair"))
+        .expect("repair line");
+    assert_eq!(repair_line.get("request_id").unwrap().as_str(), Some(&*id));
+    assert_eq!(repair_line.get("method").unwrap().as_str(), Some("POST"));
+    assert_eq!(repair_line.get("status").unwrap().as_num(), Some(200.0));
+    assert_eq!(repair_line.get("notion").unwrap().as_str(), Some("s"));
+    assert_eq!(repair_line.get("rows").unwrap().as_num(), Some(4.0));
+    assert_eq!(repair_line.get("cache_hit").unwrap().as_bool(), Some(false));
+    assert_eq!(repair_line.get("queued").unwrap().as_bool(), Some(true));
+    assert!(repair_line.get("queue_wait_us").unwrap().as_num().is_some());
+    assert!(repair_line.get("components").unwrap().as_num().is_some());
+
+    let miss_line = lines
+        .iter()
+        .find(|l| l.get("status").and_then(Json::as_num) == Some(404.0))
+        .expect("404 line");
+    assert!(matches!(miss_line.get("notion"), Some(Json::Null)));
+
+    flag.store(true, Ordering::SeqCst);
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn traced_calls_return_an_envelope_with_identical_report_bytes() {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        ..ServeConfig::default()
+    };
+    let (addr, _buf, flag, handle) = server_with_log(config);
+
+    let traced = client::post(addr, "/repair?trace=1", OFFICE).unwrap();
+    assert_eq!(traced.status, 200);
+    let doc = Json::parse(&traced.body).unwrap();
+    let events = doc
+        .get("trace")
+        .expect("trace")
+        .get("traceEvents")
+        .expect("traceEvents")
+        .as_arr()
+        .unwrap();
+    assert!(!events.is_empty(), "a traced solve records spans");
+    assert_eq!(
+        doc.get("request_id").unwrap().as_str(),
+        traced.header("x-request-id"),
+        "envelope id matches the header"
+    );
+
+    // The untraced call replays the cached report — and those bytes must
+    // appear verbatim inside the traced envelope.
+    let plain = client::post(addr, "/repair", OFFICE).unwrap();
+    assert_eq!(plain.header("x-fd-cache"), Some("hit"));
+    assert!(
+        traced.body.contains(&plain.body),
+        "tracing must not perturb report bytes"
+    );
+
+    flag.store(true, Ordering::SeqCst);
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn shed_connections_get_503_and_an_unqueued_log_line() {
+    // One worker, queue depth one. Two idle connections pin the worker
+    // (stuck in read_request until the io deadline) and fill the queue;
+    // the third must be shed at the accept loop.
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 1,
+        queue_depth: 1,
+        io_timeout_ms: 3_000,
+        ..ServeConfig::default()
+    };
+    let (addr, buf, flag, handle) = server_with_log(config);
+
+    // Stagger the idle connections so the single worker has definitely
+    // popped the first one (leaving the queue free for the second)
+    // before the probe arrives — otherwise the shed can land on idle2.
+    let idle1 = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    let idle2 = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    let shed = client::get(addr, "/healthz").unwrap();
+    assert_eq!(shed.status, 503, "{}", shed.body);
+
+    std::thread::sleep(Duration::from_millis(100));
+    let shed_line = log_lines(&buf)
+        .into_iter()
+        .find(|l| l.get("status").and_then(Json::as_num) == Some(503.0))
+        .expect("shed line must be logged");
+    assert_eq!(
+        shed_line.get("queued").unwrap().as_bool(),
+        Some(false),
+        "sheds never entered the queue"
+    );
+    assert_eq!(shed_line.get("path").unwrap().as_str(), Some("-"));
+
+    drop(idle1);
+    drop(idle2);
+    flag.store(true, Ordering::SeqCst);
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn shed_records_have_the_documented_shape() {
+    let line = AccessRecord::shed("req-1".into()).to_json_line();
+    let doc = Json::parse(&line).unwrap();
+    for key in [
+        "request_id",
+        "method",
+        "path",
+        "status",
+        "notion",
+        "rows",
+        "components",
+        "cache_hit",
+        "queued",
+        "queue_wait_us",
+        "solve_us",
+    ] {
+        assert!(doc.get(key).is_some(), "missing {key}");
+    }
+}
+
+/// One parsed exposition line: family name, label pairs, value.
+fn parse_series(line: &str) -> (String, Vec<(String, String)>, f64) {
+    let (name_part, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("{line:?}"));
+    let value: f64 = value.parse().unwrap_or_else(|_| panic!("{line:?}"));
+    match name_part.split_once('{') {
+        None => (name_part.to_string(), Vec::new(), value),
+        Some((family, rest)) => {
+            let rest = rest.strip_suffix('}').unwrap_or_else(|| panic!("{line:?}"));
+            let labels = rest
+                .split(',')
+                .map(|pair| {
+                    let (k, v) = pair.split_once('=').unwrap_or_else(|| panic!("{line:?}"));
+                    let v = v
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .unwrap_or_else(|| panic!("unquoted label in {line:?}"));
+                    (k.to_string(), v.to_string())
+                })
+                .collect();
+            (family.to_string(), labels, value)
+        }
+    }
+}
+
+/// Every `fd_serve_*` token in a block of documentation text.
+fn doc_families(text: &str) -> std::collections::BTreeSet<String> {
+    let mut out = std::collections::BTreeSet::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("fd_serve_") {
+        let tail = &rest[pos..];
+        let end = tail
+            .find(|c: char| !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'))
+            .unwrap_or(tail.len());
+        out.insert(tail[..end].to_string());
+        rest = &tail[end..];
+    }
+    out
+}
+
+#[test]
+fn metrics_exposition_matches_api_docs_exactly() {
+    // Every family renders on every scrape (zeros included), so a fresh
+    // Metrics shows the complete exposition surface.
+    let text = Metrics::new().render();
+    let mut rendered = std::collections::BTreeSet::new();
+    for line in text.lines() {
+        let (family, labels, _value) = parse_series(line);
+        assert!(family.starts_with("fd_serve_"), "{line:?}");
+        for (key, value) in &labels {
+            assert!(
+                matches!(key.as_str(), "class" | "notion" | "endpoint"),
+                "undocumented label key in {line:?}"
+            );
+            assert!(!value.is_empty(), "{line:?}");
+        }
+        rendered.insert(family);
+    }
+
+    let docs = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/API.md"))
+        .expect("docs/API.md is part of the repo");
+    let metrics_section = docs
+        .split("## Metrics")
+        .nth(1)
+        .expect("API.md has a Metrics section")
+        .split("\n## ")
+        .next()
+        .unwrap();
+    let documented = doc_families(metrics_section);
+
+    let undocumented: Vec<&String> = rendered.difference(&documented).collect();
+    assert!(
+        undocumented.is_empty(),
+        "series emitted but absent from docs/API.md: {undocumented:?}"
+    );
+    let phantom: Vec<&String> = documented.difference(&rendered).collect();
+    assert!(
+        phantom.is_empty(),
+        "series documented in docs/API.md but never emitted: {phantom:?}"
+    );
+}

@@ -190,6 +190,15 @@ fn solve_component(sub: &Table, fds: &FdSet, normalized: &FdSet, method: SMethod
     }
 }
 
+/// The trace label for a subset-repair method.
+fn method_name(method: SMethod) -> &'static str {
+    match method {
+        SMethod::Dichotomy => "dichotomy",
+        SMethod::ExactVertexCover => "exact_vc",
+        SMethod::Approx2 => "approx2",
+    }
+}
+
 /// Component-sharded optimal/approximate subset repairing: solves each
 /// conflicting component of the conflict graph independently (fanned
 /// out over [`ShardConfig::threads`] scoped threads), keeps every
@@ -217,7 +226,11 @@ fn solve_component(sub: &Table, fds: &FdSet, normalized: &FdSet, method: SMethod
 /// sol.repair.verify(&t, &fds);
 /// ```
 pub fn sharded_s_repair(table: &Table, fds: &FdSet, cfg: &ShardConfig) -> ShardedSolution {
+    let mut sharded_sp = fd_trace::span("srepair/sharded");
+    sharded_sp.attr("rows", table.len());
     let (comps, plan) = shard_plan(table, fds, cfg);
+    sharded_sp.attr("components", plan.components);
+    sharded_sp.attr("largest", plan.largest);
     let tractable = plan
         .methods
         .first()
@@ -261,10 +274,20 @@ pub fn sharded_s_repair(table: &Table, fds: &FdSet, cfg: &ShardConfig) -> Sharde
     let method_of = |len: usize| ShardPlan::component_method(tractable, len, cfg);
     let normalized = fds.normalize_single_rhs();
     let solved = fd_core::round_robin_map(cfg.threads, &work, |comp| {
+        let method = method_of(comp.len());
+        let mut sp = fd_trace::span("srepair/component");
+        sp.attr("rows", comp.len());
+        sp.attr("method", method_name(method));
+        // "Escalated": exact vertex cover kept *beyond* the size cutoff
+        // that would normally demote this component to the 2-approx.
+        sp.attr(
+            "escalated",
+            method == SMethod::ExactVertexCover && comp.len() > cfg.component_exact_limit,
+        );
         // A component sub-table is a pure position gather: symbol
         // columns copied by index, dictionary shared, original ids kept.
         let sub = table.gather_positions(comp);
-        solve_component(&sub, fds, &normalized, method_of(comp.len()))
+        solve_component(&sub, fds, &normalized, method)
     });
     for comp_kept in solved {
         kept.extend(comp_kept);

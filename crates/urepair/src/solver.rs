@@ -33,6 +33,18 @@ pub enum UMethod {
 /// One solved component: its repair, method, optimality, and ratio.
 type ComponentPart = (URepair, UMethod, bool, f64);
 
+/// The trace label for an update-repair method.
+fn umethod_name(method: UMethod) -> &'static str {
+    match method {
+        UMethod::AlreadyConsistent => "already_consistent",
+        UMethod::ConsensusOnly => "consensus_only",
+        UMethod::CommonLhsViaS => "common_lhs_via_s",
+        UMethod::TwoCycle => "two_cycle",
+        UMethod::ExactSearch => "exact_search",
+        UMethod::Approximate => "approximate",
+    }
+}
+
 /// A U-repair with provenance.
 #[derive(Clone, Debug)]
 pub struct USolution {
@@ -136,8 +148,16 @@ impl URepairSolver {
     /// scoped threads when configured; results come back in component
     /// order either way.
     fn solve_components(&self, base: &Table, components: &[FdSet]) -> Vec<ComponentPart> {
+        let mut fanout_sp = fd_trace::span("urepair/fanout");
+        fanout_sp.attr("components", components.len());
+        fanout_sp.attr("rows", base.len());
         fd_core::round_robin_map(self.threads, components, |comp| {
-            self.solve_component(base, comp)
+            let mut sp = fd_trace::span("urepair/component");
+            sp.attr("rows", base.len());
+            sp.attr("fds", comp.len());
+            let part = self.solve_component(base, comp);
+            sp.attr("method", umethod_name(part.1));
+            part
         })
     }
 

@@ -16,6 +16,7 @@
 //! fdrepair sample   <file>    uniformly random subset repair (chain Δ)
 //! fdrepair serve              HTTP repair service (POST /repair, /explain)
 //! fdrepair fuzz               differential fuzz: engine vs brute-force oracle
+//! fdrepair gen      <file>    write a synthetic scale instance as .fdr
 //! ```
 //!
 //! `<file>` is either a `.fdr` instance (schema + FDs + rows; format
@@ -37,6 +38,7 @@ usage: fdrepair <command> <file.fdr> [options]
                       [--max-body-bytes <n>]
        fdrepair fuzz [--notion <s|u|mixed|mpd>] [--cases <n>] [--seed <n>]
                      [--max-rows <n>]
+       fdrepair gen <out.fdr> --rows <n> [--workload <tractable|hard>] [--seed <n>]
 
 commands:
   repair      unified repair; pick the notion with --notion <s|u|mixed|mpd>
@@ -51,6 +53,8 @@ commands:
   serve       HTTP service: POST /repair, POST /explain, GET /healthz, /metrics
   fuzz        differential fuzzing: random instances, engine vs brute-force
               oracle; divergences shrink to a .fdr counterexample (exit 1)
+  gen         write a deterministic synthetic instance (fd-gen scale
+              workloads) as .fdr — bench/CI fodder, not real data
 
 options:
   --fds <spec>         FD set for CSV input (e.g. \"A -> B; B -> C\")
@@ -58,6 +62,11 @@ options:
   --notion <name>      repair notion: s, u, mixed, mpd (default: s)
   --json               emit the full report as JSON on stdout
   --output <file>      write the repaired instance as .fdr
+  --trace <file>       write a Chrome trace-event JSON profile of the run
+                       (open in chrome://tracing or ui.perfetto.dev); a
+                       per-span summary goes to stderr
+  --no-timings         zero the report's timings block, making repeated
+                       runs byte-identical (the wire's include_timings)
   --seed <n>           RNG seed for `sample` / `fuzz` (default: OS / 7)
   --cases <n>          fuzz: number of random cases per notion (default 200)
   --max-rows <n>       fuzz: largest table to draw (default: per-notion
@@ -80,6 +89,10 @@ options:
   --addr <ip:port>     serve: bind address (default 127.0.0.1:7878)
   --cache-entries <n>  serve: LRU result-cache capacity (0 disables)
   --max-body-bytes <n> serve: largest accepted request body
+  --no-access-log      serve: silence the per-request JSON access log
+                       (one line per request on stderr, shed 503s included)
+  --rows <n>           gen: rows to generate (default 100000)
+  --workload <name>    gen: tractable (K -> A B) or hard (A -> C; B -> C)
   -h, --help           print this help
   --version            print the version
 
@@ -108,6 +121,11 @@ struct Cli {
     max_body_bytes: Option<usize>,
     cases: Option<usize>,
     max_rows: Option<usize>,
+    trace: Option<String>,
+    no_timings: bool,
+    no_access_log: bool,
+    rows: Option<usize>,
+    workload: Option<String>,
 }
 
 enum CliOutcome {
@@ -150,6 +168,11 @@ fn parse_args(args: &[String]) -> CliOutcome {
         max_body_bytes: None,
         cases: None,
         max_rows: None,
+        trace: None,
+        no_timings: false,
+        no_access_log: false,
+        rows: None,
+        workload: None,
     };
     // Flags may appear anywhere; the first two non-flag arguments are the
     // command and the file.
@@ -281,6 +304,24 @@ fn parse_args(args: &[String]) -> CliOutcome {
                 }
                 None => return CliOutcome::Usage,
             },
+            "--trace" => match value("--trace") {
+                Some(v) => cli.trace = Some(v),
+                None => return CliOutcome::Usage,
+            },
+            "--no-timings" => cli.no_timings = true,
+            "--no-access-log" => cli.no_access_log = true,
+            "--rows" => match value("--rows").map(|v| v.parse::<usize>()) {
+                Some(Ok(v)) => cli.rows = Some(v),
+                Some(Err(_)) => {
+                    eprintln!("fdrepair: --rows needs an integer\n{USAGE}");
+                    return CliOutcome::Usage;
+                }
+                None => return CliOutcome::Usage,
+            },
+            "--workload" => match value("--workload") {
+                Some(v) => cli.workload = Some(v),
+                None => return CliOutcome::Usage,
+            },
             other => {
                 eprintln!("fdrepair: unexpected argument {other:?}\n{USAGE}");
                 return CliOutcome::Usage;
@@ -334,6 +375,14 @@ fn main() -> ExitCode {
             fuzz(&cli)
         };
     }
+    if cli.command == "gen" {
+        return gen(&cli);
+    }
+
+    // --trace: install a per-run collector early so the load phase
+    // (CSV/.fdr interning) lands in the profile alongside the solve.
+    let collector = cli.trace.as_ref().map(|_| fd_trace::Collector::default());
+    let _trace_guard = collector.as_ref().map(fd_trace::Collector::install);
 
     let parsed = if cli.path.ends_with(".csv") {
         let Some(spec) = cli.fd_spec.as_deref() else {
@@ -436,7 +485,10 @@ fn main() -> ExitCode {
         (_, Some(notion)) => {
             let request = build_request(&cli, notion);
             match Planner.run(&instance.table, &instance.fds, &request) {
-                Ok(report) => {
+                Ok(mut report) => {
+                    if cli.no_timings {
+                        report.timings = Timings::default();
+                    }
                     if let Some(path) = cli.output.as_deref() {
                         let Some(repaired) = report.repaired() else {
                             eprintln!(
@@ -459,6 +511,18 @@ fn main() -> ExitCode {
                         println!("{}", report.to_json());
                     } else {
                         render(&instance, &report);
+                    }
+                    if let (Some(path), Some(collector)) =
+                        (cli.trace.as_deref(), collector.as_ref())
+                    {
+                        if let Err(e) = std::fs::write(path, collector.to_chrome_json()) {
+                            eprintln!("fdrepair: cannot write trace {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        eprint!("{}", collector.summary());
+                        eprintln!(
+                            "trace written to {path} (open in chrome://tracing or ui.perfetto.dev)"
+                        );
                     }
                     ExitCode::SUCCESS
                 }
@@ -580,6 +644,36 @@ fn fuzz(cli: &Cli) -> ExitCode {
     }
 }
 
+/// `fdrepair gen`: deterministic synthetic scale instances as `.fdr` —
+/// bench/CI fodder with bounded conflict components by construction.
+fn gen(cli: &Cli) -> ExitCode {
+    let rows = cli.rows.unwrap_or(100_000);
+    let seed = cli.seed.unwrap_or(42);
+    let workload = cli.workload.as_deref().unwrap_or("tractable");
+    let (schema, fds, table) = match workload {
+        "tractable" => fd_gen::scale::tractable_scale(rows, false, seed),
+        "hard" => fd_gen::scale::hard_scale(rows, false, seed),
+        other => {
+            eprintln!("fdrepair: gen supports --workload tractable|hard, got {other:?}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let instance = Instance { schema, fds, table };
+    match std::fs::write(&cli.path, instance.to_fdr()) {
+        Ok(()) => {
+            println!(
+                "fdrepair: wrote {rows} row(s) ({workload}, seed {seed}) to {}",
+                cli.path
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fdrepair: cannot write {}: {e}", cli.path);
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// `fdrepair serve`: bind, wire ctrl-c to graceful shutdown, serve.
 fn serve(cli: &Cli) -> ExitCode {
     let defaults = fd_serve::ServeConfig::default();
@@ -588,6 +682,7 @@ fn serve(cli: &Cli) -> ExitCode {
         threads: cli.threads.unwrap_or(defaults.threads),
         cache_entries: cli.cache_entries.unwrap_or(defaults.cache_entries),
         max_body_bytes: cli.max_body_bytes.unwrap_or(defaults.max_body_bytes),
+        access_log: !cli.no_access_log,
         ..defaults
     };
     let server = match fd_serve::Server::bind(config) {

@@ -70,6 +70,8 @@ pub fn parse_value(token: &str) -> Value {
 impl Instance {
     /// Parses the text format described in the module docs.
     pub fn parse(text: &str) -> Result<Instance, ParseError> {
+        let mut sp = fd_trace::span("core/fdr_parse");
+        sp.attr("bytes", text.len());
         let mut relation: Option<String> = None;
         let mut attrs: Option<Vec<String>> = None;
         let mut fd_specs: Vec<(usize, String)> = Vec::new();
