@@ -66,6 +66,10 @@ fn start(cache_entries: usize) -> RunningServer {
         addr: "127.0.0.1:0".into(),
         threads: 4,
         cache_entries,
+        // The 256-client ladder rung must be backpressured by the event
+        // loop, not shed: deep queue, roomy connection slab.
+        queue_depth: 1024,
+        max_connections: 2048,
         ..ServeConfig::default()
     })
     .expect("bind ephemeral");
@@ -123,26 +127,43 @@ fn median_us(runs: usize, mut f: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
-/// Concurrent requests/sec: `clients` threads firing `per_client`
-/// sequential round trips each.
-fn requests_per_sec(addr: SocketAddr, body: &str, clients: usize, per_client: usize) -> f64 {
+/// Concurrent fleet: `clients` threads firing `per_client` sequential
+/// round trips each. Returns (requests/sec, p99 latency in µs) over
+/// every individual round trip.
+fn fleet(addr: SocketAddr, body: &str, clients: usize, per_client: usize) -> (f64, f64) {
     let body: Arc<str> = Arc::from(body);
     let start = Instant::now();
     let workers: Vec<_> = (0..clients)
         .map(|_| {
             let body = Arc::clone(&body);
             std::thread::spawn(move || {
+                let mut lat = Vec::with_capacity(per_client);
                 for _ in 0..per_client {
-                    let resp = client::post(addr, "/repair", &body).unwrap();
-                    assert_eq!(resp.status, 200);
+                    let t = Instant::now();
+                    // One retry: at 256 reconnecting clients a kernel
+                    // reset under burst load is weather, not signal.
+                    let resp = client::post(addr, "/repair", &body)
+                        .or_else(|_| client::post(addr, "/repair", &body))
+                        .unwrap();
+                    assert_eq!(resp.status, 200, "{}", resp.body);
+                    lat.push(t.elapsed().as_secs_f64() * 1e6);
                 }
+                lat
             })
         })
         .collect();
-    for w in workers {
-        w.join().unwrap();
-    }
-    (clients * per_client) as f64 / start.elapsed().as_secs_f64()
+    let mut latencies: Vec<f64> = workers
+        .into_iter()
+        .flat_map(|w| w.join().unwrap())
+        .collect();
+    let rps = latencies.len() as f64 / start.elapsed().as_secs_f64();
+    latencies.sort_by(f64::total_cmp);
+    let p99 = latencies[((latencies.len() * 99) / 100).min(latencies.len() - 1)];
+    (rps, p99)
+}
+
+fn requests_per_sec(addr: SocketAddr, body: &str, clients: usize, per_client: usize) -> f64 {
+    fleet(addr, body, clients, per_client).0
 }
 
 /// Writes the machine-readable summary consumed by the perf trajectory.
@@ -188,6 +209,52 @@ fn write_summary() {
     entries.push(Json::obj([
         ("id", Json::str("repair/office/hot_rps_8clients")),
         ("requests_per_sec", Json::Num(rps)),
+    ]));
+
+    // Concurrency ladder over the same warm cache: rps and p99 as the
+    // client fleet grows past the worker count — the regime where the
+    // event loop (not a thread per connection) carries the load.
+    for clients in [1usize, 8, 64, 256] {
+        let per_client = (4096 / clients).max(4);
+        let (rps, p99) = fleet(addr, &body, clients, per_client);
+        entries.push(Json::obj([
+            (
+                "id",
+                Json::str(format!("repair/office/hot_ladder_rps_{clients}clients")),
+            ),
+            ("requests_per_sec", Json::Num(rps)),
+        ]));
+        entries.push(Json::obj([
+            (
+                "id",
+                Json::str(format!("repair/office/hot_ladder_p99_{clients}clients")),
+            ),
+            ("p99_us", Json::Num(p99)),
+        ]));
+    }
+
+    // By-reference rung: the table lives server-side, calls carry only
+    // the FD set and request knobs.
+    let table_doc = r#"{"attrs": ["facility", "room", "floor", "city"],
+        "rows": [
+            {"weight": 2, "values": ["HQ", 322, 3, "Paris"]},
+            {"weight": 1, "values": ["HQ", 322, 30, "Madrid"]},
+            {"weight": 1, "values": ["HQ", 122, 1, "Madrid"]},
+            {"weight": 2, "values": ["Lab1", "B35", 3, "London"]}
+        ]}"#;
+    let put = client::request(addr, "PUT", "/tables/office", Some(table_doc)).unwrap();
+    assert_eq!(put.status, 201, "{}", put.body);
+    let ref_body = r#"{"table_ref": "office",
+        "fds": "facility -> city; facility room -> floor",
+        "request": {"include_timings": false}}"#;
+    let (rps, p99) = fleet(addr, ref_body, 64, 64);
+    entries.push(Json::obj([
+        ("id", Json::str("repair/office/by_ref_rps_64clients")),
+        ("requests_per_sec", Json::Num(rps)),
+    ]));
+    entries.push(Json::obj([
+        ("id", Json::str("repair/office/by_ref_p99_64clients")),
+        ("p99_us", Json::Num(p99)),
     ]));
     stop(server);
 

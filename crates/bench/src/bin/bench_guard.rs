@@ -79,6 +79,8 @@ fn load(path: &str) -> Result<Vec<(String, f64, Unit)>, String> {
         };
         if let Some(median) = entry.get("median_us").and_then(Json::as_num) {
             out.push((id.to_string(), median, Unit::TimeUs));
+        } else if let Some(p99) = entry.get("p99_us").and_then(Json::as_num) {
+            out.push((id.to_string(), p99, Unit::TimeUs));
         } else if let Some(bytes) = entry.get("bytes_per_row").and_then(Json::as_num) {
             out.push((id.to_string(), bytes, Unit::BytesPerRow));
         } else if let Some(rps) = entry.get("requests_per_sec").and_then(Json::as_num) {

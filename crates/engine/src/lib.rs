@@ -76,7 +76,10 @@ pub use report::{
     table_to_json, ChangedCell, ComponentReport, DichotomyReport, RepairReport, ReportBody, Timings,
 };
 pub use request::{Budgets, Notion, Optimality, RepairRequest, WIRE_INT_MAX};
-pub use wire::{cache_key, Fnv64, RepairCall, WireError};
+pub use wire::{
+    cache_key, parse_table_doc, table_fingerprint, Fnv64, ParsedCall, RefCall, RepairCall,
+    WireError,
+};
 
 // The one value type [`RepairRequest`] borrows from a solver crate, so
 // engine callers (CLI, serve, the fd-oracle harness) need no direct

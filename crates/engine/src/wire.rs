@@ -135,34 +135,20 @@ impl RepairCall {
             return Err(WireError::new("the document must be a JSON object"));
         };
         for (key, _) in doc.to_map().expect("checked object") {
+            if key == "table_ref" {
+                return Err(WireError::new(
+                    "\"table_ref\" needs a server-side table store; \
+                     this entry point only accepts inline tables",
+                ));
+            }
             if !matches!(key, "relation" | "attrs" | "fds" | "rows" | "request") {
                 return Err(WireError::new(format!("unknown field {key:?}")));
             }
         }
-        let relation = match doc.get("relation") {
-            None => "R",
-            Some(Json::Str(s)) => s.as_str(),
-            Some(_) => return Err(WireError::new("\"relation\" must be a string")),
-        };
-        let attrs = match doc.get("attrs") {
-            Some(Json::Arr(items)) => items
-                .iter()
-                .map(|a| match a {
-                    Json::Str(s) => Ok(s.clone()),
-                    _ => Err(WireError::new("\"attrs\" must be an array of strings")),
-                })
-                .collect::<Result<Vec<String>, WireError>>()?,
-            _ => {
-                return Err(WireError::new(
-                    "missing \"attrs\": an array of attribute names",
-                ))
-            }
-        };
-        let schema = Schema::new(relation, attrs)
-            .map_err(|e| WireError::new(format!("invalid schema: {e}")))?;
+        let table = table_from_doc(doc)?;
         let fds = match doc.get("fds") {
             None => FdSet::empty(),
-            Some(Json::Str(spec)) => FdSet::parse(&schema, spec)
+            Some(Json::Str(spec)) => FdSet::parse(table.schema(), spec)
                 .map_err(|e| WireError::new(format!("invalid \"fds\": {e}")))?,
             Some(_) => {
                 return Err(WireError::new(
@@ -170,18 +156,6 @@ impl RepairCall {
                 ))
             }
         };
-        let mut table = Table::new(schema);
-        let rows = match doc.get("rows") {
-            Some(Json::Arr(items)) => items,
-            _ => return Err(WireError::new("missing \"rows\": an array of rows")),
-        };
-        for (i, row) in rows.iter().enumerate() {
-            let (weight, values) =
-                parse_row(row).map_err(|e| WireError::new(format!("row {i}: {}", e.message)))?;
-            table
-                .push(Tuple::new(values), weight)
-                .map_err(|e| WireError::new(format!("row {i}: {e}")))?;
-        }
         let (request, include_timings) = match doc.get("request") {
             None => (RepairRequest::subset(), true),
             Some(req) => parse_request(req)?,
@@ -285,6 +259,193 @@ impl RepairCall {
     }
 }
 
+/// Builds the interned [`Table`] from a document's `relation` / `attrs`
+/// / `rows` fields (shared by inline calls and stored-table uploads, so
+/// both intern values identically and reports stay byte-compatible).
+fn table_from_doc(doc: &Json) -> Result<Table, WireError> {
+    let relation = match doc.get("relation") {
+        None => "R",
+        Some(Json::Str(s)) => s.as_str(),
+        Some(_) => return Err(WireError::new("\"relation\" must be a string")),
+    };
+    let attrs = match doc.get("attrs") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|a| match a {
+                Json::Str(s) => Ok(s.clone()),
+                _ => Err(WireError::new("\"attrs\" must be an array of strings")),
+            })
+            .collect::<Result<Vec<String>, WireError>>()?,
+        _ => {
+            return Err(WireError::new(
+                "missing \"attrs\": an array of attribute names",
+            ))
+        }
+    };
+    let schema =
+        Schema::new(relation, attrs).map_err(|e| WireError::new(format!("invalid schema: {e}")))?;
+    let mut table = Table::new(schema);
+    let rows = match doc.get("rows") {
+        Some(Json::Arr(items)) => items,
+        _ => return Err(WireError::new("missing \"rows\": an array of rows")),
+    };
+    for (i, row) in rows.iter().enumerate() {
+        let (weight, values) =
+            parse_row(row).map_err(|e| WireError::new(format!("row {i}: {}", e.message)))?;
+        table
+            .push(Tuple::new(values), weight)
+            .map_err(|e| WireError::new(format!("row {i}: {e}")))?;
+    }
+    Ok(table)
+}
+
+/// Parses a stored-table document — `{relation?, attrs, rows}` and
+/// nothing else — as uploaded by `PUT /tables/{id}`. FDs and request
+/// knobs travel with each call, never with the stored table, so the
+/// same relation can be repaired under different Δ without re-upload.
+pub fn parse_table_doc(text: &str, limits: &JsonLimits) -> Result<Table, WireError> {
+    let doc = Json::parse_with_limits(text, limits)?;
+    let Json::Obj(_) = doc else {
+        return Err(WireError::new("the table document must be a JSON object"));
+    };
+    for (key, _) in doc.to_map().unwrap_or_default() {
+        match key {
+            "relation" | "attrs" | "rows" => {}
+            "fds" | "request" => {
+                return Err(WireError::new(format!(
+                    "{key:?} does not belong in a stored table; send it with each /repair call"
+                )))
+            }
+            other => return Err(WireError::new(format!("unknown field {other:?}"))),
+        }
+    }
+    table_from_doc(&doc)
+}
+
+/// A `/repair` or `/explain` body, which either inlines its table or
+/// references one stored server-side (`"table_ref": "<id>"`).
+#[derive(Clone, Debug)]
+pub enum ParsedCall {
+    /// The classic self-contained document: table, Δ, request.
+    Inline(RepairCall),
+    /// A by-reference call; the server resolves the table from its
+    /// store.
+    ByRef(RefCall),
+}
+
+impl ParsedCall {
+    /// Parses either call shape under the given limits. A document with
+    /// `"table_ref"` must not also carry inline table fields.
+    pub fn parse(text: &str, limits: &JsonLimits) -> Result<ParsedCall, WireError> {
+        let doc = Json::parse_with_limits(text, limits)?;
+        let Json::Obj(_) = doc else {
+            return Err(WireError::new("the document must be a JSON object"));
+        };
+        if doc.get("table_ref").is_none() {
+            return Ok(ParsedCall::Inline(RepairCall::from_json(&doc)?));
+        }
+        for (key, _) in doc.to_map().unwrap_or_default() {
+            match key {
+                "table_ref" | "fds" | "request" => {}
+                "relation" | "attrs" | "rows" => {
+                    return Err(WireError::new(format!(
+                        "{key:?} cannot be combined with \"table_ref\"; \
+                         the stored table already carries the instance"
+                    )))
+                }
+                other => return Err(WireError::new(format!("unknown field {other:?}"))),
+            }
+        }
+        let table_ref = match doc.get("table_ref") {
+            Some(Json::Str(s)) if !s.is_empty() => s.clone(),
+            _ => return Err(WireError::new("\"table_ref\" must be a non-empty string")),
+        };
+        let fds = match doc.get("fds") {
+            None => None,
+            Some(Json::Str(spec)) => Some(spec.clone()),
+            Some(_) => {
+                return Err(WireError::new(
+                    "\"fds\" must be a string like \"A -> B; B -> C\"",
+                ))
+            }
+        };
+        let (request, include_timings) = match doc.get("request") {
+            None => (RepairRequest::subset(), true),
+            Some(req) => parse_request(req)?,
+        };
+        Ok(ParsedCall::ByRef(RefCall {
+            table_ref,
+            fds,
+            request,
+            include_timings,
+        }))
+    }
+}
+
+/// A by-reference call: everything an inline [`RepairCall`] carries
+/// except the table itself, which the server resolves from its store.
+#[derive(Clone, Debug)]
+pub struct RefCall {
+    /// The stored-table id the call runs against.
+    pub table_ref: String,
+    /// The FD spec, parsed against the *stored* schema at resolve time
+    /// (`None` means the empty Δ, like an inline call omitting `fds`).
+    pub fds: Option<String>,
+    /// What to compute and under which budgets.
+    pub request: RepairRequest,
+    /// Whether the response should carry real wall-clock timings (see
+    /// [`RepairCall::include_timings`]).
+    pub include_timings: bool,
+}
+
+/// Domain-separation tag for by-reference cache keys: a ref call and an
+/// inline call hash different canonical forms, so their key spaces must
+/// not overlap.
+const REF_KEY_TAG: u64 = 0x72ef_7ab1_e5a7_4e57;
+
+impl RefCall {
+    /// Parses the call's FD spec against the stored table's schema.
+    pub fn resolve_fds(&self, schema: &Schema) -> Result<FdSet, WireError> {
+        match &self.fds {
+            None => Ok(FdSet::empty()),
+            Some(spec) => FdSet::parse(schema, spec)
+                .map_err(|e| WireError::new(format!("invalid \"fds\": {e}"))),
+        }
+    }
+
+    /// Same determinism rule as [`RepairCall::cacheable`].
+    pub fn cacheable(&self) -> bool {
+        !self.include_timings
+            && (self.request.notion != Notion::Sample || self.request.seed.is_some())
+    }
+
+    /// The cache key of this call against a resolved table. O(Δ +
+    /// request): the instance enters through the precomputed
+    /// `fingerprint`, never by rehashing rows.
+    pub fn cache_key(&self, fingerprint: u64, fds: &FdSet, schema: &Schema) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(REF_KEY_TAG);
+        h.write_u64(fingerprint);
+        fds.display(schema).hash(&mut h);
+        hash_request_knobs(&mut h, &self.request);
+        h.write_u8(self.include_timings as u8);
+        h.finish()
+    }
+
+    /// The canonical form cache hits are verified against — short (no
+    /// rows), but pinned to the exact stored table via its fingerprint,
+    /// so a re-uploaded id can never replay the old table's bytes.
+    pub fn canonical(&self, fingerprint: u64, fds: &FdSet, schema: &Schema) -> String {
+        format!(
+            "ref:{}\nfp:{:016x}\nfds:{}\n{}",
+            self.table_ref,
+            fingerprint,
+            fds.display(schema),
+            request_to_json(&self.request, self.include_timings)
+        )
+    }
+}
+
 /// 64-bit FNV-1a — a small, deterministic, dependency-free hasher for
 /// cache keys. Not cryptographic; collisions only cost a cache miss
 /// being served a wrong entry, so the full (instance, Δ, knobs) state is
@@ -323,10 +484,22 @@ impl Hasher for Fnv64 {
 /// processes and runs (FNV-1a, no randomized state).
 pub fn cache_key(table: &Table, fds: &FdSet, request: &RepairRequest) -> u64 {
     let mut h = Fnv64::new();
+    h.write_u64(table_fingerprint(table));
+    fds.display(table.schema()).hash(&mut h);
+    hash_request_knobs(&mut h, request);
+    h.finish()
+}
+
+/// A deterministic 64-bit digest of one table: schema, dictionary
+/// pools, row ids/weights, and every cell in symbol space. This is the
+/// instance half of [`cache_key`], split out so a server storing tables
+/// at rest can hash each table **once** at `PUT` time and key every
+/// later by-reference call in O(request) instead of O(rows).
+pub fn table_fingerprint(table: &Table) -> u64 {
+    let mut h = Fnv64::new();
     let schema = table.schema();
     schema.relation().hash(&mut h);
     schema.attr_names().hash(&mut h);
-    fds.display(schema).hash(&mut h);
     // Rows are hashed in symbol space: the dictionary pools pin what
     // each symbol means, then ids/weights/cells are fixed-width words —
     // no per-row value decoding or string traversal.
@@ -341,7 +514,14 @@ pub fn cache_key(table: &Table, fds: &FdSet, request: &RepairRequest) -> u64 {
             h.write_u32(sym.raw());
         }
     }
-    request.notion.name().hash(&mut h);
+    h.finish()
+}
+
+/// Feeds every request knob into `h` — the request half of
+/// [`cache_key`], shared with the by-reference key so the two key
+/// spaces react identically to knob changes.
+fn hash_request_knobs(h: &mut Fnv64, request: &RepairRequest) {
+    request.notion.name().hash(h);
     match request.optimality {
         Optimality::Best => h.write_u8(0),
         Optimality::Exact => h.write_u8(1),
@@ -362,14 +542,13 @@ pub fn cache_key(table: &Table, fds: &FdSet, request: &RepairRequest) -> u64 {
     h.write_usize(exact_fallback_limit);
     h.write_usize(exact_row_limit);
     h.write_u64(exact_node_budget);
-    time_cap_ms.hash(&mut h);
+    time_cap_ms.hash(h);
     h.write_usize(threads);
     h.write_usize(shard_min_rows);
     h.write_usize(component_exact_limit);
     h.write_u64(request.mixed_costs.delete.to_bits());
     h.write_u64(request.mixed_costs.update.to_bits());
-    request.seed.hash(&mut h);
-    h.finish()
+    request.seed.hash(h);
 }
 
 /// A row: either a bare array of values, or `{"weight": w, "values":
@@ -692,6 +871,101 @@ mod tests {
         assert_ne!(base.cache_key(), timings.cache_key());
         // Stability: the key is a pure function of the call.
         assert_eq!(base.cache_key(), base.clone().cache_key());
+    }
+
+    #[test]
+    fn table_docs_parse_and_reject_call_fields() {
+        let table = parse_table_doc(
+            r#"{"relation": "T", "attrs": ["A", "B"], "rows": [[1, 2], ["x", "y"]]}"#,
+            &JsonLimits::UNTRUSTED,
+        )
+        .unwrap();
+        assert_eq!(table.schema().relation(), "T");
+        assert_eq!(table.len(), 2);
+
+        for bad in [
+            r#"{"attrs": ["A"], "rows": [[1]], "fds": "A -> A"}"#,
+            r#"{"attrs": ["A"], "rows": [[1]], "request": {}}"#,
+            r#"{"attrs": ["A"], "rows": [[1]], "table_ref": "t"}"#,
+            r#"{"attrs": ["A"]}"#,
+            r#"[1]"#,
+        ] {
+            assert!(
+                parse_table_doc(bad, &JsonLimits::UNTRUSTED).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn by_ref_calls_parse_and_inline_fields_conflict() {
+        let call = ParsedCall::parse(
+            r#"{"table_ref": "office", "fds": "A -> B",
+                "request": {"notion": "u", "include_timings": false}}"#,
+            &JsonLimits::UNTRUSTED,
+        )
+        .unwrap();
+        let ParsedCall::ByRef(call) = call else {
+            panic!("must parse as a by-reference call");
+        };
+        assert_eq!(call.table_ref, "office");
+        assert_eq!(call.fds.as_deref(), Some("A -> B"));
+        assert_eq!(call.request.notion, Notion::Update);
+        assert!(call.cacheable());
+
+        // An inline document still parses as one through the same entry.
+        assert!(matches!(
+            ParsedCall::parse(r#"{"attrs": ["A"], "rows": [[1]]}"#, &JsonLimits::UNTRUSTED),
+            Ok(ParsedCall::Inline(_))
+        ));
+
+        for bad in [
+            r#"{"table_ref": "t", "rows": [[1]]}"#,
+            r#"{"table_ref": "t", "attrs": ["A"]}"#,
+            r#"{"table_ref": ""}"#,
+            r#"{"table_ref": 7}"#,
+            r#"{"table_ref": "t", "bogus": 1}"#,
+        ] {
+            assert!(
+                ParsedCall::parse(bad, &JsonLimits::UNTRUSTED).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+
+        // The engine-level inline entry point refuses refs with a hint.
+        let err = RepairCall::parse(r#"{"table_ref": "t"}"#, &JsonLimits::UNTRUSTED).unwrap_err();
+        assert!(err.to_string().contains("table store"), "{err}");
+    }
+
+    #[test]
+    fn fingerprints_pin_the_instance_and_ref_keys_track_the_call() {
+        let call = RepairCall::parse(OFFICE, &JsonLimits::UNTRUSTED).unwrap();
+        let fp = table_fingerprint(&call.table);
+        assert_eq!(fp, table_fingerprint(&call.table), "pure function");
+        let other =
+            parse_table_doc(r#"{"attrs": ["A"], "rows": [[1]]}"#, &JsonLimits::UNTRUSTED).unwrap();
+        assert_ne!(fp, table_fingerprint(&other));
+
+        let schema = call.table.schema();
+        let by_ref = RefCall {
+            table_ref: "office".into(),
+            fds: None,
+            request: call.request,
+            include_timings: false,
+        };
+        let key = by_ref.cache_key(fp, &call.fds, schema);
+        assert_eq!(key, by_ref.cache_key(fp, &call.fds, schema));
+        // The key must move with the fingerprint, the Δ, and the knobs.
+        assert_ne!(key, by_ref.cache_key(fp ^ 1, &call.fds, schema));
+        assert_ne!(key, by_ref.cache_key(fp, &FdSet::empty(), schema));
+        let mut tuned = by_ref.clone();
+        tuned.request = tuned.request.threads(8);
+        assert_ne!(key, tuned.cache_key(fp, &call.fds, schema));
+        // And the canonical form embeds the fingerprint, so a re-upload
+        // under the same id can never verify against stale bytes.
+        let canonical = by_ref.canonical(fp, &call.fds, schema);
+        assert!(canonical.contains(&format!("fp:{fp:016x}")), "{canonical}");
+        assert_ne!(canonical, by_ref.canonical(fp ^ 1, &call.fds, schema));
     }
 
     #[test]

@@ -306,13 +306,19 @@ fn test_line_ranges(toks: &[Token]) -> Vec<(u32, u32)> {
                 {
                     j = matching_close(toks, j + 1, '[', ']') + 1;
                 }
-                // The item ends at `;` before any brace, or at the close
-                // of its outermost brace block.
+                // The item ends at `;` before any brace, at the close of
+                // its outermost brace block, or — for an attribute on an
+                // enum variant, struct field, or match arm — at the `}`
+                // of the *enclosing* block (seen at depth 0 before any
+                // `{` of our own opened).
                 let mut depth = 0usize;
                 while j < toks.len() {
                     if toks[j].is_punct('{') {
                         depth += 1;
                     } else if toks[j].is_punct('}') {
+                        if depth == 0 {
+                            break;
+                        }
                         depth -= 1;
                         if depth == 0 {
                             break;
@@ -1146,6 +1152,18 @@ mod tests {
     fn tests_are_exempt() {
         let src = "#[cfg(test)]\nmod tests {\n fn f() { let m: HashMap<u32, u32> = HashMap::new(); for k in m.keys() { drop(k); } }\n}";
         assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_on_variants_fields_and_arms_does_not_panic() {
+        // The enclosing `}` arrives at depth 0 before any brace of the
+        // attributed item's own — the scan must stop, not underflow.
+        let variant = "enum E {\n A,\n #[cfg(test)]\n Io(std::io::Error),\n}";
+        assert!(findings(variant).is_empty());
+        let arm = "fn f(e: &E) -> u32 { match e {\n E::A => 0,\n #[cfg(test)]\n E::Io(_) => 1,\n} }";
+        assert!(findings(arm).is_empty());
+        let field = "struct S {\n x: u32,\n #[cfg(test)]\n probe: u32,\n}";
+        assert!(findings(field).is_empty());
     }
 
     #[test]

@@ -1,11 +1,9 @@
 //! Minimal HTTP/1.1 over `std::net`: exactly the subset the repair
-//! service needs — request parsing with hard header/body limits, and
-//! response writing with `Connection: close` semantics (one request per
-//! connection; keep-alive buys nothing for solve-dominated calls and
-//! would keep workers pinned to idle sockets).
-
-use std::io::{Read, Write};
-use std::net::TcpStream;
+//! service needs — incremental request parsing with hard header/body
+//! limits, and response serialization with `Connection: close`
+//! semantics (one request per connection; keep-alive buys nothing for
+//! solve-dominated calls and would keep the event loop's slab pinned to
+//! idle sockets).
 
 /// Maximum bytes of request line + headers; anything longer is hostile.
 const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -47,6 +45,9 @@ pub enum HttpError {
         limit: usize,
     },
     /// The socket failed or timed out mid-request; no response is owed.
+    /// Only the test-only blocking reader constructs this — the event
+    /// loop owns its sockets and handles IO errors directly.
+    #[cfg(test)]
     Io(std::io::Error),
 }
 
@@ -58,6 +59,7 @@ impl std::fmt::Display for HttpError {
             HttpError::PayloadTooLarge { limit } => {
                 write!(f, "payload exceeds the {limit}-byte limit")
             }
+            #[cfg(test)]
             HttpError::Io(e) => write!(f, "i/o: {e}"),
         }
     }
@@ -75,59 +77,117 @@ impl HttpError {
                 413,
                 &format!("request body exceeds the {limit}-byte limit"),
             )),
+            #[cfg(test)]
             HttpError::Io(_) => None,
         }
     }
 }
 
-/// One bounded read: errors once `deadline` has passed, and caps each
-/// wait at the remaining budget. A per-*read* timeout alone would let a
-/// slow-trickle client (one byte per almost-timeout) pin a worker
-/// indefinitely; the deadline makes the whole request a single budget.
-fn read_within(
-    stream: &mut TcpStream,
-    chunk: &mut [u8],
-    deadline: std::time::Instant,
-) -> std::io::Result<usize> {
-    let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-    if remaining.is_zero() {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::TimedOut,
-            "request deadline exceeded",
-        ));
-    }
-    stream.set_read_timeout(Some(remaining))?;
-    stream.read(chunk)
+/// Incremental request parsing: feed arbitrary byte chunks as they
+/// arrive, get a [`Request`] back once the whole thing is in. The event
+/// loop drives this directly; the tests also wrap it in a small
+/// blocking reader, so the limits behave identically on either path.
+///
+/// The head-terminator scan *resumes* where the previous chunk left off
+/// (`len - 3`, since `\r\n\r\n` can straddle a chunk boundary) instead
+/// of rescanning the whole buffer per chunk — a slowloris trickling a
+/// near-limit head byte-by-byte costs O(head) total, not O(head²).
+pub struct RequestParser {
+    max_body: usize,
+    buf: Vec<u8>,
+    /// Where the next head-terminator scan starts.
+    scan_from: usize,
+    /// Set once the head has been parsed; the body is still arriving.
+    pending: Option<PendingBody>,
 }
 
-/// Reads one request from the stream. Bounded three ways: at most
-/// [`MAX_HEAD_BYTES`] of head and `max_body` bytes of body are ever
-/// buffered, and the *whole* request must arrive before `deadline`,
-/// whatever the peer claims or how slowly it trickles.
-pub fn read_request(
-    stream: &mut TcpStream,
-    max_body: usize,
-    deadline: std::time::Instant,
-) -> Result<Request, HttpError> {
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 4096];
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
-            break pos;
+struct PendingBody {
+    request: Request,
+    body_start: usize,
+    content_length: usize,
+}
+
+impl RequestParser {
+    /// A fresh parser enforcing `max_body` (the head limit is the fixed
+    /// [`MAX_HEAD_BYTES`]).
+    pub fn new(max_body: usize) -> RequestParser {
+        RequestParser {
+            max_body,
+            buf: Vec::with_capacity(1024),
+            scan_from: 0,
+            pending: None,
         }
-        if buf.len() > MAX_HEAD_BYTES {
-            return Err(HttpError::BadRequest("request head too large".into()));
+    }
+
+    /// Whether the head has been parsed and the body is being received
+    /// (distinguishes "closed mid-request" from "closed mid-body").
+    pub fn in_body(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Whether any request bytes have arrived at all (a peer that
+    /// connects and closes without sending owes and is owed nothing).
+    pub fn started(&self) -> bool {
+        !self.buf.is_empty() || self.pending.is_some()
+    }
+
+    /// Appends one chunk and returns the completed request, if this
+    /// chunk finished it. Errors are terminal: the connection owes at
+    /// most one 4xx response and must then close.
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<Option<Request>, HttpError> {
+        self.buf.extend_from_slice(chunk);
+        if self.pending.is_none() {
+            let Some(head_end) = self.scan_head_end() else {
+                if self.buf.len() > MAX_HEAD_BYTES {
+                    return Err(HttpError::BadRequest("request head too large".into()));
+                }
+                return Ok(None);
+            };
+            let (request, content_length) = parse_head(&self.buf[..head_end], self.max_body)?;
+            self.pending = Some(PendingBody {
+                request,
+                body_start: head_end + 4,
+                content_length,
+            });
         }
-        let n = read_within(stream, &mut chunk, deadline).map_err(HttpError::Io)?;
-        if n == 0 {
+        // Borrow-free completion check before moving the request out.
+        let total = match &self.pending {
+            Some(p) => p.body_start + p.content_length,
+            None => return Ok(None),
+        };
+        if self.buf.len() > total {
             return Err(HttpError::BadRequest(
-                "connection closed mid-request".into(),
+                "body longer than Content-Length".into(),
             ));
         }
-        buf.extend_from_slice(&chunk[..n]);
-    };
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let Some(pending) = self.pending.take() else {
+            return Ok(None);
+        };
+        let mut request = pending.request;
+        request.body = self.buf.split_off(pending.body_start);
+        Ok(Some(request))
+    }
 
-    let head = std::str::from_utf8(&buf[..head_end])
+    /// Byte offset of `\r\n\r\n`, resuming from the last scan position.
+    fn scan_head_end(&mut self) -> Option<usize> {
+        let start = self.scan_from;
+        match self.buf[start..].windows(4).position(|w| w == b"\r\n\r\n") {
+            Some(pos) => Some(start + pos),
+            None => {
+                self.scan_from = self.buf.len().saturating_sub(3);
+                None
+            }
+        }
+    }
+}
+
+/// Parses the request line and headers (everything before `\r\n\r\n`)
+/// and validates the body framing against `max_body`.
+fn parse_head(head: &[u8], max_body: usize) -> Result<(Request, usize), HttpError> {
+    let head = std::str::from_utf8(head)
         .map_err(|_| HttpError::BadRequest("request head is not UTF-8".into()))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or("");
@@ -182,31 +242,18 @@ pub fn read_request(
     if content_length > max_body {
         return Err(HttpError::PayloadTooLarge { limit: max_body });
     }
-
-    let mut body = buf[head_end + 4..].to_vec();
-    if body.len() > content_length {
-        return Err(HttpError::BadRequest(
-            "body longer than Content-Length".into(),
-        ));
-    }
-    while body.len() < content_length {
-        let n = read_within(stream, &mut chunk, deadline).map_err(HttpError::Io)?;
-        if n == 0 {
-            return Err(HttpError::BadRequest("connection closed mid-body".into()));
-        }
-        body.extend_from_slice(&chunk[..n]);
-        if body.len() > content_length {
-            return Err(HttpError::BadRequest(
-                "body longer than Content-Length".into(),
-            ));
-        }
-    }
-    Ok(Request { body, ..request })
+    Ok((request, content_length))
 }
 
-/// Byte offset of the `\r\n\r\n` head terminator, if present.
-fn find_head_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
+/// The [`HttpError`] for a peer that closed before its request was
+/// complete; the event loop's read path maps EOF through this so the
+/// truncation answers the same 400 the blocking reader used to send.
+pub fn truncated(parser: &RequestParser) -> HttpError {
+    HttpError::BadRequest(if parser.in_body() {
+        "connection closed mid-body".into()
+    } else {
+        "connection closed mid-request".into()
+    })
 }
 
 /// A response ready to serialize.
@@ -260,10 +307,12 @@ impl Response {
 pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        201 => "Created",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         411 => "Length Required",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
@@ -273,8 +322,9 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Serializes and writes one response; the caller closes the stream.
-pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+/// The full wire form of one response — status line, headers, body —
+/// ready for the event loop's incremental nonblocking writes.
+pub fn serialize_response(response: &Response) -> Vec<u8> {
     let mut head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         response.status,
@@ -286,18 +336,52 @@ pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::R
         head.push_str(&format!("{name}: {value}\r\n"));
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(&response.body)?;
-    stream.flush()
+    let mut bytes = head.into_bytes();
+    bytes.extend_from_slice(&response.body);
+    bytes
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{Read, Write};
     use std::net::{TcpListener, TcpStream};
 
     fn deadline() -> std::time::Instant {
         std::time::Instant::now() + std::time::Duration::from_secs(5)
+    }
+
+    /// The blocking reader the server used before the event loop,
+    /// rebuilt over the same parser: reads until a request completes,
+    /// the parser errors, the peer closes, or `deadline` passes. Kept
+    /// as the test harness because it exercises the exact byte-feeding
+    /// the event loop performs, minus the poller.
+    fn read_request(
+        stream: &mut TcpStream,
+        max_body: usize,
+        deadline: std::time::Instant,
+    ) -> Result<Request, HttpError> {
+        let mut parser = RequestParser::new(max_body);
+        let mut chunk = [0u8; 4096];
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return Err(HttpError::Io(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "request deadline exceeded",
+                )));
+            }
+            stream
+                .set_read_timeout(Some(remaining))
+                .map_err(HttpError::Io)?;
+            let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+            if n == 0 {
+                return Err(truncated(&parser));
+            }
+            if let Some(request) = parser.feed(&chunk[..n])? {
+                return Ok(request);
+            }
+        }
     }
 
     /// Feeds raw bytes to `read_request` through a real socket pair.
@@ -391,6 +475,81 @@ mod tests {
         );
         drop(server_side);
         writer.join().unwrap();
+    }
+
+    #[test]
+    fn parser_accepts_one_byte_chunks() {
+        // A request drip-fed a byte at a time must complete with the
+        // exact same parse as a one-shot read — and in O(total bytes),
+        // since the head scan resumes instead of restarting. A head
+        // near the size limit keeps the quadratic regression visible:
+        // rescans here would cost ~128M window comparisons.
+        let mut head = String::from("POST /repair HTTP/1.1\r\nContent-Length: 4\r\n");
+        let mut i = 0;
+        while head.len() < 15 * 1024 {
+            head.push_str(&format!("x-pad-{i}: {}\r\n", "v".repeat(64)));
+            i += 1;
+        }
+        head.push_str("\r\n");
+        let bytes: Vec<u8> = head.bytes().chain(*b"body").collect();
+        let mut parser = RequestParser::new(1024);
+        let mut result = None;
+        for (fed, byte) in bytes.iter().enumerate() {
+            match parser.feed(std::slice::from_ref(byte)).unwrap() {
+                Some(request) => {
+                    assert_eq!(fed + 1, bytes.len(), "completes on the last byte");
+                    result = Some(request);
+                }
+                None => assert_eq!(parser.in_body(), fed + 1 >= head.len()),
+            }
+        }
+        let request = result.expect("request must complete");
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/repair");
+        assert_eq!(request.body, b"body");
+        assert_eq!(request.header("x-pad-0"), Some("v".repeat(64).as_str()));
+    }
+
+    #[test]
+    fn parser_enforces_the_head_limit_incrementally() {
+        let mut parser = RequestParser::new(1024);
+        let chunk = [b'a'; 1024];
+        let mut fed = 0;
+        let err = loop {
+            match parser.feed(&chunk) {
+                Ok(None) => fed += chunk.len(),
+                Ok(Some(_)) => panic!("garbage must not parse"),
+                Err(e) => break e,
+            }
+            assert!(fed <= 32 * 1024, "must reject near MAX_HEAD_BYTES");
+        };
+        assert!(matches!(err, HttpError::BadRequest(_)), "{err}");
+    }
+
+    #[test]
+    fn parser_handles_terminator_split_across_chunks() {
+        // Every split point of "\r\n\r\n" across two feeds must work.
+        let bytes = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+        for cut in 1..bytes.len() {
+            let mut parser = RequestParser::new(0);
+            assert!(parser.feed(&bytes[..cut]).unwrap().is_none(), "cut {cut}");
+            let request = parser
+                .feed(&bytes[cut..])
+                .unwrap()
+                .unwrap_or_else(|| panic!("cut {cut} must complete"));
+            assert_eq!(request.path, "/healthz");
+        }
+    }
+
+    #[test]
+    fn serialized_response_matches_the_written_bytes() {
+        let response = Response::json(200, "{\"ok\":true}".into()).with_header("X-Fd-Cache", "hit");
+        let bytes = serialize_response(&response);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("X-Fd-Cache: hit\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
     }
 
     #[test]

@@ -58,26 +58,30 @@
 mod access;
 mod cache;
 pub mod client;
+mod coalesce;
+mod event_loop;
 mod http;
 mod metrics;
 mod pool;
 mod router;
 mod shutdown;
+mod store;
 
 pub use access::AccessRecord;
 pub use cache::{CachedResponse, LruCache};
+pub use coalesce::{FlightResult, Outcome, SingleFlight};
 pub use http::{Request, Response};
 pub use metrics::Metrics;
 pub use pool::WorkerPool;
 pub use router::RequestInfo;
 pub use shutdown::{install_signal_handlers, request_shutdown, shutdown_requested};
+pub use store::{StoreError, StoredTable, TableStore};
 
 use fd_engine::RepairCall;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Everything `fdrepair serve` can tune.
 #[derive(Clone, Debug)]
@@ -103,6 +107,18 @@ pub struct ServeConfig {
     /// stderr. Strictly out-of-band: responses are byte-identical with
     /// the log on or off.
     pub access_log: bool,
+    /// Open connections the event loop will hold at once (`0` = 1024).
+    /// Beyond it, new connections are closed immediately — the bound is
+    /// on *sockets*, where the worker queue bound is on *work*.
+    pub max_connections: usize,
+    /// Stored tables each tenant may keep via `PUT /tables/{id}`
+    /// (`0` = unlimited).
+    pub max_tables_per_tenant: usize,
+    /// Total rows each tenant may keep at rest (`0` = unlimited).
+    pub max_rows_per_tenant: usize,
+    /// Force the portable tick-based poller even where epoll is
+    /// available (CI exercises the fallback this way).
+    pub portable_poller: bool,
 }
 
 impl Default for ServeConfig {
@@ -116,6 +132,10 @@ impl Default for ServeConfig {
             default_time_cap_ms: Some(30_000),
             io_timeout_ms: 10_000,
             access_log: false,
+            max_connections: 0,
+            max_tables_per_tenant: 64,
+            max_rows_per_tenant: 4_000_000,
+            portable_poller: false,
         }
     }
 }
@@ -138,6 +158,14 @@ impl ServeConfig {
             4 * self.effective_threads()
         }
     }
+
+    fn effective_max_connections(&self) -> usize {
+        if self.max_connections > 0 {
+            self.max_connections
+        } else {
+            1024
+        }
+    }
 }
 
 /// State shared by the accept loop and every worker.
@@ -149,6 +177,14 @@ pub struct Shared {
     /// The LRU result cache (hits are verified against the canonical
     /// call before being served — see [`CachedResponse`]).
     pub cache: Mutex<LruCache<CachedResponse>>,
+    /// Memoized fast-path probes: byte-identical inline bodies re-probe
+    /// the result cache without re-parsing (see `router::ProbeMemo`).
+    pub(crate) probe_memo: Mutex<LruCache<router::ProbeMemo>>,
+    /// Tables at rest (`PUT /tables/{id}`), namespaced per tenant.
+    pub store: TableStore,
+    /// In-flight solves, for single-flight coalescing of concurrent
+    /// identical cacheable calls.
+    pub single_flight: SingleFlight,
     /// When the server came up (for `/healthz` uptime).
     pub started: Instant,
     /// Source of generated `req-<n>` request ids.
@@ -176,10 +212,15 @@ impl Shared {
         sink: Option<Box<dyn std::io::Write + Send>>,
     ) -> Shared {
         let cache = Mutex::new(LruCache::new(config.cache_entries));
+        let probe_memo = Mutex::new(LruCache::new(config.cache_entries));
+        let store = TableStore::new(config.max_tables_per_tenant, config.max_rows_per_tenant);
         Shared {
             config,
             metrics: Metrics::new(),
             cache,
+            probe_memo,
+            store,
+            single_flight: SingleFlight::new(),
             started: Instant::now(),
             request_counter: AtomicU64::new(0),
             access: sink.map(Mutex::new),
@@ -192,6 +233,12 @@ impl Shared {
             "req-{}",
             self.request_counter.fetch_add(1, Ordering::Relaxed) + 1
         )
+    }
+
+    /// Whether access logging is on — callers on the hot path use this
+    /// to skip building the record at all.
+    pub(crate) fn access_enabled(&self) -> bool {
+        self.access.is_some()
     }
 
     /// Writes one access-log line, if logging is on. Failures are
@@ -251,168 +298,19 @@ impl Server {
     /// Serves until the shutdown flag is set or a SIGINT/SIGTERM
     /// arrives (when [`install_signal_handlers`] was called), then
     /// drains gracefully. Blocks the calling thread.
+    ///
+    /// All socket IO happens on this thread's readiness-driven event
+    /// loop (epoll on Linux, a tick-based poller elsewhere): it accepts,
+    /// reads requests incrementally, and writes responses, handing only
+    /// fully-read requests to the worker pool. A stalled or hostile peer
+    /// therefore costs one slab slot, never a worker thread.
     pub fn run(self) -> std::io::Result<()> {
         let Server {
             listener,
             shared,
             shutdown,
         } = self;
-        listener.set_nonblocking(true)?;
-        let worker_shared = Arc::clone(&shared);
-        let pool = WorkerPool::spawn(
-            shared.config.effective_threads(),
-            shared.config.effective_queue_depth(),
-            Arc::new(move |(stream, accepted)| serve_connection(&worker_shared, stream, accepted)),
-        );
-        while !shutdown.load(Ordering::SeqCst) && !shutdown_requested() {
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    // The listener is nonblocking; the worker must not be.
-                    let _ = stream.set_nonblocking(false);
-                    // The accept instant rides with the job: its age when
-                    // a worker finally pops the pair is the queue wait.
-                    match pool.try_submit((stream, Instant::now())) {
-                        Ok(()) => shared.metrics.queue_enter(),
-                        Err((mut refused, _accepted)) => {
-                            // Shed: counted as a rejected 5xx but kept out
-                            // of the latency histogram — a fabricated
-                            // sub-µs sample would drag p50/p99 down exactly
-                            // when the operator needs them to reflect real
-                            // service. It still gets an access-log line,
-                            // marked `queued=false`: shed traffic must be
-                            // visible per-event, not only as a counter.
-                            shared.metrics.observe_shed();
-                            shared.log_access(&AccessRecord::shed(shared.next_request_id()));
-                            let _ = refused.set_write_timeout(Some(Duration::from_millis(250)));
-                            let _ = http::write_response(
-                                &mut refused,
-                                &Response::error(503, "server is at capacity, retry later"),
-                            );
-                        }
-                    }
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    // 1 ms keeps idle CPU negligible while bounding both
-                    // added request latency and shutdown-notice delay.
-                    std::thread::sleep(Duration::from_millis(1));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(e) => {
-                    // A failing accept with workers still healthy is not
-                    // worth dying for (EMFILE etc.); back off and retry.
-                    let _ = e;
-                    std::thread::sleep(Duration::from_millis(50));
-                }
-            }
-        }
-        pool.shutdown();
-        Ok(())
-    }
-}
-
-/// One connection, end to end: read, route, respond, record. A panic
-/// anywhere in routing (it would indicate an engine bug) is caught and
-/// answered as 500 — a hostile request must never take a worker down.
-fn serve_connection(shared: &Shared, mut stream: TcpStream, accepted: Instant) {
-    shared.metrics.queue_exit();
-    let queue_wait_us = accepted.elapsed().as_micros() as u64;
-    let timeout = Duration::from_millis(shared.config.io_timeout_ms.max(1));
-    // io_timeout_ms is a *per-request* budget: read_request shrinks the
-    // socket timeout toward this deadline on every read, so slow-trickle
-    // bodies cannot pin a worker beyond it.
-    let deadline = Instant::now() + timeout;
-    let _ = stream.set_write_timeout(Some(timeout));
-    let start = Instant::now();
-    // Every answered request produces exactly one access record; paths
-    // that never parse a request line log with `-` placeholders.
-    let blank_record = |request_id: String, status: u16| AccessRecord {
-        request_id,
-        method: "-".into(),
-        path: "-".into(),
-        status,
-        notion: None,
-        rows: None,
-        components: None,
-        cache_hit: None,
-        queued: true,
-        queue_wait_us,
-        solve_us: 0,
-    };
-    let (response, endpoint, record) =
-        match http::read_request(&mut stream, shared.config.max_body_bytes, deadline) {
-            Ok(request) => {
-                match catch_unwind(AssertUnwindSafe(|| router::handle(shared, &request))) {
-                    Ok((response, info)) => {
-                        let record = AccessRecord {
-                            request_id: info.request_id,
-                            method: request.method.clone(),
-                            path: request
-                                .path
-                                .split('?')
-                                .next()
-                                .unwrap_or(&request.path)
-                                .to_string(),
-                            status: response.status,
-                            notion: info.notion.map(fd_engine::Notion::name),
-                            rows: info.rows,
-                            components: info.components,
-                            cache_hit: info.cache_hit,
-                            queued: true,
-                            queue_wait_us,
-                            solve_us: info.solve_us,
-                        };
-                        (response, info.endpoint, record)
-                    }
-                    Err(_) => {
-                        shared.metrics.observe_panic();
-                        let request_id = shared.next_request_id();
-                        let response =
-                            Response::error(500, "internal error while handling the request")
-                                .with_header("X-Request-Id", request_id.clone());
-                        let mut record = blank_record(request_id, 500);
-                        record.method = request.method.clone();
-                        record.path = request
-                            .path
-                            .split('?')
-                            .next()
-                            .unwrap_or(&request.path)
-                            .to_string();
-                        (response, "other", record)
-                    }
-                }
-            }
-            Err(e) => match e.into_response() {
-                Some(response) => {
-                    let request_id = shared.next_request_id();
-                    let record = blank_record(request_id.clone(), response.status);
-                    let response = response.with_header("X-Request-Id", request_id);
-                    (response, "other", record)
-                }
-                None => return, // socket died; nobody is listening for a reply
-            },
-        };
-    let elapsed = start.elapsed();
-    shared.metrics.observe_request(response.status, elapsed);
-    shared.metrics.observe_endpoint(endpoint, elapsed);
-    shared.log_access(&record);
-    if http::write_response(&mut stream, &response).is_err() {
-        return;
-    }
-    // Half-close, then briefly drain the peer: closing with unread bytes
-    // in the receive queue (an early 4xx cut a body short) sends RST,
-    // which can destroy the response before the client reads it. The
-    // drain is bounded in both bytes and time.
-    use std::io::Read;
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-    let drain_deadline = Instant::now() + Duration::from_millis(500);
-    let mut sink = [0u8; 4096];
-    let mut drained = 0usize;
-    while drained < 1 << 20 && Instant::now() < drain_deadline {
-        match stream.read(&mut sink) {
-            Ok(0) | Err(_) => break,
-            Ok(n) => drained += n,
-        }
+        event_loop::run(listener, shared, shutdown)
     }
 }
 

@@ -33,9 +33,9 @@ const NOTIONS: [Notion; 7] = [
 ];
 
 /// The endpoint labels latency is broken down by. Anything that is not
-/// one of the four routes (404s, 405s, unreadable requests) counts as
+/// one of the five routes (404s, 405s, unreadable requests) counts as
 /// `other`.
-pub const ENDPOINTS: [&str; 5] = ["repair", "explain", "healthz", "metrics", "other"];
+pub const ENDPOINTS: [&str; 6] = ["repair", "explain", "tables", "healthz", "metrics", "other"];
 
 fn notion_index(notion: Notion) -> usize {
     NOTIONS
@@ -98,12 +98,15 @@ pub struct Metrics {
     handler_panics: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    coalesced: AtomicU64,
     by_notion: [AtomicU64; 7],
     latency: Hist,
-    endpoint_latency: [Hist; 5],
+    endpoint_latency: [Hist; 6],
     notion_latency: [Hist; 7],
     components: Hist,
     queue_depth: AtomicU64,
+    tables_stored: AtomicU64,
+    conn_limit_closed: AtomicU64,
     trace_dropped: AtomicU64,
 }
 
@@ -120,12 +123,15 @@ impl Metrics {
             handler_panics: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
             by_notion: Default::default(),
             latency: Hist::new(),
-            endpoint_latency: [const { Hist::new() }; 5],
+            endpoint_latency: [const { Hist::new() }; 6],
             notion_latency: [const { Hist::new() }; 7],
             components: Hist::new(),
             queue_depth: AtomicU64::new(0),
+            tables_stored: AtomicU64::new(0),
+            conn_limit_closed: AtomicU64::new(0),
             trace_dropped: AtomicU64::new(0),
         }
     }
@@ -193,6 +199,33 @@ impl Metrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts a request that replayed a concurrent in-flight solve
+    /// instead of solving (single-flight coalescing). Such requests are
+    /// *also* cache misses — the result was not in the cache when they
+    /// arrived — so `hits + misses` still equals the cacheable total.
+    pub fn observe_coalesced(&self) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tracks the tables-at-rest gauge: a table was stored.
+    pub fn table_stored(&self) {
+        self.tables_stored.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tracks the tables-at-rest gauge: a table was deleted.
+    pub fn table_removed(&self) {
+        let _ = self
+            .tables_stored
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| d.checked_sub(1));
+    }
+
+    /// Counts a connection closed at accept because the event loop was
+    /// at its connection cap (no response was written — distinct from a
+    /// shed, which answers 503).
+    pub fn observe_conn_limit_closed(&self) {
+        self.conn_limit_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A connection entered the worker queue (gauge up).
     pub fn queue_enter(&self) {
         self.queue_depth.fetch_add(1, Ordering::Relaxed);
@@ -255,6 +288,10 @@ impl Metrics {
             load(&self.cache_misses)
         ));
         out.push_str(&format!(
+            "fd_serve_coalesced_total {}\n",
+            load(&self.coalesced)
+        ));
+        out.push_str(&format!(
             "fd_serve_queue_rejected_total {}\n",
             load(&self.queue_rejected)
         ));
@@ -273,6 +310,14 @@ impl Metrics {
         out.push_str(&format!(
             "fd_serve_queue_depth {}\n",
             load(&self.queue_depth)
+        ));
+        out.push_str(&format!(
+            "fd_serve_tables_stored {}\n",
+            load(&self.tables_stored)
+        ));
+        out.push_str(&format!(
+            "fd_serve_conn_limit_closed_total {}\n",
+            load(&self.conn_limit_closed)
         ));
         for (endpoint, hist) in ENDPOINTS.iter().zip(&self.endpoint_latency) {
             out.push_str(&format!(

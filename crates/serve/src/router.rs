@@ -1,6 +1,13 @@
-//! Request routing: the four endpoints, wire parsing, cache
-//! consultation, engine invocation, and the 4xx/5xx mapping that keeps
-//! every malformed or infeasible call a *response* rather than a crash.
+//! Request routing: the endpoints, wire parsing, cache consultation,
+//! single-flight coalescing, engine invocation, and the 4xx/5xx mapping
+//! that keeps every malformed or infeasible call a *response* rather
+//! than a crash.
+//!
+//! `/repair` and `/explain` accept either an inline table or
+//! `"table_ref": "<id>"` naming a table stored via `PUT /tables/{id}`
+//! (tables at rest, namespaced by the sanitized `X-Tenant` header).
+//! Concurrent cacheable calls with the same key run one solve under
+//! [`crate::SingleFlight`] and replay its exact bytes.
 //!
 //! Observability rides alongside routing but never inside it: the
 //! request id, per-request trace, and [`RequestInfo`] the access log
@@ -10,12 +17,15 @@
 //! it, so replies stay bit-identical whether or not anyone is watching.
 
 use crate::http::{Request, Response};
+use crate::store::StoreError;
 use crate::Shared;
+use fd_core::{FdSet, Table};
 use fd_engine::{
-    EngineError, JsonLimits, Notion, Planner, RepairCall, RepairEngine, Timings, WireError,
+    parse_table_doc, table_fingerprint, EngineError, JsonLimits, Notion, ParsedCall, Planner,
+    RepairEngine, RepairRequest, Timings, WireError,
 };
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Distinguishes `/repair` from `/explain` in the cache-key space: the
 /// two endpoints return different documents for the same call.
@@ -82,22 +92,180 @@ pub fn handle(shared: &Shared, request: &Request) -> (Response, RequestInfo) {
         }
         ("POST", "/repair") => {
             info.endpoint = "repair";
-            repair(shared, &request.body, Endpoint::Repair, trace, &mut info)
+            repair(shared, request, Endpoint::Repair, trace, &mut info)
         }
         ("POST", "/explain") => {
             info.endpoint = "explain";
-            repair(shared, &request.body, Endpoint::Explain, trace, &mut info)
+            repair(shared, request, Endpoint::Explain, trace, &mut info)
+        }
+        (_, p) if p == "/tables" || p.starts_with("/tables/") => {
+            info.endpoint = "tables";
+            tables(shared, request, p, &mut info)
         }
         ("GET" | "HEAD", "/repair" | "/explain") | ("POST", "/healthz" | "/metrics") => {
             Response::error(405, "wrong method for this path")
         }
         _ => Response::error(
             404,
-            "no such endpoint (try /repair, /explain, /healthz, /metrics)",
+            "no such endpoint (try /repair, /explain, /tables/{id}, /healthz, /metrics)",
         ),
     };
     let response = response.with_header("X-Request-Id", info.request_id.clone());
     (response, info)
+}
+
+/// Largest body the IO thread will parse inline. Bigger bodies always
+/// take the worker queue: inline parse cost scales with the table, and
+/// the event loop must never stall behind one request.
+const FAST_PATH_MAX_BODY: usize = 16 * 1024;
+
+/// A memoized fast-path probe: everything the IO thread needs to
+/// consult the result cache for a byte-identical inline body without
+/// re-parsing it — the parse, `Table` build, and canonical
+/// serialization are all pure functions of the raw bytes (and fixed
+/// server config), so they are done once and replayed.
+///
+/// The memo is keyed by an FNV hash of (endpoint, raw body) and the
+/// stored bytes are compared on every lookup, so a hash collision
+/// degrades to a re-parse, never to a wrong cache key. By-ref calls are
+/// never memoized: their cache key hashes the *stored table's*
+/// fingerprint, which a `DELETE` + re-`PUT` changes out from under
+/// unchanged request bytes.
+#[derive(Clone)]
+pub(crate) struct ProbeMemo {
+    body: Arc<[u8]>,
+    key: u64,
+    canonical: Arc<str>,
+    notion: Notion,
+    rows: usize,
+}
+
+/// FNV-1a over the raw body, seeded per endpoint (the two endpoints
+/// cache different documents for the same bytes).
+fn memo_key(endpoint: Endpoint, body: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET
+        ^ match endpoint {
+            Endpoint::Repair => 0x9e,
+            Endpoint::Explain => 0x79,
+        };
+    for &byte in body {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Serves a request on the IO thread, without a worker hop, when it is
+/// provably cheap: `GET /healthz` (so liveness stays answerable even
+/// with the worker queue saturated) and clean result-cache hits for
+/// small, untraced `/repair`/`/explain` bodies. Everything else — cache
+/// misses included — returns `None` and takes the queue; a missed
+/// probe's parse work is redone by the worker, bounded by
+/// [`FAST_PATH_MAX_BODY`]. Repeat probes for byte-identical inline
+/// bodies skip even that parse via [`ProbeMemo`].
+///
+/// Responses and metrics are byte-for-byte what [`handle`] would have
+/// produced for the same request; only the thread differs.
+pub(crate) fn fast_path(shared: &Shared, request: &Request) -> Option<(Response, RequestInfo)> {
+    if request.path.contains('?') {
+        return None; // `?trace=1` needs a collector; take the full path
+    }
+    let endpoint = match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let mut info = RequestInfo::new(request_id_for(shared, request));
+            info.endpoint = "healthz";
+            let response = healthz(shared).with_header("X-Request-Id", info.request_id.clone());
+            return Some((response, info));
+        }
+        ("POST", "/repair") => Endpoint::Repair,
+        ("POST", "/explain") => Endpoint::Explain,
+        _ => return None,
+    };
+    if request.body.len() > FAST_PATH_MAX_BODY || shared.config.cache_entries == 0 {
+        return None; // with caching off a probe can never hit: skip the parse
+    }
+    // Byte-identical repeat of a memoized inline body: straight to the
+    // cache probe, no parse.
+    let memo_key = memo_key(endpoint, &request.body);
+    let memo = shared
+        .probe_memo
+        .lock()
+        .ok()
+        .and_then(|mut memos| memos.get(memo_key))
+        .filter(|memo| memo.body.as_ref() == request.body.as_slice());
+    let (key, canonical, notion, rows): (u64, Arc<str>, Notion, usize) = match memo {
+        Some(memo) => (memo.key, memo.canonical, memo.notion, memo.rows),
+        None => {
+            let limits = JsonLimits {
+                max_bytes: shared.config.max_body_bytes,
+                max_depth: JsonLimits::DEFAULT_MAX_DEPTH,
+            };
+            let text = std::str::from_utf8(&request.body).ok()?;
+            // Key and canonical computation must match `repair` exactly
+            // — including the budget clamp, which the key hashes.
+            match ParsedCall::parse(text, &limits).ok()? {
+                ParsedCall::Inline(mut call) => {
+                    if !call.cacheable() {
+                        return None;
+                    }
+                    clamp_time_cap(shared, &mut call.request);
+                    let key = endpoint.tag_key(call.cache_key());
+                    let canonical: Arc<str> =
+                        Arc::from(format!("{}\n{}", endpoint.name(), call.to_json_value()));
+                    if let Ok(mut memos) = shared.probe_memo.lock() {
+                        memos.insert(
+                            memo_key,
+                            ProbeMemo {
+                                body: Arc::from(request.body.as_slice()),
+                                key,
+                                canonical: Arc::clone(&canonical),
+                                notion: call.request.notion,
+                                rows: call.table.len(),
+                            },
+                        );
+                    }
+                    (key, canonical, call.request.notion, call.table.len())
+                }
+                ParsedCall::ByRef(mut call) => {
+                    if !call.cacheable() {
+                        return None;
+                    }
+                    let tenant = tenant_of(request).ok()?;
+                    let stored = shared.store.get(&tenant, &call.table_ref)?;
+                    let schema = stored.table.schema();
+                    let fds = call.resolve_fds(schema).ok()?;
+                    clamp_time_cap(shared, &mut call.request);
+                    let key = endpoint.tag_key(call.cache_key(stored.fingerprint, &fds, schema));
+                    let canonical: Arc<str> = Arc::from(format!(
+                        "{}\n{}",
+                        endpoint.name(),
+                        call.canonical(stored.fingerprint, &fds, schema)
+                    ));
+                    (key, canonical, call.request.notion, stored.rows)
+                }
+            }
+        }
+    };
+    let entry = shared
+        .cache
+        .lock()
+        .ok()
+        .and_then(|mut cache| cache.get(key))?;
+    if entry.canonical != canonical {
+        return None; // hash collision: the worker path solves honestly
+    }
+    let mut info = RequestInfo::new(request_id_for(shared, request));
+    info.endpoint = endpoint.name();
+    info.notion = Some(notion);
+    info.rows = Some(rows);
+    info.cache_hit = Some(true);
+    shared.metrics.observe_notion(notion);
+    shared.metrics.observe_cache(true);
+    let response = ok_response(shared, entry.body.to_string(), "hit", None, &info)
+        .with_header("X-Request-Id", info.request_id.clone());
+    Some((response, info))
 }
 
 /// The client's `X-Request-Id` when it is printable and short enough to
@@ -138,8 +306,53 @@ enum Endpoint {
     Explain,
 }
 
+impl Endpoint {
+    fn name(self) -> &'static str {
+        match self {
+            Endpoint::Repair => "repair",
+            Endpoint::Explain => "explain",
+        }
+    }
+
+    /// Separates the two endpoints' key spaces: they return different
+    /// documents for the same call.
+    fn tag_key(self, key: u64) -> u64 {
+        match self {
+            Endpoint::Repair => key,
+            Endpoint::Explain => key ^ EXPLAIN_KEY_TAG,
+        }
+    }
+}
+
+/// Follower wait when the server caps no solve times: long enough that
+/// only a wedged leader triggers a duplicate solve.
+const UNCAPPED_FLIGHT_WAIT: Duration = Duration::from_secs(600);
+
+/// How long a coalescing follower waits for its leader before giving up
+/// and solving itself. The leader's engine time is bounded by the
+/// clamped budget; the margin covers queueing and serialization.
+fn flight_wait_cap(shared: &Shared) -> Duration {
+    match shared.config.default_time_cap_ms {
+        Some(ms) => Duration::from_millis(ms.saturating_mul(2).saturating_add(5_000)),
+        None => UNCAPPED_FLIGHT_WAIT,
+    }
+}
+
+/// The server's time cap is a ceiling: a request may ask for less,
+/// never for more.
+fn clamp_time_cap(shared: &Shared, request: &mut RepairRequest) {
+    if let Some(server_cap) = shared.config.default_time_cap_ms {
+        let cap = request
+            .budgets
+            .time_cap_ms
+            .map_or(server_cap, |c| c.min(server_cap));
+        request.budgets.time_cap_ms = Some(cap);
+    }
+}
+
 /// `/repair` and `/explain` share everything up to the engine call:
-/// bounded parsing, server-side budget clamping, and the result cache.
+/// bounded parsing, table-ref resolution, server-side budget clamping,
+/// the result cache, and single-flight coalescing.
 ///
 /// With `trace` set, a per-request collector observes the solve and the
 /// 200 response becomes `{"request_id","trace","report"}` where
@@ -148,7 +361,7 @@ enum Endpoint {
 /// the cached body unchanged).
 fn repair(
     shared: &Shared,
-    body: &[u8],
+    request: &Request,
     endpoint: Endpoint,
     trace: bool,
     info: &mut RequestInfo,
@@ -160,88 +373,189 @@ fn repair(
         max_bytes: shared.config.max_body_bytes,
         max_depth: JsonLimits::DEFAULT_MAX_DEPTH,
     };
-    let text = match std::str::from_utf8(body) {
+    let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
         Err(_) => return Response::error(400, "body is not UTF-8"),
     };
-    let mut call = match RepairCall::parse(text, &limits) {
-        Ok(call) => call,
-        Err(WireError { message }) => return Response::error(400, &message),
-    };
-    shared.metrics.observe_notion(call.request.notion);
-    info.notion = Some(call.request.notion);
-    info.rows = Some(call.table.len());
-
-    // The server's time cap is a ceiling: a request may ask for less,
-    // never for more.
-    if let Some(server_cap) = shared.config.default_time_cap_ms {
-        let cap = call
-            .request
-            .budgets
-            .time_cap_ms
-            .map_or(server_cap, |c| c.min(server_cap));
-        call.request.budgets.time_cap_ms = Some(cap);
-    }
-
-    let (key, endpoint_name) = match endpoint {
-        Endpoint::Repair => (call.cache_key(), "repair"),
-        Endpoint::Explain => (call.cache_key() ^ EXPLAIN_KEY_TAG, "explain"),
-    };
-    let cacheable = call.cacheable();
-    // The 64-bit key is a hash; a hit counts only if the entry was
-    // produced by this exact call (canonical forms equal), so a crafted
-    // FNV collision degrades to a miss instead of serving a wrong report.
-    let canonical: Arc<str> = if cacheable {
-        Arc::from(format!("{endpoint_name}\n{}", call.to_json_value()))
-    } else {
-        Arc::from("")
-    };
-    if cacheable {
-        // A poisoned cache lock degrades to a miss: serving uncached is
-        // always correct, panicking on a request path never is.
-        let hit = shared
-            .cache
-            .lock()
-            .ok()
-            .and_then(|mut cache| cache.get(key));
-        match hit {
-            Some(entry) if entry.canonical == canonical => {
-                shared.metrics.observe_cache(true);
-                info.cache_hit = Some(true);
-                return ok_response(shared, entry.body.to_string(), "hit", collector, info);
-            }
-            _ => {
-                shared.metrics.observe_cache(false);
-                info.cache_hit = Some(false);
-            }
+    match ParsedCall::parse(text, &limits) {
+        Err(WireError { message }) => Response::error(400, &message),
+        Ok(ParsedCall::Inline(mut call)) => {
+            shared.metrics.observe_notion(call.request.notion);
+            info.notion = Some(call.request.notion);
+            info.rows = Some(call.table.len());
+            clamp_time_cap(shared, &mut call.request);
+            let key = endpoint.tag_key(call.cache_key());
+            let cacheable = call.cacheable();
+            let canonical: Arc<str> = if cacheable {
+                Arc::from(format!("{}\n{}", endpoint.name(), call.to_json_value()))
+            } else {
+                Arc::from("")
+            };
+            let ctx = SolveCtx {
+                endpoint,
+                table: &call.table,
+                fds: &call.fds,
+                request: &call.request,
+                include_timings: call.include_timings,
+            };
+            solve_and_respond(shared, ctx, cacheable, key, canonical, collector, info)
+        }
+        Ok(ParsedCall::ByRef(mut call)) => {
+            shared.metrics.observe_notion(call.request.notion);
+            info.notion = Some(call.request.notion);
+            let tenant = match tenant_of(request) {
+                Ok(tenant) => tenant,
+                Err(response) => return response,
+            };
+            let Some(stored) = shared.store.get(&tenant, &call.table_ref) else {
+                return store_error_response(&StoreError::NotFound);
+            };
+            info.rows = Some(stored.rows);
+            let schema = stored.table.schema();
+            let fds = match call.resolve_fds(schema) {
+                Ok(fds) => fds,
+                Err(WireError { message }) => return Response::error(400, &message),
+            };
+            clamp_time_cap(shared, &mut call.request);
+            // The key hashes the stored table's fingerprint (O(Δ +
+            // request), never the rows) and the canonical form pins it,
+            // so a deleted-then-reuploaded id can never replay stale
+            // bytes.
+            let key = endpoint.tag_key(call.cache_key(stored.fingerprint, &fds, schema));
+            let cacheable = call.cacheable();
+            let canonical: Arc<str> = if cacheable {
+                Arc::from(format!(
+                    "{}\n{}",
+                    endpoint.name(),
+                    call.canonical(stored.fingerprint, &fds, schema)
+                ))
+            } else {
+                Arc::from("")
+            };
+            let ctx = SolveCtx {
+                endpoint,
+                table: &stored.table,
+                fds: &fds,
+                request: &call.request,
+                include_timings: call.include_timings,
+            };
+            solve_and_respond(shared, ctx, cacheable, key, canonical, collector, info)
         }
     }
+}
 
+/// One resolved call, ready for the engine — the inline and by-ref
+/// paths converge here.
+struct SolveCtx<'a> {
+    endpoint: Endpoint,
+    table: &'a Table,
+    fds: &'a FdSet,
+    request: &'a RepairRequest,
+    include_timings: bool,
+}
+
+/// Cache probe → single-flight → response. The leader inserts into the
+/// LRU *inside* its flight (before completing it), so followers that
+/// arrive after completion hit the cache instead.
+fn solve_and_respond(
+    shared: &Shared,
+    ctx: SolveCtx<'_>,
+    cacheable: bool,
+    key: u64,
+    canonical: Arc<str>,
+    collector: Option<fd_trace::Collector>,
+    info: &mut RequestInfo,
+) -> Response {
+    if !cacheable {
+        let (status, body) = solve_now(shared, &ctx, None, info);
+        return finish_response(shared, status, body, "miss", collector, info);
+    }
+    // The 64-bit key is a hash; a hit counts only if the entry was
+    // produced by this exact call (canonical forms equal), so a crafted
+    // FNV collision degrades to a miss instead of serving a wrong
+    // report. A poisoned cache lock degrades to a miss too: serving
+    // uncached is always correct, panicking on a request path never is.
+    let hit = shared
+        .cache
+        .lock()
+        .ok()
+        .and_then(|mut cache| cache.get(key));
+    if let Some(entry) = hit {
+        if entry.canonical == canonical {
+            shared.metrics.observe_cache(true);
+            info.cache_hit = Some(true);
+            return ok_response(shared, entry.body.to_string(), "hit", collector, info);
+        }
+    }
+    let canonical_for_insert = Arc::clone(&canonical);
+    let outcome = shared
+        .single_flight
+        .run(key, &canonical, flight_wait_cap(shared), || {
+            let (status, body) = solve_now(shared, &ctx, Some((key, canonical_for_insert)), info);
+            crate::FlightResult {
+                status,
+                body: Arc::from(body.as_str()),
+            }
+        });
+    // Cache accounting happens after the flight so the invariant reads
+    // hits + misses + coalesced = cacheable calls: exactly the calls
+    // that solved count as misses.
+    let (result, cache_state) = match outcome {
+        crate::Outcome::Led(result) => {
+            shared.metrics.observe_cache(false);
+            info.cache_hit = Some(false);
+            (result, "miss")
+        }
+        crate::Outcome::Coalesced(result) => {
+            shared.metrics.observe_coalesced();
+            info.cache_hit = Some(false);
+            (result, "coalesced")
+        }
+    };
+    finish_response(
+        shared,
+        result.status,
+        result.body.to_string(),
+        cache_state,
+        collector,
+        info,
+    )
+}
+
+/// Runs the engine once and returns `(status, body)`. On success the
+/// body is inserted under `cache_slot` *before* returning, which is
+/// what lets a completing flight hand late arrivals to the cache.
+fn solve_now(
+    shared: &Shared,
+    ctx: &SolveCtx<'_>,
+    cache_slot: Option<(u64, Arc<str>)>,
+    info: &mut RequestInfo,
+) -> (u16, String) {
     let solve_start = Instant::now();
-    let result = match endpoint {
+    let result = match ctx.endpoint {
         Endpoint::Repair => Planner
-            .run(&call.table, &call.fds, &call.request)
+            .run(ctx.table, ctx.fds, ctx.request)
             .map(|mut report| {
                 info.components = report.components.as_ref().map(|c| c.count);
-                if !call.include_timings {
+                if !ctx.include_timings {
                     report.timings = Timings::default();
                 }
                 report.to_json()
             }),
         Endpoint::Explain => Planner
-            .plan(&call.table, &call.fds, &call.request)
+            .plan(ctx.table, ctx.fds, ctx.request)
             .map(|plan| plan.to_json_value().to_string()),
     };
     info.solve_us = solve_start.elapsed().as_micros() as u64;
     shared
         .metrics
-        .observe_notion_latency(call.request.notion, info.solve_us);
+        .observe_notion_latency(ctx.request.notion, info.solve_us);
     if let Some(count) = info.components {
         shared.metrics.observe_components(count as u64);
     }
     match result {
         Ok(body) => {
-            if cacheable {
+            if let Some((key, canonical)) = cache_slot {
                 // Skip the insert if the lock is poisoned — losing a
                 // cache entry is harmless. The cache stores the bare
                 // report bytes; the trace envelope is never cached.
@@ -255,9 +569,28 @@ fn repair(
                     );
                 }
             }
-            ok_response(shared, body, "miss", collector, info)
+            (200, body)
         }
-        Err(e) => engine_error_response(&e, call.request.notion),
+        Err(e) => engine_error_body(&e, ctx.request.notion),
+    }
+}
+
+/// 200s get the cache-state header and (with a collector) the trace
+/// envelope; error bodies ship as-is — identical deterministic calls
+/// fail identically, so a replayed error is as correct as a replayed
+/// report.
+fn finish_response(
+    shared: &Shared,
+    status: u16,
+    body: String,
+    cache_state: &'static str,
+    collector: Option<fd_trace::Collector>,
+    info: &RequestInfo,
+) -> Response {
+    if status == 200 {
+        ok_response(shared, body, cache_state, collector, info)
+    } else {
+        Response::json(status, body)
     }
 }
 
@@ -291,7 +624,7 @@ fn ok_response(
 
 /// Engine failures are the client's problem (4xx), each with a stable
 /// `kind` so clients can branch without parsing prose.
-fn engine_error_response(e: &EngineError, notion: Notion) -> Response {
+fn engine_error_body(e: &EngineError, notion: Notion) -> (u16, String) {
     use fd_engine::Json;
     let (status, kind) = match e {
         EngineError::InvalidRequest(_) => (400, "invalid_request"),
@@ -306,6 +639,155 @@ fn engine_error_response(e: &EngineError, notion: Notion) -> Response {
         ("kind", Json::str(kind)),
         ("notion", Json::str(notion.name())),
     ]);
+    (status, doc.to_string())
+}
+
+/// Charset shared by tenant names and table ids: 1–64 chars of
+/// `[A-Za-z0-9._-]` — safe to embed in paths, logs, and JSON verbatim.
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_REQUEST_ID_LEN
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.'))
+}
+
+/// The tenant namespace for stored tables: the sanitized `X-Tenant`
+/// header, defaulting to `public`. A malformed header is a 400, never a
+/// silent merge into someone else's namespace.
+fn tenant_of(request: &Request) -> Result<String, Response> {
+    match request.header("x-tenant") {
+        None => Ok("public".to_string()),
+        Some(tenant) if valid_name(tenant) => Ok(tenant.to_string()),
+        Some(_) => Err(Response::error(
+            400,
+            "X-Tenant must be 1-64 chars of [A-Za-z0-9._-]",
+        )),
+    }
+}
+
+/// `PUT`/`GET`/`DELETE /tables/{id}`: tables at rest.
+fn tables(shared: &Shared, request: &Request, path: &str, info: &mut RequestInfo) -> Response {
+    let id = match path.strip_prefix("/tables/") {
+        Some(id) if valid_name(id) => id,
+        Some(_) => return Response::error(400, "table ids are 1-64 chars of [A-Za-z0-9._-]"),
+        None => return Response::error(404, "tables live under /tables/{id}"),
+    };
+    let tenant = match tenant_of(request) {
+        Ok(tenant) => tenant,
+        Err(response) => return response,
+    };
+    match request.method.as_str() {
+        "PUT" => put_table(shared, request, &tenant, id, info),
+        "GET" => get_table(shared, &tenant, id, info),
+        "DELETE" => delete_table(shared, &tenant, id),
+        _ => Response::error(405, "wrong method for this path"),
+    }
+}
+
+fn put_table(
+    shared: &Shared,
+    request: &Request,
+    tenant: &str,
+    id: &str,
+    info: &mut RequestInfo,
+) -> Response {
+    use fd_engine::Json;
+    let limits = JsonLimits {
+        max_bytes: shared.config.max_body_bytes,
+        max_depth: JsonLimits::DEFAULT_MAX_DEPTH,
+    };
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return Response::error(400, "body is not UTF-8"),
+    };
+    let table = match parse_table_doc(text, &limits) {
+        Ok(table) => table,
+        Err(WireError { message }) => return Response::error(400, &message),
+    };
+    info.rows = Some(table.len());
+    // Fingerprinted once at PUT; every by-ref call keys off this value
+    // instead of rehashing rows.
+    let fingerprint = table_fingerprint(&table);
+    match shared.store.put(tenant, id, table, fingerprint) {
+        Ok(stored) => {
+            shared.metrics.table_stored();
+            let doc = Json::obj([
+                ("stored", Json::str(id)),
+                ("tenant", Json::str(tenant)),
+                ("rows", Json::Num(stored.rows as f64)),
+                (
+                    "fingerprint",
+                    Json::str(format!("{:016x}", stored.fingerprint)),
+                ),
+            ]);
+            Response::json(201, doc.to_string())
+        }
+        Err(e) => store_error_response(&e),
+    }
+}
+
+fn get_table(shared: &Shared, tenant: &str, id: &str, info: &mut RequestInfo) -> Response {
+    use fd_engine::Json;
+    match shared.store.get(tenant, id) {
+        Some(stored) => {
+            info.rows = Some(stored.rows);
+            let doc = Json::obj([
+                ("id", Json::str(id)),
+                ("tenant", Json::str(tenant)),
+                ("rows", Json::Num(stored.rows as f64)),
+                (
+                    "fingerprint",
+                    Json::str(format!("{:016x}", stored.fingerprint)),
+                ),
+            ]);
+            Response::json(200, doc.to_string())
+        }
+        None => store_error_response(&StoreError::NotFound),
+    }
+}
+
+fn delete_table(shared: &Shared, tenant: &str, id: &str) -> Response {
+    use fd_engine::Json;
+    match shared.store.remove(tenant, id) {
+        Ok(stored) => {
+            shared.metrics.table_removed();
+            let doc = Json::obj([
+                ("deleted", Json::str(id)),
+                ("rows", Json::Num(stored.rows as f64)),
+            ]);
+            Response::json(200, doc.to_string())
+        }
+        Err(e) => store_error_response(&e),
+    }
+}
+
+/// Store failures, each with a stable `kind` like the engine errors.
+fn store_error_response(e: &StoreError) -> Response {
+    use fd_engine::Json;
+    let (status, kind, message) = match e {
+        StoreError::Exists => (
+            409,
+            "table_exists",
+            "this id already holds a table; ids are immutable, DELETE it first".to_string(),
+        ),
+        StoreError::TableQuota { limit } => (
+            413,
+            "quota_exceeded",
+            format!("tenant is at its quota of {limit} stored tables"),
+        ),
+        StoreError::RowQuota { limit } => (
+            413,
+            "quota_exceeded",
+            format!("storing this table would exceed the tenant's quota of {limit} rows at rest"),
+        ),
+        StoreError::NotFound => (
+            404,
+            "unknown_table_ref",
+            "no table stored under this id for this tenant".to_string(),
+        ),
+    };
+    let doc = Json::obj([("error", Json::str(message)), ("kind", Json::str(kind))]);
     Response::json(status, doc.to_string())
 }
 
@@ -573,6 +1055,252 @@ mod tests {
         assert_eq!(resp.status, 200);
         let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
         assert!(doc.get("trace").is_none(), "trace=0 must not wrap");
+    }
+
+    /// The OFFICE instance as a bare table document for `PUT
+    /// /tables/{id}` (same rows, no fds/request).
+    const OFFICE_TABLE: &str = r#"{
+        "relation": "Office",
+        "attrs": ["facility", "room", "floor", "city"],
+        "rows": [
+            {"weight": 2, "values": ["HQ", 322, 3, "Paris"]},
+            {"weight": 1, "values": ["HQ", 322, 30, "Madrid"]},
+            {"weight": 1, "values": ["HQ", 122, 1, "Madrid"]},
+            {"weight": 2, "values": ["Lab1", "B35", 3, "London"]}
+        ]
+    }"#;
+
+    const OFFICE_BY_REF: &str = r#"{
+        "table_ref": "office",
+        "fds": "facility -> city; facility room -> floor",
+        "request": {"include_timings": false}
+    }"#;
+
+    fn send(
+        shared: &Shared,
+        method: &str,
+        path: &str,
+        body: &str,
+        headers: &[(&str, &str)],
+    ) -> (Response, RequestInfo) {
+        let request = Request {
+            method: method.into(),
+            path: path.into(),
+            headers: headers
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            body: body.as_bytes().to_vec(),
+        };
+        handle(shared, &request)
+    }
+
+    fn kind_of(response: &Response) -> Option<String> {
+        let doc = Json::parse(std::str::from_utf8(&response.body).ok()?).ok()?;
+        Some(doc.get("kind")?.as_str()?.to_string())
+    }
+
+    #[test]
+    fn tables_put_ref_delete_round_trip_matches_inline_bytes() {
+        let shared = shared();
+        let inline = post(&shared, "/repair", OFFICE);
+        assert_eq!(inline.status, 200);
+
+        let (put, info) = send(&shared, "PUT", "/tables/office", OFFICE_TABLE, &[]);
+        assert_eq!(put.status, 201, "{}", String::from_utf8_lossy(&put.body));
+        assert_eq!(info.endpoint, "tables");
+        assert_eq!(info.rows, Some(4));
+        let doc = Json::parse(std::str::from_utf8(&put.body).unwrap()).unwrap();
+        assert_eq!(doc.get("rows").unwrap().as_num(), Some(4.0));
+        let fingerprint = doc
+            .get("fingerprint")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+
+        let meta = send(&shared, "GET", "/tables/office", "", &[]).0;
+        assert_eq!(meta.status, 200);
+        let doc = Json::parse(std::str::from_utf8(&meta.body).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("fingerprint").unwrap().as_str(),
+            Some(&fingerprint[..])
+        );
+
+        // The by-ref call returns the *exact* bytes of the inline call:
+        // same table, same Δ, same request → same report.
+        let (by_ref, info) = send(&shared, "POST", "/repair", OFFICE_BY_REF, &[]);
+        assert_eq!(by_ref.status, 200);
+        assert_eq!(by_ref.body, inline.body, "by-ref must replay inline bytes");
+        assert_eq!(info.rows, Some(4));
+        // …but caches under its own (fingerprint-based) key: this was a
+        // miss, not a hit on the inline entry.
+        assert_eq!(header(&by_ref, "X-Fd-Cache"), Some("miss"));
+        let again = send(&shared, "POST", "/repair", OFFICE_BY_REF, &[]).0;
+        assert_eq!(header(&again, "X-Fd-Cache"), Some("hit"));
+        assert_eq!(again.body, inline.body);
+
+        let deleted = send(&shared, "DELETE", "/tables/office", "", &[]).0;
+        assert_eq!(deleted.status, 200);
+        let gone = send(&shared, "POST", "/repair", OFFICE_BY_REF, &[]).0;
+        assert_eq!(gone.status, 404);
+        assert_eq!(kind_of(&gone).as_deref(), Some("unknown_table_ref"));
+
+        let metrics = shared.metrics.render();
+        assert!(metrics.contains("fd_serve_tables_stored 0"), "{metrics}");
+    }
+
+    #[test]
+    fn table_errors_carry_stable_kinds_and_statuses() {
+        let config = ServeConfig {
+            max_tables_per_tenant: 1,
+            max_rows_per_tenant: 100,
+            ..ServeConfig::default()
+        };
+        let shared = Shared::new(config);
+        assert_eq!(
+            send(&shared, "PUT", "/tables/t1", OFFICE_TABLE, &[])
+                .0
+                .status,
+            201
+        );
+
+        // Ids are immutable: re-PUT is a conflict, not an overwrite.
+        let dup = send(&shared, "PUT", "/tables/t1", OFFICE_TABLE, &[]).0;
+        assert_eq!(dup.status, 409);
+        assert_eq!(kind_of(&dup).as_deref(), Some("table_exists"));
+
+        // Second id for the same tenant: over the table quota.
+        let over = send(&shared, "PUT", "/tables/t2", OFFICE_TABLE, &[]).0;
+        assert_eq!(over.status, 413);
+        assert_eq!(kind_of(&over).as_deref(), Some("quota_exceeded"));
+
+        // Malformed pieces: bad id, bad tenant, bad body, bad method.
+        assert_eq!(
+            send(&shared, "PUT", "/tables/a b", OFFICE_TABLE, &[])
+                .0
+                .status,
+            400
+        );
+        assert_eq!(send(&shared, "GET", "/tables", "", &[]).0.status, 404);
+        let bad_tenant = send(
+            &shared,
+            "PUT",
+            "/tables/x",
+            OFFICE_TABLE,
+            &[("x-tenant", "a b")],
+        )
+        .0;
+        assert_eq!(bad_tenant.status, 400);
+        assert_eq!(send(&shared, "PUT", "/tables/x", "{", &[]).0.status, 400);
+        assert_eq!(
+            send(&shared, "POST", "/tables/x", OFFICE_TABLE, &[])
+                .0
+                .status,
+            405
+        );
+        assert_eq!(
+            send(&shared, "GET", "/tables/missing", "", &[]).0.status,
+            404
+        );
+        assert_eq!(
+            send(&shared, "DELETE", "/tables/missing", "", &[]).0.status,
+            404
+        );
+
+        // A by-ref call rejecting inline fields is a parse error.
+        let mixed = post(
+            &shared,
+            "/repair",
+            r#"{"table_ref": "t1", "attrs": ["A"], "rows": [[1]]}"#,
+        );
+        assert_eq!(mixed.status, 400);
+    }
+
+    #[test]
+    fn tenants_resolve_refs_in_their_own_namespace() {
+        let shared = shared();
+        let put = send(
+            &shared,
+            "PUT",
+            "/tables/office",
+            OFFICE_TABLE,
+            &[("x-tenant", "acme")],
+        )
+        .0;
+        assert_eq!(put.status, 201);
+        // Another tenant (the default, here) cannot see acme's table…
+        let other = send(&shared, "POST", "/repair", OFFICE_BY_REF, &[]).0;
+        assert_eq!(other.status, 404);
+        assert_eq!(
+            send(&shared, "GET", "/tables/office", "", &[]).0.status,
+            404
+        );
+        // …while acme can solve against it.
+        let own = send(
+            &shared,
+            "POST",
+            "/repair",
+            OFFICE_BY_REF,
+            &[("x-tenant", "acme")],
+        )
+        .0;
+        assert_eq!(own.status, 200, "{}", String::from_utf8_lossy(&own.body));
+    }
+
+    #[test]
+    fn invalid_ref_fds_are_400_against_the_stored_schema() {
+        let shared = shared();
+        assert_eq!(
+            send(&shared, "PUT", "/tables/office", OFFICE_TABLE, &[])
+                .0
+                .status,
+            201
+        );
+        let resp = post(
+            &shared,
+            "/repair",
+            r#"{"table_ref": "office", "fds": "nope -> city"}"#,
+        );
+        assert_eq!(resp.status, 400);
+        assert!(String::from_utf8_lossy(&resp.body).contains("fds"));
+    }
+
+    #[test]
+    fn concurrent_identical_calls_solve_once_and_share_bytes() {
+        let shared = Arc::new(shared());
+        let n = 8;
+        let results: Vec<Response> = {
+            let handles: Vec<_> = (0..n)
+                .map(|_| {
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || post(&shared, "/repair", OFFICE))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        };
+        let first = &results[0];
+        assert_eq!(first.status, 200);
+        for r in &results {
+            assert_eq!(r.body, first.body, "every caller gets the same bytes");
+        }
+        // Exactly one solve: whoever probes during the flight coalesces,
+        // whoever probes after it hits the cache. Either way the miss
+        // count — calls that actually solved — is one.
+        let metrics = shared.metrics.render();
+        assert!(metrics.contains("fd_serve_cache_misses 1"), "{metrics}");
+        let count = |name: &str| -> u64 {
+            metrics
+                .lines()
+                .find_map(|l| l.strip_prefix(name))
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(0)
+        };
+        assert_eq!(
+            count("fd_serve_cache_hits ") + count("fd_serve_coalesced_total ") + 1,
+            n as u64,
+            "{metrics}"
+        );
     }
 
     #[test]

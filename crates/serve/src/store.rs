@@ -1,0 +1,243 @@
+//! Tables at rest: the server-side store behind `PUT /tables/{id}`.
+//!
+//! A stored table is parsed and interned **once**, fingerprinted once
+//! ([`fd_engine::table_fingerprint`]), and then shared by reference
+//! (`Arc`) with every `/repair` / `/explain` call that names it — a
+//! by-reference call costs O(Δ + request) to key and zero bytes of
+//! table upload. Ids are namespaced per tenant (the sanitized
+//! `X-Tenant` header, defaulting to `public`): tenants can neither read
+//! nor collide with each other's tables.
+//!
+//! Quotas are counted per tenant in both tables and total rows, checked
+//! *before* insertion, and released on delete; overflow is a 413 at the
+//! router, never an unbounded allocation here.
+
+use fd_core::Table;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// One table at rest, immutable once stored.
+pub struct StoredTable {
+    /// The interned table, shared by reference with every call.
+    pub table: Table,
+    /// [`fd_engine::table_fingerprint`], computed once at `PUT`.
+    pub fingerprint: u64,
+    /// Row count (denormalized for quota accounting and metadata).
+    pub rows: usize,
+}
+
+/// Why a store operation failed; the router maps each to one response.
+#[derive(Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// `PUT` on an id the tenant already stored → 409.
+    Exists,
+    /// The tenant is at its table-count quota → 413.
+    TableQuota {
+        /// The configured per-tenant table limit.
+        limit: usize,
+    },
+    /// Storing this table would exceed the tenant's row quota → 413.
+    RowQuota {
+        /// The configured per-tenant total-row limit.
+        limit: usize,
+    },
+    /// No such table under this tenant → 404.
+    NotFound,
+}
+
+#[derive(Default)]
+struct TenantUsage {
+    tables: usize,
+    rows: usize,
+}
+
+#[derive(Default)]
+struct StoreInner {
+    /// Keyed by `(tenant, id)` — ids are per-tenant namespaces.
+    tables: HashMap<(String, String), Arc<StoredTable>>,
+    usage: HashMap<String, TenantUsage>,
+}
+
+/// The concurrent table store. One mutex over a HashMap: every
+/// operation is O(1)-ish and touches no IO, so contention is
+/// negligible next to request parsing.
+pub struct TableStore {
+    max_tables_per_tenant: usize,
+    max_rows_per_tenant: usize,
+    inner: Mutex<StoreInner>,
+}
+
+impl TableStore {
+    /// A store enforcing the given per-tenant quotas (`0` = unlimited).
+    pub fn new(max_tables_per_tenant: usize, max_rows_per_tenant: usize) -> TableStore {
+        TableStore {
+            max_tables_per_tenant,
+            max_rows_per_tenant,
+            inner: Mutex::new(StoreInner::default()),
+        }
+    }
+
+    /// Stores `table` under `(tenant, id)`. Quotas are checked first;
+    /// a duplicate id is a conflict (delete it first — immutable ids
+    /// keep cached by-reference responses trivially correct).
+    pub fn put(
+        &self,
+        tenant: &str,
+        id: &str,
+        table: Table,
+        fingerprint: u64,
+    ) -> Result<Arc<StoredTable>, StoreError> {
+        let rows = table.len();
+        let mut inner = match self.inner.lock() {
+            Ok(inner) => inner,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if inner
+            .tables
+            .contains_key(&(tenant.to_string(), id.to_string()))
+        {
+            return Err(StoreError::Exists);
+        }
+        let usage = inner.usage.entry(tenant.to_string()).or_default();
+        if self.max_tables_per_tenant > 0 && usage.tables >= self.max_tables_per_tenant {
+            return Err(StoreError::TableQuota {
+                limit: self.max_tables_per_tenant,
+            });
+        }
+        if self.max_rows_per_tenant > 0 && usage.rows + rows > self.max_rows_per_tenant {
+            return Err(StoreError::RowQuota {
+                limit: self.max_rows_per_tenant,
+            });
+        }
+        usage.tables += 1;
+        usage.rows += rows;
+        let stored = Arc::new(StoredTable {
+            table,
+            fingerprint,
+            rows,
+        });
+        inner
+            .tables
+            .insert((tenant.to_string(), id.to_string()), Arc::clone(&stored));
+        Ok(stored)
+    }
+
+    /// The table stored under `(tenant, id)`, if any.
+    pub fn get(&self, tenant: &str, id: &str) -> Option<Arc<StoredTable>> {
+        let inner = match self.inner.lock() {
+            Ok(inner) => inner,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        inner
+            .tables
+            .get(&(tenant.to_string(), id.to_string()))
+            .cloned()
+    }
+
+    /// Removes `(tenant, id)` and releases its quota.
+    pub fn remove(&self, tenant: &str, id: &str) -> Result<Arc<StoredTable>, StoreError> {
+        let mut inner = match self.inner.lock() {
+            Ok(inner) => inner,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let stored = inner
+            .tables
+            .remove(&(tenant.to_string(), id.to_string()))
+            .ok_or(StoreError::NotFound)?;
+        if let Some(usage) = inner.usage.get_mut(tenant) {
+            usage.tables = usage.tables.saturating_sub(1);
+            usage.rows = usage.rows.saturating_sub(stored.rows);
+        }
+        Ok(stored)
+    }
+
+    /// Total tables at rest, across all tenants (the
+    /// `fd_serve_tables_stored` gauge).
+    pub fn stored_count(&self) -> usize {
+        match self.inner.lock() {
+            Ok(inner) => inner.tables.len(),
+            Err(poisoned) => poisoned.into_inner().tables.len(),
+        }
+    }
+
+    /// This tenant's current usage: `(tables, rows)`.
+    pub fn usage(&self, tenant: &str) -> (usize, usize) {
+        let inner = match self.inner.lock() {
+            Ok(inner) => inner,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        inner
+            .usage
+            .get(tenant)
+            .map(|u| (u.tables, u.rows))
+            .unwrap_or((0, 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::{Schema, Tuple, Value};
+
+    fn table(rows: usize) -> Table {
+        let schema = Schema::new("T", ["A"]).unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..rows {
+            t.push(Tuple::new(vec![Value::Int(i as i64)]), 1.0).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn put_get_remove_round_trip_with_quota_release() {
+        let store = TableStore::new(2, 100);
+        let stored = store.put("acme", "t1", table(3), 7).unwrap();
+        assert_eq!(stored.rows, 3);
+        assert_eq!(stored.fingerprint, 7);
+        assert_eq!(store.usage("acme"), (1, 3));
+        assert_eq!(store.get("acme", "t1").unwrap().fingerprint, 7);
+        assert_eq!(store.stored_count(), 1);
+
+        assert_eq!(
+            store.put("acme", "t1", table(1), 8).err(),
+            Some(StoreError::Exists)
+        );
+        store.remove("acme", "t1").unwrap();
+        assert_eq!(store.usage("acme"), (0, 0));
+        assert_eq!(store.remove("acme", "t1").err(), Some(StoreError::NotFound));
+        // After the delete, the id is free again.
+        store.put("acme", "t1", table(1), 8).unwrap();
+    }
+
+    #[test]
+    fn quotas_bound_tables_and_rows_per_tenant() {
+        let store = TableStore::new(2, 10);
+        store.put("acme", "a", table(4), 0).unwrap();
+        store.put("acme", "b", table(4), 0).unwrap();
+        assert_eq!(
+            store.put("acme", "c", table(1), 0).err(),
+            Some(StoreError::TableQuota { limit: 2 })
+        );
+        // Another tenant's quota is untouched.
+        store.put("rival", "a", table(9), 0).unwrap();
+        assert_eq!(
+            store.put("rival", "b", table(2), 0).err(),
+            Some(StoreError::RowQuota { limit: 10 })
+        );
+        // A failed put must not leak quota.
+        assert_eq!(store.usage("rival"), (1, 9));
+        store.put("rival", "b", table(1), 0).unwrap();
+    }
+
+    #[test]
+    fn tenants_are_isolated_namespaces() {
+        let store = TableStore::new(0, 0);
+        store.put("a", "shared-id", table(1), 1).unwrap();
+        assert!(store.get("b", "shared-id").is_none());
+        store.put("b", "shared-id", table(2), 2).unwrap();
+        assert_eq!(store.get("a", "shared-id").unwrap().fingerprint, 1);
+        assert_eq!(store.get("b", "shared-id").unwrap().fingerprint, 2);
+        assert_eq!(store.remove("b", "shared-id").unwrap().fingerprint, 2);
+        assert!(store.get("a", "shared-id").is_some());
+    }
+}

@@ -119,3 +119,74 @@ fn cached_responses_are_byte_identical_to_uncached_ones() {
     let _ = client::get(addr, "/healthz");
     handle.join().expect("server thread").expect("clean run");
 }
+
+/// Splits a rendered inline call into the table document `PUT
+/// /tables/{id}` stores and the by-reference body that names it.
+fn table_doc_and_ref_body(call: &RepairCall, id: &str) -> (String, String) {
+    use fd_engine::Json;
+    let full = call.to_json_value();
+    let mut table_fields: Vec<(&'static str, Json)> = Vec::new();
+    if let Some(relation) = full.get("relation") {
+        table_fields.push(("relation", relation.clone()));
+    }
+    table_fields.push(("attrs", full.get("attrs").expect("attrs").clone()));
+    table_fields.push(("rows", full.get("rows").expect("rows").clone()));
+    let mut ref_fields: Vec<(&'static str, Json)> = vec![("table_ref", Json::str(id))];
+    if let Some(fds) = full.get("fds") {
+        ref_fields.push(("fds", fds.clone()));
+    }
+    if let Some(request) = full.get("request") {
+        ref_fields.push(("request", request.clone()));
+    }
+    (
+        Json::obj(table_fields).to_string(),
+        Json::obj(ref_fields).to_string(),
+    )
+}
+
+#[test]
+fn by_ref_calls_replay_the_inline_bytes_exactly() {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        cache_entries: 128,
+        ..ServeConfig::default()
+    })
+    .expect("ephemeral bind");
+    let addr = server.local_addr().unwrap();
+    let flag = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.run());
+
+    for seed in 200..215u64 {
+        let call = random_call(seed);
+        let id = format!("t{seed}");
+        let (table_doc, ref_body) = table_doc_and_ref_body(&call, &id);
+        let put = client::request(addr, "PUT", &format!("/tables/{id}"), Some(&table_doc))
+            .expect("put table");
+        assert_eq!(put.status, 201, "seed {seed}: {}", put.body);
+
+        let inline = client::post(addr, "/repair", &call.to_json_value().to_string())
+            .expect("inline request");
+        assert_eq!(inline.status, 200, "seed {seed}: {}", inline.body);
+        let by_ref = client::post(addr, "/repair", &ref_body).expect("by-ref request");
+        assert_eq!(by_ref.status, 200, "seed {seed}: {}", by_ref.body);
+        assert_eq!(
+            inline.body, by_ref.body,
+            "seed {seed}: a by-ref call must replay the inline bytes"
+        );
+        // The replay (now a cache hit under the ref key) stays identical,
+        // and both match the direct engine run.
+        let replay = client::post(addr, "/repair", &ref_body).expect("by-ref replay");
+        assert_eq!(replay.header("x-fd-cache"), Some("hit"), "seed {seed}");
+        assert_eq!(replay.body, by_ref.body, "seed {seed}");
+        let mut report = Planner
+            .run(&call.table, &call.fds, &call.request)
+            .expect("generated calls are solvable");
+        report.timings = Timings::default();
+        assert_eq!(by_ref.body, report.to_json(), "seed {seed}");
+    }
+
+    flag.store(true, std::sync::atomic::Ordering::SeqCst);
+    let _ = client::get(addr, "/healthz");
+    handle.join().expect("server thread").expect("clean run");
+}

@@ -35,7 +35,8 @@ const USAGE: &str = "\
 usage: fdrepair <command> <file.fdr> [options]
        fdrepair <command> <file.csv> --fds \"A -> B; B -> C\" [--weight <column>]
        fdrepair serve [--addr <ip:port>] [--threads <n>] [--cache-entries <n>]
-                      [--max-body-bytes <n>]
+                      [--max-body-bytes <n>] [--max-connections <n>]
+                      [--table-quota <n>] [--table-rows-quota <n>]
        fdrepair fuzz [--notion <s|u|mixed|mpd>] [--cases <n>] [--seed <n>]
                      [--max-rows <n>]
        fdrepair gen <out.fdr> --rows <n> [--workload <tractable|hard>] [--seed <n>]
@@ -50,7 +51,8 @@ commands:
   mpd         alias of `repair --notion mpd`
   count       number of (optimal) subset repairs
   sample      uniformly random subset repair (chain Δ only)
-  serve       HTTP service: POST /repair, POST /explain, GET /healthz, /metrics
+  serve       HTTP service: POST /repair, POST /explain, PUT/GET/DELETE
+              /tables/{id}, GET /healthz, /metrics
   fuzz        differential fuzzing: random instances, engine vs brute-force
               oracle; divergences shrink to a .fdr counterexample (exit 1)
   gen         write a deterministic synthetic instance (fd-gen scale
@@ -91,6 +93,15 @@ options:
   --max-body-bytes <n> serve: largest accepted request body
   --no-access-log      serve: silence the per-request JSON access log
                        (one line per request on stderr, shed 503s included)
+  --max-connections <n>
+                       serve: open sockets the event loop holds at once;
+                       beyond it new connections are closed (0 = 1024)
+  --table-quota <n>    serve: stored tables allowed per tenant via
+                       PUT /tables/{id} (0 = unlimited)
+  --table-rows-quota <n>
+                       serve: total rows at rest per tenant (0 = unlimited)
+  --portable-poller    serve: use the portable tick-based poller even
+                       where epoll is available (debug/CI aid)
   --rows <n>           gen: rows to generate (default 100000)
   --workload <name>    gen: tractable (K -> A B) or hard (A -> C; B -> C)
   -h, --help           print this help
@@ -124,6 +135,10 @@ struct Cli {
     trace: Option<String>,
     no_timings: bool,
     no_access_log: bool,
+    max_connections: Option<usize>,
+    table_quota: Option<usize>,
+    table_rows_quota: Option<usize>,
+    portable_poller: bool,
     rows: Option<usize>,
     workload: Option<String>,
 }
@@ -171,6 +186,10 @@ fn parse_args(args: &[String]) -> CliOutcome {
         trace: None,
         no_timings: false,
         no_access_log: false,
+        max_connections: None,
+        table_quota: None,
+        table_rows_quota: None,
+        portable_poller: false,
         rows: None,
         workload: None,
     };
@@ -310,6 +329,31 @@ fn parse_args(args: &[String]) -> CliOutcome {
             },
             "--no-timings" => cli.no_timings = true,
             "--no-access-log" => cli.no_access_log = true,
+            "--portable-poller" => cli.portable_poller = true,
+            "--max-connections" => match value("--max-connections").map(|v| v.parse::<usize>()) {
+                Some(Ok(v)) => cli.max_connections = Some(v),
+                Some(Err(_)) => {
+                    eprintln!("fdrepair: --max-connections needs an integer\n{USAGE}");
+                    return CliOutcome::Usage;
+                }
+                None => return CliOutcome::Usage,
+            },
+            "--table-quota" => match value("--table-quota").map(|v| v.parse::<usize>()) {
+                Some(Ok(v)) => cli.table_quota = Some(v),
+                Some(Err(_)) => {
+                    eprintln!("fdrepair: --table-quota needs an integer\n{USAGE}");
+                    return CliOutcome::Usage;
+                }
+                None => return CliOutcome::Usage,
+            },
+            "--table-rows-quota" => match value("--table-rows-quota").map(|v| v.parse::<usize>()) {
+                Some(Ok(v)) => cli.table_rows_quota = Some(v),
+                Some(Err(_)) => {
+                    eprintln!("fdrepair: --table-rows-quota needs an integer\n{USAGE}");
+                    return CliOutcome::Usage;
+                }
+                None => return CliOutcome::Usage,
+            },
             "--rows" => match value("--rows").map(|v| v.parse::<usize>()) {
                 Some(Ok(v)) => cli.rows = Some(v),
                 Some(Err(_)) => {
@@ -683,6 +727,10 @@ fn serve(cli: &Cli) -> ExitCode {
         cache_entries: cli.cache_entries.unwrap_or(defaults.cache_entries),
         max_body_bytes: cli.max_body_bytes.unwrap_or(defaults.max_body_bytes),
         access_log: !cli.no_access_log,
+        max_connections: cli.max_connections.unwrap_or(defaults.max_connections),
+        max_tables_per_tenant: cli.table_quota.unwrap_or(defaults.max_tables_per_tenant),
+        max_rows_per_tenant: cli.table_rows_quota.unwrap_or(defaults.max_rows_per_tenant),
+        portable_poller: cli.portable_poller || defaults.portable_poller,
         ..defaults
     };
     let server = match fd_serve::Server::bind(config) {
@@ -701,10 +749,11 @@ fn serve(cli: &Cli) -> ExitCode {
     };
     fd_serve::install_signal_handlers();
     println!("fdrepair: serving repairs on http://{addr} (ctrl-c to stop)");
-    println!("  POST /repair    engine-JSON RepairRequest + instance → RepairReport");
-    println!("  POST /explain   the same body → the plan, nothing solved");
-    println!("  GET  /healthz   liveness");
-    println!("  GET  /metrics   counters and latency quantiles");
+    println!("  POST /repair       engine-JSON RepairRequest + instance → RepairReport");
+    println!("  POST /explain      the same body → the plan, nothing solved");
+    println!("  PUT  /tables/{{id}}  store a table; repair it later via \"table_ref\"");
+    println!("  GET  /healthz      liveness");
+    println!("  GET  /metrics      counters and latency quantiles");
     match server.run() {
         Ok(()) => {
             println!("fdrepair: shutdown complete");
