@@ -26,6 +26,18 @@
 //!   every FD via [`fd_core::KeyExtractor`] over the symbol columns
 //!   (the inner loop of the grouped conflict scan).
 //!
+//! After the ladder, the incremental tier measures a primed
+//! [`fd_engine::IncrementalSession`] on the tractable workload:
+//!
+//! * `incremental/single_row_mutation/1000000` — one cell edit on a
+//!   live 1M-row session, repair kept current by delta maintenance.
+//!   The committed entry must stay ≥ 100× under
+//!   `subset/tractable/1000000` (asserted by a test in `bench_guard`);
+//! * `incremental/report_splice/1000000` — materializing the full
+//!   spliced report after a mutation (O(rows) answer assembly);
+//! * `incremental/trace_replay/100000` — a 1 000-step cell-edit trace
+//!   plus one final report on a 100k-row session.
+//!
 //! The summary also records `mem/peak_rss_per_row/1000000`: the
 //! process peak RSS (`VmHWM`) divided by the ladder's top row count,
 //! in bytes per row. `bench_guard` gates it raw (never calibrated —
@@ -182,6 +194,80 @@ fn write_summary() {
                     }
                 }
                 black_box(acc);
+            }),
+        );
+    }
+    // The incremental tier: a primed IncrementalSession absorbing
+    // mutations on the tractable workload — the "maintained service"
+    // regime where every edit used to cost a full re-solve.
+    //
+    // * `single_row_mutation/1000000` — one cell edit on a 1M-row
+    //   table, per-mutation cost with the repair kept current (dirty
+    //   component re-solved inside `apply`). The acceptance bar is
+    //   ≥ 100× under `subset/tractable/1000000`, asserted by the
+    //   committed-seed test in `bench_guard`.
+    // * `report_splice/1000000` — materializing the full spliced
+    //   report after a mutation (O(rows) answer assembly, the cost a
+    //   caller pays only when serializing the whole table).
+    // * `trace_replay/100000` — replaying a 1 000-step cell-edit trace
+    //   on a 100k-row table plus one final report: the throughput
+    //   number bench_guard gates (the µs-scale entries sit under its
+    //   noise floor by design).
+    {
+        use fd_core::{Mutation, TupleId, Value};
+        use fd_engine::IncrementalSession;
+        let n = 1_000_000usize;
+        let (schema, fds, table) = tractable_scale(n, false, 42);
+        let attr = schema.attr("A").expect("tractable attr");
+        let mut session =
+            IncrementalSession::new(table, fds, RepairRequest::subset()).expect("valid request");
+        assert!(
+            session.is_incremental(),
+            "tractable Δ must be delta-eligible"
+        );
+        let mut next = 0u32;
+        const BATCH: u32 = 200;
+        let per_batch = median_us(5, || {
+            for _ in 0..BATCH {
+                next = next.wrapping_add(7919) % n as u32;
+                let m = Mutation::SetCell {
+                    id: TupleId(next),
+                    attr,
+                    value: Value::Int(i64::from(next) + 1_000_000),
+                };
+                session.apply(&m).unwrap();
+            }
+        });
+        push(
+            format!("incremental/single_row_mutation/{n}"),
+            per_batch / f64::from(BATCH),
+        );
+        push(
+            format!("incremental/report_splice/{n}"),
+            median_us(3, || {
+                black_box(session.report().unwrap());
+            }),
+        );
+
+        let n = 100_000usize;
+        let (schema, fds, table) = tractable_scale(n, false, 42);
+        let attr = schema.attr("A").expect("tractable attr");
+        let mut session =
+            IncrementalSession::new(table, fds, RepairRequest::subset()).expect("valid request");
+        let mut next = 0u32;
+        push(
+            format!("incremental/trace_replay/{n}"),
+            median_us(reps(n), || {
+                for _ in 0..1_000u32 {
+                    next = next.wrapping_add(7919) % n as u32;
+                    let m = Mutation::SetCell {
+                        id: TupleId(next),
+                        attr,
+                        value: Value::Int(i64::from(next) + 2_000_000),
+                    };
+                    session.apply(&m).unwrap();
+                }
+                black_box(session.report().unwrap());
             }),
         );
     }

@@ -200,7 +200,33 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::Unit;
+    use super::{load, Unit};
+
+    /// The committed scale seed must keep the incremental engine's
+    /// headline claim honest: a single-row mutation on the live 1M-row
+    /// session stays at least 100× under the cold 1M-row solve. The
+    /// seed is data, so drift (a slow delta path committed as the new
+    /// normal) fails here rather than silently passing the 2× gate.
+    #[test]
+    fn committed_seed_keeps_the_incremental_speedup_above_100x() {
+        let path = format!("{}/../../BENCH_scale.json", env!("CARGO_MANIFEST_DIR"));
+        let entries = load(&path).expect("committed BENCH_scale.json loads");
+        let median = |id: &str| -> f64 {
+            entries
+                .iter()
+                .find(|(eid, _, unit)| eid == id && *unit == Unit::TimeUs)
+                .map(|(_, m, _)| *m)
+                .unwrap_or_else(|| panic!("{path}: missing time entry {id:?}"))
+        };
+        let cold = median("subset/tractable/1000000");
+        let delta = median("incremental/single_row_mutation/1000000");
+        assert!(
+            delta > 0.0 && cold / delta >= 100.0,
+            "incremental single-row mutation ({delta} µs) must be ≥100× \
+             under the cold 1M-row solve ({cold} µs); got {:.1}×",
+            cold / delta
+        );
+    }
 
     #[test]
     fn time_and_bytes_fail_when_the_number_grows() {

@@ -37,6 +37,7 @@ mod error;
 mod fd;
 mod fdset;
 mod keys;
+mod mutation;
 mod normalize;
 mod parallel;
 mod scan;
@@ -59,6 +60,7 @@ pub use keys::{
     bcnf_violation, bcnf_violation_in, candidate_keys, is_superkey, prime_attrs,
     third_nf_violation, NormalFormViolation,
 };
+pub use mutation::{Mutation, MutationEffect};
 pub use normalize::{
     bcnf_decompose, is_lossless_join, preserves_dependencies, project_fds, third_nf_synthesis,
     Decomposition,

@@ -320,6 +320,63 @@ impl Table {
             .ok_or(Error::UnknownTupleId { id: id.0 })
     }
 
+    /// The position (insertion order) of `id`, if present — the public
+    /// face of the identifier index. The incremental repair layer uses
+    /// it to translate cached component id lists into the position
+    /// vectors [`Table::gather_positions`] wants, in O(component) time
+    /// instead of an O(table) mask.
+    pub fn position_of(&self, id: TupleId) -> Option<usize> {
+        self.pos_of(id).map(|pos| pos as usize)
+    }
+
+    /// Appends a tuple with an automatically assigned identifier — the
+    /// insert arm of the in-place mutation API ([`Table::delete_row`],
+    /// [`Table::set_cell`]). Behaviorally identical to [`Table::push`];
+    /// the alias marks call sites that mutate a *live* table rather
+    /// than build a new one.
+    pub fn insert_row(&mut self, tuple: Tuple, weight: f64) -> Result<TupleId> {
+        self.push(tuple, weight)
+    }
+
+    /// Removes the row with identifier `id`, returning it. Later rows
+    /// shift down one position, so row order is preserved — a mutated
+    /// table is indistinguishable from one freshly built in the same
+    /// final order, which is what keeps incremental repair reports
+    /// byte-identical to cold solves. O(n) in the table size (columns
+    /// memmove, identifier index shifts); the identifier is never
+    /// reused — [`Table::insert_row`] keeps counting upward.
+    pub fn delete_row(&mut self, id: TupleId) -> Result<Row> {
+        let pos = self.pos_of(id).ok_or(Error::UnknownTupleId { id: id.0 })? as usize;
+        for col in &mut self.cols {
+            col.remove(pos);
+        }
+        self.weights.remove(pos);
+        let row = self.rows.remove(pos);
+        if !self.index_sparse.is_empty() {
+            self.index_sparse.retain(|&(i, _)| i != id.0);
+            for entry in &mut self.index_sparse {
+                if entry.1 > pos as u32 {
+                    entry.1 -= 1;
+                }
+            }
+        } else {
+            self.index[(id.0 - self.index_base) as usize] = NO_POS;
+            for slot in &mut self.index {
+                if *slot != NO_POS && *slot > pos as u32 {
+                    *slot -= 1;
+                }
+            }
+        }
+        Ok(row)
+    }
+
+    /// Replaces the value of one cell, returning the old value — the
+    /// O(1) edit arm of the in-place mutation API. Alias of
+    /// [`Table::set_value`] under the mutation vocabulary.
+    pub fn set_cell(&mut self, id: TupleId, attr: AttrId, value: Value) -> Result<Value> {
+        self.set_value(id, attr, value)
+    }
+
     /// Replaces the value of one cell; returns the old value (O(1)).
     /// The new value is interned and the symbol column updated in step.
     pub fn set_value(&mut self, id: TupleId, attr: AttrId, value: Value) -> Result<Value> {

@@ -18,7 +18,11 @@
 //! * [`RepairReport`] — repaired data, cost, method provenance,
 //!   guaranteed ratio, dichotomy classification and timings, with
 //!   dependency-free machine-readable JSON ([`RepairReport::to_json`],
-//!   parseable back via [`Json::parse`]).
+//!   parseable back via [`Json::parse`]);
+//! * [`IncrementalSession`] — a long-lived session over a mutating
+//!   table: per-component solutions cached by the `fd-srepair` delta
+//!   engine make single-row mutations cost microseconds while every
+//!   report stays bit-identical to a cold `run` (timings zeroed).
 //!
 //! The §5 extension directions flow through the same report shape:
 //! [`constraint_subset_report`] (conditional FDs / denial constraints)
@@ -67,6 +71,7 @@ pub mod json;
 mod planner;
 mod report;
 mod request;
+mod session;
 pub mod wire;
 
 pub use ext::{constraint_subset_report, prioritized_report};
@@ -76,9 +81,10 @@ pub use report::{
     table_to_json, ChangedCell, ComponentReport, DichotomyReport, RepairReport, ReportBody, Timings,
 };
 pub use request::{Budgets, Notion, Optimality, RepairRequest, WIRE_INT_MAX};
+pub use session::IncrementalSession;
 pub use wire::{
-    cache_key, parse_table_doc, table_fingerprint, Fnv64, ParsedCall, RefCall, RepairCall,
-    WireError,
+    cache_key, parse_mutation_trace, parse_table_doc, table_fingerprint, Fnv64, MutateCall,
+    ParsedCall, RefCall, RepairCall, WireError, WireMutation,
 };
 
 // The one value type [`RepairRequest`] borrows from a solver crate, so

@@ -196,7 +196,7 @@ pub trait RepairEngine {
 pub struct Planner;
 
 impl Planner {
-    fn validate(request: &RepairRequest) -> Result<(), EngineError> {
+    pub(crate) fn validate(request: &RepairRequest) -> Result<(), EngineError> {
         if let Optimality::Approximate { max_ratio } = request.optimality {
             if max_ratio.is_nan() || max_ratio < 1.0 {
                 return Err(EngineError::InvalidRequest(format!(
@@ -208,7 +208,7 @@ impl Planner {
     }
 
     /// Whether a subset request solves component-sharded.
-    fn shards(table: &Table, request: &RepairRequest) -> bool {
+    pub(crate) fn shards(table: &Table, request: &RepairRequest) -> bool {
         table.len() >= request.budgets.shard_min_rows
     }
 
@@ -216,7 +216,7 @@ impl Planner {
     /// `Optimality::Exact` forces per-component exactness outright, and
     /// an `Approximate` ceiling below the plan's guaranteed ratio
     /// escalates to it (mirroring the unsharded escalation path).
-    fn shard_config(table: &Table, fds: &FdSet, request: &RepairRequest) -> ShardConfig {
+    pub(crate) fn shard_config(table: &Table, fds: &FdSet, request: &RepairRequest) -> ShardConfig {
         let base = ShardConfig {
             threads: request.budgets.threads,
             // `exact_fallback_limit` is the caller's global allowance for
@@ -251,7 +251,7 @@ impl Planner {
 
     /// Renders a [`ShardPlan`] into plan steps plus the component
     /// statistics the report carries.
-    fn shard_steps(plan: &ShardPlan) -> (Vec<PlanStep>, ComponentReport) {
+    pub(crate) fn shard_steps(plan: &ShardPlan) -> (Vec<PlanStep>, ComponentReport) {
         let steps = plan
             .methods
             .iter()

@@ -28,7 +28,7 @@
 
 use crate::json::{Json, JsonError, JsonLimits};
 use crate::request::{Budgets, Notion, Optimality, RepairRequest};
-use fd_core::{FdSet, Schema, Table, Tuple, Value};
+use fd_core::{FdSet, Mutation, Schema, Table, Tuple, TupleId, Value};
 use fd_urepair::MixedCosts;
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -446,6 +446,373 @@ impl RefCall {
     }
 }
 
+/// One table edit as it travels over the wire. `POST
+/// /tables/{id}/mutate` bodies carry an array of these under
+/// `"mutations"`, and `fdrepair mutate --mutations <file>` replays trace
+/// files that are bare JSON arrays of the same objects:
+///
+/// ```json
+/// [
+///   {"op": "insert", "values": ["HQ", 322, 3, "Paris"], "weight": 2},
+///   {"op": "set", "id": 1, "attr": "city", "value": "Oslo"},
+///   {"op": "delete", "id": 0}
+/// ]
+/// ```
+///
+/// Unlike [`Mutation`], the wire form names attributes by string and is
+/// schema-free; [`WireMutation::resolve`] binds it to a concrete table.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireMutation {
+    /// Append a row (`"weight"` defaults to 1; the id is assigned by the
+    /// table, fresh above every id it has ever used).
+    Insert {
+        /// The new tuple's values, in schema attribute order.
+        values: Vec<Value>,
+        /// The new row's weight.
+        weight: f64,
+    },
+    /// Remove the row with this identifier.
+    Delete {
+        /// The identifier to remove.
+        id: u64,
+    },
+    /// Replace one cell of an existing row.
+    Set {
+        /// The row to edit.
+        id: u64,
+        /// The attribute name, resolved against the table's schema.
+        attr: String,
+        /// The new value.
+        value: Value,
+    },
+}
+
+impl WireMutation {
+    /// Builds a wire mutation from a parsed JSON value. Strict like
+    /// every other wire parser: unknown ops and unknown fields are
+    /// errors, never silent no-ops.
+    pub fn from_json(doc: &Json) -> Result<WireMutation, WireError> {
+        let Json::Obj(_) = doc else {
+            return Err(WireError::new("each mutation must be a JSON object"));
+        };
+        let op = match doc.get("op") {
+            Some(Json::Str(s)) => s.as_str(),
+            _ => {
+                return Err(WireError::new(
+                    "each mutation needs an \"op\" of \"insert\", \"delete\" or \"set\"",
+                ))
+            }
+        };
+        let allowed: &[&str] = match op {
+            "insert" => &["op", "values", "weight"],
+            "delete" => &["op", "id"],
+            "set" => &["op", "id", "attr", "value"],
+            other => return Err(WireError::new(format!("unknown mutation op {other:?}"))),
+        };
+        for (key, _) in doc.to_map().expect("checked object") {
+            if !allowed.contains(&key) {
+                return Err(WireError::new(format!(
+                    "unknown field {key:?} in an {op:?} mutation"
+                )));
+            }
+        }
+        match op {
+            "insert" => {
+                let values = match doc.get("values") {
+                    Some(Json::Arr(values)) => parse_values(values)?,
+                    _ => return Err(WireError::new("\"insert\" needs a \"values\" array")),
+                };
+                let weight = match doc.get("weight") {
+                    None => 1.0,
+                    Some(Json::Num(w)) => *w,
+                    Some(_) => return Err(WireError::new("\"weight\" must be a number")),
+                };
+                Ok(WireMutation::Insert { values, weight })
+            }
+            "delete" => {
+                let id = match doc.get("id") {
+                    Some(v) => as_usize("id", v)? as u64,
+                    None => return Err(WireError::new("\"delete\" needs an \"id\"")),
+                };
+                Ok(WireMutation::Delete { id })
+            }
+            _ => {
+                let id = match doc.get("id") {
+                    Some(v) => as_usize("id", v)? as u64,
+                    None => return Err(WireError::new("\"set\" needs an \"id\"")),
+                };
+                let attr = match doc.get("attr") {
+                    Some(Json::Str(s)) => s.clone(),
+                    _ => return Err(WireError::new("\"set\" needs a string \"attr\"")),
+                };
+                let value = match doc.get("value") {
+                    Some(v) => parse_value(v)?,
+                    None => return Err(WireError::new("\"set\" needs a \"value\"")),
+                };
+                Ok(WireMutation::Set { id, attr, value })
+            }
+        }
+    }
+
+    /// Renders the mutation back as a wire document (trace files, the
+    /// fuzzer's shrunk counterexamples, fixtures).
+    pub fn to_json_value(&self) -> Json {
+        match self {
+            WireMutation::Insert { values, weight } => Json::obj([
+                ("op", Json::str("insert")),
+                (
+                    "values",
+                    Json::Arr(values.iter().map(value_to_json).collect()),
+                ),
+                ("weight", (*weight).into()),
+            ]),
+            WireMutation::Delete { id } => {
+                Json::obj([("op", Json::str("delete")), ("id", Json::Num(*id as f64))])
+            }
+            WireMutation::Set { id, attr, value } => Json::obj([
+                ("op", Json::str("set")),
+                ("id", Json::Num(*id as f64)),
+                ("attr", Json::str(attr.as_str())),
+                ("value", value_to_json(value)),
+            ]),
+        }
+    }
+
+    /// Binds the wire form to a concrete schema, yielding the in-memory
+    /// [`Mutation`] the engine applies. Unknown attribute names and
+    /// out-of-range ids are errors.
+    pub fn resolve(&self, schema: &Schema) -> Result<Mutation, WireError> {
+        match self {
+            WireMutation::Insert { values, weight } => Ok(Mutation::Insert {
+                tuple: Tuple::new(values.clone()),
+                weight: *weight,
+            }),
+            WireMutation::Delete { id } => Ok(Mutation::Delete {
+                id: wire_tuple_id(*id)?,
+            }),
+            WireMutation::Set { id, attr, value } => {
+                let attr = schema
+                    .attr(attr)
+                    .map_err(|e| WireError::new(e.to_string()))?;
+                Ok(Mutation::SetCell {
+                    id: wire_tuple_id(*id)?,
+                    attr,
+                    value: value.clone(),
+                })
+            }
+        }
+    }
+
+    /// The wire form of an in-memory [`Mutation`] — the inverse of
+    /// [`WireMutation::resolve`] under the same schema.
+    pub fn from_mutation(m: &Mutation, schema: &Schema) -> WireMutation {
+        match m {
+            Mutation::Insert { tuple, weight } => WireMutation::Insert {
+                values: tuple.values().to_vec(),
+                weight: *weight,
+            },
+            Mutation::Delete { id } => WireMutation::Delete {
+                id: u64::from(id.0),
+            },
+            Mutation::SetCell { id, attr, value } => WireMutation::Set {
+                id: u64::from(id.0),
+                attr: schema.attr_name(*attr).to_string(),
+                value: value.clone(),
+            },
+        }
+    }
+}
+
+fn wire_tuple_id(id: u64) -> Result<TupleId, WireError> {
+    u32::try_from(id)
+        .map(TupleId)
+        .map_err(|_| WireError::new(format!("tuple id {id} is out of range")))
+}
+
+fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Int(i) => Json::Num(*i as f64),
+        other => Json::str(other.to_string()),
+    }
+}
+
+/// Parses a mutation trace — a bare JSON array of mutation objects, the
+/// file format `fdrepair mutate --mutations <file>` replays and the
+/// fuzzer's shrunk `.trace` counterexamples are written in.
+pub fn parse_mutation_trace(
+    text: &str,
+    limits: &JsonLimits,
+) -> Result<Vec<WireMutation>, WireError> {
+    let doc = Json::parse_with_limits(text, limits)?;
+    mutations_from_json(&doc)
+}
+
+fn mutations_from_json(doc: &Json) -> Result<Vec<WireMutation>, WireError> {
+    let Json::Arr(items) = doc else {
+        return Err(WireError::new("\"mutations\" must be a JSON array"));
+    };
+    if items.is_empty() {
+        return Err(WireError::new("\"mutations\" must not be empty"));
+    }
+    items.iter().map(WireMutation::from_json).collect()
+}
+
+/// A `POST /tables/{id}/mutate` body: the edits to apply, in order, to a
+/// stored table, plus the Δ and request the post-mutation repair report
+/// answers. Like [`RefCall`], the table itself never travels — the
+/// server resolves it (and the live incremental session) from its store.
+#[derive(Clone, Debug)]
+pub struct MutateCall {
+    /// The FD spec, parsed against the *stored* schema at resolve time
+    /// (`None` means the empty Δ, like an inline call omitting `fds`).
+    pub fds: Option<String>,
+    /// What the post-mutation report computes and under which budgets.
+    pub request: RepairRequest,
+    /// Parsed for symmetry with the other call shapes, but session
+    /// reports zero their timings regardless (a spliced answer has no
+    /// meaningful wall-clock to report).
+    pub include_timings: bool,
+    /// The edits, applied in order; at least one.
+    pub mutations: Vec<WireMutation>,
+}
+
+/// Domain-separation tag for mutate-call keys, keeping them disjoint
+/// from inline and by-reference repair keys.
+const MUTATE_KEY_TAG: u64 = 0x6d75_7461_7465_ca11;
+
+impl MutateCall {
+    /// Parses a mutate body under the given limits. The document is
+    /// `{fds?, request?, mutations}` and nothing else; inline table
+    /// fields belong in `PUT /tables/{id}`, not here.
+    pub fn parse(text: &str, limits: &JsonLimits) -> Result<MutateCall, WireError> {
+        let doc = Json::parse_with_limits(text, limits)?;
+        let Json::Obj(_) = doc else {
+            return Err(WireError::new("the document must be a JSON object"));
+        };
+        for (key, _) in doc.to_map().expect("checked object") {
+            match key {
+                "fds" | "request" | "mutations" => {}
+                "relation" | "attrs" | "rows" | "table_ref" => {
+                    return Err(WireError::new(format!(
+                        "{key:?} does not belong in a mutate call; \
+                         the URL already names the stored table"
+                    )))
+                }
+                other => return Err(WireError::new(format!("unknown field {other:?}"))),
+            }
+        }
+        let fds = match doc.get("fds") {
+            None => None,
+            Some(Json::Str(spec)) => Some(spec.clone()),
+            Some(_) => {
+                return Err(WireError::new(
+                    "\"fds\" must be a string like \"A -> B; B -> C\"",
+                ))
+            }
+        };
+        let (request, include_timings) = match doc.get("request") {
+            None => (RepairRequest::subset(), true),
+            Some(req) => parse_request(req)?,
+        };
+        let mutations = match doc.get("mutations") {
+            Some(doc) => mutations_from_json(doc)?,
+            None => return Err(WireError::new("\"mutations\" is required")),
+        };
+        Ok(MutateCall {
+            fds,
+            request,
+            include_timings,
+            mutations,
+        })
+    }
+
+    /// Parses the call's FD spec against the stored table's schema.
+    pub fn resolve_fds(&self, schema: &Schema) -> Result<FdSet, WireError> {
+        match &self.fds {
+            None => Ok(FdSet::empty()),
+            Some(spec) => FdSet::parse(schema, spec)
+                .map_err(|e| WireError::new(format!("invalid \"fds\": {e}"))),
+        }
+    }
+
+    /// The call rendered back as a wire document (fixtures, tests).
+    pub fn to_json_value(&self) -> Json {
+        let mut fields = Vec::new();
+        if let Some(fds) = &self.fds {
+            fields.push(("fds", Json::str(fds.as_str())));
+        }
+        fields.push((
+            "request",
+            request_to_json(&self.request, self.include_timings),
+        ));
+        fields.push((
+            "mutations",
+            Json::Arr(
+                self.mutations
+                    .iter()
+                    .map(WireMutation::to_json_value)
+                    .collect(),
+            ),
+        ));
+        Json::obj(fields)
+    }
+
+    /// The key identifying this call against the table state it starts
+    /// from. A mutate call changes state, so its *response* is never
+    /// served from cache — the key exists for audit logs and idempotent
+    /// replay detection, and the domain tag keeps it disjoint from the
+    /// repair-call key spaces.
+    pub fn cache_key(&self, fingerprint: u64, fds: &FdSet, schema: &Schema) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(MUTATE_KEY_TAG);
+        h.write_u64(fingerprint);
+        fds.display(schema).hash(&mut h);
+        hash_request_knobs(&mut h, &self.request);
+        h.write_u8(self.include_timings as u8);
+        h.write_usize(self.mutations.len());
+        for m in &self.mutations {
+            hash_mutation(&mut h, m);
+        }
+        h.finish()
+    }
+}
+
+fn hash_mutation(h: &mut Fnv64, m: &WireMutation) {
+    match m {
+        WireMutation::Insert { values, weight } => {
+            h.write_u8(0);
+            h.write_u64(weight.to_bits());
+            h.write_usize(values.len());
+            for v in values {
+                hash_value(h, v);
+            }
+        }
+        WireMutation::Delete { id } => {
+            h.write_u8(1);
+            h.write_u64(*id);
+        }
+        WireMutation::Set { id, attr, value } => {
+            h.write_u8(2);
+            h.write_u64(*id);
+            attr.hash(h);
+            hash_value(h, value);
+        }
+    }
+}
+
+fn hash_value(h: &mut Fnv64, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            h.write_u8(0);
+            h.write_i64(*i);
+        }
+        other => {
+            h.write_u8(1);
+            other.to_string().hash(h);
+        }
+    }
+}
+
 /// 64-bit FNV-1a — a small, deterministic, dependency-free hasher for
 /// cache keys. Not cryptographic; collisions only cost a cache miss
 /// being served a wrong entry, so the full (instance, Δ, knobs) state is
@@ -581,19 +948,20 @@ fn parse_row(row: &Json) -> Result<(f64, Vec<Value>), WireError> {
 }
 
 fn parse_values(values: &[Json]) -> Result<Vec<Value>, WireError> {
-    values
-        .iter()
-        .map(|v| match v {
-            Json::Str(s) => Ok(Value::str(s)),
-            Json::Num(n) if n.fract() == 0.0 && n.abs() < 9.0e15 => Ok(Value::Int(*n as i64)),
-            Json::Num(n) => Err(WireError::new(format!(
-                "value {n} is not an integer; send non-integral values as strings"
-            ))),
-            other => Err(WireError::new(format!(
-                "values must be strings or integers, got {other}"
-            ))),
-        })
-        .collect()
+    values.iter().map(parse_value).collect()
+}
+
+fn parse_value(v: &Json) -> Result<Value, WireError> {
+    match v {
+        Json::Str(s) => Ok(Value::str(s)),
+        Json::Num(n) if n.fract() == 0.0 && n.abs() < 9.0e15 => Ok(Value::Int(*n as i64)),
+        Json::Num(n) => Err(WireError::new(format!(
+            "value {n} is not an integer; send non-integral values as strings"
+        ))),
+        other => Err(WireError::new(format!(
+            "values must be strings or integers, got {other}"
+        ))),
+    }
 }
 
 fn parse_request(req: &Json) -> Result<(RepairRequest, bool), WireError> {

@@ -6,6 +6,7 @@
 //! complement of a minimum-weight vertex cover.
 
 use crate::csr::{Components, UnionFind};
+use crate::epoch::EpochUnionFind;
 use crate::graph::Graph;
 use fd_core::{FdSet, Table, TupleId};
 
@@ -67,6 +68,33 @@ pub fn conflict_components(table: &Table, fds: &FdSet) -> Components {
     let components = Components::from_labels(&uf.labels());
     sp.attr("components", components.len());
     sp.attr("largest", components.largest());
+    components
+}
+
+/// [`conflict_components`] over a reusable [`EpochUnionFind`] arena —
+/// the incremental repair layer's entry point. The table's rows are
+/// added as a node suffix, its conflict groups unioned, the labels read
+/// off, and the arena rolled back to where it was: repeated calls (one
+/// per mutation step, each over a small rebuilt region) never clear or
+/// reallocate the arena. The result is identical to
+/// [`conflict_components`] on the same table.
+pub fn conflict_components_scratch(
+    table: &Table,
+    fds: &FdSet,
+    scratch: &mut EpochUnionFind,
+) -> Components {
+    let mark = scratch.epoch();
+    let base = scratch.len() as u32;
+    for _ in 0..table.len() {
+        scratch.add_node();
+    }
+    table.for_each_conflict_group(fds, |_, group| {
+        for window in group.windows(2) {
+            scratch.union(base + window[0], base + window[1]);
+        }
+    });
+    let components = Components::from_labels(&scratch.labels_from(base));
+    scratch.rollback(&mark);
     components
 }
 
@@ -180,6 +208,16 @@ mod component_tests {
                 let via_graph = ConflictGraph::build(&t, &fds).graph.connected_components();
                 let got: Vec<Vec<u32>> = fast.iter().map(<[u32]>::to_vec).collect();
                 assert_eq!(got, via_graph, "{spec}\n{t}");
+                // The scratch-arena variant agrees even over a dirty,
+                // repeatedly reused arena.
+                let mut scratch = crate::EpochUnionFind::with_nodes(3);
+                scratch.union(0, 2);
+                let before = scratch.epoch();
+                for _ in 0..2 {
+                    let via_scratch = conflict_components_scratch(&t, &fds, &mut scratch);
+                    assert_eq!(via_scratch, fast, "{spec}\n{t}");
+                    assert_eq!(scratch.epoch(), before, "rollback left residue");
+                }
             }
         }
     }

@@ -1,0 +1,304 @@
+//! An epoch/rollback-capable union-find: the disjoint-set scratch
+//! behind incremental conflict-component maintenance.
+//!
+//! [`crate::UnionFind`] is the right engine for a one-shot solve, but an
+//! incremental maintainer asks something it cannot answer: *undo*.
+//! Union-find famously merges cheaply and splits never — so the
+//! incremental layer works speculatively instead: snapshot an
+//! [`Epoch`], add the nodes of the region being rebuilt, union its
+//! conflict groups, read the component labels off, then
+//! [`EpochUnionFind::rollback`] to the snapshot. The structure is
+//! reused across thousands of mutation steps without ever being
+//! reallocated or cleared in full — rollback costs O(work since the
+//! epoch), not O(nodes).
+//!
+//! Two implementation constraints make rollback sound:
+//!
+//! * **No path compression.** Compression rewrites parent pointers
+//!   outside the undo log, which would leave dangling edges after a
+//!   rollback. Finds walk plain parent chains; union-by-size alone
+//!   bounds them at O(log n), which is all the incremental workload
+//!   (small rebuilt regions) needs.
+//! * **Only effective unions are logged.** A union of two nodes already
+//!   in one set is a no-op and must not push an undo entry, or rollback
+//!   would double-subtract sizes.
+//!
+//! The same pattern (rebuild-by-rollback over a persistent disjoint-set
+//! arena) appears in e-graph engines; see eqsat-ai's `ds/uf.rs`.
+
+/// A point-in-time snapshot of an [`EpochUnionFind`]: how many nodes
+/// existed and how many effective unions had been applied. Rolling back
+/// to an epoch undoes everything after it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Epoch {
+    nodes: u32,
+    merges: u32,
+}
+
+/// Disjoint sets with union by size, **no** path compression, and an
+/// undo log enabling O(work) rollback to any earlier [`Epoch`].
+#[derive(Clone, Debug, Default)]
+pub struct EpochUnionFind {
+    /// Parent pointers; roots point at themselves.
+    parent: Vec<u32>,
+    /// Set sizes, valid at roots.
+    size: Vec<u32>,
+    /// Roots that became children, one entry per effective union, in
+    /// application order.
+    log: Vec<u32>,
+}
+
+impl EpochUnionFind {
+    /// An empty forest.
+    pub fn new() -> EpochUnionFind {
+        EpochUnionFind::default()
+    }
+
+    /// A forest of `n` singleton sets.
+    pub fn with_nodes(n: usize) -> EpochUnionFind {
+        EpochUnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            log: Vec::new(),
+        }
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True iff the forest has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Adds a fresh singleton node, returning its id.
+    pub fn add_node(&mut self) -> u32 {
+        let v = self.parent.len() as u32;
+        self.parent.push(v);
+        self.size.push(1);
+        v
+    }
+
+    /// The canonical representative of `v`'s set. A plain parent walk —
+    /// no compression, so rollback stays sound; union-by-size bounds
+    /// the chain at O(log n).
+    pub fn find(&self, mut v: u32) -> u32 {
+        while self.parent[v as usize] != v {
+            v = self.parent[v as usize];
+        }
+        v
+    }
+
+    /// True iff `a` and `b` are in one set.
+    pub fn same(&self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Merges the sets of `a` and `b`; true iff they were distinct (and
+    /// an undo entry was logged).
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.log.push(rb);
+        true
+    }
+
+    /// Chains a whole slice into one set (see
+    /// [`crate::UnionFind::union_all`]).
+    pub fn union_all(&mut self, nodes: &[u32]) {
+        for window in nodes.windows(2) {
+            self.union(window[0], window[1]);
+        }
+    }
+
+    /// Snapshots the current state for a later
+    /// [`EpochUnionFind::rollback`].
+    pub fn epoch(&self) -> Epoch {
+        Epoch {
+            nodes: self.parent.len() as u32,
+            merges: self.log.len() as u32,
+        }
+    }
+
+    /// Undoes every union and node addition after `epoch`. O(work since
+    /// the epoch). Unions are undone newest-first, so parent pointers
+    /// and sizes land exactly where they were; nodes added after the
+    /// epoch are then dropped (any union touching them has already been
+    /// undone, so no surviving pointer can reach them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` is from the structure's future (e.g. taken
+    /// before a *previous* rollback that already discarded that state).
+    pub fn rollback(&mut self, epoch: &Epoch) {
+        assert!(
+            epoch.nodes as usize <= self.parent.len() && epoch.merges as usize <= self.log.len(),
+            "rollback target is not in this structure's past"
+        );
+        while self.log.len() > epoch.merges as usize {
+            let child = self.log.pop().expect("log length checked") as usize;
+            let parent = self.parent[child] as usize;
+            self.size[parent] -= self.size[child];
+            self.parent[child] = child as u32;
+        }
+        self.parent.truncate(epoch.nodes as usize);
+        self.size.truncate(epoch.nodes as usize);
+    }
+
+    /// Canonical component labels for the node suffix `[base ..)`, in
+    /// *local* coordinates: entry `v - base` is the smallest member of
+    /// `v`'s component, minus `base` — the shape
+    /// [`crate::Components::from_labels`] consumes. Requires that no
+    /// suffix node was unioned below the base (the scratch pattern
+    /// guarantees it: the rebuilt region's groups only reference the
+    /// region's own nodes).
+    pub fn labels_from(&self, base: u32) -> Vec<u32> {
+        let n = self.parent.len() as u32;
+        let m = (n - base) as usize;
+        let mut smallest = vec![u32::MAX; m];
+        let mut labels = vec![0u32; m];
+        for v in base..n {
+            let r = self.find(v);
+            debug_assert!(r >= base, "suffix node unioned below the base");
+            let slot = (r - base) as usize;
+            if smallest[slot] == u32::MAX {
+                smallest[slot] = v - base;
+            }
+            labels[(v - base) as usize] = smallest[slot];
+        }
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_semantics_without_compression() {
+        let mut uf = EpochUnionFind::with_nodes(5);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0), "repeat union is a no-op");
+        uf.union_all(&[2, 3, 4]);
+        assert!(uf.same(3, 4));
+        assert!(!uf.same(0, 2));
+        assert_eq!(uf.labels_from(0), vec![0, 0, 2, 2, 2]);
+        assert_eq!(uf.len(), 5);
+    }
+
+    #[test]
+    fn rollback_undoes_unions_exactly() {
+        let mut uf = EpochUnionFind::with_nodes(6);
+        uf.union(0, 1);
+        let mark = uf.epoch();
+        uf.union(2, 3);
+        uf.union(0, 3); // merges the two pairs
+        uf.union(4, 5);
+        assert!(uf.same(1, 2));
+        uf.rollback(&mark);
+        assert!(uf.same(0, 1), "pre-epoch union survives");
+        assert!(!uf.same(2, 3));
+        assert!(!uf.same(1, 2));
+        assert!(!uf.same(4, 5));
+        // Sizes restored: a fresh union behaves as if nothing happened.
+        assert!(uf.union(2, 3));
+        assert_eq!(uf.labels_from(0), vec![0, 0, 2, 2, 4, 5]);
+    }
+
+    #[test]
+    fn rollback_drops_nodes_added_after_the_epoch() {
+        let mut uf = EpochUnionFind::new();
+        let a = uf.add_node();
+        let mark = uf.epoch();
+        let b = uf.add_node();
+        let c = uf.add_node();
+        uf.union(a, b); // post-epoch union touching a pre-epoch node
+        uf.union(b, c);
+        assert_eq!(uf.len(), 3);
+        uf.rollback(&mark);
+        assert_eq!(uf.len(), 1);
+        assert_eq!(uf.find(a), a, "pre-epoch node is a singleton again");
+        // The arena is reusable: the next region starts clean.
+        let d = uf.add_node();
+        assert!(!uf.same(a, d));
+    }
+
+    #[test]
+    fn nested_epochs_roll_back_in_order() {
+        let mut uf = EpochUnionFind::with_nodes(4);
+        let outer = uf.epoch();
+        uf.union(0, 1);
+        let inner = uf.epoch();
+        uf.union(2, 3);
+        uf.rollback(&inner);
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(2, 3));
+        uf.rollback(&outer);
+        assert!(!uf.same(0, 1));
+        // Epoch at the current state is a no-op rollback.
+        let here = uf.epoch();
+        uf.rollback(&here);
+        assert_eq!(uf.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in this structure's past")]
+    fn rolling_back_to_the_future_panics() {
+        let mut uf = EpochUnionFind::with_nodes(2);
+        let mark = uf.epoch();
+        uf.union(0, 1);
+        let later = uf.epoch();
+        uf.rollback(&mark);
+        uf.rollback(&later);
+    }
+
+    #[test]
+    fn labels_from_nonzero_base_are_local() {
+        let mut uf = EpochUnionFind::with_nodes(3);
+        uf.union(0, 2); // prefix state, untouched by the suffix
+        let base = uf.len() as u32;
+        for _ in 0..4 {
+            uf.add_node();
+        }
+        uf.union(base, base + 2);
+        uf.union(base + 1, base + 3);
+        assert_eq!(uf.labels_from(base), vec![0, 1, 0, 1]);
+        assert_eq!(uf.labels_from(base + 4), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn clean_dirty_clean_round_trips_many_times() {
+        // The scratch pattern of the incremental layer: thousands of
+        // epoch → build → rollback cycles over one arena must leave no
+        // residue.
+        let mut uf = EpochUnionFind::with_nodes(2);
+        uf.union(0, 1);
+        for round in 0..1000u32 {
+            let mark = uf.epoch();
+            let base = uf.len() as u32;
+            let k = (round % 7) + 2;
+            for _ in 0..k {
+                uf.add_node();
+            }
+            for i in 0..k - 1 {
+                if (round + i) % 3 != 0 {
+                    uf.union(base + i, base + i + 1);
+                }
+            }
+            let labels = uf.labels_from(base);
+            assert_eq!(labels.len(), k as usize);
+            uf.rollback(&mark);
+            assert_eq!(uf.len(), 2);
+        }
+        assert!(uf.same(0, 1), "prefix state survived 1000 rounds");
+    }
+}

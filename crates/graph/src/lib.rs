@@ -31,14 +31,16 @@
 
 mod conflict;
 mod csr;
+mod epoch;
 mod graph;
 mod matching;
 mod mis;
 mod triangle;
 mod vertex_cover;
 
-pub use conflict::{conflict_components, ConflictGraph};
+pub use conflict::{conflict_components, conflict_components_scratch, ConflictGraph};
 pub use csr::{Components, CsrGraph, UnionFind};
+pub use epoch::{Epoch, EpochUnionFind};
 pub use graph::Graph;
 pub use matching::{
     brute_force_matching, greedy_matching, max_weight_bipartite_matching, Matching,

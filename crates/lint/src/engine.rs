@@ -1160,7 +1160,8 @@ mod tests {
         // attributed item's own — the scan must stop, not underflow.
         let variant = "enum E {\n A,\n #[cfg(test)]\n Io(std::io::Error),\n}";
         assert!(findings(variant).is_empty());
-        let arm = "fn f(e: &E) -> u32 { match e {\n E::A => 0,\n #[cfg(test)]\n E::Io(_) => 1,\n} }";
+        let arm =
+            "fn f(e: &E) -> u32 { match e {\n E::A => 0,\n #[cfg(test)]\n E::Io(_) => 1,\n} }";
         assert!(findings(arm).is_empty());
         let field = "struct S {\n x: u32,\n #[cfg(test)]\n probe: u32,\n}";
         assert!(findings(field).is_empty());

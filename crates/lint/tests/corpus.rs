@@ -63,6 +63,30 @@ fn each_clean_fixture_is_clean() {
 }
 
 #[test]
+fn session_state_fixtures_pin_the_incremental_cache_class() {
+    // The incremental engine's session caches are the motivating case
+    // for scoping D002/O001 onto session-state modules: a process-global
+    // component cache (D003) makes replay depend on request order, and
+    // trace state folded into the cached solution (O001) makes a traced
+    // session's spliced report differ from an untraced one. The
+    // violation fixture must trip exactly those two rules; the clean
+    // fixture shows the owned, `&mut self`-threaded alternative.
+    let findings = analyze_fixture("session_state_violation.rs");
+    let tripped: std::collections::BTreeSet<&str> =
+        findings.iter().map(|f| f.rule.as_str()).collect();
+    assert_eq!(
+        tripped.into_iter().collect::<Vec<_>>(),
+        ["D003", "O001"],
+        "session_state_violation.rs must trip exactly D003 and O001: {findings:?}"
+    );
+    let clean = analyze_fixture("session_state_clean.rs");
+    assert!(
+        clean.is_empty(),
+        "session_state_clean.rs: expected no findings, got: {clean:?}"
+    );
+}
+
+#[test]
 fn suppression_with_justification_suppresses() {
     let src = r#"
 use std::sync::atomic::AtomicU64;

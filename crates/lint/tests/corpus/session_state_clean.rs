@@ -1,0 +1,23 @@
+//! Session-state fixture, clean form: the cache lives inside the
+//! session value and is threaded through `&mut self`, so two sessions
+//! can never observe each other, and nothing time- or trace-shaped
+//! participates in the spliced answer.
+
+/// Per-session component cache: owned state, no globals.
+pub struct Session {
+    cache: Vec<(u32, Vec<u32>)>,
+}
+
+impl Session {
+    /// Re-solves one dirtied component and stores its solution.
+    pub fn store(&mut self, comp: u32, kept: Vec<u32>) {
+        self.cache.retain(|(c, _)| *c != comp);
+        self.cache.push((comp, kept));
+        self.cache.sort_by_key(|(c, _)| *c);
+    }
+
+    /// Splices the cached solutions into a deterministic cost.
+    pub fn spliced_cost(&self) -> u64 {
+        self.cache.iter().map(|(_, kept)| kept.len() as u64).sum()
+    }
+}

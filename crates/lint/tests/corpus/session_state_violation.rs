@@ -1,0 +1,22 @@
+//! Session-state fixture: the incremental-cache bug class. A
+//! process-global component cache (D003) shared across sessions makes
+//! replay depend on request order, and a trace collector folded into
+//! the cached solution (O001) makes a traced session's spliced report
+//! differ from an untraced one.
+
+use std::sync::Mutex;
+
+/// One cached per-component solution, keyed by component id.
+static COMPONENT_CACHE: Mutex<Vec<(u32, Vec<u32>)>> = Mutex::new(Vec::new());
+
+/// Splices the cached solutions into report bytes, stamping in how many
+/// spans the collector dropped — trace state reaching output bytes.
+pub fn spliced_cost(collector: &fd_trace::Collector) -> u64 {
+    let mut total = 0u64;
+    if let Ok(cache) = COMPONENT_CACHE.lock() {
+        for (_, kept) in cache.iter() {
+            total += kept.len() as u64;
+        }
+    }
+    total + collector.dropped() as u64
+}

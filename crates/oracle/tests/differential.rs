@@ -7,18 +7,30 @@
 use fd_oracle::{run_fuzz, FuzzConfig, FuzzNotion};
 
 fn campaign(notion: FuzzNotion, cases: usize, seed: u64) {
+    campaign_with(notion, cases, seed, None);
+}
+
+fn campaign_with(notion: FuzzNotion, cases: usize, seed: u64, shard_min_rows: Option<usize>) {
     let summary = run_fuzz(&FuzzConfig {
         notion,
         cases,
         seed,
         max_rows: 0,
-        shard_min_rows: None,
+        shard_min_rows,
     });
     assert_eq!(summary.cases, cases);
     for d in &summary.divergences {
         eprintln!(
-            "case {} (seed {}) on schema {}: {}\n{}",
-            d.case_index, d.case_seed, d.schema_name, d.message, d.instance_fdr
+            "case {} (seed {}) on schema {}: {}\n{}{}",
+            d.case_index,
+            d.case_seed,
+            d.schema_name,
+            d.message,
+            d.instance_fdr,
+            d.trace_json
+                .as_deref()
+                .map(|t| format!("\ntrace: {t}"))
+                .unwrap_or_default()
         );
     }
     assert!(
@@ -50,6 +62,25 @@ fn mixed_engine_matches_oracle() {
 #[test]
 fn mpd_engine_matches_oracle() {
     campaign(FuzzNotion::Mpd, 120, 7);
+}
+
+#[test]
+fn incremental_sessions_match_cold_solves_across_traces() {
+    // The delta-engine acceptance campaign: 200 seeded cases, each a
+    // ≥ 20-step random mutation trace replayed through an
+    // IncrementalSession, with the report compared byte-for-byte
+    // against a cold solve after EVERY step. The default campaign
+    // draws a mix of sharded and unsharded requests.
+    campaign(FuzzNotion::Mutate, 200, 7);
+}
+
+#[test]
+fn incremental_sessions_match_cold_solves_when_sharding_is_pinned() {
+    // The same contract with the shard arm pinned on both sides:
+    // always-sharded (the delta engine's fast path everywhere) and
+    // never-sharded (every report takes the cold whole-table fallback).
+    campaign_with(FuzzNotion::Mutate, 100, 13, Some(0));
+    campaign_with(FuzzNotion::Mutate, 100, 17, Some(usize::MAX));
 }
 
 #[test]

@@ -8,6 +8,10 @@
 //! (tables at rest, namespaced by the sanitized `X-Tenant` header).
 //! Concurrent cacheable calls with the same key run one solve under
 //! [`crate::SingleFlight`] and replay its exact bytes.
+//! `POST /tables/{id}/mutate` replays a mutation trace against a stored
+//! table through an [`IncrementalSession`] and answers with the
+//! mutation delta plus a repair report byte-identical to a cold solve
+//! of the mutated table.
 //!
 //! Observability rides alongside routing but never inside it: the
 //! request id, per-request trace, and [`RequestInfo`] the access log
@@ -19,10 +23,10 @@
 use crate::http::{Request, Response};
 use crate::store::StoreError;
 use crate::Shared;
-use fd_core::{FdSet, Table};
+use fd_core::{FdSet, MutationEffect, Table};
 use fd_engine::{
-    parse_table_doc, table_fingerprint, EngineError, JsonLimits, Notion, ParsedCall, Planner,
-    RepairEngine, RepairRequest, Timings, WireError,
+    parse_table_doc, table_fingerprint, EngineError, IncrementalSession, JsonLimits, MutateCall,
+    Notion, ParsedCall, Planner, RepairEngine, RepairRequest, Timings, WireError,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -666,17 +670,30 @@ fn tenant_of(request: &Request) -> Result<String, Response> {
     }
 }
 
-/// `PUT`/`GET`/`DELETE /tables/{id}`: tables at rest.
+/// `PUT`/`GET`/`DELETE /tables/{id}` (tables at rest) and the one
+/// sub-resource, `POST /tables/{id}/mutate` (tables in motion).
 fn tables(shared: &Shared, request: &Request, path: &str, info: &mut RequestInfo) -> Response {
-    let id = match path.strip_prefix("/tables/") {
-        Some(id) if valid_name(id) => id,
-        Some(_) => return Response::error(400, "table ids are 1-64 chars of [A-Za-z0-9._-]"),
+    let rest = match path.strip_prefix("/tables/") {
+        Some(rest) => rest,
         None => return Response::error(404, "tables live under /tables/{id}"),
     };
+    let (id, mutate) = match rest.strip_suffix("/mutate") {
+        Some(id) => (id, true),
+        None => (rest, false),
+    };
+    if !valid_name(id) {
+        return Response::error(400, "table ids are 1-64 chars of [A-Za-z0-9._-]");
+    }
     let tenant = match tenant_of(request) {
         Ok(tenant) => tenant,
         Err(response) => return response,
     };
+    if mutate {
+        return match request.method.as_str() {
+            "POST" => mutate_table(shared, request, &tenant, id, info),
+            _ => Response::error(405, "wrong method for this path"),
+        };
+    }
     match request.method.as_str() {
         "PUT" => put_table(shared, request, &tenant, id, info),
         "GET" => get_table(shared, &tenant, id, info),
@@ -760,6 +777,124 @@ fn delete_table(shared: &Shared, tenant: &str, id: &str) -> Response {
         }
         Err(e) => store_error_response(&e),
     }
+}
+
+/// `POST /tables/{id}/mutate`: replays a wire mutation trace against
+/// the stored table through an [`IncrementalSession`], persists the
+/// mutated table under the same id with a fresh fingerprint, and
+/// returns the mutation delta plus the post-mutation repair report.
+///
+/// The call is transactional: a mutation that fails to resolve or
+/// apply, or a report the engine refuses, leaves the stored table
+/// untouched (the session works on a clone; only success `replace`s).
+/// Responses are never cached — the call changes state, and by-ref
+/// `/repair` keys hash the fingerprint, so the swap invalidates every
+/// cached by-ref answer automatically. The spliced `report` carries
+/// zeroed timings: it is byte-identical to a cold `/repair` of the
+/// mutated table with `include_timings: false`.
+fn mutate_table(
+    shared: &Shared,
+    request: &Request,
+    tenant: &str,
+    id: &str,
+    info: &mut RequestInfo,
+) -> Response {
+    use fd_engine::Json;
+    let limits = JsonLimits {
+        max_bytes: shared.config.max_body_bytes,
+        max_depth: JsonLimits::DEFAULT_MAX_DEPTH,
+    };
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return Response::error(400, "body is not UTF-8"),
+    };
+    let mut call = match MutateCall::parse(text, &limits) {
+        Ok(call) => call,
+        Err(WireError { message }) => return Response::error(400, &message),
+    };
+    shared.metrics.observe_notion(call.request.notion);
+    info.notion = Some(call.request.notion);
+    let Some(stored) = shared.store.get(tenant, id) else {
+        return store_error_response(&StoreError::NotFound);
+    };
+    let schema = Arc::clone(stored.table.schema());
+    let fds = match call.resolve_fds(&schema) {
+        Ok(fds) => fds,
+        Err(WireError { message }) => return Response::error(400, &message),
+    };
+    clamp_time_cap(shared, &mut call.request);
+
+    let solve_start = Instant::now();
+    let mut session = match IncrementalSession::new(stored.table.clone(), fds, call.request) {
+        Ok(session) => session,
+        Err(e) => {
+            let (status, body) = engine_error_body(&e, call.request.notion);
+            return Response::json(status, body);
+        }
+    };
+    let mut added = Vec::new();
+    let mut removed = Vec::new();
+    let mut changed = Vec::new();
+    for (step, wire) in call.mutations.iter().enumerate() {
+        let mutation = match wire.resolve(&schema) {
+            Ok(mutation) => mutation,
+            Err(WireError { message }) => {
+                return Response::error(400, &format!("mutation {step}: {message}"));
+            }
+        };
+        match session.apply(&mutation) {
+            Ok(MutationEffect::Inserted { id }) => added.push(id),
+            Ok(MutationEffect::Deleted { row }) => removed.push(row.id),
+            Ok(MutationEffect::CellSet { id, .. }) => changed.push(id),
+            Err(e) => {
+                let (status, body) = engine_error_body(&e, call.request.notion);
+                return Response::json(status, body);
+            }
+        }
+    }
+    let report = match session.report() {
+        Ok(report) => report,
+        Err(e) => {
+            let (status, body) = engine_error_body(&e, call.request.notion);
+            return Response::json(status, body);
+        }
+    };
+    info.solve_us = solve_start.elapsed().as_micros() as u64;
+    shared
+        .metrics
+        .observe_notion_latency(call.request.notion, info.solve_us);
+    info.components = report.components.as_ref().map(|c| c.count);
+    if let Some(count) = info.components {
+        shared.metrics.observe_components(count as u64);
+    }
+
+    let table = session.table().clone();
+    info.rows = Some(table.len());
+    let fingerprint = table_fingerprint(&table);
+    let stored = match shared.store.replace(tenant, id, table, fingerprint) {
+        Ok(stored) => stored,
+        Err(e) => return store_error_response(&e),
+    };
+    let ids = |ids: &[fd_core::TupleId]| {
+        Json::Arr(ids.iter().map(|id| Json::Num(f64::from(id.0))).collect())
+    };
+    let delta = Json::obj([
+        ("added", ids(&added)),
+        ("removed", ids(&removed)),
+        ("changed", ids(&changed)),
+    ]);
+    // The report bytes are spliced verbatim (never re-serialized), the
+    // same discipline the trace envelope follows; id and tenant are
+    // charset-sanitized on ingress, so quoting them directly is safe.
+    let body = format!(
+        "{{\"mutated\":\"{id}\",\"tenant\":\"{tenant}\",\"rows\":{},\"steps\":{},\
+         \"fingerprint\":\"{:016x}\",\"delta\":{delta},\"report\":{}}}",
+        stored.rows,
+        session.steps(),
+        stored.fingerprint,
+        report.to_json(),
+    );
+    Response::json(200, body)
 }
 
 /// Store failures, each with a stable `kind` like the engine errors.
@@ -1215,6 +1350,171 @@ mod tests {
             r#"{"table_ref": "t1", "attrs": ["A"], "rows": [[1]]}"#,
         );
         assert_eq!(mixed.status, 400);
+    }
+
+    /// The mutation trace the mutate tests replay: one delete, one
+    /// insert, one cell edit — every `WireMutation` op once.
+    const OFFICE_TRACE: &str = r#"[
+            {"op": "delete", "id": 1},
+            {"op": "insert", "values": ["HQ", 500, 5, "Paris"], "weight": 3},
+            {"op": "set", "id": 2, "attr": "city", "value": "Paris"}
+        ]"#;
+
+    #[test]
+    fn mutate_applies_a_trace_and_splices_cold_identical_report_bytes() {
+        let shared = shared();
+        let (put, _) = send(&shared, "PUT", "/tables/office", OFFICE_TABLE, &[]);
+        assert_eq!(put.status, 201);
+        let put_doc = Json::parse(std::str::from_utf8(&put.body).unwrap()).unwrap();
+        let old_fp = put_doc
+            .get("fingerprint")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+
+        let body = format!(
+            r#"{{"fds": "facility -> city; facility room -> floor",
+                 "mutations": {OFFICE_TRACE}}}"#
+        );
+        let (resp, info) = send(&shared, "POST", "/tables/office/mutate", &body, &[]);
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        assert_eq!(info.endpoint, "tables");
+        assert_eq!(info.notion, Some(Notion::Subset));
+        assert_eq!(info.rows, Some(4));
+        let text = std::str::from_utf8(&resp.body).unwrap();
+        let doc = Json::parse(text).unwrap();
+        assert_eq!(doc.get("mutated").unwrap().as_str(), Some("office"));
+        assert_eq!(doc.get("steps").unwrap().as_num(), Some(3.0));
+        assert_eq!(doc.get("rows").unwrap().as_num(), Some(4.0));
+        let delta = doc.get("delta").unwrap();
+        let ids = |field: &str| -> Vec<f64> {
+            delta
+                .get(field)
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .iter()
+                .map(|v| v.as_num().unwrap())
+                .collect()
+        };
+        assert_eq!(ids("removed"), vec![1.0]);
+        assert_eq!(ids("added").len(), 1);
+        assert_eq!(ids("changed"), vec![2.0]);
+        let new_fp = doc
+            .get("fingerprint")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        assert_ne!(new_fp, old_fp, "mutation must re-fingerprint the table");
+
+        // GET sees the swapped snapshot.
+        let meta = send(&shared, "GET", "/tables/office", "", &[]).0;
+        let meta_doc = Json::parse(std::str::from_utf8(&meta.body).unwrap()).unwrap();
+        assert_eq!(
+            meta_doc.get("fingerprint").unwrap().as_str(),
+            Some(&new_fp[..])
+        );
+        assert_eq!(meta_doc.get("rows").unwrap().as_num(), Some(4.0));
+
+        // The spliced report is byte-identical to a cold solve of the
+        // same mutated table with timings zeroed.
+        let mut mutated = parse_table_doc(OFFICE_TABLE, &JsonLimits::UNTRUSTED).unwrap();
+        let schema = Arc::clone(mutated.schema());
+        for wire in fd_engine::parse_mutation_trace(OFFICE_TRACE, &JsonLimits::UNTRUSTED).unwrap() {
+            let m = wire.resolve(&schema).unwrap();
+            mutated.apply_mutation(&m).unwrap();
+        }
+        let fds = FdSet::parse(&schema, "facility -> city; facility room -> floor").unwrap();
+        let mut cold = Planner
+            .run(&mutated, &fds, &fd_engine::RepairRequest::subset())
+            .unwrap();
+        cold.timings = Timings::default();
+        let marker = "\"report\":";
+        let at = text.find(marker).unwrap() + marker.len();
+        assert_eq!(
+            &text[at..text.len() - 1],
+            cold.to_json(),
+            "spliced report must replay cold-solve bytes"
+        );
+    }
+
+    #[test]
+    fn mutate_is_transactional_and_maps_failures_to_stable_statuses() {
+        let config = ServeConfig {
+            max_rows_per_tenant: 5,
+            ..ServeConfig::default()
+        };
+        let shared = Shared::new(config);
+        let missing = send(&shared, "POST", "/tables/ghost/mutate", "{}", &[]).0;
+        assert_eq!(missing.status, 400, "empty call bodies fail parse first");
+        assert_eq!(
+            send(&shared, "PUT", "/tables/office", OFFICE_TABLE, &[])
+                .0
+                .status,
+            201
+        );
+        let fp_of = |shared: &Shared| {
+            let meta = send(shared, "GET", "/tables/office", "", &[]).0;
+            let doc = Json::parse(std::str::from_utf8(&meta.body).unwrap()).unwrap();
+            doc.get("fingerprint")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string()
+        };
+        let fp = fp_of(&shared);
+
+        // Unknown table, wrong method, malformed and inapplicable traces.
+        let one_delete = r#"{"mutations": [{"op": "delete", "id": 0}]}"#;
+        let gone = send(&shared, "POST", "/tables/ghost/mutate", one_delete, &[]).0;
+        assert_eq!(gone.status, 404);
+        assert_eq!(kind_of(&gone).as_deref(), Some("unknown_table_ref"));
+        assert_eq!(
+            send(&shared, "GET", "/tables/office/mutate", one_delete, &[])
+                .0
+                .status,
+            405
+        );
+        let bad_op = r#"{"mutations": [{"op": "truncate"}]}"#;
+        assert_eq!(
+            send(&shared, "POST", "/tables/office/mutate", bad_op, &[])
+                .0
+                .status,
+            400
+        );
+        // A trace that dies mid-flight (id 99 does not exist) must leave
+        // the stored table untouched — even though the first step was
+        // applied to the session.
+        let dies = r#"{"mutations": [
+            {"op": "delete", "id": 0},
+            {"op": "delete", "id": 99}
+        ]}"#;
+        let resp = send(&shared, "POST", "/tables/office/mutate", dies, &[]).0;
+        assert_eq!(resp.status, 400);
+        assert_eq!(kind_of(&resp).as_deref(), Some("invalid_request"));
+        assert_eq!(fp_of(&shared), fp, "failed mutate must not swap the table");
+
+        // Growing past the tenant's row quota fails at `replace`,
+        // atomically.
+        let grow = r#"{"mutations": [
+            {"op": "insert", "values": ["X", 1, 1, "Y"], "weight": 1},
+            {"op": "insert", "values": ["X", 2, 2, "Y"], "weight": 1}
+        ]}"#;
+        let resp = send(&shared, "POST", "/tables/office/mutate", grow, &[]).0;
+        assert_eq!(resp.status, 413);
+        assert_eq!(kind_of(&resp).as_deref(), Some("quota_exceeded"));
+        assert_eq!(fp_of(&shared), fp);
+
+        // One in-quota insert succeeds and recounts usage.
+        let ok = r#"{"mutations": [
+            {"op": "insert", "values": ["X", 1, 1, "Y"], "weight": 1}
+        ]}"#;
+        let resp = send(&shared, "POST", "/tables/office/mutate", ok, &[]).0;
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        assert_eq!(shared.store.usage("public"), (1, 5));
+        assert_ne!(fp_of(&shared), fp);
     }
 
     #[test]

@@ -16,7 +16,10 @@ use fd_core::Table;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-/// One table at rest, immutable once stored.
+/// One table at rest. The snapshot behind the `Arc` is immutable;
+/// mutation (`POST /tables/{id}/mutate`) swaps in a successor via
+/// [`TableStore::replace`] with a fresh fingerprint, so in-flight
+/// readers keep a coherent table and fingerprint pair.
 pub struct StoredTable {
     /// The interned table, shared by reference with every call.
     pub table: Table,
@@ -119,6 +122,46 @@ impl TableStore {
         inner
             .tables
             .insert((tenant.to_string(), id.to_string()), Arc::clone(&stored));
+        Ok(stored)
+    }
+
+    /// Swaps the table stored under `(tenant, id)` for a mutated
+    /// successor, re-checking the row quota against the row *delta*
+    /// and releasing/charging the difference. The id must already
+    /// exist — `replace` is how `POST /tables/{id}/mutate` persists a
+    /// session's table, never a way to sneak past the `put` conflict
+    /// check. Readers holding the old `Arc` keep a coherent snapshot.
+    pub fn replace(
+        &self,
+        tenant: &str,
+        id: &str,
+        table: Table,
+        fingerprint: u64,
+    ) -> Result<Arc<StoredTable>, StoreError> {
+        let rows = table.len();
+        let mut inner = match self.inner.lock() {
+            Ok(inner) => inner,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let key = (tenant.to_string(), id.to_string());
+        let old_rows = match inner.tables.get(&key) {
+            Some(stored) => stored.rows,
+            None => return Err(StoreError::NotFound),
+        };
+        let usage = inner.usage.entry(tenant.to_string()).or_default();
+        let rows_after = usage.rows.saturating_sub(old_rows) + rows;
+        if self.max_rows_per_tenant > 0 && rows_after > self.max_rows_per_tenant {
+            return Err(StoreError::RowQuota {
+                limit: self.max_rows_per_tenant,
+            });
+        }
+        usage.rows = rows_after;
+        let stored = Arc::new(StoredTable {
+            table,
+            fingerprint,
+            rows,
+        });
+        inner.tables.insert(key, Arc::clone(&stored));
         Ok(stored)
     }
 
@@ -227,6 +270,31 @@ mod tests {
         // A failed put must not leak quota.
         assert_eq!(store.usage("rival"), (1, 9));
         store.put("rival", "b", table(1), 0).unwrap();
+    }
+
+    #[test]
+    fn replace_swaps_the_snapshot_and_recounts_the_row_delta() {
+        let store = TableStore::new(0, 10);
+        store.put("acme", "t", table(4), 1).unwrap();
+        // Growing within quota: the delta (not the sum) is charged.
+        let stored = store.replace("acme", "t", table(8), 2).unwrap();
+        assert_eq!(stored.fingerprint, 2);
+        assert_eq!(store.usage("acme"), (1, 8));
+        assert_eq!(store.get("acme", "t").unwrap().rows, 8);
+        // Growing past quota fails without touching the stored table.
+        assert_eq!(
+            store.replace("acme", "t", table(11), 3).err(),
+            Some(StoreError::RowQuota { limit: 10 })
+        );
+        assert_eq!(store.get("acme", "t").unwrap().fingerprint, 2);
+        assert_eq!(store.usage("acme"), (1, 8));
+        // Shrinking releases quota; an unknown id is NotFound.
+        store.replace("acme", "t", table(1), 4).unwrap();
+        assert_eq!(store.usage("acme"), (1, 1));
+        assert_eq!(
+            store.replace("acme", "nope", table(1), 5).err(),
+            Some(StoreError::NotFound)
+        );
     }
 
     #[test]

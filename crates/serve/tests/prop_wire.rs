@@ -9,7 +9,8 @@
 //!   engine run).
 
 use fd_engine::{
-    MixedCosts, Notion, Optimality, Planner, RepairCall, RepairEngine, RepairRequest, Timings,
+    MixedCosts, MutateCall, Notion, Optimality, Planner, RepairCall, RepairEngine, RepairRequest,
+    Timings, WireMutation,
 };
 use fd_gen::adversarial::{schema_pool, sized_instance};
 use fd_serve::{client, ServeConfig, Server};
@@ -118,6 +119,122 @@ fn cached_responses_are_byte_identical_to_uncached_ones() {
     // Nudge the accept loop so it observes the flag.
     let _ = client::get(addr, "/healthz");
     handle.join().expect("server thread").expect("clean run");
+}
+
+/// A random wire mutation over a 3-attribute schema: every op, int and
+/// string values, small ids (some of which won't exist — the wire layer
+/// round-trips them regardless; only `resolve`/`apply` care).
+fn random_wire_mutation(rng: &mut StdRng) -> WireMutation {
+    use fd_core::Value;
+    let value = |rng: &mut StdRng| -> Value {
+        if rng.gen_range(0..2) == 0 {
+            Value::Int(rng.gen_range(0..9i64))
+        } else {
+            Value::str(&format!("v{}", rng.gen_range(0..9u32)))
+        }
+    };
+    match rng.gen_range(0..3u8) {
+        0 => WireMutation::Insert {
+            values: (0..3).map(|_| value(rng)).collect(),
+            weight: rng.gen_range(1..5usize) as f64,
+        },
+        1 => WireMutation::Delete {
+            id: rng.gen_range(0..12usize) as u64,
+        },
+        _ => WireMutation::Set {
+            id: rng.gen_range(0..12usize) as u64,
+            attr: ["A", "B", "C"][rng.gen_range(0..3usize)].to_string(),
+            value: value(rng),
+        },
+    }
+}
+
+/// A random mutate call: optional Δ, randomized request knobs, 1–6
+/// steps.
+fn random_mutate_call(seed: u64) -> MutateCall {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+    let mut request = RepairRequest::subset();
+    match rng.gen_range(0..4) {
+        0 => request = request.optimality(Optimality::Exact),
+        1 => request = request.shard_min_rows(0),
+        2 => {
+            request = request
+                .threads(rng.gen_range(1..4usize))
+                .component_exact_limit(rng.gen_range(0..64usize));
+        }
+        _ => {}
+    }
+    let fds = if rng.gen_range(0..4) == 0 {
+        None
+    } else {
+        Some("A -> B; B -> C".to_string())
+    };
+    let steps = rng.gen_range(1..7usize);
+    MutateCall {
+        fds,
+        request,
+        include_timings: rng.gen_range(0..2) == 0,
+        mutations: (0..steps).map(|_| random_wire_mutation(&mut rng)).collect(),
+    }
+}
+
+#[test]
+fn random_mutate_calls_round_trip_the_wire_format() {
+    use fd_core::{FdSet, Schema};
+    let schema = Schema::new("R", ["A", "B", "C"]).unwrap();
+    let fds = FdSet::parse(&schema, "A -> B; B -> C").unwrap();
+    for seed in 0..60u64 {
+        let call = random_mutate_call(seed);
+        let text = call.to_json_value().to_string();
+        let again = MutateCall::parse(&text, &fd_engine::JsonLimits::UNTRUSTED)
+            .unwrap_or_else(|e| panic!("seed {seed}: rendered call fails to parse: {e}\n{text}"));
+        assert_eq!(again.fds, call.fds, "seed {seed}");
+        assert_eq!(again.request, call.request, "seed {seed}");
+        assert_eq!(again.include_timings, call.include_timings, "seed {seed}");
+        assert_eq!(again.mutations, call.mutations, "seed {seed}");
+        // The writer is a fixed point of the round trip, and the cache
+        // key survives it.
+        assert_eq!(again.to_json_value().to_string(), text, "seed {seed}");
+        assert_eq!(
+            again.cache_key(7, &fds, &schema),
+            call.cache_key(7, &fds, &schema),
+            "seed {seed}"
+        );
+        // The key binds to the table state and to every step: a
+        // different starting fingerprint or one extra mutation must not
+        // collide.
+        let base = call.cache_key(7, &fds, &schema);
+        assert_ne!(base, call.cache_key(8, &fds, &schema), "seed {seed}");
+        let mut longer = call.clone();
+        longer.mutations.push(WireMutation::Delete { id: 0 });
+        assert_ne!(base, longer.cache_key(7, &fds, &schema), "seed {seed}");
+    }
+}
+
+#[test]
+fn mutation_traces_round_trip_as_bare_arrays() {
+    use fd_engine::Json;
+    let mut rng = StdRng::seed_from_u64(99);
+    let trace: Vec<WireMutation> = (0..20).map(|_| random_wire_mutation(&mut rng)).collect();
+    let text = Json::Arr(trace.iter().map(WireMutation::to_json_value).collect()).to_string();
+    let again = fd_engine::parse_mutation_trace(&text, &fd_engine::JsonLimits::UNTRUSTED)
+        .expect("rendered trace parses");
+    assert_eq!(again, trace);
+    // Hostile shapes fail loudly: non-arrays, empty traces, unknown ops
+    // and stowaway fields.
+    for bad in [
+        "{}",
+        "[]",
+        r#"[{"op": "truncate"}]"#,
+        r#"[{"op": "delete", "id": 0, "bogus": 1}]"#,
+        r#"[{"op": "insert", "values": [1], "id": 3}]"#,
+        r#"[{"op": "set", "id": 0, "attr": "A"}]"#,
+    ] {
+        assert!(
+            fd_engine::parse_mutation_trace(bad, &fd_engine::JsonLimits::UNTRUSTED).is_err(),
+            "{bad} must be rejected"
+        );
+    }
 }
 
 /// Splits a rendered inline call into the table document `PUT

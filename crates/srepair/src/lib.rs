@@ -22,6 +22,10 @@
 //!   each component solved independently (exact-per-component on the
 //!   hard side) and fanned out across threads, bit-identical to the
 //!   unsharded entry points;
+//! * [`IncrementalSubset`] — the delta engine over the sharded path:
+//!   per-component solutions cached across mutations, a single
+//!   insert/delete/edit re-solving only the components it dirties,
+//!   reports bit-identical to a cold solve;
 //! * [`answers_all_repairs`] / [`answers_optimal_repairs`] — tuple-level
 //!   consistent query answering (certain/possible membership) under the
 //!   all-repairs and optimal-repairs semantics;
@@ -39,6 +43,7 @@ mod cqa;
 pub mod engine;
 mod exact;
 mod factwise;
+mod incremental;
 mod maximal;
 mod optsrepair;
 mod parallel;
@@ -61,6 +66,7 @@ pub use cqa::{
 };
 pub use exact::{brute_force_s_repair, exact_s_repair};
 pub use factwise::{class_reduction, lifting_chain, lifting_reduction, FactwiseReduction};
+pub use incremental::IncrementalSubset;
 pub use maximal::{is_subset_repair, make_maximal};
 pub use optsrepair::{opt_s_repair, Irreducible};
 pub use parallel::{par_opt_s_repair, ParallelConfig};

@@ -92,7 +92,7 @@ pub struct ShardPlan {
 impl ShardPlan {
     /// The planned method for a conflicting component of `rows` rows
     /// under `Δ`'s dichotomy side.
-    fn component_method(tractable: bool, rows: usize, cfg: &ShardConfig) -> SMethod {
+    pub(crate) fn component_method(tractable: bool, rows: usize, cfg: &ShardConfig) -> SMethod {
         if tractable {
             SMethod::Dichotomy
         } else if cfg.force_exact || rows <= cfg.component_exact_limit {
@@ -181,7 +181,12 @@ pub fn shard_plan(table: &Table, fds: &FdSet, cfg: &ShardConfig) -> (Components,
 /// directly and returns its raw kept list: per-component sorting and
 /// cost accounting would be thrown away anyway — the merged list is
 /// sorted and costed once, globally, in [`sharded_s_repair`].
-fn solve_component(sub: &Table, fds: &FdSet, normalized: &FdSet, method: SMethod) -> Vec<TupleId> {
+pub(crate) fn solve_component(
+    sub: &Table,
+    fds: &FdSet,
+    normalized: &FdSet,
+    method: SMethod,
+) -> Vec<TupleId> {
     match method {
         SMethod::Dichotomy => crate::optsrepair::solve(sub, normalized)
             .expect("OSRSucceeds(Δ) holds on every sub-table (Δ-only test)"),

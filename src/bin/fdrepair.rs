@@ -14,6 +14,7 @@
 //! fdrepair mpd      <file>    alias of `repair --notion mpd`
 //! fdrepair count    <file>    number of (optimal) subset repairs
 //! fdrepair sample   <file>    uniformly random subset repair (chain Δ)
+//! fdrepair mutate   <file>    replay --mutations <trace> incrementally
 //! fdrepair serve              HTTP repair service (POST /repair, /explain)
 //! fdrepair fuzz               differential fuzz: engine vs brute-force oracle
 //! fdrepair gen      <file>    write a synthetic scale instance as .fdr
@@ -37,8 +38,9 @@ usage: fdrepair <command> <file.fdr> [options]
        fdrepair serve [--addr <ip:port>] [--threads <n>] [--cache-entries <n>]
                       [--max-body-bytes <n>] [--max-connections <n>]
                       [--table-quota <n>] [--table-rows-quota <n>]
-       fdrepair fuzz [--notion <s|u|mixed|mpd>] [--cases <n>] [--seed <n>]
+       fdrepair fuzz [--notion <s|u|mixed|mpd|mutate>] [--cases <n>] [--seed <n>]
                      [--max-rows <n>]
+       fdrepair mutate <file.fdr> --mutations <trace.json> [--json]
        fdrepair gen <out.fdr> --rows <n> [--workload <tractable|hard>] [--seed <n>]
 
 commands:
@@ -51,6 +53,9 @@ commands:
   mpd         alias of `repair --notion mpd`
   count       number of (optimal) subset repairs
   sample      uniformly random subset repair (chain Δ only)
+  mutate      replay a mutation trace (--mutations <file>) through an
+              incremental session; report the subset repair of the
+              mutated table, bit-identical to a cold solve
   serve       HTTP service: POST /repair, POST /explain, PUT/GET/DELETE
               /tables/{id}, GET /healthz, /metrics
   fuzz        differential fuzzing: random instances, engine vs brute-force
@@ -69,6 +74,10 @@ options:
                        per-span summary goes to stderr
   --no-timings         zero the report's timings block, making repeated
                        runs byte-identical (the wire's include_timings)
+  --mutations <file>   mutate: JSON array of steps — {\"op\": \"insert\",
+                       \"values\": [...], \"weight\": w}, {\"op\": \"delete\",
+                       \"id\": n}, {\"op\": \"set\", \"id\": n, \"attr\": \"A\",
+                       \"value\": v}
   --seed <n>           RNG seed for `sample` / `fuzz` (default: OS / 7)
   --cases <n>          fuzz: number of random cases per notion (default 200)
   --max-rows <n>       fuzz: largest table to draw (default: per-notion
@@ -141,6 +150,7 @@ struct Cli {
     portable_poller: bool,
     rows: Option<usize>,
     workload: Option<String>,
+    mutations: Option<String>,
 }
 
 enum CliOutcome {
@@ -192,6 +202,7 @@ fn parse_args(args: &[String]) -> CliOutcome {
         portable_poller: false,
         rows: None,
         workload: None,
+        mutations: None,
     };
     // Flags may appear anywhere; the first two non-flag arguments are the
     // command and the file.
@@ -366,6 +377,10 @@ fn parse_args(args: &[String]) -> CliOutcome {
                 Some(v) => cli.workload = Some(v),
                 None => return CliOutcome::Usage,
             },
+            "--mutations" => match value("--mutations") {
+                Some(v) => cli.mutations = Some(v),
+                None => return CliOutcome::Usage,
+            },
             other => {
                 eprintln!("fdrepair: unexpected argument {other:?}\n{USAGE}");
                 return CliOutcome::Usage;
@@ -486,7 +501,7 @@ fn main() -> ExitCode {
         "count" => Some(Notion::Count),
         "sample" => Some(Notion::Sample),
         "classify" => Some(Notion::Classify),
-        "check" | "explain" => None,
+        "check" | "explain" | "mutate" => None,
         other => {
             eprintln!("fdrepair: unknown command {other:?}\n{USAGE}");
             return ExitCode::from(2);
@@ -498,6 +513,7 @@ fn main() -> ExitCode {
             check(&instance, cli.json);
             ExitCode::SUCCESS
         }
+        ("mutate", _) => mutate(&cli, &instance),
         ("explain", _) => {
             let notion = cli
                 .notion
@@ -611,6 +627,94 @@ fn build_request(cli: &Cli, notion: Notion) -> RepairRequest {
     request
 }
 
+/// `fdrepair mutate`: replays a wire mutation trace (a JSON array of
+/// `{"op": "insert"|"delete"|"set", ...}` steps, the format the fuzzer
+/// shrinks divergences to) against the instance through an
+/// [`IncrementalSession`], then reports the subset repair of the
+/// mutated table — bit-identical to a cold solve with zeroed timings.
+fn mutate(cli: &Cli, instance: &Instance) -> ExitCode {
+    let Some(trace_path) = cli.mutations.as_deref() else {
+        eprintln!("fdrepair: mutate needs --mutations <trace.json>\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(trace_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("fdrepair: cannot read {trace_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match parse_mutation_trace(&text, &JsonLimits::UNTRUSTED) {
+        Ok(trace) => trace,
+        Err(e) => {
+            eprintln!("fdrepair: {trace_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let request = build_request(cli, Notion::Subset);
+    let mut session =
+        match IncrementalSession::new(instance.table.clone(), instance.fds.clone(), request) {
+            Ok(session) => session,
+            Err(e) => {
+                eprintln!("fdrepair: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    for (step, wire) in trace.iter().enumerate() {
+        let resolved = match wire.resolve(&instance.schema) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("fdrepair: mutation {step}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = session.apply(&resolved) {
+            eprintln!("fdrepair: mutation {step}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let report = match session.report() {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("fdrepair: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mutated = Instance {
+        schema: instance.schema.clone(),
+        fds: instance.fds.clone(),
+        table: session.table().clone(),
+    };
+    if let Some(path) = cli.output.as_deref() {
+        let repaired = report.repaired().expect("subset reports carry a table");
+        let out = Instance {
+            schema: instance.schema.clone(),
+            fds: instance.fds.clone(),
+            table: repaired.clone(),
+        };
+        if let Err(e) = std::fs::write(path, out.to_fdr()) {
+            eprintln!("fdrepair: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if cli.json {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "applied {} mutation(s): {} row(s) now, served by {}",
+            session.steps(),
+            session.table().len(),
+            if session.is_incremental() {
+                "the delta engine"
+            } else {
+                "cold solves"
+            }
+        );
+        render(&mutated, &report);
+    }
+    ExitCode::SUCCESS
+}
+
 /// `fdrepair fuzz`: differential campaigns, engine vs brute-force
 /// oracle; each divergence shrinks to a `.fdr` counterexample written to
 /// the working directory. Exit 0 iff every notion agreed everywhere.
@@ -622,11 +726,14 @@ fn fuzz(cli: &Cli) -> ExitCode {
             FuzzNotion::Update,
             FuzzNotion::Mixed,
             FuzzNotion::Mpd,
+            FuzzNotion::Mutate,
         ],
         Some(name) => match FuzzNotion::parse(name) {
             Some(n) => vec![n],
             None => {
-                eprintln!("fdrepair: fuzz supports --notion s|u|mixed|mpd, got {name:?}\n{USAGE}");
+                eprintln!(
+                    "fdrepair: fuzz supports --notion s|u|mixed|mpd|mutate, got {name:?}\n{USAGE}"
+                );
                 return ExitCode::from(2);
             }
         },
@@ -676,6 +783,15 @@ fn fuzz(cli: &Cli) -> ExitCode {
                 let path = format!("{stem}{suffix}");
                 match std::fs::write(&path, contents) {
                     Ok(()) => eprintln!("  {note} written to {path}"),
+                    Err(e) => eprintln!("  cannot write {path}: {e}"),
+                }
+            }
+            // Mutate divergences also carry the shrunk trace: replay it
+            // with `fdrepair mutate <stem>.fdr --mutations <stem>.trace`.
+            if let Some(trace) = &d.trace_json {
+                let path = format!("{stem}.trace");
+                match std::fs::write(&path, trace) {
+                    Ok(()) => eprintln!("  mutation trace written to {path}"),
                     Err(e) => eprintln!("  cannot write {path}: {e}"),
                 }
             }
@@ -752,6 +868,7 @@ fn serve(cli: &Cli) -> ExitCode {
     println!("  POST /repair       engine-JSON RepairRequest + instance → RepairReport");
     println!("  POST /explain      the same body → the plan, nothing solved");
     println!("  PUT  /tables/{{id}}  store a table; repair it later via \"table_ref\"");
+    println!("  POST /tables/{{id}}/mutate  apply a mutation trace; delta + repair report");
     println!("  GET  /healthz      liveness");
     println!("  GET  /metrics      counters and latency quantiles");
     match server.run() {

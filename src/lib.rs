@@ -111,10 +111,10 @@ pub mod prelude {
         Result, Row, Schema, Table, Tuple, TupleId, Value,
     };
     pub use fd_engine::{
-        cache_key, constraint_subset_report, prioritized_report, Budgets, ChangedCell,
-        ComponentReport, DichotomyReport, EngineError, Json, JsonError, JsonLimits, Notion,
-        Optimality, Plan, PlanStep, Planner, RepairCall, RepairEngine, RepairReport, RepairRequest,
-        ReportBody, Timings, WireError,
+        cache_key, constraint_subset_report, parse_mutation_trace, prioritized_report, Budgets,
+        ChangedCell, ComponentReport, DichotomyReport, EngineError, IncrementalSession, Json,
+        JsonError, JsonLimits, MutateCall, Notion, Optimality, Plan, PlanStep, Planner, RepairCall,
+        RepairEngine, RepairReport, RepairRequest, ReportBody, Timings, WireError, WireMutation,
     };
     pub use fd_graph::{
         max_weight_bipartite_matching, min_weight_vertex_cover, vertex_cover_2approx,

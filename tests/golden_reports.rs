@@ -80,6 +80,61 @@ fn sensors_reports_match_golden_bytes() {
     check_golden("sensors_mpd.json", &inst, &RepairRequest::mpd());
 }
 
+/// The mutation trace behind the mutate-delta golden: one step of every
+/// op, replayed through an [`IncrementalSession`] against the office
+/// fixture. The spliced report is the golden — byte-identical to a cold
+/// solve of the mutated table (session timings are always zero, so no
+/// explicit zeroing is needed).
+const MUTATE_TRACE: &str = r#"[
+    {"op": "delete", "id": 1},
+    {"op": "insert", "values": ["HQ", 322, 30, "Madrid"], "weight": 4},
+    {"op": "set", "id": 3, "attr": "city", "value": "Paris"}
+]"#;
+
+#[test]
+fn office_mutate_delta_matches_golden_bytes() {
+    let inst = fixture("office.fdr");
+    let trace = parse_mutation_trace(MUTATE_TRACE, &JsonLimits::UNTRUSTED).unwrap();
+    let mut session = IncrementalSession::new(
+        inst.table.clone(),
+        inst.fds.clone(),
+        RepairRequest::subset(),
+    )
+    .unwrap();
+    for wire in &trace {
+        let m = wire.resolve(&inst.schema).unwrap();
+        session.apply(&m).unwrap();
+    }
+    assert!(session.is_incremental(), "office must take the delta path");
+    let spliced = session.report().unwrap();
+    let mut got = spliced.to_json();
+    got.push('\n');
+
+    let path = format!(
+        "{}/tests/golden/office_mutate_delta.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &got).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    } else {
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("read {path}: {e}\nrun UPDATE_GOLDEN=1 cargo test --test golden_reports")
+        });
+        assert_eq!(
+            got, want,
+            "office_mutate_delta.json: spliced report drifted from the committed golden bytes"
+        );
+    }
+
+    // The golden is simultaneously a cold-solve golden: re-solving the
+    // mutated table from scratch must reproduce the same bytes.
+    let mut cold = Planner
+        .run(session.table(), &inst.fds, &RepairRequest::subset())
+        .unwrap();
+    cold.timings = Timings::default();
+    assert_eq!(spliced.to_json(), cold.to_json());
+}
+
 #[test]
 fn golden_bytes_parse_and_round_trip_structurally() {
     // The committed bytes are valid JSON and re-serialize to themselves
@@ -102,5 +157,5 @@ fn golden_bytes_parse_and_round_trip_structurally() {
         );
         checked += 1;
     }
-    assert_eq!(checked, 9, "expected 9 golden files, found {checked}");
+    assert_eq!(checked, 10, "expected 10 golden files, found {checked}");
 }
